@@ -1,0 +1,261 @@
+// Ablation studies for the design choices DESIGN.md calls out.
+//
+//   A. coffer_enlarge batch size — the user/kernel allocation split (§6.1
+//      blames enlarge contention for ZoFS's MWCL/DWAL flattening; batch size
+//      is the knob that trades kernel crossings against space slack).
+//   B. MPK protection overhead — the paper claims protection is nearly free
+//      (a WRPKRU is ~16 cycles). Compare ZoFS with enforcement on and off.
+//   C. Inline small-file data (§5.1 future work) — small-file create+write+
+//      read throughput with and without embedding data in the inode page.
+//   D. Atomic (COW) data updates — the data-atomicity ZoFS omits "for
+//      simplicity"; measures what it would have cost.
+//   E. Directory scaling — ops/s vs directory size, the two-level hash that
+//      wins webproxy/varmail in Figure 9.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/rand.h"
+#include "src/common/stats.h"
+#include "src/harness/fslab.h"
+#include "src/harness/fxmark.h"
+#include "src/harness/runner.h"
+
+namespace {
+
+using harness::FsKind;
+using harness::FsLab;
+using harness::LabOptions;
+
+const vfs::Cred kCred{0, 0};
+
+void AblationEnlargeBatch() {
+  printf("[A] coffer_enlarge batch size vs append throughput (DWAL, 4 threads)\n\n");
+  const uint64_t ops = harness::EnvOr("ABL_OPS", 10000);
+  common::TextTable t({"batch (pages)", "Mops/s", "kernel crossings/op"});
+  for (uint64_t batch : {4, 16, 64, 256}) {
+    LabOptions lo;
+    lo.dev_bytes = 1ull << 30;
+    lo.zofs_enlarge_batch = batch;
+    FsLab lab(FsKind::kZofs, lo);
+    harness::FxOptions fx;
+    fx.ops_per_thread = ops;
+    auto r = harness::RunFxmark(lab, harness::FxWorkload::kDWAL, 4, fx);
+    char b1[32], b2[32];
+    snprintf(b1, sizeof(b1), "%.3f", r.ops_per_sec / 1e6);
+    snprintf(b2, sizeof(b2), "%.4f", 1.0 / batch);
+    t.AddRow({std::to_string(batch), b1, b2});
+  }
+  printf("%s\n", t.ToString().c_str());
+  printf("Expectation: small batches pay a kernel crossing every few appends;\n");
+  printf("large batches amortise it away (the paper's per-thread lists + batch\n");
+  printf("enlarge design). Diminishing returns past ~64 pages.\n\n");
+}
+
+void AblationMpk() {
+  printf("[B] MPK protection overhead (DWOL overwrites + creates, 1 thread)\n\n");
+  const uint64_t ops = harness::EnvOr("ABL_OPS", 10000);
+  common::TextTable t({"configuration", "overwrite Mops/s", "create Kops/s"});
+  for (bool disabled : {false, true}) {
+    LabOptions lo;
+    lo.dev_bytes = 1ull << 30;
+    lo.disable_mpk = disabled;
+    double over, create;
+    {
+      FsLab lab(FsKind::kZofs, lo);
+      harness::FxOptions fx;
+      fx.ops_per_thread = ops;
+      over = harness::RunFxmark(lab, harness::FxWorkload::kDWOL, 1, fx).ops_per_sec;
+    }
+    {
+      FsLab lab(FsKind::kZofs, lo);
+      harness::FxOptions fx;
+      fx.ops_per_thread = ops / 2;
+      create = harness::RunFxmark(lab, harness::FxWorkload::kMWCL, 1, fx).ops_per_sec;
+    }
+    char b1[32], b2[32];
+    snprintf(b1, sizeof(b1), "%.3f", over / 1e6);
+    snprintf(b2, sizeof(b2), "%.1f", create / 1e3);
+    t.AddRow({disabled ? "MPK off" : "MPK enforced", b1, b2});
+  }
+  printf("%s\n", t.ToString().c_str());
+  printf("Expectation: single-digit %% overhead — window switches are one register\n");
+  printf("write and the per-access check is a table lookup (paper: WRPKRU ~16\n");
+  printf("cycles, \"little overhead\").\n\n");
+}
+
+void AblationInline() {
+  printf("[C] inline small-file data (create+write 256B+read, flat directory)\n\n");
+  const uint64_t files = harness::EnvOr("ABL_FILES", 5000);
+  common::TextTable t({"configuration", "files/s", "NVM pages used"});
+  for (bool inline_on : {false, true}) {
+    LabOptions lo;
+    lo.dev_bytes = 1ull << 30;
+    lo.zofs_inline_data = inline_on;
+    FsLab lab(FsKind::kZofs, lo);
+    vfs::FileSystem* fs = lab.View(0);
+    fs->Mkdir(kCred, "/small", 0755);
+    std::string payload(256, 's');
+    char buf[256];
+    common::Stopwatch sw;
+    for (uint64_t i = 0; i < files; i++) {
+      std::string p = "/small/f" + std::to_string(i);
+      auto fd = fs->Open(kCred, p, vfs::kCreate | vfs::kRdWr, 0644);
+      fs->Write(*fd, payload.data(), payload.size());
+      fs->Pread(*fd, buf, sizeof(buf), 0);
+      fs->Close(*fd);
+    }
+    double rate = files / (sw.ElapsedNs() / 1e9);
+    uint64_t pages = lab.dev()->num_pages() - lab.kernfs()->FreePages();
+    char b1[32];
+    snprintf(b1, sizeof(b1), "%.0f", rate);
+    t.AddRow({inline_on ? "inline data" : "4KB blocks", b1, std::to_string(pages)});
+  }
+  printf("%s\n", t.ToString().c_str());
+  printf("Expectation: inline mode skips one page allocation + pointer install per\n");
+  printf("small file and halves the pages consumed (inode only vs inode+data).\n\n");
+}
+
+void AblationAtomic() {
+  printf("[D] atomic (COW) data updates: 4KB and 512B overwrites, 1 thread\n\n");
+  const uint64_t ops = harness::EnvOr("ABL_OPS", 10000);
+  common::TextTable t({"configuration", "4KB overwrite Mops/s", "512B overwrite Mops/s"});
+  for (bool atomic : {false, true}) {
+    LabOptions lo;
+    lo.dev_bytes = 1ull << 30;
+    lo.zofs_atomic_data = atomic;
+    FsLab lab(FsKind::kZofs, lo);
+    vfs::FileSystem* fs = lab.View(0);
+    auto fd = fs->Open(kCred, "/f", vfs::kCreate | vfs::kRdWr, 0644);
+    std::vector<uint8_t> page(4096, 1);
+    fs->Pwrite(*fd, page.data(), page.size(), 0);
+    common::Stopwatch sw;
+    for (uint64_t i = 0; i < ops; i++) {
+      fs->Pwrite(*fd, page.data(), 4096, 0);
+    }
+    double full = ops / (sw.ElapsedNs() / 1e9);
+    sw.Restart();
+    for (uint64_t i = 0; i < ops; i++) {
+      fs->Pwrite(*fd, page.data(), 512, 1024);
+    }
+    double part = ops / (sw.ElapsedNs() / 1e9);
+    char b1[32], b2[32];
+    snprintf(b1, sizeof(b1), "%.3f", full / 1e6);
+    snprintf(b2, sizeof(b2), "%.3f", part / 1e6);
+    t.AddRow({atomic ? "COW (atomic)" : "in-place", b1, b2});
+  }
+  printf("%s\n", t.ToString().c_str());
+  printf("Expectation: aligned 4KB COW costs one extra alloc+swap (modest); partial\n");
+  printf("COW pays a full read-modify-write of the page — the same trade that makes\n");
+  printf("NOVA's copy-on-write lose to in-place designs in Table 7.\n\n");
+}
+
+void AblationDirScale() {
+  printf("[E] directory lookup scaling (two-level hash, paper §5.1)\n\n");
+  common::TextTable t({"entries in dir", "lookup ns", "create ns"});
+  for (uint64_t n : {100, 1000, 10000, 50000}) {
+    LabOptions lo;
+    lo.dev_bytes = 2ull << 30;
+    FsLab lab(FsKind::kZofs, lo);
+    vfs::FileSystem* fs = lab.View(0);
+    fs->Mkdir(kCred, "/wide", 0755);
+    common::Stopwatch sw;
+    for (uint64_t i = 0; i < n; i++) {
+      auto fd = fs->Open(kCred, "/wide/f" + std::to_string(i), vfs::kCreate | vfs::kWrite, 0644);
+      fs->Close(*fd);
+    }
+    double create_ns = static_cast<double>(sw.ElapsedNs()) / n;
+    const uint64_t probes = 20000;
+    common::Rng rng(3);
+    sw.Restart();
+    for (uint64_t i = 0; i < probes; i++) {
+      fs->Stat(kCred, "/wide/f" + std::to_string(rng.Below(n)));
+    }
+    double lookup_ns = static_cast<double>(sw.ElapsedNs()) / probes;
+    char b1[32], b2[32];
+    snprintf(b1, sizeof(b1), "%.0f", lookup_ns);
+    snprintf(b2, sizeof(b2), "%.0f", create_ns);
+    t.AddRow({std::to_string(n), b1, b2});
+  }
+  printf("%s\n", t.ToString().c_str());
+  printf("Expectation: near-flat lookup latency out to tens of thousands of entries\n");
+  printf("— the property that wins webproxy/varmail (dir-width 1,000,000) in Fig. 9.\n");
+}
+
+void AblationMicroFs() {
+  printf("[F] two µFS designs on one Treasury (paper §5.3): ZoFS vs LogFS\n\n");
+  const uint64_t ops = harness::EnvOr("ABL_OPS", 10000);
+  common::TextTable t(
+      {"µFS", "append Kops/s", "overwrite Kops/s", "create Kops/s", "read Kops/s"});
+  for (FsKind kind : {FsKind::kZofs, FsKind::kLogFs}) {
+    LabOptions lo;
+    lo.dev_bytes = 2ull << 30;
+    FsLab lab(kind, lo);
+    vfs::FileSystem* fs = lab.View(0);
+    std::vector<uint8_t> block(4096, 0x1f);
+    common::Stopwatch sw;
+    double append, over, create, read;
+    {
+      auto fd = fs->Open(kCred, "/a", vfs::kCreate | vfs::kWrite | vfs::kAppend, 0644);
+      sw.Restart();
+      for (uint64_t i = 0; i < ops; i++) {
+        fs->Write(*fd, block.data(), block.size());
+      }
+      append = ops / (sw.ElapsedNs() / 1e9);
+      fs->Close(*fd);
+    }
+    {
+      auto fd = fs->Open(kCred, "/o", vfs::kCreate | vfs::kRdWr, 0644);
+      fs->Pwrite(*fd, block.data(), block.size(), 0);
+      sw.Restart();
+      for (uint64_t i = 0; i < ops; i++) {
+        fs->Pwrite(*fd, block.data(), block.size(), 0);
+      }
+      over = ops / (sw.ElapsedNs() / 1e9);
+      sw.Restart();
+      for (uint64_t i = 0; i < ops; i++) {
+        fs->Pread(*fd, block.data(), block.size(), 0);
+      }
+      read = ops / (sw.ElapsedNs() / 1e9);
+      fs->Close(*fd);
+    }
+    {
+      fs->Mkdir(kCred, "/dir", 0755);
+      sw.Restart();
+      for (uint64_t i = 0; i < ops / 2; i++) {
+        auto fd = fs->Open(kCred, "/dir/f" + std::to_string(i), vfs::kCreate | vfs::kWrite,
+                           0644);
+        fs->Close(*fd);
+      }
+      create = (ops / 2) / (sw.ElapsedNs() / 1e9);
+    }
+    char b1[32], b2[32], b3[32], b4[32];
+    snprintf(b1, sizeof(b1), "%.1f", append / 1e3);
+    snprintf(b2, sizeof(b2), "%.1f", over / 1e3);
+    snprintf(b3, sizeof(b3), "%.1f", create / 1e3);
+    snprintf(b4, sizeof(b4), "%.1f", read / 1e3);
+    t.AddRow({FsKindName(kind), b1, b2, b3, b4});
+  }
+  printf("%s\n", t.ToString().c_str());
+  printf("Expectation: LogFS overwrites go out of place (COW + one record per\n");
+  printf("block) and trail ZoFS's in-place writes; creates are one small log\n");
+  printf("append vs ZoFS's inode+dentry writes (comparable); reads are volatile\n");
+  printf("index lookups for both. Same Treasury underneath — the coffer\n");
+  printf("abstraction does not dictate the µFS design (paper §5.3).\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printf("Ablation studies (DESIGN.md design choices)\n\n");
+  std::string only = argc > 1 ? argv[1] : "";
+  if (only.empty() || only == "enlarge") AblationEnlargeBatch();
+  if (only.empty() || only == "mpk") AblationMpk();
+  if (only.empty() || only == "inline") AblationInline();
+  if (only.empty() || only == "atomic") AblationAtomic();
+  if (only.empty() || only == "dirscale") AblationDirScale();
+  if (only.empty() || only == "microfs") AblationMicroFs();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Table 3 — File permissions in databases and web servers (paper §2.3).
+//
+// Regenerates the surveyed trees (MySQL, PostgreSQL, DokuWiki data
+// directories with the published distributions) and summarises them by
+// (type, permission, uid/gid), reproducing the table plus the §2.3
+// observation that per-application permissions are highly concentrated.
+
+#include <cstdio>
+
+#include "src/analysis/survey.h"
+#include "src/common/stats.h"
+
+namespace {
+
+const char* TypeName(analysis::FType t) {
+  switch (t) {
+    case analysis::FType::kRegular:
+      return "Regular";
+    case analysis::FType::kSymlink:
+      return "Symlink";
+    case analysis::FType::kDirectory:
+      return "Directory";
+  }
+  return "?";
+}
+
+void PrintSystem(const char* name, const analysis::Tree& tree) {
+  auto rows = analysis::SummarizeByPermission(tree);
+  common::TextTable t({"System", "Type", "Perm.", "Uid/Gid", "# Files", "Size"});
+  bool first = true;
+  char perm[8], ug[32], cnt[16];
+  for (const auto& r : rows) {
+    snprintf(perm, sizeof(perm), "%o", r.perm);
+    snprintf(ug, sizeof(ug), "%u/%u", r.uid, r.gid);
+    snprintf(cnt, sizeof(cnt), "%lu", (unsigned long)r.count);
+    t.AddRow({first ? name : "", TypeName(r.type), perm, ug, cnt, common::HumanBytes(r.bytes)});
+    first = false;
+  }
+  printf("%s\n", t.ToString().c_str());
+
+  // The motivating observation: how concentrated are regular-file perms?
+  uint64_t reg_total = 0, reg_top = 0;
+  for (const auto& r : rows) {
+    if (r.type == analysis::FType::kRegular) {
+      reg_total += r.count;
+      reg_top = std::max(reg_top, r.count);
+    }
+  }
+  if (reg_total > 0) {
+    printf("  -> %.1f%% of regular files share one permission/owner\n\n",
+           100.0 * reg_top / reg_total);
+  }
+}
+
+}  // namespace
+
+int main() {
+  printf("Table 3: file permissions in databases and web servers (regenerated trees)\n\n");
+  PrintSystem("MySQL", analysis::GenMySql(1));
+  PrintSystem("PostgreSQL", analysis::GenPostgres(2));
+  PrintSystem("DokuWiki", analysis::GenDokuwiki(3));
+  printf("Paper (Table 3): MySQL 6 dirs 750 + 358 reg 640 (399MB) + 1 reg 644;\n");
+  printf("PostgreSQL 28 dirs 700 + 1,807 reg 600 (99MB); DokuWiki 1,035 dirs 755 +\n");
+  printf("19,941 reg 644 (452MB).\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Table 4 — File statistics and permission grouping on an FSL-Homes-like
+// snapshot (paper §2.3).
+//
+// Regenerates a 726,751-file home-directory snapshot with the published
+// per-permission counts, then runs the paper's top-down grouping algorithm
+// (same (perm-sans-exec, uid, gid) as parent => same group) and reports the
+// group structure — the analysis that motivates coffers.
+
+#include <cstdio>
+#include <map>
+
+#include "src/analysis/survey.h"
+#include "src/common/stats.h"
+
+int main() {
+  analysis::Tree tree = analysis::GenFslHomes(42);
+
+  // Top half of Table 4: counts by type and permission.
+  std::map<uint16_t, uint64_t> reg, sym, dir;
+  uint64_t total = 0;
+  for (const auto& f : tree.nodes) {
+    total++;
+    switch (f.type) {
+      case analysis::FType::kRegular:
+        reg[f.perm]++;
+        break;
+      case analysis::FType::kSymlink:
+        sym[f.perm]++;
+        break;
+      case analysis::FType::kDirectory:
+        dir[f.perm]++;
+        break;
+    }
+  }
+
+  const uint16_t kPerms[] = {0644, 0600, 0666, 0444, 0660, 0640, 0664, 0440};
+  common::TextTable t({"Type", "# Files", "644", "600", "666", "444", "660", "640", "664",
+                       "440"});
+  auto row = [&](const char* name, std::map<uint16_t, uint64_t>& m) {
+    uint64_t sum = 0;
+    for (auto& [p, c] : m) {
+      sum += c;
+    }
+    std::vector<std::string> cells = {name, std::to_string(sum)};
+    for (uint16_t p : kPerms) {
+      cells.push_back(std::to_string(m.count(p) ? m[p] : 0));
+    }
+    t.AddRow(cells);
+  };
+  row("Regular", reg);
+  row("Symlink", sym);
+  row("Directory", dir);
+  std::map<uint16_t, uint64_t> all;
+  for (auto* m : {&reg, &sym, &dir}) {
+    for (auto& [p, c] : *m) {
+      all[p] += c;
+    }
+  }
+  row("All Files", all);
+
+  // Bottom half: the grouping pass.
+  analysis::GroupStats gs = analysis::GroupByPermission(tree);
+  {
+    std::vector<std::string> cells = {"# Groups", std::to_string(gs.num_groups)};
+    for (uint16_t p : kPerms) {
+      auto it = gs.per_perm.find(p & 0666);
+      cells.push_back(std::to_string(it == gs.per_perm.end() ? 0 : it->second.groups));
+    }
+    t.AddRow(cells);
+  }
+  auto size_row = [&](const char* label, auto select) {
+    std::vector<std::string> cells = {label, ""};
+    for (uint16_t p : kPerms) {
+      auto it = gs.per_perm.find(p & 0666);
+      cells.push_back(it == gs.per_perm.end() ? "-" : common::HumanBytes(select(it->second)));
+    }
+    t.AddRow(cells);
+  };
+  size_row("Min Size", [](const analysis::GroupStats::PerPerm& pp) {
+    return static_cast<double>(pp.min_bytes);
+  });
+  size_row("Avg Size",
+           [](const analysis::GroupStats::PerPerm& pp) { return pp.avg_bytes; });
+  size_row("Max Size", [](const analysis::GroupStats::PerPerm& pp) {
+    return static_cast<double>(pp.max_bytes);
+  });
+  printf("Table 4: FSL-Homes-like snapshot, grouped by permission (paper §2.3)\n\n%s\n",
+         t.ToString().c_str());
+
+  printf("Grouping summary:\n");
+  printf("  total files                 %lu (paper: 726,751)\n", (unsigned long)total);
+  printf("  groups formed               %lu (paper: 4,449)\n", (unsigned long)gs.num_groups);
+  printf("  largest group               %lu files = %.1f%% of all (paper: ~1/3)\n",
+         (unsigned long)gs.largest_group_files,
+         100.0 * gs.largest_group_files / gs.total_files);
+  printf("  single-file groups          %lu (paper: 3,795), holding %.1f%% of files "
+         "(paper: 0.6%%)\n",
+         (unsigned long)gs.single_file_groups,
+         100.0 * gs.single_file_group_files / gs.total_files);
+  printf("  avg group size              %s (paper: 79.7MB)\n",
+         common::HumanBytes(gs.avg_bytes).c_str());
+  printf("  max group size              %s (paper: 52.0GB)\n",
+         common::HumanBytes(gs.max_bytes).c_str());
+  return 0;
+}

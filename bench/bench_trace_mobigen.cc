@@ -1,0 +1,37 @@
+// §2.3 MobiGen trace analysis — how often applications change permissions.
+//
+// The paper examines two 2-minute smartphone I/O traces: the Facebook trace
+// has no chmod/chown among 64,282 system calls; the Twitter trace has 16
+// chmods (no chowns) in 25,306 calls, every one of them part of the fixed
+// shadow-file pattern (create 0600, write, chmod 0660, rename over the real
+// file). This binary regenerates traces with those properties and runs the
+// analysis — the evidence that "changes to permissions are infrequent".
+
+#include <cstdio>
+
+#include "src/analysis/survey.h"
+#include "src/common/stats.h"
+
+int main() {
+  printf("MobiGen trace analysis (paper §2.3)\n\n");
+  common::TextTable t({"Trace", "# Syscalls", "chmod", "chown", "shadow-file chmods"});
+  struct Row {
+    const char* name;
+    analysis::SyscallTrace trace;
+  };
+  Row rows[] = {
+      {"Facebook", analysis::GenMobiGenFacebook(11)},
+      {"Twitter", analysis::GenMobiGenTwitter(12)},
+  };
+  for (const Row& row : rows) {
+    analysis::TraceStats st = analysis::AnalyzeTrace(row.trace);
+    t.AddRow({row.name, std::to_string(st.total), std::to_string(st.chmods),
+              std::to_string(st.chowns), std::to_string(st.shadow_pattern_chmods)});
+  }
+  printf("%s\n", t.ToString().c_str());
+  printf("Paper: Facebook 64,282 syscalls, no chmod/chown; Twitter 25,306 syscalls,\n");
+  printf("16 chmods, all in the shadow-file pattern. Permission changes are rare\n");
+  printf("and ritualised — the observation that justifies coarse, coffer-granular\n");
+  printf("permission enforcement.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Protection demo: two users, two processes, MPK windows.
+//
+// Shows the paper's §3.4 security story end to end:
+//   * per-coffer permission enforcement at map time (kernel-checked),
+//   * stray writes from buggy application code blocked by MPK,
+//   * graceful error return instead of process death when a mapped coffer's
+//     metadata is corrupted.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "src/fslib/fslib.h"
+#include "src/kernfs/kernfs.h"
+#include "src/mpk/mpk.h"
+#include "src/nvm/nvm.h"
+
+int main() {
+  nvm::Options nopts;
+  nopts.size_bytes = 256ull << 20;
+  auto dev = std::make_unique<nvm::NvmDevice>(nopts);
+  mpk::InstallDeviceHook(dev.get());
+  kernfs::FormatOptions fopts;
+  fopts.root_mode = 0777;
+  auto kfs = std::make_unique<kernfs::KernFs>(dev.get(), fopts);
+
+  vfs::Cred alice{1000, 1000};
+  vfs::Cred mallory{2000, 2000};
+  fslib::FsLib alice_fs(kfs.get(), alice);
+
+  // Alice stores a private file: 0600 -> its own coffer, owned by uid 1000.
+  auto fd = alice_fs.Open(alice, "/diary", vfs::kCreate | vfs::kWrite, 0600);
+  const char secret[] = "dear diary, coffer_map is my bouncer";
+  alice_fs.Write(*fd, secret, sizeof(secret) - 1);
+  printf("alice wrote %zu bytes to /diary (mode 0600)\n", sizeof(secret) - 1);
+
+  // Mallory's process cannot even map the coffer.
+  {
+    fslib::FsLib mallory_fs(kfs.get(), mallory);
+    auto attempt = mallory_fs.Open(mallory, "/diary", vfs::kRead, 0);
+    printf("mallory's open of /diary: %s (kernel refused coffer_map)\n",
+           attempt.ok() ? "SUCCEEDED?!" : common::ErrName(attempt.error()));
+  }
+
+  // A "bug" in Alice's own application code: a wild store while no coffer
+  // window is open (guideline G1 keeps PKRU closed outside µFS code).
+  alice_fs.BindThread();
+  auto node = alice_fs.zofs().Lookup("/diary", true);
+  uint64_t stray_target = node->inode_off + 128;
+  try {
+    dev->Store64(stray_target, 0xbadc0ffee);
+    printf("stray write LANDED (should not happen)\n");
+  } catch (const mpk::ViolationError& v) {
+    printf("stray write to 0x%lx blocked by MPK (key %u)\n", (unsigned long)v.off, v.key);
+  }
+
+  // The file is still intact.
+  char buf[64] = {};
+  alice_fs.Pread(*fd, buf, sizeof(buf), 0);
+  printf("diary intact: \"%s\"\n", buf);
+
+  // Simulate in-coffer corruption (a µFS bug writing garbage through a
+  // legitimately open window): subsequent access returns an error, the
+  // process survives.
+  {
+    auto info = alice_fs.zofs().EnsureMappedForTest(node->coffer_id, true);
+    mpk::AccessWindow w(info->key, true);
+    dev->Store64(node->inode_off, 0x4141414141414141ULL);  // smash inode magic
+  }
+  auto r = alice_fs.Pread(*fd, buf, sizeof(buf), 0);
+  printf("read after corruption: %s (graceful, process alive)\n",
+         r.ok() ? "OK?!" : common::ErrName(r.error()));
+
+  // Offline recovery scrubs the damage the µFS can detect.
+  auto stats = alice_fs.zofs().RecoverAll();
+  if (stats.ok()) {
+    printf("recovery: %lu pages kept, %lu reclaimed, %lu dentries cleared\n",
+           (unsigned long)stats->pages_in_use, (unsigned long)stats->pages_reclaimed,
+           (unsigned long)stats->dentries_cleared);
+  }
+  printf("protection demo done.\n");
+  return 0;
+}

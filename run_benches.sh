@@ -1,0 +1,22 @@
+#!/bin/bash
+# Full benchmark suite -> bench_output.txt
+cd /root/repo
+{
+  echo "=== ZoFS/Treasury reproduction: full benchmark run ==="
+  echo "date: $(date -u)"
+  echo "host: single-core Xeon @2.1GHz VM, 16GB RAM, DRAM-backed simulated NVM"
+  echo "cost model: kernel_crossing=300ns clwb=30ns/line sfence=100ns nova_index=250ns"
+  echo
+  for b in bench_table1_media bench_table2_sharing bench_table3_appperms \
+           bench_table4_fslhomes bench_trace_mobigen bench_fig7_fxmark \
+           bench_fig8_breakdown bench_fig9_filebench bench_fig10_filebench_custom \
+           bench_table7_leveldb bench_fig11_tpcc bench_table9_worstcase \
+           bench_sec65_safety_recovery bench_ablations; do
+    echo "=============================================================="
+    echo "### $b"
+    echo "=============================================================="
+    ./build/bench/$b
+    echo
+  done
+  echo "=== benchmark run complete: $(date -u) ==="
+} > /root/repo/bench_output.txt 2>&1

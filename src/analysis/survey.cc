@@ -1,0 +1,399 @@
+#include "src/analysis/survey.h"
+
+#include <algorithm>
+
+#include "src/common/rand.h"
+
+namespace analysis {
+
+namespace {
+
+// Adds a node, returning its index.
+uint32_t Add(Tree* t, uint32_t parent, FType type, uint16_t perm, uint32_t uid, uint32_t gid,
+             uint64_t size) {
+  t->nodes.push_back(FileRec{parent, type, perm, uid, gid, size});
+  return static_cast<uint32_t>(t->nodes.size() - 1);
+}
+
+// Splits `total` bytes into `n` pseudo-random sizes.
+std::vector<uint64_t> SplitBytes(common::Rng* rng, uint64_t total, uint64_t n) {
+  std::vector<uint64_t> sizes(n, 0);
+  if (n == 0) {
+    return sizes;
+  }
+  uint64_t base = total / n;
+  uint64_t rem = total;
+  for (uint64_t i = 0; i + 1 < n; i++) {
+    uint64_t s = base / 2 + rng->Below(base + 1);
+    s = std::min(s, rem);
+    sizes[i] = s;
+    rem -= s;
+  }
+  sizes[n - 1] = rem;
+  return sizes;
+}
+
+uint16_t StripExec(uint16_t perm) { return perm & 0666; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Table 3 generators (published distributions)
+
+Tree GenMySql(uint64_t seed) {
+  common::Rng rng(seed);
+  Tree t;
+  Add(&t, 0, FType::kDirectory, 0750, 970, 970, 4096);  // data dir root
+  // 6 directories, 750, 970/970, 32KB total.
+  std::vector<uint32_t> dirs;
+  auto dsz = SplitBytes(&rng, 32 * 1024, 6);
+  for (int i = 0; i < 6; i++) {
+    dirs.push_back(Add(&t, 0, FType::kDirectory, 0750, 970, 970, dsz[i]));
+  }
+  // 358 regular files, 640, 970/970, 399 MB.
+  auto fsz = SplitBytes(&rng, 399ull << 20, 358);
+  for (int i = 0; i < 358; i++) {
+    uint32_t parent = dirs[rng.Below(dirs.size())];
+    Add(&t, parent, FType::kRegular, 0640, 970, 970, fsz[i]);
+  }
+  // The lone root-owned flag file ("debian-5.7.flag").
+  Add(&t, 0, FType::kRegular, 0644, 0, 0, 0);
+  return t;
+}
+
+Tree GenPostgres(uint64_t seed) {
+  common::Rng rng(seed);
+  Tree t;
+  Add(&t, 0, FType::kDirectory, 0700, 969, 969, 4096);
+  std::vector<uint32_t> dirs;
+  auto dsz = SplitBytes(&rng, 128 * 1024, 28);
+  for (int i = 0; i < 28; i++) {
+    dirs.push_back(Add(&t, 0, FType::kDirectory, 0700, 969, 969, dsz[i]));
+  }
+  auto fsz = SplitBytes(&rng, 99ull << 20, 1807);
+  for (int i = 0; i < 1807; i++) {
+    uint32_t parent = dirs[rng.Below(dirs.size())];
+    Add(&t, parent, FType::kRegular, 0600, 969, 969, fsz[i]);
+  }
+  return t;
+}
+
+Tree GenDokuwiki(uint64_t seed) {
+  common::Rng rng(seed);
+  Tree t;
+  Add(&t, 0, FType::kDirectory, 0755, 33, 33, 4096);
+  std::vector<uint32_t> dirs = {0};
+  auto dsz = SplitBytes(&rng, 5ull << 20, 1035);
+  for (int i = 0; i < 1035; i++) {
+    uint32_t parent = dirs[rng.Below(dirs.size())];
+    dirs.push_back(Add(&t, parent, FType::kDirectory, 0755, 33, 33, dsz[i]));
+  }
+  auto fsz = SplitBytes(&rng, 452ull << 20, 19941);
+  for (int i = 0; i < 19941; i++) {
+    uint32_t parent = dirs[rng.Below(dirs.size())];
+    Add(&t, parent, FType::kRegular, 0644, 33, 33, fsz[i]);
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 generator
+
+Tree GenFslHomes(uint64_t seed) {
+  // Published per-permission counts (Table 4), plus a singleton-group target
+  // per class chosen so the totals reproduce the trace's 3,795 single-file
+  // groups. Each home directory gets a 0700 "separator" directory so that
+  // same-key clusters under it still start fresh groups, mirroring how the
+  // trace's permission boundaries arise (e.g. 644 subtrees under 700 dirs).
+  struct PermCount {
+    uint16_t perm;
+    uint64_t regular, symlink, dirs;
+    uint64_t groups;      // Table 4 bottom row
+    uint64_t singles;     // of those, singleton (one-file) groups
+    uint64_t avg_bytes;   // Table 4 avg group size, drives data volume
+  };
+  static const PermCount kCounts[] = {
+      {0644, 538538, 18, 65127, 1935, 1500, 46ull << 20},
+      {0600, 105226, 0, 4021, 1174, 900, 222ull << 20},
+      {0666, 233, 6468, 927, 365, 300, 474ull << 10},
+      {0444, 3313, 0, 1099, 48, 20, 92ull << 20},
+      {0660, 342, 0, 276, 15, 5, 118ull << 10},
+      {0640, 921, 0, 33, 853, 820, 32ull << 10},
+      {0664, 110, 0, 91, 51, 40, 348ull << 10},
+      {0440, 8, 0, 0, 8, 8, 26ull << 10},
+  };
+  constexpr int kHomes = 15;
+  // Paper: the largest group holds about 1/3 of all files.
+  constexpr uint64_t kGiantGroupFiles = 240000;
+
+  common::Rng rng(seed);
+  Tree t;
+  Add(&t, 0, FType::kDirectory, 0755, 0, 0, 4096);  // the share root
+  std::vector<uint32_t> homes, separators;
+  for (int h = 0; h < kHomes; h++) {
+    uint32_t home = Add(&t, 0, FType::kDirectory, 0644, 1000 + h, 1000 + h, 4096);
+    homes.push_back(home);
+    // The separator carries a staff gid so no child class ever shares its
+    // grouping key (exec bits are stripped, so a 0700 dir would collide with
+    // the 0600 class).
+    separators.push_back(Add(&t, home, FType::kDirectory, 0700, 1000 + h, 2000 + h, 4096));
+  }
+
+  for (const PermCount& pc : kCounts) {
+    const uint64_t n_clusters = std::max<uint64_t>(1, pc.groups);
+    // Singleton groups are lone regular files, so the class cannot have more
+    // of them than it has regular files.
+    const uint64_t n_singles = std::min({pc.singles, n_clusters, pc.regular});
+    const uint64_t n_subtrees = n_clusters - n_singles;
+
+    // Singleton groups: one lone file whose permission differs from its
+    // parent (placed under a separator, which is 0700).
+    for (uint64_t g = 0; g < n_singles; g++) {
+      int h = static_cast<int>(rng.Below(kHomes));
+      uint64_t size = 1 + rng.Below(2 * pc.avg_bytes / std::max<uint64_t>(1, n_clusters) + 1);
+      Add(&t, separators[h], FType::kRegular, pc.perm, 1000 + h, 1000 + h, size);
+    }
+    if (n_subtrees == 0) {
+      continue;
+    }
+
+    // Subtree clusters: a root directory of this permission under a
+    // separator (different key => new group), interior directories, then
+    // the class's files and symlinks spread across them.
+    std::vector<std::vector<uint32_t>> cluster_dirs(n_subtrees);
+    uint64_t dirs_left = pc.dirs > n_subtrees ? pc.dirs - n_subtrees : 0;
+    for (uint64_t g = 0; g < n_subtrees; g++) {
+      int h = static_cast<int>(rng.Below(kHomes));
+      cluster_dirs[g].push_back(
+          Add(&t, separators[h], FType::kDirectory, pc.perm, 1000 + h, 1000 + h, 4096));
+    }
+    while (dirs_left > 0) {
+      uint64_t g = rng.Below(n_subtrees);
+      uint32_t parent = cluster_dirs[g][rng.Below(cluster_dirs[g].size())];
+      const FileRec& p = t.nodes[parent];
+      cluster_dirs[g].push_back(Add(&t, parent, FType::kDirectory, pc.perm, p.uid, p.gid, 4096));
+      dirs_left--;
+    }
+
+    uint64_t files = pc.regular > n_singles ? pc.regular - n_singles : 0;
+    const uint64_t avg_file =
+        files > 0 ? std::max<uint64_t>(1, pc.avg_bytes * n_subtrees / files) : 0;
+    // One giant 644 cluster holds ~1/3 of the snapshot.
+    uint64_t giant = (pc.perm == 0644 && files > kGiantGroupFiles) ? kGiantGroupFiles : 0;
+    for (uint64_t f = 0; f < files; f++) {
+      uint64_t g = f < giant ? 0 : rng.Below(n_subtrees);
+      uint32_t parent = cluster_dirs[g][rng.Below(cluster_dirs[g].size())];
+      const FileRec& p = t.nodes[parent];
+      uint64_t size = avg_file / 2 + rng.Below(avg_file + 1);
+      Add(&t, parent, FType::kRegular, pc.perm, p.uid, p.gid, size);
+    }
+    for (uint64_t s = 0; s < pc.symlink; s++) {
+      uint64_t g = rng.Below(n_subtrees);
+      uint32_t parent = cluster_dirs[g][rng.Below(cluster_dirs[g].size())];
+      const FileRec& p = t.nodes[parent];
+      Add(&t, parent, FType::kSymlink, pc.perm, p.uid, p.gid, 32);
+    }
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Analyses
+
+std::vector<PermRow> SummarizeByPermission(const Tree& tree) {
+  std::map<std::tuple<FType, uint16_t, uint32_t, uint32_t>, PermRow> rows;
+  for (const FileRec& f : tree.nodes) {
+    auto key = std::make_tuple(f.type, f.perm, f.uid, f.gid);
+    PermRow& r = rows[key];
+    r.type = f.type;
+    r.perm = f.perm;
+    r.uid = f.uid;
+    r.gid = f.gid;
+    r.count++;
+    r.bytes += f.size;
+  }
+  std::vector<PermRow> out;
+  out.reserve(rows.size());
+  for (auto& [k, v] : rows) {
+    out.push_back(v);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PermRow& a, const PermRow& b) { return a.count > b.count; });
+  return out;
+}
+
+GroupStats GroupByPermission(const Tree& tree) {
+  // group id per node; nodes appear after their parents.
+  std::vector<uint32_t> group_of(tree.nodes.size());
+  struct Group {
+    uint64_t files = 0;
+    uint64_t bytes = 0;
+    uint16_t perm = 0;
+  };
+  std::vector<Group> groups;
+
+  auto key_eq = [&](const FileRec& a, const FileRec& b) {
+    return StripExec(a.perm) == StripExec(b.perm) && a.uid == b.uid && a.gid == b.gid;
+  };
+
+  for (uint32_t i = 0; i < tree.nodes.size(); i++) {
+    const FileRec& f = tree.nodes[i];
+    if (i == 0) {
+      groups.push_back(Group{});
+      group_of[0] = 0;
+    } else if (key_eq(f, tree.nodes[f.parent])) {
+      group_of[i] = group_of[f.parent];
+    } else {
+      groups.push_back(Group{});
+      group_of[i] = static_cast<uint32_t>(groups.size() - 1);
+    }
+    Group& g = groups[group_of[i]];
+    g.files++;
+    g.bytes += f.size;
+    g.perm = StripExec(f.perm);
+  }
+
+  GroupStats st;
+  st.num_groups = groups.size();
+  st.total_files = tree.nodes.size();
+  st.min_bytes = UINT64_MAX;
+  uint64_t total_bytes = 0;
+  for (const Group& g : groups) {
+    st.largest_group_files = std::max(st.largest_group_files, g.files);
+    if (g.files == 1) {
+      st.single_file_groups++;
+      st.single_file_group_files++;
+    }
+    st.min_bytes = std::min(st.min_bytes, g.bytes);
+    st.max_bytes = std::max(st.max_bytes, g.bytes);
+    total_bytes += g.bytes;
+
+    auto& pp = st.per_perm[g.perm];
+    pp.groups++;
+    pp.min_bytes = std::min(pp.min_bytes, g.bytes);
+    pp.max_bytes = std::max(pp.max_bytes, g.bytes);
+    pp.avg_bytes += static_cast<double>(g.bytes);  // sum; normalised below
+  }
+  st.avg_bytes = groups.empty() ? 0 : static_cast<double>(total_bytes) / groups.size();
+  for (auto& [perm, pp] : st.per_perm) {
+    if (pp.groups > 0) {
+      pp.avg_bytes /= static_cast<double>(pp.groups);
+    }
+  }
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// MobiGen traces
+
+namespace {
+
+// Emits a plausible I/O burst on one file (the bulk of both traces).
+void EmitBurst(common::Rng* rng, SyscallTrace* t, uint32_t file, uint64_t budget) {
+  t->push_back({SysOp::kOpen, file, 0644});
+  uint64_t body = budget > 2 ? budget - 2 : 0;
+  for (uint64_t i = 0; i < body; i++) {
+    double roll = rng->NextDouble();
+    SysOp op = roll < 0.45   ? SysOp::kRead
+               : roll < 0.80 ? SysOp::kWrite
+               : roll < 0.90 ? SysOp::kStat
+                             : SysOp::kFsync;
+    t->push_back({op, file, 0});
+  }
+  t->push_back({SysOp::kClose, file, 0});
+}
+
+}  // namespace
+
+SyscallTrace GenMobiGenFacebook(uint64_t seed) {
+  common::Rng rng(seed);
+  SyscallTrace t;
+  t.reserve(64282);
+  uint32_t file = 0;
+  while (t.size() < 64282) {
+    EmitBurst(&rng, &t, file++ % 400, 2 + rng.Below(40));
+  }
+  t.resize(64282);
+  return t;
+}
+
+SyscallTrace GenMobiGenTwitter(uint64_t seed) {
+  common::Rng rng(seed);
+  SyscallTrace t;
+  t.reserve(25306);
+  uint32_t file = 1000;
+  // 16 shadow-file updates, spread regularly through the trace (the paper:
+  // "used regularly in a fixed pattern").
+  const uint64_t target = 25306;
+  uint64_t next_shadow = target / 17;
+  int shadows_left = 16;
+  while (t.size() < target) {
+    if (shadows_left > 0 && t.size() >= next_shadow) {
+      // create shadow with 600, write, chmod to 660, rename over the real
+      // file (the SQLite-style safe-replace idiom the paper observed).
+      uint32_t shadow = file++;
+      t.push_back({SysOp::kOpen, shadow, 0600});
+      uint64_t writes = 1 + rng.Below(6);
+      for (uint64_t i = 0; i < writes; i++) {
+        t.push_back({SysOp::kWrite, shadow, 0});
+      }
+      t.push_back({SysOp::kFsync, shadow, 0});
+      t.push_back({SysOp::kChmod, shadow, 0660});
+      t.push_back({SysOp::kRename, shadow, 0});
+      t.push_back({SysOp::kClose, shadow, 0});
+      shadows_left--;
+      next_shadow += target / 17;
+      continue;
+    }
+    EmitBurst(&rng, &t, rng.Below(300), 2 + rng.Below(30));
+  }
+  t.resize(target);
+  return t;
+}
+
+TraceStats AnalyzeTrace(const SyscallTrace& trace) {
+  TraceStats st;
+  st.total = trace.size();
+  // Per-file state machine for the shadow pattern:
+  //   open(0600) -> writes/fsync -> chmod -> rename.
+  std::map<uint32_t, int> state;  // 0 none, 1 created 600, 2 written, 3 chmod'ed
+  for (const SysCall& c : trace) {
+    switch (c.op) {
+      case SysOp::kOpen:
+        state[c.file] = c.mode == 0600 ? 1 : 0;
+        break;
+      case SysOp::kWrite:
+      case SysOp::kFsync: {
+        auto it = state.find(c.file);
+        if (it != state.end() && it->second >= 1) {
+          it->second = 2;
+        }
+        break;
+      }
+      case SysOp::kChmod: {
+        st.chmods++;
+        auto it = state.find(c.file);
+        if (it != state.end() && it->second == 2) {
+          it->second = 3;
+        }
+        break;
+      }
+      case SysOp::kRename: {
+        auto it = state.find(c.file);
+        if (it != state.end() && it->second == 3) {
+          st.shadow_pattern_chmods++;
+          it->second = 0;
+        }
+        break;
+      }
+      case SysOp::kChown:
+        st.chowns++;
+        break;
+      default:
+        break;
+    }
+  }
+  return st;
+}
+
+}  // namespace analysis

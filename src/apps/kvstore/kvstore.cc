@@ -1,0 +1,373 @@
+#include "src/apps/kvstore/kvstore.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace kvstore {
+
+namespace {
+
+// WAL / table record header.
+struct RecordHeader {
+  uint32_t klen;
+  uint32_t vlen;  // 0xffffffff = tombstone
+};
+constexpr uint32_t kTombstone = 0xffffffffu;
+
+void AppendU32(std::string* out, uint32_t v) { out->append(reinterpret_cast<char*>(&v), 4); }
+
+}  // namespace
+
+Result<std::unique_ptr<Db>> Db::Open(vfs::FileSystem* fs, const std::string& dir, DbOptions opts) {
+  auto db = std::unique_ptr<Db>(new Db(fs, dir, opts));
+  auto st = fs->Mkdir(db->cred_, dir, 0755);
+  if (!st.ok() && st.error() != Err::kExist) {
+    return st.error();
+  }
+  // Load existing tables (named sst_<seq>).
+  ASSIGN_OR_RETURN(entries, fs->ReadDir(db->cred_, dir));
+  std::vector<std::pair<uint64_t, std::string>> ssts;
+  for (const vfs::DirEntry& e : entries) {
+    if (e.name.rfind("sst_", 0) == 0) {
+      ssts.emplace_back(std::strtoull(e.name.c_str() + 4, nullptr, 10), dir + "/" + e.name);
+    }
+  }
+  std::sort(ssts.begin(), ssts.end());
+  for (const auto& [seq, path] : ssts) {
+    ASSIGN_OR_RETURN(t, db->LoadTable(path, seq));
+    db->tables_.push_back(std::move(t));
+    db->next_seq_ = std::max(db->next_seq_, seq + 1);
+  }
+  // Open the WAL and replay whatever it holds.
+  ASSIGN_OR_RETURN(wal, fs->Open(db->cred_, dir + "/wal.log",
+                                 vfs::kCreate | vfs::kRdWr | vfs::kAppend, 0644));
+  db->wal_fd_ = wal;
+  RETURN_IF_ERROR(db->Replay());
+  return db;
+}
+
+Db::~Db() {
+  if (wal_fd_ >= 0) {
+    fs_->Close(wal_fd_);
+  }
+  for (auto& t : tables_) {
+    if (t->fd >= 0) {
+      fs_->Close(t->fd);
+    }
+  }
+}
+
+Status Db::Replay() {
+  ASSIGN_OR_RETURN(st, fs_->Fstat(wal_fd_));
+  uint64_t off = 0;
+  RecordHeader h;
+  std::string key, value;
+  while (off + sizeof(h) <= st.size) {
+    ASSIGN_OR_RETURN(n, fs_->Pread(wal_fd_, &h, sizeof(h), off));
+    if (n < sizeof(h)) {
+      break;
+    }
+    off += sizeof(h);
+    key.resize(h.klen);
+    if (h.klen > 0) {
+      ASSIGN_OR_RETURN(kn, fs_->Pread(wal_fd_, key.data(), h.klen, off));
+      if (kn < h.klen) {
+        break;  // torn record at the tail: ignore (standard WAL recovery)
+      }
+      off += h.klen;
+    }
+    if (h.vlen == kTombstone) {
+      memtable_[key] = std::nullopt;
+    } else {
+      value.resize(h.vlen);
+      if (h.vlen > 0) {
+        ASSIGN_OR_RETURN(vn, fs_->Pread(wal_fd_, value.data(), h.vlen, off));
+        if (vn < h.vlen) {
+          break;
+        }
+        off += h.vlen;
+      }
+      memtable_[key] = value;
+      memtable_bytes_ += key.size() + value.size() + 16;
+    }
+  }
+  wal_bytes_ = off;
+  return common::OkStatus();
+}
+
+Status Db::WriteWal(const std::string& key, const std::string& value, bool tombstone) {
+  std::string rec;
+  rec.reserve(sizeof(RecordHeader) + key.size() + value.size());
+  AppendU32(&rec, static_cast<uint32_t>(key.size()));
+  AppendU32(&rec, tombstone ? kTombstone : static_cast<uint32_t>(value.size()));
+  rec += key;
+  if (!tombstone) {
+    rec += value;
+  }
+  ASSIGN_OR_RETURN(n, fs_->Write(wal_fd_, rec.data(), rec.size()));
+  (void)n;
+  wal_bytes_ += rec.size();
+  if (opts_.sync_writes) {
+    RETURN_IF_ERROR(fs_->Fsync(wal_fd_));
+  }
+  return common::OkStatus();
+}
+
+Status Db::Put(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lk(mu_);
+  RETURN_IF_ERROR(WriteWal(key, value, /*tombstone=*/false));
+  memtable_[key] = value;
+  memtable_bytes_ += key.size() + value.size() + 16;
+  if (memtable_bytes_ >= opts_.memtable_bytes) {
+    RETURN_IF_ERROR(FlushMemtable());
+  }
+  return common::OkStatus();
+}
+
+Status Db::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  RETURN_IF_ERROR(WriteWal(key, "", /*tombstone=*/true));
+  memtable_[key] = std::nullopt;
+  memtable_bytes_ += key.size() + 16;
+  if (memtable_bytes_ >= opts_.memtable_bytes) {
+    RETURN_IF_ERROR(FlushMemtable());
+  }
+  return common::OkStatus();
+}
+
+Result<std::unique_ptr<Db::Table>> Db::WriteTable(
+    const std::vector<std::pair<std::string, std::optional<std::string>>>& entries,
+    uint64_t seq) {
+  auto t = std::make_unique<Table>();
+  t->seq = seq;
+  t->path = dir_ + "/sst_" + std::to_string(seq);
+  ASSIGN_OR_RETURN(fd, fs_->Open(cred_, t->path, vfs::kCreate | vfs::kRdWr | vfs::kTrunc, 0644));
+  std::string block;
+  block.reserve(1 << 20);
+  uint64_t off = 0;
+  size_t i = 0;
+  for (const auto& [key, value] : entries) {
+    if (i++ % opts_.index_stride == 0) {
+      t->index.push_back(TableEntry{key, off + block.size()});
+    }
+    AppendU32(&block, static_cast<uint32_t>(key.size()));
+    AppendU32(&block, value.has_value() ? static_cast<uint32_t>(value->size()) : kTombstone);
+    block += key;
+    if (value.has_value()) {
+      block += *value;
+    }
+    if (block.size() >= (1 << 20)) {
+      ASSIGN_OR_RETURN(n, fs_->Pwrite(fd, block.data(), block.size(), off));
+      (void)n;
+      off += block.size();
+      block.clear();
+    }
+  }
+  if (!block.empty()) {
+    ASSIGN_OR_RETURN(n, fs_->Pwrite(fd, block.data(), block.size(), off));
+    (void)n;
+    off += block.size();
+  }
+  RETURN_IF_ERROR(fs_->Fsync(fd));
+  t->fd = fd;
+  t->file_size = off;
+  return t;
+}
+
+Result<std::unique_ptr<Db::Table>> Db::LoadTable(const std::string& path, uint64_t seq) {
+  auto t = std::make_unique<Table>();
+  t->seq = seq;
+  t->path = path;
+  ASSIGN_OR_RETURN(fd, fs_->Open(cred_, path, vfs::kRead, 0));
+  t->fd = fd;
+  ASSIGN_OR_RETURN(st, fs_->Fstat(fd));
+  t->file_size = st.size;
+  // Rebuild the sparse index with a sequential scan.
+  uint64_t off = 0;
+  size_t i = 0;
+  RecordHeader h;
+  std::string key;
+  while (off + sizeof(h) <= t->file_size) {
+    ASSIGN_OR_RETURN(n, fs_->Pread(fd, &h, sizeof(h), off));
+    if (n < sizeof(h)) {
+      break;
+    }
+    key.resize(h.klen);
+    ASSIGN_OR_RETURN(kn, fs_->Pread(fd, key.data(), h.klen, off + sizeof(h)));
+    (void)kn;
+    if (i++ % opts_.index_stride == 0) {
+      t->index.push_back(TableEntry{key, off});
+    }
+    off += sizeof(h) + h.klen + (h.vlen == kTombstone ? 0 : h.vlen);
+  }
+  return t;
+}
+
+Status Db::FlushMemtable() {
+  if (memtable_.empty()) {
+    return common::OkStatus();
+  }
+  std::vector<std::pair<std::string, std::optional<std::string>>> entries(memtable_.begin(),
+                                                                          memtable_.end());
+  ASSIGN_OR_RETURN(t, WriteTable(entries, next_seq_++));
+  tables_.push_back(std::move(t));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  // Truncate the WAL: its contents are now durable in the table. (The WAL fd
+  // is append-mode, so the write offset resets with the size.)
+  RETURN_IF_ERROR(fs_->Ftruncate(wal_fd_, 0));
+  wal_bytes_ = 0;
+  if (tables_.size() >= opts_.compact_trigger) {
+    RETURN_IF_ERROR(Compact());
+  }
+  return common::OkStatus();
+}
+
+Status Db::Compact() {
+  // Merge every table (newest wins) into one, dropping tombstones.
+  std::map<std::string, std::optional<std::string>> merged;
+  RecordHeader h;
+  std::string key, value;
+  for (const auto& t : tables_) {  // oldest -> newest: later overwrite earlier
+    uint64_t off = 0;
+    while (off + sizeof(h) <= t->file_size) {
+      ASSIGN_OR_RETURN(n, fs_->Pread(t->fd, &h, sizeof(h), off));
+      if (n < sizeof(h)) {
+        break;
+      }
+      key.resize(h.klen);
+      ASSIGN_OR_RETURN(kn, fs_->Pread(t->fd, key.data(), h.klen, off + sizeof(h)));
+      (void)kn;
+      if (h.vlen == kTombstone) {
+        merged[key] = std::nullopt;
+        off += sizeof(h) + h.klen;
+      } else {
+        value.resize(h.vlen);
+        ASSIGN_OR_RETURN(vn, fs_->Pread(t->fd, value.data(), h.vlen, off + sizeof(h) + h.klen));
+        (void)vn;
+        merged[key] = value;
+        off += sizeof(h) + h.klen + h.vlen;
+      }
+    }
+  }
+  // Drop tombstones in the output (full merge).
+  std::vector<std::pair<std::string, std::optional<std::string>>> live;
+  live.reserve(merged.size());
+  for (auto& [k, v] : merged) {
+    if (v.has_value()) {
+      live.emplace_back(k, std::move(v));
+    }
+  }
+  ASSIGN_OR_RETURN(nt, WriteTable(live, next_seq_++));
+  // Retire the old tables.
+  for (auto& t : tables_) {
+    fs_->Close(t->fd);
+    fs_->Unlink(cred_, t->path);
+  }
+  tables_.clear();
+  tables_.push_back(std::move(nt));
+  return common::OkStatus();
+}
+
+Result<std::optional<std::optional<std::string>>> Db::SearchTable(Table& t,
+                                                                  const std::string& key) {
+  if (t.index.empty()) {
+    return std::optional<std::optional<std::string>>{};
+  }
+  // Find the last index entry <= key.
+  auto it = std::upper_bound(t.index.begin(), t.index.end(), key,
+                             [](const std::string& k, const TableEntry& e) { return k < e.key; });
+  if (it == t.index.begin()) {
+    return std::optional<std::optional<std::string>>{};
+  }
+  --it;
+  uint64_t off = it->off;
+  // Scan up to index_stride records.
+  RecordHeader h;
+  std::string k;
+  for (size_t i = 0; i <= opts_.index_stride && off + sizeof(h) <= t.file_size; i++) {
+    ASSIGN_OR_RETURN(n, fs_->Pread(t.fd, &h, sizeof(h), off));
+    if (n < sizeof(h)) {
+      break;
+    }
+    k.resize(h.klen);
+    ASSIGN_OR_RETURN(kn, fs_->Pread(t.fd, k.data(), h.klen, off + sizeof(h)));
+    (void)kn;
+    const uint64_t body = h.vlen == kTombstone ? 0 : h.vlen;
+    if (k == key) {
+      if (h.vlen == kTombstone) {
+        return std::optional<std::optional<std::string>>{std::optional<std::string>{}};
+      }
+      std::string v;
+      v.resize(h.vlen);
+      ASSIGN_OR_RETURN(vn, fs_->Pread(t.fd, v.data(), h.vlen, off + sizeof(h) + h.klen));
+      (void)vn;
+      return std::optional<std::optional<std::string>>{std::optional<std::string>{std::move(v)}};
+    }
+    if (k > key) {
+      break;  // sorted: key absent
+    }
+    off += sizeof(h) + h.klen + body;
+  }
+  return std::optional<std::optional<std::string>>{};
+}
+
+Result<std::string> Db::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    if (!it->second.has_value()) {
+      return Err::kNoEnt;
+    }
+    return *it->second;
+  }
+  for (auto t = tables_.rbegin(); t != tables_.rend(); ++t) {  // newest first
+    ASSIGN_OR_RETURN(found, SearchTable(**t, key));
+    if (found.has_value()) {
+      if (!found->has_value()) {
+        return Err::kNoEnt;  // tombstone
+      }
+      return **found;
+    }
+  }
+  return Err::kNoEnt;
+}
+
+Result<Db::Iterator> Db::NewIterator() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::map<std::string, std::optional<std::string>> merged;
+  RecordHeader h;
+  std::string key, value;
+  for (const auto& t : tables_) {
+    uint64_t off = 0;
+    while (off + sizeof(h) <= t->file_size) {
+      auto n = fs_->Pread(t->fd, &h, sizeof(h), off);
+      if (!n.ok() || *n < sizeof(h)) {
+        break;
+      }
+      key.resize(h.klen);
+      fs_->Pread(t->fd, key.data(), h.klen, off + sizeof(h));
+      if (h.vlen == kTombstone) {
+        merged[key] = std::nullopt;
+        off += sizeof(h) + h.klen;
+      } else {
+        value.resize(h.vlen);
+        fs_->Pread(t->fd, value.data(), h.vlen, off + sizeof(h) + h.klen);
+        merged[key] = value;
+        off += sizeof(h) + h.klen + h.vlen;
+      }
+    }
+  }
+  for (const auto& [k, v] : memtable_) {
+    merged[k] = v;
+  }
+  Iterator iter;
+  for (auto& [k, v] : merged) {
+    if (v.has_value()) {
+      iter.entries_.emplace_back(k, std::move(*v));
+    }
+  }
+  return iter;
+}
+
+}  // namespace kvstore

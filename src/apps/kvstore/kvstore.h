@@ -1,0 +1,115 @@
+// A LevelDB-like LSM key-value store built on the vfs::FileSystem API.
+//
+// Stands in for LevelDB in the paper's §6.3 evaluation (Table 7): it
+// exercises the same file-system operation mix — sequential WAL appends
+// (optionally fsynced), bulk sorted-table writes at memtable flush, random
+// reads through table files, and file deletion at compaction.
+//
+// Structure: write-ahead log + in-memory memtable + sorted string tables
+// (single level, merged when too many accumulate), each with a sparse
+// in-memory index.
+
+#ifndef SRC_APPS_KVSTORE_KVSTORE_H_
+#define SRC_APPS_KVSTORE_KVSTORE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/vfs/vfs.h"
+
+namespace kvstore {
+
+using common::Err;
+using common::Result;
+using common::Status;
+
+struct DbOptions {
+  bool sync_writes = false;          // fsync the WAL on every write
+  size_t memtable_bytes = 4 << 20;   // flush threshold
+  size_t compact_trigger = 8;        // merge tables when this many exist
+  size_t index_stride = 16;          // sparse index: every Nth entry
+};
+
+class Db {
+ public:
+  // Opens (or creates) a database rooted at directory `dir`.
+  static Result<std::unique_ptr<Db>> Open(vfs::FileSystem* fs, const std::string& dir,
+                                          DbOptions opts = {});
+  ~Db();
+
+  Status Put(const std::string& key, const std::string& value);
+  Status Delete(const std::string& key);
+  Result<std::string> Get(const std::string& key);
+
+  // In-order iteration over the live key space (merges memtable + tables).
+  class Iterator {
+   public:
+    bool Valid() const { return idx_ < entries_.size(); }
+    void Next() { idx_++; }
+    const std::string& key() const { return entries_[idx_].first; }
+    const std::string& value() const { return entries_[idx_].second; }
+
+   private:
+    friend class Db;
+    std::vector<std::pair<std::string, std::string>> entries_;
+    size_t idx_ = 0;
+  };
+  Result<Iterator> NewIterator();
+
+  // Testing/diagnostics.
+  size_t table_count() const { return tables_.size(); }
+  Status FlushMemtableForTest() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return FlushMemtable();
+  }
+
+ private:
+  struct TableEntry {
+    std::string key;
+    uint64_t off;  // offset of the record in the table file
+  };
+  struct Table {
+    std::string path;
+    vfs::Fd fd = -1;
+    uint64_t seq = 0;                // newer tables shadow older ones
+    std::vector<TableEntry> index;   // sparse, sorted
+    uint64_t file_size = 0;
+  };
+
+  Db(vfs::FileSystem* fs, std::string dir, DbOptions opts) : fs_(fs), dir_(std::move(dir)), opts_(opts) {}
+
+  Status Replay();           // rebuild the memtable from the WAL at open
+  Status WriteWal(const std::string& key, const std::string& value, bool tombstone);
+  Status FlushMemtable();    // locked
+  Status Compact();          // locked
+  Result<std::unique_ptr<Table>> WriteTable(
+      const std::vector<std::pair<std::string, std::optional<std::string>>>& entries,
+      uint64_t seq);
+  Result<std::unique_ptr<Table>> LoadTable(const std::string& path, uint64_t seq);
+  // Searches one table; outer optional = found, inner = tombstone or value.
+  Result<std::optional<std::optional<std::string>>> SearchTable(Table& t,
+                                                                const std::string& key);
+
+  vfs::FileSystem* fs_;
+  std::string dir_;
+  DbOptions opts_;
+  vfs::Cred cred_{0, 0};
+
+  std::mutex mu_;
+  vfs::Fd wal_fd_ = -1;
+  uint64_t wal_bytes_ = 0;
+  uint64_t next_seq_ = 1;
+  // nullopt value = tombstone.
+  std::map<std::string, std::optional<std::string>> memtable_;
+  size_t memtable_bytes_ = 0;
+  std::vector<std::unique_ptr<Table>> tables_;  // sorted by seq ascending
+};
+
+}  // namespace kvstore
+
+#endif  // SRC_APPS_KVSTORE_KVSTORE_H_

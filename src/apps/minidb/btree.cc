@@ -1,0 +1,305 @@
+#include "src/apps/minidb/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace minidb {
+
+namespace {
+uint16_t ReadU16(const uint8_t* p) {
+  uint16_t v;
+  memcpy(&v, p, 2);
+  return v;
+}
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return v;
+}
+void WriteU16(uint8_t* p, uint16_t v) { memcpy(p, &v, 2); }
+void WriteU32(uint8_t* p, uint32_t v) { memcpy(p, &v, 4); }
+}  // namespace
+
+Result<uint32_t> BTree::Create(Pager* pager) {
+  ASSIGN_OR_RETURN(page, pager->AllocPage());
+  ASSIGN_OR_RETURN(buf, pager->GetPage(page));
+  RETURN_IF_ERROR(pager->MarkDirty(page));
+  WriteU16(buf, kLeaf);
+  WriteU16(buf + 2, 0);
+  WriteU32(buf + 4, 0);
+  return page;
+}
+
+Result<std::vector<BTree::LeafEntry>> BTree::ReadLeaf(uint32_t page, uint32_t* right) {
+  ASSIGN_OR_RETURN(buf, pager_->GetPage(page));
+  if (ReadU16(buf) != kLeaf) {
+    return Err::kCorrupt;
+  }
+  const uint16_t n = ReadU16(buf + 2);
+  if (right != nullptr) {
+    *right = ReadU32(buf + 4);
+  }
+  std::vector<LeafEntry> out;
+  out.reserve(n);
+  size_t off = kHeader;
+  for (uint16_t i = 0; i < n; i++) {
+    uint16_t klen = ReadU16(buf + off);
+    uint16_t vlen = ReadU16(buf + off + 2);
+    off += 4;
+    out.push_back(LeafEntry{std::string(reinterpret_cast<const char*>(buf + off), klen),
+                            std::string(reinterpret_cast<const char*>(buf + off + klen), vlen)});
+    off += klen + vlen;
+  }
+  return out;
+}
+
+size_t BTree::LeafBytes(const std::vector<LeafEntry>& entries) {
+  size_t bytes = kHeader;
+  for (const LeafEntry& e : entries) {
+    bytes += 4 + e.key.size() + e.value.size();
+  }
+  return bytes;
+}
+
+Status BTree::WriteLeaf(uint32_t page, const std::vector<LeafEntry>& entries, uint32_t right) {
+  ASSIGN_OR_RETURN(buf, pager_->GetPage(page));
+  RETURN_IF_ERROR(pager_->MarkDirty(page));
+  WriteU16(buf, kLeaf);
+  WriteU16(buf + 2, static_cast<uint16_t>(entries.size()));
+  WriteU32(buf + 4, right);
+  size_t off = kHeader;
+  for (const LeafEntry& e : entries) {
+    WriteU16(buf + off, static_cast<uint16_t>(e.key.size()));
+    WriteU16(buf + off + 2, static_cast<uint16_t>(e.value.size()));
+    off += 4;
+    memcpy(buf + off, e.key.data(), e.key.size());
+    memcpy(buf + off + e.key.size(), e.value.data(), e.value.size());
+    off += e.key.size() + e.value.size();
+  }
+  return common::OkStatus();
+}
+
+Result<std::pair<uint32_t, std::vector<BTree::InternalEntry>>> BTree::ReadInternal(uint32_t page) {
+  ASSIGN_OR_RETURN(buf, pager_->GetPage(page));
+  if (ReadU16(buf) != kInternal) {
+    return Err::kCorrupt;
+  }
+  const uint16_t n = ReadU16(buf + 2);
+  uint32_t child0 = ReadU32(buf + 4);
+  std::vector<InternalEntry> out;
+  out.reserve(n);
+  size_t off = kHeader;
+  for (uint16_t i = 0; i < n; i++) {
+    uint16_t klen = ReadU16(buf + off);
+    off += 2;
+    std::string key(reinterpret_cast<const char*>(buf + off), klen);
+    off += klen;
+    uint32_t child = ReadU32(buf + off);
+    off += 4;
+    out.push_back(InternalEntry{std::move(key), child});
+  }
+  return std::make_pair(child0, std::move(out));
+}
+
+Status BTree::WriteInternal(uint32_t page, uint32_t child0,
+                            const std::vector<InternalEntry>& entries) {
+  ASSIGN_OR_RETURN(buf, pager_->GetPage(page));
+  RETURN_IF_ERROR(pager_->MarkDirty(page));
+  WriteU16(buf, kInternal);
+  WriteU16(buf + 2, static_cast<uint16_t>(entries.size()));
+  WriteU32(buf + 4, child0);
+  size_t off = kHeader;
+  for (const InternalEntry& e : entries) {
+    WriteU16(buf + off, static_cast<uint16_t>(e.key.size()));
+    off += 2;
+    memcpy(buf + off, e.key.data(), e.key.size());
+    off += e.key.size();
+    WriteU32(buf + off, e.child);
+    off += 4;
+  }
+  return common::OkStatus();
+}
+
+Result<uint32_t> BTree::FindLeaf(const std::string& key, std::vector<PathStep>* path) {
+  uint32_t page = root_;
+  for (;;) {
+    ASSIGN_OR_RETURN(buf, pager_->GetPage(page));
+    uint16_t kind = ReadU16(buf);
+    if (kind == kLeaf) {
+      return page;
+    }
+    if (kind != kInternal) {
+      return Err::kCorrupt;
+    }
+    ASSIGN_OR_RETURN(node, ReadInternal(page));
+    auto& [child0, entries] = node;
+    // Choose the rightmost child whose separator <= key.
+    size_t idx = 0;  // 0 = child0
+    uint32_t next = child0;
+    for (size_t i = 0; i < entries.size(); i++) {
+      if (key >= entries[i].key) {
+        idx = i + 1;
+        next = entries[i].child;
+      } else {
+        break;
+      }
+    }
+    if (path != nullptr) {
+      path->push_back(PathStep{page, idx});
+    }
+    page = next;
+  }
+}
+
+Status BTree::InsertIntoParent(std::vector<PathStep>& path, size_t level, std::string key,
+                               uint32_t right_child) {
+  if (level == SIZE_MAX || path.empty() || level >= path.size()) {
+    // Splitting the root: the root page number must stay stable, so copy the
+    // old root into a fresh page and make the root an internal node over
+    // {old-copy, right_child}.
+    ASSIGN_OR_RETURN(left_copy, pager_->AllocPage());
+    ASSIGN_OR_RETURN(root_buf, pager_->GetPage(root_));
+    ASSIGN_OR_RETURN(copy_buf, pager_->GetPage(left_copy));
+    RETURN_IF_ERROR(pager_->MarkDirty(left_copy));
+    memcpy(copy_buf, root_buf, kDbPageSize);
+    std::vector<InternalEntry> entries{InternalEntry{std::move(key), right_child}};
+    return WriteInternal(root_, left_copy, entries);
+  }
+
+  const uint32_t page = path[level].page;
+  ASSIGN_OR_RETURN(node, ReadInternal(page));
+  auto& [child0, entries] = node;
+  // Insert the separator in order.
+  auto it = std::upper_bound(entries.begin(), entries.end(), key,
+                             [](const std::string& k, const InternalEntry& e) { return k < e.key; });
+  entries.insert(it, InternalEntry{std::move(key), right_child});
+
+  // Measure and split if needed.
+  size_t bytes = kHeader;
+  for (const InternalEntry& e : entries) {
+    bytes += 6 + e.key.size();
+  }
+  if (bytes <= kSoftMax) {
+    return WriteInternal(page, child0, entries);
+  }
+
+  const size_t mid = entries.size() / 2;
+  std::string up_key = entries[mid].key;
+  uint32_t right_child0 = entries[mid].child;
+  std::vector<InternalEntry> left(entries.begin(), entries.begin() + mid);
+  std::vector<InternalEntry> right(entries.begin() + mid + 1, entries.end());
+
+  ASSIGN_OR_RETURN(new_page, pager_->AllocPage());
+  if (page == root_) {
+    // Root split with stable root: copy left half to a fresh page too.
+    ASSIGN_OR_RETURN(left_page, pager_->AllocPage());
+    RETURN_IF_ERROR(WriteInternal(left_page, child0, left));
+    RETURN_IF_ERROR(WriteInternal(new_page, right_child0, right));
+    std::vector<InternalEntry> root_entries{InternalEntry{std::move(up_key), new_page}};
+    return WriteInternal(root_, left_page, root_entries);
+  }
+  RETURN_IF_ERROR(WriteInternal(page, child0, left));
+  RETURN_IF_ERROR(WriteInternal(new_page, right_child0, right));
+  return InsertIntoParent(path, level == 0 ? SIZE_MAX : level - 1, std::move(up_key), new_page);
+}
+
+Status BTree::Put(const std::string& key, const std::string& value) {
+  if (!pager_->in_txn()) {
+    return Err::kInval;
+  }
+  if (4 + key.size() + value.size() > kSoftMax - kHeader) {
+    return Err::kNameTooLong;  // record would never fit a page
+  }
+  std::vector<PathStep> path;
+  ASSIGN_OR_RETURN(leaf, FindLeaf(key, &path));
+  uint32_t right;
+  ASSIGN_OR_RETURN(entries, ReadLeaf(leaf, &right));
+  auto it = std::lower_bound(entries.begin(), entries.end(), key,
+                             [](const LeafEntry& e, const std::string& k) { return e.key < k; });
+  if (it != entries.end() && it->key == key) {
+    it->value = value;
+  } else {
+    entries.insert(it, LeafEntry{key, value});
+  }
+  if (LeafBytes(entries) <= kSoftMax) {
+    return WriteLeaf(leaf, entries, right);
+  }
+
+  // Leaf split.
+  const size_t mid = entries.size() / 2;
+  std::vector<LeafEntry> left(entries.begin(), entries.begin() + mid);
+  std::vector<LeafEntry> right_entries(entries.begin() + mid, entries.end());
+  std::string up_key = right_entries.front().key;
+
+  ASSIGN_OR_RETURN(new_leaf, pager_->AllocPage());
+  if (leaf == root_) {
+    // Root is a leaf: keep the root page stable.
+    ASSIGN_OR_RETURN(left_page, pager_->AllocPage());
+    RETURN_IF_ERROR(WriteLeaf(left_page, left, new_leaf));
+    RETURN_IF_ERROR(WriteLeaf(new_leaf, right_entries, right));
+    std::vector<InternalEntry> root_entries{InternalEntry{std::move(up_key), new_leaf}};
+    return WriteInternal(root_, left_page, root_entries);
+  }
+  RETURN_IF_ERROR(WriteLeaf(new_leaf, right_entries, right));
+  RETURN_IF_ERROR(WriteLeaf(leaf, left, new_leaf));
+  return InsertIntoParent(path, path.empty() ? SIZE_MAX : path.size() - 1, std::move(up_key),
+                          new_leaf);
+}
+
+Status BTree::Delete(const std::string& key) {
+  if (!pager_->in_txn()) {
+    return Err::kInval;
+  }
+  ASSIGN_OR_RETURN(leaf, FindLeaf(key, nullptr));
+  uint32_t right;
+  ASSIGN_OR_RETURN(entries, ReadLeaf(leaf, &right));
+  auto it = std::lower_bound(entries.begin(), entries.end(), key,
+                             [](const LeafEntry& e, const std::string& k) { return e.key < k; });
+  if (it == entries.end() || it->key != key) {
+    return Err::kNoEnt;
+  }
+  entries.erase(it);
+  return WriteLeaf(leaf, entries, right);
+}
+
+Result<std::string> BTree::Get(const std::string& key) {
+  ASSIGN_OR_RETURN(leaf, FindLeaf(key, nullptr));
+  ASSIGN_OR_RETURN(entries, ReadLeaf(leaf, nullptr));
+  auto it = std::lower_bound(entries.begin(), entries.end(), key,
+                             [](const LeafEntry& e, const std::string& k) { return e.key < k; });
+  if (it == entries.end() || it->key != key) {
+    return Err::kNoEnt;
+  }
+  return it->value;
+}
+
+Status BTree::Scan(const std::string& from,
+                   const std::function<bool(const std::string&, const std::string&)>& fn) {
+  ASSIGN_OR_RETURN(leaf, FindLeaf(from, nullptr));
+  uint32_t page = leaf;
+  while (page != 0) {
+    uint32_t right;
+    ASSIGN_OR_RETURN(entries, ReadLeaf(page, &right));
+    for (const LeafEntry& e : entries) {
+      if (e.key < from) {
+        continue;
+      }
+      if (!fn(e.key, e.value)) {
+        return common::OkStatus();
+      }
+    }
+    page = right;
+  }
+  return common::OkStatus();
+}
+
+Result<uint64_t> BTree::CountForTest() {
+  uint64_t n = 0;
+  RETURN_IF_ERROR(Scan("", [&](const std::string&, const std::string&) {
+    n++;
+    return true;
+  }));
+  return n;
+}
+
+}  // namespace minidb

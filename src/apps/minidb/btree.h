@@ -1,0 +1,89 @@
+// A B+tree over Pager pages: the storage engine of MiniDb.
+//
+// Keys and values are byte strings. Leaves are chained for range scans.
+// The root page number is fixed for the lifetime of a tree (root splits
+// copy the old root down), so the catalog never needs updating.
+//
+// Page layout (both kinds):
+//   [u16 kind][u16 nkeys][u32 right_sibling (leaves) | child0 (internal)]
+//   followed by packed entries:
+//     leaf:     [u16 klen][u16 vlen][key][value] ...
+//     internal: [u16 klen][key][u32 child] ...
+
+#ifndef SRC_APPS_MINIDB_BTREE_H_
+#define SRC_APPS_MINIDB_BTREE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/apps/minidb/pager.h"
+
+namespace minidb {
+
+class BTree {
+ public:
+  BTree(Pager* pager, uint32_t root) : pager_(pager), root_(root) {}
+
+  // Creates an empty tree; returns its root page. Must be inside a txn.
+  static Result<uint32_t> Create(Pager* pager);
+
+  uint32_t root() const { return root_; }
+
+  // Inserts or replaces. Must be inside a txn.
+  Status Put(const std::string& key, const std::string& value);
+  Status Delete(const std::string& key);  // no rebalancing (deletes are rare in TPC-C)
+  Result<std::string> Get(const std::string& key);
+
+  // Calls fn(key, value) for every entry with key >= from, in order, until
+  // fn returns false. Read-only.
+  Status Scan(const std::string& from,
+              const std::function<bool(const std::string&, const std::string&)>& fn);
+
+  // Number of entries (full scan; for tests).
+  Result<uint64_t> CountForTest();
+
+ private:
+  struct LeafEntry {
+    std::string key;
+    std::string value;
+  };
+  struct InternalEntry {
+    std::string key;   // smallest key in the subtree right of this separator
+    uint32_t child;
+  };
+
+  static constexpr uint16_t kLeaf = 1;
+  static constexpr uint16_t kInternal = 2;
+  static constexpr size_t kHeader = 8;
+  // Split when the serialized page would exceed this.
+  static constexpr size_t kSoftMax = kDbPageSize - 64;
+
+  Result<std::vector<LeafEntry>> ReadLeaf(uint32_t page, uint32_t* right);
+  Status WriteLeaf(uint32_t page, const std::vector<LeafEntry>& entries, uint32_t right);
+  Result<std::pair<uint32_t, std::vector<InternalEntry>>> ReadInternal(uint32_t page);
+  Status WriteInternal(uint32_t page, uint32_t child0,
+                       const std::vector<InternalEntry>& entries);
+  static size_t LeafBytes(const std::vector<LeafEntry>& entries);
+
+  // Descends to the leaf for `key`, recording the path (page numbers and the
+  // chosen child index at each internal node).
+  struct PathStep {
+    uint32_t page;
+    size_t child_idx;  // index into (child0 + entries): 0 = child0
+  };
+  Result<uint32_t> FindLeaf(const std::string& key, std::vector<PathStep>* path);
+
+  // Inserts separator (key, right_child) into the parent at path level
+  // `level`, splitting upward as needed.
+  Status InsertIntoParent(std::vector<PathStep>& path, size_t level, std::string key,
+                          uint32_t right_child);
+
+  Pager* pager_;
+  uint32_t root_;
+};
+
+}  // namespace minidb
+
+#endif  // SRC_APPS_MINIDB_BTREE_H_

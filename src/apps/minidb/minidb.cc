@@ -1,0 +1,115 @@
+#include "src/apps/minidb/minidb.h"
+
+#include <cstring>
+
+namespace minidb {
+
+// The catalog lives on page 1 (the header page) after the 8-byte magic:
+//   [u32 ntables] then per table: [u16 namelen][name][u32 root]
+
+Result<std::unique_ptr<MiniDb>> MiniDb::Open(vfs::FileSystem* fs, const std::string& path) {
+  ASSIGN_OR_RETURN(pager, Pager::Open(fs, path));
+  auto db = std::unique_ptr<MiniDb>(new MiniDb(std::move(pager)));
+  RETURN_IF_ERROR(db->LoadCatalog());
+  return db;
+}
+
+Status MiniDb::Rollback() {
+  RETURN_IF_ERROR(pager_->Rollback());
+  // Table roots are stable, but any table created in the aborted transaction
+  // must be forgotten.
+  open_tables_.clear();
+  return LoadCatalog();
+}
+
+Status MiniDb::LoadCatalog() {
+  catalog_.clear();
+  ASSIGN_OR_RETURN(buf, pager_->GetPage(1));
+  size_t off = 8;
+  uint32_t n;
+  memcpy(&n, buf + off, 4);
+  off += 4;
+  for (uint32_t i = 0; i < n; i++) {
+    uint16_t len;
+    memcpy(&len, buf + off, 2);
+    off += 2;
+    std::string name(reinterpret_cast<const char*>(buf + off), len);
+    off += len;
+    uint32_t root;
+    memcpy(&root, buf + off, 4);
+    off += 4;
+    catalog_[name] = root;
+  }
+  return common::OkStatus();
+}
+
+Status MiniDb::SaveCatalog() {
+  ASSIGN_OR_RETURN(buf, pager_->GetPage(1));
+  RETURN_IF_ERROR(pager_->MarkDirty(1));
+  size_t off = 8;
+  uint32_t n = static_cast<uint32_t>(catalog_.size());
+  memcpy(buf + off, &n, 4);
+  off += 4;
+  for (const auto& [name, root] : catalog_) {
+    uint16_t len = static_cast<uint16_t>(name.size());
+    memcpy(buf + off, &len, 2);
+    off += 2;
+    memcpy(buf + off, name.data(), len);
+    off += len;
+    memcpy(buf + off, &root, 4);
+    off += 4;
+  }
+  return common::OkStatus();
+}
+
+Result<BTree*> MiniDb::CreateTable(const std::string& name) {
+  auto it = catalog_.find(name);
+  if (it != catalog_.end()) {
+    return GetTable(name);
+  }
+  if (!pager_->in_txn()) {
+    return Err::kInval;
+  }
+  ASSIGN_OR_RETURN(root, BTree::Create(pager_.get()));
+  catalog_[name] = root;
+  RETURN_IF_ERROR(SaveCatalog());
+  open_tables_[name] = std::make_unique<BTree>(pager_.get(), root);
+  return open_tables_[name].get();
+}
+
+Result<BTree*> MiniDb::GetTable(const std::string& name) {
+  auto ot = open_tables_.find(name);
+  if (ot != open_tables_.end()) {
+    return ot->second.get();
+  }
+  auto it = catalog_.find(name);
+  if (it == catalog_.end()) {
+    return Err::kNoEnt;
+  }
+  open_tables_[name] = std::make_unique<BTree>(pager_.get(), it->second);
+  return open_tables_[name].get();
+}
+
+void KeyAppendU32(std::string* key, uint32_t v) {
+  char b[4] = {static_cast<char>(v >> 24), static_cast<char>(v >> 16), static_cast<char>(v >> 8),
+               static_cast<char>(v)};
+  key->append(b, 4);
+}
+
+void KeyAppendStr(std::string* key, const std::string& s, size_t pad_to) {
+  key->append(s);
+  if (s.size() < pad_to) {
+    key->append(pad_to - s.size(), '\0');
+  }
+}
+
+std::string KeyU32(std::initializer_list<uint32_t> parts) {
+  std::string key;
+  key.reserve(parts.size() * 4);
+  for (uint32_t p : parts) {
+    KeyAppendU32(&key, p);
+  }
+  return key;
+}
+
+}  // namespace minidb

@@ -1,0 +1,48 @@
+// MiniDb — a small embedded transactional database (SQLite stand-in for the
+// paper's §6.3 TPC-C experiment): a pager with rollback-journal transactions
+// and named B+tree tables.
+
+#ifndef SRC_APPS_MINIDB_MINIDB_H_
+#define SRC_APPS_MINIDB_MINIDB_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/apps/minidb/btree.h"
+#include "src/apps/minidb/pager.h"
+
+namespace minidb {
+
+class MiniDb {
+ public:
+  static Result<std::unique_ptr<MiniDb>> Open(vfs::FileSystem* fs, const std::string& path);
+
+  Status Begin() { return pager_->Begin(); }
+  Status Commit() { return pager_->Commit(); }
+  Status Rollback();
+
+  // Creates a table (inside a transaction) or opens an existing one.
+  Result<BTree*> CreateTable(const std::string& name);
+  Result<BTree*> GetTable(const std::string& name);
+
+  Pager* pager() { return pager_.get(); }
+
+ private:
+  explicit MiniDb(std::unique_ptr<Pager> pager) : pager_(std::move(pager)) {}
+  Status LoadCatalog();
+  Status SaveCatalog();
+
+  std::unique_ptr<Pager> pager_;
+  std::map<std::string, uint32_t> catalog_;  // table name -> root page
+  std::map<std::string, std::unique_ptr<BTree>> open_tables_;
+};
+
+// ---- key encoding helpers (big-endian composite keys sort correctly) ----
+void KeyAppendU32(std::string* key, uint32_t v);
+void KeyAppendStr(std::string* key, const std::string& s, size_t pad_to);
+std::string KeyU32(std::initializer_list<uint32_t> parts);
+
+}  // namespace minidb
+
+#endif  // SRC_APPS_MINIDB_MINIDB_H_

@@ -1,0 +1,197 @@
+#include "src/apps/minidb/pager.h"
+
+#include <cstring>
+
+namespace minidb {
+
+namespace {
+// Journal record: [page_no u32][pre-image 4096]. A leading u32 count would
+// need in-place updates; instead the journal is valid iff its length is a
+// whole number of records (torn tails are ignored, as in SQLite).
+constexpr size_t kJournalRecord = 4 + kDbPageSize;
+}  // namespace
+
+Result<std::unique_ptr<Pager>> Pager::Open(vfs::FileSystem* fs, const std::string& path) {
+  auto p = std::unique_ptr<Pager>(new Pager(fs, path));
+  ASSIGN_OR_RETURN(fd, fs->Open(p->cred_, path, vfs::kCreate | vfs::kRdWr, 0644));
+  p->db_fd_ = fd;
+  RETURN_IF_ERROR(p->RecoverIfNeeded());
+  ASSIGN_OR_RETURN(st, fs->Fstat(fd));
+  if (st.size == 0) {
+    // Fresh database: write the header page.
+    std::vector<uint8_t> zero(kDbPageSize, 0);
+    memcpy(zero.data(), "MINIDB1\0", 8);
+    ASSIGN_OR_RETURN(n, fs->Pwrite(fd, zero.data(), kDbPageSize, 0));
+    (void)n;
+    RETURN_IF_ERROR(fs->Fsync(fd));
+    p->page_count_ = 1;
+  } else {
+    p->page_count_ = static_cast<uint32_t>(st.size / kDbPageSize);
+  }
+  return p;
+}
+
+Pager::~Pager() {
+  if (in_txn_) {
+    Rollback();
+  }
+  if (db_fd_ >= 0) {
+    fs_->Close(db_fd_);
+  }
+}
+
+Status Pager::RecoverIfNeeded() {
+  const std::string jpath = path_ + "-journal";
+  auto jst = fs_->Stat(cred_, jpath);
+  if (!jst.ok()) {
+    return common::OkStatus();  // no hot journal
+  }
+  ASSIGN_OR_RETURN(jfd, fs_->Open(cred_, jpath, vfs::kRead, 0));
+  const uint64_t records = jst->size / kJournalRecord;
+  std::vector<uint8_t> buf(kJournalRecord);
+  for (uint64_t i = 0; i < records; i++) {
+    ASSIGN_OR_RETURN(n, fs_->Pread(jfd, buf.data(), kJournalRecord, i * kJournalRecord));
+    if (n < kJournalRecord) {
+      break;
+    }
+    uint32_t page_no;
+    memcpy(&page_no, buf.data(), 4);
+    ASSIGN_OR_RETURN(w, fs_->Pwrite(db_fd_, buf.data() + 4, kDbPageSize,
+                                    static_cast<uint64_t>(page_no - 1) * kDbPageSize));
+    (void)w;
+  }
+  RETURN_IF_ERROR(fs_->Fsync(db_fd_));
+  fs_->Close(jfd);
+  RETURN_IF_ERROR(fs_->Unlink(cred_, jpath));
+  cache_.clear();
+  return common::OkStatus();
+}
+
+Status Pager::LoadPage(uint32_t no, CachedPage* out) {
+  out->data = std::make_unique<uint8_t[]>(kDbPageSize);
+  if (no <= page_count_) {
+    ASSIGN_OR_RETURN(n, fs_->Pread(db_fd_, out->data.get(), kDbPageSize,
+                                   static_cast<uint64_t>(no - 1) * kDbPageSize));
+    if (n < kDbPageSize) {
+      memset(out->data.get() + n, 0, kDbPageSize - n);
+    }
+  } else {
+    memset(out->data.get(), 0, kDbPageSize);
+  }
+  out->dirty = false;
+  return common::OkStatus();
+}
+
+Result<uint8_t*> Pager::GetPage(uint32_t no) {
+  auto it = cache_.find(no);
+  if (it == cache_.end()) {
+    CachedPage cp;
+    RETURN_IF_ERROR(LoadPage(no, &cp));
+    it = cache_.emplace(no, std::move(cp)).first;
+  }
+  return it->second.data.get();
+}
+
+Status Pager::JournalPage(uint32_t no) {
+  if (journaled_.count(no) || no > txn_start_page_count_) {
+    return common::OkStatus();  // fresh pages need no pre-image
+  }
+  // The pre-image must be the on-disk content, which equals the cached
+  // content before the first modification (MarkDirty precedes mutation).
+  ASSIGN_OR_RETURN(page, GetPage(no));
+  std::vector<uint8_t> rec(kJournalRecord);
+  memcpy(rec.data(), &no, 4);
+  memcpy(rec.data() + 4, page, kDbPageSize);
+  ASSIGN_OR_RETURN(n, fs_->Pwrite(journal_fd_, rec.data(), rec.size(), journal_off_));
+  (void)n;
+  journal_off_ += rec.size();
+  journaled_.insert(no);
+  return common::OkStatus();
+}
+
+Status Pager::MarkDirty(uint32_t no) {
+  if (!in_txn_) {
+    return Err::kInval;
+  }
+  RETURN_IF_ERROR(JournalPage(no));
+  auto it = cache_.find(no);
+  if (it == cache_.end()) {
+    return Err::kInval;  // must GetPage before mutating
+  }
+  it->second.dirty = true;
+  dirty_.insert(no);
+  return common::OkStatus();
+}
+
+Result<uint32_t> Pager::AllocPage() {
+  if (!in_txn_) {
+    return Err::kInval;
+  }
+  uint32_t no = ++page_count_;
+  CachedPage cp;
+  cp.data = std::make_unique<uint8_t[]>(kDbPageSize);
+  memset(cp.data.get(), 0, kDbPageSize);
+  cp.dirty = true;
+  cache_[no] = std::move(cp);
+  dirty_.insert(no);
+  return no;
+}
+
+Status Pager::Begin() {
+  if (in_txn_) {
+    return Err::kBusy;
+  }
+  ASSIGN_OR_RETURN(jfd, fs_->Open(cred_, path_ + "-journal",
+                                  vfs::kCreate | vfs::kWrite | vfs::kTrunc, 0644));
+  journal_fd_ = jfd;
+  journal_off_ = 0;
+  journaled_.clear();
+  dirty_.clear();
+  txn_start_page_count_ = page_count_;
+  in_txn_ = true;
+  return common::OkStatus();
+}
+
+Status Pager::Commit() {
+  if (!in_txn_) {
+    return Err::kInval;
+  }
+  // 1. The journal (with every pre-image) becomes durable.
+  RETURN_IF_ERROR(fs_->Fsync(journal_fd_));
+  // 2. Dirty pages reach the database file.
+  for (uint32_t no : dirty_) {
+    auto it = cache_.find(no);
+    if (it == cache_.end() || !it->second.dirty) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(n, fs_->Pwrite(db_fd_, it->second.data.get(), kDbPageSize,
+                                    static_cast<uint64_t>(no - 1) * kDbPageSize));
+    (void)n;
+    it->second.dirty = false;
+  }
+  // 3. Database durable, then the journal retires: the commit point.
+  RETURN_IF_ERROR(fs_->Fsync(db_fd_));
+  fs_->Close(journal_fd_);
+  journal_fd_ = -1;
+  RETURN_IF_ERROR(fs_->Unlink(cred_, path_ + "-journal"));
+  in_txn_ = false;
+  return common::OkStatus();
+}
+
+Status Pager::Rollback() {
+  if (!in_txn_) {
+    return Err::kInval;
+  }
+  // Discard in-memory state; the database file was never touched.
+  for (uint32_t no : dirty_) {
+    cache_.erase(no);
+  }
+  page_count_ = txn_start_page_count_;
+  fs_->Close(journal_fd_);
+  journal_fd_ = -1;
+  fs_->Unlink(cred_, path_ + "-journal");
+  in_txn_ = false;
+  return common::OkStatus();
+}
+
+}  // namespace minidb

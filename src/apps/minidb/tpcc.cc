@@ -1,0 +1,628 @@
+#include "src/apps/minidb/tpcc.h"
+
+#include <cstring>
+
+#include "src/common/clock.h"
+
+namespace minidb {
+
+namespace {
+
+// ---- row images (fixed-size binary structs serialized verbatim) ----
+
+struct ItemRow {
+  uint32_t id;
+  uint32_t im_id;
+  uint32_t price_cents;
+  char name[24];
+  char data[48];
+};
+
+struct WarehouseRow {
+  uint32_t id;
+  uint32_t tax_bp;  // basis points
+  uint64_t ytd_cents;
+  char name[10];
+};
+
+struct DistrictRow {
+  uint32_t w, d;
+  uint32_t tax_bp;
+  uint32_t next_o_id;
+  uint64_t ytd_cents;
+};
+
+struct CustomerRow {
+  uint32_t w, d, c;
+  int64_t balance_cents;
+  uint64_t ytd_payment_cents;
+  uint32_t payment_cnt;
+  uint32_t delivery_cnt;
+  char last[17];
+  char first[17];
+  char data[250];
+};
+
+struct StockRow {
+  uint32_t w, i;
+  uint32_t quantity;
+  uint32_t order_cnt;
+  uint32_t remote_cnt;
+  uint64_t ytd;
+  char dist[25];
+};
+
+struct OrderRow {
+  uint32_t w, d, o;
+  uint32_t c;
+  uint32_t carrier;
+  uint32_t ol_cnt;
+  uint64_t entry_ns;
+};
+
+struct OrderLineRow {
+  uint32_t w, d, o, ol;
+  uint32_t i;
+  uint32_t supply_w;
+  uint32_t qty;
+  uint64_t amount_cents;
+  uint64_t delivery_ns;
+  char dist_info[25];
+};
+
+struct HistoryRow {
+  uint32_t w, d, c;
+  uint64_t amount_cents;
+  uint64_t when_ns;
+};
+
+template <typename T>
+std::string RowStr(const T& row) {
+  return std::string(reinterpret_cast<const char*>(&row), sizeof(T));
+}
+
+template <typename T>
+Result<T> RowFrom(const std::string& s) {
+  if (s.size() != sizeof(T)) {
+    return common::Err::kCorrupt;
+  }
+  T row;
+  memcpy(&row, s.data(), sizeof(T));
+  return row;
+}
+
+const char* const kNameSyllables[] = {"BAR",   "OUGHT", "ABLE", "PRI",   "PRES",
+                                      "ESE",   "ANTI",  "CALLY", "ATION", "EING"};
+
+}  // namespace
+
+uint32_t Tpcc::NURand(uint32_t a, uint32_t x, uint32_t y) {
+  const uint32_t c = 42;  // per-run constant, fixed for reproducibility
+  uint32_t r1 = static_cast<uint32_t>(rng_.Between(0, a));
+  uint32_t r2 = static_cast<uint32_t>(rng_.Between(x, y));
+  return (((r1 | r2) + c) % (y - x + 1)) + x;
+}
+
+std::string Tpcc::LastName(uint32_t num) {
+  return std::string(kNameSyllables[(num / 100) % 10]) + kNameSyllables[(num / 10) % 10] +
+         kNameSyllables[num % 10];
+}
+
+Status Tpcc::Load() {
+  RETURN_IF_ERROR(db_->Begin());
+  const char* tables[] = {"item",      "warehouse", "district",      "customer",
+                          "cust_name", "stock",     "order",         "order_cust",
+                          "new_order", "order_line", "history"};
+  for (const char* t : tables) {
+    RETURN_IF_ERROR(db_->CreateTable(t).ok() ? common::OkStatus() : common::Status(Err::kIo));
+  }
+  RETURN_IF_ERROR(db_->Commit());
+
+  auto table = [&](const char* n) { return *db_->GetTable(n); };
+
+  // Items (commit in batches to bound journal size).
+  RETURN_IF_ERROR(db_->Begin());
+  for (uint32_t i = 1; i <= cfg_.items; i++) {
+    ItemRow row{};
+    row.id = i;
+    row.im_id = static_cast<uint32_t>(rng_.Between(1, 10000));
+    row.price_cents = static_cast<uint32_t>(rng_.Between(100, 10000));
+    snprintf(row.name, sizeof(row.name), "item-%u", i);
+    rng_.Fill(row.data, 16);
+    RETURN_IF_ERROR(table("item")->Put(KeyU32({i}), RowStr(row)));
+    if (i % 2000 == 0) {
+      RETURN_IF_ERROR(db_->Commit());
+      RETURN_IF_ERROR(db_->Begin());
+    }
+  }
+  RETURN_IF_ERROR(db_->Commit());
+
+  for (uint32_t w = 1; w <= cfg_.warehouses; w++) {
+    RETURN_IF_ERROR(db_->Begin());
+    WarehouseRow wr{};
+    wr.id = w;
+    wr.tax_bp = static_cast<uint32_t>(rng_.Between(0, 2000));
+    snprintf(wr.name, sizeof(wr.name), "wh-%u", w);
+    RETURN_IF_ERROR(table("warehouse")->Put(KeyU32({w}), RowStr(wr)));
+
+    // Stock.
+    for (uint32_t i = 1; i <= cfg_.items; i++) {
+      StockRow sr{};
+      sr.w = w;
+      sr.i = i;
+      sr.quantity = static_cast<uint32_t>(rng_.Between(10, 100));
+      rng_.Fill(sr.dist, 24);
+      RETURN_IF_ERROR(table("stock")->Put(KeyU32({w, i}), RowStr(sr)));
+      if (i % 2000 == 0) {
+        RETURN_IF_ERROR(db_->Commit());
+        RETURN_IF_ERROR(db_->Begin());
+      }
+    }
+    RETURN_IF_ERROR(db_->Commit());
+
+    for (uint32_t d = 1; d <= cfg_.districts; d++) {
+      RETURN_IF_ERROR(db_->Begin());
+      DistrictRow dr{};
+      dr.w = w;
+      dr.d = d;
+      dr.tax_bp = static_cast<uint32_t>(rng_.Between(0, 2000));
+      dr.next_o_id = cfg_.initial_orders_per_district + 1;
+      RETURN_IF_ERROR(table("district")->Put(KeyU32({w, d}), RowStr(dr)));
+
+      for (uint32_t c = 1; c <= cfg_.customers_per_district; c++) {
+        CustomerRow cr{};
+        cr.w = w;
+        cr.d = d;
+        cr.c = c;
+        cr.balance_cents = -1000;
+        uint32_t name_num = c <= 1000 ? c - 1 : NURand(255, 0, 999);
+        std::string last = LastName(name_num);
+        snprintf(cr.last, sizeof(cr.last), "%s", last.c_str());
+        snprintf(cr.first, sizeof(cr.first), "first-%u", c);
+        rng_.Fill(cr.data, 64);
+        RETURN_IF_ERROR(table("customer")->Put(KeyU32({w, d, c}), RowStr(cr)));
+        std::string name_key;
+        KeyAppendU32(&name_key, w);
+        KeyAppendU32(&name_key, d);
+        KeyAppendStr(&name_key, last, 17);
+        KeyAppendU32(&name_key, c);
+        RETURN_IF_ERROR(table("cust_name")->Put(name_key, ""));
+        if (c % 1000 == 0) {
+          RETURN_IF_ERROR(db_->Commit());
+          RETURN_IF_ERROR(db_->Begin());
+        }
+      }
+
+      // Initial orders (one line each, delivered).
+      for (uint32_t o = 1; o <= cfg_.initial_orders_per_district; o++) {
+        OrderRow orow{};
+        orow.w = w;
+        orow.d = d;
+        orow.o = o;
+        orow.c = static_cast<uint32_t>(rng_.Between(1, cfg_.customers_per_district));
+        orow.carrier = static_cast<uint32_t>(rng_.Between(1, 10));
+        orow.ol_cnt = 1;
+        orow.entry_ns = common::NowNs();
+        RETURN_IF_ERROR(table("order")->Put(KeyU32({w, d, o}), RowStr(orow)));
+        RETURN_IF_ERROR(table("order_cust")->Put(KeyU32({w, d, orow.c, o}), ""));
+        OrderLineRow ol{};
+        ol.w = w;
+        ol.d = d;
+        ol.o = o;
+        ol.ol = 1;
+        ol.i = static_cast<uint32_t>(rng_.Between(1, cfg_.items));
+        ol.qty = 5;
+        ol.amount_cents = rng_.Between(100, 999900);
+        RETURN_IF_ERROR(table("order_line")->Put(KeyU32({w, d, o, 1}), RowStr(ol)));
+      }
+      RETURN_IF_ERROR(db_->Commit());
+    }
+  }
+  return common::OkStatus();
+}
+
+Result<uint32_t> Tpcc::PickCustomer(uint32_t w, uint32_t d) {
+  if (rng_.Below(100) < 60) {
+    return NURand(1023, 1, cfg_.customers_per_district);
+  }
+  // By last name: collect matches via the secondary index, pick the middle
+  // one (spec 2.5.2.2).
+  std::string last = LastName(NURand(255, 0, std::min(999u, cfg_.customers_per_district - 1)));
+  std::string prefix;
+  KeyAppendU32(&prefix, w);
+  KeyAppendU32(&prefix, d);
+  KeyAppendStr(&prefix, last, 17);
+  std::vector<uint32_t> matches;
+  ASSIGN_OR_RETURN(idx, db_->GetTable("cust_name"));
+  RETURN_IF_ERROR(idx->Scan(prefix, [&](const std::string& k, const std::string&) {
+    if (k.size() != prefix.size() + 4 || k.compare(0, prefix.size(), prefix) != 0) {
+      return false;
+    }
+    uint32_t c = (static_cast<uint8_t>(k[prefix.size()]) << 24) |
+                 (static_cast<uint8_t>(k[prefix.size() + 1]) << 16) |
+                 (static_cast<uint8_t>(k[prefix.size() + 2]) << 8) |
+                 static_cast<uint8_t>(k[prefix.size() + 3]);
+    matches.push_back(c);
+    return true;
+  }));
+  if (matches.empty()) {
+    return NURand(1023, 1, cfg_.customers_per_district);
+  }
+  return matches[matches.size() / 2];
+}
+
+Status Tpcc::NewOrder() {
+  const uint32_t w = static_cast<uint32_t>(rng_.Between(1, cfg_.warehouses));
+  const uint32_t d = static_cast<uint32_t>(rng_.Between(1, cfg_.districts));
+  const uint32_t c = NURand(1023, 1, cfg_.customers_per_district);
+  const uint32_t ol_cnt = static_cast<uint32_t>(rng_.Between(5, 15));
+
+  RETURN_IF_ERROR(db_->Begin());
+  auto fail = [&](Err e) -> Status {
+    db_->Rollback();
+    return e;
+  };
+
+  auto wt = db_->GetTable("warehouse");
+  auto dt = db_->GetTable("district");
+  auto it_ = db_->GetTable("item");
+  auto st = db_->GetTable("stock");
+  auto ot = db_->GetTable("order");
+  auto oct = db_->GetTable("order_cust");
+  auto not_ = db_->GetTable("new_order");
+  auto olt = db_->GetTable("order_line");
+  if (!wt.ok() || !dt.ok() || !it_.ok() || !st.ok() || !ot.ok() || !oct.ok() || !not_.ok() ||
+      !olt.ok()) {
+    return fail(Err::kIo);
+  }
+
+  auto wrow = (*wt)->Get(KeyU32({w}));
+  auto drow_s = (*dt)->Get(KeyU32({w, d}));
+  if (!wrow.ok() || !drow_s.ok()) {
+    return fail(Err::kIo);
+  }
+  auto drow = RowFrom<DistrictRow>(*drow_s);
+  if (!drow.ok()) {
+    return fail(Err::kCorrupt);
+  }
+  const uint32_t o_id = drow->next_o_id;
+  drow->next_o_id++;
+  if (!(*dt)->Put(KeyU32({w, d}), RowStr(*drow)).ok()) {
+    return fail(Err::kIo);
+  }
+
+  OrderRow orow{};
+  orow.w = w;
+  orow.d = d;
+  orow.o = o_id;
+  orow.c = c;
+  orow.ol_cnt = ol_cnt;
+  orow.entry_ns = common::NowNs();
+  if (!(*ot)->Put(KeyU32({w, d, o_id}), RowStr(orow)).ok() ||
+      !(*oct)->Put(KeyU32({w, d, c, o_id}), "").ok() ||
+      !(*not_)->Put(KeyU32({w, d, o_id}), "").ok()) {
+    return fail(Err::kIo);
+  }
+
+  uint64_t total_cents = 0;
+  for (uint32_t ol = 1; ol <= ol_cnt; ol++) {
+    const uint32_t i = NURand(8191, 1, cfg_.items);
+    auto irow_s = (*it_)->Get(KeyU32({i}));
+    if (!irow_s.ok()) {
+      return fail(Err::kIo);
+    }
+    auto irow = RowFrom<ItemRow>(*irow_s);
+    auto srow_s = (*st)->Get(KeyU32({w, i}));
+    if (!irow.ok() || !srow_s.ok()) {
+      return fail(Err::kIo);
+    }
+    auto srow = RowFrom<StockRow>(*srow_s);
+    if (!srow.ok()) {
+      return fail(Err::kCorrupt);
+    }
+    const uint32_t qty = static_cast<uint32_t>(rng_.Between(1, 10));
+    srow->quantity = srow->quantity >= qty + 10 ? srow->quantity - qty : srow->quantity + 91 - qty;
+    srow->ytd += qty;
+    srow->order_cnt++;
+    if (!(*st)->Put(KeyU32({w, i}), RowStr(*srow)).ok()) {
+      return fail(Err::kIo);
+    }
+
+    OrderLineRow olr{};
+    olr.w = w;
+    olr.d = d;
+    olr.o = o_id;
+    olr.ol = ol;
+    olr.i = i;
+    olr.supply_w = w;
+    olr.qty = qty;
+    olr.amount_cents = static_cast<uint64_t>(qty) * irow->price_cents;
+    memcpy(olr.dist_info, srow->dist, sizeof(olr.dist_info) - 1);
+    total_cents += olr.amount_cents;
+    if (!(*olt)->Put(KeyU32({w, d, o_id, ol}), RowStr(olr)).ok()) {
+      return fail(Err::kIo);
+    }
+  }
+  (void)total_cents;
+  RETURN_IF_ERROR(db_->Commit());
+  committed_++;
+  return common::OkStatus();
+}
+
+Status Tpcc::Payment() {
+  const uint32_t w = static_cast<uint32_t>(rng_.Between(1, cfg_.warehouses));
+  const uint32_t d = static_cast<uint32_t>(rng_.Between(1, cfg_.districts));
+  const uint64_t amount = rng_.Between(100, 500000);
+
+  RETURN_IF_ERROR(db_->Begin());
+  auto fail = [&](Err e) -> Status {
+    db_->Rollback();
+    return e;
+  };
+  auto c_res = PickCustomer(w, d);
+  if (!c_res.ok()) {
+    return fail(c_res.error());
+  }
+  const uint32_t c = *c_res;
+
+  auto wt = db_->GetTable("warehouse");
+  auto dt = db_->GetTable("district");
+  auto ct = db_->GetTable("customer");
+  auto ht = db_->GetTable("history");
+  if (!wt.ok() || !dt.ok() || !ct.ok() || !ht.ok()) {
+    return fail(Err::kIo);
+  }
+
+  auto wrow_s = (*wt)->Get(KeyU32({w}));
+  if (!wrow_s.ok()) {
+    return fail(Err::kIo);
+  }
+  auto wrow = RowFrom<WarehouseRow>(*wrow_s);
+  wrow->ytd_cents += amount;
+  if (!(*wt)->Put(KeyU32({w}), RowStr(*wrow)).ok()) {
+    return fail(Err::kIo);
+  }
+
+  auto drow_s = (*dt)->Get(KeyU32({w, d}));
+  if (!drow_s.ok()) {
+    return fail(Err::kIo);
+  }
+  auto drow = RowFrom<DistrictRow>(*drow_s);
+  drow->ytd_cents += amount;
+  if (!(*dt)->Put(KeyU32({w, d}), RowStr(*drow)).ok()) {
+    return fail(Err::kIo);
+  }
+
+  auto crow_s = (*ct)->Get(KeyU32({w, d, c}));
+  if (!crow_s.ok()) {
+    return fail(Err::kIo);
+  }
+  auto crow = RowFrom<CustomerRow>(*crow_s);
+  crow->balance_cents -= static_cast<int64_t>(amount);
+  crow->ytd_payment_cents += amount;
+  crow->payment_cnt++;
+  if (!(*ct)->Put(KeyU32({w, d, c}), RowStr(*crow)).ok()) {
+    return fail(Err::kIo);
+  }
+
+  HistoryRow hr{w, d, c, amount, common::NowNs()};
+  if (!(*ht)->Put(KeyU32({static_cast<uint32_t>(history_seq_ >> 32),
+                          static_cast<uint32_t>(history_seq_)}),
+                  RowStr(hr))
+           .ok()) {
+    return fail(Err::kIo);
+  }
+  history_seq_++;
+  RETURN_IF_ERROR(db_->Commit());
+  committed_++;
+  return common::OkStatus();
+}
+
+Status Tpcc::OrderStatus() {
+  const uint32_t w = static_cast<uint32_t>(rng_.Between(1, cfg_.warehouses));
+  const uint32_t d = static_cast<uint32_t>(rng_.Between(1, cfg_.districts));
+
+  RETURN_IF_ERROR(db_->Begin());
+  auto fail = [&](Err e) -> Status {
+    db_->Rollback();
+    return e;
+  };
+  auto c_res = PickCustomer(w, d);
+  if (!c_res.ok()) {
+    return fail(c_res.error());
+  }
+  const uint32_t c = *c_res;
+
+  auto ct = db_->GetTable("customer");
+  auto oct = db_->GetTable("order_cust");
+  auto ot = db_->GetTable("order");
+  auto olt = db_->GetTable("order_line");
+  if (!ct.ok() || !oct.ok() || !ot.ok() || !olt.ok()) {
+    return fail(Err::kIo);
+  }
+  auto crow_s = (*ct)->Get(KeyU32({w, d, c}));
+  if (!crow_s.ok()) {
+    return fail(Err::kIo);
+  }
+
+  // Latest order of this customer via the secondary index.
+  uint32_t last_o = 0;
+  std::string prefix = KeyU32({w, d, c});
+  (*oct)->Scan(prefix, [&](const std::string& k, const std::string&) {
+    if (k.size() != prefix.size() + 4 || k.compare(0, prefix.size(), prefix) != 0) {
+      return false;
+    }
+    last_o = (static_cast<uint8_t>(k[prefix.size()]) << 24) |
+             (static_cast<uint8_t>(k[prefix.size() + 1]) << 16) |
+             (static_cast<uint8_t>(k[prefix.size() + 2]) << 8) |
+             static_cast<uint8_t>(k[prefix.size() + 3]);
+    return true;
+  });
+  if (last_o != 0) {
+    auto orow_s = (*ot)->Get(KeyU32({w, d, last_o}));
+    if (orow_s.ok()) {
+      auto orow = RowFrom<OrderRow>(*orow_s);
+      if (orow.ok()) {
+        for (uint32_t ol = 1; ol <= orow->ol_cnt; ol++) {
+          (*olt)->Get(KeyU32({w, d, last_o, ol}));
+        }
+      }
+    }
+  }
+  RETURN_IF_ERROR(db_->Commit());
+  committed_++;
+  return common::OkStatus();
+}
+
+Status Tpcc::Delivery() {
+  const uint32_t w = static_cast<uint32_t>(rng_.Between(1, cfg_.warehouses));
+  const uint32_t carrier = static_cast<uint32_t>(rng_.Between(1, 10));
+
+  RETURN_IF_ERROR(db_->Begin());
+  auto fail = [&](Err e) -> Status {
+    db_->Rollback();
+    return e;
+  };
+  auto not_ = db_->GetTable("new_order");
+  auto ot = db_->GetTable("order");
+  auto olt = db_->GetTable("order_line");
+  auto ct = db_->GetTable("customer");
+  if (!not_.ok() || !ot.ok() || !olt.ok() || !ct.ok()) {
+    return fail(Err::kIo);
+  }
+
+  for (uint32_t d = 1; d <= cfg_.districts; d++) {
+    // Oldest undelivered order.
+    uint32_t o_id = 0;
+    std::string prefix = KeyU32({w, d});
+    (*not_)->Scan(prefix, [&](const std::string& k, const std::string&) {
+      if (k.size() != prefix.size() + 4 || k.compare(0, prefix.size(), prefix) != 0) {
+        return false;
+      }
+      o_id = (static_cast<uint8_t>(k[prefix.size()]) << 24) |
+             (static_cast<uint8_t>(k[prefix.size() + 1]) << 16) |
+             (static_cast<uint8_t>(k[prefix.size() + 2]) << 8) |
+             static_cast<uint8_t>(k[prefix.size() + 3]);
+      return false;  // first (smallest) match only
+    });
+    if (o_id == 0) {
+      continue;
+    }
+    if (!(*not_)->Delete(KeyU32({w, d, o_id})).ok()) {
+      continue;
+    }
+    auto orow_s = (*ot)->Get(KeyU32({w, d, o_id}));
+    if (!orow_s.ok()) {
+      continue;
+    }
+    auto orow = RowFrom<OrderRow>(*orow_s);
+    if (!orow.ok()) {
+      continue;
+    }
+    orow->carrier = carrier;
+    (*ot)->Put(KeyU32({w, d, o_id}), RowStr(*orow));
+
+    uint64_t sum = 0;
+    for (uint32_t ol = 1; ol <= orow->ol_cnt; ol++) {
+      auto ols = (*olt)->Get(KeyU32({w, d, o_id, ol}));
+      if (!ols.ok()) {
+        continue;
+      }
+      auto olr = RowFrom<OrderLineRow>(*ols);
+      if (!olr.ok()) {
+        continue;
+      }
+      sum += olr->amount_cents;
+      olr->delivery_ns = common::NowNs();
+      (*olt)->Put(KeyU32({w, d, o_id, ol}), RowStr(*olr));
+    }
+    auto crow_s = (*ct)->Get(KeyU32({w, d, orow->c}));
+    if (crow_s.ok()) {
+      auto crow = RowFrom<CustomerRow>(*crow_s);
+      if (crow.ok()) {
+        crow->balance_cents += static_cast<int64_t>(sum);
+        crow->delivery_cnt++;
+        (*ct)->Put(KeyU32({w, d, orow->c}), RowStr(*crow));
+      }
+    }
+  }
+  RETURN_IF_ERROR(db_->Commit());
+  committed_++;
+  return common::OkStatus();
+}
+
+Status Tpcc::StockLevel() {
+  const uint32_t w = static_cast<uint32_t>(rng_.Between(1, cfg_.warehouses));
+  const uint32_t d = static_cast<uint32_t>(rng_.Between(1, cfg_.districts));
+  const uint32_t threshold = static_cast<uint32_t>(rng_.Between(10, 20));
+
+  RETURN_IF_ERROR(db_->Begin());
+  auto fail = [&](Err e) -> Status {
+    db_->Rollback();
+    return e;
+  };
+  auto dt = db_->GetTable("district");
+  auto olt = db_->GetTable("order_line");
+  auto st = db_->GetTable("stock");
+  if (!dt.ok() || !olt.ok() || !st.ok()) {
+    return fail(Err::kIo);
+  }
+  auto drow_s = (*dt)->Get(KeyU32({w, d}));
+  if (!drow_s.ok()) {
+    return fail(Err::kIo);
+  }
+  auto drow = RowFrom<DistrictRow>(*drow_s);
+  if (!drow.ok()) {
+    return fail(Err::kCorrupt);
+  }
+  const uint32_t hi = drow->next_o_id;
+  const uint32_t lo = hi > 20 ? hi - 20 : 1;
+
+  std::set<uint32_t> items;
+  std::string from = KeyU32({w, d, lo});
+  std::string end = KeyU32({w, d, hi});
+  (*olt)->Scan(from, [&](const std::string& k, const std::string& v) {
+    if (k >= end) {
+      return false;
+    }
+    auto olr = RowFrom<OrderLineRow>(v);
+    if (olr.ok()) {
+      items.insert(olr->i);
+    }
+    return true;
+  });
+  uint32_t low_stock = 0;
+  for (uint32_t i : items) {
+    auto srow_s = (*st)->Get(KeyU32({w, i}));
+    if (!srow_s.ok()) {
+      continue;
+    }
+    auto srow = RowFrom<StockRow>(*srow_s);
+    if (srow.ok() && srow->quantity < threshold) {
+      low_stock++;
+    }
+  }
+  (void)low_stock;
+  RETURN_IF_ERROR(db_->Commit());
+  committed_++;
+  return common::OkStatus();
+}
+
+Status Tpcc::Mixed() {
+  const uint64_t roll = rng_.Below(100);
+  if (roll < 44) {
+    return NewOrder();
+  }
+  if (roll < 88) {
+    return Payment();
+  }
+  if (roll < 92) {
+    return OrderStatus();
+  }
+  if (roll < 96) {
+    return Delivery();
+  }
+  return StockLevel();
+}
+
+}  // namespace minidb

@@ -1,0 +1,63 @@
+// TPC-C workload over MiniDb (paper §6.3, Figure 11 / Table 8).
+//
+// Implements the five transaction types (New-Order, Payment, Order-Status,
+// Delivery, Stock-Level) with the specification's access patterns: NURand
+// key skew, customer lookup by last name through a secondary index (the
+// paper builds secondary indexes on customer and orders), and the official
+// 44/44/4/4/4 mix. Scale parameters default to a laptop-size database
+// (1 warehouse, 10 districts) and can be raised to spec scale.
+
+#ifndef SRC_APPS_MINIDB_TPCC_H_
+#define SRC_APPS_MINIDB_TPCC_H_
+
+#include <string>
+
+#include "src/apps/minidb/minidb.h"
+#include "src/common/rand.h"
+
+namespace minidb {
+
+struct TpccConfig {
+  uint32_t warehouses = 1;
+  uint32_t districts = 10;
+  uint32_t customers_per_district = 300;  // spec: 3000
+  uint32_t items = 10000;                 // spec: 100000
+  uint32_t initial_orders_per_district = 100;
+  uint64_t seed = 1234;
+};
+
+class Tpcc {
+ public:
+  Tpcc(MiniDb* db, TpccConfig cfg) : db_(db), cfg_(cfg), rng_(cfg.seed) {}
+
+  // Creates and populates all nine tables plus the two secondary indexes.
+  Status Load();
+
+  // One transaction each; all wrapped in Begin/Commit.
+  Status NewOrder();
+  Status Payment();
+  Status OrderStatus();
+  Status Delivery();
+  Status StockLevel();
+
+  // One transaction drawn from the Table 8 mix (44/44/4/4/4).
+  Status Mixed();
+
+  uint64_t committed() const { return committed_; }
+
+ private:
+  uint32_t NURand(uint32_t a, uint32_t x, uint32_t y);
+  std::string LastName(uint32_t num);
+  // Picks a customer id: 60% by id, 40% by last-name index (per spec).
+  Result<uint32_t> PickCustomer(uint32_t w, uint32_t d);
+
+  MiniDb* db_;
+  TpccConfig cfg_;
+  common::Rng rng_;
+  uint64_t committed_ = 0;
+  uint64_t history_seq_ = 0;
+};
+
+}  // namespace minidb
+
+#endif  // SRC_APPS_MINIDB_TPCC_H_

@@ -1,0 +1,43 @@
+// Ext4-DAX-like baseline: a mature journaling kernel file system with page
+// cache bypass (paper §2.1). Every operation is a system call; metadata
+// mutations are journalled (jbd2 analog); data writes go in place with
+// cacheline write-back.
+
+#ifndef SRC_BASELINES_EXTDAX_H_
+#define SRC_BASELINES_EXTDAX_H_
+
+#include <memory>
+
+#include "src/baselines/basefs.h"
+#include "src/baselines/journal.h"
+
+namespace baselines {
+
+class ExtDaxFs final : public BaseFs {
+ public:
+  explicit ExtDaxFs(nvm::NvmDevice* dev, Config cfg = {});
+  const char* Name() const override { return "Ext4-DAX"; }
+
+ protected:
+  void PersistMeta(Node* node, size_t bytes) override {
+    // jbd2: journal the change, then a separate commit record.
+    journal_.AppendBlank(bytes);
+    journal_.Commit();
+  }
+
+  Status WriteData(Node& node, const void* buf, size_t n, uint64_t off) override {
+    // In-place writes, regular stores + flush (the generic DAX iomap path).
+    return WriteBlocksInPlace(node, buf, n, off, /*non_temporal=*/false, /*flush_lines=*/true);
+  }
+
+  Result<uint64_t> AllocPage() override { return alloc_->Alloc(); }
+  void FreePage(uint64_t page_off) override { alloc_->Free(page_off); }
+
+ private:
+  JournalRing journal_;
+  std::unique_ptr<PerCoreAlloc> alloc_;  // block groups give ext4 parallel allocation
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_EXTDAX_H_

@@ -1,0 +1,68 @@
+// A minimal NVM journal/log ring used by the baseline file systems to pay
+// realistic persistence costs for metadata: records are written with
+// non-temporal stores and fenced, exactly like the journals (PMFS, ext4-jbd2
+// analog) and logs (NOVA, Strata) they model.
+
+#ifndef SRC_BASELINES_JOURNAL_H_
+#define SRC_BASELINES_JOURNAL_H_
+
+#include <atomic>
+#include <cstring>
+
+#include "src/nvm/nvm.h"
+
+namespace baselines {
+
+class JournalRing {
+ public:
+  // The ring occupies [start_off, start_off + bytes) of the device.
+  JournalRing(nvm::NvmDevice* dev, uint64_t start_off, uint64_t bytes)
+      : dev_(dev), start_(start_off), size_(bytes) {}
+
+  // Appends a record of `n` payload bytes (plus a 16-byte header) and makes
+  // it durable. Returns the record's NVM offset.
+  uint64_t Append(const void* payload, size_t n) {
+    const uint64_t need = 16 + ((n + 63) & ~size_t{63});
+    uint64_t pos = head_.fetch_add(need, std::memory_order_relaxed) % size_;
+    if (pos + need > size_) {
+      pos = 0;  // wrap (old records are implicitly retired)
+    }
+    const uint64_t off = start_ + pos;
+    uint64_t hdr[2] = {0x4a524e4cu /* "JRNL" */, n};
+    dev_->NtStoreBytes(off, hdr, sizeof(hdr));
+    if (payload != nullptr && n > 0) {
+      dev_->NtStoreBytes(off + 16, payload, n);
+    }
+    dev_->Sfence();
+    return off;
+  }
+
+  // Appends a cost-only record (no meaningful payload) of `n` bytes — used
+  // when the modelled system journals a structure we keep volatile.
+  uint64_t AppendBlank(size_t n) {
+    static const uint8_t kBlank[4096] = {};
+    return Append(kBlank, n > sizeof(kBlank) ? sizeof(kBlank) : n);
+  }
+
+  // A separate commit mark with its own fence (undo-journal style: record,
+  // fence, apply, fence, commit, fence).
+  void Commit() {
+    uint64_t pos = head_.fetch_add(64, std::memory_order_relaxed) % size_;
+    if (pos + 64 > size_) {
+      pos = 0;
+    }
+    uint64_t mark = 0x434f4d54;  // "COMT"
+    dev_->NtStoreBytes(start_ + pos, &mark, sizeof(mark));
+    dev_->Sfence();
+  }
+
+ private:
+  nvm::NvmDevice* dev_;
+  uint64_t start_;
+  uint64_t size_;
+  std::atomic<uint64_t> head_{0};
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_JOURNAL_H_

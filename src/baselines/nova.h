@@ -1,0 +1,56 @@
+// NOVA-like baseline (paper §2.1, §6.1, Figure 8): a log-structured kernel
+// NVM file system.
+//
+//   * per-core allocators — NOVA scales past the points where PMFS and ZoFS's
+//     coffer_enlarge contend, because each core owns an equal share of the
+//     free space up front;
+//   * per-inode logs — every data or metadata change appends a log entry;
+//   * copy-on-write data by default: a write allocates fresh pages, writes
+//     them, appends the log entry, then updates the in-DRAM radix index and
+//     frees the old pages. `inplace` (NOVAi) journals metadata and writes in
+//     place instead. `-noindex` variants skip the index maintenance —
+//     deliberately incorrect, used only to isolate the index cost (Fig. 8).
+
+#ifndef SRC_BASELINES_NOVA_H_
+#define SRC_BASELINES_NOVA_H_
+
+#include <memory>
+
+#include "src/baselines/basefs.h"
+#include "src/baselines/journal.h"
+
+namespace baselines {
+
+struct NovaConfig {
+  bool inplace = false;       // NOVAi
+  bool update_index = true;   // false = -noindex variants
+};
+
+class NovaFs final : public BaseFs {
+ public:
+  NovaFs(nvm::NvmDevice* dev, Config cfg = {}, NovaConfig ncfg = {});
+  const char* Name() const override;
+
+ protected:
+  void PersistMeta(Node* node, size_t bytes) override {
+    // Log-structured metadata: one log entry append per change, plus the
+    // log-tail pointer commit (its own flush + fence).
+    log_.AppendBlank(bytes < 64 ? 64 : bytes);
+    log_.Commit();
+  }
+
+  Status WriteData(Node& node, const void* buf, size_t n, uint64_t off) override;
+
+  Result<uint64_t> AllocPage() override { return alloc_->Alloc(); }
+  void FreePage(uint64_t page_off) override { alloc_->Free(page_off); }
+
+ private:
+  NovaConfig ncfg_;
+  JournalRing log_;       // stands in for the per-inode logs
+  JournalRing journal_;   // NOVAi's metadata journal
+  std::unique_ptr<PerCoreAlloc> alloc_;
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_NOVA_H_

@@ -1,0 +1,52 @@
+// PMFS-like baseline (paper §2.1, §6.1): a journal-based kernel NVM file
+// system with a single **global** allocator — the design whose contention the
+// paper blames for PMFS's scalability cliff after 4 threads — and undo
+// journalling for metadata.
+//
+// Data writes default to regular stores followed by clwb per cacheline; the
+// `nocache` variant forces non-temporal writes, reproducing the surprising
+// PMFS vs PMFS-nocache gap of Figure 8.
+
+#ifndef SRC_BASELINES_PMFS_H_
+#define SRC_BASELINES_PMFS_H_
+
+#include <memory>
+
+#include "src/baselines/basefs.h"
+#include "src/baselines/journal.h"
+
+namespace baselines {
+
+struct PmfsConfig {
+  bool nocache = false;  // PMFS-nocache variant (Figure 8)
+};
+
+class PmfsFs final : public BaseFs {
+ public:
+  PmfsFs(nvm::NvmDevice* dev, Config cfg = {}, PmfsConfig pcfg = {});
+  const char* Name() const override { return pcfg_.nocache ? "PMFS-nocache" : "PMFS"; }
+
+ protected:
+  void PersistMeta(Node* node, size_t bytes) override {
+    // Undo journal: log the old value, fence, apply, fence, commit, fence.
+    journal_.AppendBlank(bytes);
+    journal_.Commit();
+  }
+
+  Status WriteData(Node& node, const void* buf, size_t n, uint64_t off) override {
+    return WriteBlocksInPlace(node, buf, n, off, /*non_temporal=*/pcfg_.nocache,
+                              /*flush_lines=*/!pcfg_.nocache);
+  }
+
+  Result<uint64_t> AllocPage() override { return alloc_->Alloc(); }
+  void FreePage(uint64_t page_off) override { alloc_->Free(page_off); }
+
+ private:
+  PmfsConfig pcfg_;
+  JournalRing journal_;
+  std::unique_ptr<GlobalPageAlloc> alloc_;  // the global allocator
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_PMFS_H_

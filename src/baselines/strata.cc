@@ -1,0 +1,203 @@
+#include "src/baselines/strata.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace baselines {
+
+namespace {
+constexpr uint32_t kMaxProcesses = 16;
+}
+
+// ---------------------------------------------------------------------------
+// StrataCore
+
+StrataCore::StrataCore(nvm::NvmDevice* dev, StrataConfig cfg)
+    : dev_(dev), cfg_(cfg), log_region_off_(0) {
+  log_region_len_ = cfg_.log_bytes_per_process * kMaxProcesses;
+  uint64_t first_shared_page = log_region_len_ / nvm::kPageSize;
+  shared_alloc_ =
+      std::make_unique<GlobalPageAlloc>(first_shared_page, dev->num_pages() - first_shared_page);
+  shared_root_ = std::make_shared<BaseFs::Node>();
+  shared_root_->id = 1;
+  shared_root_->type = vfs::FileType::kDirectory;
+  shared_root_->mode = 0777;
+}
+
+StrataCore::~StrataCore() = default;
+
+StrataCore::ProcessLog* StrataCore::RegisterProcess() {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  auto log = std::make_unique<ProcessLog>();
+  log->pid = next_pid_++;
+  log->area_off = log_region_off_ + (log->pid - 1) * cfg_.log_bytes_per_process;
+  log->area_len = cfg_.log_bytes_per_process;
+  logs_.push_back(std::move(log));
+  return logs_.back().get();
+}
+
+std::unique_ptr<StrataFs> StrataCore::CreateProcessView() {
+  ProcessLog* log = RegisterProcess();
+  return std::unique_ptr<StrataFs>(new StrataFs(this, log, log->pid, shared_root_));
+}
+
+StrataCore::Lease* StrataCore::LeaseOf(BaseFs::Node& node) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  if (node.ext == nullptr) {
+    leases_.push_back(std::make_unique<Lease>());
+    node.ext = leases_.back().get();
+  }
+  return static_cast<Lease*>(node.ext);
+}
+
+void StrataCore::Digest(ProcessLog& log) {
+  // The kernel applies every pending log entry to the shared area: the
+  // second write of Strata's double-write problem.
+  common::SpinNs(cfg_.crossing_ns);
+  for (const PendingBlock& pb : log.pending) {
+    auto it = pb.node->blocks.find(pb.blk);
+    if (it == pb.node->blocks.end() || it->second != pb.log_off) {
+      continue;  // superseded by a later write
+    }
+    auto page = shared_alloc_->Alloc();
+    if (!page.ok()) {
+      continue;  // shared area exhausted; drop on the floor (bench-only path)
+    }
+    dev_->NtStoreBytes(*page, dev_->base() + pb.log_off, nvm::kPageSize);
+    it->second = *page;
+  }
+  dev_->Sfence();
+  log.pending.clear();
+  log.used = 0;
+  digests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StrataCore::AcquireLease(BaseFs::Node& node, uint32_t pid) {
+  Lease* lease = LeaseOf(node);
+  uint32_t owner = lease->owner.load(std::memory_order_acquire);
+  if (owner == pid) {
+    return;
+  }
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  owner = lease->owner.load(std::memory_order_acquire);
+  if (owner == pid) {
+    return;
+  }
+  if (owner != 0) {
+    // Lease handoff: revoke from the current owner — a kernel-coordinated
+    // RPC that waits for the owner to quiesce and digests its pending log
+    // before the lease can move (Table 2's collapse).
+    common::SpinNs(cfg_.lease_handoff_ns);
+    for (auto& log : logs_) {
+      if (log->pid == owner) {
+        Digest(*log);
+        break;
+      }
+    }
+  } else {
+    // First acquisition: one kernel round-trip.
+    common::SpinNs(cfg_.crossing_ns);
+  }
+  lease->owner.store(pid, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// StrataFs
+
+StrataFs::StrataFs(StrataCore* core, StrataCore::ProcessLog* log, uint32_t pid,
+                   std::shared_ptr<Node> shared_root)
+    : BaseFs(core->dev(), Config{.syscall_per_op = false, .crossing_ns = core->config().crossing_ns}),
+      core_(core),
+      log_(log),
+      pid_(pid) {
+  SetRoot(std::move(shared_root));
+}
+
+void StrataFs::TouchLease(Node& node) { core_->AcquireLease(node, pid_); }
+
+uint64_t StrataFs::LogReserve(uint64_t n) {
+  // Caller holds core_->mu_.
+  if (log_->used + n >
+      static_cast<uint64_t>(static_cast<double>(log_->area_len) * core_->config().digest_threshold)) {
+    core_->Digest(*log_);
+  }
+  uint64_t off = log_->area_off + log_->used;
+  log_->used += n;
+  return off;
+}
+
+void StrataFs::PersistMeta(Node* node, size_t bytes) {
+  std::lock_guard<std::recursive_mutex> lk(core_->mu_);
+  // Strata writes two logs per namespace mutation to keep metadata
+  // consistent (§2.2: "Strata has to write two logs for each create").
+  static const uint8_t kBlank[512] = {};
+  for (int i = 0; i < 2; i++) {
+    uint64_t off = LogReserve(64 + ((bytes + 63) & ~size_t{63}));
+    core_->dev()->NtStoreBytes(off, kBlank, std::min<size_t>(bytes + 64, sizeof(kBlank)));
+    core_->dev()->Sfence();
+  }
+}
+
+Status StrataFs::WriteData(Node& node, const void* buf, size_t n, uint64_t off) {
+  std::lock_guard<std::recursive_mutex> lk(core_->mu_);
+  nvm::NvmDevice* d = core_->dev();
+  const auto* src = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const uint64_t blk = (off + done) / nvm::kPageSize;
+    const uint64_t in_off = (off + done) % nvm::kPageSize;
+    const size_t chunk = std::min<size_t>(n - done, nvm::kPageSize - in_off);
+    // Every write lands in the private log as a whole page image (header +
+    // page); partial writes carry over the current contents so the log entry
+    // is self-contained.
+    const uint64_t entry = LogReserve(64 + nvm::kPageSize);
+    const uint64_t data_off = entry + 64;
+    uint64_t hdr[2] = {0x53545241u /* "STRA" */, blk};
+    d->NtStoreBytes(entry, hdr, sizeof(hdr));
+    if (chunk == nvm::kPageSize) {
+      d->NtStoreBytes(data_off, src + done, nvm::kPageSize);
+    } else {
+      uint8_t page_buf[nvm::kPageSize];
+      auto it = node.blocks.find(blk);
+      if (it != node.blocks.end()) {
+        memcpy(page_buf, d->base() + it->second, nvm::kPageSize);
+      } else {
+        memset(page_buf, 0, nvm::kPageSize);
+      }
+      memcpy(page_buf + in_off, src + done, chunk);
+      d->NtStoreBytes(data_off, page_buf, nvm::kPageSize);
+    }
+    d->Sfence();
+    // Point the block at the log entry; digestion moves it to the shared
+    // area later. A superseded shared page goes back to the allocator.
+    auto it = node.blocks.find(blk);
+    if (it != node.blocks.end() && it->second >= core_->log_region_len_) {
+      core_->shared_alloc_->Free(it->second);
+    }
+    node.blocks[blk] = data_off;
+    log_->pending.push_back(StrataCore::PendingBlock{node.shared_from_this(), blk, data_off});
+    done += chunk;
+  }
+  const uint64_t end = off + n;
+  if (end > node.size.load(std::memory_order_relaxed)) {
+    node.size.store(end, std::memory_order_relaxed);
+  }
+  node.mtime_ns.store(common::NowNs(), std::memory_order_relaxed);
+  return common::OkStatus();
+}
+
+Result<size_t> StrataFs::ReadData(Node& node, void* buf, size_t n, uint64_t off) {
+  std::lock_guard<std::recursive_mutex> lk(core_->mu_);
+  return BaseFs::ReadData(node, buf, n, off);
+}
+
+Result<uint64_t> StrataFs::AllocPage() { return core_->shared_alloc_->Alloc(); }
+
+void StrataFs::FreePage(uint64_t page_off) {
+  if (page_off < core_->log_region_len_) {
+    return;  // log space is reclaimed wholesale at digestion
+  }
+  core_->shared_alloc_->Free(page_off);
+}
+
+}  // namespace baselines

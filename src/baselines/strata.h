@@ -1,0 +1,132 @@
+// Strata-like baseline (paper §2.2, Table 2): a cross-media file system whose
+// user-space library logs every update to a private NVM log; the kernel
+// digests logs into the shared area.
+//
+// What matters for the reproduction:
+//   * reads and log appends run in user space (no kernel crossing);
+//   * every update is written twice: once to the private log, once more at
+//     digestion (the "double-write problem");
+//   * leases: one process owns a file/directory at a time. When another
+//     process touches it, the owner's pending log must be digested and the
+//     lease handed over — a kernel-coordinated, synchronous, slow path. This
+//     is exactly why Table 2's shared append/create collapse (34 µs / 284 µs
+//     at two processes).
+//
+// StrataCore is the shared kernel+device state; StrataFs is one process's
+// library view (LibFS).
+
+#ifndef SRC_BASELINES_STRATA_H_
+#define SRC_BASELINES_STRATA_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/baselines/basefs.h"
+#include "src/baselines/journal.h"
+
+namespace baselines {
+
+struct StrataConfig {
+  uint64_t crossing_ns = 300;
+  uint64_t log_bytes_per_process = 16ull << 20;
+  // Fixed coordination latency of a lease revocation (kernel RPC to the
+  // holder, waiting out in-flight operations), paid on top of digesting the
+  // holder's pending entries.
+  uint64_t lease_handoff_ns = 12000;
+  // Digest when a process's log passes this fraction of its capacity.
+  double digest_threshold = 0.75;
+};
+
+class StrataFs;
+
+class StrataCore {
+ public:
+  StrataCore(nvm::NvmDevice* dev, StrataConfig cfg = {});
+  ~StrataCore();
+
+  // Creates the LibFS view for one process.
+  std::unique_ptr<StrataFs> CreateProcessView();
+
+  nvm::NvmDevice* dev() { return dev_; }
+  const StrataConfig& config() const { return cfg_; }
+  uint64_t digests_performed() const { return digests_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class StrataFs;
+
+  struct PendingBlock {
+    std::shared_ptr<BaseFs::Node> node;
+    uint64_t blk;
+    uint64_t log_off;  // where the data currently lives (inside the log)
+  };
+
+  struct ProcessLog {
+    uint32_t pid;
+    uint64_t area_off;   // this process's slice of the log region
+    uint64_t area_len;
+    uint64_t used = 0;
+    std::vector<PendingBlock> pending;
+  };
+
+  // Lease state hangs off BaseFs::Node::ext.
+  struct Lease {
+    std::atomic<uint32_t> owner{0};  // pid, 0 = unowned
+  };
+
+  ProcessLog* RegisterProcess();
+  Lease* LeaseOf(BaseFs::Node& node);
+  // Digest all pending entries of `log` into the shared area: the second
+  // write. Charged as a kernel operation.
+  void Digest(ProcessLog& log);
+  // Called on every node access by `pid`: acquires/steals the lease,
+  // digesting the previous owner's log synchronously on a handoff.
+  void AcquireLease(BaseFs::Node& node, uint32_t pid);
+
+  nvm::NvmDevice* dev_;
+  StrataConfig cfg_;
+  std::unique_ptr<GlobalPageAlloc> shared_alloc_;
+  uint64_t log_region_off_;
+  uint64_t log_region_len_;
+  // One lock serialises the Strata data plane (log appends, digests, lease
+  // transfers). Strata's measured flat multithread scaling (§6.2) reflects
+  // exactly this kind of serialisation.
+  std::recursive_mutex mu_;
+  std::vector<std::unique_ptr<ProcessLog>> logs_;
+  std::vector<std::unique_ptr<Lease>> leases_;
+  std::atomic<uint64_t> digests_{0};
+  uint32_t next_pid_ = 1;
+  std::shared_ptr<BaseFs::Node> shared_root_;
+};
+
+class StrataFs final : public BaseFs {
+ public:
+  const char* Name() const override { return "Strata"; }
+
+ protected:
+  void EnterOp() override {}  // LibFS: reads and log appends skip the kernel
+
+  void PersistMeta(Node* node, size_t bytes) override;
+  Status WriteData(Node& node, const void* buf, size_t n, uint64_t off) override;
+  Result<size_t> ReadData(Node& node, void* buf, size_t n, uint64_t off) override;
+  Result<uint64_t> AllocPage() override;
+  void FreePage(uint64_t page_off) override;
+  void TouchLease(Node& node) override;
+  Status SyncFile(Node& node) override { return common::OkStatus(); }  // log is durable
+
+ private:
+  friend class StrataCore;
+  StrataFs(StrataCore* core, StrataCore::ProcessLog* log, uint32_t pid,
+           std::shared_ptr<Node> shared_root);
+
+  // Reserves `n` bytes in the private log, digesting first if full.
+  uint64_t LogReserve(uint64_t n);
+
+  StrataCore* core_;
+  StrataCore::ProcessLog* log_;
+  uint32_t pid_;
+};
+
+}  // namespace baselines
+
+#endif  // SRC_BASELINES_STRATA_H_

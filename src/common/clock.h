@@ -1,0 +1,51 @@
+// Monotonic time and simulated-cost charging.
+//
+// The reproduction models hardware and privilege-boundary costs (kernel
+// crossings, NVM media latency) as calibrated busy-waits so that measured
+// throughput and latency keep the paper's relative shape on commodity DRAM.
+
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace common {
+
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Busy-wait for `ns` nanoseconds. Spinning (rather than sleeping) matches the
+// granularity of the costs being modelled (hundreds of nanoseconds) — OS
+// sleep primitives cannot model sub-microsecond stalls.
+inline void SpinNs(uint64_t ns) {
+  if (ns == 0) {
+    return;
+  }
+  const uint64_t start = NowNs();
+  while (NowNs() - start < ns) {
+    // Relax the pipeline; keeps the spin polite on SMT siblings.
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+// RAII stopwatch for nanosecond timing.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNs()) {}
+  uint64_t ElapsedNs() const { return NowNs() - start_; }
+  void Restart() { start_ = NowNs(); }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_CLOCK_H_

@@ -1,0 +1,29 @@
+// String hashing used by directory hash tables and the path-coffer map.
+
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace common {
+
+// 64-bit FNV-1a. Deterministic across runs (persistent structures depend on
+// stable hashes).
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint32_t Fnv1a32(std::string_view s) {
+  uint64_t h = Fnv1a64(s);
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+}  // namespace common
+
+#endif  // SRC_COMMON_HASH_H_

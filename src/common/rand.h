@@ -1,0 +1,103 @@
+// Deterministic PRNG and samplers used by workload generators.
+//
+// Benchmarks must be reproducible run-to-run, so everything takes an explicit
+// seed; nothing reads global entropy.
+
+#ifndef SRC_COMMON_RAND_H_
+#define SRC_COMMON_RAND_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace common {
+
+// xoshiro256** by Blackman & Vigna — fast, high-quality, 64-bit output.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi].
+  uint64_t Between(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  double NextDouble() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Fill `n` bytes with pseudorandom data.
+  void Fill(void* dst, size_t n) {
+    auto* p = static_cast<uint8_t*>(dst);
+    while (n >= 8) {
+      uint64_t v = Next();
+      __builtin_memcpy(p, &v, 8);
+      p += 8;
+      n -= 8;
+    }
+    if (n > 0) {
+      uint64_t v = Next();
+      __builtin_memcpy(p, &v, n);
+    }
+  }
+
+  std::string AlnumString(size_t len) {
+    static constexpr char kChars[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string s(len, '\0');
+    for (auto& c : s) {
+      c = kChars[Below(sizeof(kChars) - 1)];
+    }
+    return s;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+// Zipfian sampler over [0, n) with parameter theta, using the standard
+// Gray et al. rejection-free construction (the YCSB approach). Used for
+// "read hot" style skewed access patterns.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double theta, uint64_t seed);
+  uint64_t Next();
+
+ private:
+  double ZetaStatic(uint64_t n, double theta);
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Rng rng_;
+};
+
+}  // namespace common
+
+#endif  // SRC_COMMON_RAND_H_

@@ -1,0 +1,74 @@
+// Latency / throughput accounting for the benchmark harness.
+
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace common {
+
+// Records individual operation latencies (ns) and reports summary statistics.
+// Not thread-safe: use one recorder per worker thread and Merge() afterwards.
+class LatencyRecorder {
+ public:
+  LatencyRecorder() { samples_.reserve(1 << 16); }
+
+  void Record(uint64_t ns) {
+    samples_.push_back(ns);
+    total_ns_ += ns;
+  }
+
+  void Merge(const LatencyRecorder& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    total_ns_ += other.total_ns_;
+  }
+
+  size_t count() const { return samples_.size(); }
+  uint64_t total_ns() const { return total_ns_; }
+
+  double MeanNs() const {
+    return samples_.empty() ? 0.0 : static_cast<double>(total_ns_) / samples_.size();
+  }
+
+  // p in [0, 100].
+  uint64_t PercentileNs(double p) {
+    if (samples_.empty()) {
+      return 0;
+    }
+    std::sort(samples_.begin(), samples_.end());
+    size_t idx = static_cast<size_t>(p / 100.0 * (samples_.size() - 1) + 0.5);
+    return samples_[std::min(idx, samples_.size() - 1)];
+  }
+
+ private:
+  std::vector<uint64_t> samples_;
+  uint64_t total_ns_ = 0;
+};
+
+// Simple fixed-width text table, used by bench binaries to print rows in the
+// shape of the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats `v` with engineering suffixes: 12.3K, 4.56M ops/sec etc.
+std::string HumanRate(double v);
+
+// Formats nanoseconds as a compact human string (ns/us/ms/s).
+std::string HumanNs(double ns);
+
+// Formats bytes as a compact human string (B/KB/MB/GB).
+std::string HumanBytes(double bytes);
+
+}  // namespace common
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,290 @@
+#include "src/fslib/fslib.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/mpk/mpk.h"
+
+namespace fslib {
+
+using common::Err;
+using common::OkStatus;
+
+namespace {
+
+// Converts an in-flight MPK violation (the simulated SIGSEGV) into a
+// graceful file-system error — paper §3.4.2. Every FSLibs entry point runs
+// its body under this guard.
+template <typename F>
+auto Guarded(F&& body) -> decltype(body()) {
+  try {
+    return body();
+  } catch (const mpk::ViolationError& v) {
+    if (getenv("ZR_DEBUG_FAULT") != nullptr) {
+      fprintf(stderr, "fslib: MPK violation at off=0x%lx key=0x%x write=%d\n",
+              (unsigned long)v.off, v.key, v.is_write);
+    }
+    return Err::kFault;
+  }
+}
+
+}  // namespace
+
+FsLib::FsLib(kernfs::KernFs* kfs, vfs::Cred cred, zofs::Options zopts) : kfs_(kfs) {
+  proc_ = kfs_->CreateProcess(cred);
+  proc_->BindCurrentThread();
+  // Dispatch on the root coffer's type (paper Figure 4: the dispatcher
+  // routes to the µFS registered for the coffer type).
+  const uint32_t type = kfs_->RootPageOf(kfs_->root_coffer_id())->type;
+  if (type == kernfs::kCofferTypeLogFs) {
+    fs_ = std::make_unique<logfs::LogFs>(kfs_, proc_);
+  } else {
+    auto z = std::make_unique<zofs::ZoFs>(kfs_, proc_, zopts);
+    zofs_ = z.get();
+    fs_ = std::move(z);
+  }
+}
+
+FsLib::~FsLib() {
+  fs_.reset();
+  kfs_->DestroyProcess(proc_);
+  mpk::BindThreadToProcess(nullptr);
+}
+
+vfs::Result<vfs::Fd> FsLib::InstallLowestFd(std::shared_ptr<Description> desc) {
+  std::lock_guard<std::mutex> lk(fd_mu_);
+  for (size_t i = 0; i < fds_.size(); i++) {
+    if (fds_[i] == nullptr) {
+      fds_[i] = std::move(desc);
+      return static_cast<vfs::Fd>(i);
+    }
+  }
+  if (fds_.size() >= 65536) {
+    return Err::kMFile;
+  }
+  fds_.push_back(std::move(desc));
+  return static_cast<vfs::Fd>(fds_.size() - 1);
+}
+
+vfs::Result<std::shared_ptr<FsLib::Description>> FsLib::Get(vfs::Fd fd) {
+  std::lock_guard<std::mutex> lk(fd_mu_);
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || fds_[fd] == nullptr) {
+    return Err::kBadF;
+  }
+  return fds_[fd];
+}
+
+vfs::Result<vfs::Fd> FsLib::Open(const vfs::Cred& cred, const std::string& path, uint32_t flags,
+                                 uint16_t mode) {
+  BindThread();
+  return Guarded([&]() -> vfs::Result<vfs::Fd> {
+    common::Result<ufs::NodeRef> node = Err::kNoEnt;
+    if ((flags & vfs::kCreate) && !(flags & vfs::kExcl)) {
+      // Single-walk open-or-create fast path.
+      bool created = false;
+      node = fs_->OpenOrCreate(path, mode, &created);
+      if (!node.ok()) {
+        return node.error();
+      }
+    } else {
+      node = fs_->Lookup(path, /*follow_last_symlink=*/true);
+      if (!node.ok()) {
+        if (node.error() != Err::kNoEnt || !(flags & vfs::kCreate)) {
+          return node.error();
+        }
+        node = fs_->Create(path, mode);
+        if (!node.ok()) {
+          return node.error();
+        }
+      } else if ((flags & vfs::kCreate) && (flags & vfs::kExcl)) {
+        return Err::kExist;
+      }
+    }
+
+    const bool want_write = (flags & vfs::kWrite) != 0;
+    RETURN_IF_ERROR(fs_->EnsureAccess(*node, want_write));
+    if (flags & vfs::kTrunc) {
+      RETURN_IF_ERROR(fs_->TruncateNode(*node, 0));
+    }
+    auto desc = std::make_shared<Description>();
+    desc->node = *node;
+    desc->flags = flags;
+    return InstallLowestFd(std::move(desc));
+  });
+}
+
+vfs::Status FsLib::Close(vfs::Fd fd) {
+  std::lock_guard<std::mutex> lk(fd_mu_);
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || fds_[fd] == nullptr) {
+    return Err::kBadF;
+  }
+  fds_[fd] = nullptr;
+  return OkStatus();
+}
+
+vfs::Result<size_t> FsLib::Read(vfs::Fd fd, void* buf, size_t n) {
+  BindThread();
+  return Guarded([&]() -> vfs::Result<size_t> {
+    ASSIGN_OR_RETURN(d, Get(fd));
+    fs_->FixNode(&d->node);
+    uint64_t pos = d->pos.load(std::memory_order_relaxed);
+    ASSIGN_OR_RETURN(done, fs_->ReadAt(d->node, buf, n, pos));
+    d->pos.fetch_add(done, std::memory_order_relaxed);
+    return done;
+  });
+}
+
+vfs::Result<size_t> FsLib::Write(vfs::Fd fd, const void* buf, size_t n) {
+  BindThread();
+  return Guarded([&]() -> vfs::Result<size_t> {
+    ASSIGN_OR_RETURN(d, Get(fd));
+    fs_->FixNode(&d->node);
+    if (d->flags & vfs::kAppend) {
+      ASSIGN_OR_RETURN(at, fs_->Append(d->node, buf, n));
+      d->pos.store(at + n, std::memory_order_relaxed);
+      return n;
+    }
+    uint64_t pos = d->pos.load(std::memory_order_relaxed);
+    ASSIGN_OR_RETURN(done, fs_->WriteAt(d->node, buf, n, pos));
+    d->pos.fetch_add(done, std::memory_order_relaxed);
+    return done;
+  });
+}
+
+vfs::Result<size_t> FsLib::Pread(vfs::Fd fd, void* buf, size_t n, uint64_t off) {
+  BindThread();
+  return Guarded([&]() -> vfs::Result<size_t> {
+    ASSIGN_OR_RETURN(d, Get(fd));
+    fs_->FixNode(&d->node);
+    return fs_->ReadAt(d->node, buf, n, off);
+  });
+}
+
+vfs::Result<size_t> FsLib::Pwrite(vfs::Fd fd, const void* buf, size_t n, uint64_t off) {
+  BindThread();
+  return Guarded([&]() -> vfs::Result<size_t> {
+    ASSIGN_OR_RETURN(d, Get(fd));
+    fs_->FixNode(&d->node);
+    return fs_->WriteAt(d->node, buf, n, off);
+  });
+}
+
+vfs::Result<uint64_t> FsLib::Lseek(vfs::Fd fd, int64_t off, int whence) {
+  BindThread();
+  return Guarded([&]() -> vfs::Result<uint64_t> {
+    ASSIGN_OR_RETURN(d, Get(fd));
+    int64_t base = 0;
+    switch (whence) {
+      case 0:
+        base = 0;
+        break;
+      case 1:
+        base = static_cast<int64_t>(d->pos.load(std::memory_order_relaxed));
+        break;
+      case 2: {
+        ASSIGN_OR_RETURN(st, fs_->StatNode(d->node));
+        base = static_cast<int64_t>(st.size);
+        break;
+      }
+      default:
+        return Err::kInval;
+    }
+    int64_t target = base + off;
+    if (target < 0) {
+      return Err::kInval;
+    }
+    d->pos.store(static_cast<uint64_t>(target), std::memory_order_relaxed);
+    return static_cast<uint64_t>(target);
+  });
+}
+
+vfs::Status FsLib::Fsync(vfs::Fd fd) {
+  // ZoFS is synchronous: every operation persists before returning.
+  ASSIGN_OR_RETURN(d, Get(fd));
+  (void)d;
+  return OkStatus();
+}
+
+vfs::Result<vfs::StatBuf> FsLib::Fstat(vfs::Fd fd) {
+  BindThread();
+  return Guarded([&]() -> vfs::Result<vfs::StatBuf> {
+    ASSIGN_OR_RETURN(d, Get(fd));
+    fs_->FixNode(&d->node);
+    return fs_->StatNode(d->node);
+  });
+}
+
+vfs::Status FsLib::Ftruncate(vfs::Fd fd, uint64_t len) {
+  BindThread();
+  return Guarded([&]() -> vfs::Status {
+    ASSIGN_OR_RETURN(d, Get(fd));
+    fs_->FixNode(&d->node);
+    return fs_->TruncateNode(d->node, len);
+  });
+}
+
+vfs::Result<vfs::Fd> FsLib::Dup(vfs::Fd fd) {
+  // dup returns the lowest available FD and shares the open file description
+  // (offset included) — the behaviour the FD mapping table exists to provide
+  // (paper §4.2).
+  ASSIGN_OR_RETURN(d, Get(fd));
+  return InstallLowestFd(d);
+}
+
+vfs::Status FsLib::Mkdir(const vfs::Cred& cred, const std::string& path, uint16_t mode) {
+  BindThread();
+  return Guarded([&]() { return fs_->Mkdir(path, mode); });
+}
+
+vfs::Status FsLib::Rmdir(const vfs::Cred& cred, const std::string& path) {
+  BindThread();
+  return Guarded([&]() { return fs_->Rmdir(path); });
+}
+
+vfs::Status FsLib::Unlink(const vfs::Cred& cred, const std::string& path) {
+  BindThread();
+  return Guarded([&]() { return fs_->Unlink(path); });
+}
+
+vfs::Result<vfs::StatBuf> FsLib::Stat(const vfs::Cred& cred, const std::string& path) {
+  BindThread();
+  return Guarded([&]() -> vfs::Result<vfs::StatBuf> {
+    ASSIGN_OR_RETURN(node, fs_->Lookup(path, true));
+    return fs_->StatNode(node);
+  });
+}
+
+vfs::Result<std::vector<vfs::DirEntry>> FsLib::ReadDir(const vfs::Cred& cred,
+                                                       const std::string& path) {
+  BindThread();
+  return Guarded([&]() { return fs_->ReadDir(path); });
+}
+
+vfs::Status FsLib::Rename(const vfs::Cred& cred, const std::string& from, const std::string& to) {
+  BindThread();
+  return Guarded([&]() { return fs_->Rename(from, to); });
+}
+
+vfs::Status FsLib::Chmod(const vfs::Cred& cred, const std::string& path, uint16_t mode) {
+  BindThread();
+  return Guarded([&]() { return fs_->Chmod(path, mode); });
+}
+
+vfs::Status FsLib::Chown(const vfs::Cred& cred, const std::string& path, uint32_t uid,
+                         uint32_t gid) {
+  BindThread();
+  return Guarded([&]() { return fs_->Chown(path, uid, gid); });
+}
+
+vfs::Status FsLib::Symlink(const vfs::Cred& cred, const std::string& target,
+                           const std::string& linkpath) {
+  BindThread();
+  return Guarded([&]() { return fs_->Symlink(target, linkpath); });
+}
+
+vfs::Result<std::string> FsLib::ReadLink(const vfs::Cred& cred, const std::string& path) {
+  BindThread();
+  return Guarded([&]() { return fs_->ReadLink(path); });
+}
+
+}  // namespace fslib

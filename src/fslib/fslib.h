@@ -1,0 +1,101 @@
+// FSLibs — the user-space half of Treasury (paper §4.2), one instance per
+// simulated process.
+//
+// FsLib plays the role of the preloaded libfs.so: it exposes a POSIX-shaped
+// surface (the vfs::FileSystem interface stands in for intercepted system
+// calls), maintains the user-space FD mapping table with lowest-available-FD
+// semantics (dup included), dispatches into the µFS (ZoFS), and converts MPK
+// violations raised mid-operation into graceful file-system errors — the
+// moral equivalent of the paper's sigsetjmp/siglongjmp SIGSEGV handling
+// (§3.4.2).
+
+#ifndef SRC_FSLIB_FSLIB_H_
+#define SRC_FSLIB_FSLIB_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/kernfs/kernfs.h"
+#include "src/logfs/logfs.h"
+#include "src/ufs/microfs.h"
+#include "src/vfs/vfs.h"
+#include "src/zofs/zofs.h"
+
+namespace fslib {
+
+class FsLib final : public vfs::FileSystem {
+ public:
+  // Creates a simulated process with credentials `cred` and mounts FSLibs in
+  // it. The kernel crossing and µFS behaviour come from `zopts`.
+  FsLib(kernfs::KernFs* kfs, vfs::Cred cred, zofs::Options zopts = {});
+  ~FsLib() override;
+
+  const char* Name() const override { return fs_ == nullptr ? "FSLibs" : fs_->Name(); }
+
+  kernfs::Process* proc() { return proc_; }
+  // The µFS serving this process (dispatched on the root coffer's type).
+  ufs::MicroFs& ufs() { return *fs_; }
+  // ZoFS-specific access (tests/benches); only valid when the root coffer is
+  // a ZoFS coffer.
+  zofs::ZoFs& zofs() { return *zofs_; }
+
+  // Binds the calling thread to this process's address space. Worker threads
+  // of a simulated process call this once; every FS entry point also rebinds
+  // defensively (a cheap TLS store).
+  void BindThread() { proc_->BindCurrentThread(); }
+
+  // ---- vfs::FileSystem ----
+  vfs::Result<vfs::Fd> Open(const vfs::Cred& cred, const std::string& path, uint32_t flags,
+                            uint16_t mode) override;
+  vfs::Status Close(vfs::Fd fd) override;
+  vfs::Result<size_t> Read(vfs::Fd fd, void* buf, size_t n) override;
+  vfs::Result<size_t> Write(vfs::Fd fd, const void* buf, size_t n) override;
+  vfs::Result<size_t> Pread(vfs::Fd fd, void* buf, size_t n, uint64_t off) override;
+  vfs::Result<size_t> Pwrite(vfs::Fd fd, const void* buf, size_t n, uint64_t off) override;
+  vfs::Result<uint64_t> Lseek(vfs::Fd fd, int64_t off, int whence) override;
+  vfs::Status Fsync(vfs::Fd fd) override;
+  vfs::Result<vfs::StatBuf> Fstat(vfs::Fd fd) override;
+  vfs::Status Ftruncate(vfs::Fd fd, uint64_t len) override;
+  vfs::Result<vfs::Fd> Dup(vfs::Fd fd) override;
+
+  vfs::Status Mkdir(const vfs::Cred& cred, const std::string& path, uint16_t mode) override;
+  vfs::Status Rmdir(const vfs::Cred& cred, const std::string& path) override;
+  vfs::Status Unlink(const vfs::Cred& cred, const std::string& path) override;
+  vfs::Result<vfs::StatBuf> Stat(const vfs::Cred& cred, const std::string& path) override;
+  vfs::Result<std::vector<vfs::DirEntry>> ReadDir(const vfs::Cred& cred,
+                                                  const std::string& path) override;
+  vfs::Status Rename(const vfs::Cred& cred, const std::string& from,
+                     const std::string& to) override;
+  vfs::Status Chmod(const vfs::Cred& cred, const std::string& path, uint16_t mode) override;
+  vfs::Status Chown(const vfs::Cred& cred, const std::string& path, uint32_t uid,
+                    uint32_t gid) override;
+  vfs::Status Symlink(const vfs::Cred& cred, const std::string& target,
+                      const std::string& linkpath) override;
+  vfs::Result<std::string> ReadLink(const vfs::Cred& cred, const std::string& path) override;
+
+ private:
+  // An open file description (shared between dup'd FDs, as in POSIX).
+  struct Description {
+    ufs::NodeRef node;
+    std::atomic<uint64_t> pos{0};
+    uint32_t flags = 0;
+  };
+
+  vfs::Result<vfs::Fd> InstallLowestFd(std::shared_ptr<Description> desc);
+  vfs::Result<std::shared_ptr<Description>> Get(vfs::Fd fd);
+
+  kernfs::KernFs* kfs_;
+  kernfs::Process* proc_;
+  std::unique_ptr<ufs::MicroFs> fs_;
+  zofs::ZoFs* zofs_ = nullptr;  // set when fs_ is a ZoFs
+
+  std::mutex fd_mu_;
+  std::vector<std::shared_ptr<Description>> fds_;  // index == user-visible FD
+};
+
+}  // namespace fslib
+
+#endif  // SRC_FSLIB_FSLIB_H_

@@ -1,0 +1,243 @@
+#include "src/harness/filebench.h"
+
+#include <cassert>
+#include <vector>
+
+#include "src/common/rand.h"
+
+namespace harness {
+
+namespace {
+const vfs::Cred kCred{0, 0};
+
+// Directory layout: a tree with fanout `width`, as filebench builds. File i
+// lives in leaf directory i/width; leaf directories are arranged by their
+// base-`width` digits, so a small width produces deep paths (the varmail
+// dir-width-20 configuration of §6.2) and width 1,000,000 puts every file in
+// one flat directory.
+std::string DirOf(uint64_t i, uint64_t width) {
+  uint64_t leaf = i / width;
+  std::string path;
+  do {
+    path = "/t" + std::to_string(leaf % width) + path;
+    leaf /= width;
+  } while (leaf > 0);
+  return path;
+}
+std::string PathOf(uint64_t i, uint64_t width) {
+  return DirOf(i, width) + "/f" + std::to_string(i);
+}
+
+// Creates every directory on the way to DirOf(i).
+void EnsureDirs(vfs::FileSystem* fs, uint64_t i, uint64_t width) {
+  uint64_t leaf = i / width;
+  std::vector<uint64_t> digits;
+  do {
+    digits.push_back(leaf % width);
+    leaf /= width;
+  } while (leaf > 0);
+  std::string path;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    path += "/t" + std::to_string(*it);
+    fs->Mkdir(kCred, path, 0755);  // EEXIST is fine
+  }
+}
+
+void WriteWhole(vfs::FileSystem* fs, vfs::Fd fd, const std::vector<uint8_t>& buf, uint64_t size) {
+  uint64_t off = 0;
+  while (off < size) {
+    size_t n = std::min<uint64_t>(buf.size(), size - off);
+    auto w = fs->Pwrite(fd, buf.data(), n, off);
+    assert(w.ok());
+    off += n;
+  }
+}
+
+uint64_t ReadWhole(vfs::FileSystem* fs, vfs::Fd fd, std::vector<uint8_t>& buf) {
+  uint64_t off = 0;
+  for (;;) {
+    auto r = fs->Pread(fd, buf.data(), buf.size(), off);
+    if (!r.ok() || *r == 0) {
+      break;
+    }
+    off += *r;
+  }
+  return off;
+}
+
+}  // namespace
+
+const char* FbName(FbWorkload w) {
+  switch (w) {
+    case FbWorkload::kFileserver:
+      return "fileserver";
+    case FbWorkload::kWebserver:
+      return "webserver";
+    case FbWorkload::kWebproxy:
+      return "webproxy";
+    case FbWorkload::kVarmail:
+      return "varmail";
+  }
+  return "?";
+}
+
+bool ParseFbWorkload(const std::string& s, FbWorkload* out) {
+  for (FbWorkload w : {FbWorkload::kFileserver, FbWorkload::kWebserver, FbWorkload::kWebproxy,
+                       FbWorkload::kVarmail}) {
+    if (s == FbName(w)) {
+      *out = w;
+      return true;
+    }
+  }
+  return false;
+}
+
+FbOptions ResolveFbOptions(FbWorkload w, FbOptions o) {
+  // Table 6 values, multiplied by o.scale for file counts.
+  auto scaled = [&](uint64_t v) { return std::max<uint64_t>(64, v * o.scale); };
+  switch (w) {
+    case FbWorkload::kFileserver:
+      if (o.nfiles == 0) o.nfiles = scaled(10000);
+      if (o.dir_width == 0) o.dir_width = 20;
+      if (o.file_size == 0) o.file_size = 128 * 1024;
+      break;
+    case FbWorkload::kWebserver:
+      if (o.nfiles == 0) o.nfiles = scaled(1000);
+      if (o.dir_width == 0) o.dir_width = 20;
+      if (o.file_size == 0) o.file_size = 16 * 1024;
+      break;
+    case FbWorkload::kWebproxy:
+      if (o.nfiles == 0) o.nfiles = scaled(10000);
+      if (o.dir_width == 0) o.dir_width = 1000000;
+      if (o.file_size == 0) o.file_size = 16 * 1024;
+      break;
+    case FbWorkload::kVarmail:
+      if (o.nfiles == 0) o.nfiles = scaled(1000);
+      if (o.dir_width == 0) o.dir_width = 1000000;
+      if (o.file_size == 0) o.file_size = 16 * 1024;
+      break;
+  }
+  return o;
+}
+
+WorkloadResult RunFilebench(FsLab& lab, FbWorkload w, int threads, const FbOptions& raw_opts) {
+  const FbOptions opts = ResolveFbOptions(w, raw_opts);
+  vfs::FileSystem* fs = lab.View(0);
+
+  // ---- pre-populate the file set ----
+  {
+    std::vector<uint8_t> buf(64 * 1024, 0x42);
+    for (uint64_t i = 0; i < opts.nfiles; i += opts.dir_width) {
+      EnsureDirs(fs, i, opts.dir_width);
+    }
+    for (uint64_t i = 0; i < opts.nfiles; i++) {
+      auto fd = fs->Open(kCred, PathOf(i, opts.dir_width), vfs::kCreate | vfs::kWrite, 0644);
+      assert(fd.ok());
+      WriteWhole(fs, *fd, buf, opts.file_size);
+      fs->Close(*fd);
+    }
+    if (w == FbWorkload::kWebserver) {
+      auto fd = fs->Open(kCred, "/weblog", vfs::kCreate | vfs::kWrite, 0644);
+      assert(fd.ok());
+      fs->Close(*fd);
+    }
+  }
+
+  return RunThreads(threads, [&](int t) -> uint64_t {
+    common::Rng rng(opts.seed + t * 1315423911ull);
+    std::vector<uint8_t> io(64 * 1024, 0x37);
+    std::vector<uint8_t> rbuf(64 * 1024);
+    uint64_t ops = 0;
+
+    for (uint64_t it = 0; it < opts.iterations_per_thread; it++) {
+      const uint64_t i = rng.Below(opts.nfiles);
+      const std::string path = PathOf(i, opts.dir_width);
+      switch (w) {
+        case FbWorkload::kFileserver: {
+          // create-write / open-append / whole read / delete / stat.
+          fs->Unlink(kCred, path);
+          auto fd = fs->Open(kCred, path, vfs::kCreate | vfs::kWrite, 0644);
+          if (!fd.ok()) break;
+          WriteWhole(fs, *fd, io, opts.file_size);
+          fs->Close(*fd);
+          auto afd = fs->Open(kCred, path, vfs::kWrite | vfs::kAppend, 0644);
+          if (afd.ok()) {
+            fs->Write(*afd, io.data(), 16 * 1024);
+            fs->Close(*afd);
+          }
+          auto rfd = fs->Open(kCred, path, vfs::kRead, 0);
+          if (rfd.ok()) {
+            ReadWhole(fs, *rfd, rbuf);
+            fs->Close(*rfd);
+          }
+          fs->Stat(kCred, path);
+          ops += 5;
+          break;
+        }
+        case FbWorkload::kWebserver: {
+          for (int k = 0; k < 10; k++) {
+            uint64_t j = rng.Below(opts.nfiles);
+            auto rfd = fs->Open(kCred, PathOf(j, opts.dir_width), vfs::kRead, 0);
+            if (rfd.ok()) {
+              ReadWhole(fs, *rfd, rbuf);
+              fs->Close(*rfd);
+            }
+          }
+          auto lfd = fs->Open(kCred, "/weblog", vfs::kWrite | vfs::kAppend, 0644);
+          if (lfd.ok()) {
+            fs->Write(*lfd, io.data(), 16 * 1024);
+            fs->Close(*lfd);
+          }
+          ops += 11;
+          break;
+        }
+        case FbWorkload::kWebproxy: {
+          fs->Unlink(kCred, path);
+          auto fd = fs->Open(kCred, path, vfs::kCreate | vfs::kWrite, 0644);
+          if (fd.ok()) {
+            WriteWhole(fs, *fd, io, opts.file_size);
+            fs->Close(*fd);
+          }
+          for (int k = 0; k < 5; k++) {
+            uint64_t j = rng.Below(opts.nfiles);
+            auto rfd = fs->Open(kCred, PathOf(j, opts.dir_width), vfs::kRead, 0);
+            if (rfd.ok()) {
+              ReadWhole(fs, *rfd, rbuf);
+              fs->Close(*rfd);
+            }
+          }
+          ops += 7;
+          break;
+        }
+        case FbWorkload::kVarmail: {
+          // delete / create+write+fsync / open+append+fsync / open+read.
+          fs->Unlink(kCred, path);
+          auto fd = fs->Open(kCred, path, vfs::kCreate | vfs::kWrite, 0644);
+          if (fd.ok()) {
+            WriteWhole(fs, *fd, io, opts.file_size / 2);
+            fs->Fsync(*fd);
+            fs->Close(*fd);
+          }
+          uint64_t j = rng.Below(opts.nfiles);
+          auto afd = fs->Open(kCred, PathOf(j, opts.dir_width), vfs::kWrite | vfs::kAppend, 0644);
+          if (afd.ok()) {
+            fs->Write(*afd, io.data(), opts.file_size / 2);
+            fs->Fsync(*afd);
+            fs->Close(*afd);
+          }
+          uint64_t k = rng.Below(opts.nfiles);
+          auto rfd = fs->Open(kCred, PathOf(k, opts.dir_width), vfs::kRead, 0);
+          if (rfd.ok()) {
+            ReadWhole(fs, *rfd, rbuf);
+            fs->Close(*rfd);
+          }
+          ops += 4;
+          break;
+        }
+      }
+    }
+    return ops;
+  });
+}
+
+}  // namespace harness

@@ -1,0 +1,45 @@
+// Filebench-like macrobenchmark personalities (paper §6.2, Table 6,
+// Figures 9 and 10).
+//
+// Simplified reimplementations of the four personalities the paper runs,
+// with the Table 6 knobs (# files, directory width, file size, R/W ratio)
+// exposed. Operation mixes follow the classic filebench flowlets:
+//   fileserver  create/write, append, whole-file read, delete, stat   (R:W 1:2)
+//   webserver   10 whole-file reads + 1 log append                    (10:1)
+//   webproxy    delete+create+write, then 5 reads, one flat directory (5:1)
+//   varmail     delete / create+fsync / append+fsync / read, flat dir (1:1)
+
+#ifndef SRC_HARNESS_FILEBENCH_H_
+#define SRC_HARNESS_FILEBENCH_H_
+
+#include <string>
+
+#include "src/harness/fslab.h"
+#include "src/harness/runner.h"
+
+namespace harness {
+
+enum class FbWorkload { kFileserver, kWebserver, kWebproxy, kVarmail };
+
+const char* FbName(FbWorkload w);
+bool ParseFbWorkload(const std::string& s, FbWorkload* out);
+
+struct FbOptions {
+  uint64_t nfiles = 0;      // 0 = the personality's Table 6 default (scaled)
+  uint64_t dir_width = 0;   // 0 = the personality's Table 6 default
+  uint64_t file_size = 0;   // bytes; 0 = the personality's Table 6 default
+  uint64_t iterations_per_thread = 2000;
+  uint64_t seed = 7;
+  // Scale factor applied to the Table 6 defaults so a laptop-scale run stays
+  // tractable (the paper's fileserver data set alone is 1.28 GB).
+  double scale = 0.2;
+};
+
+// Fills in personality defaults (Table 6) for any zero fields.
+FbOptions ResolveFbOptions(FbWorkload w, FbOptions opts);
+
+WorkloadResult RunFilebench(FsLab& lab, FbWorkload w, int threads, const FbOptions& opts = {});
+
+}  // namespace harness
+
+#endif  // SRC_HARNESS_FILEBENCH_H_

@@ -1,0 +1,47 @@
+// FxMark-like microbenchmark kernels (paper §6.1, Figure 7).
+//
+// Nine workloads matching the panels of Figure 7:
+//   data reads   DRBL (private file), DRBM (shared file, private blocks),
+//                DRBH (shared file, shared block)
+//   data writes  DWAL (append, private file), DWOL (overwrite, private
+//                file), DWOM (overwrite, shared file)
+//   metadata     MWCL (create, private dirs), MWUL (unlink, private dirs),
+//                MWRL (rename, private dirs)
+// All data operations use 4 KB units, as in the paper.
+
+#ifndef SRC_HARNESS_FXMARK_H_
+#define SRC_HARNESS_FXMARK_H_
+
+#include <string>
+
+#include "src/harness/fslab.h"
+#include "src/harness/runner.h"
+
+namespace harness {
+
+enum class FxWorkload { kDRBL, kDRBM, kDRBH, kDWAL, kDWOL, kDWOM, kMWCL, kMWUL, kMWRL };
+
+inline constexpr FxWorkload kAllFxWorkloads[] = {
+    FxWorkload::kDRBL, FxWorkload::kDRBM, FxWorkload::kDRBH,
+    FxWorkload::kDWAL, FxWorkload::kDWOL, FxWorkload::kDWOM,
+    FxWorkload::kMWCL, FxWorkload::kMWUL, FxWorkload::kMWRL,
+};
+
+const char* FxName(FxWorkload w);
+bool ParseFxWorkload(const std::string& s, FxWorkload* out);
+
+struct FxOptions {
+  uint64_t ops_per_thread = 20000;
+  uint64_t file_blocks = 1024;      // size of each pre-made file (4 KB blocks)
+  uint64_t append_cap_blocks = 8192;  // DWAL wraps the file at this size
+  uint64_t seed = 42;
+};
+
+// Runs one workload at one thread count on a fresh view of `lab`. The
+// caller should use a freshly constructed lab per datapoint (the workloads
+// mutate the namespace).
+WorkloadResult RunFxmark(FsLab& lab, FxWorkload w, int threads, const FxOptions& opts = {});
+
+}  // namespace harness
+
+#endif  // SRC_HARNESS_FXMARK_H_

@@ -1,0 +1,52 @@
+#include "src/harness/runner.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+
+namespace harness {
+
+WorkloadResult RunThreads(int n, const std::function<uint64_t(int)>& worker) {
+  std::atomic<bool> go{false};
+  std::vector<uint64_t> counts(n, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (int i = 0; i < n; i++) {
+    threads.emplace_back([&, i]() {
+      while (!go.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      counts[i] = worker(i);
+    });
+  }
+  const uint64_t start = common::NowNs();
+  go.store(true, std::memory_order_release);
+  for (auto& t : threads) {
+    t.join();
+  }
+  const uint64_t elapsed = common::NowNs() - start;
+
+  WorkloadResult r;
+  for (uint64_t c : counts) {
+    r.total_ops += c;
+  }
+  r.seconds = static_cast<double>(elapsed) / 1e9;
+  r.ops_per_sec = r.seconds > 0 ? static_cast<double>(r.total_ops) / r.seconds : 0;
+  r.mean_latency_ns =
+      r.total_ops > 0 ? static_cast<double>(elapsed) * n / static_cast<double>(r.total_ops) : 0;
+  return r;
+}
+
+uint64_t EnvOr(const char* name, uint64_t def) {
+  std::string full = std::string("ZR_") + name;
+  const char* v = std::getenv(full.c_str());
+  if (v == nullptr || *v == '\0') {
+    return def;
+  }
+  return std::strtoull(v, nullptr, 10);
+}
+
+}  // namespace harness

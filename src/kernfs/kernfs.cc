@@ -1,0 +1,1251 @@
+#include "src/kernfs/kernfs.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/common/clock.h"
+#include "src/common/hash.h"
+
+namespace kernfs {
+
+// ---------------------------------------------------------------------------
+// KernelEntry
+
+KernelEntry::KernelEntry(uint64_t crossing_ns)
+    : saved_table_(mpk::CurrentTable()), saved_pkru_(mpk::RdPkru()) {
+  // The kernel is not subject to the user PKRU / user page-key bits.
+  mpk::BindThreadToProcess(nullptr);
+  common::SpinNs(crossing_ns);
+}
+
+KernelEntry::~KernelEntry() {
+  mpk::BindThreadToProcess(saved_table_);
+  mpk::WrPkru(saved_pkru_);
+}
+
+// ---------------------------------------------------------------------------
+// Process
+
+bool Process::HasMapped(uint32_t coffer_id) const { return mappings_.count(coffer_id) > 0; }
+
+uint8_t Process::KeyFor(uint32_t coffer_id) const {
+  auto it = mappings_.find(coffer_id);
+  return it == mappings_.end() ? 0xff : it->second.key;
+}
+
+// ---------------------------------------------------------------------------
+// Construction / format / open
+
+KernFs::KernFs(nvm::NvmDevice* dev, const FormatOptions& opts) : dev_(dev) {
+  const uint64_t num_pages = dev_->num_pages();
+  const uint64_t table_bytes = num_pages * sizeof(AllocEntry);
+  const uint64_t table_pages = (table_bytes + nvm::kPageSize - 1) / nvm::kPageSize;
+  const uint64_t map_bytes = opts.path_map_buckets * sizeof(uint64_t);
+  const uint64_t map_pages = (map_bytes + nvm::kPageSize - 1) / nvm::kPageSize;
+  const uint64_t pool_start = 1 + table_pages + map_pages;
+  assert(pool_start + 8 < num_pages && "device too small");
+
+  sb_ = dev_->As<Superblock>(0);
+  Superblock sb{};
+  sb.magic = kSuperMagic;
+  sb.version = 1;
+  sb.num_pages = num_pages;
+  sb.alloc_table_off = nvm::kPageSize;
+  sb.alloc_table_pages = table_pages;
+  sb.path_map_off = (1 + table_pages) * nvm::kPageSize;
+  sb.path_map_buckets = opts.path_map_buckets;
+  sb.pool_start_page = pool_start;
+  sb.root_coffer_id = 0;
+  dev_->StoreBytes(0, &sb, sizeof(sb));
+
+  table_ = dev_->As<AllocEntry>(sb.alloc_table_off);
+  buckets_ = dev_->As<uint64_t>(sb.path_map_off);
+
+  // Kernel-reserved pages (superblock + tables) and an empty path map.
+  for (uint64_t p = 0; p < pool_start; p++) {
+    table_[p] = AllocEntry{kKernelOwner, static_cast<uint32_t>(pool_start - p)};
+  }
+  for (uint64_t p = pool_start; p < num_pages; p++) {
+    table_[p] = AllocEntry{0, static_cast<uint32_t>(num_pages - p)};
+  }
+  memset(buckets_, 0, map_bytes);
+  dev_->PersistRange(sb.alloc_table_off, table_bytes);
+  dev_->PersistRange(sb.path_map_off, map_bytes);
+
+  free_by_addr_.emplace(pool_start, num_pages - pool_start);
+  free_by_size_.emplace(num_pages - pool_start, pool_start);
+
+  // Create the root coffer ("/") with a synthetic root-credential process.
+  Process boot(0, vfs::Cred{opts.root_uid, opts.root_gid}, num_pages);
+  auto root = CofferNew(boot, "/", opts.root_type, opts.root_mode, opts.root_uid, opts.root_gid,
+                        opts.initial_coffer_pages);
+  assert(root.ok());
+  root_coffer_id_ = *root;
+  dev_->Store32(offsetof(Superblock, root_coffer_id), root_coffer_id_);
+  dev_->PersistRange(0, sizeof(Superblock));
+}
+
+KernFs::KernFs(nvm::NvmDevice* dev) : dev_(dev) {
+  sb_ = dev_->As<Superblock>(0);
+  assert(sb_->magic == kSuperMagic && "device is not formatted");
+  table_ = dev_->As<AllocEntry>(sb_->alloc_table_off);
+  buckets_ = dev_->As<uint64_t>(sb_->path_map_off);
+  root_coffer_id_ = sb_->root_coffer_id;
+
+  // Rebuild the volatile indexes from the persistent allocation table.
+  const uint64_t num_pages = sb_->num_pages;
+  uint64_t p = sb_->pool_start_page;
+  while (p < num_pages) {
+    uint32_t owner = table_[p].coffer_id;
+    uint64_t start = p;
+    while (p < num_pages && table_[p].coffer_id == owner) {
+      p++;
+    }
+    uint64_t len = p - start;
+    if (owner == 0) {
+      free_by_addr_.emplace(start, len);
+      free_by_size_.emplace(len, start);
+    } else if (owner != kKernelOwner) {
+      CofferInfo& info = coffers_[owner];
+      info.id = owner;
+      info.root_page = owner;  // coffer id == root page index
+      info.runs[start] = len;
+    }
+  }
+  // Coalesce adjacent runs inside each coffer.
+  for (auto& [id, info] : coffers_) {
+    auto it = info.runs.begin();
+    while (it != info.runs.end()) {
+      auto next = std::next(it);
+      if (next != info.runs.end() && it->first + it->second == next->first) {
+        it->second += next->second;
+        info.runs.erase(next);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+KernFs::~KernFs() = default;
+
+// ---------------------------------------------------------------------------
+// Allocation table
+
+AllocEntry KernFs::ReadEntry(uint64_t page) const { return table_[page]; }
+
+void KernFs::WriteEntry(uint64_t page, uint32_t owner, uint32_t run_len) {
+  const uint64_t off = sb_->alloc_table_off + page * sizeof(AllocEntry);
+  dev_->Store32(off, owner);
+  dev_->Store32(off + 4, run_len);
+}
+
+Result<std::vector<PageRun>> KernFs::AllocPages(uint64_t n, uint32_t owner) {
+  std::vector<PageRun> granted;
+  uint64_t remaining = n;
+  while (remaining > 0) {
+    if (free_by_size_.empty()) {
+      // Roll back partial grants.
+      for (const PageRun& r : granted) {
+        FreeRun(r);
+      }
+      return Err::kNoSpc;
+    }
+    // Best fit: the smallest run that satisfies the request, else the
+    // largest available run.
+    auto it = free_by_size_.lower_bound(remaining);
+    if (it == free_by_size_.end()) {
+      it = std::prev(free_by_size_.end());
+    }
+    uint64_t run_len = it->first;
+    uint64_t run_start = it->second;
+    free_by_size_.erase(it);
+    free_by_addr_.erase(run_start);
+
+    uint64_t take = std::min(run_len, remaining);
+    if (take < run_len) {
+      // Return the tail to the free pool. Only the head entry's run length
+      // is rewritten: interior run lengths are an acceleration hint
+      // (Figure 3); correctness (remount scan, recovery) relies on the
+      // per-page owner ids, which are untouched.
+      uint64_t rest_start = run_start + take;
+      uint64_t rest_len = run_len - take;
+      free_by_addr_.emplace(rest_start, rest_len);
+      free_by_size_.emplace(rest_len, rest_start);
+      WriteEntry(rest_start, 0, static_cast<uint32_t>(rest_len));
+      dev_->Clwb(sb_->alloc_table_off + rest_start * sizeof(AllocEntry), sizeof(AllocEntry));
+    }
+    for (uint64_t i = 0; i < take; i++) {
+      WriteEntry(run_start + i, owner, static_cast<uint32_t>(take - i));
+    }
+    dev_->Clwb(sb_->alloc_table_off + run_start * sizeof(AllocEntry), take * sizeof(AllocEntry));
+    granted.push_back(PageRun{run_start, take});
+    remaining -= take;
+  }
+  dev_->Sfence();
+  return granted;
+}
+
+void KernFs::EraseSizeEntry(uint64_t len, uint64_t start) {
+  auto range = free_by_size_.equal_range(len);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == start) {
+      free_by_size_.erase(it);
+      return;
+    }
+  }
+}
+
+void KernFs::FreeRun(PageRun run) {
+  for (uint64_t i = 0; i < run.len; i++) {
+    WriteEntry(run.start_page + i, 0, static_cast<uint32_t>(run.len - i));
+  }
+  dev_->PersistRange(sb_->alloc_table_off + run.start_page * sizeof(AllocEntry),
+                     run.len * sizeof(AllocEntry));
+  // Coalesce with free neighbours.
+  uint64_t start = run.start_page;
+  uint64_t len = run.len;
+  auto next = free_by_addr_.lower_bound(start);
+  if (next != free_by_addr_.end() && start + len == next->first) {
+    len += next->second;
+    EraseSizeEntry(next->second, next->first);
+    next = free_by_addr_.erase(next);
+  }
+  if (next != free_by_addr_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == start) {
+      start = prev->first;
+      len += prev->second;
+      EraseSizeEntry(prev->second, prev->first);
+      free_by_addr_.erase(prev);
+    }
+  }
+  free_by_addr_.emplace(start, len);
+  free_by_size_.emplace(len, start);
+}
+
+void KernFs::SetRunOwner(PageRun run, uint32_t owner) {
+  // Deliberately page-at-a-time with a fence per page: changing the owner of
+  // pages (coffer split/merge) is the expensive cross-coffer path of Table 9.
+  for (uint64_t i = 0; i < run.len; i++) {
+    WriteEntry(run.start_page + i, owner, static_cast<uint32_t>(run.len - i));
+    dev_->PersistRange(sb_->alloc_table_off + (run.start_page + i) * sizeof(AllocEntry),
+                       sizeof(AllocEntry));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Path-coffer hash table
+
+Result<uint64_t> KernFs::PathMapLookup(const std::string& path) const {
+  const uint64_t n = sb_->path_map_buckets;
+  uint64_t idx = common::Fnv1a64(path) % n;
+  for (uint64_t probe = 0; probe < n; probe++) {
+    uint64_t v = buckets_[(idx + probe) % n];
+    if (v == kBucketEmpty) {
+      return Err::kNoEnt;
+    }
+    if (v == kBucketTombstone) {
+      continue;
+    }
+    const auto* root = dev_->As<CofferRoot>(v);
+    if (root->magic == kCofferMagic && path.compare(root->path) == 0) {
+      return v;
+    }
+  }
+  return Err::kNoEnt;
+}
+
+Status KernFs::PathMapInsert(const std::string& path, uint64_t root_page_off) {
+  const uint64_t n = sb_->path_map_buckets;
+  uint64_t idx = common::Fnv1a64(path) % n;
+  for (uint64_t probe = 0; probe < n; probe++) {
+    uint64_t slot = (idx + probe) % n;
+    uint64_t v = buckets_[slot];
+    if (v == kBucketEmpty || v == kBucketTombstone) {
+      dev_->Store64(sb_->path_map_off + slot * 8, root_page_off);
+      dev_->PersistRange(sb_->path_map_off + slot * 8, 8);
+      return common::OkStatus();
+    }
+  }
+  return Err::kNoSpc;
+}
+
+Status KernFs::PathMapErase(const std::string& path) {
+  const uint64_t n = sb_->path_map_buckets;
+  uint64_t idx = common::Fnv1a64(path) % n;
+  for (uint64_t probe = 0; probe < n; probe++) {
+    uint64_t slot = (idx + probe) % n;
+    uint64_t v = buckets_[slot];
+    if (v == kBucketEmpty) {
+      return Err::kNoEnt;
+    }
+    if (v == kBucketTombstone) {
+      continue;
+    }
+    const auto* root = dev_->As<CofferRoot>(v);
+    if (root->magic == kCofferMagic && path.compare(root->path) == 0) {
+      dev_->Store64(sb_->path_map_off + slot * 8, kBucketTombstone);
+      dev_->PersistRange(sb_->path_map_off + slot * 8, 8);
+      return common::OkStatus();
+    }
+  }
+  return Err::kNoEnt;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+KernFs::CofferInfo* KernFs::FindCoffer(uint32_t id) {
+  auto it = coffers_.find(id);
+  return it == coffers_.end() ? nullptr : &it->second;
+}
+
+CofferRoot* KernFs::RootOf(CofferInfo& c) {
+  return dev_->As<CofferRoot>(c.root_page * nvm::kPageSize);
+}
+
+Status KernFs::CheckMappedWritable(Process& proc, uint32_t coffer_id) {
+  auto it = proc.mappings_.find(coffer_id);
+  if (it == proc.mappings_.end()) {
+    return Err::kAcces;
+  }
+  if (!it->second.writable) {
+    return Err::kROFS;
+  }
+  return common::OkStatus();
+}
+
+void KernFs::TagPagesForProcess(Process& proc, const CofferInfo& c, uint8_t key) {
+  // Coffer root pages are mapped read-only into user space.
+  for (const auto& [start, len] : c.runs) {
+    for (uint64_t p = start; p < start + len; p++) {
+      proc.page_keys_[p] = (p == c.root_page) ? static_cast<uint8_t>(key | mpk::kPageReadOnly)
+                                              : key;
+    }
+  }
+}
+
+void KernFs::UntagPagesForProcess(Process& proc, const CofferInfo& c) {
+  for (const auto& [start, len] : c.runs) {
+    for (uint64_t p = start; p < start + len; p++) {
+      proc.page_keys_[p] = mpk::kUnmapped;
+    }
+  }
+}
+
+uint64_t KernFs::PersistRootPath(CofferRoot* root, const std::string& path) {
+  const uint64_t base = dev_->OffsetOf(root);
+  dev_->Store16(base + offsetof(CofferRoot, path_len), static_cast<uint16_t>(path.size()));
+  dev_->StoreBytes(base + offsetof(CofferRoot, path), path.c_str(), path.size() + 1);
+  dev_->PersistRange(base + offsetof(CofferRoot, path_len),
+                     sizeof(uint16_t) + path.size() + 1 + offsetof(CofferRoot, path) -
+                         offsetof(CofferRoot, path_len));
+  return base;
+}
+
+// ---------------------------------------------------------------------------
+// Process management
+
+Process* KernFs::CreateProcess(vfs::Cred cred) {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint32_t pid = next_pid_++;
+  auto proc = std::unique_ptr<Process>(new Process(pid, cred, dev_->num_pages()));
+  Process* raw = proc.get();
+  procs_[pid] = std::move(proc);
+  return raw;
+}
+
+void KernFs::DestroyProcess(Process* proc) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<uint32_t> mapped;
+  for (const auto& [id, m] : proc->mappings_) {
+    mapped.push_back(id);
+  }
+  for (uint32_t id : mapped) {
+    UnmapLocked(*proc, id);
+  }
+  procs_.erase(proc->pid());
+}
+
+void KernFs::Nop() { KernelEntry enter(crossing_ns_); }
+
+Status KernFs::FsMount(Process& proc) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (proc.fslib_mounted_) {
+    return Err::kBusy;
+  }
+  proc.fslib_mounted_ = true;
+  return common::OkStatus();
+}
+
+Status KernFs::FsUmount(Process& proc) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!proc.fslib_mounted_) {
+    return Err::kInval;
+  }
+  std::vector<uint32_t> mapped;
+  for (const auto& [id, m] : proc.mappings_) {
+    mapped.push_back(id);
+  }
+  for (uint32_t id : mapped) {
+    UnmapLocked(proc, id);
+  }
+  proc.fslib_mounted_ = false;
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Coffer operations
+
+Result<uint32_t> KernFs::CofferNew(Process& proc, const std::string& path, uint32_t type,
+                                   uint16_t mode, uint32_t uid, uint32_t gid,
+                                   uint64_t extra_pages) {
+  KernelEntry enter(crossing_ns_);
+  if (path.empty() || path[0] != '/' || path.size() >= kMaxCofferPath) {
+    return Err::kInval;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (PathMapLookup(path).ok()) {
+    return Err::kExist;
+  }
+
+  ASSIGN_OR_RETURN(runs, AllocPages(1 + extra_pages, /*owner=*/0));
+  // The first page of the first run is the root page; its index is the id.
+  // Rewrite ownership now that the id is known.
+  uint32_t id = static_cast<uint32_t>(runs[0].start_page);
+  for (const PageRun& r : runs) {
+    for (uint64_t i = 0; i < r.len; i++) {
+      WriteEntry(r.start_page + i, id, static_cast<uint32_t>(r.len - i));
+    }
+    dev_->Clwb(sb_->alloc_table_off + r.start_page * sizeof(AllocEntry),
+               r.len * sizeof(AllocEntry));
+  }
+  dev_->Sfence();
+
+  // Lay out the root page.
+  const uint64_t root_off = static_cast<uint64_t>(id) * nvm::kPageSize;
+  CofferRoot root{};
+  root.magic = kCofferMagic;
+  root.coffer_id = id;
+  root.type = type;
+  root.uid = uid;
+  root.gid = gid;
+  root.mode = mode;
+  root.flags = 0;
+  root.num_pages = 1 + extra_pages;
+  root.path_len = static_cast<uint16_t>(path.size());
+  memcpy(root.path, path.c_str(), path.size() + 1);
+
+  // The µFS pages: first extra page is the root-file inode, second is the
+  // custom page (Figure 5). Collect the first two non-root pages.
+  uint64_t mu_pages[2] = {0, 0};
+  int found = 0;
+  for (const PageRun& r : runs) {
+    for (uint64_t p = r.start_page; p < r.start_page + r.len && found < 2; p++) {
+      if (p == id) {
+        continue;
+      }
+      mu_pages[found++] = p;
+    }
+  }
+  root.root_inode_off = found >= 1 ? mu_pages[0] * nvm::kPageSize : 0;
+  root.custom_off = found >= 2 ? mu_pages[1] * nvm::kPageSize : 0;
+
+  dev_->StoreBytes(root_off, &root, sizeof(root));
+  dev_->PersistRange(root_off, sizeof(root));
+
+  RETURN_IF_ERROR(PathMapInsert(path, root_off));
+
+  CofferInfo info;
+  info.id = id;
+  info.root_page = id;
+  for (const PageRun& r : runs) {
+    info.runs[r.start_page] = r.len;
+  }
+  coffers_[id] = std::move(info);
+  return id;
+}
+
+Status KernFs::CofferDelete(Process& proc, uint32_t coffer_id) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  if (coffer_id == root_coffer_id_) {
+    return Err::kBusy;
+  }
+  CofferRoot* root = RootOf(*c);
+  if (!proc.cred().IsRoot() &&
+      !vfs::PermitsAccess(proc.cred(), root->uid, root->gid, root->mode, false, true)) {
+    return Err::kAcces;
+  }
+  // Unmap from every process first.
+  for (Process* p : c->mapped_by) {
+    UntagPagesForProcess(*p, *c);
+    auto it = p->mappings_.find(coffer_id);
+    if (it != p->mappings_.end()) {
+      p->key_used_[it->second.key] = false;
+      p->mappings_.erase(it);
+    }
+  }
+  c->mapped_by.clear();
+
+  PathMapErase(root->path);
+  // Invalidate the root page magic so stale path-map probes cannot match.
+  dev_->Store64(c->root_page * nvm::kPageSize, 0);
+  dev_->PersistRange(c->root_page * nvm::kPageSize, 8);
+  for (const auto& [start, len] : c->runs) {
+    FreeRun(PageRun{start, len});
+  }
+  coffers_.erase(coffer_id);
+  return common::OkStatus();
+}
+
+Result<std::vector<PageRun>> KernFs::CofferEnlarge(Process& proc, uint32_t coffer_id,
+                                                   uint64_t n_pages) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  RETURN_IF_ERROR(CheckMappedWritable(proc, coffer_id));
+  ASSIGN_OR_RETURN(runs, AllocPages(n_pages, coffer_id));
+
+  // Record ownership and extend mappings in every process that has the
+  // coffer mapped (the kernel updating page tables).
+  for (const PageRun& r : runs) {
+    auto [it, inserted] = c->runs.emplace(r.start_page, r.len);
+    if (!inserted) {
+      it->second += r.len;
+    }
+    for (Process* p : c->mapped_by) {
+      uint8_t key = p->mappings_[coffer_id].key;
+      for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
+        p->page_keys_[pg] = key;
+      }
+    }
+  }
+  CofferRoot* root = RootOf(*c);
+  uint64_t root_off = dev_->OffsetOf(root);
+  dev_->Store64(root_off + offsetof(CofferRoot, num_pages), root->num_pages + n_pages);
+  dev_->PersistRange(root_off + offsetof(CofferRoot, num_pages), 8);
+  return runs;
+}
+
+Status KernFs::CofferShrink(Process& proc, uint32_t coffer_id, const std::vector<PageRun>& runs) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  RETURN_IF_ERROR(CheckMappedWritable(proc, coffer_id));
+  uint64_t released = 0;
+  for (const PageRun& r : runs) {
+    // Validate ownership of every page in the run.
+    for (uint64_t p = r.start_page; p < r.start_page + r.len; p++) {
+      if (ReadEntry(p).coffer_id != coffer_id || p == c->root_page) {
+        return Err::kInval;
+      }
+    }
+    // Carve the run out of the volatile owner map.
+    auto it = c->runs.upper_bound(r.start_page);
+    if (it == c->runs.begin()) {
+      return Err::kInval;
+    }
+    --it;
+    uint64_t run_start = it->first, run_len = it->second;
+    if (r.start_page < run_start || r.start_page + r.len > run_start + run_len) {
+      return Err::kInval;
+    }
+    c->runs.erase(it);
+    if (r.start_page > run_start) {
+      c->runs[run_start] = r.start_page - run_start;
+    }
+    if (r.start_page + r.len < run_start + run_len) {
+      c->runs[r.start_page + r.len] = run_start + run_len - (r.start_page + r.len);
+    }
+    for (Process* p : c->mapped_by) {
+      for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
+        p->page_keys_[pg] = mpk::kUnmapped;
+      }
+    }
+    FreeRun(r);
+    released += r.len;
+  }
+  CofferRoot* root = RootOf(*c);
+  uint64_t root_off = dev_->OffsetOf(root);
+  dev_->Store64(root_off + offsetof(CofferRoot, num_pages), root->num_pages - released);
+  dev_->PersistRange(root_off + offsetof(CofferRoot, num_pages), 8);
+  return common::OkStatus();
+}
+
+Result<MapInfo> KernFs::CofferMap(Process& proc, uint32_t coffer_id, bool writable) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  CofferRoot* root = RootOf(*c);
+  if (root->flags & kCofferInRecovery) {
+    return Err::kBusy;
+  }
+  if (!vfs::PermitsAccess(proc.cred(), root->uid, root->gid, root->mode, /*want_read=*/true,
+                          writable)) {
+    return Err::kAcces;
+  }
+
+  MapInfo info;
+  info.writable = writable;
+  info.type = root->type;
+  info.root_page_off = c->root_page * nvm::kPageSize;
+  info.root_inode_off = root->root_inode_off;
+  info.custom_off = root->custom_off;
+
+  auto it = proc.mappings_.find(coffer_id);
+  if (it != proc.mappings_.end()) {
+    // Already mapped; upgrading read-only -> writable re-tags.
+    if (writable && !it->second.writable) {
+      if (!vfs::PermitsAccess(proc.cred(), root->uid, root->gid, root->mode, true, true)) {
+        return Err::kAcces;
+      }
+      it->second.writable = true;
+      TagPagesForProcess(proc, *c, it->second.key);
+    }
+    info.key = it->second.key;
+    info.writable = it->second.writable;
+    return info;
+  }
+
+  // Assign a fresh MPK key; 15 usable regions (paper §3.4.2).
+  uint8_t key = 0;
+  for (uint8_t k = 1; k < mpk::kNumKeys; k++) {
+    if (!proc.key_used_[k]) {
+      key = k;
+      break;
+    }
+  }
+  if (key == 0) {
+    return Err::kNoKeys;
+  }
+  proc.key_used_[key] = true;
+  proc.mappings_[coffer_id] = Process::Mapping{key, writable};
+  c->mapped_by.insert(&proc);
+  uint8_t tag = writable ? key : static_cast<uint8_t>(key | mpk::kPageReadOnly);
+  // Read-only mappings are write-protected at "page table" level as well.
+  if (writable) {
+    TagPagesForProcess(proc, *c, key);
+  } else {
+    for (const auto& [start, len] : c->runs) {
+      for (uint64_t p = start; p < start + len; p++) {
+        proc.page_keys_[p] = tag;
+      }
+    }
+  }
+  info.key = key;
+  return info;
+}
+
+void KernFs::UnmapLocked(Process& proc, uint32_t coffer_id) {
+  auto it = proc.mappings_.find(coffer_id);
+  if (it == proc.mappings_.end()) {
+    return;
+  }
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c != nullptr) {
+    UntagPagesForProcess(proc, *c);
+    c->mapped_by.erase(&proc);
+  }
+  proc.key_used_[it->second.key] = false;
+  proc.mappings_.erase(it);
+}
+
+Status KernFs::CofferUnmap(Process& proc, uint32_t coffer_id) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!proc.HasMapped(coffer_id)) {
+    return Err::kInval;
+  }
+  UnmapLocked(proc, coffer_id);
+  return common::OkStatus();
+}
+
+Result<uint32_t> KernFs::CofferFind(const std::string& path) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  ASSIGN_OR_RETURN(root_off, PathMapLookup(path));
+  return dev_->As<CofferRoot>(root_off)->coffer_id;
+}
+
+Result<uint32_t> KernFs::CofferSplit(Process& proc, uint32_t src_id,
+                                     const std::vector<PageRun>& pages,
+                                     const std::string& new_path, uint32_t type, uint16_t mode,
+                                     uint32_t uid, uint32_t gid, uint64_t new_root_inode_off,
+                                     uint64_t new_custom_off) {
+  KernelEntry enter(crossing_ns_);
+  if (new_path.empty() || new_path[0] != '/' || new_path.size() >= kMaxCofferPath) {
+    return Err::kInval;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* src = FindCoffer(src_id);
+  if (src == nullptr) {
+    return Err::kNoEnt;
+  }
+  RETURN_IF_ERROR(CheckMappedWritable(proc, src_id));
+  if (PathMapLookup(new_path).ok()) {
+    return Err::kExist;
+  }
+  // Validate that every page to move belongs to src and none is the root.
+  uint64_t moved = 0;
+  for (const PageRun& r : pages) {
+    for (uint64_t p = r.start_page; p < r.start_page + r.len; p++) {
+      if (ReadEntry(p).coffer_id != src_id || p == src->root_page) {
+        return Err::kInval;
+      }
+    }
+    moved += r.len;
+  }
+
+  // New root page.
+  ASSIGN_OR_RETURN(root_runs, AllocPages(1, 0));
+  uint32_t new_id = static_cast<uint32_t>(root_runs[0].start_page);
+  WriteEntry(new_id, new_id, 1);
+  dev_->PersistRange(sb_->alloc_table_off + new_id * sizeof(AllocEntry), sizeof(AllocEntry));
+
+  // Move ownership page-by-page (the expensive part, by design).
+  for (const PageRun& r : pages) {
+    SetRunOwner(r, new_id);
+    // Carve out of src's volatile runs.
+    auto it = src->runs.upper_bound(r.start_page);
+    --it;
+    uint64_t run_start = it->first, run_len = it->second;
+    src->runs.erase(it);
+    if (r.start_page > run_start) {
+      src->runs[run_start] = r.start_page - run_start;
+    }
+    if (r.start_page + r.len < run_start + run_len) {
+      src->runs[r.start_page + r.len] = run_start + run_len - (r.start_page + r.len);
+    }
+  }
+
+  const uint64_t root_off = static_cast<uint64_t>(new_id) * nvm::kPageSize;
+  CofferRoot nr{};
+  nr.magic = kCofferMagic;
+  nr.coffer_id = new_id;
+  nr.type = type;
+  nr.uid = uid;
+  nr.gid = gid;
+  nr.mode = mode;
+  nr.num_pages = 1 + moved;
+  nr.root_inode_off = new_root_inode_off;
+  nr.custom_off = new_custom_off;
+  nr.path_len = static_cast<uint16_t>(new_path.size());
+  memcpy(nr.path, new_path.c_str(), new_path.size() + 1);
+  dev_->StoreBytes(root_off, &nr, sizeof(nr));
+  dev_->PersistRange(root_off, sizeof(nr));
+  RETURN_IF_ERROR(PathMapInsert(new_path, root_off));
+
+  CofferInfo info;
+  info.id = new_id;
+  info.root_page = new_id;
+  info.runs[new_id] = 1;
+  for (const PageRun& r : pages) {
+    info.runs[r.start_page] = r.len;
+  }
+  // Update src bookkeeping.
+  CofferRoot* sroot = RootOf(*src);
+  uint64_t sroot_off = dev_->OffsetOf(sroot);
+  dev_->Store64(sroot_off + offsetof(CofferRoot, num_pages), sroot->num_pages - moved);
+  dev_->PersistRange(sroot_off + offsetof(CofferRoot, num_pages), 8);
+
+  // Processes mapping src lose access to the moved pages.
+  for (Process* p : src->mapped_by) {
+    for (const PageRun& r : pages) {
+      for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
+        p->page_keys_[pg] = mpk::kUnmapped;
+      }
+    }
+  }
+  coffers_[new_id] = std::move(info);
+  return new_id;
+}
+
+Status KernFs::CofferMovePages(Process& proc, uint32_t src_id, uint32_t dst_id,
+                               const std::vector<PageRun>& pages) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* src = FindCoffer(src_id);
+  CofferInfo* dst = FindCoffer(dst_id);
+  if (src == nullptr || dst == nullptr || src_id == dst_id) {
+    return Err::kInval;
+  }
+  RETURN_IF_ERROR(CheckMappedWritable(proc, src_id));
+  RETURN_IF_ERROR(CheckMappedWritable(proc, dst_id));
+  uint64_t moved = 0;
+  for (const PageRun& r : pages) {
+    for (uint64_t p = r.start_page; p < r.start_page + r.len; p++) {
+      if (ReadEntry(p).coffer_id != src_id || p == src->root_page) {
+        return Err::kInval;
+      }
+    }
+    moved += r.len;
+  }
+  for (const PageRun& r : pages) {
+    SetRunOwner(r, dst_id);
+    auto it = src->runs.upper_bound(r.start_page);
+    --it;
+    uint64_t run_start = it->first, run_len = it->second;
+    src->runs.erase(it);
+    if (r.start_page > run_start) {
+      src->runs[run_start] = r.start_page - run_start;
+    }
+    if (r.start_page + r.len < run_start + run_len) {
+      src->runs[r.start_page + r.len] = run_start + run_len - (r.start_page + r.len);
+    }
+    dst->runs[r.start_page] = r.len;
+    // Page-key updates: src mappers lose the pages, dst mappers gain them.
+    for (Process* p : src->mapped_by) {
+      for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
+        p->page_keys_[pg] = mpk::kUnmapped;
+      }
+    }
+    for (Process* p : dst->mapped_by) {
+      uint8_t key = p->mappings_[dst_id].key;
+      bool writable = p->mappings_[dst_id].writable;
+      uint8_t tag = writable ? key : static_cast<uint8_t>(key | mpk::kPageReadOnly);
+      for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
+        p->page_keys_[pg] = tag;
+      }
+    }
+  }
+  CofferRoot* sroot = RootOf(*src);
+  CofferRoot* droot = RootOf(*dst);
+  uint64_t soff = dev_->OffsetOf(sroot);
+  uint64_t doff = dev_->OffsetOf(droot);
+  dev_->Store64(soff + offsetof(CofferRoot, num_pages), sroot->num_pages - moved);
+  dev_->Store64(doff + offsetof(CofferRoot, num_pages), droot->num_pages + moved);
+  dev_->PersistRange(soff + offsetof(CofferRoot, num_pages), 8);
+  dev_->PersistRange(doff + offsetof(CofferRoot, num_pages), 8);
+  return common::OkStatus();
+}
+
+Result<uint64_t> KernFs::CofferMerge(Process& proc, uint32_t dst_id, uint32_t src_id) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* dst = FindCoffer(dst_id);
+  CofferInfo* src = FindCoffer(src_id);
+  if (dst == nullptr || src == nullptr || dst_id == src_id) {
+    return Err::kInval;
+  }
+  RETURN_IF_ERROR(CheckMappedWritable(proc, dst_id));
+  RETURN_IF_ERROR(CheckMappedWritable(proc, src_id));
+  CofferRoot* droot = RootOf(*dst);
+  CofferRoot* sroot = RootOf(*src);
+  if (droot->mode != sroot->mode || droot->uid != sroot->uid || droot->gid != sroot->gid ||
+      droot->type != sroot->type) {
+    return Err::kInval;
+  }
+  if (src_id == root_coffer_id_) {
+    return Err::kBusy;
+  }
+
+  uint64_t old_root_off = src->root_page * nvm::kPageSize;
+  uint64_t moved = sroot->num_pages;
+  PathMapErase(sroot->path);
+  // Invalidate the old root page's magic before it becomes a data page.
+  dev_->Store64(old_root_off, 0);
+  dev_->PersistRange(old_root_off, 8);
+
+  // Transfer ownership page-by-page.
+  for (const auto& [start, len] : src->runs) {
+    SetRunOwner(PageRun{start, len}, dst_id);
+    auto [it, inserted] = dst->runs.emplace(start, len);
+    if (!inserted) {
+      it->second = std::max(it->second, len);
+    }
+  }
+
+  uint64_t droot_off = dev_->OffsetOf(droot);
+  dev_->Store64(droot_off + offsetof(CofferRoot, num_pages), droot->num_pages + moved);
+  dev_->PersistRange(droot_off + offsetof(CofferRoot, num_pages), 8);
+
+  // Fix mappings: everyone who had src mapped loses it; everyone with dst
+  // mapped gains the transferred pages under dst's key.
+  for (Process* p : src->mapped_by) {
+    auto it = p->mappings_.find(src_id);
+    if (it != p->mappings_.end()) {
+      p->key_used_[it->second.key] = false;
+      p->mappings_.erase(it);
+    }
+    for (const auto& [start, len] : src->runs) {
+      for (uint64_t pg = start; pg < start + len; pg++) {
+        p->page_keys_[pg] = mpk::kUnmapped;
+      }
+    }
+  }
+  for (Process* p : dst->mapped_by) {
+    uint8_t key = p->mappings_[dst_id].key;
+    bool writable = p->mappings_[dst_id].writable;
+    uint8_t tag = writable ? key : static_cast<uint8_t>(key | mpk::kPageReadOnly);
+    for (const auto& [start, len] : src->runs) {
+      for (uint64_t pg = start; pg < start + len; pg++) {
+        p->page_keys_[pg] = tag;
+      }
+    }
+  }
+  coffers_.erase(src_id);
+  return old_root_off;
+}
+
+Status KernFs::CofferRecoverBegin(Process& proc, uint32_t coffer_id, uint64_t lease_ns) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  CofferRoot* root = RootOf(*c);
+  uint64_t root_off = dev_->OffsetOf(root);
+  if ((root->flags & kCofferInRecovery) && root->recovery_lease_ns > common::NowNs()) {
+    return Err::kBusy;
+  }
+  dev_->Store64(root_off + offsetof(CofferRoot, recovery_lease_ns),
+                common::NowNs() + lease_ns);
+  dev_->Store16(root_off + offsetof(CofferRoot, flags),
+                static_cast<uint16_t>(root->flags | kCofferInRecovery));
+  dev_->PersistRange(root_off, sizeof(CofferRoot));
+
+  // Unmap from everyone except the initiator.
+  std::vector<Process*> others;
+  for (Process* p : c->mapped_by) {
+    if (p != &proc) {
+      others.push_back(p);
+    }
+  }
+  for (Process* p : others) {
+    UnmapLocked(*p, coffer_id);
+  }
+  return common::OkStatus();
+}
+
+Result<uint64_t> KernFs::CofferRecoverEnd(Process& proc, uint32_t coffer_id,
+                                          const std::vector<uint64_t>& in_use_pages) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  CofferRoot* root = RootOf(*c);
+  if (!(root->flags & kCofferInRecovery)) {
+    return Err::kInval;
+  }
+  std::set<uint64_t> in_use(in_use_pages.begin(), in_use_pages.end());
+  in_use.insert(c->root_page);
+  if (root->root_inode_off != 0) {
+    in_use.insert(root->root_inode_off / nvm::kPageSize);
+  }
+  if (root->custom_off != 0) {
+    in_use.insert(root->custom_off / nvm::kPageSize);
+  }
+
+  // Reclaim owned pages the µFS did not report.
+  uint64_t reclaimed = 0;
+  std::map<uint64_t, uint64_t> new_runs;
+  for (const auto& [start, len] : c->runs) {
+    uint64_t p = start;
+    while (p < start + len) {
+      if (in_use.count(p)) {
+        // Extend or start a kept run.
+        auto it = new_runs.rbegin();
+        if (it != new_runs.rend() && it->first + it->second == p) {
+          it->second++;
+        } else {
+          new_runs[p] = 1;
+        }
+        p++;
+      } else {
+        uint64_t free_start = p;
+        while (p < start + len && !in_use.count(p)) {
+          p++;
+        }
+        FreeRun(PageRun{free_start, p - free_start});
+        for (Process* pr : c->mapped_by) {
+          for (uint64_t pg = free_start; pg < p; pg++) {
+            pr->page_keys_[pg] = mpk::kUnmapped;
+          }
+        }
+        reclaimed += p - free_start;
+      }
+    }
+  }
+  c->runs = std::move(new_runs);
+
+  uint64_t root_off = dev_->OffsetOf(root);
+  dev_->Store64(root_off + offsetof(CofferRoot, num_pages), root->num_pages - reclaimed);
+  dev_->Store16(root_off + offsetof(CofferRoot, flags),
+                static_cast<uint16_t>(root->flags & ~kCofferInRecovery));
+  dev_->PersistRange(root_off, sizeof(CofferRoot));
+  return reclaimed;
+}
+
+Status KernFs::CofferRename(Process& proc, uint32_t coffer_id, const std::string& new_path) {
+  KernelEntry enter(crossing_ns_);
+  if (new_path.empty() || new_path[0] != '/' || new_path.size() >= kMaxCofferPath) {
+    return Err::kInval;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  RETURN_IF_ERROR(CheckMappedWritable(proc, coffer_id));
+  if (PathMapLookup(new_path).ok()) {
+    return Err::kExist;
+  }
+  CofferRoot* root = RootOf(*c);
+  std::string old_path = root->path;
+
+  PathMapErase(old_path);
+  PersistRootPath(root, new_path);
+  RETURN_IF_ERROR(PathMapInsert(new_path, dev_->OffsetOf(root)));
+
+  // Rewrite descendants' stored paths (their coffer paths embed the prefix).
+  std::string old_prefix = old_path == "/" ? "/" : old_path + "/";
+  std::string new_prefix = new_path == "/" ? "/" : new_path + "/";
+  for (auto& [id, info] : coffers_) {
+    if (id == coffer_id) {
+      continue;
+    }
+    CofferRoot* r = RootOf(info);
+    std::string p = r->path;
+    if (p.size() > old_prefix.size() && p.compare(0, old_prefix.size(), old_prefix) == 0) {
+      std::string np = new_prefix + p.substr(old_prefix.size());
+      PathMapErase(p);
+      PersistRootPath(r, np);
+      RETURN_IF_ERROR(PathMapInsert(np, dev_->OffsetOf(r)));
+    }
+  }
+  return common::OkStatus();
+}
+
+Status KernFs::CofferFixupPaths(Process& proc, const std::string& old_prefix,
+                                const std::string& new_prefix) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string op = old_prefix.back() == '/' ? old_prefix : old_prefix + "/";
+  std::string np = new_prefix.back() == '/' ? new_prefix : new_prefix + "/";
+  for (auto& [id, info] : coffers_) {
+    CofferRoot* r = RootOf(info);
+    std::string p = r->path;
+    if (p.size() > op.size() && p.compare(0, op.size(), op) == 0) {
+      std::string fixed = np + p.substr(op.size());
+      PathMapErase(p);
+      PersistRootPath(r, fixed);
+      RETURN_IF_ERROR(PathMapInsert(fixed, dev_->OffsetOf(r)));
+    }
+  }
+  return common::OkStatus();
+}
+
+Status KernFs::CofferChmod(Process& proc, uint32_t coffer_id, uint16_t mode) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  CofferRoot* root = RootOf(*c);
+  if (!proc.cred().IsRoot() && proc.cred().uid != root->uid) {
+    return Err::kPerm;
+  }
+  uint64_t root_off = dev_->OffsetOf(root);
+  dev_->Store16(root_off + offsetof(CofferRoot, mode), mode);
+  dev_->PersistRange(root_off + offsetof(CofferRoot, mode), 2);
+  return common::OkStatus();
+}
+
+Status KernFs::CofferChown(Process& proc, uint32_t coffer_id, uint32_t uid, uint32_t gid) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  CofferRoot* root = RootOf(*c);
+  if (!proc.cred().IsRoot()) {
+    return Err::kPerm;
+  }
+  uint64_t root_off = dev_->OffsetOf(root);
+  dev_->Store32(root_off + offsetof(CofferRoot, uid), uid);
+  dev_->Store32(root_off + offsetof(CofferRoot, gid), gid);
+  dev_->PersistRange(root_off + offsetof(CofferRoot, uid), 8);
+  return common::OkStatus();
+}
+
+Status KernFs::FileMmap(Process& proc, uint32_t coffer_id, const std::vector<uint64_t>& pages,
+                        bool writable) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  auto it = proc.mappings_.find(coffer_id);
+  if (it == proc.mappings_.end() || (writable && !it->second.writable)) {
+    return Err::kAcces;
+  }
+  for (uint64_t pg : pages) {
+    if (ReadEntry(pg).coffer_id != coffer_id || pg == c->root_page) {
+      return Err::kInval;
+    }
+  }
+  // Retag under the default key: application code may now access the pages
+  // without a µFS window (this is what mmap(2) of a DAX file gives you).
+  const uint8_t tag = writable ? mpk::kDefaultKey
+                               : static_cast<uint8_t>(mpk::kDefaultKey | mpk::kPageReadOnly);
+  for (uint64_t pg : pages) {
+    proc.page_keys_[pg] = tag;
+  }
+  return common::OkStatus();
+}
+
+Status KernFs::FileMunmap(Process& proc, uint32_t coffer_id,
+                          const std::vector<uint64_t>& pages) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  auto it = proc.mappings_.find(coffer_id);
+  if (it == proc.mappings_.end()) {
+    return Err::kInval;
+  }
+  const uint8_t key = it->second.key;
+  const uint8_t tag =
+      it->second.writable ? key : static_cast<uint8_t>(key | mpk::kPageReadOnly);
+  for (uint64_t pg : pages) {
+    if (ReadEntry(pg).coffer_id != coffer_id) {
+      return Err::kInval;
+    }
+    proc.page_keys_[pg] = tag;
+  }
+  return common::OkStatus();
+}
+
+Result<uint64_t> KernFs::FileExecve(Process& proc, uint32_t coffer_id, uint16_t file_mode,
+                                    const std::vector<uint64_t>& pages, uint64_t image_size) {
+  KernelEntry enter(crossing_ns_);
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  // Execution permission is µFS-maintained (coffers are mapped
+  // non-executable, §4.3); the kernel checks it at execve time.
+  uint16_t bits = proc.cred().uid == RootOf(*c)->uid ? (file_mode >> 6)
+                  : proc.cred().gid == RootOf(*c)->gid ? (file_mode >> 3)
+                                                       : file_mode;
+  if (!proc.cred().IsRoot() && !(bits & 1)) {
+    return Err::kAcces;
+  }
+  // "Load" the image: hash it page by page (validating ownership), the
+  // stand-in for setting up a new address space from the file.
+  uint64_t digest = 0xcbf29ce484222325ULL;
+  uint64_t remaining = image_size;
+  for (uint64_t pg : pages) {
+    if (ReadEntry(pg).coffer_id != coffer_id) {
+      return Err::kInval;
+    }
+    const uint8_t* bytes = dev_->base() + pg * nvm::kPageSize;
+    const uint64_t n = std::min<uint64_t>(remaining, nvm::kPageSize);
+    for (uint64_t i = 0; i < n; i++) {
+      digest = (digest ^ bytes[i]) * 0x100000001b3ULL;
+    }
+    remaining -= n;
+  }
+  return digest;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+const CofferRoot* KernFs::RootPageOf(uint32_t coffer_id) const {
+  return dev_->As<CofferRoot>(static_cast<uint64_t>(coffer_id) * nvm::kPageSize);
+}
+
+Result<std::vector<PageRun>> KernFs::PagesOf(uint32_t coffer_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  std::vector<PageRun> out;
+  for (const auto& [start, len] : c->runs) {
+    out.push_back(PageRun{start, len});
+  }
+  return out;
+}
+
+uint64_t KernFs::FreePages() {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t n = 0;
+  for (const auto& [start, len] : free_by_addr_) {
+    n += len;
+  }
+  return n;
+}
+
+std::vector<uint32_t> KernFs::AllCofferIds() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<uint32_t> out;
+  for (const auto& [id, info] : coffers_) {
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::string KernFs::CheckAllocTableForTest() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t num_pages = sb_->num_pages;
+  // 1. free maps consistent with the table.
+  for (const auto& [start, len] : free_by_addr_) {
+    for (uint64_t p = start; p < start + len; p++) {
+      if (table_[p].coffer_id != 0) {
+        return "free map covers allocated page " + std::to_string(p);
+      }
+    }
+  }
+  // 2. coffer runs consistent with the table.
+  uint64_t owned = 0;
+  for (const auto& [id, info] : coffers_) {
+    for (const auto& [start, len] : info.runs) {
+      owned += len;
+      for (uint64_t p = start; p < start + len; p++) {
+        if (table_[p].coffer_id != id) {
+          return "coffer " + std::to_string(id) + " run covers foreign page " +
+                 std::to_string(p);
+        }
+      }
+    }
+  }
+  // 3. every pool page accounted for exactly once.
+  uint64_t free_total = 0;
+  for (const auto& [start, len] : free_by_addr_) {
+    free_total += len;
+  }
+  if (owned + free_total != num_pages - sb_->pool_start_page) {
+    return "page accounting mismatch";
+  }
+  return "";
+}
+
+}  // namespace kernfs

@@ -1,0 +1,289 @@
+// KernFS — the kernel half of Treasury (paper §3.2, §4.1), simulated as a
+// library object shared by all simulated processes.
+//
+// KernFS owns global space management (the persistent allocation table of
+// Figure 3 plus volatile free/owner indexes) and the persistent path-coffer
+// hash table. It treats coffers as black boxes: it knows their path, type,
+// permission and page set, never their internal structure.
+//
+// Every public entry point models a user->kernel crossing: it charges a
+// configurable crossing cost (`kernel_crossing_ns`) and runs with MPK
+// enforcement suspended (the kernel is not subject to the user PKRU).
+//
+// Processes are simulated by `Process` objects: each carries credentials, a
+// page-key table (its "page table" key bits), its MPK key budget and its
+// coffer mappings. Threads bind to a process via `Process::BindCurrentThread`.
+
+#ifndef SRC_KERNFS_KERNFS_H_
+#define SRC_KERNFS_KERNFS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/kernfs/layout.h"
+#include "src/mpk/mpk.h"
+#include "src/nvm/nvm.h"
+#include "src/vfs/vfs.h"
+
+namespace kernfs {
+
+using common::Err;
+using common::Result;
+using common::Status;
+
+class KernFs;
+
+// A simulated OS process: credentials + per-process MPK state.
+class Process {
+ public:
+  uint32_t pid() const { return pid_; }
+  const vfs::Cred& cred() const { return cred_; }
+  void SetCred(const vfs::Cred& c) { cred_ = c; }
+
+  // Binds the calling thread to this process's address space (installs the
+  // page-key table for MPK checks). A thread acts for one process at a time.
+  void BindCurrentThread() { mpk::BindThreadToProcess(&page_keys_); }
+
+  // True if the process currently has `coffer_id` mapped.
+  bool HasMapped(uint32_t coffer_id) const;
+  // MPK key assigned to a mapped coffer (0xff if not mapped).
+  uint8_t KeyFor(uint32_t coffer_id) const;
+
+ private:
+  friend class KernFs;
+  Process(uint32_t pid, vfs::Cred cred, size_t num_pages)
+      : pid_(pid), cred_(cred), page_keys_(num_pages, 0xff) {}
+
+  struct Mapping {
+    uint8_t key;
+    bool writable;
+  };
+
+  uint32_t pid_;
+  vfs::Cred cred_;
+  mpk::PageKeyTable page_keys_;            // 0xff = unmapped
+  bool key_used_[mpk::kNumKeys] = {};      // keys 1..15 allocatable
+  std::unordered_map<uint32_t, Mapping> mappings_;  // coffer-id -> mapping
+  bool fslib_mounted_ = false;
+};
+
+// Result of coffer_map: everything the µFS needs to start managing the
+// coffer in user space.
+struct MapInfo {
+  uint8_t key = 0;
+  bool writable = false;
+  uint32_t type = 0;
+  uint64_t root_page_off = 0;   // CofferRoot page (read-only to the µFS)
+  uint64_t root_inode_off = 0;
+  uint64_t custom_off = 0;
+};
+
+struct FormatOptions {
+  uint64_t path_map_buckets = 1 << 14;
+  uint16_t root_mode = 0755;
+  uint32_t root_uid = 0;
+  uint32_t root_gid = 0;
+  uint32_t root_type = kCofferTypeZofs;
+  // Pages beyond the root page handed to the root coffer at format time
+  // (root inode page + custom page).
+  uint64_t initial_coffer_pages = 2;
+};
+
+class KernFs {
+ public:
+  // Formats the device and mounts. The device must be zeroed or disposable.
+  KernFs(nvm::NvmDevice* dev, const FormatOptions& opts);
+  // Opens (re-mounts) an already-formatted device, rebuilding the volatile
+  // indexes from the persistent allocation table — the post-crash path.
+  explicit KernFs(nvm::NvmDevice* dev);
+  ~KernFs();
+
+  KernFs(const KernFs&) = delete;
+  KernFs& operator=(const KernFs&) = delete;
+
+  nvm::NvmDevice* dev() { return dev_; }
+  uint32_t root_coffer_id() const { return root_coffer_id_; }
+
+  // Cost of one user->kernel crossing, charged by every entry point.
+  void set_kernel_crossing_ns(uint64_t ns) { crossing_ns_ = ns; }
+  uint64_t kernel_crossing_ns() const { return crossing_ns_; }
+
+  // ---- Process management (simulation scaffolding, not a Table 5 op).
+  Process* CreateProcess(vfs::Cred cred);
+  void DestroyProcess(Process* proc);
+
+  // An empty system call (used by the ZoFS-sysempty variant of Figure 8).
+  void Nop();
+
+  // ---- FS operations (Table 5).
+  Status FsMount(Process& proc);
+  Status FsUmount(Process& proc);
+
+  // ---- Coffer operations (Table 5).
+  // Creates a coffer: allocates its root page plus `extra_pages` data pages,
+  // writes the root page (path/type/permission, root-inode and custom page
+  // offsets pointing at the first two extra pages), installs it in the
+  // path-coffer map. The caller must have the coffer's parent mapped
+  // writable, or be creating the filesystem root.
+  Result<uint32_t> CofferNew(Process& proc, const std::string& path, uint32_t type, uint16_t mode,
+                             uint32_t uid, uint32_t gid, uint64_t extra_pages = 2);
+
+  // Deletes a coffer, returning all its pages to the free pool.
+  Status CofferDelete(Process& proc, uint32_t coffer_id);
+
+  // Allocates `n_pages` more pages to the coffer. Returns the runs granted.
+  // Serialised by the global kernel lock — the contention the paper measures
+  // in MWCL/DWAL (§6.1).
+  Result<std::vector<PageRun>> CofferEnlarge(Process& proc, uint32_t coffer_id, uint64_t n_pages);
+
+  // Returns free pages from the coffer to the global pool.
+  Status CofferShrink(Process& proc, uint32_t coffer_id, const std::vector<PageRun>& runs);
+
+  // Permission-checks and maps a coffer into the process: assigns an MPK key
+  // (Err::kNoKeys when the 15-key budget is exhausted) and tags the coffer's
+  // pages in the process's page-key table.
+  Result<MapInfo> CofferMap(Process& proc, uint32_t coffer_id, bool writable);
+  Status CofferUnmap(Process& proc, uint32_t coffer_id);
+
+  // Path-coffer map lookup (exact coffer path).
+  Result<uint32_t> CofferFind(const std::string& path);
+
+  // Splits `pages` out of `src` into a new coffer rooted at `new_path` with
+  // the given permission. The first two moved pages become the new coffer's
+  // root-inode and custom pages. Ownership is rewritten page-by-page in the
+  // allocation table (deliberately expensive: Table 9). Returns the new
+  // coffer's id.
+  Result<uint32_t> CofferSplit(Process& proc, uint32_t src_id, const std::vector<PageRun>& pages,
+                               const std::string& new_path, uint32_t type, uint16_t mode,
+                               uint32_t uid, uint32_t gid, uint64_t new_root_inode_off,
+                               uint64_t new_custom_off);
+
+  // Moves page runs from coffer `src` to coffer `dst` (both mapped writable
+  // by the caller). Ownership is rewritten page-by-page; this is the kernel
+  // half of a cross-coffer rename (Table 9's second microbenchmark).
+  Status CofferMovePages(Process& proc, uint32_t src_id, uint32_t dst_id,
+                         const std::vector<PageRun>& pages);
+
+  // Merges coffer `src` into `dst` (same permission required): all of src's
+  // pages change owner, src leaves the path map. src's old root page is
+  // handed to dst as a data page; its byte offset is returned so the µFS can
+  // reclaim it.
+  Result<uint64_t> CofferMerge(Process& proc, uint32_t dst_id, uint32_t src_id);
+
+  // Marks the coffer in-recovery with a lease and unmaps it from every
+  // process except the initiator (paper §3.5).
+  Status CofferRecoverBegin(Process& proc, uint32_t coffer_id, uint64_t lease_ns);
+  // The initiator reports in-use pages; the kernel reclaims the rest.
+  // Returns the number of pages reclaimed.
+  Result<uint64_t> CofferRecoverEnd(Process& proc, uint32_t coffer_id,
+                                    const std::vector<uint64_t>& in_use_pages);
+
+  // Updates the coffer path stored in the root page and the path map (used
+  // by rename of a coffer root). Also rewrites the stored paths of child
+  // coffers whose path has `old_path` as prefix.
+  Status CofferRename(Process& proc, uint32_t coffer_id, const std::string& new_path);
+
+  // Rewrites the stored path of every coffer under `old_prefix` to live
+  // under `new_prefix` (used after a directory subtree moves between
+  // coffers, so descendants' coffer paths stay consistent).
+  Status CofferFixupPaths(Process& proc, const std::string& old_prefix,
+                          const std::string& new_prefix);
+
+  // Changes a coffer's permission (kernel-checked; owner or root only).
+  Status CofferChmod(Process& proc, uint32_t coffer_id, uint16_t mode);
+  Status CofferChown(Process& proc, uint32_t coffer_id, uint32_t uid, uint32_t gid);
+
+  // ---- File operations (Table 5): mmap and execve need the kernel because
+  // they change the page table / privilege state (paper §3.3).
+  // Maps the given file pages directly into the process: the pages become
+  // accessible to *application* code (default protection key) rather than
+  // only inside µFS windows. The µFS supplies the page list (it knows the
+  // file layout; the kernel only validates ownership).
+  Status FileMmap(Process& proc, uint32_t coffer_id, const std::vector<uint64_t>& pages,
+                  bool writable);
+  // Restores the coffer-key tagging for previously mmapped pages.
+  Status FileMunmap(Process& proc, uint32_t coffer_id, const std::vector<uint64_t>& pages);
+  // Validates and "loads" an executable image from the given pages (the
+  // paper's file_execve). The simulation checks the exec permission and
+  // returns a digest of the image in lieu of transferring control.
+  Result<uint64_t> FileExecve(Process& proc, uint32_t coffer_id, uint16_t file_mode,
+                              const std::vector<uint64_t>& pages, uint64_t image_size);
+
+  // ---- Introspection (used by tests, fsck and the benchmarks).
+  const CofferRoot* RootPageOf(uint32_t coffer_id) const;
+  Result<std::vector<PageRun>> PagesOf(uint32_t coffer_id);
+  uint64_t FreePages();
+  std::vector<uint32_t> AllCofferIds();
+  // Validates allocation-table invariants (run-length consistency, no
+  // overlaps); returns an error description or empty string.
+  std::string CheckAllocTableForTest();
+
+ private:
+  struct CofferInfo {
+    uint32_t id = 0;
+    uint64_t root_page = 0;
+    std::map<uint64_t, uint64_t> runs;  // start_page -> len (includes root page)
+    std::set<Process*> mapped_by;
+  };
+
+  // --- allocation table (callers hold mu_) ---
+  AllocEntry ReadEntry(uint64_t page) const;
+  void WriteEntry(uint64_t page, uint32_t owner, uint32_t run_len);
+  Result<std::vector<PageRun>> AllocPages(uint64_t n, uint32_t owner);
+  void FreeRun(PageRun run);
+  void EraseSizeEntry(uint64_t len, uint64_t start);
+  void SetRunOwner(PageRun run, uint32_t owner);  // per-page rewrite (split/merge path)
+
+  // --- path map (callers hold mu_) ---
+  Result<uint64_t> PathMapLookup(const std::string& path) const;  // -> root page
+  Status PathMapInsert(const std::string& path, uint64_t root_page);
+  Status PathMapErase(const std::string& path);
+
+  CofferInfo* FindCoffer(uint32_t id);
+  CofferRoot* RootOf(CofferInfo& c);
+  Status CheckMappedWritable(Process& proc, uint32_t coffer_id);
+  void TagPagesForProcess(Process& proc, const CofferInfo& c, uint8_t key);
+  void UntagPagesForProcess(Process& proc, const CofferInfo& c);
+  void UnmapLocked(Process& proc, uint32_t coffer_id);
+  uint64_t PersistRootPath(CofferRoot* root, const std::string& path);
+
+  nvm::NvmDevice* dev_;
+  Superblock* sb_;
+  AllocEntry* table_;  // volatile pointer into NVM
+  uint64_t* buckets_;  // volatile pointer into NVM
+
+  uint64_t crossing_ns_ = 300;
+  uint32_t root_coffer_id_ = 0;
+  uint32_t next_pid_ = 1;
+
+  mutable std::mutex mu_;  // the global kernel lock
+  std::map<uint64_t, uint64_t> free_by_addr_;       // start -> len
+  std::multimap<uint64_t, uint64_t> free_by_size_;  // len -> start
+  std::unordered_map<uint32_t, CofferInfo> coffers_;
+  std::unordered_map<uint32_t, std::unique_ptr<Process>> procs_;
+};
+
+// RAII: models entering the kernel — charges the crossing cost and suspends
+// MPK enforcement for the scope (kernel accesses are not subject to the
+// user-mode PKRU).
+class KernelEntry {
+ public:
+  explicit KernelEntry(uint64_t crossing_ns);
+  ~KernelEntry();
+  KernelEntry(const KernelEntry&) = delete;
+  KernelEntry& operator=(const KernelEntry&) = delete;
+
+ private:
+  const mpk::PageKeyTable* saved_table_;
+  uint32_t saved_pkru_;
+};
+
+}  // namespace kernfs
+
+#endif  // SRC_KERNFS_KERNFS_H_

@@ -1,0 +1,93 @@
+// On-NVM layout of the kernel-managed structures (paper §4.1, Figure 3).
+//
+//   page 0                : superblock
+//   pages [1, A]          : allocation table (one 8-byte entry per NVM page)
+//   pages (A, A+P]        : path-coffer hash table (8-byte buckets)
+//   remaining pages       : allocatable pool (coffers)
+//
+// All cross-page references are stored as byte offsets from the NVM base;
+// coffer IDs are the page index of the coffer's root page (page 0 can never
+// be a coffer root, so 0 doubles as "free" in the allocation table).
+
+#ifndef SRC_KERNFS_LAYOUT_H_
+#define SRC_KERNFS_LAYOUT_H_
+
+#include <cstdint>
+
+#include "src/nvm/nvm.h"
+
+namespace kernfs {
+
+inline constexpr uint64_t kSuperMagic = 0x5a6f46535f545259ULL;   // "ZoFS_TRY"
+inline constexpr uint64_t kCofferMagic = 0x434f464645525f30ULL;  // "COFFER_0"
+inline constexpr uint32_t kKernelOwner = 0xffffffffu;  // alloc-table owner of kernel pages
+inline constexpr size_t kMaxCofferPath = 1920;
+
+// Coffer types (the path-coffer map records one per coffer; FSLibs dispatches
+// to the µFS registered for the type).
+inline constexpr uint32_t kCofferTypeZofs = 1;
+inline constexpr uint32_t kCofferTypeLogFs = 2;
+
+struct Superblock {
+  uint64_t magic;
+  uint32_t version;
+  uint32_t _pad0;
+  uint64_t num_pages;
+  uint64_t alloc_table_off;    // byte offset of the allocation table
+  uint64_t alloc_table_pages;
+  uint64_t path_map_off;       // byte offset of the bucket array
+  uint64_t path_map_buckets;
+  uint64_t pool_start_page;    // first allocatable page
+  uint32_t root_coffer_id;     // coffer of "/"
+  uint32_t _pad1;
+};
+static_assert(sizeof(Superblock) <= nvm::kPageSize);
+
+// Allocation table entry (Figure 3): owner coffer-ID (0 = free) and the
+// number of consecutive pages from this slot sharing that owner. `run_len`
+// is authoritative at the head slot of each run.
+struct AllocEntry {
+  uint32_t coffer_id;
+  uint32_t run_len;
+};
+static_assert(sizeof(AllocEntry) == 8);
+
+// Path-coffer hash table bucket values.
+inline constexpr uint64_t kBucketEmpty = 0;
+inline constexpr uint64_t kBucketTombstone = 1;
+
+// Flags in CofferRoot::flags.
+inline constexpr uint16_t kCofferInRecovery = 1u << 0;
+
+// The coffer root page: kernel-owned metadata about one coffer. Mapped
+// read-only into user space (the µFS may read it, never write it).
+struct CofferRoot {
+  uint64_t magic;
+  uint32_t coffer_id;
+  uint32_t type;
+  uint32_t uid;
+  uint32_t gid;
+  uint16_t mode;
+  uint16_t flags;
+  uint32_t _pad0;
+  uint64_t recovery_lease_ns;  // absolute deadline while kCofferInRecovery is set
+  uint64_t root_inode_off;     // µFS root-file inode page (byte offset)
+  uint64_t custom_off;         // µFS per-coffer custom page (byte offset)
+  uint64_t num_pages;          // pages currently owned by the coffer
+  uint16_t path_len;
+  char path[kMaxCofferPath];   // NUL-terminated absolute path of the coffer root file
+};
+static_assert(sizeof(CofferRoot) <= nvm::kPageSize);
+
+// A run of consecutive pages, the unit of space handed between KernFS and
+// coffers.
+struct PageRun {
+  uint64_t start_page;
+  uint64_t len;
+
+  bool operator==(const PageRun&) const = default;
+};
+
+}  // namespace kernfs
+
+#endif  // SRC_KERNFS_LAYOUT_H_

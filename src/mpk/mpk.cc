@@ -1,0 +1,62 @@
+#include "src/mpk/mpk.h"
+
+namespace mpk {
+
+namespace {
+
+struct ThreadState {
+  uint32_t pkru = 0;  // all keys allowed until a process binds the thread
+  const PageKeyTable* table = nullptr;
+};
+
+thread_local ThreadState g_tls;
+
+common::Err DeviceHook(void* ctx, uint64_t off, size_t len, bool is_write) {
+  CheckAccess(off, len, is_write);
+  return common::Err::kOk;
+}
+
+}  // namespace
+
+uint32_t RdPkru() { return g_tls.pkru; }
+
+void WrPkru(uint32_t pkru) { g_tls.pkru = pkru; }
+
+void BindThreadToProcess(const PageKeyTable* table) {
+  g_tls.table = table;
+  g_tls.pkru = table == nullptr ? 0 : PkruDenyAll();
+}
+
+const PageKeyTable* CurrentTable() { return g_tls.table; }
+
+void InstallDeviceHook(nvm::NvmDevice* dev) { dev->SetAccessHook(&DeviceHook, nullptr); }
+
+void CheckAccess(uint64_t off, size_t len, bool is_write) {
+  const PageKeyTable* table = g_tls.table;
+  if (table == nullptr || len == 0) {
+    return;  // thread not bound to a Treasury process: no MPK enforcement
+  }
+  const uint32_t pkru = g_tls.pkru;
+  uint64_t first = off / nvm::kPageSize;
+  uint64_t last = (off + len - 1) / nvm::kPageSize;
+  if (last >= table->size()) {
+    throw ViolationError{off, 0xff, is_write};
+  }
+  for (uint64_t page = first; page <= last; page++) {
+    uint8_t entry = (*table)[page];
+    if (entry == kUnmapped) {
+      // Page not present in this process's address space: a plain page fault.
+      throw ViolationError{page * nvm::kPageSize, entry, is_write};
+    }
+    if (is_write && (entry & kPageReadOnly)) {
+      // Page-table write protection (e.g. coffer root pages, read-only maps).
+      throw ViolationError{page * nvm::kPageSize, entry, is_write};
+    }
+    uint8_t key = entry & kKeyMask;
+    if (!PkruAllows(pkru, key, is_write)) {
+      throw ViolationError{page * nvm::kPageSize, key, is_write};
+    }
+  }
+}
+
+}  // namespace mpk

@@ -1,0 +1,130 @@
+// Simulated Intel Memory Protection Keys (MPK).
+//
+// Real MPK stores a 4-bit key per page-table entry and checks each access
+// against the per-thread PKRU register (2 bits per key: access-disable AD and
+// write-disable WD), writable from user space via WRPKRU. This module
+// reproduces those semantics in software:
+//
+//   * each simulated process owns a PageKeyTable (one key per NVM page) — the
+//     analog of its page-table key bits, populated by KernFS on coffer_map;
+//   * each thread carries a thread-local PKRU plus a binding to the page-key
+//     table of the process it is executing in;
+//   * the access hook installed on the NvmDevice checks every store (and
+//     checked load) against PKRU, throwing ViolationError on a mismatch — the
+//     analog of the MPK page fault, which FSLibs converts into a graceful
+//     file-system error (paper §3.4.2).
+//
+// WrPkru() is a single thread-local word store, mirroring the ~16-cycle
+// WRPKRU instruction the paper relies on for cheap window switches.
+
+#ifndef SRC_MPK_MPK_H_
+#define SRC_MPK_MPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/nvm/nvm.h"
+
+namespace mpk {
+
+inline constexpr int kNumKeys = 16;
+// Key 0 is the default key: regular memory, always accessible (matches the
+// kernel's use of pkey 0 for all non-tagged pages).
+inline constexpr uint8_t kDefaultKey = 0;
+
+// One entry per NVM page for one simulated process — the analog of that
+// process's page-table bits for the NVM region. Encoding:
+//   bits 0..3  protection key (0..15)
+//   bit  7     page is write-protected (PTE read-only; independent of MPK)
+//   0xff       page not mapped in this process (access -> page fault)
+// Updated only by KernFS while holding its lock; concurrent readers may
+// briefly observe a stale entry during map/unmap, the software analog of a
+// TLB-shootdown window.
+using PageKeyTable = std::vector<uint8_t>;
+
+inline constexpr uint8_t kKeyMask = 0x0f;
+inline constexpr uint8_t kPageReadOnly = 0x80;
+inline constexpr uint8_t kUnmapped = 0xff;
+
+// PKRU bit layout: bits (2k, 2k+1) = (AD, WD) for key k. AD=1 forbids any
+// access, WD=1 forbids writes.
+inline constexpr uint32_t AdBit(int key) { return 1u << (2 * key); }
+inline constexpr uint32_t WdBit(int key) { return 1u << (2 * key + 1); }
+
+// PKRU with every key except key 0 fully disabled — the state KernFS leaves a
+// thread in after coffer_map returns (guideline G1: nothing accessible while
+// application code runs).
+inline constexpr uint32_t PkruDenyAll() {
+  uint32_t v = 0;
+  for (int k = 1; k < kNumKeys; k++) {
+    v |= AdBit(k) | WdBit(k);
+  }
+  return v;
+}
+
+// PKRU that opens exactly one coffer key (guideline G2: at most one coffer
+// accessible at a time).
+inline constexpr uint32_t PkruAllowOnly(int key, bool writable) {
+  uint32_t v = PkruDenyAll();
+  v &= ~AdBit(key);
+  if (writable) {
+    v &= ~WdBit(key);
+  }
+  return v;
+}
+
+inline constexpr bool PkruAllows(uint32_t pkru, int key, bool is_write) {
+  if (pkru & AdBit(key)) {
+    return false;
+  }
+  if (is_write && (pkru & WdBit(key))) {
+    return false;
+  }
+  return true;
+}
+
+// Raised on an MPK access violation; the simulated page fault.
+struct ViolationError {
+  uint64_t off;
+  uint8_t key;
+  bool is_write;
+};
+
+// ---- Thread state (the simulated PKRU register + current address space).
+
+uint32_t RdPkru();
+void WrPkru(uint32_t pkru);  // the WRPKRU analog
+
+// Binds the calling thread to a process's page-key table. Passing nullptr
+// detaches the thread (no MPK enforcement; used by baseline file systems,
+// which predate Treasury's protection model).
+void BindThreadToProcess(const PageKeyTable* table);
+const PageKeyTable* CurrentTable();
+
+// Installs the MPK check as the device's access hook. Call once per device.
+void InstallDeviceHook(nvm::NvmDevice* dev);
+
+// Explicit check used on read paths that go through raw pointers (reads
+// don't always flow through device Load APIs for performance; µFS code calls
+// this at access points). Throws ViolationError on a denied access.
+void CheckAccess(uint64_t off, size_t len, bool is_write);
+
+// RAII access window: saves PKRU, opens exactly one key, restores on scope
+// exit. The µFS discipline from guidelines G1/G2.
+class AccessWindow {
+ public:
+  AccessWindow(int key, bool writable) : saved_(RdPkru()) {
+    WrPkru(PkruAllowOnly(key, writable));
+  }
+  ~AccessWindow() { WrPkru(saved_); }
+  AccessWindow(const AccessWindow&) = delete;
+  AccessWindow& operator=(const AccessWindow&) = delete;
+
+ private:
+  uint32_t saved_;
+};
+
+}  // namespace mpk
+
+#endif  // SRC_MPK_MPK_H_

@@ -1,0 +1,190 @@
+// Simulated byte-addressable non-volatile memory.
+//
+// This stands in for Intel Optane DC persistent memory (the paper's medium).
+// It provides:
+//   * a flat, page-granular region addressed by 64-bit offsets (persistent
+//     structures store offsets, never raw pointers);
+//   * persistence primitives mirroring the x86 model: explicit stores,
+//     non-temporal bulk stores, `Clwb` cacheline write-back and `Sfence`;
+//   * crash injection: when crash tracking is on, every store records the
+//     pre-image of the touched cachelines, `SimulateCrash()` rolls back all
+//     lines that were not written back + fenced — the adversarial model used
+//     by persistent-memory testing tools;
+//   * an optional media throttle reproducing Optane's read/write latency and
+//     bandwidth asymmetry (paper Table 1) on DRAM;
+//   * an access-check hook through which the simulated MPK facility (src/mpk)
+//     enforces protection-key semantics on every store.
+
+#ifndef SRC_NVM_NVM_H_
+#define SRC_NVM_NVM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/result.h"
+
+namespace nvm {
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kCachelineSize = 64;
+
+// Optane-like media costs. All-zero (the default) disables throttling, which
+// is what the file-system benchmarks use; the Table 1 media benchmark enables
+// it to reproduce the DRAM/NVM asymmetry.
+struct MediaProfile {
+  uint64_t read_latency_ns = 0;   // charged once per read op
+  uint64_t write_latency_ns = 0;  // charged once per write op
+  double read_gbps = 0.0;         // 0 = uncapped
+  double write_gbps = 0.0;        // 0 = uncapped
+
+  bool enabled() const {
+    return read_latency_ns || write_latency_ns || read_gbps > 0 || write_gbps > 0;
+  }
+
+  // Values scaled from the paper's Table 1 measurements of Optane DC PM.
+  static MediaProfile OptaneLike();
+  // DRAM reference point for the same table.
+  static MediaProfile DramLike();
+};
+
+struct Options {
+  size_t size_bytes = 64ull << 20;
+  bool crash_tracking = false;
+  MediaProfile media;
+  // Costs of the persistence primitives themselves, charged as busy-waits:
+  // on real Optane a clwb that actually writes back costs tens of ns per
+  // line and an sfence with pending write-backs stalls for ~100 ns. These
+  // drive the flush-per-line vs non-temporal gap the paper measures
+  // (Figure 8). Zero (the default) disables the charge.
+  uint64_t clwb_ns = 0;
+  uint64_t sfence_ns = 0;
+};
+
+// Access hook invoked before each store/load API call; installed by the MPK
+// simulation. Must return kOk to allow the access.
+using AccessHook = common::Err (*)(void* ctx, uint64_t off, size_t len, bool is_write);
+
+class NvmDevice {
+ public:
+  explicit NvmDevice(Options opts);
+  ~NvmDevice();
+
+  NvmDevice(const NvmDevice&) = delete;
+  NvmDevice& operator=(const NvmDevice&) = delete;
+
+  uint8_t* base() { return base_; }
+  const uint8_t* base() const { return base_; }
+  size_t size() const { return size_; }
+  size_t num_pages() const { return size_ / kPageSize; }
+
+  // Offset <-> pointer translation. Offsets are the persistent address form.
+  uint64_t OffsetOf(const void* p) const {
+    return static_cast<uint64_t>(static_cast<const uint8_t*>(p) - base_);
+  }
+  void* At(uint64_t off) { return base_ + off; }
+  const void* At(uint64_t off) const { return base_ + off; }
+  template <typename T>
+  T* As(uint64_t off) {
+    return reinterpret_cast<T*>(base_ + off);
+  }
+
+  bool Contains(uint64_t off, size_t len) const { return off + len <= size_; }
+
+  // ---- Store primitives (write path). All check the access hook, record
+  // undo state when crash tracking is on, and count persistence traffic.
+  void Store8(uint64_t off, uint8_t v);
+  void Store16(uint64_t off, uint16_t v);
+  void Store32(uint64_t off, uint32_t v);
+  void Store64(uint64_t off, uint64_t v);
+  void StoreBytes(uint64_t off, const void* src, size_t n);
+  // Non-temporal bulk store: bypasses the cache, so the data is persistent
+  // after the next Sfence without per-line Clwb. Charged at streaming
+  // bandwidth when the media throttle is on.
+  void NtStoreBytes(uint64_t off, const void* src, size_t n);
+
+  // Atomic 64-bit ops on NVM words (used for lease locks / commit points).
+  uint64_t AtomicLoad64(uint64_t off) const;
+  void AtomicStore64(uint64_t off, uint64_t v);
+  bool AtomicCas64(uint64_t off, uint64_t expected, uint64_t desired);
+  uint64_t AtomicFetchAdd64(uint64_t off, uint64_t delta);
+
+  // ---- Load path. Plain pointer reads are allowed for performance; these
+  // helpers additionally run the access hook and the media throttle.
+  void LoadBytes(uint64_t off, void* dst, size_t n) const;
+  uint64_t Load64(uint64_t off) const;
+
+  // ---- Persistence control.
+  void Clwb(uint64_t off, size_t len);  // write back the covered cachelines
+  void Sfence();                        // order/commit prior write-backs
+  void PersistRange(uint64_t off, size_t len) {
+    Clwb(off, len);
+    Sfence();
+  }
+
+  // ---- Crash simulation.
+  bool crash_tracking() const { return crash_tracking_; }
+  // Discards all stores that were not Clwb'd + Sfence'd, restoring pre-images.
+  // Returns the number of cachelines rolled back.
+  size_t SimulateCrash();
+  // Treat the current contents as fully persistent (e.g. after setup).
+  void MarkAllPersistent();
+  size_t DirtyLineCountForTest() const;
+
+  // ---- MPK hook.
+  void SetAccessHook(AccessHook hook, void* ctx) {
+    hook_ctx_ = ctx;
+    hook_ = hook;
+  }
+
+  // ---- Counters (diagnostics and benchmarks).
+  uint64_t clwb_count() const { return clwb_count_.load(std::memory_order_relaxed); }
+  uint64_t sfence_count() const { return sfence_count_.load(std::memory_order_relaxed); }
+  // Counts bulk data traffic (StoreBytes/NtStoreBytes); word-sized stores
+  // are not counted to keep the hot path free of atomic updates.
+  uint64_t bytes_written() const { return bytes_written_.load(std::memory_order_relaxed); }
+  void ResetCounters();
+
+  const MediaProfile& media() const { return media_; }
+  uint64_t clwb_ns() const { return clwb_ns_; }
+  uint64_t sfence_ns() const { return sfence_ns_; }
+
+ private:
+  void CheckAccess(uint64_t off, size_t len, bool is_write) const;
+  void TrackStore(uint64_t off, size_t len);
+  void ChargeWrite(size_t n);
+  void ChargeRead(size_t n) const;
+
+  struct LineState {
+    alignas(8) uint8_t pre_image[kCachelineSize];
+    bool written_back = false;  // Clwb'd but not yet fenced
+  };
+
+  uint8_t* base_ = nullptr;
+  size_t size_ = 0;
+  bool crash_tracking_ = false;
+  MediaProfile media_;
+  uint64_t clwb_ns_ = 0;
+  uint64_t sfence_ns_ = 0;
+
+  AccessHook hook_ = nullptr;
+  void* hook_ctx_ = nullptr;
+
+  mutable std::mutex track_mu_;
+  std::unordered_map<uint64_t, LineState> dirty_lines_;
+
+  std::atomic<uint64_t> clwb_count_{0};
+  std::atomic<uint64_t> sfence_count_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+
+  // Bandwidth token buckets (monotonic "next free" times, ns).
+  mutable std::atomic<uint64_t> read_free_ns_{0};
+  mutable std::atomic<uint64_t> write_free_ns_{0};
+};
+
+}  // namespace nvm
+
+#endif  // SRC_NVM_NVM_H_

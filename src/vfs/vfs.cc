@@ -1,0 +1,94 @@
+#include "src/vfs/vfs.h"
+
+namespace vfs {
+
+bool PermitsAccess(const Cred& cred, uint32_t owner_uid, uint32_t owner_gid, uint16_t mode,
+                   bool want_read, bool want_write) {
+  if (cred.IsRoot()) {
+    return true;
+  }
+  uint16_t bits;
+  if (cred.uid == owner_uid) {
+    bits = (mode >> 6) & 7;
+  } else if (cred.gid == owner_gid) {
+    bits = (mode >> 3) & 7;
+  } else {
+    bits = mode & 7;
+  }
+  if (want_read && !(bits & 4)) {
+    return false;
+  }
+  if (want_write && !(bits & 2)) {
+    return false;
+  }
+  return true;
+}
+
+Result<std::vector<std::string>> SplitPath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Err::kInval;
+  }
+  std::vector<std::string> parts;
+  size_t i = 1;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string::npos) {
+      j = path.size();
+    }
+    if (j > i) {
+      parts.emplace_back(path.substr(i, j - i));
+    }
+    i = j + 1;
+  }
+  return parts;
+}
+
+Result<std::pair<std::string, std::string>> SplitParent(const std::string& path) {
+  ASSIGN_OR_RETURN(parts, SplitPath(path));
+  if (parts.empty()) {
+    return Err::kInval;  // cannot take the parent of "/"
+  }
+  std::string leaf = parts.back();
+  parts.pop_back();
+  std::string parent = "/";
+  for (size_t i = 0; i < parts.size(); i++) {
+    parent += parts[i];
+    if (i + 1 < parts.size()) {
+      parent += "/";
+    }
+  }
+  return std::make_pair(parent, leaf);
+}
+
+std::string NormalizePath(const std::string& path) {
+  if (path.empty()) {
+    return "/";
+  }
+  std::vector<std::string> stack;
+  size_t i = 0;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string::npos) {
+      j = path.size();
+    }
+    std::string part = path.substr(i, j - i);
+    if (part == "..") {
+      if (!stack.empty()) {
+        stack.pop_back();
+      }
+    } else if (!part.empty() && part != ".") {
+      stack.push_back(std::move(part));
+    }
+    i = j + 1;
+  }
+  std::string out = "/";
+  for (size_t k = 0; k < stack.size(); k++) {
+    out += stack[k];
+    if (k + 1 < stack.size()) {
+      out += "/";
+    }
+  }
+  return out;
+}
+
+}  // namespace vfs

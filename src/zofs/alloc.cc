@@ -1,0 +1,164 @@
+#include "src/zofs/alloc.h"
+
+#include <atomic>
+#include <cstring>
+#include <unordered_map>
+
+#include "src/common/clock.h"
+
+namespace zofs {
+
+namespace {
+// Per-thread cache of which pool list this thread holds, keyed by the pool's
+// NVM offset (unique per coffer across all processes). The paper stores this
+// in "a normal per-thread variable" (§5.2 footnote).
+thread_local std::unordered_map<uint64_t, uint32_t> t_my_list;
+
+const uint8_t kZeroPage[nvm::kPageSize] = {};
+}  // namespace
+
+uint64_t CurrentTid() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t tid = next.fetch_add(1);
+  return tid;
+}
+
+CofferAllocator::CofferAllocator(kernfs::KernFs* kfs, kernfs::Process* proc, uint32_t coffer_id,
+                                 uint64_t pool_off, uint64_t lease_ns, uint64_t enlarge_batch)
+    : kfs_(kfs),
+      proc_(proc),
+      coffer_id_(coffer_id),
+      pool_off_(pool_off),
+      lease_ns_(lease_ns),
+      enlarge_batch_(enlarge_batch) {}
+
+void CofferAllocator::InitPool(nvm::NvmDevice* dev, uint64_t pool_off) {
+  AllocPool zero{};
+  zero.magic = kPoolMagic;
+  dev->StoreBytes(pool_off, &zero, sizeof(zero));
+  dev->PersistRange(pool_off, sizeof(zero));
+}
+
+AllocPool* CofferAllocator::pool() { return kfs_->dev()->As<AllocPool>(pool_off_); }
+
+Result<uint32_t> CofferAllocator::AcquireList() {
+  nvm::NvmDevice* dev = kfs_->dev();
+  AllocPool* p = pool();
+  const uint64_t tid = CurrentTid();
+  const uint64_t now = common::NowNs();
+
+  // Fast path: this thread already holds a list with a valid lease.
+  auto it = t_my_list.find(pool_off_);
+  if (it != t_my_list.end()) {
+    LeasedFreeList* l = &p->lists[it->second];
+    if (l->owner_tid == tid && l->lease_expiry_ns > now) {
+      // Renew the lease.
+      uint64_t loff = pool_off_ + offsetof(AllocPool, lists) + it->second * sizeof(LeasedFreeList);
+      dev->Store64(loff + offsetof(LeasedFreeList, lease_expiry_ns), now + lease_ns_);
+      return it->second;
+    }
+    t_my_list.erase(it);
+  }
+
+  // Slow path: claim an unowned or lease-expired list via CAS on the owner.
+  for (uint32_t i = 0; i < kPoolLists; i++) {
+    LeasedFreeList* l = &p->lists[i];
+    uint64_t owner = l->owner_tid;
+    if (owner == tid) {
+      // Our list from an earlier epoch whose lease lapsed: re-lease it.
+      uint64_t loff = pool_off_ + offsetof(AllocPool, lists) + i * sizeof(LeasedFreeList);
+      dev->Store64(loff + offsetof(LeasedFreeList, lease_expiry_ns), now + lease_ns_);
+      dev->PersistRange(loff, sizeof(LeasedFreeList));
+      t_my_list[pool_off_] = i;
+      return i;
+    }
+    if (owner != 0 && l->lease_expiry_ns > now) {
+      continue;
+    }
+    uint64_t loff = pool_off_ + offsetof(AllocPool, lists) + i * sizeof(LeasedFreeList);
+    if (dev->AtomicCas64(loff + offsetof(LeasedFreeList, owner_tid), owner, tid)) {
+      dev->Store64(loff + offsetof(LeasedFreeList, lease_expiry_ns), now + lease_ns_);
+      dev->PersistRange(loff, sizeof(LeasedFreeList));
+      t_my_list[pool_off_] = i;
+      return i;
+    }
+  }
+  return Err::kBusy;  // all lists held with live leases
+}
+
+Result<uint64_t> CofferAllocator::AllocPage(bool zero) {
+  nvm::NvmDevice* dev = kfs_->dev();
+  ASSIGN_OR_RETURN(idx, AcquireList());
+  AllocPool* p = pool();
+  LeasedFreeList* l = &p->lists[idx];
+  const uint64_t loff = pool_off_ + offsetof(AllocPool, lists) + idx * sizeof(LeasedFreeList);
+
+  if (l->head == 0) {
+    // Refill in batch from the kernel (coffer_enlarge, Table 5).
+    auto runs = kfs_->CofferEnlarge(*proc_, coffer_id_, enlarge_batch_);
+    if (!runs.ok()) {
+      return runs.error();
+    }
+    for (const kernfs::PageRun& r : *runs) {
+      for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
+        PushLocked(l, loff, pg * nvm::kPageSize);
+      }
+    }
+  }
+
+  uint64_t page_off = l->head;
+  uint64_t next = dev->Load64(page_off);
+  // Free-list state is advisory: recovery rebuilds it from reachability, so
+  // updates are written back without ordering fences (soft-updates spirit).
+  dev->Store64(loff + offsetof(LeasedFreeList, head), next);
+  dev->Store64(loff + offsetof(LeasedFreeList, count), l->count - 1);
+  dev->Clwb(loff, sizeof(LeasedFreeList));
+  if (zero) {
+    // The caller's operation-final fence covers the zeroing NT stores.
+    dev->NtStoreBytes(page_off, kZeroPage, nvm::kPageSize);
+  }
+  return page_off;
+}
+
+void CofferAllocator::PushLocked(LeasedFreeList* l, uint64_t list_off, uint64_t page_off) {
+  // Advisory state (see AllocPage): written back, never fenced.
+  nvm::NvmDevice* dev = kfs_->dev();
+  dev->Store64(page_off, l->head);  // link through the page's first word
+  dev->Clwb(page_off, 8);
+  dev->Store64(list_off + offsetof(LeasedFreeList, head), page_off);
+  dev->Store64(list_off + offsetof(LeasedFreeList, count), l->count + 1);
+  dev->Clwb(list_off, sizeof(LeasedFreeList));
+}
+
+Status CofferAllocator::FreePage(uint64_t page_off) {
+  ASSIGN_OR_RETURN(idx, AcquireList());
+  AllocPool* p = pool();
+  LeasedFreeList* l = &p->lists[idx];
+  const uint64_t loff = pool_off_ + offsetof(AllocPool, lists) + idx * sizeof(LeasedFreeList);
+  PushLocked(l, loff, page_off);
+  return common::OkStatus();
+}
+
+Status CofferAllocator::Donate(const std::vector<kernfs::PageRun>& runs) {
+  ASSIGN_OR_RETURN(idx, AcquireList());
+  AllocPool* p = pool();
+  LeasedFreeList* l = &p->lists[idx];
+  const uint64_t loff = pool_off_ + offsetof(AllocPool, lists) + idx * sizeof(LeasedFreeList);
+  for (const kernfs::PageRun& r : runs) {
+    for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
+      PushLocked(l, loff, pg * nvm::kPageSize);
+    }
+  }
+  return common::OkStatus();
+}
+
+uint64_t CofferAllocator::FreeListPagesForTest() const {
+  const AllocPool* p = kfs_->dev()->As<AllocPool>(pool_off_);
+  uint64_t n = 0;
+  for (const LeasedFreeList& l : p->lists) {
+    n += l.count;
+  }
+  return n;
+}
+
+}  // namespace zofs

@@ -1,0 +1,74 @@
+// The ZoFS coffer allocator: leased per-thread free lists (paper §5.2,
+// Figure 6).
+//
+// Each coffer's custom page holds a pool of LeasedFreeList structures. A
+// thread claims one with a CAS on the owner field and renews its lease on
+// every allocation; if the thread dies, the list becomes reclaimable when
+// the lease expires. When a thread's list runs dry it requests pages in
+// batch from KernFS via coffer_enlarge — the kernel-contention point the
+// paper measures in DWAL/MWCL (§6.1).
+//
+// Free pages are linked through their first 8 bytes. Pages sitting in free
+// lists are owned by the coffer; a crash can strand them there, and offline
+// recovery (fsck) returns them to the kernel.
+
+#ifndef SRC_ZOFS_ALLOC_H_
+#define SRC_ZOFS_ALLOC_H_
+
+#include <cstdint>
+
+#include "src/common/result.h"
+#include "src/kernfs/kernfs.h"
+#include "src/zofs/layout.h"
+
+namespace zofs {
+
+using common::Err;
+using common::Result;
+using common::Status;
+
+// Process-wide unique id of the calling thread; never 0.
+uint64_t CurrentTid();
+
+class CofferAllocator {
+ public:
+  CofferAllocator(kernfs::KernFs* kfs, kernfs::Process* proc, uint32_t coffer_id,
+                  uint64_t pool_off, uint64_t lease_ns, uint64_t enlarge_batch);
+
+  // Formats a fresh pool page (called once when a coffer is created).
+  static void InitPool(nvm::NvmDevice* dev, uint64_t pool_off);
+
+  // Allocates one 4 KB page from the coffer; `zero` wipes it. The caller
+  // must hold an MPK window for the coffer.
+  Result<uint64_t> AllocPage(bool zero);
+
+  // Returns a page to this thread's free list.
+  Status FreePage(uint64_t page_off);
+
+  // Pushes externally-obtained coffer pages (e.g. from coffer_merge) onto
+  // this thread's free list.
+  Status Donate(const std::vector<kernfs::PageRun>& runs);
+
+  uint32_t coffer_id() const { return coffer_id_; }
+
+  // Number of pages currently parked in free lists (pool scan; test only).
+  uint64_t FreeListPagesForTest() const;
+
+ private:
+  AllocPool* pool();
+  // Returns the index of a leased list owned by the calling thread,
+  // claiming or stealing one if needed.
+  Result<uint32_t> AcquireList();
+  void PushLocked(LeasedFreeList* l, uint64_t list_off, uint64_t page_off);
+
+  kernfs::KernFs* kfs_;
+  kernfs::Process* proc_;
+  uint32_t coffer_id_;
+  uint64_t pool_off_;
+  uint64_t lease_ns_;
+  uint64_t enlarge_batch_;
+};
+
+}  // namespace zofs
+
+#endif  // SRC_ZOFS_ALLOC_H_

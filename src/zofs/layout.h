@@ -1,0 +1,152 @@
+// On-NVM structures of the ZoFS µFS (paper §5, Figure 5).
+//
+// A ZoFS coffer consists of:
+//   * the coffer root page (kernel-owned, read-only to ZoFS);
+//   * the root-file inode page;
+//   * the custom page, which holds the coffer's allocator pool of leased
+//     per-thread free lists (Figure 6);
+//   * data, index and directory pages allocated from the pool.
+//
+// Every persistent reference is a byte offset from the NVM base (0 = null).
+// ZoFS only allocates in 4 KB pages (paper: "ZoFS only supports 4KB-sized
+// allocation for simplicity"); an inode consumes a whole page.
+
+#ifndef SRC_ZOFS_LAYOUT_H_
+#define SRC_ZOFS_LAYOUT_H_
+
+#include <cstdint>
+
+#include "src/nvm/nvm.h"
+
+namespace zofs {
+
+inline constexpr uint64_t kInodeMagic = 0x5a4f46535f494e4fULL;  // "ZOFS_INO"
+inline constexpr uint64_t kPoolMagic = 0x5a4f46535f504f4fULL;   // "ZOFS_POO"
+
+inline constexpr uint32_t kTypeRegular = 1;
+inline constexpr uint32_t kTypeDirectory = 2;
+inline constexpr uint32_t kTypeSymlink = 3;
+
+// Block map geometry (ext4-like; paper §5.1 "Regular Files").
+inline constexpr int kDirectBlocks = 12;
+inline constexpr uint64_t kPtrsPerPage = nvm::kPageSize / 8;  // 512
+inline constexpr uint64_t kMaxFileBlocks =
+    kDirectBlocks + kPtrsPerPage + kPtrsPerPage * kPtrsPerPage;
+
+// Directory geometry (paper §5.1 "Directories"): an L1 page of 512 slots,
+// each pointing to an L2 page; an L2 page embeds 16 dentries and a 256-bucket
+// second-level hash whose buckets chain dentry-run pages.
+inline constexpr uint64_t kL1Slots = 512;
+inline constexpr uint64_t kL2Buckets = 256;
+inline constexpr uint64_t kL2Embedded = 16;
+inline constexpr uint64_t kRunDentries = 31;
+
+inline constexpr uint16_t kDentryInUse = 1u << 0;
+// Bits 1..2 of the dentry flags cache the child's file type so readdir does
+// not have to touch child inodes (or map child coffers).
+inline constexpr uint16_t kDentryTypeShift = 1;
+inline constexpr uint16_t kDentryTypeMask = 0x3u << kDentryTypeShift;
+inline constexpr size_t kMaxName = 103;
+
+// 128-byte directory entry. `coffer_id != 0` marks a cross-coffer reference:
+// the child lives in another coffer and `inode_off` must equal that coffer's
+// root-inode offset (validated per guideline G3).
+struct Dentry {
+  uint32_t name_hash;
+  uint16_t name_len;
+  uint16_t flags;
+  uint32_t coffer_id;
+  uint32_t _pad;
+  uint64_t inode_off;
+  char name[kMaxName + 1];
+
+  bool in_use() const { return flags & kDentryInUse; }
+  uint32_t cached_type() const { return (flags & kDentryTypeMask) >> kDentryTypeShift; }
+};
+static_assert(sizeof(Dentry) == 128);
+
+// Second-level directory page.
+struct L2Page {
+  Dentry embedded[kL2Embedded];
+  uint64_t buckets[kL2Buckets];  // heads of dentry-run chains
+};
+static_assert(sizeof(L2Page) == nvm::kPageSize);
+
+// Overflow page holding a run of dentries, chained per bucket.
+struct DentryRun {
+  uint64_t next;
+  uint64_t _pad[7];
+  Dentry dentries[kRunDentries];
+};
+static_assert(sizeof(DentryRun) <= nvm::kPageSize);
+
+// A full-page inode. Field groups:
+//   identity/attributes, lease lock, block map (regular files),
+//   directory root (directories), inline symlink target (symlinks).
+struct Inode {
+  uint64_t magic;
+  uint32_t type;
+  uint16_t mode;
+  uint16_t iflags;  // kInodeInlineData
+  uint32_t uid;
+  uint32_t gid;
+  uint64_t size;        // bytes for files/symlinks; entry count for dirs
+  uint64_t nlink;
+  uint64_t mtime_ns;
+  uint64_t ctime_ns;
+
+  // Lease lock (paper §5.2): owner thread id (0 = free) + expiry deadline.
+  uint64_t lock_owner;
+  uint64_t lock_expiry_ns;
+
+  // Regular file block map.
+  uint64_t direct[kDirectBlocks];
+  uint64_t indirect;
+  uint64_t dindirect;
+
+  // Directory: L1 page (0 until the first entry is inserted).
+  uint64_t l1_dir;
+
+  // Symlink target, inline (the page has plenty of room; paper §5.1
+  // "Special Files").
+  uint16_t symlink_len;
+  char symlink_target[1024];
+};
+static_assert(sizeof(Inode) <= nvm::kPageSize);
+
+// Bytes of an Inode that non-symlink operations touch; creation flushes only
+// this prefix (the inline symlink buffer is persisted by Symlink() itself).
+inline constexpr size_t kInodeCoreBytes = offsetof(Inode, symlink_len);
+
+// Inode flag bits.
+inline constexpr uint16_t kInodeInlineData = 1u << 0;
+
+// Inline small-file data (the paper's §5.1 future-work optimisation:
+// "embedding file data in the inode page"): regular files never use the
+// symlink area, so the tail of the inode page holds the data.
+inline constexpr uint64_t kInlineOff = (kInodeCoreBytes + 63) & ~uint64_t{63};
+inline constexpr uint64_t kInlineCapacity = nvm::kPageSize - kInlineOff;
+
+// Leased per-thread free list (Figure 6). Free pages are linked through
+// their first 8 bytes.
+struct LeasedFreeList {
+  uint64_t owner_tid;       // 0 = unowned; claimed by CAS
+  uint64_t lease_expiry_ns;
+  uint64_t head;            // first free page (byte offset), 0 = empty
+  uint64_t count;
+};
+static_assert(sizeof(LeasedFreeList) == 32);
+
+inline constexpr uint64_t kPoolLists = 120;
+
+// The coffer custom page: the allocator pool.
+struct AllocPool {
+  uint64_t magic;
+  uint64_t _pad;
+  LeasedFreeList lists[kPoolLists];
+};
+static_assert(sizeof(AllocPool) <= nvm::kPageSize);
+
+}  // namespace zofs
+
+#endif  // SRC_ZOFS_LAYOUT_H_

@@ -1,0 +1,1736 @@
+#include "src/zofs/zofs.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/clock.h"
+#include "src/common/hash.h"
+#include "src/mpk/mpk.h"
+
+namespace zofs {
+
+using kernfs::CofferRoot;
+using kernfs::MapInfo;
+using kernfs::PageRun;
+
+namespace {
+
+// Sorts page offsets and merges adjacent pages into runs.
+std::vector<PageRun> PagesToRuns(std::vector<uint64_t> page_offs) {
+  std::sort(page_offs.begin(), page_offs.end());
+  page_offs.erase(std::unique(page_offs.begin(), page_offs.end()), page_offs.end());
+  std::vector<PageRun> runs;
+  for (uint64_t off : page_offs) {
+    uint64_t page = off / nvm::kPageSize;
+    if (!runs.empty() && runs.back().start_page + runs.back().len == page) {
+      runs.back().len++;
+    } else {
+      runs.push_back(PageRun{page, 1});
+    }
+  }
+  return runs;
+}
+
+uint16_t MakeDentryFlags(uint32_t type) {
+  return static_cast<uint16_t>(kDentryInUse |
+                               ((type & 0x3u) << kDentryTypeShift));
+}
+
+vfs::FileType VfsType(uint32_t t) {
+  switch (t) {
+    case kTypeDirectory:
+      return vfs::FileType::kDirectory;
+    case kTypeSymlink:
+      return vfs::FileType::kSymlink;
+    default:
+      return vfs::FileType::kRegular;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// InodeLock
+
+InodeLock::InodeLock(nvm::NvmDevice* dev, uint64_t inode_off, uint64_t lease_ns)
+    : dev_(dev),
+      owner_off_(inode_off + offsetof(Inode, lock_owner)),
+      expiry_off_(inode_off + offsetof(Inode, lock_expiry_ns)) {
+  const uint64_t tid = CurrentTid();
+  int spins = 0;
+  for (;;) {
+    uint64_t owner = dev_->AtomicLoad64(owner_off_);
+    if (owner == tid) {
+      break;  // already held by this thread (single-level reentry)
+    }
+    if (owner == 0) {
+      if (dev_->AtomicCas64(owner_off_, 0, tid)) {
+        break;
+      }
+    } else if (dev_->AtomicLoad64(expiry_off_) < common::NowNs()) {
+      // Lease expired (holder died or stalled): steal (paper §5.2).
+      if (dev_->AtomicCas64(owner_off_, owner, tid)) {
+        break;
+      }
+    }
+    if (++spins < 64) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    } else {
+      // The holder is probably descheduled: yield the CPU instead of
+      // spinning out the timeslice (leases are hundreds of ms).
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  dev_->AtomicStore64(expiry_off_, common::NowNs() + lease_ns);
+}
+
+InodeLock::~InodeLock() { dev_->AtomicStore64(owner_off_, 0); }
+
+// ---------------------------------------------------------------------------
+// Construction
+
+ZoFs::ZoFs(kernfs::KernFs* kfs, kernfs::Process* proc, Options opts)
+    : kfs_(kfs), proc_(proc), opts_(opts) {
+  proc_->BindCurrentThread();
+  kfs_->FsMount(*proc_);
+  // Bootstrap the root coffer's µFS content if this is a fresh file system.
+  auto info = EnsureMapped(kfs_->root_coffer_id(), true);
+  if (info.ok()) {
+    mpk::AccessWindow w(info->key, true);
+    Inode* root = Ino(info->root_inode_off);
+    if (root->magic != kInodeMagic) {
+      const CofferRoot* croot = kfs_->RootPageOf(kfs_->root_coffer_id());
+      Inode fresh{};
+      fresh.magic = kInodeMagic;
+      fresh.type = kTypeDirectory;
+      fresh.mode = croot->mode;
+      fresh.uid = croot->uid;
+      fresh.gid = croot->gid;
+      fresh.nlink = 2;
+      fresh.mtime_ns = fresh.ctime_ns = common::NowNs();
+      kfs_->dev()->StoreBytes(info->root_inode_off, &fresh, kInodeCoreBytes);
+      kfs_->dev()->PersistRange(info->root_inode_off, kInodeCoreBytes);
+      CofferAllocator::InitPool(kfs_->dev(), info->custom_off);
+    }
+  }
+}
+
+ZoFs::~ZoFs() { kfs_->FsUmount(*proc_); }
+
+// ---------------------------------------------------------------------------
+// Mapping management
+
+Result<MapInfo> ZoFs::EnsureMapped(uint32_t cid, bool writable) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = mapped_.find(cid);
+  if (it != mapped_.end() && (!writable || it->second.writable)) {
+    return it->second;
+  }
+  for (int attempt = 0; attempt < 2; attempt++) {
+    auto info = kfs_->CofferMap(*proc_, cid, writable);
+    if (info.ok()) {
+      mapped_[cid] = *info;
+      return *info;
+    }
+    if (info.error() != Err::kNoKeys || attempt == 1) {
+      return info.error();
+    }
+    // Out of MPK regions: unmap a victim coffer and retry (paper §3.4.2).
+    uint32_t victim = 0;
+    for (const auto& [mcid, minfo] : mapped_) {
+      if (mcid != cid && mcid != kfs_->root_coffer_id()) {
+        victim = mcid;
+        break;
+      }
+    }
+    if (victim == 0) {
+      return Err::kNoKeys;
+    }
+    kfs_->CofferUnmap(*proc_, victim);
+    mapped_.erase(victim);
+    allocators_.erase(victim);
+  }
+  return Err::kNoKeys;
+}
+
+Result<uint8_t> ZoFs::KeyFor(uint32_t cid, bool writable) {
+  ASSIGN_OR_RETURN(info, EnsureMapped(cid, writable));
+  return info.key;
+}
+
+void ZoFs::ForgetMapping(uint32_t cid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  mapped_.erase(cid);
+  allocators_.erase(cid);
+}
+
+CofferAllocator& ZoFs::AllocatorFor(uint32_t cid, const MapInfo& info) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = allocators_.find(cid);
+  if (it == allocators_.end()) {
+    it = allocators_
+             .emplace(cid, std::make_unique<CofferAllocator>(kfs_, proc_, cid, info.custom_off,
+                                                             opts_.lease_ns, opts_.enlarge_batch))
+             .first;
+  }
+  return *it->second;
+}
+
+void ZoFs::FixNode(NodeRef* node) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = relocated_.find(node->inode_off);
+  if (it != relocated_.end()) {
+    node->coffer_id = it->second;
+  }
+}
+
+void ZoFs::RecordRelocation(const std::vector<PageRun>& runs, uint32_t new_cid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const PageRun& r : runs) {
+    for (uint64_t p = r.start_page; p < r.start_page + r.len; p++) {
+      relocated_[p * nvm::kPageSize] = new_cid;
+    }
+  }
+}
+
+bool ZoFs::SameGroup(uint16_t mode, uint32_t uid, uint32_t gid, const CofferRoot* root) const {
+  return EffPerm(mode) == EffPerm(root->mode) && uid == root->uid && gid == root->gid;
+}
+
+// ---------------------------------------------------------------------------
+// Path resolution
+
+Result<ZoFs::ResolveResult> ZoFs::Resolve(const std::string& raw_path, bool follow_last_symlink) {
+  std::string cur = vfs::NormalizePath(raw_path);
+  for (int depth = 0; depth <= opts_.max_symlink_depth; depth++) {
+    ASSIGN_OR_RETURN(parts, vfs::SplitPath(cur));
+
+    uint32_t cid = kfs_->root_coffer_id();
+    ASSIGN_OR_RETURN(root_info, EnsureMapped(cid, false));
+    ResolveResult r;
+    r.node = NodeRef{cid, root_info.root_inode_off};
+    r.parent = NodeRef{};
+    r.is_coffer_root = true;
+    // The walked-prefix string is only materialised when actually needed
+    // (cross-coffer validation, symlink expansion) — the hot path does no
+    // string concatenation.
+    auto path_prefix = [&parts](size_t upto) {
+      std::string p;
+      for (size_t j = 0; j < upto; j++) {
+        p += "/" + parts[j];
+      }
+      return p;
+    };
+
+    bool restarted = false;
+    for (size_t i = 0; i < parts.size(); i++) {
+      const std::string& name = parts[i];
+      if (name.size() > kMaxName) {
+        return Err::kNameTooLong;
+      }
+      ASSIGN_OR_RETURN(key, KeyFor(r.node.coffer_id, false));
+      Dentry d;
+      {
+        mpk::AccessWindow w(key, false);
+        Inode* dir = Ino(r.node.inode_off);
+        mpk::CheckAccess(r.node.inode_off, sizeof(Inode), false);
+        if (dir->magic != kInodeMagic) {
+          return Err::kCorrupt;
+        }
+        if (dir->type != kTypeDirectory) {
+          return Err::kNotDir;
+        }
+        ASSIGN_OR_RETURN(dp, DirFind(r.node.coffer_id, dir, name));
+        d = *dp;  // copy out before the window closes
+      }
+
+      NodeRef child;
+      bool child_is_root;
+      if (d.coffer_id != 0) {
+        std::string child_path = path_prefix(i + 1);
+        // Cross-coffer reference: map the target (kernel permission check)
+        // and validate it per guideline G3 before switching windows.
+        ASSIGN_OR_RETURN(tinfo, EnsureMapped(d.coffer_id, false));
+        const CofferRoot* troot = kfs_->RootPageOf(d.coffer_id);
+        {
+          mpk::AccessWindow w(tinfo.key, false);
+          mpk::CheckAccess(kfs_->dev()->OffsetOf(troot), sizeof(CofferRoot), false);
+          if (troot->magic != kernfs::kCofferMagic ||
+              tinfo.root_inode_off != d.inode_off ||
+              child_path.compare(troot->path) != 0) {
+            // Manipulated cross-coffer reference (paper §3.4.3).
+            return Err::kCorrupt;
+          }
+        }
+        child = NodeRef{d.coffer_id, d.inode_off};
+        child_is_root = true;
+      } else {
+        child = NodeRef{r.node.coffer_id, d.inode_off};
+        child_is_root = false;
+      }
+
+      // Symlink expansion: rebuild the path and restart the walk (the
+      // dispatcher re-dispatch of paper §4.2, handled inline since every
+      // coffer here is ZoFS-typed).
+      bool is_last = (i + 1 == parts.size());
+      if (d.cached_type() == kTypeSymlink && (!is_last || follow_last_symlink)) {
+        std::string target;
+        {
+          ASSIGN_OR_RETURN(ckey, KeyFor(child.coffer_id, false));
+          mpk::AccessWindow w(ckey, false);
+          const Inode* ci = Ino(child.inode_off);
+          mpk::CheckAccess(child.inode_off, sizeof(Inode), false);
+          if (ci->magic != kInodeMagic || ci->type != kTypeSymlink) {
+            return Err::kCorrupt;
+          }
+          target.assign(ci->symlink_target, ci->symlink_len);
+        }
+        std::string rest;
+        for (size_t j = i + 1; j < parts.size(); j++) {
+          rest += "/" + parts[j];
+        }
+        if (!target.empty() && target[0] == '/') {
+          cur = vfs::NormalizePath(target + rest);
+        } else {
+          cur = vfs::NormalizePath(path_prefix(i) + "/" + target + rest);
+        }
+        restarted = true;
+        break;
+      }
+
+      r.parent = r.node;
+      r.leaf = name;
+      r.node = child;
+      r.is_coffer_root = child_is_root;
+    }
+    if (!restarted) {
+      return r;
+    }
+  }
+  return Err::kLoop;
+}
+
+Result<NodeRef> ZoFs::Lookup(const std::string& path, bool follow_last_symlink) {
+  ASSIGN_OR_RETURN(r, Resolve(path, follow_last_symlink));
+  return r.node;
+}
+
+// ---------------------------------------------------------------------------
+// Directory internals
+
+Result<Dentry*> ZoFs::DirFind(uint32_t cid, Inode* dir, std::string_view name) {
+  if (dir->l1_dir == 0) {
+    return Err::kNoEnt;
+  }
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint32_t h = common::Fnv1a32(name);
+  const uint64_t* l1 = dev->As<uint64_t>(dir->l1_dir);
+  uint64_t l2_off = l1[h % kL1Slots];
+  if (l2_off == 0) {
+    return Err::kNoEnt;
+  }
+  L2Page* l2 = dev->As<L2Page>(l2_off);
+  mpk::CheckAccess(l2_off, sizeof(L2Page), false);
+  auto matches = [&](Dentry& d) {
+    return d.in_use() && d.name_hash == h && d.name_len == name.size() &&
+           memcmp(d.name, name.data(), name.size()) == 0;
+  };
+  for (Dentry& d : l2->embedded) {
+    if (matches(d)) {
+      return &d;
+    }
+  }
+  uint64_t run_off = l2->buckets[(h / kL1Slots) % kL2Buckets];
+  while (run_off != 0) {
+    DentryRun* run = dev->As<DentryRun>(run_off);
+    mpk::CheckAccess(run_off, sizeof(DentryRun), false);
+    for (Dentry& d : run->dentries) {
+      if (matches(d)) {
+        return &d;
+      }
+    }
+    run_off = run->next;
+  }
+  return Err::kNoEnt;
+}
+
+Status ZoFs::DirInsert(uint32_t cid, Inode* dir, std::string_view name, uint32_t child_coffer,
+                       uint64_t child_inode, uint32_t child_type) {
+  if (name.empty() || name.size() > kMaxName) {
+    return Err::kNameTooLong;
+  }
+  nvm::NvmDevice* dev = kfs_->dev();
+  auto infoit = mapped_.find(cid);
+  assert(infoit != mapped_.end());
+  CofferAllocator& alloc = AllocatorFor(cid, infoit->second);
+  const uint32_t h = common::Fnv1a32(name);
+  const uint64_t dir_off = dev->OffsetOf(dir);
+
+  // Pages are allocated on demand (paper §5.1).
+  if (dir->l1_dir == 0) {
+    ASSIGN_OR_RETURN(l1_page, alloc.AllocPage(/*zero=*/true));
+    dev->Store64(dir_off + offsetof(Inode, l1_dir), l1_page);
+    dev->PersistRange(dir_off + offsetof(Inode, l1_dir), 8);
+  }
+  uint64_t* l1 = dev->As<uint64_t>(dir->l1_dir);
+  const uint64_t slot = h % kL1Slots;
+  if (l1[slot] == 0) {
+    ASSIGN_OR_RETURN(l2_page, alloc.AllocPage(/*zero=*/true));
+    dev->Store64(dir->l1_dir + slot * 8, l2_page);
+    dev->PersistRange(dir->l1_dir + slot * 8, 8);
+  }
+  L2Page* l2 = dev->As<L2Page>(l1[slot]);
+
+  // Find a free slot: embedded area first (paper: "ZoFS tries to put new
+  // dentries in the second-level page first").
+  Dentry* free_slot = nullptr;
+  for (Dentry& d : l2->embedded) {
+    if (!d.in_use()) {
+      free_slot = &d;
+      break;
+    }
+  }
+  const uint64_t bucket_off =
+      dev->OffsetOf(l2) + offsetof(L2Page, buckets) + ((h / kL1Slots) % kL2Buckets) * 8;
+  if (free_slot == nullptr) {
+    // Scan only the first two run pages for holes: older pages are almost
+    // always full in insert-heavy workloads, and recovery tolerates sparse
+    // pages, so a bounded scan keeps inserts O(1).
+    uint64_t run_off = dev->Load64(bucket_off);
+    for (int depth = 0; run_off != 0 && depth < 2; depth++) {
+      DentryRun* run = dev->As<DentryRun>(run_off);
+      for (Dentry& d : run->dentries) {
+        if (!d.in_use()) {
+          free_slot = &d;
+          break;
+        }
+      }
+      if (free_slot != nullptr) {
+        break;
+      }
+      run_off = run->next;
+    }
+    if (free_slot == nullptr) {
+      // Prepend a fresh run page to the bucket chain.
+      ASSIGN_OR_RETURN(new_run, alloc.AllocPage(/*zero=*/true));
+      dev->Store64(new_run + offsetof(DentryRun, next), dev->Load64(bucket_off));
+      dev->PersistRange(new_run, sizeof(DentryRun));
+      dev->Store64(bucket_off, new_run);
+      dev->PersistRange(bucket_off, 8);
+      free_slot = &dev->As<DentryRun>(new_run)->dentries[0];
+    }
+  }
+
+  // Write the dentry body, persist it, then set the in-use flag as the
+  // atomic commit point (flags live in the dentry's first cacheline).
+  const uint64_t d_off = dev->OffsetOf(free_slot);
+  Dentry d{};
+  d.name_hash = h;
+  d.name_len = static_cast<uint16_t>(name.size());
+  d.flags = 0;
+  d.coffer_id = child_coffer;
+  d.inode_off = child_inode;
+  memcpy(d.name, name.data(), name.size());
+  d.name[name.size()] = '\0';
+  dev->StoreBytes(d_off, &d, sizeof(d));
+  dev->PersistRange(d_off, sizeof(d));
+  dev->Store16(d_off + offsetof(Dentry, flags), MakeDentryFlags(child_type));
+  dev->PersistRange(d_off + offsetof(Dentry, flags), 2);
+
+  // Entry count and mtime are advisory (rebuilt by recovery): write back
+  // without an ordering fence.
+  dev->Store64(dir_off + offsetof(Inode, size), dir->size + 1);
+  dev->Store64(dir_off + offsetof(Inode, mtime_ns), common::NowNs());
+  dev->Clwb(dir_off + offsetof(Inode, size), 8);
+  return common::OkStatus();
+}
+
+Status ZoFs::DirRemoveAt(Inode* dir, Dentry* d) {
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t d_off = dev->OffsetOf(d);
+  dev->Store16(d_off + offsetof(Dentry, flags), 0);  // atomic commit
+  dev->PersistRange(d_off + offsetof(Dentry, flags), 2);
+  const uint64_t dir_off = dev->OffsetOf(dir);
+  dev->Store64(dir_off + offsetof(Inode, size), dir->size > 0 ? dir->size - 1 : 0);
+  dev->Store64(dir_off + offsetof(Inode, mtime_ns), common::NowNs());
+  dev->Clwb(dir_off + offsetof(Inode, size), 8);
+  return common::OkStatus();
+}
+
+Status ZoFs::DirRemove(uint32_t cid, Inode* dir, std::string_view name) {
+  ASSIGN_OR_RETURN(d, DirFind(cid, dir, name));
+  return DirRemoveAt(dir, d);
+}
+
+Status ZoFs::DirIterate(uint32_t cid, const Inode* dir, std::vector<vfs::DirEntry>* out) {
+  if (dir->l1_dir == 0) {
+    return common::OkStatus();
+  }
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t* l1 = dev->As<uint64_t>(dir->l1_dir);
+  for (uint64_t s = 0; s < kL1Slots; s++) {
+    if (l1[s] == 0) {
+      continue;
+    }
+    const L2Page* l2 = dev->As<L2Page>(l1[s]);
+    auto emit = [&](const Dentry& d) {
+      vfs::DirEntry e;
+      e.name.assign(d.name, d.name_len);
+      e.ino = d.inode_off / nvm::kPageSize;
+      e.type = VfsType(d.cached_type());
+      out->push_back(std::move(e));
+    };
+    for (const Dentry& d : l2->embedded) {
+      if (d.in_use()) {
+        emit(d);
+      }
+    }
+    for (uint64_t b = 0; b < kL2Buckets; b++) {
+      uint64_t run_off = l2->buckets[b];
+      while (run_off != 0) {
+        const DentryRun* run = dev->As<DentryRun>(run_off);
+        for (const Dentry& d : run->dentries) {
+          if (d.in_use()) {
+            emit(d);
+          }
+        }
+        run_off = run->next;
+      }
+    }
+  }
+  return common::OkStatus();
+}
+
+bool ZoFs::DirIsEmpty(const Inode* dir) {
+  if (dir->l1_dir == 0) {
+    return true;
+  }
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t* l1 = dev->As<uint64_t>(dir->l1_dir);
+  for (uint64_t s = 0; s < kL1Slots; s++) {
+    if (l1[s] == 0) {
+      continue;
+    }
+    const L2Page* l2 = dev->As<L2Page>(l1[s]);
+    for (const Dentry& d : l2->embedded) {
+      if (d.in_use()) {
+        return false;
+      }
+    }
+    for (uint64_t b = 0; b < kL2Buckets; b++) {
+      uint64_t run_off = l2->buckets[b];
+      while (run_off != 0) {
+        const DentryRun* run = dev->As<DentryRun>(run_off);
+        for (const Dentry& d : run->dentries) {
+          if (d.in_use()) {
+            return false;
+          }
+        }
+        run_off = run->next;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Block map
+
+Result<uint64_t> ZoFs::GetBlock(const Inode* ino, uint64_t blk) const {
+  nvm::NvmDevice* dev = kfs_->dev();
+  if (blk < kDirectBlocks) {
+    return ino->direct[blk];
+  }
+  blk -= kDirectBlocks;
+  if (blk < kPtrsPerPage) {
+    if (ino->indirect == 0) {
+      return uint64_t{0};
+    }
+    return dev->As<uint64_t>(ino->indirect)[blk];
+  }
+  blk -= kPtrsPerPage;
+  if (blk < kPtrsPerPage * kPtrsPerPage) {
+    if (ino->dindirect == 0) {
+      return uint64_t{0};
+    }
+    uint64_t l1 = dev->As<uint64_t>(ino->dindirect)[blk / kPtrsPerPage];
+    if (l1 == 0) {
+      return uint64_t{0};
+    }
+    return dev->As<uint64_t>(l1)[blk % kPtrsPerPage];
+  }
+  return Err::kOverflow;
+}
+
+Result<uint64_t> ZoFs::GetOrAllocBlock(CofferAllocator& alloc, Inode* ino, uint64_t blk) {
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t ino_off = dev->OffsetOf(ino);
+  // Block pointers are written back but the fence is deferred to the
+  // operation-final Sfence (ZoFS provides no data atomicity, paper §5.3; a
+  // crash that persists the size but not a pointer reads as a hole).
+  auto ensure_slot = [&](uint64_t slot_off) -> Result<uint64_t> {
+    uint64_t v = dev->Load64(slot_off);
+    if (v != 0) {
+      return v;
+    }
+    ASSIGN_OR_RETURN(page, alloc.AllocPage(/*zero=*/false));
+    dev->Store64(slot_off, page);
+    dev->Clwb(slot_off, 8);
+    return page;
+  };
+  auto ensure_index = [&](uint64_t slot_off) -> Result<uint64_t> {
+    uint64_t v = dev->Load64(slot_off);
+    if (v != 0) {
+      return v;
+    }
+    ASSIGN_OR_RETURN(page, alloc.AllocPage(/*zero=*/true));
+    dev->Store64(slot_off, page);
+    dev->Clwb(slot_off, 8);
+    return page;
+  };
+
+  if (blk < kDirectBlocks) {
+    return ensure_slot(ino_off + offsetof(Inode, direct) + blk * 8);
+  }
+  blk -= kDirectBlocks;
+  if (blk < kPtrsPerPage) {
+    ASSIGN_OR_RETURN(ind, ensure_index(ino_off + offsetof(Inode, indirect)));
+    return ensure_slot(ind + blk * 8);
+  }
+  blk -= kPtrsPerPage;
+  if (blk < kPtrsPerPage * kPtrsPerPage) {
+    ASSIGN_OR_RETURN(dind, ensure_index(ino_off + offsetof(Inode, dindirect)));
+    ASSIGN_OR_RETURN(ind, ensure_index(dind + (blk / kPtrsPerPage) * 8));
+    return ensure_slot(ind + (blk % kPtrsPerPage) * 8);
+  }
+  return Err::kOverflow;
+}
+
+Status ZoFs::InstallBlockPointer(Inode* ino, uint64_t blk, uint64_t page_off) {
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t ino_off = dev->OffsetOf(ino);
+  uint64_t slot_off;
+  if (blk < kDirectBlocks) {
+    slot_off = ino_off + offsetof(Inode, direct) + blk * 8;
+  } else if (blk < kDirectBlocks + kPtrsPerPage) {
+    if (ino->indirect == 0) {
+      return Err::kCorrupt;
+    }
+    slot_off = ino->indirect + (blk - kDirectBlocks) * 8;
+  } else {
+    const uint64_t idx = blk - kDirectBlocks - kPtrsPerPage;
+    if (ino->dindirect == 0) {
+      return Err::kCorrupt;
+    }
+    uint64_t l1 = dev->As<uint64_t>(ino->dindirect)[idx / kPtrsPerPage];
+    if (l1 == 0) {
+      return Err::kCorrupt;
+    }
+    slot_off = l1 + (idx % kPtrsPerPage) * 8;
+  }
+  dev->Store64(slot_off, page_off);
+  dev->Clwb(slot_off, 8);
+  return common::OkStatus();
+}
+
+Status ZoFs::FreeBlocksFrom(CofferAllocator& alloc, Inode* ino, uint64_t first_blk) {
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t ino_off = dev->OffsetOf(ino);
+  // Pointer clears are written back without per-slot fences: the namespace
+  // commit (dentry clear / size update) already ordered the operation, and a
+  // crash that loses some clears only strands pages for fsck to reclaim.
+  auto drop_slot = [&](uint64_t slot_off) -> Status {
+    uint64_t v = dev->Load64(slot_off);
+    if (v != 0) {
+      dev->Store64(slot_off, 0);
+      dev->Clwb(slot_off, 8);
+      RETURN_IF_ERROR(alloc.FreePage(v));
+    }
+    return common::OkStatus();
+  };
+
+  for (uint64_t b = first_blk; b < kDirectBlocks; b++) {
+    RETURN_IF_ERROR(drop_slot(ino_off + offsetof(Inode, direct) + b * 8));
+  }
+  if (ino->indirect != 0) {
+    uint64_t start = first_blk > kDirectBlocks ? first_blk - kDirectBlocks : 0;
+    if (start < kPtrsPerPage) {
+      for (uint64_t b = start; b < kPtrsPerPage; b++) {
+        RETURN_IF_ERROR(drop_slot(ino->indirect + b * 8));
+      }
+      if (start == 0) {
+        RETURN_IF_ERROR(drop_slot(ino_off + offsetof(Inode, indirect)));
+      }
+    }
+  }
+  if (ino->dindirect != 0) {
+    const uint64_t base = kDirectBlocks + kPtrsPerPage;
+    uint64_t start = first_blk > base ? first_blk - base : 0;
+    for (uint64_t i = 0; i < kPtrsPerPage; i++) {
+      uint64_t ind = dev->As<uint64_t>(ino->dindirect)[i];
+      if (ind == 0) {
+        continue;
+      }
+      uint64_t lo = i * kPtrsPerPage;
+      uint64_t inner_start = start > lo ? start - lo : 0;
+      if (inner_start >= kPtrsPerPage) {
+        continue;
+      }
+      for (uint64_t b = inner_start; b < kPtrsPerPage; b++) {
+        RETURN_IF_ERROR(drop_slot(ind + b * 8));
+      }
+      if (inner_start == 0) {
+        RETURN_IF_ERROR(drop_slot(ino->dindirect + i * 8));
+      }
+    }
+    if (start == 0) {
+      RETURN_IF_ERROR(drop_slot(ino_off + offsetof(Inode, dindirect)));
+    }
+  }
+  dev->Sfence();
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Node lifecycle
+
+Result<uint64_t> ZoFs::AllocInode(CofferAllocator& alloc, uint32_t type, uint16_t mode,
+                                  uint32_t uid, uint32_t gid) {
+  ASSIGN_OR_RETURN(page, alloc.AllocPage(/*zero=*/false));
+  Inode fresh{};
+  fresh.magic = kInodeMagic;
+  fresh.type = type;
+  fresh.mode = mode;
+  fresh.uid = uid;
+  fresh.gid = gid;
+  fresh.nlink = type == kTypeDirectory ? 2 : 1;
+  fresh.mtime_ns = fresh.ctime_ns = common::NowNs();
+  kfs_->dev()->StoreBytes(page, &fresh, kInodeCoreBytes);
+  kfs_->dev()->PersistRange(page, kInodeCoreBytes);
+  return page;
+}
+
+Status ZoFs::FreeNode(uint32_t cid, CofferAllocator& alloc, uint64_t inode_off) {
+  nvm::NvmDevice* dev = kfs_->dev();
+  Inode* ino = Ino(inode_off);
+  if (ino->type == kTypeRegular) {
+    RETURN_IF_ERROR(FreeBlocksFrom(alloc, ino, 0));
+  } else if (ino->type == kTypeDirectory && ino->l1_dir != 0) {
+    uint64_t* l1 = dev->As<uint64_t>(ino->l1_dir);
+    for (uint64_t s = 0; s < kL1Slots; s++) {
+      if (l1[s] == 0) {
+        continue;
+      }
+      L2Page* l2 = dev->As<L2Page>(l1[s]);
+      for (uint64_t b = 0; b < kL2Buckets; b++) {
+        uint64_t run_off = l2->buckets[b];
+        while (run_off != 0) {
+          uint64_t next = dev->As<DentryRun>(run_off)->next;
+          RETURN_IF_ERROR(alloc.FreePage(run_off));
+          run_off = next;
+        }
+      }
+      RETURN_IF_ERROR(alloc.FreePage(l1[s]));
+    }
+    RETURN_IF_ERROR(alloc.FreePage(ino->l1_dir));
+  }
+  // Invalidate the magic so recovery does not resurrect the node.
+  dev->Store64(inode_off, 0);
+  dev->PersistRange(inode_off, 8);
+  return alloc.FreePage(inode_off);
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations
+
+Result<NodeRef> ZoFs::Create(const std::string& path, uint16_t mode) {
+  ASSIGN_OR_RETURN(pp, vfs::SplitParent(vfs::NormalizePath(path)));
+  const auto& [parent_path, leaf] = pp;
+  ASSIGN_OR_RETURN(pr, Resolve(parent_path, true));
+  const uint32_t pcid = pr.node.coffer_id;
+  ASSIGN_OR_RETURN(pinfo, EnsureMapped(pcid, true));
+  const uint32_t uid = proc_->cred().uid;
+  const uint32_t gid = proc_->cred().gid;
+
+  mpk::AccessWindow w(pinfo.key, true);
+  Inode* dir = Ino(pr.node.inode_off);
+  if (dir->type != kTypeDirectory) {
+    return Err::kNotDir;
+  }
+  InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns);
+  if (DirFind(pcid, dir, leaf).ok()) {
+    return Err::kExist;
+  }
+
+  const CofferRoot* croot = kfs_->RootPageOf(pcid);
+  if (opts_.one_coffer || SameGroup(mode, uid, gid, croot)) {
+    CofferAllocator& alloc = AllocatorFor(pcid, pinfo);
+    ASSIGN_OR_RETURN(inode_off, AllocInode(alloc, kTypeRegular, mode, uid, gid));
+    RETURN_IF_ERROR(DirInsert(pcid, dir, leaf, 0, inode_off, kTypeRegular));
+    return NodeRef{pcid, inode_off};
+  }
+
+  // Different permission group: the file becomes the root of a new coffer
+  // (paper §5, Figure 1).
+  std::string full = parent_path == "/" ? "/" + leaf : parent_path + "/" + leaf;
+  ASSIGN_OR_RETURN(new_cid, kfs_->CofferNew(*proc_, full, kernfs::kCofferTypeZofs, EffPerm(mode),
+                                            uid, gid, /*extra_pages=*/2));
+  ForgetMapping(new_cid);  // the id may be recycled from a deleted coffer
+  ASSIGN_OR_RETURN(ninfo, EnsureMapped(new_cid, true));
+  {
+    mpk::AccessWindow w2(ninfo.key, true);
+    Inode fresh{};
+    fresh.magic = kInodeMagic;
+    fresh.type = kTypeRegular;
+    fresh.mode = mode;
+    fresh.uid = uid;
+    fresh.gid = gid;
+    fresh.nlink = 1;
+    fresh.mtime_ns = fresh.ctime_ns = common::NowNs();
+    kfs_->dev()->StoreBytes(ninfo.root_inode_off, &fresh, sizeof(fresh));
+    kfs_->dev()->PersistRange(ninfo.root_inode_off, sizeof(fresh));
+    CofferAllocator::InitPool(kfs_->dev(), ninfo.custom_off);
+  }
+  RETURN_IF_ERROR(DirInsert(pcid, dir, leaf, new_cid, ninfo.root_inode_off, kTypeRegular));
+  return NodeRef{new_cid, ninfo.root_inode_off};
+}
+
+Result<NodeRef> ZoFs::OpenOrCreate(const std::string& path, uint16_t mode, bool* created) {
+  *created = false;
+  ASSIGN_OR_RETURN(pp, vfs::SplitParent(vfs::NormalizePath(path)));
+  const auto& [parent_path, leaf] = pp;
+  ASSIGN_OR_RETURN(pr, Resolve(parent_path, true));
+  const uint32_t pcid = pr.node.coffer_id;
+  ASSIGN_OR_RETURN(pinfo, EnsureMapped(pcid, true));
+  const uint32_t uid = proc_->cred().uid;
+  const uint32_t gid = proc_->cred().gid;
+
+  mpk::AccessWindow w(pinfo.key, true);
+  Inode* dir = Ino(pr.node.inode_off);
+  if (dir->magic != kInodeMagic) {
+    return Err::kCorrupt;
+  }
+  if (dir->type != kTypeDirectory) {
+    return Err::kNotDir;
+  }
+  InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns);
+  auto existing = DirFind(pcid, dir, leaf);
+  if (existing.ok()) {
+    Dentry* d = *existing;
+    if (d->cached_type() == kTypeSymlink) {
+      // Fall back to the generic path for symlink targets.
+      return Lookup(path, true);
+    }
+    return NodeRef{d->coffer_id != 0 ? d->coffer_id : pcid, d->inode_off};
+  }
+  *created = true;
+
+  const CofferRoot* croot = kfs_->RootPageOf(pcid);
+  if (opts_.one_coffer || SameGroup(mode, uid, gid, croot)) {
+    CofferAllocator& alloc = AllocatorFor(pcid, pinfo);
+    ASSIGN_OR_RETURN(inode_off, AllocInode(alloc, kTypeRegular, mode, uid, gid));
+    RETURN_IF_ERROR(DirInsert(pcid, dir, leaf, 0, inode_off, kTypeRegular));
+    return NodeRef{pcid, inode_off};
+  }
+  std::string full = parent_path == "/" ? "/" + leaf : parent_path + "/" + leaf;
+  ASSIGN_OR_RETURN(new_cid, kfs_->CofferNew(*proc_, full, kernfs::kCofferTypeZofs, EffPerm(mode),
+                                            uid, gid, /*extra_pages=*/2));
+  ForgetMapping(new_cid);  // the id may be recycled from a deleted coffer
+  ASSIGN_OR_RETURN(ninfo, EnsureMapped(new_cid, true));
+  {
+    mpk::AccessWindow w2(ninfo.key, true);
+    Inode fresh{};
+    fresh.magic = kInodeMagic;
+    fresh.type = kTypeRegular;
+    fresh.mode = mode;
+    fresh.uid = uid;
+    fresh.gid = gid;
+    fresh.nlink = 1;
+    fresh.mtime_ns = fresh.ctime_ns = common::NowNs();
+    kfs_->dev()->StoreBytes(ninfo.root_inode_off, &fresh, kInodeCoreBytes);
+    kfs_->dev()->PersistRange(ninfo.root_inode_off, kInodeCoreBytes);
+    CofferAllocator::InitPool(kfs_->dev(), ninfo.custom_off);
+  }
+  RETURN_IF_ERROR(DirInsert(pcid, dir, leaf, new_cid, ninfo.root_inode_off, kTypeRegular));
+  return NodeRef{new_cid, ninfo.root_inode_off};
+}
+
+Status ZoFs::Mkdir(const std::string& path, uint16_t mode) {
+  ASSIGN_OR_RETURN(pp, vfs::SplitParent(vfs::NormalizePath(path)));
+  const auto& [parent_path, leaf] = pp;
+  ASSIGN_OR_RETURN(pr, Resolve(parent_path, true));
+  const uint32_t pcid = pr.node.coffer_id;
+  ASSIGN_OR_RETURN(pinfo, EnsureMapped(pcid, true));
+  const uint32_t uid = proc_->cred().uid;
+  const uint32_t gid = proc_->cred().gid;
+
+  mpk::AccessWindow w(pinfo.key, true);
+  Inode* dir = Ino(pr.node.inode_off);
+  if (dir->type != kTypeDirectory) {
+    return Err::kNotDir;
+  }
+  InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns);
+  if (DirFind(pcid, dir, leaf).ok()) {
+    return Err::kExist;
+  }
+
+  const CofferRoot* croot = kfs_->RootPageOf(pcid);
+  if (opts_.one_coffer || SameGroup(mode, uid, gid, croot)) {
+    CofferAllocator& alloc = AllocatorFor(pcid, pinfo);
+    ASSIGN_OR_RETURN(inode_off, AllocInode(alloc, kTypeDirectory, mode, uid, gid));
+    return DirInsert(pcid, dir, leaf, 0, inode_off, kTypeDirectory);
+  }
+
+  std::string full = parent_path == "/" ? "/" + leaf : parent_path + "/" + leaf;
+  ASSIGN_OR_RETURN(new_cid, kfs_->CofferNew(*proc_, full, kernfs::kCofferTypeZofs, EffPerm(mode),
+                                            uid, gid, /*extra_pages=*/2));
+  ForgetMapping(new_cid);  // the id may be recycled from a deleted coffer
+  ASSIGN_OR_RETURN(ninfo, EnsureMapped(new_cid, true));
+  {
+    mpk::AccessWindow w2(ninfo.key, true);
+    Inode fresh{};
+    fresh.magic = kInodeMagic;
+    fresh.type = kTypeDirectory;
+    fresh.mode = mode;
+    fresh.uid = uid;
+    fresh.gid = gid;
+    fresh.nlink = 2;
+    fresh.mtime_ns = fresh.ctime_ns = common::NowNs();
+    kfs_->dev()->StoreBytes(ninfo.root_inode_off, &fresh, sizeof(fresh));
+    kfs_->dev()->PersistRange(ninfo.root_inode_off, sizeof(fresh));
+    CofferAllocator::InitPool(kfs_->dev(), ninfo.custom_off);
+  }
+  return DirInsert(pcid, dir, leaf, new_cid, ninfo.root_inode_off, kTypeDirectory);
+}
+
+Status ZoFs::Symlink(const std::string& target, const std::string& linkpath) {
+  if (target.size() >= sizeof(Inode{}.symlink_target)) {
+    return Err::kNameTooLong;
+  }
+  ASSIGN_OR_RETURN(pp, vfs::SplitParent(vfs::NormalizePath(linkpath)));
+  const auto& [parent_path, leaf] = pp;
+  ASSIGN_OR_RETURN(pr, Resolve(parent_path, true));
+  const uint32_t pcid = pr.node.coffer_id;
+  ASSIGN_OR_RETURN(pinfo, EnsureMapped(pcid, true));
+
+  mpk::AccessWindow w(pinfo.key, true);
+  Inode* dir = Ino(pr.node.inode_off);
+  if (dir->type != kTypeDirectory) {
+    return Err::kNotDir;
+  }
+  InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns);
+  if (DirFind(pcid, dir, leaf).ok()) {
+    return Err::kExist;
+  }
+  // Symlinks inherit the parent coffer's permission group: they are
+  // path data, not protected content.
+  const CofferRoot* croot = kfs_->RootPageOf(pcid);
+  CofferAllocator& alloc = AllocatorFor(pcid, pinfo);
+  ASSIGN_OR_RETURN(inode_off,
+                   AllocInode(alloc, kTypeSymlink, static_cast<uint16_t>(croot->mode),
+                              proc_->cred().uid, proc_->cred().gid));
+  nvm::NvmDevice* dev = kfs_->dev();
+  dev->Store16(inode_off + offsetof(Inode, symlink_len), static_cast<uint16_t>(target.size()));
+  dev->StoreBytes(inode_off + offsetof(Inode, symlink_target), target.data(), target.size());
+  dev->Store64(inode_off + offsetof(Inode, size), target.size());
+  dev->PersistRange(inode_off, offsetof(Inode, symlink_target) + target.size());
+  return DirInsert(pcid, dir, leaf, 0, inode_off, kTypeSymlink);
+}
+
+Result<std::string> ZoFs::ReadLink(const std::string& path) {
+  ASSIGN_OR_RETURN(r, Resolve(path, /*follow_last_symlink=*/false));
+  ASSIGN_OR_RETURN(key, KeyFor(r.node.coffer_id, false));
+  mpk::AccessWindow w(key, false);
+  const Inode* ino = Ino(r.node.inode_off);
+  mpk::CheckAccess(r.node.inode_off, sizeof(Inode), false);
+  if (ino->magic != kInodeMagic) {
+    return Err::kCorrupt;
+  }
+  if (ino->type != kTypeSymlink) {
+    return Err::kInval;
+  }
+  return std::string(ino->symlink_target, ino->symlink_len);
+}
+
+Status ZoFs::Unlink(const std::string& path) {
+  ASSIGN_OR_RETURN(r, Resolve(path, /*follow_last_symlink=*/false));
+  if (r.parent.inode_off == 0 && r.leaf.empty()) {
+    return Err::kIsDir;  // "/"
+  }
+  const uint32_t pcid = r.parent.coffer_id;
+  ASSIGN_OR_RETURN(pinfo, EnsureMapped(pcid, true));
+  mpk::AccessWindow w(pinfo.key, true);
+  Inode* dir = Ino(r.parent.inode_off);
+  InodeLock lock(kfs_->dev(), r.parent.inode_off, opts_.lease_ns);
+  ASSIGN_OR_RETURN(d, DirFind(pcid, dir, r.leaf));
+  if (d->cached_type() == kTypeDirectory) {
+    return Err::kIsDir;
+  }
+  const uint32_t child_cid = d->coffer_id;
+  const uint64_t child_inode = d->inode_off;
+  RETURN_IF_ERROR(DirRemoveAt(dir, d));
+  if (child_cid != 0) {
+    // The file was the root of its own coffer: the kernel reclaims it whole.
+    // Drop our cached mapping/allocator — the id (root page index) can be
+    // reused by a future coffer.
+    RETURN_IF_ERROR(kfs_->CofferDelete(*proc_, child_cid));
+    ForgetMapping(child_cid);
+    return common::OkStatus();
+  }
+  CofferAllocator& alloc = AllocatorFor(pcid, pinfo);
+  return FreeNode(pcid, alloc, child_inode);
+}
+
+Status ZoFs::Rmdir(const std::string& path) {
+  ASSIGN_OR_RETURN(r, Resolve(path, /*follow_last_symlink=*/false));
+  if (r.parent.inode_off == 0 && r.leaf.empty()) {
+    return Err::kBusy;  // "/"
+  }
+  const uint32_t pcid = r.parent.coffer_id;
+  ASSIGN_OR_RETURN(pinfo, EnsureMapped(pcid, true));
+
+  // Check the target directory is empty (possibly in another coffer).
+  {
+    ASSIGN_OR_RETURN(ckey, KeyFor(r.node.coffer_id, false));
+    mpk::AccessWindow cw(ckey, false);
+    const Inode* target = Ino(r.node.inode_off);
+    mpk::CheckAccess(r.node.inode_off, sizeof(Inode), false);
+    if (target->magic != kInodeMagic) {
+      return Err::kCorrupt;
+    }
+    if (target->type != kTypeDirectory) {
+      return Err::kNotDir;
+    }
+    if (!DirIsEmpty(target)) {
+      return Err::kNotEmpty;
+    }
+  }
+
+  mpk::AccessWindow w(pinfo.key, true);
+  Inode* dir = Ino(r.parent.inode_off);
+  InodeLock lock(kfs_->dev(), r.parent.inode_off, opts_.lease_ns);
+  ASSIGN_OR_RETURN(d, DirFind(pcid, dir, r.leaf));
+  const uint32_t child_cid = d->coffer_id;
+  const uint64_t child_inode = d->inode_off;
+  RETURN_IF_ERROR(DirRemove(pcid, dir, r.leaf));
+  if (child_cid != 0) {
+    RETURN_IF_ERROR(kfs_->CofferDelete(*proc_, child_cid));
+    ForgetMapping(child_cid);
+    return common::OkStatus();
+  }
+  CofferAllocator& alloc = AllocatorFor(pcid, pinfo);
+  return FreeNode(pcid, alloc, child_inode);
+}
+
+Result<vfs::StatBuf> ZoFs::StatNode(NodeRef node) {
+  ASSIGN_OR_RETURN(key, KeyFor(node.coffer_id, false));
+  mpk::AccessWindow w(key, false);
+  const Inode* ino = Ino(node.inode_off);
+  mpk::CheckAccess(node.inode_off, sizeof(Inode), false);
+  if (ino->magic != kInodeMagic) {
+    return Err::kCorrupt;
+  }
+  vfs::StatBuf st;
+  st.ino = node.inode_off / nvm::kPageSize;
+  st.type = VfsType(ino->type);
+  st.mode = ino->mode;
+  st.uid = ino->uid;
+  st.gid = ino->gid;
+  st.size = ino->type == kTypeDirectory ? 0 : ino->size;
+  st.nlink = static_cast<uint32_t>(ino->nlink);
+  st.mtime_ns = ino->mtime_ns;
+  st.ctime_ns = ino->ctime_ns;
+  return st;
+}
+
+Result<std::vector<vfs::DirEntry>> ZoFs::ReadDir(const std::string& path) {
+  ASSIGN_OR_RETURN(r, Resolve(path, true));
+  ASSIGN_OR_RETURN(key, KeyFor(r.node.coffer_id, false));
+  mpk::AccessWindow w(key, false);
+  const Inode* dir = Ino(r.node.inode_off);
+  mpk::CheckAccess(r.node.inode_off, sizeof(Inode), false);
+  if (dir->magic != kInodeMagic) {
+    return Err::kCorrupt;
+  }
+  if (dir->type != kTypeDirectory) {
+    return Err::kNotDir;
+  }
+  std::vector<vfs::DirEntry> out;
+  RETURN_IF_ERROR(DirIterate(r.node.coffer_id, dir, &out));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+
+Status ZoFs::EnsureAccess(NodeRef node, bool writable) {
+  ASSIGN_OR_RETURN(info, EnsureMapped(node.coffer_id, writable));
+  (void)info;
+  return common::OkStatus();
+}
+
+Result<size_t> ZoFs::ReadAt(NodeRef node, void* buf, size_t n, uint64_t off) {
+  ASSIGN_OR_RETURN(key, KeyFor(node.coffer_id, false));
+  mpk::AccessWindow w(key, false);
+  const Inode* ino = Ino(node.inode_off);
+  mpk::CheckAccess(node.inode_off, sizeof(Inode), false);
+  if (ino->magic != kInodeMagic) {
+    return Err::kCorrupt;
+  }
+  if (ino->type == kTypeDirectory) {
+    return Err::kIsDir;
+  }
+  const uint64_t size = ino->size;
+  if (off >= size || n == 0) {
+    return size_t{0};
+  }
+  n = std::min<uint64_t>(n, size - off);
+
+  if (ino->iflags & kInodeInlineData) {
+    // Small file stored inside the inode page (§5.1 future work).
+    mpk::CheckAccess(node.inode_off + kInlineOff + off, n, false);
+    memcpy(buf, kfs_->dev()->base() + node.inode_off + kInlineOff + off, n);
+    return n;
+  }
+
+  auto* dst = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const uint64_t blk = (off + done) / nvm::kPageSize;
+    const uint64_t in_off = (off + done) % nvm::kPageSize;
+    const size_t chunk = std::min<size_t>(n - done, nvm::kPageSize - in_off);
+    ASSIGN_OR_RETURN(page, GetBlock(ino, blk));
+    if (page == 0) {
+      memset(dst + done, 0, chunk);  // hole
+    } else {
+      mpk::CheckAccess(page + in_off, chunk, false);
+      memcpy(dst + done, kfs_->dev()->base() + page + in_off, chunk);
+    }
+    done += chunk;
+  }
+  return done;
+}
+
+Result<size_t> ZoFs::WriteAt(NodeRef node, const void* buf, size_t n, uint64_t off) {
+  if (n == 0) {
+    return size_t{0};
+  }
+  ASSIGN_OR_RETURN(info, EnsureMapped(node.coffer_id, true));
+  mpk::AccessWindow w(info.key, true);
+  Inode* ino = Ino(node.inode_off);
+  mpk::CheckAccess(node.inode_off, sizeof(Inode), false);
+  if (ino->magic != kInodeMagic) {
+    return Err::kCorrupt;
+  }
+  if (ino->type == kTypeDirectory) {
+    return Err::kIsDir;
+  }
+  InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns);
+
+  if (opts_.sysempty) {
+    kfs_->Nop();  // ZoFS-sysempty: pay one crossing per write (Figure 8)
+  }
+  if (opts_.kwrite) {
+    // ZoFS-kwrite: the write executes in the kernel — crossing plus the
+    // kernel-path overhead (context pollution etc.), modelled as 3x.
+    common::SpinNs(3 * kfs_->kernel_crossing_ns());
+  }
+
+  nvm::NvmDevice* dev = kfs_->dev();
+  CofferAllocator& alloc = AllocatorFor(node.coffer_id, info);
+  const uint64_t end = off + n;
+  const uint64_t ino_off = node.inode_off;
+
+  // ---- inline small-file path (§5.1 future work) ----
+  if (ino->type == kTypeRegular) {
+    const bool is_inline = (ino->iflags & kInodeInlineData) != 0;
+    const bool can_inline = opts_.inline_data && ino->size == 0 && ino->direct[0] == 0 &&
+                            ino->indirect == 0 && ino->dindirect == 0;
+    if ((is_inline || can_inline) && end <= kInlineCapacity) {
+      static const uint8_t kZeros[nvm::kPageSize] = {};
+      if (!is_inline && off > 0) {
+        dev->NtStoreBytes(ino_off + kInlineOff, kZeros, off);  // hole reads zero
+      }
+      dev->NtStoreBytes(ino_off + kInlineOff + off, buf, n);
+      if (!is_inline) {
+        dev->Store16(ino_off + offsetof(Inode, iflags),
+                     static_cast<uint16_t>(ino->iflags | kInodeInlineData));
+        dev->Clwb(ino_off + offsetof(Inode, iflags), 2);
+      }
+      if (end > ino->size) {
+        dev->Store64(ino_off + offsetof(Inode, size), end);
+      }
+      dev->Store64(ino_off + offsetof(Inode, mtime_ns), common::NowNs());
+      dev->Clwb(ino_off + offsetof(Inode, size), 24);
+      dev->Sfence();
+      return n;
+    }
+    if (is_inline) {
+      // The file outgrew the inline area: spill to block 0 first.
+      RETURN_IF_ERROR(SpillInline(alloc, ino));
+    }
+  }
+
+  // ---- block path ----
+  struct PendingSwap {
+    uint64_t blk;
+    uint64_t fresh;
+    uint64_t old;
+  };
+  std::vector<PendingSwap> swaps;  // atomic_data: pointer installs after the data fence
+
+  const auto* src = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const uint64_t blk = (off + done) / nvm::kPageSize;
+    const uint64_t in_off = (off + done) % nvm::kPageSize;
+    const size_t chunk = std::min<size_t>(n - done, nvm::kPageSize - in_off);
+    const bool fresh_partial = chunk < nvm::kPageSize;
+    uint64_t before = 1;  // only consulted for partial chunks / atomic mode
+    if (fresh_partial || opts_.atomic_data) {
+      auto b = GetBlock(ino, blk);
+      before = b.ok() ? *b : 0;
+    }
+
+    if (opts_.atomic_data && before != 0) {
+      // Copy-on-write: the live block is untouched until the pointer swap,
+      // so a crash exposes it entirely-old or entirely-new.
+      ASSIGN_OR_RETURN(fresh, alloc.AllocPage(/*zero=*/false));
+      if (fresh_partial) {
+        if (in_off > 0) {
+          dev->NtStoreBytes(fresh, dev->base() + before, in_off);
+        }
+        if (in_off + chunk < nvm::kPageSize) {
+          dev->NtStoreBytes(fresh + in_off + chunk, dev->base() + before + in_off + chunk,
+                            nvm::kPageSize - in_off - chunk);
+        }
+      }
+      dev->NtStoreBytes(fresh + in_off, src + done, chunk);
+      swaps.push_back(PendingSwap{blk, fresh, before});
+    } else {
+      ASSIGN_OR_RETURN(page, GetOrAllocBlock(alloc, ino, blk));
+      if (before == 0 && fresh_partial) {
+        // Newly allocated page only partially covered: clear it first so
+        // holes read as zeros.
+        static const uint8_t kZeros[nvm::kPageSize] = {};
+        dev->NtStoreBytes(page, kZeros, nvm::kPageSize);
+      }
+      // Non-temporal data writes, as NOVA/ZoFS use in the paper's experiments.
+      dev->NtStoreBytes(page + in_off, src + done, chunk);
+    }
+    done += chunk;
+  }
+
+  if (!swaps.empty()) {
+    dev->Sfence();  // the COW pages are durable before any pointer moves
+    for (const PendingSwap& sw : swaps) {
+      // Re-resolve the slot (GetOrAllocBlock on an existing block never
+      // allocates) and swap the pointer; the 8-byte store is atomic.
+      ASSIGN_OR_RETURN(slot_page, GetOrAllocBlock(alloc, ino, sw.blk));
+      (void)slot_page;
+      RETURN_IF_ERROR(InstallBlockPointer(ino, sw.blk, sw.fresh));
+    }
+  }
+
+  if (end > ino->size) {
+    dev->Store64(ino_off + offsetof(Inode, size), end);
+  }
+  dev->Store64(ino_off + offsetof(Inode, mtime_ns), common::NowNs());
+  dev->Clwb(ino_off + offsetof(Inode, size), 24);  // size..mtime share a line
+  dev->Sfence();  // one fence commits data, block pointers and attributes
+
+  // Old COW pages return to the allocator only after the swap is durable.
+  for (const PendingSwap& sw : swaps) {
+    RETURN_IF_ERROR(alloc.FreePage(sw.old));
+  }
+  return n;
+}
+
+Status ZoFs::SpillInline(CofferAllocator& alloc, Inode* ino) {
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t ino_off = dev->OffsetOf(ino);
+  ASSIGN_OR_RETURN(blk0, alloc.AllocPage(/*zero=*/false));
+  const uint64_t copy = std::min<uint64_t>(ino->size, kInlineCapacity);
+  static const uint8_t kZeros[nvm::kPageSize] = {};
+  dev->NtStoreBytes(blk0, dev->base() + ino_off + kInlineOff, copy);
+  if (copy < nvm::kPageSize) {
+    dev->NtStoreBytes(blk0 + copy, kZeros, nvm::kPageSize - copy);
+  }
+  dev->Sfence();  // data durable before it becomes reachable
+  dev->Store64(ino_off + offsetof(Inode, direct), blk0);
+  dev->PersistRange(ino_off + offsetof(Inode, direct), 8);
+  // Only now stop reading the inline copy (crash in between keeps the
+  // still-intact inline data authoritative).
+  dev->Store16(ino_off + offsetof(Inode, iflags),
+               static_cast<uint16_t>(ino->iflags & ~kInodeInlineData));
+  dev->PersistRange(ino_off + offsetof(Inode, iflags), 2);
+  return common::OkStatus();
+}
+
+Result<uint64_t> ZoFs::Append(NodeRef node, const void* buf, size_t n) {
+  ASSIGN_OR_RETURN(info, EnsureMapped(node.coffer_id, true));
+  mpk::AccessWindow w(info.key, true);
+  Inode* ino = Ino(node.inode_off);
+  if (ino->magic != kInodeMagic) {
+    return Err::kCorrupt;
+  }
+  InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns);
+  const uint64_t off = ino->size;
+  // WriteAt re-acquires the (reentrant for this thread) lock.
+  ASSIGN_OR_RETURN(written, WriteAt(node, buf, n, off));
+  (void)written;
+  return off;
+}
+
+Status ZoFs::TruncateNode(NodeRef node, uint64_t len) {
+  ASSIGN_OR_RETURN(info, EnsureMapped(node.coffer_id, true));
+  mpk::AccessWindow w(info.key, true);
+  Inode* ino = Ino(node.inode_off);
+  if (ino->magic != kInodeMagic) {
+    return Err::kCorrupt;
+  }
+  if (ino->type == kTypeDirectory) {
+    return Err::kIsDir;
+  }
+  InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns);
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t old_size = ino->size;
+
+  if (ino->iflags & kInodeInlineData) {
+    if (len > kInlineCapacity) {
+      ASSIGN_OR_RETURN(info2, EnsureMapped(node.coffer_id, true));
+      RETURN_IF_ERROR(SpillInline(AllocatorFor(node.coffer_id, info2), ino));
+    } else {
+      // Zero the abandoned tail so a later re-extension reads zeros.
+      if (len < old_size) {
+        static const uint8_t kZeros[nvm::kPageSize] = {};
+        dev->NtStoreBytes(node.inode_off + kInlineOff + len,
+                          kZeros, std::min(kInlineCapacity, old_size) - len);
+      }
+      dev->Store64(node.inode_off + offsetof(Inode, size), len);
+      dev->PersistRange(node.inode_off + offsetof(Inode, size), 8);
+      return common::OkStatus();
+    }
+  }
+
+  // Commit the new size first; pages freed after a crash in between are
+  // reclaimed by recovery.
+  dev->Store64(node.inode_off + offsetof(Inode, size), len);
+  dev->PersistRange(node.inode_off + offsetof(Inode, size), 8);
+
+  if (len < old_size) {
+    CofferAllocator& alloc = AllocatorFor(node.coffer_id, info);
+    const uint64_t first_dead_blk = (len + nvm::kPageSize - 1) / nvm::kPageSize;
+    RETURN_IF_ERROR(FreeBlocksFrom(alloc, ino, first_dead_blk));
+    // Zero the tail of the last kept page so re-extension reads zeros.
+    if (len % nvm::kPageSize != 0) {
+      auto page = GetBlock(ino, len / nvm::kPageSize);
+      if (page.ok() && *page != 0) {
+        static const uint8_t kZeros[nvm::kPageSize] = {};
+        const uint64_t in_off = len % nvm::kPageSize;
+        dev->NtStoreBytes(*page + in_off, kZeros, nvm::kPageSize - in_off);
+        dev->Sfence();
+      }
+    }
+  }
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// mmap / execve (paper §3.3: "they cannot be done in user space")
+
+Result<std::vector<uint64_t>> ZoFs::FilePages(NodeRef node, uint64_t* size_out) {
+  ASSIGN_OR_RETURN(key, KeyFor(node.coffer_id, false));
+  mpk::AccessWindow w(key, false);
+  const Inode* ino = Ino(node.inode_off);
+  mpk::CheckAccess(node.inode_off, sizeof(Inode), false);
+  if (ino->magic != kInodeMagic) {
+    return Err::kCorrupt;
+  }
+  if (ino->type != kTypeRegular) {
+    return Err::kInval;
+  }
+  if (ino->iflags & kInodeInlineData) {
+    return Err::kInval;  // inline files have no standalone data pages
+  }
+  if (size_out != nullptr) {
+    *size_out = ino->size;
+  }
+  std::vector<uint64_t> pages;
+  const uint64_t blocks = (ino->size + nvm::kPageSize - 1) / nvm::kPageSize;
+  for (uint64_t b = 0; b < blocks; b++) {
+    ASSIGN_OR_RETURN(page, GetBlock(ino, b));
+    pages.push_back(page / nvm::kPageSize);
+  }
+  return pages;
+}
+
+Result<std::vector<uint64_t>> ZoFs::MmapNode(NodeRef node, bool writable) {
+  uint64_t size = 0;
+  ASSIGN_OR_RETURN(pages, FilePages(node, &size));
+  std::vector<uint64_t> present;
+  for (uint64_t pg : pages) {
+    if (pg != 0) {
+      present.push_back(pg);
+    }
+  }
+  RETURN_IF_ERROR(kfs_->FileMmap(*proc_, node.coffer_id, present, writable));
+  return pages;
+}
+
+Status ZoFs::MunmapNode(NodeRef node, const std::vector<uint64_t>& pages) {
+  std::vector<uint64_t> present;
+  for (uint64_t pg : pages) {
+    if (pg != 0) {
+      present.push_back(pg);
+    }
+  }
+  return kfs_->FileMunmap(*proc_, node.coffer_id, present);
+}
+
+Result<uint64_t> ZoFs::ExecveNode(NodeRef node) {
+  uint64_t size = 0;
+  ASSIGN_OR_RETURN(pages, FilePages(node, &size));
+  uint16_t mode;
+  {
+    ASSIGN_OR_RETURN(key, KeyFor(node.coffer_id, false));
+    mpk::AccessWindow w(key, false);
+    mode = Ino(node.inode_off)->mode;
+  }
+  std::vector<uint64_t> present;
+  for (uint64_t pg : pages) {
+    if (pg != 0) {
+      present.push_back(pg);
+    }
+  }
+  return kfs_->FileExecve(*proc_, node.coffer_id, mode, present, size);
+}
+
+// ---------------------------------------------------------------------------
+// chmod / chown / rename (the cross-coffer paths of Table 9)
+
+Result<std::vector<PageRun>> ZoFs::CollectSubtreeRuns(uint32_t cid, uint64_t inode_off,
+                                                      const std::string& path) {
+  std::vector<uint64_t> pages;
+  std::vector<CrossRef> cross;
+  uint64_t cleared = 0;
+  RETURN_IF_ERROR(CollectReachable(cid, inode_off, path, &pages, &cross, &cleared));
+  return PagesToRuns(std::move(pages));
+}
+
+Result<uint32_t> ZoFs::SplitNodeIntoCoffer(const ResolveResult& r, const std::string& path,
+                                           uint16_t mode, uint32_t uid, uint32_t gid) {
+  const uint32_t cid = r.node.coffer_id;
+  ASSIGN_OR_RETURN(info, EnsureMapped(cid, true));
+  nvm::NvmDevice* dev = kfs_->dev();
+
+  mpk::AccessWindow w(info.key, true);
+  CofferAllocator& alloc = AllocatorFor(cid, info);
+
+  // Collect the subtree plus a fresh page that becomes the new coffer's
+  // custom (allocator pool) page; initialise it while it is still ours.
+  ASSIGN_OR_RETURN(runs, CollectSubtreeRuns(cid, r.node.inode_off, path));
+  ASSIGN_OR_RETURN(custom, alloc.AllocPage(/*zero=*/false));
+  CofferAllocator::InitPool(dev, custom);
+
+  // Update the inode's identity before ownership moves (we may lose write
+  // access to the new coffer under the new permission).
+  const uint64_t ino_off = r.node.inode_off;
+  dev->Store16(ino_off + offsetof(Inode, mode), mode);
+  dev->Store32(ino_off + offsetof(Inode, uid), uid);
+  dev->Store32(ino_off + offsetof(Inode, gid), gid);
+  dev->PersistRange(ino_off + offsetof(Inode, mode), 16);
+
+  std::vector<uint64_t> all_pages;
+  for (const PageRun& run : runs) {
+    for (uint64_t p = run.start_page; p < run.start_page + run.len; p++) {
+      all_pages.push_back(p * nvm::kPageSize);
+    }
+  }
+  all_pages.push_back(custom);
+  std::vector<PageRun> move = PagesToRuns(std::move(all_pages));
+
+  ASSIGN_OR_RETURN(new_cid,
+                   kfs_->CofferSplit(*proc_, cid, move, path, kernfs::kCofferTypeZofs,
+                                     static_cast<uint16_t>(EffPerm(mode)), uid, gid,
+                                     /*new_root_inode_off=*/ino_off, /*new_custom_off=*/custom));
+  RecordRelocation(move, new_cid);
+  return new_cid;
+}
+
+Status ZoFs::Chmod(const std::string& path, uint16_t mode) {
+  std::string norm = vfs::NormalizePath(path);
+  ASSIGN_OR_RETURN(r, Resolve(norm, true));
+  nvm::NvmDevice* dev = kfs_->dev();
+
+  const Inode snapshot = [&]() {
+    Inode copy{};
+    auto key = KeyFor(r.node.coffer_id, false);
+    if (key.ok()) {
+      mpk::AccessWindow w(*key, false);
+      copy = *Ino(r.node.inode_off);
+    }
+    return copy;
+  }();
+  if (snapshot.magic != kInodeMagic) {
+    return Err::kCorrupt;
+  }
+  if (!proc_->cred().IsRoot() && proc_->cred().uid != snapshot.uid) {
+    return Err::kPerm;
+  }
+
+  auto update_inode_mode = [&]() -> Status {
+    ASSIGN_OR_RETURN(info, EnsureMapped(r.node.coffer_id, true));
+    mpk::AccessWindow w(info.key, true);
+    dev->Store16(r.node.inode_off + offsetof(Inode, mode), mode);
+    dev->PersistRange(r.node.inode_off + offsetof(Inode, mode), 2);
+    return common::OkStatus();
+  };
+
+  if (r.is_coffer_root) {
+    // The file is a coffer root: the permission lives in the (kernel-owned)
+    // coffer root page — a single kernel call, no page movement.
+    RETURN_IF_ERROR(kfs_->CofferChmod(*proc_, r.node.coffer_id,
+                                      static_cast<uint16_t>(EffPerm(mode))));
+    return update_inode_mode();
+  }
+  if (opts_.one_coffer || EffPerm(mode) == EffPerm(snapshot.mode)) {
+    // Same permission group (or the 1-coffer variant): pure user-space
+    // metadata update — the fast line of Table 9.
+    return update_inode_mode();
+  }
+
+  // The file leaves its permission group: split it into its own coffer.
+  ASSIGN_OR_RETURN(pinfo, EnsureMapped(r.parent.coffer_id, true));
+  mpk::AccessWindow pw(pinfo.key, true);
+  Inode* pdir = Ino(r.parent.inode_off);
+  InodeLock plock(dev, r.parent.inode_off, opts_.lease_ns);
+
+  ASSIGN_OR_RETURN(new_cid, SplitNodeIntoCoffer(r, norm, mode, snapshot.uid, snapshot.gid));
+  ASSIGN_OR_RETURN(d, DirFind(r.parent.coffer_id, pdir, r.leaf));
+  const uint64_t d_off = dev->OffsetOf(d);
+  dev->Store32(d_off + offsetof(Dentry, coffer_id), new_cid);
+  dev->PersistRange(d_off + offsetof(Dentry, coffer_id), 4);
+  return common::OkStatus();
+}
+
+Status ZoFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
+  std::string norm = vfs::NormalizePath(path);
+  ASSIGN_OR_RETURN(r, Resolve(norm, true));
+  nvm::NvmDevice* dev = kfs_->dev();
+  if (!proc_->cred().IsRoot()) {
+    return Err::kPerm;
+  }
+
+  const Inode snapshot = [&]() {
+    Inode copy{};
+    auto key = KeyFor(r.node.coffer_id, false);
+    if (key.ok()) {
+      mpk::AccessWindow w(*key, false);
+      copy = *Ino(r.node.inode_off);
+    }
+    return copy;
+  }();
+  if (snapshot.magic != kInodeMagic) {
+    return Err::kCorrupt;
+  }
+
+  auto update_inode_owner = [&]() -> Status {
+    ASSIGN_OR_RETURN(info, EnsureMapped(r.node.coffer_id, true));
+    mpk::AccessWindow w(info.key, true);
+    dev->Store32(r.node.inode_off + offsetof(Inode, uid), uid);
+    dev->Store32(r.node.inode_off + offsetof(Inode, gid), gid);
+    dev->PersistRange(r.node.inode_off + offsetof(Inode, uid), 8);
+    return common::OkStatus();
+  };
+
+  if (r.is_coffer_root) {
+    RETURN_IF_ERROR(kfs_->CofferChown(*proc_, r.node.coffer_id, uid, gid));
+    return update_inode_owner();
+  }
+  if (opts_.one_coffer || (uid == snapshot.uid && gid == snapshot.gid)) {
+    return update_inode_owner();
+  }
+
+  ASSIGN_OR_RETURN(pinfo, EnsureMapped(r.parent.coffer_id, true));
+  mpk::AccessWindow pw(pinfo.key, true);
+  Inode* pdir = Ino(r.parent.inode_off);
+  InodeLock plock(dev, r.parent.inode_off, opts_.lease_ns);
+
+  ASSIGN_OR_RETURN(new_cid, SplitNodeIntoCoffer(r, norm, snapshot.mode, uid, gid));
+  ASSIGN_OR_RETURN(d, DirFind(r.parent.coffer_id, pdir, r.leaf));
+  const uint64_t d_off = dev->OffsetOf(d);
+  dev->Store32(d_off + offsetof(Dentry, coffer_id), new_cid);
+  dev->PersistRange(d_off + offsetof(Dentry, coffer_id), 4);
+  return common::OkStatus();
+}
+
+Status ZoFs::Rename(const std::string& from, const std::string& to) {
+  const std::string nfrom = vfs::NormalizePath(from);
+  const std::string nto = vfs::NormalizePath(to);
+  if (nfrom == nto) {
+    return common::OkStatus();
+  }
+  if (nto.size() > nfrom.size() && nto.compare(0, nfrom.size(), nfrom) == 0 &&
+      nto[nfrom.size()] == '/') {
+    return Err::kInval;  // cannot move a directory into itself
+  }
+  nvm::NvmDevice* dev = kfs_->dev();
+
+  ASSIGN_OR_RETURN(src, Resolve(nfrom, false));
+  if (src.leaf.empty()) {
+    return Err::kBusy;  // "/"
+  }
+  // Remove an existing destination first (POSIX overwrite semantics).
+  {
+    auto dst_exists = Resolve(nto, false);
+    if (dst_exists.ok()) {
+      vfs::StatBuf st;
+      {
+        ASSIGN_OR_RETURN(s, StatNode(dst_exists->node));
+        st = s;
+      }
+      if (st.type == vfs::FileType::kDirectory) {
+        RETURN_IF_ERROR(Rmdir(nto));
+      } else {
+        RETURN_IF_ERROR(Unlink(nto));
+      }
+    }
+  }
+  ASSIGN_OR_RETURN(pp, vfs::SplitParent(nto));
+  const auto& [to_parent_path, to_leaf] = pp;
+  ASSIGN_OR_RETURN(dstp, Resolve(to_parent_path, true));
+
+  const uint32_t scid = src.parent.coffer_id;
+  const uint32_t dcid = dstp.node.coffer_id;
+  ASSIGN_OR_RETURN(sinfo, EnsureMapped(scid, true));
+  ASSIGN_OR_RETURN(dinfo, EnsureMapped(dcid, true));
+
+  // Snapshot the source dentry.
+  Dentry d;
+  uint32_t node_type;
+  {
+    mpk::AccessWindow w(sinfo.key, true);
+    Inode* sdir = Ino(src.parent.inode_off);
+    ASSIGN_OR_RETURN(dp, DirFind(scid, sdir, src.leaf));
+    d = *dp;
+    node_type = d.cached_type();
+  }
+
+  auto lock_both_and = [&](auto&& body) -> Status {
+    if (src.parent.inode_off == dstp.node.inode_off) {
+      mpk::AccessWindow w(sinfo.key, true);
+      InodeLock l(dev, src.parent.inode_off, opts_.lease_ns);
+      return body();
+    }
+    // Deterministic lock order avoids deadlock between concurrent renames.
+    uint64_t first = std::min(src.parent.inode_off, dstp.node.inode_off);
+    uint64_t second = std::max(src.parent.inode_off, dstp.node.inode_off);
+    uint8_t fkey = first == src.parent.inode_off ? sinfo.key : dinfo.key;
+    uint8_t skey = first == src.parent.inode_off ? dinfo.key : sinfo.key;
+    mpk::AccessWindow w1(fkey, true);
+    InodeLock l1(dev, first, opts_.lease_ns);
+    mpk::AccessWindow w2(skey, true);
+    InodeLock l2(dev, second, opts_.lease_ns);
+    return body();
+  };
+
+  if (scid == dcid) {
+    // Same coffer: pure user-space dentry movement.
+    return lock_both_and([&]() -> Status {
+      mpk::AccessWindow w(dinfo.key, true);
+      Inode* ddir = Ino(dstp.node.inode_off);
+      RETURN_IF_ERROR(DirInsert(dcid, ddir, to_leaf, d.coffer_id, d.inode_off, node_type));
+      Inode* sdir = Ino(src.parent.inode_off);
+      RETURN_IF_ERROR(DirRemove(scid, sdir, src.leaf));
+      if (d.coffer_id != 0) {
+        // The moved node roots a coffer whose stored path must follow it.
+        return kfs_->CofferRename(*proc_, d.coffer_id, nto);
+      }
+      if (node_type == kTypeDirectory) {
+        // Descendant coffers' paths embed the old prefix.
+        return kfs_->CofferFixupPaths(*proc_, nfrom, nto);
+      }
+      return common::OkStatus();
+    });
+  }
+
+  // Cross-coffer rename (Table 9's expensive path).
+  if (d.coffer_id != 0) {
+    // The node is already its own coffer: move the dentry and re-path it.
+    return lock_both_and([&]() -> Status {
+      mpk::AccessWindow w(dinfo.key, true);
+      Inode* ddir = Ino(dstp.node.inode_off);
+      RETURN_IF_ERROR(DirInsert(dcid, ddir, to_leaf, d.coffer_id, d.inode_off, node_type));
+      mpk::AccessWindow w2(sinfo.key, true);
+      Inode* sdir = Ino(src.parent.inode_off);
+      RETURN_IF_ERROR(DirRemove(scid, sdir, src.leaf));
+      return kfs_->CofferRename(*proc_, d.coffer_id, nto);
+    });
+  }
+
+  // The node's pages live inside the source coffer and must change owner.
+  const Inode snapshot = [&]() {
+    mpk::AccessWindow w(sinfo.key, false);
+    return *Ino(d.inode_off);
+  }();
+  const CofferRoot* droot = kfs_->RootPageOf(dcid);
+
+  if (SameGroup(snapshot.mode, snapshot.uid, snapshot.gid, droot)) {
+    // Same permission group as the destination coffer: bulk page move.
+    return lock_both_and([&]() -> Status {
+      std::vector<PageRun> runs;
+      {
+        mpk::AccessWindow w(sinfo.key, true);
+        ASSIGN_OR_RETURN(r2, CollectSubtreeRuns(scid, d.inode_off, nfrom));
+        runs = r2;
+      }
+      RETURN_IF_ERROR(kfs_->CofferMovePages(*proc_, scid, dcid, runs));
+      RecordRelocation(runs, dcid);
+      {
+        mpk::AccessWindow w(dinfo.key, true);
+        Inode* ddir = Ino(dstp.node.inode_off);
+        RETURN_IF_ERROR(DirInsert(dcid, ddir, to_leaf, 0, d.inode_off, node_type));
+      }
+      {
+        mpk::AccessWindow w(sinfo.key, true);
+        Inode* sdir = Ino(src.parent.inode_off);
+        RETURN_IF_ERROR(DirRemove(scid, sdir, src.leaf));
+      }
+      if (node_type == kTypeDirectory) {
+        return kfs_->CofferFixupPaths(*proc_, nfrom, nto);
+      }
+      return common::OkStatus();
+    });
+  }
+
+  // Different permission group: the node becomes its own coffer at `to`.
+  return lock_both_and([&]() -> Status {
+    ResolveResult fake = src;
+    ASSIGN_OR_RETURN(new_cid,
+                     SplitNodeIntoCoffer(fake, nto, snapshot.mode, snapshot.uid, snapshot.gid));
+    {
+      mpk::AccessWindow w(dinfo.key, true);
+      Inode* ddir = Ino(dstp.node.inode_off);
+      RETURN_IF_ERROR(DirInsert(dcid, ddir, to_leaf, new_cid, d.inode_off, node_type));
+    }
+    {
+      mpk::AccessWindow w(sinfo.key, true);
+      Inode* sdir = Ino(src.parent.inode_off);
+      RETURN_IF_ERROR(DirRemove(scid, sdir, src.leaf));
+    }
+    if (node_type == kTypeDirectory) {
+      return kfs_->CofferFixupPaths(*proc_, nfrom, nto);
+    }
+    return common::OkStatus();
+  });
+}
+
+}  // namespace zofs

@@ -1,0 +1,245 @@
+// ZoFS — the example µFS built on Treasury (paper §5).
+//
+// One ZoFs instance runs inside one simulated process (it is the µFS part of
+// that process's FSLibs). It manages the *interior* of coffers entirely in
+// user space — inodes, two-level hash directories, block maps, allocators,
+// lease locks — and calls into KernFS only for coffer-level operations
+// (create/delete/enlarge/map/split/...).
+//
+// MPK discipline (paper §3.4): every coffer access happens inside an
+// AccessWindow that opens exactly the coffer's key (guidelines G1/G2), and
+// every cross-coffer reference is validated against the target coffer's root
+// page before the window switches (guideline G3). Corruption encountered
+// mid-operation surfaces as an mpk::ViolationError or Err::kCorrupt, which
+// FSLibs converts into a graceful error return.
+
+#ifndef SRC_ZOFS_ZOFS_H_
+#define SRC_ZOFS_ZOFS_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/kernfs/kernfs.h"
+#include "src/ufs/microfs.h"
+#include "src/vfs/vfs.h"
+#include "src/zofs/alloc.h"
+#include "src/zofs/layout.h"
+
+namespace zofs {
+
+struct Options {
+  // ZoFS-1coffer (Table 9): keep every file in its parent's coffer no matter
+  // its permission; chmod/chown become pure user-space metadata updates.
+  bool one_coffer = false;
+  // ZoFS-sysempty (Figure 8): issue an empty system call before each data
+  // write.
+  bool sysempty = false;
+  // ZoFS-kwrite (Figure 8): model the data write executing in kernel space
+  // (crossing plus kernel-path overhead charged per write).
+  bool kwrite = false;
+
+  // Store small files inline in their inode page (the paper's §5.1
+  // future-work optimisation; see bench_ablation_smallfile).
+  bool inline_data = false;
+  // Copy-on-write data updates: an overwritten block is written to a fresh
+  // page and installed with an atomic pointer swap, so a crash exposes each
+  // block entirely-old or entirely-new. The paper's ZoFS omits data
+  // atomicity "for simplicity"; this is the natural extension.
+  bool atomic_data = false;
+
+  uint64_t lease_ns = 200'000'000;  // allocator/lock lease duration
+  uint64_t enlarge_batch = 64;      // pages per coffer_enlarge request
+  int max_symlink_depth = 8;
+};
+
+// A resolved file: which coffer it lives in and its inode page.
+using NodeRef = ufs::NodeRef;
+
+class ZoFs final : public ufs::MicroFs {
+ public:
+  ZoFs(kernfs::KernFs* kfs, kernfs::Process* proc, Options opts = {});
+  ~ZoFs();
+
+  ZoFs(const ZoFs&) = delete;
+  ZoFs& operator=(const ZoFs&) = delete;
+
+  const char* Name() const override { return "ZoFS"; }
+  kernfs::Process* proc() { return proc_; }
+  kernfs::KernFs* kfs() { return kfs_; }
+  const Options& options() const { return opts_; }
+
+  // ---- namespace operations (paths absolute and normalized) ----
+  Result<NodeRef> Lookup(const std::string& path, bool follow_last_symlink) override;
+  Result<NodeRef> Create(const std::string& path, uint16_t mode) override;
+  // Single-walk open-or-create (the open(2) O_CREAT fast path): resolves the
+  // parent once, returns the existing node or creates it. `created` reports
+  // which happened.
+  Result<NodeRef> OpenOrCreate(const std::string& path, uint16_t mode, bool* created) override;
+  Status Mkdir(const std::string& path, uint16_t mode) override;
+  Status Unlink(const std::string& path) override;
+  Status Rmdir(const std::string& path) override;
+  Result<vfs::StatBuf> StatNode(NodeRef node) override;
+  Result<std::vector<vfs::DirEntry>> ReadDir(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Chmod(const std::string& path, uint16_t mode) override;
+  Status Chown(const std::string& path, uint32_t uid, uint32_t gid) override;
+  Status Symlink(const std::string& target, const std::string& linkpath) override;
+  Result<std::string> ReadLink(const std::string& path) override;
+
+  // ---- node operations ----
+  Result<size_t> ReadAt(NodeRef node, void* buf, size_t n, uint64_t off) override;
+  Result<size_t> WriteAt(NodeRef node, const void* buf, size_t n, uint64_t off) override;
+  Status TruncateNode(NodeRef node, uint64_t len) override;
+  // Appends at the current size under the inode lock; returns the offset the
+  // data landed at (used for O_APPEND).
+  Result<uint64_t> Append(NodeRef node, const void* buf, size_t n) override;
+
+  // Ensures `node`'s coffer is mapped with the required access; exposed for
+  // FSLibs open(2) permission handling.
+  Status EnsureAccess(NodeRef node, bool writable) override;
+
+  // Heals a NodeRef whose pages this process moved to another coffer
+  // (chmod/chown split, cross-coffer rename) so open FDs survive the move.
+  // Splits performed by *other* processes surface as MPK faults instead, and
+  // the application must reopen — the same behaviour as losing a mapping in
+  // the paper's design.
+  void FixNode(NodeRef* node) override;
+
+  // ---- mmap / execve (Table 5's file operations) ----
+  // Returns the file's data pages in block order (holes are 0). Used by the
+  // FSLibs mmap/execve paths, which hand the list to the kernel.
+  Result<std::vector<uint64_t>> FilePages(NodeRef node, uint64_t* size_out);
+  // Maps the file's pages for direct application access; returns the pages.
+  Result<std::vector<uint64_t>> MmapNode(NodeRef node, bool writable);
+  Status MunmapNode(NodeRef node, const std::vector<uint64_t>& pages);
+  // Executes the file: kernel-validated; returns the image digest.
+  Result<uint64_t> ExecveNode(NodeRef node);
+
+  // ---- recovery support (used by Fsck) ----
+  // Collects every page reachable from `inode_off` inside coffer `cid`
+  // (inode, index, directory and data pages; stops at cross-coffer dentries,
+  // reporting them via `cross_refs`). Appends page indices to `pages`.
+  struct CrossRef {
+    std::string path;       // expected child path
+    uint32_t src_coffer;    // coffer holding the dentry
+    uint32_t coffer_id;     // target coffer
+    uint64_t inode_off;     // target root inode per the dentry
+    uint64_t dentry_off;    // NVM offset of the referencing dentry
+  };
+  Status CollectReachable(uint32_t cid, uint64_t inode_off, const std::string& path,
+                          std::vector<uint64_t>* pages, std::vector<CrossRef>* cross_refs,
+                          uint64_t* cleared_dentries);
+
+  // Runs offline recovery on one coffer (paper §3.5 / §5.3): traverse,
+  // repair what is recognisable, report in-use pages to the kernel, which
+  // reclaims the rest. Returns pages reclaimed.
+  Result<uint64_t> RecoverCoffer(uint32_t cid);
+
+  // Accounting for the safety/recovery experiments.
+  using RecoveryStats = ufs::RecoveryStats;
+  Result<RecoveryStats> RecoverAll() override;
+  // Recovers one coffer; appends discovered cross-coffer references to
+  // `cross_out` when non-null (validated in RecoverAll's second phase).
+  Result<RecoveryStats> RecoverOne(uint32_t cid, std::vector<CrossRef>* cross_out);
+
+  // For tests: direct access to a node's inode.
+  Inode* InodeForTest(NodeRef node) { return Ino(node.inode_off); }
+  Result<kernfs::MapInfo> EnsureMappedForTest(uint32_t cid, bool writable) {
+    return EnsureMapped(cid, writable);
+  }
+
+ private:
+  struct ResolveResult {
+    NodeRef node;
+    NodeRef parent;          // parent directory (invalid for "/")
+    std::string leaf;        // last component name
+    bool is_coffer_root;     // node is the root file of its coffer
+  };
+
+  // --- mapping / window management ---
+  Result<kernfs::MapInfo> EnsureMapped(uint32_t cid, bool writable);
+  Result<uint8_t> KeyFor(uint32_t cid, bool writable);
+  void ForgetMapping(uint32_t cid);
+
+  Inode* Ino(uint64_t off) { return kfs_->dev()->As<Inode>(off); }
+
+  // --- path walk ---
+  Result<ResolveResult> Resolve(const std::string& path, bool follow_last_symlink);
+
+  // --- directory internals (caller holds the coffer window + dir lock) ---
+  Result<Dentry*> DirFind(uint32_t cid, Inode* dir, std::string_view name);
+  Status DirInsert(uint32_t cid, Inode* dir, std::string_view name, uint32_t child_coffer,
+                   uint64_t child_inode, uint32_t child_type);
+  Status DirRemove(uint32_t cid, Inode* dir, std::string_view name);
+  // Removal via an already-located dentry (avoids a second hash lookup).
+  Status DirRemoveAt(Inode* dir, Dentry* d);
+  Status DirIterate(uint32_t cid, const Inode* dir, std::vector<vfs::DirEntry>* out);
+  bool DirIsEmpty(const Inode* dir);
+
+  // --- block map ---
+  Result<uint64_t> GetBlock(const Inode* ino, uint64_t blk) const;
+  Result<uint64_t> GetOrAllocBlock(CofferAllocator& alloc, Inode* ino, uint64_t blk);
+  // Atomically repoints `blk` at `page_off` (index pages must already exist).
+  Status InstallBlockPointer(Inode* ino, uint64_t blk, uint64_t page_off);
+  // Spills a file's inline data out to block 0 (called when it outgrows the
+  // inline area or atomic/normal block writes need the block map).
+  Status SpillInline(CofferAllocator& alloc, Inode* ino);
+  // Frees all blocks with index >= first_blk; returns count freed.
+  Status FreeBlocksFrom(CofferAllocator& alloc, Inode* ino, uint64_t first_blk);
+
+  // --- node lifecycle ---
+  Result<uint64_t> AllocInode(CofferAllocator& alloc, uint32_t type, uint16_t mode, uint32_t uid,
+                              uint32_t gid);
+  // Frees an inode page plus everything it owns (same-coffer only).
+  Status FreeNode(uint32_t cid, CofferAllocator& alloc, uint64_t inode_off);
+
+  CofferAllocator& AllocatorFor(uint32_t cid, const kernfs::MapInfo& info);
+
+  // Effective permission grouping: two files share a coffer iff these match
+  // (execution bits ignored, paper §2.3).
+  static uint32_t EffPerm(uint16_t mode) { return mode & 0666; }
+  bool SameGroup(uint16_t mode, uint32_t uid, uint32_t gid, const kernfs::CofferRoot* root) const;
+
+  // Collects the pages of a same-coffer subtree into sorted runs.
+  Result<std::vector<kernfs::PageRun>> CollectSubtreeRuns(uint32_t cid, uint64_t inode_off,
+                                                          const std::string& path);
+
+  // Splits `node` (at `path`, with dentry in `parent`) into its own coffer
+  // with the given permission; updates the parent dentry.
+  Result<uint32_t> SplitNodeIntoCoffer(const ResolveResult& r, const std::string& path,
+                                       uint16_t mode, uint32_t uid, uint32_t gid);
+
+  kernfs::KernFs* kfs_;
+  kernfs::Process* proc_;
+  Options opts_;
+
+  void RecordRelocation(const std::vector<kernfs::PageRun>& runs, uint32_t new_cid);
+
+  std::mutex mu_;  // guards the volatile caches below
+  std::unordered_map<uint32_t, kernfs::MapInfo> mapped_;
+  std::unordered_map<uint32_t, std::unique_ptr<CofferAllocator>> allocators_;
+  std::unordered_map<uint64_t, uint32_t> relocated_;  // page offset -> new coffer
+};
+
+// Lease lock over an inode (paper §5.2): CAS-claimed owner + expiry deadline,
+// stealable after expiry so a dead process cannot wedge the lock.
+class InodeLock {
+ public:
+  InodeLock(nvm::NvmDevice* dev, uint64_t inode_off, uint64_t lease_ns);
+  ~InodeLock();
+  InodeLock(const InodeLock&) = delete;
+  InodeLock& operator=(const InodeLock&) = delete;
+
+ private:
+  nvm::NvmDevice* dev_;
+  uint64_t owner_off_;
+  uint64_t expiry_off_;
+};
+
+}  // namespace zofs
+
+#endif  // SRC_ZOFS_ZOFS_H_

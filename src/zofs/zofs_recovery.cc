@@ -1,0 +1,240 @@
+// Offline recovery (fsck) for ZoFS coffers (paper §3.5, §5.3).
+//
+// Per coffer: traverse from the root inode, recording every reachable page
+// and every cross-coffer reference; clear dentries that fail validation;
+// reset the allocator pool (stale leased free lists are discarded — their
+// pages are either reachable, and kept, or leaked, and reclaimed); then
+// report the in-use set to KernFS, which reclaims everything else the coffer
+// owns. After all coffers are traversed, cross-coffer references are
+// validated against the surviving coffers and dangling ones are cleared.
+
+#include <set>
+#include <unordered_set>
+
+#include "src/common/clock.h"
+#include "src/common/hash.h"
+#include "src/mpk/mpk.h"
+#include "src/zofs/zofs.h"
+
+namespace zofs {
+
+using kernfs::CofferRoot;
+
+namespace {
+bool PlausiblePage(const nvm::NvmDevice* dev, uint64_t off) {
+  return off != 0 && off % nvm::kPageSize == 0 && off + nvm::kPageSize <= dev->size();
+}
+}  // namespace
+
+Status ZoFs::CollectReachable(uint32_t cid, uint64_t inode_off, const std::string& path,
+                              std::vector<uint64_t>* pages, std::vector<CrossRef>* cross_refs,
+                              uint64_t* cleared_dentries) {
+  nvm::NvmDevice* dev = kfs_->dev();
+  if (!PlausiblePage(dev, inode_off)) {
+    return Err::kCorrupt;
+  }
+  const Inode* ino = Ino(inode_off);
+  if (ino->magic != kInodeMagic) {
+    return Err::kCorrupt;
+  }
+  pages->push_back(inode_off);
+
+  if (ino->type == kTypeRegular) {
+    auto keep = [&](uint64_t off) {
+      if (PlausiblePage(dev, off)) {
+        pages->push_back(off);
+        return true;
+      }
+      return false;
+    };
+    for (uint64_t b = 0; b < kDirectBlocks; b++) {
+      keep(ino->direct[b]);
+    }
+    if (keep(ino->indirect)) {
+      const uint64_t* ind = dev->As<uint64_t>(ino->indirect);
+      for (uint64_t i = 0; i < kPtrsPerPage; i++) {
+        keep(ind[i]);
+      }
+    }
+    if (keep(ino->dindirect)) {
+      const uint64_t* dind = dev->As<uint64_t>(ino->dindirect);
+      for (uint64_t i = 0; i < kPtrsPerPage; i++) {
+        if (keep(dind[i])) {
+          const uint64_t* ind = dev->As<uint64_t>(dind[i]);
+          for (uint64_t j = 0; j < kPtrsPerPage; j++) {
+            keep(ind[j]);
+          }
+        }
+      }
+    }
+    return common::OkStatus();
+  }
+
+  if (ino->type == kTypeSymlink) {
+    return common::OkStatus();
+  }
+
+  if (ino->type != kTypeDirectory) {
+    return Err::kCorrupt;
+  }
+  if (ino->l1_dir == 0) {
+    return common::OkStatus();
+  }
+  if (!PlausiblePage(dev, ino->l1_dir)) {
+    return common::OkStatus();  // drop the whole (corrupt) directory body
+  }
+  pages->push_back(ino->l1_dir);
+  const uint64_t* l1 = dev->As<uint64_t>(ino->l1_dir);
+
+  auto visit_dentry = [&](Dentry& d) -> Status {
+    if (!d.in_use()) {
+      return common::OkStatus();
+    }
+    const uint64_t d_off = dev->OffsetOf(&d);
+    // Recognise corrupt dentries (paper: "ZoFS first tries to recognize and
+    // recover it; if not possible, skips the corrupted content").
+    bool valid = d.name_len > 0 && d.name_len <= kMaxName && d.name[d.name_len] == '\0' &&
+                 d.name_hash == common::Fnv1a32(std::string_view(d.name, d.name_len));
+    if (valid && d.coffer_id == 0) {
+      valid = PlausiblePage(dev, d.inode_off);
+    }
+    if (!valid) {
+      dev->Store16(d_off + offsetof(Dentry, flags), 0);
+      dev->PersistRange(d_off + offsetof(Dentry, flags), 2);
+      (*cleared_dentries)++;
+      return common::OkStatus();
+    }
+    std::string child_path =
+        (path == "/" ? "/" : path + "/") + std::string(d.name, d.name_len);
+    if (d.coffer_id != 0) {
+      cross_refs->push_back(CrossRef{child_path, cid, d.coffer_id, d.inode_off, d_off});
+      return common::OkStatus();
+    }
+    Status s = CollectReachable(cid, d.inode_off, child_path, pages, cross_refs,
+                                cleared_dentries);
+    if (!s.ok()) {
+      // The child subtree is unrecoverable: clear the dentry instead of
+      // failing the whole coffer.
+      dev->Store16(d_off + offsetof(Dentry, flags), 0);
+      dev->PersistRange(d_off + offsetof(Dentry, flags), 2);
+      (*cleared_dentries)++;
+    }
+    return common::OkStatus();
+  };
+
+  for (uint64_t s = 0; s < kL1Slots; s++) {
+    if (l1[s] == 0) {
+      continue;
+    }
+    if (!PlausiblePage(dev, l1[s])) {
+      continue;
+    }
+    pages->push_back(l1[s]);
+    L2Page* l2 = dev->As<L2Page>(l1[s]);
+    for (Dentry& d : l2->embedded) {
+      RETURN_IF_ERROR(visit_dentry(d));
+    }
+    for (uint64_t b = 0; b < kL2Buckets; b++) {
+      uint64_t run_off = l2->buckets[b];
+      std::unordered_set<uint64_t> seen;  // corrupted chains may loop
+      while (run_off != 0 && PlausiblePage(dev, run_off) && seen.insert(run_off).second) {
+        pages->push_back(run_off);
+        DentryRun* run = dev->As<DentryRun>(run_off);
+        for (Dentry& d : run->dentries) {
+          RETURN_IF_ERROR(visit_dentry(d));
+        }
+        run_off = run->next;
+      }
+    }
+  }
+  return common::OkStatus();
+}
+
+Result<uint64_t> ZoFs::RecoverCoffer(uint32_t cid) {
+  ASSIGN_OR_RETURN(stats, RecoverOne(cid, nullptr));
+  return stats.pages_reclaimed;
+}
+
+Result<ZoFs::RecoveryStats> ZoFs::RecoverOne(uint32_t cid, std::vector<CrossRef>* cross_out) {
+  RecoveryStats st;
+  common::Stopwatch total;
+
+  // Map first (coffer_map refuses in-recovery coffers), then flag the coffer
+  // in-recovery, which unmaps it from everyone else.
+  ASSIGN_OR_RETURN(info, EnsureMapped(cid, true));
+  common::Stopwatch k1;
+  RETURN_IF_ERROR(kfs_->CofferRecoverBegin(*proc_, cid, /*lease_ns=*/10'000'000'000ULL));
+  st.kernel_ns += k1.ElapsedNs();
+
+  const CofferRoot* croot = kfs_->RootPageOf(cid);
+  std::vector<uint64_t> pages;
+  std::vector<CrossRef> cross;
+  {
+    mpk::AccessWindow w(info.key, true);
+    Status s = CollectReachable(cid, info.root_inode_off, croot->path[1] == '\0' ? "/" : croot->path,
+                                &pages, &cross, &st.dentries_cleared);
+    if (!s.ok() && s.error() != Err::kCorrupt) {
+      return s.error();
+    }
+    // Discard stale leased free lists: any parked page not otherwise
+    // reachable is reclaimed by the kernel below.
+    CofferAllocator::InitPool(kfs_->dev(), info.custom_off);
+  }
+
+  std::vector<uint64_t> in_use;
+  in_use.reserve(pages.size());
+  for (uint64_t off : pages) {
+    in_use.push_back(off / nvm::kPageSize);
+  }
+  st.pages_in_use = in_use.size();
+
+  common::Stopwatch k2;
+  ASSIGN_OR_RETURN(reclaimed, kfs_->CofferRecoverEnd(*proc_, cid, in_use));
+  st.kernel_ns += k2.ElapsedNs();
+  st.pages_reclaimed = reclaimed;
+  st.user_ns = total.ElapsedNs() - st.kernel_ns;
+
+  if (cross_out != nullptr) {
+    cross_out->insert(cross_out->end(), cross.begin(), cross.end());
+  }
+  return st;
+}
+
+Result<ZoFs::RecoveryStats> ZoFs::RecoverAll() {
+  RecoveryStats total;
+  std::vector<CrossRef> cross;
+  for (uint32_t cid : kfs_->AllCofferIds()) {
+    ASSIGN_OR_RETURN(st, RecoverOne(cid, &cross));
+    total.user_ns += st.user_ns;
+    total.kernel_ns += st.kernel_ns;
+    total.pages_in_use += st.pages_in_use;
+    total.pages_reclaimed += st.pages_reclaimed;
+    total.dentries_cleared += st.dentries_cleared;
+  }
+
+  // Phase 2: validate cross-coffer references against surviving coffers
+  // (paper: "ZoFS continues to validate cross-coffer metadata").
+  nvm::NvmDevice* dev = kfs_->dev();
+  std::set<uint32_t> live;
+  for (uint32_t cid : kfs_->AllCofferIds()) {
+    live.insert(cid);
+  }
+  for (const CrossRef& ref : cross) {
+    bool ok = live.count(ref.coffer_id) > 0;
+    if (ok) {
+      const CofferRoot* troot = kfs_->RootPageOf(ref.coffer_id);
+      ok = troot->magic == kernfs::kCofferMagic && troot->root_inode_off == ref.inode_off &&
+           ref.path.compare(troot->path) == 0;
+    }
+    if (!ok) {
+      ASSIGN_OR_RETURN(info, EnsureMapped(ref.src_coffer, true));
+      mpk::AccessWindow w(info.key, true);
+      dev->Store16(ref.dentry_off + offsetof(Dentry, flags), 0);
+      dev->PersistRange(ref.dentry_off + offsetof(Dentry, flags), 2);
+      total.dentries_cleared++;
+    }
+  }
+  return total;
+}
+
+}  // namespace zofs

@@ -1,0 +1,187 @@
+// Unit tests for the ZoFS leased per-thread allocator (Figure 6).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/kernfs/kernfs.h"
+#include "src/mpk/mpk.h"
+#include "src/nvm/nvm.h"
+#include "src/zofs/alloc.h"
+
+namespace {
+
+using zofs::CofferAllocator;
+
+class AllocTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nvm::Options o;
+    o.size_bytes = 64ull << 20;
+    dev_ = std::make_unique<nvm::NvmDevice>(o);
+    mpk::InstallDeviceHook(dev_.get());
+    kernfs::FormatOptions f;
+    kfs_ = std::make_unique<kernfs::KernFs>(dev_.get(), f);
+    kfs_->set_kernel_crossing_ns(0);
+    proc_ = kfs_->CreateProcess(vfs::Cred{0, 0});
+    proc_->BindCurrentThread();
+    auto id = kfs_->CofferNew(*proc_, "/c", kernfs::kCofferTypeZofs, 0644, 0, 0, 2);
+    cid_ = *id;
+    auto info = kfs_->CofferMap(*proc_, cid_, true);
+    info_ = *info;
+    {
+      mpk::AccessWindow w(info_.key, true);
+      CofferAllocator::InitPool(dev_.get(), info_.custom_off);
+    }
+  }
+  void TearDown() override { mpk::BindThreadToProcess(nullptr); }
+
+  std::unique_ptr<CofferAllocator> NewAlloc(uint64_t lease_ns = 1'000'000'000,
+                                            uint64_t batch = 16) {
+    return std::make_unique<CofferAllocator>(kfs_.get(), proc_, cid_, info_.custom_off, lease_ns,
+                                             batch);
+  }
+
+  std::unique_ptr<nvm::NvmDevice> dev_;
+  std::unique_ptr<kernfs::KernFs> kfs_;
+  kernfs::Process* proc_ = nullptr;
+  uint32_t cid_ = 0;
+  kernfs::MapInfo info_;
+};
+
+TEST_F(AllocTest, AllocatesDistinctPages) {
+  auto alloc = NewAlloc();
+  mpk::AccessWindow w(info_.key, true);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; i++) {
+    auto page = alloc->AllocPage(false);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ(*page % nvm::kPageSize, 0u);
+    EXPECT_TRUE(seen.insert(*page).second) << "duplicate page";
+  }
+}
+
+TEST_F(AllocTest, ZeroedAllocationIsZero) {
+  auto alloc = NewAlloc();
+  mpk::AccessWindow w(info_.key, true);
+  auto p1 = alloc->AllocPage(false);
+  dev_->Store64(*p1 + 100, 0xdeadbeef);
+  ASSERT_TRUE(alloc->FreePage(*p1).ok());
+  auto p2 = alloc->AllocPage(true);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(*p2, *p1);  // LIFO reuse
+  for (uint64_t off = 0; off < nvm::kPageSize; off += 8) {
+    ASSERT_EQ(dev_->Load64(*p2 + off), 0u) << "at " << off;
+  }
+}
+
+TEST_F(AllocTest, FreeThenReallocReuses) {
+  auto alloc = NewAlloc();
+  mpk::AccessWindow w(info_.key, true);
+  auto p = alloc->AllocPage(false);
+  ASSERT_TRUE(alloc->FreePage(*p).ok());
+  auto q = alloc->AllocPage(false);
+  EXPECT_EQ(*q, *p);
+}
+
+TEST_F(AllocTest, RefillsFromKernelInBatches) {
+  auto alloc = NewAlloc(1'000'000'000, /*batch=*/8);
+  mpk::AccessWindow w(info_.key, true);
+  auto before = kfs_->PagesOf(cid_);
+  uint64_t owned_before = 0;
+  for (const auto& r : *before) {
+    owned_before += r.len;
+  }
+  for (int i = 0; i < 9; i++) {  // forces two coffer_enlarge calls
+    ASSERT_TRUE(alloc->AllocPage(false).ok());
+  }
+  auto after = kfs_->PagesOf(cid_);
+  uint64_t owned_after = 0;
+  for (const auto& r : *after) {
+    owned_after += r.len;
+  }
+  EXPECT_EQ(owned_after, owned_before + 16);
+}
+
+TEST_F(AllocTest, LeaseStealAfterExpiry) {
+  // Thread A claims a list with a tiny lease and parks pages on it; after
+  // the lease expires another thread can steal the list and use its pages.
+  uint64_t parked_page = 0;
+  {
+    auto alloc = NewAlloc(/*lease_ns=*/1, /*batch=*/4);
+    std::thread t([&]() {
+      proc_->BindCurrentThread();
+      mpk::AccessWindow w(info_.key, true);
+      auto p = alloc->AllocPage(false);
+      ASSERT_TRUE(p.ok());
+      ASSERT_TRUE(alloc->FreePage(*p).ok());
+      parked_page = *p;
+      mpk::BindThreadToProcess(nullptr);
+    });
+    t.join();
+  }
+  // Lease (1 ns) has long expired; this thread's allocator can reclaim the
+  // same list (list scan finds the expired lease) and pop the parked page.
+  auto alloc2 = NewAlloc(1'000'000'000, 4);
+  mpk::AccessWindow w(info_.key, true);
+  std::set<uint64_t> got;
+  for (int i = 0; i < 8; i++) {
+    auto p = alloc2->AllocPage(false);
+    ASSERT_TRUE(p.ok());
+    got.insert(*p);
+  }
+  EXPECT_TRUE(got.count(parked_page)) << "expired lease's pages were not reclaimed";
+}
+
+TEST_F(AllocTest, DonateParksPagesOnFreeList) {
+  auto alloc = NewAlloc();
+  mpk::AccessWindow w(info_.key, true);
+  auto runs = kfs_->CofferEnlarge(*proc_, cid_, 6);
+  ASSERT_TRUE(runs.ok());
+  ASSERT_TRUE(alloc->Donate(*runs).ok());
+  EXPECT_GE(alloc->FreeListPagesForTest(), 6u);
+}
+
+TEST_F(AllocTest, ConcurrentAllocationsDisjoint) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  auto alloc = NewAlloc(1'000'000'000, 32);
+  std::vector<std::vector<uint64_t>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t]() {
+      proc_->BindCurrentThread();
+      mpk::AccessWindow w(info_.key, true);
+      for (int i = 0; i < kPerThread; i++) {
+        auto p = alloc->AllocPage(false);
+        ASSERT_TRUE(p.ok());
+        got[t].push_back(*p);
+      }
+      mpk::BindThreadToProcess(nullptr);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  std::set<uint64_t> all;
+  for (const auto& v : got) {
+    for (uint64_t p : v) {
+      EXPECT_TRUE(all.insert(p).second) << "page handed to two threads";
+    }
+  }
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST_F(AllocTest, TidsAreUniqueAndNonZero) {
+  EXPECT_NE(zofs::CurrentTid(), 0u);
+  uint64_t mine = zofs::CurrentTid();
+  EXPECT_EQ(zofs::CurrentTid(), mine);  // stable within a thread
+  uint64_t other = 0;
+  std::thread t([&]() { other = zofs::CurrentTid(); });
+  t.join();
+  EXPECT_NE(other, 0u);
+  EXPECT_NE(other, mine);
+}
+
+}  // namespace

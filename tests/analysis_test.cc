@@ -1,0 +1,178 @@
+// Tests for the permission-survey generators and the §2.3 grouping pass.
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/survey.h"
+
+namespace {
+
+using analysis::FType;
+using analysis::GroupByPermission;
+using analysis::SummarizeByPermission;
+
+TEST(SurveyGenerators, MySqlMatchesTable3) {
+  auto tree = analysis::GenMySql(1);
+  uint64_t reg640 = 0, dirs750 = 0, root644 = 0, bytes640 = 0;
+  for (const auto& f : tree.nodes) {
+    if (f.type == FType::kRegular && f.perm == 0640) {
+      reg640++;
+      bytes640 += f.size;
+    }
+    if (f.type == FType::kDirectory && f.perm == 0750) {
+      dirs750++;
+    }
+    if (f.type == FType::kRegular && f.perm == 0644 && f.uid == 0) {
+      root644++;
+    }
+  }
+  EXPECT_EQ(reg640, 358u);
+  EXPECT_EQ(dirs750, 7u);  // data dir root + 6 subdirs
+  EXPECT_EQ(root644, 1u);
+  EXPECT_EQ(bytes640, 399ull << 20);
+}
+
+TEST(SurveyGenerators, PostgresMatchesTable3) {
+  auto tree = analysis::GenPostgres(2);
+  uint64_t reg600 = 0, bytes = 0;
+  for (const auto& f : tree.nodes) {
+    if (f.type == FType::kRegular && f.perm == 0600) {
+      reg600++;
+      bytes += f.size;
+    }
+  }
+  EXPECT_EQ(reg600, 1807u);
+  EXPECT_EQ(bytes, 99ull << 20);
+}
+
+TEST(SurveyGenerators, DokuwikiMatchesTable3) {
+  auto tree = analysis::GenDokuwiki(3);
+  uint64_t reg = 0, dirs = 0;
+  for (const auto& f : tree.nodes) {
+    if (f.type == FType::kRegular) {
+      reg++;
+    } else if (f.type == FType::kDirectory) {
+      dirs++;
+    }
+  }
+  EXPECT_EQ(reg, 19941u);
+  EXPECT_EQ(dirs, 1036u);  // root + 1035
+}
+
+TEST(SurveyGenerators, FslHomesCountsMatchTable4) {
+  auto tree = analysis::GenFslHomes(42);
+  uint64_t reg = 0, sym = 0, reg644 = 0, reg600 = 0, sym666 = 0;
+  for (const auto& f : tree.nodes) {
+    switch (f.type) {
+      case FType::kRegular:
+        reg++;
+        if (f.perm == 0644) reg644++;
+        if (f.perm == 0600) reg600++;
+        break;
+      case FType::kSymlink:
+        sym++;
+        if (f.perm == 0666) sym666++;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(reg, 648691u);
+  EXPECT_EQ(sym, 6486u);
+  EXPECT_EQ(reg644, 538538u);
+  EXPECT_EQ(reg600, 105226u);
+  EXPECT_EQ(sym666, 6468u);
+  // Total within 0.5% of the published 726,751 (the generator adds a few
+  // structural directories).
+  EXPECT_NEAR(static_cast<double>(tree.nodes.size()), 726751.0, 726751.0 * 0.005);
+}
+
+TEST(Grouping, SingleUniformTreeIsOneGroup) {
+  analysis::Tree t;
+  t.nodes.push_back({0, FType::kDirectory, 0644, 1, 1, 0});
+  for (int i = 0; i < 10; i++) {
+    t.nodes.push_back({0, FType::kRegular, 0644, 1, 1, 100});
+  }
+  auto gs = GroupByPermission(t);
+  EXPECT_EQ(gs.num_groups, 1u);
+  EXPECT_EQ(gs.largest_group_files, 11u);
+}
+
+TEST(Grouping, ExecBitIgnored) {
+  analysis::Tree t;
+  t.nodes.push_back({0, FType::kDirectory, 0755, 1, 1, 0});
+  t.nodes.push_back({0, FType::kRegular, 0644, 1, 1, 1});  // 755&0666 == 644
+  auto gs = GroupByPermission(t);
+  EXPECT_EQ(gs.num_groups, 1u);
+}
+
+TEST(Grouping, DifferentOwnerStartsNewGroup) {
+  analysis::Tree t;
+  t.nodes.push_back({0, FType::kDirectory, 0644, 1, 1, 0});
+  t.nodes.push_back({0, FType::kRegular, 0644, 2, 1, 1});
+  auto gs = GroupByPermission(t);
+  EXPECT_EQ(gs.num_groups, 2u);
+  // Both groups are singletons: the root directory alone, and the
+  // foreign-owned file alone.
+  EXPECT_EQ(gs.single_file_groups, 2u);
+}
+
+TEST(Grouping, NestedBoundaryCreatesExactlyOneGroupPerSubtree) {
+  analysis::Tree t;
+  t.nodes.push_back({0, FType::kDirectory, 0644, 1, 1, 0});       // 0 root
+  t.nodes.push_back({0, FType::kDirectory, 0600, 1, 1, 0});       // 1: boundary
+  t.nodes.push_back({1, FType::kRegular, 0600, 1, 1, 5});         // 2: same as parent
+  t.nodes.push_back({1, FType::kRegular, 0600, 1, 1, 5});         // 3
+  t.nodes.push_back({1, FType::kRegular, 0644, 1, 1, 5});         // 4: back to root perm => new
+  auto gs = GroupByPermission(t);
+  EXPECT_EQ(gs.num_groups, 3u);
+  EXPECT_EQ(gs.per_perm.at(0600).groups, 1u);
+  EXPECT_EQ(gs.per_perm.at(0644).groups, 2u);
+}
+
+TEST(Grouping, FslHomesShapeMatchesPaper) {
+  auto tree = analysis::GenFslHomes(42);
+  auto gs = GroupByPermission(tree);
+  // Paper: 4,449 groups, largest ~1/3 of all files, 3,795 singleton groups
+  // holding 0.6% of files.
+  EXPECT_NEAR(static_cast<double>(gs.num_groups), 4449.0, 4449.0 * 0.05);
+  EXPECT_NEAR(100.0 * gs.largest_group_files / gs.total_files, 33.3, 3.0);
+  EXPECT_NEAR(static_cast<double>(gs.single_file_groups), 3795.0, 3795.0 * 0.15);
+  EXPECT_LT(100.0 * gs.single_file_group_files / gs.total_files, 1.0);
+}
+
+TEST(MobiGen, FacebookTraceHasNoPermissionOps) {
+  auto trace = analysis::GenMobiGenFacebook(1);
+  auto st = analysis::AnalyzeTrace(trace);
+  EXPECT_EQ(st.total, 64282u);
+  EXPECT_EQ(st.chmods, 0u);
+  EXPECT_EQ(st.chowns, 0u);
+}
+
+TEST(MobiGen, TwitterTraceHas16ShadowChmods) {
+  auto trace = analysis::GenMobiGenTwitter(2);
+  auto st = analysis::AnalyzeTrace(trace);
+  EXPECT_EQ(st.total, 25306u);
+  EXPECT_EQ(st.chmods, 16u);
+  EXPECT_EQ(st.chowns, 0u);
+  EXPECT_EQ(st.shadow_pattern_chmods, 16u);  // every chmod is ritualised
+}
+
+TEST(MobiGen, PatternDetectorIgnoresPlainChmods) {
+  analysis::SyscallTrace t = {
+      {analysis::SysOp::kOpen, 1, 0644},
+      {analysis::SysOp::kChmod, 1, 0600},  // not preceded by create-600+write
+      {analysis::SysOp::kClose, 1, 0},
+  };
+  auto st = analysis::AnalyzeTrace(t);
+  EXPECT_EQ(st.chmods, 1u);
+  EXPECT_EQ(st.shadow_pattern_chmods, 0u);
+}
+
+TEST(Summary, TopPermissionDominates) {
+  auto rows = SummarizeByPermission(analysis::GenPostgres(7));
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].perm, 0600);
+  EXPECT_EQ(rows[0].count, 1807u);
+}
+
+}  // namespace

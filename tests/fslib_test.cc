@@ -1,0 +1,165 @@
+// Tests for the FSLibs layer itself: the user-space FD mapping table
+// (lowest-available-FD semantics, dup sharing, exhaustion), error paths of
+// the dispatch surface, and the µFS dispatcher.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fslib/fslib.h"
+#include "src/kernfs/kernfs.h"
+#include "src/mpk/mpk.h"
+#include "src/nvm/nvm.h"
+
+namespace {
+
+using common::Err;
+
+class FsLibTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nvm::Options o;
+    o.size_bytes = 128ull << 20;
+    dev_ = std::make_unique<nvm::NvmDevice>(o);
+    mpk::InstallDeviceHook(dev_.get());
+    kernfs::FormatOptions f;
+    f.root_mode = 0755;
+    kfs_ = std::make_unique<kernfs::KernFs>(dev_.get(), f);
+    kfs_->set_kernel_crossing_ns(0);
+    fs_ = std::make_unique<fslib::FsLib>(kfs_.get(), vfs::Cred{0, 0});
+  }
+  void TearDown() override {
+    fs_.reset();
+    kfs_.reset();
+    mpk::BindThreadToProcess(nullptr);
+  }
+
+  vfs::Cred cred{0, 0};
+  std::unique_ptr<nvm::NvmDevice> dev_;
+  std::unique_ptr<kernfs::KernFs> kfs_;
+  std::unique_ptr<fslib::FsLib> fs_;
+};
+
+TEST_F(FsLibTest, FdsAreAssignedLowestFirst) {
+  auto a = fs_->Open(cred, "/a", vfs::kCreate | vfs::kWrite, 0644);
+  auto b = fs_->Open(cred, "/b", vfs::kCreate | vfs::kWrite, 0644);
+  auto c = fs_->Open(cred, "/c", vfs::kCreate | vfs::kWrite, 0644);
+  EXPECT_EQ(*a, 0);
+  EXPECT_EQ(*b, 1);
+  EXPECT_EQ(*c, 2);
+  // Close the middle one: the next open takes its slot (paper §4.2's dup
+  // requirement generalised).
+  ASSERT_TRUE(fs_->Close(*b).ok());
+  auto d = fs_->Open(cred, "/d", vfs::kCreate | vfs::kWrite, 0644);
+  EXPECT_EQ(*d, 1);
+}
+
+TEST_F(FsLibTest, DupTakesLowestHole) {
+  auto a = fs_->Open(cred, "/a", vfs::kCreate | vfs::kRdWr, 0644);
+  auto b = fs_->Open(cred, "/b", vfs::kCreate | vfs::kWrite, 0644);
+  auto c = fs_->Open(cred, "/c", vfs::kCreate | vfs::kWrite, 0644);
+  (void)c;
+  ASSERT_TRUE(fs_->Close(*b).ok());
+  auto dup = fs_->Dup(*a);
+  ASSERT_TRUE(dup.ok());
+  EXPECT_EQ(*dup, *b);  // reuses the freed slot, not end-of-table
+}
+
+TEST_F(FsLibTest, DupSharesDescriptionAcrossCloses) {
+  auto a = fs_->Open(cred, "/a", vfs::kCreate | vfs::kRdWr, 0644);
+  ASSERT_TRUE(fs_->Write(*a, "abcd", 4).ok());
+  auto dup = fs_->Dup(*a);
+  // Closing the original leaves the dup usable, sharing the offset.
+  ASSERT_TRUE(fs_->Close(*a).ok());
+  auto st = fs_->Fstat(*dup);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 4u);
+  ASSERT_TRUE(fs_->Write(*dup, "ef", 2).ok());  // continues at offset 4
+  auto st2 = fs_->Fstat(*dup);
+  EXPECT_EQ(st2->size, 6u);
+}
+
+TEST_F(FsLibTest, OperationsOnBadFdsFail) {
+  char buf[4];
+  EXPECT_EQ(fs_->Read(42, buf, 4).error(), Err::kBadF);
+  EXPECT_EQ(fs_->Write(-1, buf, 4).error(), Err::kBadF);
+  EXPECT_EQ(fs_->Fstat(7).error(), Err::kBadF);
+  EXPECT_EQ(fs_->Lseek(0, 0, 0).error(), Err::kBadF);
+  EXPECT_EQ(fs_->Dup(3).error(), Err::kBadF);
+  EXPECT_EQ(fs_->Ftruncate(9, 0).error(), Err::kBadF);
+}
+
+TEST_F(FsLibTest, NameTooLongRejected) {
+  std::string long_name(200, 'x');
+  auto fd = fs_->Open(cred, "/" + long_name, vfs::kCreate | vfs::kWrite, 0644);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.error(), Err::kNameTooLong);
+}
+
+TEST_F(FsLibTest, InvalidWhenceRejected) {
+  auto fd = fs_->Open(cred, "/f", vfs::kCreate | vfs::kWrite, 0644);
+  EXPECT_EQ(fs_->Lseek(*fd, 0, 9).error(), Err::kInval);
+}
+
+TEST_F(FsLibTest, WriteOnDirectoryFdPathRejected) {
+  ASSERT_TRUE(fs_->Mkdir(cred, "/d", 0755).ok());
+  auto fd = fs_->Open(cred, "/d", vfs::kRead, 0);
+  ASSERT_TRUE(fd.ok());  // directories may be opened read-only
+  char b = 'x';
+  EXPECT_FALSE(fs_->Write(*fd, &b, 1).ok());
+}
+
+TEST_F(FsLibTest, PerProcessFdTablesAreIndependent) {
+  fslib::FsLib other(kfs_.get(), vfs::Cred{0, 0});
+  auto a = fs_->Open(cred, "/a", vfs::kCreate | vfs::kWrite, 0644);
+  auto b = other.Open(cred, "/b", vfs::kCreate | vfs::kWrite, 0644);
+  EXPECT_EQ(*a, 0);
+  EXPECT_EQ(*b, 0);  // same number, different process
+  // The other process's fd 0 is /b, not /a.
+  auto st = other.Fstat(*b);
+  ASSERT_TRUE(st.ok());
+  fs_->BindThread();
+  char buf[4];
+  EXPECT_TRUE(fs_->Read(*a, buf, 0).ok());
+}
+
+TEST_F(FsLibTest, ManyFdsAndInterleavedCloses) {
+  std::vector<vfs::Fd> fds;
+  for (int i = 0; i < 200; i++) {
+    auto fd = fs_->Open(cred, "/m" + std::to_string(i), vfs::kCreate | vfs::kWrite, 0644);
+    ASSERT_TRUE(fd.ok());
+    EXPECT_EQ(*fd, i);
+    fds.push_back(*fd);
+  }
+  // Close evens, reopen: slots refill from the bottom.
+  for (int i = 0; i < 200; i += 2) {
+    ASSERT_TRUE(fs_->Close(fds[i]).ok());
+  }
+  for (int i = 0; i < 100; i++) {
+    auto fd = fs_->Open(cred, "/m" + std::to_string(i), vfs::kWrite, 0);
+    ASSERT_TRUE(fd.ok());
+    EXPECT_EQ(*fd, i * 2);
+  }
+}
+
+TEST_F(FsLibTest, GracefulErrorLeavesFdTableUsable) {
+  auto fd = fs_->Open(cred, "/v", vfs::kCreate | vfs::kRdWr, 0644);
+  ASSERT_TRUE(fs_->Write(*fd, "ok", 2).ok());
+  // Corrupt the inode so the next op faults...
+  fs_->BindThread();
+  auto node = fs_->zofs().Lookup("/v", true);
+  auto info = fs_->zofs().EnsureMappedForTest(node->coffer_id, true);
+  {
+    mpk::AccessWindow w(info->key, true);
+    dev_->Store64(node->inode_off, 0);
+  }
+  char buf[4];
+  EXPECT_FALSE(fs_->Read(*fd, buf, 2).ok());
+  // ... and the process keeps full use of its FD table afterwards.
+  auto fd2 = fs_->Open(cred, "/w", vfs::kCreate | vfs::kWrite, 0644);
+  ASSERT_TRUE(fd2.ok());
+  EXPECT_TRUE(fs_->Write(*fd2, "fine", 4).ok());
+  EXPECT_TRUE(fs_->Close(*fd).ok());  // closing the poisoned fd works too
+}
+
+}  // namespace

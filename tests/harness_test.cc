@@ -1,0 +1,105 @@
+// Sanity tests for the benchmark harness itself: every FxMark workload and
+// Filebench personality must run on every file system and report plausible
+// numbers — a broken workload would silently invalidate the paper
+// reproduction.
+
+#include <gtest/gtest.h>
+
+#include "src/harness/filebench.h"
+#include "src/harness/fxmark.h"
+#include "src/mpk/mpk.h"
+
+namespace {
+
+using harness::FbWorkload;
+using harness::FsKind;
+using harness::FxWorkload;
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  void TearDown() override { mpk::BindThreadToProcess(nullptr); }
+
+  harness::LabOptions SmallLab() {
+    harness::LabOptions lo;
+    lo.dev_bytes = 256ull << 20;
+    lo.kernel_crossing_ns = 0;
+    lo.clwb_ns = 0;
+    lo.sfence_ns = 0;
+    return lo;
+  }
+};
+
+TEST_F(HarnessTest, EveryFxWorkloadRunsOnEveryFs) {
+  harness::FxOptions fx;
+  fx.ops_per_thread = 200;
+  fx.file_blocks = 32;
+  for (FsKind kind : {FsKind::kZofs, FsKind::kLogFs, FsKind::kExtDax, FsKind::kPmfs,
+                      FsKind::kNova, FsKind::kStrata}) {
+    for (FxWorkload w : harness::kAllFxWorkloads) {
+      harness::FsLab lab(kind, SmallLab());
+      auto r = harness::RunFxmark(lab, w, 2, fx);
+      EXPECT_EQ(r.total_ops, 400u)
+          << FsKindName(kind) << "/" << FxName(w) << " lost operations";
+      EXPECT_GT(r.ops_per_sec, 0.0);
+    }
+  }
+}
+
+TEST_F(HarnessTest, FilebenchPersonalitiesRunOnZofs) {
+  for (FbWorkload w : {FbWorkload::kFileserver, FbWorkload::kWebserver, FbWorkload::kWebproxy,
+                       FbWorkload::kVarmail}) {
+    harness::FbOptions fb;
+    fb.iterations_per_thread = 10;
+    fb.scale = 0.02;
+    harness::FsLab lab(FsKind::kZofs, SmallLab());
+    auto r = harness::RunFilebench(lab, w, 2, fb);
+    EXPECT_GT(r.total_ops, 0u) << FbName(w);
+    EXPECT_GT(r.ops_per_sec, 0.0) << FbName(w);
+  }
+}
+
+TEST_F(HarnessTest, FbDefaultsFollowTable6) {
+  auto fs = harness::ResolveFbOptions(FbWorkload::kFileserver, harness::FbOptions{.scale = 1.0});
+  EXPECT_EQ(fs.nfiles, 10000u);
+  EXPECT_EQ(fs.dir_width, 20u);
+  EXPECT_EQ(fs.file_size, 128u * 1024);
+  auto vm = harness::ResolveFbOptions(FbWorkload::kVarmail, harness::FbOptions{.scale = 1.0});
+  EXPECT_EQ(vm.nfiles, 1000u);
+  EXPECT_EQ(vm.dir_width, 1000000u);
+  EXPECT_EQ(vm.file_size, 16u * 1024);
+  // Explicit values win over personality defaults.
+  auto custom = harness::ResolveFbOptions(FbWorkload::kVarmail,
+                                          harness::FbOptions{.dir_width = 20, .scale = 1.0});
+  EXPECT_EQ(custom.dir_width, 20u);
+}
+
+TEST_F(HarnessTest, FsKindRoundTrips) {
+  for (FsKind kind : {FsKind::kZofs, FsKind::kLogFs, FsKind::kZofsOneCoffer, FsKind::kExtDax,
+                      FsKind::kPmfs, FsKind::kPmfsNocache, FsKind::kNova, FsKind::kNovaNoIndex,
+                      FsKind::kNovaInplace, FsKind::kNovaInplaceNoIndex, FsKind::kStrata}) {
+    std::string name = FsKindName(kind);
+    for (char& c : name) {
+      c = static_cast<char>(tolower(c));
+    }
+    FsKind parsed;
+    EXPECT_TRUE(harness::ParseFsKind(name == "ext4-dax" ? "extdax" : name, &parsed)) << name;
+    EXPECT_EQ(parsed, kind) << name;
+  }
+  FsKind dummy;
+  EXPECT_FALSE(harness::ParseFsKind("btrfs", &dummy));
+}
+
+TEST_F(HarnessTest, RunThreadsAggregates) {
+  auto r = harness::RunThreads(3, [](int t) -> uint64_t { return 100 + t; });
+  EXPECT_EQ(r.total_ops, 100u + 101 + 102);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST_F(HarnessTest, KernelBaselinesShareOneView) {
+  harness::FsLab lab(FsKind::kPmfs, SmallLab());
+  EXPECT_EQ(lab.View(0), lab.View(1));  // kernel FS: same instance
+  harness::FsLab zlab(FsKind::kZofs, SmallLab());
+  EXPECT_NE(zlab.View(0), zlab.View(1));  // user-space FS: per-process library
+}
+
+}  // namespace

@@ -1,0 +1,268 @@
+// Model-checking property test: a long random sequence of namespace + data
+// operations executed in lock-step against ZoFS (and LogFS) and a trivial
+// in-memory reference model. Every operation's result code and every read's
+// bytes must match the model exactly.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "src/common/rand.h"
+#include "src/harness/fslab.h"
+#include "src/mpk/mpk.h"
+
+namespace {
+
+using common::Err;
+using harness::FsKind;
+
+// The reference: paths -> file contents; directories as a path set.
+class RefModel {
+ public:
+  RefModel() { dirs_.insert("/"); }
+
+  bool DirExists(const std::string& p) const { return dirs_.count(p) > 0; }
+  bool FileExists(const std::string& p) const { return files_.count(p) > 0; }
+
+  Err Mkdir(const std::string& p) {
+    if (DirExists(p) || FileExists(p)) {
+      return Err::kExist;
+    }
+    if (!DirExists(Parent(p))) {
+      return Err::kNoEnt;
+    }
+    dirs_.insert(p);
+    return Err::kOk;
+  }
+
+  Err Create(const std::string& p) {
+    if (!DirExists(Parent(p))) {
+      return Err::kNoEnt;
+    }
+    if (DirExists(p)) {
+      return Err::kIsDir;
+    }
+    files_.try_emplace(p);  // open(O_CREAT) on existing file succeeds
+    return Err::kOk;
+  }
+
+  Err Write(const std::string& p, uint64_t off, const std::string& data) {
+    auto it = files_.find(p);
+    if (it == files_.end()) {
+      return Err::kNoEnt;
+    }
+    std::string& content = it->second;
+    if (content.size() < off + data.size()) {
+      content.resize(off + data.size(), '\0');
+    }
+    content.replace(off, data.size(), data);
+    return Err::kOk;
+  }
+
+  Err Unlink(const std::string& p) {
+    if (DirExists(p)) {
+      return Err::kIsDir;
+    }
+    return files_.erase(p) > 0 ? Err::kOk : Err::kNoEnt;
+  }
+
+  Err Rmdir(const std::string& p) {
+    if (!DirExists(p)) {
+      return FileExists(p) ? Err::kNotDir : Err::kNoEnt;
+    }
+    for (const auto& d : dirs_) {
+      if (d != p && d.compare(0, p.size() + 1, p + "/") == 0) {
+        return Err::kNotEmpty;
+      }
+    }
+    for (const auto& [f, c] : files_) {
+      if (f.compare(0, p.size() + 1, p + "/") == 0) {
+        return Err::kNotEmpty;
+      }
+    }
+    dirs_.erase(p);
+    return Err::kOk;
+  }
+
+  Err Rename(const std::string& from, const std::string& to) {
+    // Only file renames in this model (directory moves excluded from the
+    // random mix to keep the reference simple).
+    auto it = files_.find(from);
+    if (it == files_.end()) {
+      return Err::kNoEnt;
+    }
+    if (!DirExists(Parent(to)) || DirExists(to)) {
+      return Err::kNoEnt;  // treated as failure; generator avoids dir targets
+    }
+    std::string content = std::move(it->second);
+    files_.erase(it);
+    files_[to] = std::move(content);
+    return Err::kOk;
+  }
+
+  const std::string* Content(const std::string& p) const {
+    auto it = files_.find(p);
+    return it == files_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<std::string, std::string>& files() const { return files_; }
+
+ private:
+  static std::string Parent(const std::string& p) {
+    size_t pos = p.rfind('/');
+    return pos == 0 ? "/" : p.substr(0, pos);
+  }
+
+  std::set<std::string> dirs_;
+  std::map<std::string, std::string> files_;
+};
+
+class ModelCheckTest : public ::testing::TestWithParam<FsKind> {
+ protected:
+  void TearDown() override { mpk::BindThreadToProcess(nullptr); }
+};
+
+TEST_P(ModelCheckTest, RandomOpsMatchReference) {
+  harness::LabOptions lo;
+  lo.dev_bytes = 512ull << 20;
+  lo.kernel_crossing_ns = 0;
+  lo.clwb_ns = 0;
+  lo.sfence_ns = 0;
+  harness::FsLab lab(GetParam(), lo);
+  vfs::FileSystem* fs = lab.View(0);
+  const vfs::Cred cred{0, 0};
+  RefModel model;
+  common::Rng rng(GetParam() == FsKind::kZofs ? 71 : 72);
+
+  auto rand_dir = [&]() {
+    int d = rng.Below(4);
+    return d == 0 ? std::string("/") : "/d" + std::to_string(d);
+  };
+  auto rand_path = [&]() {
+    std::string dir = rand_dir();
+    return (dir == "/" ? "" : dir) + "/f" + std::to_string(rng.Below(25));
+  };
+
+  for (int d = 1; d <= 3; d++) {
+    std::string p = "/d" + std::to_string(d);
+    EXPECT_EQ(model.Mkdir(p), Err::kOk);
+    EXPECT_TRUE(fs->Mkdir(cred, p, 0755).ok());
+  }
+
+  const int kOps = 2500;
+  for (int i = 0; i < kOps; i++) {
+    switch (rng.Below(6)) {
+      case 0: {  // create (possibly existing)
+        std::string p = rand_path();
+        Err want = model.Create(p);
+        auto fd = fs->Open(cred, p, vfs::kCreate | vfs::kWrite, 0644);
+        EXPECT_EQ(fd.ok(), want == Err::kOk) << i << " create " << p;
+        if (fd.ok()) {
+          fs->Close(*fd);
+        }
+        break;
+      }
+      case 1: {  // write a random extent
+        std::string p = rand_path();
+        uint64_t off = rng.Below(30000);
+        std::string data = rng.AlnumString(1 + rng.Below(8000));
+        Err want = model.Write(p, off, data);
+        auto fd = fs->Open(cred, p, vfs::kWrite, 0);
+        if (want == Err::kOk) {
+          ASSERT_TRUE(fd.ok()) << i << " open-for-write " << p;
+          auto w = fs->Pwrite(*fd, data.data(), data.size(), off);
+          ASSERT_TRUE(w.ok()) << i;
+          fs->Close(*fd);
+        } else {
+          EXPECT_FALSE(fd.ok()) << i << " phantom file " << p;
+        }
+        break;
+      }
+      case 2: {  // read-and-compare a random window
+        std::string p = rand_path();
+        const std::string* want = model.Content(p);
+        auto fd = fs->Open(cred, p, vfs::kRead, 0);
+        EXPECT_EQ(fd.ok(), want != nullptr) << i << " open " << p;
+        if (fd.ok() && want != nullptr) {
+          uint64_t off = rng.Below(want->size() + 100);
+          std::string buf(4000, '\1');
+          auto r = fs->Pread(*fd, buf.data(), buf.size(), off);
+          ASSERT_TRUE(r.ok());
+          std::string expect =
+              off >= want->size()
+                  ? ""
+                  : want->substr(off, std::min<uint64_t>(buf.size(), want->size() - off));
+          EXPECT_EQ(std::string(buf.data(), *r), expect) << i << " read " << p << "@" << off;
+          fs->Close(*fd);
+        }
+        break;
+      }
+      case 3: {  // unlink
+        std::string p = rand_path();
+        Err want = model.Unlink(p);
+        auto st = fs->Unlink(cred, p);
+        EXPECT_EQ(st.ok(), want == Err::kOk) << i << " unlink " << p;
+        break;
+      }
+      case 4: {  // rename file -> file
+        std::string from = rand_path();
+        std::string to = rand_path();
+        if (from == to) {
+          break;
+        }
+        // Skip cases the simple model doesn't capture (overwrite targets).
+        if (model.Content(to) != nullptr) {
+          break;
+        }
+        Err want = model.Rename(from, to);
+        auto st = fs->Rename(cred, from, to);
+        EXPECT_EQ(st.ok(), want == Err::kOk) << i << " rename " << from << "->" << to;
+        break;
+      }
+      case 5: {  // stat agrees on size
+        std::string p = rand_path();
+        const std::string* want = model.Content(p);
+        auto st = fs->Stat(cred, p);
+        EXPECT_EQ(st.ok(), want != nullptr) << i << " stat " << p;
+        if (st.ok() && want != nullptr) {
+          EXPECT_EQ(st->size, want->size()) << i << " size of " << p;
+        }
+        break;
+      }
+    }
+  }
+
+  // Final sweep: every model file readable with exact contents.
+  for (const auto& [path, content] : model.files()) {
+    auto fd = fs->Open(cred, path, vfs::kRead, 0);
+    ASSERT_TRUE(fd.ok()) << path;
+    std::string buf(content.size(), '\0');
+    auto r = fs->Pread(*fd, buf.data(), buf.size(), 0);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(*r, content.size()) << path;
+    EXPECT_EQ(buf, content) << path;
+    fs->Close(*fd);
+  }
+  if (lab.kernfs() != nullptr) {
+    EXPECT_TRUE(lab.kernfs()->CheckAllocTableForTest().empty())
+        << lab.kernfs()->CheckAllocTableForTest();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UserSpaceFs, ModelCheckTest,
+                         ::testing::Values(FsKind::kZofs, FsKind::kLogFs, FsKind::kNova),
+                         [](const ::testing::TestParamInfo<FsKind>& info) {
+                           std::string n = FsKindName(info.param);
+                           for (char& c : n) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Unit tests for the simulated MPK facility: PKRU bit semantics, per-thread
+// windows, page-key checks, write protection and the unmapped sentinel.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/mpk/mpk.h"
+#include "src/nvm/nvm.h"
+
+namespace {
+
+class MpkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nvm::Options o;
+    o.size_bytes = 1 << 20;  // 256 pages
+    dev_ = std::make_unique<nvm::NvmDevice>(o);
+    mpk::InstallDeviceHook(dev_.get());
+    table_.assign(dev_->num_pages(), mpk::kUnmapped);
+  }
+  void TearDown() override { mpk::BindThreadToProcess(nullptr); }
+
+  void Bind() { mpk::BindThreadToProcess(&table_); }
+
+  std::unique_ptr<nvm::NvmDevice> dev_;
+  mpk::PageKeyTable table_;
+};
+
+TEST_F(MpkTest, PkruBitHelpers) {
+  uint32_t deny = mpk::PkruDenyAll();
+  EXPECT_TRUE(mpk::PkruAllows(deny, 0, true));  // key 0 always open
+  for (int k = 1; k < mpk::kNumKeys; k++) {
+    EXPECT_FALSE(mpk::PkruAllows(deny, k, false));
+  }
+  uint32_t only3 = mpk::PkruAllowOnly(3, /*writable=*/false);
+  EXPECT_TRUE(mpk::PkruAllows(only3, 3, false));
+  EXPECT_FALSE(mpk::PkruAllows(only3, 3, true));  // write-disabled
+  EXPECT_FALSE(mpk::PkruAllows(only3, 4, false));
+  uint32_t rw3 = mpk::PkruAllowOnly(3, true);
+  EXPECT_TRUE(mpk::PkruAllows(rw3, 3, true));
+}
+
+TEST_F(MpkTest, UnboundThreadUnchecked) {
+  // No process bound: accesses pass (baseline file systems run this way).
+  dev_->Store64(0, 1);
+  EXPECT_EQ(dev_->Load64(0), 1u);
+}
+
+TEST_F(MpkTest, UnmappedPageFaults) {
+  Bind();
+  EXPECT_THROW(dev_->Store64(0, 1), mpk::ViolationError);
+  EXPECT_THROW(mpk::CheckAccess(0, 8, false), mpk::ViolationError);
+}
+
+TEST_F(MpkTest, WindowOpensExactlyOneKey) {
+  table_[1] = 5;
+  table_[2] = 6;
+  Bind();
+  {
+    mpk::AccessWindow w(5, true);
+    dev_->Store64(1 * nvm::kPageSize, 77);  // key 5: ok
+    EXPECT_THROW(dev_->Store64(2 * nvm::kPageSize, 1), mpk::ViolationError);  // key 6
+  }
+  // Window closed: key 5 no longer accessible.
+  EXPECT_THROW(dev_->Store64(1 * nvm::kPageSize, 1), mpk::ViolationError);
+}
+
+TEST_F(MpkTest, ReadOnlyWindowBlocksWrites) {
+  table_[1] = 4;
+  Bind();
+  mpk::AccessWindow w(4, /*writable=*/false);
+  mpk::CheckAccess(1 * nvm::kPageSize, 8, false);  // read ok
+  EXPECT_THROW(dev_->Store64(1 * nvm::kPageSize, 1), mpk::ViolationError);
+}
+
+TEST_F(MpkTest, PageTableWriteProtectIndependentOfPkru) {
+  table_[1] = 4 | mpk::kPageReadOnly;  // e.g. a coffer root page
+  Bind();
+  mpk::AccessWindow w(4, /*writable=*/true);
+  mpk::CheckAccess(1 * nvm::kPageSize, 8, false);  // read fine
+  EXPECT_THROW(dev_->Store64(1 * nvm::kPageSize, 1), mpk::ViolationError);
+}
+
+TEST_F(MpkTest, NestedWindowsRestore) {
+  table_[1] = 2;
+  table_[2] = 3;
+  Bind();
+  mpk::AccessWindow outer(2, true);
+  dev_->Store64(1 * nvm::kPageSize, 1);
+  {
+    mpk::AccessWindow inner(3, true);
+    dev_->Store64(2 * nvm::kPageSize, 1);
+    EXPECT_THROW(dev_->Store64(1 * nvm::kPageSize, 1), mpk::ViolationError);  // G2
+  }
+  dev_->Store64(1 * nvm::kPageSize, 2);  // outer window restored
+}
+
+TEST_F(MpkTest, MultiPageAccessChecksEveryPage) {
+  table_[1] = 2;
+  // page 2 stays unmapped
+  Bind();
+  mpk::AccessWindow w(2, true);
+  std::vector<uint8_t> buf(2 * nvm::kPageSize, 0);
+  EXPECT_THROW(dev_->StoreBytes(1 * nvm::kPageSize, buf.data(), buf.size()),
+               mpk::ViolationError);
+}
+
+TEST_F(MpkTest, PkruIsPerThread) {
+  table_[1] = 2;
+  Bind();
+  mpk::AccessWindow w(2, true);
+  dev_->Store64(1 * nvm::kPageSize, 1);  // this thread: open
+
+  // Another thread bound to the same process but without the window: denied.
+  bool other_thread_denied = false;
+  std::thread t([&]() {
+    mpk::BindThreadToProcess(&table_);
+    try {
+      dev_->Store64(1 * nvm::kPageSize, 2);
+    } catch (const mpk::ViolationError&) {
+      other_thread_denied = true;
+    }
+    mpk::BindThreadToProcess(nullptr);
+  });
+  t.join();
+  EXPECT_TRUE(other_thread_denied);
+}
+
+TEST_F(MpkTest, ViolationCarriesDetails) {
+  table_[3] = 7;
+  Bind();
+  try {
+    dev_->Store64(3 * nvm::kPageSize + 64, 1);
+    FAIL() << "expected violation";
+  } catch (const mpk::ViolationError& v) {
+    EXPECT_EQ(v.off, 3 * nvm::kPageSize);
+    EXPECT_EQ(v.key, 7);
+    EXPECT_TRUE(v.is_write);
+  }
+}
+
+TEST_F(MpkTest, OutOfRangeTableFaults) {
+  Bind();
+  EXPECT_THROW(mpk::CheckAccess(dev_->size() + nvm::kPageSize, 8, false), mpk::ViolationError);
+}
+
+}  // namespace

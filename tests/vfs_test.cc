@@ -1,0 +1,70 @@
+// Unit tests for path utilities and the UNIX permission check.
+
+#include <gtest/gtest.h>
+
+#include "src/vfs/vfs.h"
+
+namespace {
+
+using vfs::NormalizePath;
+using vfs::PermitsAccess;
+using vfs::SplitParent;
+using vfs::SplitPath;
+
+TEST(VfsPath, SplitBasics) {
+  auto parts = SplitPath("/a/b/c");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(*parts, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitPath("/")->empty());
+  EXPECT_FALSE(SplitPath("relative/path").ok());
+  EXPECT_FALSE(SplitPath("").ok());
+}
+
+TEST(VfsPath, SplitIgnoresRepeatedSlashes) {
+  auto parts = SplitPath("//a///b//");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(*parts, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(VfsPath, SplitParent) {
+  auto pp = SplitParent("/a/b/c");
+  ASSERT_TRUE(pp.ok());
+  EXPECT_EQ(pp->first, "/a/b");
+  EXPECT_EQ(pp->second, "c");
+  auto top = SplitParent("/x");
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(top->first, "/");
+  EXPECT_EQ(top->second, "x");
+  EXPECT_FALSE(SplitParent("/").ok());
+}
+
+TEST(VfsPath, Normalize) {
+  EXPECT_EQ(NormalizePath("/a/./b"), "/a/b");
+  EXPECT_EQ(NormalizePath("/a/b/../c"), "/a/c");
+  EXPECT_EQ(NormalizePath("/a/b/.."), "/a");
+  EXPECT_EQ(NormalizePath("/../.."), "/");
+  EXPECT_EQ(NormalizePath("//x//y/"), "/x/y");
+  EXPECT_EQ(NormalizePath(""), "/");
+}
+
+TEST(VfsPerm, OwnerGroupOtherClasses) {
+  vfs::Cred owner{10, 20}, groupie{11, 20}, other{12, 21};
+  // 0640: owner rw, group r, other none.
+  EXPECT_TRUE(PermitsAccess(owner, 10, 20, 0640, true, true));
+  EXPECT_TRUE(PermitsAccess(groupie, 10, 20, 0640, true, false));
+  EXPECT_FALSE(PermitsAccess(groupie, 10, 20, 0640, false, true));
+  EXPECT_FALSE(PermitsAccess(other, 10, 20, 0640, true, false));
+}
+
+TEST(VfsPerm, RootBypasses) {
+  vfs::Cred root{0, 0};
+  EXPECT_TRUE(PermitsAccess(root, 10, 20, 0000, true, true));
+}
+
+TEST(VfsPerm, OwnerClassTakesPrecedenceOverGroup) {
+  // Owner with no owner-bits is denied even if group bits would allow.
+  vfs::Cred owner{10, 20};
+  EXPECT_FALSE(PermitsAccess(owner, 10, 20, 0060, true, false));
+}
+
+}  // namespace

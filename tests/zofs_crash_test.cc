@@ -1,0 +1,244 @@
+// Crash-consistency tests for ZoFS: crash injection at the NVM layer,
+// "reboot" (re-open the device, rebuilding volatile state), fsck, then
+// invariant checks.
+//
+// ZoFS is a synchronous file system with ordered metadata updates: any
+// operation that returned before the crash must be visible afterwards, and
+// recovery must always produce a consistent tree + allocation table
+// (pages leaked into allocator free lists are reclaimed).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/common/rand.h"
+#include "src/fslib/fslib.h"
+#include "src/kernfs/kernfs.h"
+#include "src/mpk/mpk.h"
+#include "src/nvm/nvm.h"
+
+namespace {
+
+using common::Err;
+
+class ZofsCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nvm::Options o;
+    o.size_bytes = 128ull << 20;
+    o.crash_tracking = true;
+    dev_ = std::make_unique<nvm::NvmDevice>(o);
+    mpk::InstallDeviceHook(dev_.get());
+    Boot(/*format=*/true);
+  }
+  void TearDown() override {
+    fs_.reset();
+    kfs_.reset();
+    mpk::BindThreadToProcess(nullptr);
+  }
+
+  void Boot(bool format) {
+    fs_.reset();
+    kfs_.reset();
+    if (format) {
+      kernfs::FormatOptions f;
+      f.root_mode = 0755;
+      kfs_ = std::make_unique<kernfs::KernFs>(dev_.get(), f);
+    } else {
+      kfs_ = std::make_unique<kernfs::KernFs>(dev_.get());
+    }
+    kfs_->set_kernel_crossing_ns(0);
+    fs_ = std::make_unique<fslib::FsLib>(kfs_.get(), vfs::Cred{0, 0});
+    dev_->MarkAllPersistent();  // mount state is durable by definition
+  }
+
+  void CrashAndReboot() {
+    dev_->SimulateCrash();
+    Boot(/*format=*/false);
+    auto stats = fs_->zofs().RecoverAll();
+    ASSERT_TRUE(stats.ok()) << common::ErrName(stats.error());
+    EXPECT_TRUE(kfs_->CheckAllocTableForTest().empty()) << kfs_->CheckAllocTableForTest();
+  }
+
+  vfs::Cred cred{0, 0};
+  std::unique_ptr<nvm::NvmDevice> dev_;
+  std::unique_ptr<kernfs::KernFs> kfs_;
+  std::unique_ptr<fslib::FsLib> fs_;
+};
+
+TEST_F(ZofsCrashTest, CompletedWriteSurvivesCrash) {
+  auto fd = fs_->Open(cred, "/a", vfs::kCreate | vfs::kWrite, 0644);
+  ASSERT_TRUE(fd.ok());
+  std::string data(10000, 'k');
+  ASSERT_TRUE(fs_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+
+  CrashAndReboot();
+
+  auto fd2 = fs_->Open(cred, "/a", vfs::kRead, 0);
+  ASSERT_TRUE(fd2.ok());
+  std::string buf(10000, 0);
+  auto r = fs_->Pread(*fd2, buf.data(), buf.size(), 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, data.size());
+  EXPECT_EQ(buf, data);
+}
+
+TEST_F(ZofsCrashTest, CompletedCreateSurvivesCrash) {
+  for (int i = 0; i < 50; i++) {
+    ASSERT_TRUE(
+        fs_->Open(cred, "/f" + std::to_string(i), vfs::kCreate | vfs::kWrite, 0644).ok());
+  }
+  CrashAndReboot();
+  for (int i = 0; i < 50; i++) {
+    EXPECT_TRUE(fs_->Stat(cred, "/f" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST_F(ZofsCrashTest, CompletedUnlinkSurvivesCrash) {
+  ASSERT_TRUE(fs_->Open(cred, "/gone", vfs::kCreate | vfs::kWrite, 0644).ok());
+  ASSERT_TRUE(fs_->Unlink(cred, "/gone").ok());
+  CrashAndReboot();
+  EXPECT_EQ(fs_->Stat(cred, "/gone").error(), Err::kNoEnt);
+}
+
+TEST_F(ZofsCrashTest, CompletedRenameSurvivesCrash) {
+  ASSERT_TRUE(fs_->Mkdir(cred, "/d1", 0755).ok());
+  ASSERT_TRUE(fs_->Mkdir(cred, "/d2", 0755).ok());
+  auto fd = fs_->Open(cred, "/d1/f", vfs::kCreate | vfs::kWrite, 0644);
+  ASSERT_TRUE(fs_->Write(*fd, "abc", 3).ok());
+  ASSERT_TRUE(fs_->Rename(cred, "/d1/f", "/d2/g").ok());
+  CrashAndReboot();
+  EXPECT_TRUE(fs_->Stat(cred, "/d2/g").ok());
+  EXPECT_EQ(fs_->Stat(cred, "/d1/f").error(), Err::kNoEnt);
+}
+
+TEST_F(ZofsCrashTest, CrossCofferFileSurvivesCrash) {
+  auto fd = fs_->Open(cred, "/secret", vfs::kCreate | vfs::kWrite, 0600);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->Write(*fd, "sh", 2).ok());
+  CrashAndReboot();
+  auto st = fs_->Stat(cred, "/secret");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 2u);
+  EXPECT_EQ(st->mode, 0600);
+}
+
+TEST_F(ZofsCrashTest, RecoveryReclaimsAllocatorFreeLists) {
+  // Grow and shrink a file, leaving pages parked in leased free lists; after
+  // a crash + recovery those pages return to the kernel.
+  auto fd = fs_->Open(cred, "/grow", vfs::kCreate | vfs::kRdWr, 0644);
+  std::vector<uint8_t> chunk(1 << 20, 0xaa);
+  ASSERT_TRUE(fs_->Pwrite(*fd, chunk.data(), chunk.size(), 0).ok());
+  ASSERT_TRUE(fs_->Ftruncate(*fd, 4096).ok());  // 255 data pages into free lists
+
+  uint64_t free_before = kfs_->FreePages();
+  dev_->SimulateCrash();
+  Boot(false);
+  auto stats = fs_->zofs().RecoverAll();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->pages_reclaimed, 200u);
+  EXPECT_GT(kfs_->FreePages(), free_before);
+  EXPECT_TRUE(kfs_->CheckAllocTableForTest().empty());
+  // The file itself survives at its truncated size.
+  auto st = fs_->Stat(cred, "/grow");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 4096u);
+}
+
+TEST_F(ZofsCrashTest, RandomOpsWithCrashKeepInvariants) {
+  // Property test: random operations, crash at a random point, reboot +
+  // fsck, then (a) every file that was fully created before the crash and
+  // never removed must resolve, (b) the allocation table must be
+  // consistent, (c) a full tree walk must not fault.
+  common::Rng rng(2024);
+  std::set<std::string> live;
+  ASSERT_TRUE(fs_->Mkdir(cred, "/w", 0755).ok());
+
+  for (int round = 0; round < 5; round++) {
+    const int ops = 120;
+    for (int i = 0; i < ops; i++) {
+      std::string name = "/w/f" + std::to_string(rng.Below(60));
+      switch (rng.Below(4)) {
+        case 0: {
+          auto fd = fs_->Open(cred, name, vfs::kCreate | vfs::kWrite, 0644);
+          if (fd.ok()) {
+            std::vector<uint8_t> data(rng.Below(20000));
+            rng.Fill(data.data(), data.size());
+            fs_->Pwrite(*fd, data.data(), data.size(), 0);
+            fs_->Close(*fd);
+            live.insert(name);
+          }
+          break;
+        }
+        case 1:
+          if (fs_->Unlink(cred, name).ok()) {
+            live.erase(name);
+          }
+          break;
+        case 2: {
+          auto fd = fs_->Open(cred, name, vfs::kWrite, 0);
+          if (fd.ok()) {
+            std::vector<uint8_t> data(4096);
+            fs_->Pwrite(*fd, data.data(), data.size(), rng.Below(8) * 4096);
+            fs_->Close(*fd);
+          }
+          break;
+        }
+        case 3:
+          fs_->Stat(cred, name);
+          break;
+      }
+    }
+    CrashAndReboot();
+    // (a) completed creations survive.
+    for (const std::string& name : live) {
+      EXPECT_TRUE(fs_->Stat(cred, name).ok()) << name << " lost after crash";
+    }
+    // (c) full-tree walk with no faults.
+    auto entries = fs_->ReadDir(cred, "/w");
+    ASSERT_TRUE(entries.ok());
+    EXPECT_GE(entries->size(), live.size());
+  }
+}
+
+TEST_F(ZofsCrashTest, TornDentryIsRepairedByFsck) {
+  // Hand-craft a torn create: write a dentry body without its commit flag
+  // persisted, crash, and verify recovery clears it.
+  ASSERT_TRUE(fs_->Open(cred, "/ok", vfs::kCreate | vfs::kWrite, 0644).ok());
+  dev_->MarkAllPersistent();
+
+  // A create whose final flag-store never persisted: emulate by creating a
+  // file and then crashing *without* the persist of the last operation...
+  // Simplest honest torn state: corrupt a dentry name so hash mismatches.
+  fs_->BindThread();
+  auto node = fs_->zofs().Lookup("/ok", true);
+  ASSERT_TRUE(node.ok());
+  auto root_info = fs_->zofs().EnsureMappedForTest(kfs_->root_coffer_id(), true);
+  {
+    mpk::AccessWindow w(root_info->key, true);
+    zofs::Inode* root_ino = fs_->zofs().InodeForTest(
+        zofs::NodeRef{kfs_->root_coffer_id(), root_info->root_inode_off});
+    uint64_t* l1 = dev_->As<uint64_t>(root_ino->l1_dir);
+    for (uint64_t s = 0; s < zofs::kL1Slots; s++) {
+      if (l1[s] == 0) {
+        continue;
+      }
+      auto* l2 = dev_->As<zofs::L2Page>(l1[s]);
+      for (zofs::Dentry& d : l2->embedded) {
+        if (d.in_use() && std::string_view(d.name, d.name_len) == "ok") {
+          dev_->Store8(dev_->OffsetOf(&d) + offsetof(zofs::Dentry, name), 'X');
+          dev_->PersistRange(dev_->OffsetOf(&d), sizeof(zofs::Dentry));
+        }
+      }
+    }
+  }
+  CrashAndReboot();
+  // fsck must have cleared the corrupted dentry; lookups fail cleanly.
+  EXPECT_EQ(fs_->Stat(cred, "/ok").error(), Err::kNoEnt);
+  EXPECT_EQ(fs_->Stat(cred, "/Xk").error(), Err::kNoEnt);
+  auto entries = fs_->ReadDir(cred, "/");
+  ASSERT_TRUE(entries.ok());
+}
+
+}  // namespace

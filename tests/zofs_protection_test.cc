@@ -1,0 +1,191 @@
+// Protection and isolation tests: the §3.4 / §6.5 scenarios as assertions.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "src/common/rand.h"
+#include "src/fslib/fslib.h"
+#include "src/kernfs/kernfs.h"
+#include "src/mpk/mpk.h"
+#include "src/nvm/nvm.h"
+
+namespace {
+
+using common::Err;
+
+class ProtectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    nvm::Options o;
+    o.size_bytes = 128ull << 20;
+    dev_ = std::make_unique<nvm::NvmDevice>(o);
+    mpk::InstallDeviceHook(dev_.get());
+    kernfs::FormatOptions f;
+    f.root_mode = 0777;
+    f.root_uid = 1000;
+    f.root_gid = 1000;
+    kfs_ = std::make_unique<kernfs::KernFs>(dev_.get(), f);
+    kfs_->set_kernel_crossing_ns(0);
+  }
+  void TearDown() override {
+    kfs_.reset();
+    mpk::BindThreadToProcess(nullptr);
+  }
+
+  std::unique_ptr<nvm::NvmDevice> dev_;
+  std::unique_ptr<kernfs::KernFs> kfs_;
+};
+
+TEST_F(ProtectionTest, StrayWritesNeverLand) {
+  // §6.5 test 1: application code with closed windows cannot modify any
+  // coffer page, ever.
+  fslib::FsLib p1(kfs_.get(), vfs::Cred{1000, 1000});
+  auto fd = p1.Open(vfs::Cred{1000, 1000}, "/file", vfs::kCreate | vfs::kWrite, 0666);
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> payload(4096, 0xee);
+  ASSERT_TRUE(p1.Pwrite(*fd, payload.data(), payload.size(), 0).ok());
+
+  p1.BindThread();
+  common::Rng rng(3);
+  for (int i = 0; i < 5000; i++) {
+    uint64_t off = rng.Below(dev_->size() - 8) & ~7ull;
+    EXPECT_THROW(dev_->Store64(off, 0xbad), mpk::ViolationError);
+  }
+  // File intact.
+  std::vector<uint8_t> check(4096);
+  auto r = p1.Pread(*fd, check.data(), check.size(), 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(memcmp(check.data(), payload.data(), 4096), 0);
+}
+
+TEST_F(ProtectionTest, CorruptionYieldsGracefulErrorNotCrash) {
+  // §3.4.2: corrupted metadata leads to an error return, not termination.
+  fslib::FsLib p(kfs_.get(), vfs::Cred{1000, 1000});
+  vfs::Cred c{1000, 1000};
+  auto fd = p.Open(c, "/victim", vfs::kCreate | vfs::kRdWr, 0666);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(p.Write(*fd, "data", 4).ok());
+
+  auto node = p.zofs().Lookup("/victim", true);
+  ASSERT_TRUE(node.ok());
+  auto info = p.zofs().EnsureMappedForTest(node->coffer_id, true);
+  {
+    mpk::AccessWindow w(info->key, true);
+    dev_->Store64(node->inode_off, 0);  // destroy the inode magic
+  }
+  char buf[8];
+  auto r = p.Pread(*fd, buf, sizeof(buf), 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Err::kCorrupt);
+  // The process can continue using other files.
+  EXPECT_TRUE(p.Open(c, "/other", vfs::kCreate | vfs::kWrite, 0666).ok());
+}
+
+TEST_F(ProtectionTest, ManipulatedCrossCofferReferenceRejected) {
+  // §3.4.3 / §6.5 test 2: a dentry in shared coffer C1 redirected at C2 must
+  // fail G3 validation in the victim.
+  fslib::FsLib attacker(kfs_.get(), vfs::Cred{1000, 1000});
+  fslib::FsLib victim(kfs_.get(), vfs::Cred{1000, 1000});
+  vfs::Cred c{1000, 1000};
+
+  auto secret = attacker.Open(c, "/c2secret", vfs::kCreate | vfs::kWrite, 0600);
+  ASSERT_TRUE(secret.ok());
+  ASSERT_TRUE(attacker.Write(*secret, "hidden", 6).ok());
+  ASSERT_TRUE(attacker.Open(c, "/shared", vfs::kCreate | vfs::kWrite, 0666).ok());
+
+  attacker.BindThread();
+  auto c2 = attacker.zofs().Lookup("/c2secret", true);
+  ASSERT_TRUE(c2.ok());
+  auto rinfo = attacker.zofs().EnsureMappedForTest(kfs_->root_coffer_id(), true);
+  {
+    mpk::AccessWindow w(rinfo->key, true);
+    zofs::Inode* root_ino = attacker.zofs().InodeForTest(
+        zofs::NodeRef{kfs_->root_coffer_id(), rinfo->root_inode_off});
+    uint64_t* l1 = dev_->As<uint64_t>(root_ino->l1_dir);
+    bool rewrote = false;
+    for (uint64_t s = 0; s < zofs::kL1Slots && !rewrote; s++) {
+      if (l1[s] == 0) {
+        continue;
+      }
+      auto* l2 = dev_->As<zofs::L2Page>(l1[s]);
+      for (zofs::Dentry& d : l2->embedded) {
+        if (d.in_use() && std::string_view(d.name, d.name_len) == "shared") {
+          uint64_t off = dev_->OffsetOf(&d);
+          dev_->Store32(off + offsetof(zofs::Dentry, coffer_id), c2->coffer_id);
+          dev_->Store64(off + offsetof(zofs::Dentry, inode_off), c2->inode_off);
+          dev_->PersistRange(off, sizeof(zofs::Dentry));
+          rewrote = true;
+          break;
+        }
+      }
+    }
+    ASSERT_TRUE(rewrote);
+  }
+
+  victim.BindThread();
+  auto vfd = victim.Open(c, "/shared", vfs::kRead, 0);
+  ASSERT_FALSE(vfd.ok());
+  EXPECT_EQ(vfd.error(), Err::kCorrupt);
+}
+
+TEST_F(ProtectionTest, ReadOnlyMappingBlocksWrites) {
+  // A user with read-only permission gets a read-only coffer mapping; write
+  // attempts through the FS API are refused at map upgrade.
+  fslib::FsLib owner(kfs_.get(), vfs::Cred{1000, 1000});
+  vfs::Cred oc{1000, 1000};
+  auto fd = owner.Open(oc, "/shared_ro", vfs::kCreate | vfs::kWrite, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(owner.Write(*fd, "readonly", 8).ok());
+
+  fslib::FsLib reader(kfs_.get(), vfs::Cred{2000, 1000});
+  vfs::Cred rc{2000, 1000};
+  auto rfd = reader.Open(rc, "/shared_ro", vfs::kRead, 0);
+  ASSERT_TRUE(rfd.ok()) << common::ErrName(rfd.error());
+  char buf[16] = {};
+  auto r = reader.Read(*rfd, buf, sizeof(buf));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::string(buf, *r), "readonly");
+
+  auto wfd = reader.Open(rc, "/shared_ro", vfs::kWrite, 0);
+  ASSERT_FALSE(wfd.ok());
+  EXPECT_EQ(wfd.error(), Err::kAcces);
+}
+
+TEST_F(ProtectionTest, MpkBudgetEvictionKeepsWorking) {
+  // More permission groups than MPK keys: FSLibs must evict mappings and
+  // keep operating (paper §3.4.2: "the µFS should call coffer_unmap").
+  fslib::FsLib p(kfs_.get(), vfs::Cred{1000, 1000});
+  vfs::Cred c{1000, 1000};
+  // 30 distinct permission groups => 30 coffers, against 15 keys.
+  for (int i = 0; i < 30; i++) {
+    uint32_t gid = 3000 + i;
+    p.proc()->SetCred(vfs::Cred{1000, gid});
+    auto fd = p.Open(c, "/g" + std::to_string(i), vfs::kCreate | vfs::kWrite, 0660);
+    ASSERT_TRUE(fd.ok()) << i << ": " << common::ErrName(fd.error());
+    ASSERT_TRUE(p.Write(*fd, "x", 1).ok());
+    ASSERT_TRUE(p.Close(*fd).ok());
+  }
+  // All files remain accessible (re-mapping on demand).
+  for (int i = 0; i < 30; i++) {
+    p.proc()->SetCred(vfs::Cred{1000, 3000u + i});
+    auto st = p.Stat(c, "/g" + std::to_string(i));
+    ASSERT_TRUE(st.ok()) << i << ": " << common::ErrName(st.error());
+    EXPECT_EQ(st->size, 1u);
+  }
+}
+
+TEST_F(ProtectionTest, SetuidStyleCredChangeRevokesAccess) {
+  // After a process's credentials change, a previously mapped private coffer
+  // can no longer be (re)mapped by a fresh process with the new identity.
+  fslib::FsLib p(kfs_.get(), vfs::Cred{1000, 1000});
+  vfs::Cred c{1000, 1000};
+  ASSERT_TRUE(p.Open(c, "/mine", vfs::kCreate | vfs::kWrite, 0600).ok());
+
+  fslib::FsLib other(kfs_.get(), vfs::Cred{7777, 7777});
+  auto denied = other.Open(vfs::Cred{7777, 7777}, "/mine", vfs::kRead, 0);
+  EXPECT_EQ(denied.error(), Err::kAcces);
+}
+
+}  // namespace
