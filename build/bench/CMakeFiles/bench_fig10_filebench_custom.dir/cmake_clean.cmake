@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_filebench_custom.dir/bench_fig10_filebench_custom.cc.o"
+  "CMakeFiles/bench_fig10_filebench_custom.dir/bench_fig10_filebench_custom.cc.o.d"
+  "bench_fig10_filebench_custom"
+  "bench_fig10_filebench_custom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_filebench_custom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fxmark.dir/bench_fig7_fxmark.cc.o"
+  "CMakeFiles/bench_fig7_fxmark.dir/bench_fig7_fxmark.cc.o.d"
+  "bench_fig7_fxmark"
+  "bench_fig7_fxmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fxmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec65_safety_recovery.dir/bench_sec65_safety_recovery.cc.o"
+  "CMakeFiles/bench_sec65_safety_recovery.dir/bench_sec65_safety_recovery.cc.o.d"
+  "bench_sec65_safety_recovery"
+  "bench_sec65_safety_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec65_safety_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

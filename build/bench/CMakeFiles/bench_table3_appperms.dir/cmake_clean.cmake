@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_appperms.dir/bench_table3_appperms.cc.o"
+  "CMakeFiles/bench_table3_appperms.dir/bench_table3_appperms.cc.o.d"
+  "bench_table3_appperms"
+  "bench_table3_appperms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_appperms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fslhomes.dir/bench_table4_fslhomes.cc.o"
+  "CMakeFiles/bench_table4_fslhomes.dir/bench_table4_fslhomes.cc.o.d"
+  "bench_table4_fslhomes"
+  "bench_table4_fslhomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fslhomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

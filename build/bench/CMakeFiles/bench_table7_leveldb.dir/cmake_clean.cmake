@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_leveldb.dir/bench_table7_leveldb.cc.o"
+  "CMakeFiles/bench_table7_leveldb.dir/bench_table7_leveldb.cc.o.d"
+  "bench_table7_leveldb"
+  "bench_table7_leveldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_leveldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_worstcase.dir/bench_table9_worstcase.cc.o"
+  "CMakeFiles/bench_table9_worstcase.dir/bench_table9_worstcase.cc.o.d"
+  "bench_table9_worstcase"
+  "bench_table9_worstcase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_worstcase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

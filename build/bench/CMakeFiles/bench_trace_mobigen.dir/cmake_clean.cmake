@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_mobigen.dir/bench_trace_mobigen.cc.o"
+  "CMakeFiles/bench_trace_mobigen.dir/bench_trace_mobigen.cc.o.d"
+  "bench_trace_mobigen"
+  "bench_trace_mobigen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_mobigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logfs_demo.dir/logfs_demo.cpp.o"
+  "CMakeFiles/logfs_demo.dir/logfs_demo.cpp.o.d"
+  "logfs_demo"
+  "logfs_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logfs_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiuser_protection.dir/multiuser_protection.cpp.o"
+  "CMakeFiles/multiuser_protection.dir/multiuser_protection.cpp.o.d"
+  "multiuser_protection"
+  "multiuser_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiuser_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("nvm")
+subdirs("mpk")
+subdirs("vfs")
+subdirs("ufs")
+subdirs("kernfs")
+subdirs("fslib")
+subdirs("zofs")
+subdirs("logfs")
+subdirs("baselines")
+subdirs("harness")
+subdirs("apps")
+subdirs("analysis")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zr_analysis.dir/survey.cc.o"
+  "CMakeFiles/zr_analysis.dir/survey.cc.o.d"
+  "libzr_analysis.a"
+  "libzr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zr_kvstore.dir/kvstore/kvstore.cc.o"
+  "CMakeFiles/zr_kvstore.dir/kvstore/kvstore.cc.o.d"
+  "libzr_kvstore.a"
+  "libzr_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zr_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/minidb/btree.cc" "src/apps/CMakeFiles/zr_minidb.dir/minidb/btree.cc.o" "gcc" "src/apps/CMakeFiles/zr_minidb.dir/minidb/btree.cc.o.d"
+  "/root/repo/src/apps/minidb/minidb.cc" "src/apps/CMakeFiles/zr_minidb.dir/minidb/minidb.cc.o" "gcc" "src/apps/CMakeFiles/zr_minidb.dir/minidb/minidb.cc.o.d"
+  "/root/repo/src/apps/minidb/pager.cc" "src/apps/CMakeFiles/zr_minidb.dir/minidb/pager.cc.o" "gcc" "src/apps/CMakeFiles/zr_minidb.dir/minidb/pager.cc.o.d"
+  "/root/repo/src/apps/minidb/tpcc.cc" "src/apps/CMakeFiles/zr_minidb.dir/minidb/tpcc.cc.o" "gcc" "src/apps/CMakeFiles/zr_minidb.dir/minidb/tpcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vfs/CMakeFiles/zr_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zr_minidb.dir/minidb/btree.cc.o"
+  "CMakeFiles/zr_minidb.dir/minidb/btree.cc.o.d"
+  "CMakeFiles/zr_minidb.dir/minidb/minidb.cc.o"
+  "CMakeFiles/zr_minidb.dir/minidb/minidb.cc.o.d"
+  "CMakeFiles/zr_minidb.dir/minidb/pager.cc.o"
+  "CMakeFiles/zr_minidb.dir/minidb/pager.cc.o.d"
+  "CMakeFiles/zr_minidb.dir/minidb/tpcc.cc.o"
+  "CMakeFiles/zr_minidb.dir/minidb/tpcc.cc.o.d"
+  "libzr_minidb.a"
+  "libzr_minidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zr_minidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zr_baselines.dir/basefs.cc.o"
+  "CMakeFiles/zr_baselines.dir/basefs.cc.o.d"
+  "CMakeFiles/zr_baselines.dir/baselines.cc.o"
+  "CMakeFiles/zr_baselines.dir/baselines.cc.o.d"
+  "CMakeFiles/zr_baselines.dir/strata.cc.o"
+  "CMakeFiles/zr_baselines.dir/strata.cc.o.d"
+  "libzr_baselines.a"
+  "libzr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

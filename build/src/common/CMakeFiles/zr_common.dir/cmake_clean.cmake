@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zr_common.dir/common.cc.o"
+  "CMakeFiles/zr_common.dir/common.cc.o.d"
+  "libzr_common.a"
+  "libzr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

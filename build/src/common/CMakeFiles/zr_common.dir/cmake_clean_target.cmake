@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libzr_common.a"
+)

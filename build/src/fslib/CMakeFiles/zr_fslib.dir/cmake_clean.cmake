@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zr_fslib.dir/fslib.cc.o"
+  "CMakeFiles/zr_fslib.dir/fslib.cc.o.d"
+  "libzr_fslib.a"
+  "libzr_fslib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zr_fslib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

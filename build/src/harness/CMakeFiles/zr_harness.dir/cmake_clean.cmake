@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zr_harness.dir/filebench.cc.o"
+  "CMakeFiles/zr_harness.dir/filebench.cc.o.d"
+  "CMakeFiles/zr_harness.dir/fslab.cc.o"
+  "CMakeFiles/zr_harness.dir/fslab.cc.o.d"
+  "CMakeFiles/zr_harness.dir/fxmark.cc.o"
+  "CMakeFiles/zr_harness.dir/fxmark.cc.o.d"
+  "CMakeFiles/zr_harness.dir/runner.cc.o"
+  "CMakeFiles/zr_harness.dir/runner.cc.o.d"
+  "libzr_harness.a"
+  "libzr_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zr_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

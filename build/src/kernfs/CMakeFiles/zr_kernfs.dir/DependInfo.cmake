@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernfs/kernfs.cc" "src/kernfs/CMakeFiles/zr_kernfs.dir/kernfs.cc.o" "gcc" "src/kernfs/CMakeFiles/zr_kernfs.dir/kernfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/zr_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpk/CMakeFiles/zr_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/zr_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

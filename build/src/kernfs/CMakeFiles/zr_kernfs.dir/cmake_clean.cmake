@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zr_kernfs.dir/kernfs.cc.o"
+  "CMakeFiles/zr_kernfs.dir/kernfs.cc.o.d"
+  "libzr_kernfs.a"
+  "libzr_kernfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zr_kernfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for zr_kernfs.
+# This may be replaced when dependencies are built.

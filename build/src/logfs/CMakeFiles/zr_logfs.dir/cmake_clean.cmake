@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zr_logfs.dir/logfs.cc.o"
+  "CMakeFiles/zr_logfs.dir/logfs.cc.o.d"
+  "libzr_logfs.a"
+  "libzr_logfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zr_logfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zr_mpk.dir/mpk.cc.o"
+  "CMakeFiles/zr_mpk.dir/mpk.cc.o.d"
+  "libzr_mpk.a"
+  "libzr_mpk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zr_mpk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

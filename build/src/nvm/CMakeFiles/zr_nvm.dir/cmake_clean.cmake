@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zr_nvm.dir/nvm.cc.o"
+  "CMakeFiles/zr_nvm.dir/nvm.cc.o.d"
+  "libzr_nvm.a"
+  "libzr_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zr_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

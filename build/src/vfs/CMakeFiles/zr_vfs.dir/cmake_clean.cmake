@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zr_vfs.dir/vfs.cc.o"
+  "CMakeFiles/zr_vfs.dir/vfs.cc.o.d"
+  "libzr_vfs.a"
+  "libzr_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zr_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zr_zofs.dir/alloc.cc.o"
+  "CMakeFiles/zr_zofs.dir/alloc.cc.o.d"
+  "CMakeFiles/zr_zofs.dir/zofs.cc.o"
+  "CMakeFiles/zr_zofs.dir/zofs.cc.o.d"
+  "CMakeFiles/zr_zofs.dir/zofs_recovery.cc.o"
+  "CMakeFiles/zr_zofs.dir/zofs_recovery.cc.o.d"
+  "libzr_zofs.a"
+  "libzr_zofs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zr_zofs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alloc_test.cc" "tests/CMakeFiles/alloc_test.dir/alloc_test.cc.o" "gcc" "tests/CMakeFiles/alloc_test.dir/alloc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/zr_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/zr_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/zr_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/zr_minidb.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/zr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/fslib/CMakeFiles/zr_fslib.dir/DependInfo.cmake"
+  "/root/repo/build/src/logfs/CMakeFiles/zr_logfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/zofs/CMakeFiles/zr_zofs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernfs/CMakeFiles/zr_kernfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpk/CMakeFiles/zr_mpk.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvm/CMakeFiles/zr_nvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/zr_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

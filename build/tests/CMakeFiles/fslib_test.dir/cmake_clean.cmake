@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fslib_test.dir/fslib_test.cc.o"
+  "CMakeFiles/fslib_test.dir/fslib_test.cc.o.d"
+  "fslib_test"
+  "fslib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fslib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernfs_test.dir/kernfs_test.cc.o"
+  "CMakeFiles/kernfs_test.dir/kernfs_test.cc.o.d"
+  "kernfs_test"
+  "kernfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logfs_test.dir/logfs_test.cc.o"
+  "CMakeFiles/logfs_test.dir/logfs_test.cc.o.d"
+  "logfs_test"
+  "logfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

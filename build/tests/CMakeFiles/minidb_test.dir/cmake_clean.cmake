@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minidb_test.dir/minidb_test.cc.o"
+  "CMakeFiles/minidb_test.dir/minidb_test.cc.o.d"
+  "minidb_test"
+  "minidb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minidb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

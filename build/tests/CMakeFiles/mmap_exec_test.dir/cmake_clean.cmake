@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmap_exec_test.dir/mmap_exec_test.cc.o"
+  "CMakeFiles/mmap_exec_test.dir/mmap_exec_test.cc.o.d"
+  "mmap_exec_test"
+  "mmap_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmap_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strata_test.dir/strata_test.cc.o"
+  "CMakeFiles/strata_test.dir/strata_test.cc.o.d"
+  "strata_test"
+  "strata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

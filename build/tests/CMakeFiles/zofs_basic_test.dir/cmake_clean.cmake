@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zofs_basic_test.dir/zofs_basic_test.cc.o"
+  "CMakeFiles/zofs_basic_test.dir/zofs_basic_test.cc.o.d"
+  "zofs_basic_test"
+  "zofs_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zofs_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zofs_crash_test.dir/zofs_crash_test.cc.o"
+  "CMakeFiles/zofs_crash_test.dir/zofs_crash_test.cc.o.d"
+  "zofs_crash_test"
+  "zofs_crash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zofs_crash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zofs_dir_test.dir/zofs_dir_test.cc.o"
+  "CMakeFiles/zofs_dir_test.dir/zofs_dir_test.cc.o.d"
+  "zofs_dir_test"
+  "zofs_dir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zofs_dir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zofs_features_test.dir/zofs_features_test.cc.o"
+  "CMakeFiles/zofs_features_test.dir/zofs_features_test.cc.o.d"
+  "zofs_features_test"
+  "zofs_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zofs_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

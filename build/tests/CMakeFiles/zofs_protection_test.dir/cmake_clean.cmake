@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zofs_protection_test.dir/zofs_protection_test.cc.o"
+  "CMakeFiles/zofs_protection_test.dir/zofs_protection_test.cc.o.d"
+  "zofs_protection_test"
+  "zofs_protection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zofs_protection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zofs_split_test.dir/zofs_split_test.cc.o"
+  "CMakeFiles/zofs_split_test.dir/zofs_split_test.cc.o.d"
+  "zofs_split_test"
+  "zofs_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zofs_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
