@@ -9,6 +9,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "src/audit/audit.h"
 #include "src/nvm/nvm.h"
 
 namespace baselines {
@@ -22,6 +23,10 @@ class JournalRing {
   // Appends a record of `n` payload bytes (plus a 16-byte header) and makes
   // it durable. Returns the record's NVM offset.
   uint64_t Append(const void* payload, size_t n) {
+    // Concurrent appends may share a record's tail cacheline, so only the
+    // flush-lint scope is tagged here; durability is asserted by the
+    // single-threaded audit_test instead of inline annotations.
+    AUDIT_SCOPE("JournalRing::Append");
     const uint64_t need = 16 + ((n + 63) & ~size_t{63});
     uint64_t pos = head_.fetch_add(need, std::memory_order_relaxed) % size_;
     if (pos + need > size_) {
@@ -47,6 +52,7 @@ class JournalRing {
   // A separate commit mark with its own fence (undo-journal style: record,
   // fence, apply, fence, commit, fence).
   void Commit() {
+    AUDIT_SCOPE("JournalRing::Commit");
     uint64_t pos = head_.fetch_add(64, std::memory_order_relaxed) % size_;
     if (pos + 64 > size_) {
       pos = 0;

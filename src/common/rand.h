@@ -89,7 +89,7 @@ class Zipf {
   uint64_t Next();
 
  private:
-  double ZetaStatic(uint64_t n, double theta);
+  static double ZetaStatic(uint64_t n, double theta);
   uint64_t n_;
   double theta_;
   double alpha_;

@@ -30,7 +30,8 @@ class LatencyRecorder {
   uint64_t total_ns() const { return total_ns_; }
 
   double MeanNs() const {
-    return samples_.empty() ? 0.0 : static_cast<double>(total_ns_) / samples_.size();
+    return samples_.empty() ? 0.0
+                            : static_cast<double>(total_ns_) / static_cast<double>(samples_.size());
   }
 
   // p in [0, 100].
@@ -39,7 +40,7 @@ class LatencyRecorder {
       return 0;
     }
     std::sort(samples_.begin(), samples_.end());
-    size_t idx = static_cast<size_t>(p / 100.0 * (samples_.size() - 1) + 0.5);
+    size_t idx = static_cast<size_t>(p / 100.0 * static_cast<double>(samples_.size() - 1) + 0.5);
     return samples_[std::min(idx, samples_.size() - 1)];
   }
 

@@ -14,9 +14,11 @@ namespace {
 
 // Converts an in-flight MPK violation (the simulated SIGSEGV) into a
 // graceful file-system error — paper §3.4.2. Every FSLibs entry point runs
-// its body under this guard.
+// its body under this guard. The audit::ApiGuard checks guideline G1 on the
+// way out: the call must not return with a PKRU window still open.
 template <typename F>
-auto Guarded(F&& body) -> decltype(body()) {
+auto Guarded(const char* api, F&& body) -> decltype(body()) {
+  audit::ApiGuard api_guard(api);
   try {
     return body();
   } catch (const mpk::ViolationError& v) {
@@ -77,7 +79,7 @@ vfs::Result<std::shared_ptr<FsLib::Description>> FsLib::Get(vfs::Fd fd) {
 vfs::Result<vfs::Fd> FsLib::Open(const vfs::Cred& cred, const std::string& path, uint32_t flags,
                                  uint16_t mode) {
   BindThread();
-  return Guarded([&]() -> vfs::Result<vfs::Fd> {
+  return Guarded(__func__, [&]() -> vfs::Result<vfs::Fd> {
     common::Result<ufs::NodeRef> node = Err::kNoEnt;
     if ((flags & vfs::kCreate) && !(flags & vfs::kExcl)) {
       // Single-walk open-or-create fast path.
@@ -124,7 +126,7 @@ vfs::Status FsLib::Close(vfs::Fd fd) {
 
 vfs::Result<size_t> FsLib::Read(vfs::Fd fd, void* buf, size_t n) {
   BindThread();
-  return Guarded([&]() -> vfs::Result<size_t> {
+  return Guarded(__func__, [&]() -> vfs::Result<size_t> {
     ASSIGN_OR_RETURN(d, Get(fd));
     fs_->FixNode(&d->node);
     uint64_t pos = d->pos.load(std::memory_order_relaxed);
@@ -136,7 +138,7 @@ vfs::Result<size_t> FsLib::Read(vfs::Fd fd, void* buf, size_t n) {
 
 vfs::Result<size_t> FsLib::Write(vfs::Fd fd, const void* buf, size_t n) {
   BindThread();
-  return Guarded([&]() -> vfs::Result<size_t> {
+  return Guarded(__func__, [&]() -> vfs::Result<size_t> {
     ASSIGN_OR_RETURN(d, Get(fd));
     fs_->FixNode(&d->node);
     if (d->flags & vfs::kAppend) {
@@ -153,7 +155,7 @@ vfs::Result<size_t> FsLib::Write(vfs::Fd fd, const void* buf, size_t n) {
 
 vfs::Result<size_t> FsLib::Pread(vfs::Fd fd, void* buf, size_t n, uint64_t off) {
   BindThread();
-  return Guarded([&]() -> vfs::Result<size_t> {
+  return Guarded(__func__, [&]() -> vfs::Result<size_t> {
     ASSIGN_OR_RETURN(d, Get(fd));
     fs_->FixNode(&d->node);
     return fs_->ReadAt(d->node, buf, n, off);
@@ -162,7 +164,7 @@ vfs::Result<size_t> FsLib::Pread(vfs::Fd fd, void* buf, size_t n, uint64_t off) 
 
 vfs::Result<size_t> FsLib::Pwrite(vfs::Fd fd, const void* buf, size_t n, uint64_t off) {
   BindThread();
-  return Guarded([&]() -> vfs::Result<size_t> {
+  return Guarded(__func__, [&]() -> vfs::Result<size_t> {
     ASSIGN_OR_RETURN(d, Get(fd));
     fs_->FixNode(&d->node);
     return fs_->WriteAt(d->node, buf, n, off);
@@ -171,7 +173,7 @@ vfs::Result<size_t> FsLib::Pwrite(vfs::Fd fd, const void* buf, size_t n, uint64_
 
 vfs::Result<uint64_t> FsLib::Lseek(vfs::Fd fd, int64_t off, int whence) {
   BindThread();
-  return Guarded([&]() -> vfs::Result<uint64_t> {
+  return Guarded(__func__, [&]() -> vfs::Result<uint64_t> {
     ASSIGN_OR_RETURN(d, Get(fd));
     int64_t base = 0;
     switch (whence) {
@@ -207,7 +209,7 @@ vfs::Status FsLib::Fsync(vfs::Fd fd) {
 
 vfs::Result<vfs::StatBuf> FsLib::Fstat(vfs::Fd fd) {
   BindThread();
-  return Guarded([&]() -> vfs::Result<vfs::StatBuf> {
+  return Guarded(__func__, [&]() -> vfs::Result<vfs::StatBuf> {
     ASSIGN_OR_RETURN(d, Get(fd));
     fs_->FixNode(&d->node);
     return fs_->StatNode(d->node);
@@ -216,7 +218,7 @@ vfs::Result<vfs::StatBuf> FsLib::Fstat(vfs::Fd fd) {
 
 vfs::Status FsLib::Ftruncate(vfs::Fd fd, uint64_t len) {
   BindThread();
-  return Guarded([&]() -> vfs::Status {
+  return Guarded(__func__, [&]() -> vfs::Status {
     ASSIGN_OR_RETURN(d, Get(fd));
     fs_->FixNode(&d->node);
     return fs_->TruncateNode(d->node, len);
@@ -233,22 +235,22 @@ vfs::Result<vfs::Fd> FsLib::Dup(vfs::Fd fd) {
 
 vfs::Status FsLib::Mkdir(const vfs::Cred& cred, const std::string& path, uint16_t mode) {
   BindThread();
-  return Guarded([&]() { return fs_->Mkdir(path, mode); });
+  return Guarded(__func__, [&]() { return fs_->Mkdir(path, mode); });
 }
 
 vfs::Status FsLib::Rmdir(const vfs::Cred& cred, const std::string& path) {
   BindThread();
-  return Guarded([&]() { return fs_->Rmdir(path); });
+  return Guarded(__func__, [&]() { return fs_->Rmdir(path); });
 }
 
 vfs::Status FsLib::Unlink(const vfs::Cred& cred, const std::string& path) {
   BindThread();
-  return Guarded([&]() { return fs_->Unlink(path); });
+  return Guarded(__func__, [&]() { return fs_->Unlink(path); });
 }
 
 vfs::Result<vfs::StatBuf> FsLib::Stat(const vfs::Cred& cred, const std::string& path) {
   BindThread();
-  return Guarded([&]() -> vfs::Result<vfs::StatBuf> {
+  return Guarded(__func__, [&]() -> vfs::Result<vfs::StatBuf> {
     ASSIGN_OR_RETURN(node, fs_->Lookup(path, true));
     return fs_->StatNode(node);
   });
@@ -257,34 +259,34 @@ vfs::Result<vfs::StatBuf> FsLib::Stat(const vfs::Cred& cred, const std::string& 
 vfs::Result<std::vector<vfs::DirEntry>> FsLib::ReadDir(const vfs::Cred& cred,
                                                        const std::string& path) {
   BindThread();
-  return Guarded([&]() { return fs_->ReadDir(path); });
+  return Guarded(__func__, [&]() { return fs_->ReadDir(path); });
 }
 
 vfs::Status FsLib::Rename(const vfs::Cred& cred, const std::string& from, const std::string& to) {
   BindThread();
-  return Guarded([&]() { return fs_->Rename(from, to); });
+  return Guarded(__func__, [&]() { return fs_->Rename(from, to); });
 }
 
 vfs::Status FsLib::Chmod(const vfs::Cred& cred, const std::string& path, uint16_t mode) {
   BindThread();
-  return Guarded([&]() { return fs_->Chmod(path, mode); });
+  return Guarded(__func__, [&]() { return fs_->Chmod(path, mode); });
 }
 
 vfs::Status FsLib::Chown(const vfs::Cred& cred, const std::string& path, uint32_t uid,
                          uint32_t gid) {
   BindThread();
-  return Guarded([&]() { return fs_->Chown(path, uid, gid); });
+  return Guarded(__func__, [&]() { return fs_->Chown(path, uid, gid); });
 }
 
 vfs::Status FsLib::Symlink(const vfs::Cred& cred, const std::string& target,
                            const std::string& linkpath) {
   BindThread();
-  return Guarded([&]() { return fs_->Symlink(target, linkpath); });
+  return Guarded(__func__, [&]() { return fs_->Symlink(target, linkpath); });
 }
 
 vfs::Result<std::string> FsLib::ReadLink(const vfs::Cred& cred, const std::string& path) {
   BindThread();
-  return Guarded([&]() { return fs_->ReadLink(path); });
+  return Guarded(__func__, [&]() { return fs_->ReadLink(path); });
 }
 
 }  // namespace fslib

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/audit/audit.h"
 #include "src/common/clock.h"
 #include "src/mpk/mpk.h"
 
@@ -26,6 +27,7 @@ LogFs::VNode* LogFs::Get(uint64_t id) {
 }
 
 Status LogFs::MountOrFormat() {
+  AUDIT_SCOPE("LogFs::MountOrFormat");
   cid_ = kfs_->root_coffer_id();
   ASSIGN_OR_RETURN(info, kfs_->CofferMap(*proc_, cid_, true));
   info_ = info;
@@ -61,6 +63,7 @@ Status LogFs::MountOrFormat() {
 }
 
 Status LogFs::Replay() {
+  AUDIT_SCOPE("LogFs::Replay");
   nvm::NvmDevice* dev = kfs_->dev();
   const auto* super = dev->As<LogSuper>(info_.root_inode_off);
   uint64_t page = super->head_page;
@@ -199,6 +202,7 @@ Status LogFs::ApplyRecord(uint8_t kind, const uint8_t* p, uint16_t len) {
 
 Status LogFs::AppendRecord(uint8_t kind, const void* body, size_t body_len,
                            std::string_view extra1, std::string_view extra2) {
+  AUDIT_SCOPE("LogFs::AppendRecord");
   nvm::NvmDevice* dev = kfs_->dev();
   const size_t total = sizeof(RecHeader) + body_len + extra1.size() + extra2.size();
   if (total > kPayload) {
@@ -229,8 +233,12 @@ Status LogFs::AppendRecord(uint8_t kind, const void* body, size_t body_len,
   }
   dev->Clwb(rec_off, sizeof(rh) + rh.len);
   dev->Sfence();  // the record is durable...
+  AUDIT_DURABILITY_POINT(dev, rec_off, sizeof(rh) + rh.len);
   dev->Store64(tail_page_ + offsetof(LogPageHeader, used), tail->used + total);
+  AUDIT_ORDER_AFTER(dev, tail_page_ + offsetof(LogPageHeader, used), 8, rec_off,
+                    sizeof(rh) + rh.len);
   dev->PersistRange(tail_page_ + offsetof(LogPageHeader, used), 8);  // ...then committed
+  AUDIT_DURABILITY_POINT(dev, tail_page_ + offsetof(LogPageHeader, used), 8);
   records_written_++;
   return common::OkStatus();
 }
@@ -295,6 +303,7 @@ Result<ufs::NodeRef> LogFs::Lookup(const std::string& path, bool follow) {
 }
 
 Result<ufs::NodeRef> LogFs::Create(const std::string& path, uint16_t mode) {
+  AUDIT_SCOPE("LogFs::Create");
   bool created = false;
   ASSIGN_OR_RETURN(node, OpenOrCreate(path, mode, &created));
   if (!created) {
@@ -304,6 +313,7 @@ Result<ufs::NodeRef> LogFs::Create(const std::string& path, uint16_t mode) {
 }
 
 Result<ufs::NodeRef> LogFs::OpenOrCreate(const std::string& path, uint16_t mode, bool* created) {
+  AUDIT_SCOPE("LogFs::OpenOrCreate");
   *created = false;
   std::lock_guard<std::mutex> lk(mu_);
   ASSIGN_OR_RETURN(pp, ResolveParent(path));
@@ -339,6 +349,7 @@ Result<ufs::NodeRef> LogFs::OpenOrCreate(const std::string& path, uint16_t mode,
 }
 
 Status LogFs::Mkdir(const std::string& path, uint16_t mode) {
+  AUDIT_SCOPE("LogFs::Mkdir");
   std::lock_guard<std::mutex> lk(mu_);
   ASSIGN_OR_RETURN(pp, ResolveParent(path));
   auto& [parent, leaf] = pp;
@@ -370,6 +381,7 @@ Status LogFs::Mkdir(const std::string& path, uint16_t mode) {
 }
 
 Status LogFs::Symlink(const std::string& target, const std::string& linkpath) {
+  AUDIT_SCOPE("LogFs::Symlink");
   std::lock_guard<std::mutex> lk(mu_);
   ASSIGN_OR_RETURN(pp, ResolveParent(linkpath));
   auto& [parent, leaf] = pp;
@@ -401,6 +413,7 @@ Status LogFs::Symlink(const std::string& target, const std::string& linkpath) {
 }
 
 Result<std::string> LogFs::ReadLink(const std::string& path) {
+  AUDIT_SCOPE("LogFs::ReadLink");
   std::lock_guard<std::mutex> lk(mu_);
   ASSIGN_OR_RETURN(n, ResolvePath(path, false));
   if (n->type != vfs::FileType::kSymlink) {
@@ -410,6 +423,7 @@ Result<std::string> LogFs::ReadLink(const std::string& path) {
 }
 
 Status LogFs::Unlink(const std::string& path) {
+  AUDIT_SCOPE("LogFs::Unlink");
   std::lock_guard<std::mutex> lk(mu_);
   ASSIGN_OR_RETURN(pp, ResolveParent(path));
   auto& [parent, leaf] = pp;
@@ -438,6 +452,7 @@ Status LogFs::Unlink(const std::string& path) {
 }
 
 Status LogFs::Rmdir(const std::string& path) {
+  AUDIT_SCOPE("LogFs::Rmdir");
   std::lock_guard<std::mutex> lk(mu_);
   ASSIGN_OR_RETURN(pp, ResolveParent(path));
   auto& [parent, leaf] = pp;
@@ -463,6 +478,7 @@ Status LogFs::Rmdir(const std::string& path) {
 }
 
 Result<vfs::StatBuf> LogFs::StatNode(ufs::NodeRef node) {
+  AUDIT_SCOPE("LogFs::StatNode");
   std::lock_guard<std::mutex> lk(mu_);
   VNode* n = Get(node.inode_off);
   if (n == nullptr) {
@@ -496,6 +512,7 @@ Result<std::vector<vfs::DirEntry>> LogFs::ReadDir(const std::string& path) {
 }
 
 Status LogFs::Rename(const std::string& from, const std::string& to) {
+  AUDIT_SCOPE("LogFs::Rename");
   const std::string nfrom = vfs::NormalizePath(from);
   const std::string nto = vfs::NormalizePath(to);
   if (nfrom == nto) {
@@ -546,6 +563,7 @@ Status LogFs::Rename(const std::string& from, const std::string& to) {
 }
 
 Status LogFs::Chmod(const std::string& path, uint16_t mode) {
+  AUDIT_SCOPE("LogFs::Chmod");
   std::lock_guard<std::mutex> lk(mu_);
   ASSIGN_OR_RETURN(n, ResolvePath(path, true));
   if (!proc_->cred().IsRoot() && proc_->cred().uid != n->uid) {
@@ -559,6 +577,7 @@ Status LogFs::Chmod(const std::string& path, uint16_t mode) {
 }
 
 Status LogFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
+  AUDIT_SCOPE("LogFs::Chown");
   std::lock_guard<std::mutex> lk(mu_);
   if (!proc_->cred().IsRoot()) {
     return Err::kPerm;
@@ -576,6 +595,7 @@ Status LogFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
 // Data path
 
 Result<size_t> LogFs::ReadAt(ufs::NodeRef node, void* buf, size_t n, uint64_t off) {
+  AUDIT_SCOPE("LogFs::ReadAt");
   std::lock_guard<std::mutex> lk(mu_);
   VNode* v = Get(node.inode_off);
   if (v == nullptr) {
@@ -609,6 +629,7 @@ Result<size_t> LogFs::ReadAt(ufs::NodeRef node, void* buf, size_t n, uint64_t of
 }
 
 Result<size_t> LogFs::WriteAt(ufs::NodeRef node, const void* buf, size_t n, uint64_t off) {
+  AUDIT_SCOPE("LogFs::WriteAt");
   if (n == 0) {
     return size_t{0};
   }
@@ -671,6 +692,7 @@ Result<size_t> LogFs::WriteAt(ufs::NodeRef node, const void* buf, size_t n, uint
 }
 
 Result<uint64_t> LogFs::Append(ufs::NodeRef node, const void* buf, size_t n) {
+  AUDIT_SCOPE("LogFs::Append");
   uint64_t off;
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -686,6 +708,7 @@ Result<uint64_t> LogFs::Append(ufs::NodeRef node, const void* buf, size_t n) {
 }
 
 Status LogFs::TruncateNode(ufs::NodeRef node, uint64_t len) {
+  AUDIT_SCOPE("LogFs::TruncateNode");
   std::lock_guard<std::mutex> lk(mu_);
   VNode* v = Get(node.inode_off);
   if (v == nullptr) {
@@ -755,6 +778,7 @@ Result<uint64_t> LogFs::CompactForTest() {
 }
 
 Result<uint64_t> LogFs::Compact() {
+  AUDIT_SCOPE("LogFs::Compact");
   // Collect the old chain, then write a minimal log reconstructing the
   // current state onto a fresh chain and switch the superblock head.
   nvm::NvmDevice* dev = kfs_->dev();

@@ -20,11 +20,17 @@ common::Err DeviceHook(void* ctx, uint64_t off, size_t len, bool is_write) {
 
 uint32_t RdPkru() { return g_tls.pkru; }
 
-void WrPkru(uint32_t pkru) { g_tls.pkru = pkru; }
+void WrPkru(uint32_t pkru) {
+  g_tls.pkru = pkru;
+  audit::NoteWrPkru(pkru);
+}
 
 void BindThreadToProcess(const PageKeyTable* table) {
   g_tls.table = table;
   g_tls.pkru = table == nullptr ? 0 : PkruDenyAll();
+  // Keep the audit layer's PKRU shadow in sync: binding rewrites PKRU
+  // without going through WrPkru.
+  audit::NoteWrPkru(g_tls.pkru);
 }
 
 const PageKeyTable* CurrentTable() { return g_tls.table; }
@@ -57,6 +63,7 @@ void CheckAccess(uint64_t off, size_t len, bool is_write) {
       throw ViolationError{page * nvm::kPageSize, key, is_write};
     }
   }
+  audit::NoteAccess(off, len, is_write);
 }
 
 }  // namespace mpk

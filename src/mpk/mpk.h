@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/audit/audit.h"
 #include "src/common/result.h"
 #include "src/nvm/nvm.h"
 
@@ -114,15 +115,21 @@ void CheckAccess(uint64_t off, size_t len, bool is_write);
 // exit. The µFS discipline from guidelines G1/G2.
 class AccessWindow {
  public:
-  AccessWindow(int key, bool writable) : saved_(RdPkru()) {
+  AccessWindow(int key, bool writable) : saved_(RdPkru()), key_(key), writable_(writable) {
     WrPkru(PkruAllowOnly(key, writable));
+    audit::NoteWindowOpen(key, writable);
   }
-  ~AccessWindow() { WrPkru(saved_); }
+  ~AccessWindow() {
+    audit::NoteWindowClose(key_, writable_);
+    WrPkru(saved_);
+  }
   AccessWindow(const AccessWindow&) = delete;
   AccessWindow& operator=(const AccessWindow&) = delete;
 
  private:
   uint32_t saved_;
+  int key_;
+  bool writable_;
 };
 
 }  // namespace mpk

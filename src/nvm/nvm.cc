@@ -11,7 +11,11 @@ namespace {
 // The crash model treats any Clwb'd-but-unfenced line as still volatile
 // (adversarial). See DESIGN.md §4 (nvm).
 constexpr bool kStrictFenceModel = true;
+
+DeviceInitHook g_init_hook = nullptr;
 }  // namespace
+
+void SetDeviceInitHook(DeviceInitHook hook) { g_init_hook = hook; }
 
 MediaProfile MediaProfile::OptaneLike() {
   // Paper Table 1, scaled down 100x in bandwidth so a single-core host can
@@ -34,7 +38,7 @@ MediaProfile MediaProfile::DramLike() {
   return p;
 }
 
-NvmDevice::NvmDevice(Options opts)
+NvmDevice::NvmDevice(const Options& opts)
     : size_((opts.size_bytes + kPageSize - 1) & ~(kPageSize - 1)),
       crash_tracking_(opts.crash_tracking),
       media_(opts.media),
@@ -47,9 +51,17 @@ NvmDevice::NvmDevice(Options opts)
   }
   base_ = static_cast<uint8_t*>(mem);
   memset(base_, 0, size_);
+  if (g_init_hook != nullptr) {
+    g_init_hook(this);
+  }
 }
 
-NvmDevice::~NvmDevice() { free(base_); }
+NvmDevice::~NvmDevice() {
+  if (observer_ != nullptr) {
+    observer_->OnDeviceGone(this);
+  }
+  free(base_);
+}
 
 void NvmDevice::CheckAccess(uint64_t off, size_t len, bool is_write) const {
   assert(off + len <= size_ && "NVM access out of range");
@@ -131,30 +143,35 @@ void NvmDevice::ChargeRead(size_t n) const {
 void NvmDevice::Store8(uint64_t off, uint8_t v) {
   CheckAccess(off, 1, /*is_write=*/true);
   TrackStore(off, 1);
+  Observe(off, 1, /*nontemporal=*/false);
   base_[off] = v;
 }
 
 void NvmDevice::Store16(uint64_t off, uint16_t v) {
   CheckAccess(off, 2, true);
   TrackStore(off, 2);
+  Observe(off, 2, false);
   memcpy(base_ + off, &v, 2);
 }
 
 void NvmDevice::Store32(uint64_t off, uint32_t v) {
   CheckAccess(off, 4, true);
   TrackStore(off, 4);
+  Observe(off, 4, false);
   memcpy(base_ + off, &v, 4);
 }
 
 void NvmDevice::Store64(uint64_t off, uint64_t v) {
   CheckAccess(off, 8, true);
   TrackStore(off, 8);
+  Observe(off, 8, false);
   memcpy(base_ + off, &v, 8);
 }
 
 void NvmDevice::StoreBytes(uint64_t off, const void* src, size_t n) {
   CheckAccess(off, n, true);
   TrackStore(off, n);
+  Observe(off, n, false);
   memcpy(base_ + off, src, n);
   ChargeWrite(n);
 }
@@ -175,6 +192,7 @@ void NvmDevice::NtStoreBytes(uint64_t off, const void* src, size_t n) {
       it->second.written_back = true;
     }
   }
+  Observe(off, n, /*nontemporal=*/true);
   memcpy(base_ + off, src, n);
   ChargeWrite(n);
 }
@@ -189,6 +207,7 @@ void NvmDevice::AtomicStore64(uint64_t off, uint64_t v) {
   assert(off % 8 == 0);
   CheckAccess(off, 8, true);
   TrackStore(off, 8);
+  Observe(off, 8, false);
   reinterpret_cast<std::atomic<uint64_t>*>(base_ + off)->store(v, std::memory_order_release);
 }
 
@@ -198,6 +217,9 @@ bool NvmDevice::AtomicCas64(uint64_t off, uint64_t expected, uint64_t desired) {
   TrackStore(off, 8);
   bool ok = reinterpret_cast<std::atomic<uint64_t>*>(base_ + off)
                 ->compare_exchange_strong(expected, desired, std::memory_order_acq_rel);
+  if (ok) {
+    Observe(off, 8, false);
+  }
   return ok;
 }
 
@@ -207,6 +229,7 @@ uint64_t NvmDevice::AtomicFetchAdd64(uint64_t off, uint64_t delta) {
   TrackStore(off, 8);
   uint64_t old = reinterpret_cast<std::atomic<uint64_t>*>(base_ + off)
                      ->fetch_add(delta, std::memory_order_acq_rel);
+  Observe(off, 8, false);
   return old;
 }
 
@@ -225,6 +248,9 @@ uint64_t NvmDevice::Load64(uint64_t off) const {
 }
 
 void NvmDevice::Clwb(uint64_t off, size_t len) {
+  if (observer_ != nullptr && len != 0) {
+    observer_->OnClwb(this, off, len);
+  }
   const uint64_t lines = (len + kCachelineSize - 1) / kCachelineSize;
   clwb_count_.fetch_add(lines, std::memory_order_relaxed);
   if (clwb_ns_ != 0) {
@@ -245,6 +271,9 @@ void NvmDevice::Clwb(uint64_t off, size_t len) {
 }
 
 void NvmDevice::Sfence() {
+  if (observer_ != nullptr) {
+    observer_->OnSfence(this);
+  }
   sfence_count_.fetch_add(1, std::memory_order_relaxed);
   if (sfence_ns_ != 0) {
     common::SpinNs(sfence_ns_);
@@ -263,6 +292,9 @@ void NvmDevice::Sfence() {
 }
 
 size_t NvmDevice::SimulateCrash() {
+  if (observer_ != nullptr) {
+    observer_->OnPersistEpoch(this);
+  }
   std::lock_guard<std::mutex> lk(track_mu_);
   size_t rolled_back = 0;
   for (auto& [line, state] : dirty_lines_) {
@@ -276,6 +308,9 @@ size_t NvmDevice::SimulateCrash() {
 }
 
 void NvmDevice::MarkAllPersistent() {
+  if (observer_ != nullptr) {
+    observer_->OnPersistEpoch(this);
+  }
   std::lock_guard<std::mutex> lk(track_mu_);
   dirty_lines_.clear();
 }

@@ -68,9 +68,34 @@ struct Options {
 // simulation. Must return kOk to allow the access.
 using AccessHook = common::Err (*)(void* ctx, uint64_t off, size_t len, bool is_write);
 
+class NvmDevice;
+
+// Observer of persistence-relevant events, installed by the audit layer
+// (src/audit). Callbacks fire after the access hook has admitted the
+// operation and outside the device's tracking lock; `dev` identifies the
+// emitting device so one observer can watch several.
+class PersistObserver {
+ public:
+  virtual ~PersistObserver() = default;
+  // A store became visible. `nontemporal` marks NT stores, which bypass the
+  // cache and only await the next Sfence.
+  virtual void OnStore(const NvmDevice* dev, uint64_t off, size_t len, bool nontemporal) = 0;
+  virtual void OnClwb(const NvmDevice* dev, uint64_t off, size_t len) = 0;
+  virtual void OnSfence(const NvmDevice* dev) = 0;
+  // Crash simulation or MarkAllPersistent: all volatile state is gone.
+  virtual void OnPersistEpoch(const NvmDevice* dev) = 0;
+  virtual void OnDeviceGone(const NvmDevice* dev) = 0;
+};
+
+// Process-wide hook run at the end of every NvmDevice constructor. The audit
+// layer registers itself here so ZOFS_AUDIT=1 can observe every device the
+// test suite creates without each call site opting in.
+using DeviceInitHook = void (*)(NvmDevice* dev);
+void SetDeviceInitHook(DeviceInitHook hook);
+
 class NvmDevice {
  public:
-  explicit NvmDevice(Options opts);
+  explicit NvmDevice(const Options& opts);
   ~NvmDevice();
 
   NvmDevice(const NvmDevice&) = delete;
@@ -92,7 +117,9 @@ class NvmDevice {
     return reinterpret_cast<T*>(base_ + off);
   }
 
-  bool Contains(uint64_t off, size_t len) const { return off + len <= size_; }
+  // Overflow-safe range check: `off + len` may wrap uint64_t, so compare
+  // against the remaining space instead of the sum.
+  bool Contains(uint64_t off, size_t len) const { return off <= size_ && len <= size_ - off; }
 
   // ---- Store primitives (write path). All check the access hook, record
   // undo state when crash tracking is on, and count persistence traffic.
@@ -140,6 +167,10 @@ class NvmDevice {
     hook_ = hook;
   }
 
+  // ---- Audit observer (src/audit). At most one per device.
+  void SetPersistObserver(PersistObserver* obs) { observer_ = obs; }
+  PersistObserver* persist_observer() const { return observer_; }
+
   // ---- Counters (diagnostics and benchmarks).
   uint64_t clwb_count() const { return clwb_count_.load(std::memory_order_relaxed); }
   uint64_t sfence_count() const { return sfence_count_.load(std::memory_order_relaxed); }
@@ -155,6 +186,11 @@ class NvmDevice {
  private:
   void CheckAccess(uint64_t off, size_t len, bool is_write) const;
   void TrackStore(uint64_t off, size_t len);
+  void Observe(uint64_t off, size_t len, bool nontemporal) {
+    if (observer_ != nullptr && len != 0) {
+      observer_->OnStore(this, off, len, nontemporal);
+    }
+  }
   void ChargeWrite(size_t n);
   void ChargeRead(size_t n) const;
 
@@ -172,6 +208,7 @@ class NvmDevice {
 
   AccessHook hook_ = nullptr;
   void* hook_ctx_ = nullptr;
+  PersistObserver* observer_ = nullptr;
 
   mutable std::mutex track_mu_;
   std::unordered_map<uint64_t, LineState> dirty_lines_;

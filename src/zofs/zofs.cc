@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/audit/audit.h"
 #include "src/common/clock.h"
 #include "src/common/hash.h"
 #include "src/mpk/mpk.h"
@@ -103,9 +104,16 @@ ZoFs::ZoFs(kernfs::KernFs* kfs, kernfs::Process* proc, Options opts)
   // Bootstrap the root coffer's µFS content if this is a fresh file system.
   auto info = EnsureMapped(kfs_->root_coffer_id(), true);
   if (info.ok()) {
-    mpk::AccessWindow w(info->key, true);
-    Inode* root = Ino(info->root_inode_off);
-    if (root->magic != kInodeMagic) {
+    AUDIT_SCOPE("ZoFs::ZoFs");
+    // Probe the root inode read-only; a remount needs no writable window
+    // (guideline G2: least privilege).
+    bool needs_format;
+    {
+      mpk::AccessWindow probe(info->key, false);
+      needs_format = Ino(info->root_inode_off)->magic != kInodeMagic;
+    }
+    if (needs_format) {
+      mpk::AccessWindow w(info->key, true);
       const CofferRoot* croot = kfs_->RootPageOf(kfs_->root_coffer_id());
       Inode fresh{};
       fresh.magic = kInodeMagic;
@@ -363,6 +371,7 @@ Result<Dentry*> ZoFs::DirFind(uint32_t cid, Inode* dir, std::string_view name) {
 
 Status ZoFs::DirInsert(uint32_t cid, Inode* dir, std::string_view name, uint32_t child_coffer,
                        uint64_t child_inode, uint32_t child_type) {
+  AUDIT_SCOPE("ZoFs::DirInsert");
   if (name.empty() || name.size() > kMaxName) {
     return Err::kNameTooLong;
   }
@@ -442,7 +451,9 @@ Status ZoFs::DirInsert(uint32_t cid, Inode* dir, std::string_view name, uint32_t
   dev->StoreBytes(d_off, &d, sizeof(d));
   dev->PersistRange(d_off, sizeof(d));
   dev->Store16(d_off + offsetof(Dentry, flags), MakeDentryFlags(child_type));
+  AUDIT_ORDER_AFTER(dev, d_off + offsetof(Dentry, flags), 2, d_off, sizeof(d));
   dev->PersistRange(d_off + offsetof(Dentry, flags), 2);
+  AUDIT_DURABILITY_POINT(dev, d_off, sizeof(d));
 
   // Entry count and mtime are advisory (rebuilt by recovery): write back
   // without an ordering fence.
@@ -454,9 +465,11 @@ Status ZoFs::DirInsert(uint32_t cid, Inode* dir, std::string_view name, uint32_t
 
 Status ZoFs::DirRemoveAt(Inode* dir, Dentry* d) {
   nvm::NvmDevice* dev = kfs_->dev();
+  AUDIT_SCOPE("ZoFs::DirRemoveAt");
   const uint64_t d_off = dev->OffsetOf(d);
   dev->Store16(d_off + offsetof(Dentry, flags), 0);  // atomic commit
   dev->PersistRange(d_off + offsetof(Dentry, flags), 2);
+  AUDIT_DURABILITY_POINT(dev, d_off + offsetof(Dentry, flags), 2);
   const uint64_t dir_off = dev->OffsetOf(dir);
   dev->Store64(dir_off + offsetof(Inode, size), dir->size > 0 ? dir->size - 1 : 0);
   dev->Store64(dir_off + offsetof(Inode, mtime_ns), common::NowNs());
@@ -641,6 +654,7 @@ Status ZoFs::InstallBlockPointer(Inode* ino, uint64_t blk, uint64_t page_off) {
 }
 
 Status ZoFs::FreeBlocksFrom(CofferAllocator& alloc, Inode* ino, uint64_t first_blk) {
+  AUDIT_SCOPE("ZoFs::FreeBlocksFrom");
   nvm::NvmDevice* dev = kfs_->dev();
   const uint64_t ino_off = dev->OffsetOf(ino);
   // Pointer clears are written back without per-slot fences: the namespace
@@ -714,6 +728,7 @@ Result<uint64_t> ZoFs::AllocInode(CofferAllocator& alloc, uint32_t type, uint16_
   fresh.mtime_ns = fresh.ctime_ns = common::NowNs();
   kfs_->dev()->StoreBytes(page, &fresh, kInodeCoreBytes);
   kfs_->dev()->PersistRange(page, kInodeCoreBytes);
+  AUDIT_DURABILITY_POINT(kfs_->dev(), page, kInodeCoreBytes);
   return page;
 }
 
@@ -744,6 +759,7 @@ Status ZoFs::FreeNode(uint32_t cid, CofferAllocator& alloc, uint64_t inode_off) 
   // Invalidate the magic so recovery does not resurrect the node.
   dev->Store64(inode_off, 0);
   dev->PersistRange(inode_off, 8);
+  AUDIT_DURABILITY_POINT(dev, inode_off, 8);
   return alloc.FreePage(inode_off);
 }
 
@@ -751,6 +767,7 @@ Status ZoFs::FreeNode(uint32_t cid, CofferAllocator& alloc, uint64_t inode_off) 
 // Namespace operations
 
 Result<NodeRef> ZoFs::Create(const std::string& path, uint16_t mode) {
+  AUDIT_SCOPE("ZoFs::Create");
   ASSIGN_OR_RETURN(pp, vfs::SplitParent(vfs::NormalizePath(path)));
   const auto& [parent_path, leaf] = pp;
   ASSIGN_OR_RETURN(pr, Resolve(parent_path, true));
@@ -803,6 +820,7 @@ Result<NodeRef> ZoFs::Create(const std::string& path, uint16_t mode) {
 }
 
 Result<NodeRef> ZoFs::OpenOrCreate(const std::string& path, uint16_t mode, bool* created) {
+  AUDIT_SCOPE("ZoFs::OpenOrCreate");
   *created = false;
   ASSIGN_OR_RETURN(pp, vfs::SplitParent(vfs::NormalizePath(path)));
   const auto& [parent_path, leaf] = pp;
@@ -863,6 +881,7 @@ Result<NodeRef> ZoFs::OpenOrCreate(const std::string& path, uint16_t mode, bool*
 }
 
 Status ZoFs::Mkdir(const std::string& path, uint16_t mode) {
+  AUDIT_SCOPE("ZoFs::Mkdir");
   ASSIGN_OR_RETURN(pp, vfs::SplitParent(vfs::NormalizePath(path)));
   const auto& [parent_path, leaf] = pp;
   ASSIGN_OR_RETURN(pr, Resolve(parent_path, true));
@@ -911,6 +930,7 @@ Status ZoFs::Mkdir(const std::string& path, uint16_t mode) {
 }
 
 Status ZoFs::Symlink(const std::string& target, const std::string& linkpath) {
+  AUDIT_SCOPE("ZoFs::Symlink");
   if (target.size() >= sizeof(Inode{}.symlink_target)) {
     return Err::kNameTooLong;
   }
@@ -941,10 +961,12 @@ Status ZoFs::Symlink(const std::string& target, const std::string& linkpath) {
   dev->StoreBytes(inode_off + offsetof(Inode, symlink_target), target.data(), target.size());
   dev->Store64(inode_off + offsetof(Inode, size), target.size());
   dev->PersistRange(inode_off, offsetof(Inode, symlink_target) + target.size());
+  AUDIT_DURABILITY_POINT(dev, inode_off, offsetof(Inode, symlink_target) + target.size());
   return DirInsert(pcid, dir, leaf, 0, inode_off, kTypeSymlink);
 }
 
 Result<std::string> ZoFs::ReadLink(const std::string& path) {
+  AUDIT_SCOPE("ZoFs::ReadLink");
   ASSIGN_OR_RETURN(r, Resolve(path, /*follow_last_symlink=*/false));
   ASSIGN_OR_RETURN(key, KeyFor(r.node.coffer_id, false));
   mpk::AccessWindow w(key, false);
@@ -960,6 +982,7 @@ Result<std::string> ZoFs::ReadLink(const std::string& path) {
 }
 
 Status ZoFs::Unlink(const std::string& path) {
+  AUDIT_SCOPE("ZoFs::Unlink");
   ASSIGN_OR_RETURN(r, Resolve(path, /*follow_last_symlink=*/false));
   if (r.parent.inode_off == 0 && r.leaf.empty()) {
     return Err::kIsDir;  // "/"
@@ -989,6 +1012,7 @@ Status ZoFs::Unlink(const std::string& path) {
 }
 
 Status ZoFs::Rmdir(const std::string& path) {
+  AUDIT_SCOPE("ZoFs::Rmdir");
   ASSIGN_OR_RETURN(r, Resolve(path, /*follow_last_symlink=*/false));
   if (r.parent.inode_off == 0 && r.leaf.empty()) {
     return Err::kBusy;  // "/"
@@ -1030,6 +1054,7 @@ Status ZoFs::Rmdir(const std::string& path) {
 }
 
 Result<vfs::StatBuf> ZoFs::StatNode(NodeRef node) {
+  AUDIT_SCOPE("ZoFs::StatNode");
   ASSIGN_OR_RETURN(key, KeyFor(node.coffer_id, false));
   mpk::AccessWindow w(key, false);
   const Inode* ino = Ino(node.inode_off);
@@ -1077,6 +1102,7 @@ Status ZoFs::EnsureAccess(NodeRef node, bool writable) {
 }
 
 Result<size_t> ZoFs::ReadAt(NodeRef node, void* buf, size_t n, uint64_t off) {
+  AUDIT_SCOPE("ZoFs::ReadAt");
   ASSIGN_OR_RETURN(key, KeyFor(node.coffer_id, false));
   mpk::AccessWindow w(key, false);
   const Inode* ino = Ino(node.inode_off);
@@ -1119,6 +1145,7 @@ Result<size_t> ZoFs::ReadAt(NodeRef node, void* buf, size_t n, uint64_t off) {
 }
 
 Result<size_t> ZoFs::WriteAt(NodeRef node, const void* buf, size_t n, uint64_t off) {
+  AUDIT_SCOPE("ZoFs::WriteAt");
   if (n == 0) {
     return size_t{0};
   }
@@ -1169,7 +1196,9 @@ Result<size_t> ZoFs::WriteAt(NodeRef node, const void* buf, size_t n, uint64_t o
       }
       dev->Store64(ino_off + offsetof(Inode, mtime_ns), common::NowNs());
       dev->Clwb(ino_off + offsetof(Inode, size), 24);
+      AUDIT_ORDER_AFTER(dev, ino_off + offsetof(Inode, size), 24, ino_off + kInlineOff, end);
       dev->Sfence();
+      AUDIT_DURABILITY_POINT(dev, ino_off + offsetof(Inode, size), 24);
       return n;
     }
     if (is_inline) {
@@ -1224,6 +1253,7 @@ Result<size_t> ZoFs::WriteAt(NodeRef node, const void* buf, size_t n, uint64_t o
       }
       // Non-temporal data writes, as NOVA/ZoFS use in the paper's experiments.
       dev->NtStoreBytes(page + in_off, src + done, chunk);
+      AUDIT_ORDER_AFTER(dev, ino_off + offsetof(Inode, size), 24, page + in_off, chunk);
     }
     done += chunk;
   }
@@ -1245,6 +1275,7 @@ Result<size_t> ZoFs::WriteAt(NodeRef node, const void* buf, size_t n, uint64_t o
   dev->Store64(ino_off + offsetof(Inode, mtime_ns), common::NowNs());
   dev->Clwb(ino_off + offsetof(Inode, size), 24);  // size..mtime share a line
   dev->Sfence();  // one fence commits data, block pointers and attributes
+  AUDIT_DURABILITY_POINT(dev, ino_off + offsetof(Inode, size), 24);
 
   // Old COW pages return to the allocator only after the swap is durable.
   for (const PendingSwap& sw : swaps) {
@@ -1265,16 +1296,19 @@ Status ZoFs::SpillInline(CofferAllocator& alloc, Inode* ino) {
   }
   dev->Sfence();  // data durable before it becomes reachable
   dev->Store64(ino_off + offsetof(Inode, direct), blk0);
+  AUDIT_ORDER_AFTER(dev, ino_off + offsetof(Inode, direct), 8, blk0, nvm::kPageSize);
   dev->PersistRange(ino_off + offsetof(Inode, direct), 8);
   // Only now stop reading the inline copy (crash in between keeps the
   // still-intact inline data authoritative).
   dev->Store16(ino_off + offsetof(Inode, iflags),
                static_cast<uint16_t>(ino->iflags & ~kInodeInlineData));
   dev->PersistRange(ino_off + offsetof(Inode, iflags), 2);
+  AUDIT_DURABILITY_POINT(dev, ino_off + offsetof(Inode, iflags), 2);
   return common::OkStatus();
 }
 
 Result<uint64_t> ZoFs::Append(NodeRef node, const void* buf, size_t n) {
+  AUDIT_SCOPE("ZoFs::Append");
   ASSIGN_OR_RETURN(info, EnsureMapped(node.coffer_id, true));
   mpk::AccessWindow w(info.key, true);
   Inode* ino = Ino(node.inode_off);
@@ -1290,6 +1324,7 @@ Result<uint64_t> ZoFs::Append(NodeRef node, const void* buf, size_t n) {
 }
 
 Status ZoFs::TruncateNode(NodeRef node, uint64_t len) {
+  AUDIT_SCOPE("ZoFs::TruncateNode");
   ASSIGN_OR_RETURN(info, EnsureMapped(node.coffer_id, true));
   mpk::AccessWindow w(info.key, true);
   Inode* ino = Ino(node.inode_off);
@@ -1396,6 +1431,7 @@ Status ZoFs::MunmapNode(NodeRef node, const std::vector<uint64_t>& pages) {
 }
 
 Result<uint64_t> ZoFs::ExecveNode(NodeRef node) {
+  AUDIT_SCOPE("ZoFs::ExecveNode");
   uint64_t size = 0;
   ASSIGN_OR_RETURN(pages, FilePages(node, &size));
   uint16_t mode;
@@ -1427,6 +1463,7 @@ Result<std::vector<PageRun>> ZoFs::CollectSubtreeRuns(uint32_t cid, uint64_t ino
 
 Result<uint32_t> ZoFs::SplitNodeIntoCoffer(const ResolveResult& r, const std::string& path,
                                            uint16_t mode, uint32_t uid, uint32_t gid) {
+  AUDIT_SCOPE("ZoFs::SplitNodeIntoCoffer");
   const uint32_t cid = r.node.coffer_id;
   ASSIGN_OR_RETURN(info, EnsureMapped(cid, true));
   nvm::NvmDevice* dev = kfs_->dev();
@@ -1466,6 +1503,7 @@ Result<uint32_t> ZoFs::SplitNodeIntoCoffer(const ResolveResult& r, const std::st
 }
 
 Status ZoFs::Chmod(const std::string& path, uint16_t mode) {
+  AUDIT_SCOPE("ZoFs::Chmod");
   std::string norm = vfs::NormalizePath(path);
   ASSIGN_OR_RETURN(r, Resolve(norm, true));
   nvm::NvmDevice* dev = kfs_->dev();
@@ -1522,6 +1560,7 @@ Status ZoFs::Chmod(const std::string& path, uint16_t mode) {
 }
 
 Status ZoFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
+  AUDIT_SCOPE("ZoFs::Chown");
   std::string norm = vfs::NormalizePath(path);
   ASSIGN_OR_RETURN(r, Resolve(norm, true));
   nvm::NvmDevice* dev = kfs_->dev();
@@ -1573,6 +1612,7 @@ Status ZoFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
 }
 
 Status ZoFs::Rename(const std::string& from, const std::string& to) {
+  AUDIT_SCOPE("ZoFs::Rename");
   const std::string nfrom = vfs::NormalizePath(from);
   const std::string nto = vfs::NormalizePath(to);
   if (nfrom == nto) {
@@ -1613,11 +1653,11 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
   ASSIGN_OR_RETURN(sinfo, EnsureMapped(scid, true));
   ASSIGN_OR_RETURN(dinfo, EnsureMapped(dcid, true));
 
-  // Snapshot the source dentry.
+  // Snapshot the source dentry (read-only: DirFind never writes).
   Dentry d;
   uint32_t node_type;
   {
-    mpk::AccessWindow w(sinfo.key, true);
+    mpk::AccessWindow w(sinfo.key, false);
     Inode* sdir = Ino(src.parent.inode_off);
     ASSIGN_OR_RETURN(dp, DirFind(scid, sdir, src.leaf));
     d = *dp;

@@ -137,6 +137,20 @@ TEST(NvmTest, CountersAdvance) {
   EXPECT_EQ(dev.bytes_written(), 8u);
 }
 
+TEST(NvmTest, ContainsRejectsOverflowingRange) {
+  nvm::NvmDevice dev(TrackedOpts());  // 1 MiB
+  const uint64_t size = dev.size();
+  EXPECT_TRUE(dev.Contains(0, 8));
+  EXPECT_TRUE(dev.Contains(size - 8, 8));
+  EXPECT_TRUE(dev.Contains(size, 0));
+  EXPECT_FALSE(dev.Contains(size, 1));
+  // Regression: off + len used to be computed as a raw sum, so a huge len (or
+  // off near UINT64_MAX) wrapped around and the check wrongly passed.
+  EXPECT_FALSE(dev.Contains(~uint64_t{0}, 16));
+  EXPECT_FALSE(dev.Contains(8, ~size_t{0}));
+  EXPECT_FALSE(dev.Contains(size - 8, ~size_t{0} - 4));
+}
+
 TEST(NvmTest, OffsetPointerRoundtrip) {
   nvm::NvmDevice dev(TrackedOpts());
   void* p = dev.At(12345);

@@ -12,6 +12,7 @@
 #include <memory>
 #include <set>
 
+#include "src/audit/audit.h"
 #include "src/common/rand.h"
 #include "src/fslib/fslib.h"
 #include "src/kernfs/kernfs.h"
@@ -200,6 +201,39 @@ TEST_F(ZofsCrashTest, RandomOpsWithCrashKeepInvariants) {
     ASSERT_TRUE(entries.ok());
     EXPECT_GE(entries->size(), live.size());
   }
+}
+
+TEST_F(ZofsCrashTest, AuditedRecoveryHasNoOrderingViolations) {
+  // Run a full crash/recover cycle with the persistence auditor watching the
+  // device: neither the pre-crash workload, nor recovery, nor post-recovery
+  // operations may trip an ordering or durability annotation.
+  audit::Auditor a;
+  a.Attach(dev_.get());
+
+  ASSERT_TRUE(fs_->Mkdir(cred, "/d", 0755).ok());
+  auto fd = fs_->Open(cred, "/d/f", vfs::kCreate | vfs::kRdWr, 0644);
+  ASSERT_TRUE(fd.ok());
+  std::string data(30000, 'z');
+  ASSERT_TRUE(fs_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(fs_->Rename(cred, "/d/f", "/d/g").ok());
+
+  CrashAndReboot();
+
+  // Post-recovery, the completed operations are visible and new ones work.
+  EXPECT_TRUE(fs_->Stat(cred, "/d/g").ok());
+  ASSERT_TRUE(fs_->Unlink(cred, "/d/g").ok());
+  ASSERT_TRUE(fs_->Rmdir(cred, "/d").ok());
+
+  audit::Report r = a.Snapshot();
+  a.Detach();
+  if (r.errors != 0) {
+    fprintf(stderr, "%s", r.ToText().c_str());
+  }
+  for (const auto& f : r.findings) {
+    EXPECT_NE(f.kind, audit::FindingKind::kOrderingViolation) << f.site;
+    EXPECT_NE(f.kind, audit::FindingKind::kUnflushedAtDurability) << f.site;
+  }
+  EXPECT_EQ(r.errors, 0u);
 }
 
 TEST_F(ZofsCrashTest, TornDentryIsRepairedByFsck) {

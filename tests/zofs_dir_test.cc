@@ -85,7 +85,8 @@ TEST_F(ZofsDirTest, SlotReuseAfterDeletion) {
   ASSERT_TRUE(fs_->Mkdir(cred, "/d", 0755).ok());
   auto pages_of = [&]() {
     uint64_t n = 0;
-    for (const auto& r : *kfs_->PagesOf(kfs_->root_coffer_id())) {
+    auto runs = kfs_->PagesOf(kfs_->root_coffer_id());
+    for (const auto& r : *runs) {
       n += r.len;
     }
     return n;

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# One-stop verification gate: build + tier-1 tests, the same tests under the
+# persistence/protection auditor (ZOFS_AUDIT=1), an ASan+UBSan build of the
+# suite, clang-tidy (when installed), and a deterministic pmem_audit replay
+# of the Figure-8 workload (DWOL). Exits nonzero on any finding.
+#
+#   tools/check_all.sh [build-dir]
+set -u
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+SAN_DIR="${BUILD_DIR}-san"
+FAIL=0
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+step "tier-1 build ($BUILD_DIR)"
+cmake -S . -B "$BUILD_DIR" >/dev/null || exit 1
+cmake --build "$BUILD_DIR" -j || exit 1
+
+step "tier-1 ctest"
+ctest --test-dir "$BUILD_DIR" -j8 --output-on-failure || FAIL=1
+
+step "tier-1 ctest under ZOFS_AUDIT=1"
+ZOFS_AUDIT=1 ctest --test-dir "$BUILD_DIR" -j8 --output-on-failure || FAIL=1
+
+step "ASan+UBSan build + ctest ($SAN_DIR)"
+cmake -S . -B "$SAN_DIR" -DZOFS_SANITIZE=address,undefined >/dev/null || exit 1
+cmake --build "$SAN_DIR" -j || exit 1
+ctest --test-dir "$SAN_DIR" -j4 --output-on-failure || FAIL=1
+
+step "clang-tidy"
+tools/run_tidy.sh "$BUILD_DIR" || FAIL=1
+
+step "pmem_audit: fig8 workload (DWOL on zofs), determinism check"
+A=$(mktemp) && B=$(mktemp)
+"$BUILD_DIR"/tools/pmem_audit --fs=zofs --workload=DWOL --ops=2000 --json > "$A" || FAIL=1
+"$BUILD_DIR"/tools/pmem_audit --fs=zofs --workload=DWOL --ops=2000 --json > "$B" || FAIL=1
+if ! diff -q "$A" "$B" >/dev/null; then
+  echo "pmem_audit: report is not deterministic across two runs" >&2
+  diff "$A" "$B" >&2
+  FAIL=1
+fi
+rm -f "$A" "$B"
+
+if [ "$FAIL" -ne 0 ]; then
+  step "FAILED"
+  exit 1
+fi
+step "all checks passed"

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the first-party sources using the
+# compilation database that CMake exports into the build directory.
+#
+#   tools/run_tidy.sh [build-dir] [paths...]
+#
+# Degrades gracefully: exits 0 with a notice when clang-tidy is not installed
+# (the CI container ships only gcc), so check_all.sh can always call it.
+set -u
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift 2>/dev/null || true
+PATHS=("$@")
+if [ "${#PATHS[@]}" -eq 0 ]; then
+  PATHS=(src tests bench tools examples)
+fi
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  echo "run_tidy.sh: clang-tidy not found in PATH; skipping (not an error)"
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy.sh: $BUILD_DIR/compile_commands.json missing." >&2
+  echo "  configure first: cmake -S . -B $BUILD_DIR" >&2
+  exit 2
+fi
+
+FILES=$(find "${PATHS[@]}" -name '*.cc' 2>/dev/null | sort)
+if [ -z "$FILES" ]; then
+  echo "run_tidy.sh: no sources under: ${PATHS[*]}" >&2
+  exit 2
+fi
+
+STATUS=0
+# shellcheck disable=SC2086
+$TIDY -p "$BUILD_DIR" --quiet $FILES || STATUS=$?
+exit $STATUS
