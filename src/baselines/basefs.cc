@@ -310,7 +310,9 @@ Result<vfs::Fd> BaseFs::Open(const vfs::Cred& cred, const std::string& path, uin
                           (flags & vfs::kWrite) != 0)) {
     return Err::kAcces;
   }
-  if (flags & vfs::kTrunc) {
+  // O_TRUNC without write access is undefined per POSIX; ignore it rather
+  // than destroy data through a read-only open (matches FsLib::Open).
+  if ((flags & vfs::kTrunc) && (flags & vfs::kWrite)) {
     std::unique_lock<std::shared_mutex> lk(node->lock);
     TouchLease(*node);
     FreeAllBlocks(*node);

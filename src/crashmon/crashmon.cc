@@ -1,0 +1,854 @@
+#include "src/crashmon/crashmon.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "src/common/rand.h"
+#include "src/fslib/fslib.h"
+#include "src/kernfs/kernfs.h"
+#include "src/mpk/mpk.h"
+#include "src/nvm/nvm.h"
+#include "src/vfs/vfs.h"
+
+namespace crashmon {
+namespace {
+
+using common::Err;
+
+const vfs::Cred kCred{0, 0};
+
+// ---------------------------------------------------------------------------
+// Recorded operations and the in-memory model file system
+
+struct OpRecord {
+  enum class Kind { kCreate, kWrite, kUnlink, kMkdir, kRmdir, kRename };
+  Kind kind;
+  std::string path;
+  std::string path2;  // rename destination
+  uint16_t mode = 0644;
+  uint64_t off = 0;
+  std::string data;  // write payload
+  bool ok = false;
+  // Device fence sequence numbers bracketing the operation: fences in
+  // (begin_fence, end_fence] were emitted by this operation. The workload is
+  // single-threaded, so at most one operation spans any given fence.
+  uint64_t begin_fence = 0;
+  uint64_t end_fence = 0;
+};
+
+// What the durability oracle compares the recovered tree against: the exact
+// semantic state after a prefix of completed operations. Advisory fields
+// (mtimes, directory entry counts) are deliberately not modelled — ZoFS
+// persists them lazily.
+struct ModelState {
+  std::map<std::string, std::string> files;  // path -> content
+  std::set<std::string> dirs;
+};
+
+void Apply(ModelState* m, const OpRecord& op) {
+  switch (op.kind) {
+    case OpRecord::Kind::kCreate:
+      m->files.emplace(op.path, std::string());
+      break;
+    case OpRecord::Kind::kWrite: {
+      std::string& f = m->files[op.path];
+      if (f.size() < op.off + op.data.size()) {
+        f.resize(op.off + op.data.size(), '\0');
+      }
+      f.replace(op.off, op.data.size(), op.data);
+      break;
+    }
+    case OpRecord::Kind::kUnlink:
+      m->files.erase(op.path);
+      break;
+    case OpRecord::Kind::kMkdir:
+      m->dirs.insert(op.path);
+      break;
+    case OpRecord::Kind::kRmdir:
+      m->dirs.erase(op.path);
+      break;
+    case OpRecord::Kind::kRename: {
+      auto it = m->files.find(op.path);
+      if (it != m->files.end()) {
+        m->files[op.path2] = it->second;
+        m->files.erase(op.path);
+      }
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workload plans
+
+struct Plan {
+  std::vector<OpRecord> setup;  // executed before crash capture starts
+  std::vector<OpRecord> run;    // executed under crash capture
+};
+
+std::string Nm(const char* prefix, uint64_t i) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%s%04llu", prefix, static_cast<unsigned long long>(i));
+  return buf;
+}
+
+std::string RandData(common::Rng* rng, size_t n) {
+  std::string s(n, '\0');
+  for (char& c : s) {
+    c = static_cast<char>('a' + rng->Below(26));
+  }
+  return s;
+}
+
+void AddCreate(std::vector<OpRecord>* v, std::string path, uint16_t mode) {
+  OpRecord op;
+  op.kind = OpRecord::Kind::kCreate;
+  op.path = std::move(path);
+  op.mode = mode;
+  v->push_back(std::move(op));
+}
+
+void AddWrite(std::vector<OpRecord>* v, std::string path, uint64_t off, std::string data) {
+  OpRecord op;
+  op.kind = OpRecord::Kind::kWrite;
+  op.path = std::move(path);
+  op.off = off;
+  op.data = std::move(data);
+  v->push_back(std::move(op));
+}
+
+void AddSimple(std::vector<OpRecord>* v, OpRecord::Kind kind, std::string path) {
+  OpRecord op;
+  op.kind = kind;
+  op.path = std::move(path);
+  v->push_back(std::move(op));
+}
+
+void AddRename(std::vector<OpRecord>* v, std::string from, std::string to) {
+  OpRecord op;
+  op.kind = OpRecord::Kind::kRename;
+  op.path = std::move(from);
+  op.path2 = std::move(to);
+  v->push_back(std::move(op));
+}
+
+Plan BuildPlan(Workload w, uint64_t ops, uint64_t seed) {
+  common::Rng rng(seed);
+  Plan p;
+  switch (w) {
+    case Workload::kDWOL: {
+      // Figure 8's flagship data workload: overwrite random 4 KB blocks of a
+      // pre-sized private file.
+      const uint64_t blocks = 8;
+      AddCreate(&p.setup, "/f0", 0644);
+      AddWrite(&p.setup, "/f0", 0, RandData(&rng, blocks * 4096));
+      for (uint64_t i = 0; i < ops; i++) {
+        AddWrite(&p.run, "/f0", 4096 * rng.Below(blocks), RandData(&rng, 4096));
+      }
+      break;
+    }
+    case Workload::kMWCL: {
+      AddSimple(&p.setup, OpRecord::Kind::kMkdir, "/c");
+      for (uint64_t i = 0; i < ops; i++) {
+        // Every 8th file gets owner-only permissions: ZoFS places it in its
+        // own coffer, covering mid-coffer-creation crash states.
+        AddCreate(&p.run, "/c/" + Nm("f", i), i % 8 == 7 ? 0600 : 0644);
+      }
+      break;
+    }
+    case Workload::kMWUL: {
+      AddSimple(&p.setup, OpRecord::Kind::kMkdir, "/u");
+      for (uint64_t i = 0; i < ops; i++) {
+        AddCreate(&p.setup, "/u/" + Nm("f", i), i % 8 == 7 ? 0600 : 0644);
+        AddWrite(&p.setup, "/u/" + Nm("f", i), 0, RandData(&rng, 128));
+      }
+      for (uint64_t i = 0; i < ops; i++) {
+        AddSimple(&p.run, OpRecord::Kind::kUnlink, "/u/" + Nm("f", i));
+      }
+      break;
+    }
+    case Workload::kMWRL: {
+      // Pairs of renames per slot: a fresh-destination rename followed by a
+      // rename over an existing destination — the path the rename intent
+      // protects. Some sources/victims are coffer roots (0600).
+      AddSimple(&p.setup, OpRecord::Kind::kMkdir, "/r");
+      const uint64_t pairs = (ops + 1) / 2;
+      for (uint64_t k = 0; k < pairs; k++) {
+        AddCreate(&p.setup, "/r/" + Nm("a", k), k % 4 == 0 ? 0600 : 0644);
+        AddWrite(&p.setup, "/r/" + Nm("a", k), 0, RandData(&rng, 128));
+        AddCreate(&p.setup, "/r/" + Nm("b", k), k % 4 == 2 ? 0600 : 0644);
+        AddWrite(&p.setup, "/r/" + Nm("b", k), 0, RandData(&rng, 96));
+      }
+      for (uint64_t i = 0; i < ops; i++) {
+        const uint64_t k = i / 2;
+        if (i % 2 == 0) {
+          AddRename(&p.run, "/r/" + Nm("a", k), "/r/" + Nm("t", k));
+        } else {
+          AddRename(&p.run, "/r/" + Nm("t", k), "/r/" + Nm("b", k));
+        }
+      }
+      break;
+    }
+    case Workload::kMixed: {
+      AddSimple(&p.setup, OpRecord::Kind::kMkdir, "/m");
+      for (uint64_t j = 0; j < 20; j++) {
+        AddCreate(&p.setup, "/m/" + Nm("f", j), j % 5 == 0 ? 0600 : 0644);
+        AddWrite(&p.setup, "/m/" + Nm("f", j), 0, RandData(&rng, 160));
+      }
+      for (uint64_t i = 0; i < ops; i++) {
+        const uint64_t c = rng.Below(10);
+        std::string f = "/m/" + Nm("f", rng.Below(40));
+        if (c <= 1) {
+          AddCreate(&p.run, f, rng.Below(8) == 0 ? 0600 : 0644);
+        } else if (c <= 4) {
+          AddWrite(&p.run, f, 64 * rng.Below(6), RandData(&rng, 64 + 64 * rng.Below(7)));
+        } else if (c <= 6) {
+          AddSimple(&p.run, OpRecord::Kind::kUnlink, f);
+        } else if (c == 7) {
+          std::string to = "/m/" + Nm("f", rng.Below(40));
+          if (to != f) {
+            AddRename(&p.run, f, to);
+          } else {
+            AddSimple(&p.run, OpRecord::Kind::kUnlink, f);
+          }
+        } else if (c == 8) {
+          AddSimple(&p.run, OpRecord::Kind::kMkdir, "/m/" + Nm("d", rng.Below(6)));
+        } else {
+          AddSimple(&p.run, OpRecord::Kind::kRmdir, "/m/" + Nm("d", rng.Below(6)));
+        }
+      }
+      break;
+    }
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Recording
+
+struct Recording {
+  std::vector<uint8_t> snapshot;         // device image at capture start
+  std::vector<nvm::CrashEpoch> journal;  // one entry per non-empty fence
+  std::vector<OpRecord> ops;             // the captured operations
+  ModelState base_model;                 // semantic state at capture start
+  uint64_t capture_fence = 0;            // fence count at capture start
+  uint64_t ops_failed = 0;
+};
+
+void Exec(fslib::FsLib* fs, nvm::NvmDevice* dev, OpRecord* op) {
+  op->begin_fence = dev->sfence_count();
+  switch (op->kind) {
+    case OpRecord::Kind::kCreate: {
+      auto fd = fs->Open(kCred, op->path, vfs::kCreate | vfs::kWrite, op->mode);
+      op->ok = fd.ok();
+      if (fd.ok()) {
+        fs->Close(*fd);
+      }
+      break;
+    }
+    case OpRecord::Kind::kWrite: {
+      auto fd = fs->Open(kCred, op->path, vfs::kWrite, 0);
+      if (fd.ok()) {
+        auto r = fs->Pwrite(*fd, op->data.data(), op->data.size(), op->off);
+        op->ok = r.ok() && *r == op->data.size();
+        fs->Close(*fd);
+      }
+      break;
+    }
+    case OpRecord::Kind::kUnlink:
+      op->ok = fs->Unlink(kCred, op->path).ok();
+      break;
+    case OpRecord::Kind::kMkdir:
+      op->ok = fs->Mkdir(kCred, op->path, 0755).ok();
+      break;
+    case OpRecord::Kind::kRmdir:
+      op->ok = fs->Rmdir(kCred, op->path).ok();
+      break;
+    case OpRecord::Kind::kRename:
+      op->ok = fs->Rename(kCred, op->path, op->path2).ok();
+      break;
+  }
+  op->end_fence = dev->sfence_count();
+}
+
+Recording Record(const ExploreOptions& opts) {
+  Recording rec;
+  nvm::Options no;
+  no.size_bytes = opts.dev_bytes;
+  no.crash_tracking = true;
+  nvm::NvmDevice dev(no);
+  mpk::InstallDeviceHook(&dev);
+
+  kernfs::FormatOptions fo;
+  fo.root_mode = 0755;
+  auto kfs = std::make_unique<kernfs::KernFs>(&dev, fo);
+  kfs->set_kernel_crossing_ns(0);
+  zofs::Options zo;
+  zo.legacy_rename_overwrite = opts.legacy_rename_overwrite;
+  // Short lease so locks held in a crash image have expired by the time the
+  // exploration workers recover it (leases store wall-clock deadlines).
+  zo.lease_ns = 2'000'000;
+  auto fs = std::make_unique<fslib::FsLib>(kfs.get(), kCred, zo);
+
+  Plan plan = BuildPlan(opts.workload, opts.ops, opts.seed);
+  for (OpRecord& op : plan.setup) {
+    Exec(fs.get(), &dev, &op);
+    if (op.ok) {
+      Apply(&rec.base_model, op);
+    }
+  }
+
+  dev.StartCrashCapture();
+  rec.capture_fence = dev.sfence_count();
+  dev.SnapshotTo(&rec.snapshot);
+
+  for (OpRecord& op : plan.run) {
+    Exec(fs.get(), &dev, &op);
+    if (!op.ok) {
+      rec.ops_failed++;
+    }
+  }
+  rec.journal = dev.crash_journal();
+  rec.ops = std::move(plan.run);
+
+  fs.reset();
+  kfs.reset();
+  mpk::BindThreadToProcess(nullptr);
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Oracles
+
+struct StateCtx {
+  uint64_t id = 0;
+  int64_t epoch = -1;
+  uint64_t fence = 0;
+  int variant = -1;
+};
+
+void AddViolation(std::vector<Violation>* out, const StateCtx& sc, const char* kind,
+                  std::string detail) {
+  Violation v;
+  v.state_id = sc.id;
+  v.epoch = sc.epoch;
+  v.fence_seq = sc.fence;
+  v.mid_variant = sc.variant;
+  v.kind = kind;
+  v.detail = std::move(detail);
+  out->push_back(std::move(v));
+}
+
+bool Walk(vfs::FileSystem* fs, const std::string& dir, std::set<std::string>* files,
+          std::set<std::string>* dirs, std::string* err) {
+  auto es = fs->ReadDir(kCred, dir);
+  if (!es.ok()) {
+    *err = "readdir " + dir + ": " + common::ErrName(es.error());
+    return false;
+  }
+  for (const vfs::DirEntry& e : *es) {
+    if (e.name == "." || e.name == "..") {
+      continue;
+    }
+    std::string p = (dir == "/") ? "/" + e.name : dir + "/" + e.name;
+    if (e.type == vfs::FileType::kDirectory) {
+      dirs->insert(p);
+      if (!Walk(fs, p, files, dirs, err)) {
+        return false;
+      }
+    } else {
+      files->insert(p);
+    }
+  }
+  return true;
+}
+
+// Reads a whole file. Returns 1 if present (content in *out), 0 if absent,
+// -1 on any other error.
+int ReadAll(vfs::FileSystem* fs, const std::string& p, std::string* out) {
+  auto fd = fs->Open(kCred, p, vfs::kRead, 0);
+  if (!fd.ok()) {
+    return fd.error() == Err::kNoEnt ? 0 : -1;
+  }
+  auto st = fs->Fstat(*fd);
+  if (!st.ok()) {
+    fs->Close(*fd);
+    return -1;
+  }
+  out->assign(st->size, '\0');
+  size_t got = 0;
+  while (got < out->size()) {
+    auto r = fs->Pread(*fd, out->data() + got, out->size() - got, got);
+    if (!r.ok() || *r == 0) {
+      break;
+    }
+    got += *r;
+  }
+  fs->Close(*fd);
+  return got == out->size() ? 1 : -1;
+}
+
+std::string DescribeDiff(const std::string& want, const std::string& got) {
+  std::ostringstream os;
+  os << " (model " << want.size() << "B, found " << got.size() << "B";
+  size_t n = std::min(want.size(), got.size());
+  for (size_t i = 0; i < n; i++) {
+    if (want[i] != got[i]) {
+      os << ", first diff at byte " << i;
+      break;
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+// An in-flight data write may be torn, but only line-wise between old and new
+// content: ZoFS writes in place (no data atomicity, as the paper's design
+// states), so each byte in the written range reads as old or new. Bytes
+// outside the range must be untouched; bytes beyond the old size live on
+// freshly allocated pages whose prior content is legal to observe.
+void CheckTornWrite(vfs::FileSystem* fs, const std::string& p, const std::string& old,
+                    const OpRecord& op, const StateCtx& sc, std::vector<Violation>* out) {
+  std::string got;
+  int r = ReadAll(fs, p, &got);
+  if (r < 0) {
+    AddViolation(out, sc, "walk-failed", "read failed during in-flight write check: " + p);
+    return;
+  }
+  if (r == 0) {
+    AddViolation(out, sc, "durability-lost", "file vanished during in-flight write: " + p);
+    return;
+  }
+  const size_t new_size = std::max<size_t>(old.size(), op.off + op.data.size());
+  if (got.size() < std::min<size_t>(old.size(), new_size) || got.size() > new_size) {
+    AddViolation(out, sc, "atomicity",
+                 "in-flight write left illegal size on " + p + ": " + std::to_string(got.size()) +
+                     "B (old " + std::to_string(old.size()) + "B, new " +
+                     std::to_string(new_size) + "B)");
+    return;
+  }
+  const size_t n = std::min(got.size(), old.size());
+  for (size_t i = 0; i < n; i++) {
+    const bool in_range = i >= op.off && i < op.off + op.data.size();
+    if (in_range) {
+      if (got[i] != old[i] && got[i] != op.data[i - op.off]) {
+        AddViolation(out, sc, "atomicity",
+                     "torn write byte neither old nor new on " + p + " at byte " +
+                         std::to_string(i));
+        return;
+      }
+    } else if (got[i] != old[i]) {
+      AddViolation(out, sc, "atomicity",
+                   "in-flight write changed byte outside its range on " + p + " at byte " +
+                       std::to_string(i));
+      return;
+    }
+  }
+}
+
+void CheckState(vfs::FileSystem* fs, const ModelState& m, const OpRecord* infl,
+                const StateCtx& sc, std::vector<Violation>* out) {
+  std::set<std::string> rfiles;
+  std::set<std::string> rdirs;
+  std::string err;
+  if (!Walk(fs, "/", &rfiles, &rdirs, &err)) {
+    AddViolation(out, sc, "walk-failed", err);
+    return;
+  }
+  // An in-flight operation that eventually returned an error must have no
+  // visible effect (operations validate before mutating), so it earns no
+  // tolerance.
+  const bool active = infl != nullptr && infl->ok;
+  using K = OpRecord::Kind;
+
+  for (const std::string& d : m.dirs) {
+    if (rdirs.count(d) != 0 || (active && infl->kind == K::kRmdir && infl->path == d)) {
+      continue;
+    }
+    AddViolation(out, sc, "durability-lost", "directory missing: " + d);
+  }
+  for (const std::string& d : rdirs) {
+    if (m.dirs.count(d) != 0 || (active && infl->kind == K::kMkdir && infl->path == d)) {
+      continue;
+    }
+    AddViolation(out, sc, "unexpected-path", "directory not in model: " + d);
+  }
+
+  // In-flight rename: the namespace must be in exactly the pre- or the
+  // post-rename state — this is the oracle the rename intent exists for.
+  std::set<std::string> skip;
+  if (active && infl->kind == K::kRename) {
+    skip.insert(infl->path);
+    skip.insert(infl->path2);
+    auto src = m.files.find(infl->path);
+    if (src != m.files.end()) {
+      auto dst = m.files.find(infl->path2);
+      std::string f_cont;
+      std::string t_cont;
+      int rf = ReadAll(fs, infl->path, &f_cont);
+      int rt = ReadAll(fs, infl->path2, &t_cont);
+      if (rf < 0 || rt < 0) {
+        AddViolation(out, sc, "walk-failed",
+                     "read failed during rename check: " + infl->path + " -> " + infl->path2);
+      } else {
+        const bool pre =
+            rf == 1 && f_cont == src->second &&
+            (dst != m.files.end() ? (rt == 1 && t_cont == dst->second) : rt == 0);
+        const bool post = rf == 0 && rt == 1 && t_cont == src->second;
+        if (!pre && !post) {
+          AddViolation(out, sc, "atomicity",
+                       "rename " + infl->path + " -> " + infl->path2 + " torn: source " +
+                           (rf == 1 ? "present" : "absent") + ", destination " +
+                           (rt == 1 ? "present" : "absent") +
+                           (rt == 1 ? DescribeDiff(src->second, t_cont) : ""));
+        }
+      }
+    }
+  }
+
+  for (const auto& [p, content] : m.files) {
+    if (skip.count(p) != 0) {
+      continue;
+    }
+    if (active && infl->kind == K::kWrite && infl->path == p) {
+      CheckTornWrite(fs, p, content, *infl, sc, out);
+      continue;
+    }
+    std::string got;
+    int r = ReadAll(fs, p, &got);
+    if (r < 0) {
+      AddViolation(out, sc, "walk-failed", "read failed: " + p);
+      continue;
+    }
+    if (r == 0) {
+      if (active && infl->kind == K::kUnlink && infl->path == p) {
+        continue;
+      }
+      AddViolation(out, sc, "durability-lost", "file missing: " + p);
+      continue;
+    }
+    if (got != content) {
+      AddViolation(out, sc, "durability-lost", "content mismatch: " + p + DescribeDiff(content, got));
+    }
+  }
+
+  for (const std::string& p : rfiles) {
+    if (m.files.count(p) != 0 || skip.count(p) != 0) {
+      continue;
+    }
+    if (active && infl->kind == K::kCreate && infl->path == p) {
+      std::string got;
+      if (ReadAll(fs, p, &got) == 1 && !got.empty()) {
+        AddViolation(out, sc, "atomicity",
+                     "in-flight create visible with nonzero size: " + p);
+      }
+      continue;
+    }
+    AddViolation(out, sc, "unexpected-path", "file not in model: " + p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration
+
+struct WorkItem {
+  uint64_t state_id = 0;
+  int64_t base_epoch = -1;  // crash image baseline (-1 = capture snapshot)
+  int variant = -1;         // -1 = post-fence state, else mid-epoch subset id
+};
+
+std::vector<bool> PickSubset(uint64_t seed, int64_t base, int variant, size_t n) {
+  common::Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(base + 2)) ^
+                  (0x517cc1b727220a95ULL * static_cast<uint64_t>(variant + 1)));
+  std::vector<bool> pick(n);
+  bool any = false;
+  for (size_t i = 0; i < n; i++) {
+    pick[i] = (rng.Next() & 1) != 0;
+    any = any || pick[i];
+  }
+  if (!any && n != 0) {
+    pick[static_cast<size_t>(base + 2 + variant) % n] = true;
+  }
+  return pick;
+}
+
+std::string DescribeFault(const mpk::ViolationError& e) {
+  std::ostringstream os;
+  os << "mpk fault: " << (e.is_write ? "write" : "read") << " off=0x" << std::hex << e.off
+     << std::dec << " key=" << static_cast<int>(e.key);
+  return os.str();
+}
+
+void RecoverAndCheck(nvm::NvmDevice* dev, const ModelState& m, const OpRecord* infl,
+                     const StateCtx& sc, std::vector<Violation>* out) {
+  auto kfs = std::make_unique<kernfs::KernFs>(dev);
+  kfs->set_kernel_crossing_ns(0);
+  auto fs = std::make_unique<fslib::FsLib>(kfs.get(), kCred);
+  fs->BindThread();
+  // Recovery must never fault, whatever the crash image looks like — an
+  // escaped simulated page fault on a torn image is itself a finding.
+  try {
+    auto stats = fs->ufs().RecoverAll();
+    if (!stats.ok()) {
+      AddViolation(out, sc, "recovery-failed", common::ErrName(stats.error()));
+    } else {
+      std::string alloc = kfs->CheckAllocTableForTest();
+      if (!alloc.empty()) {
+        AddViolation(out, sc, "fsck-alloc", alloc.substr(0, alloc.find('\n')));
+      }
+      CheckState(fs.get(), m, infl, sc, out);
+    }
+  } catch (const mpk::ViolationError& e) {
+    AddViolation(out, sc, "recovery-failed", DescribeFault(e));
+  }
+  fs.reset();
+  kfs.reset();
+  mpk::BindThreadToProcess(nullptr);
+}
+
+void Worker(const Recording& rec, const ExploreOptions& opts, const WorkItem* items, size_t n,
+            std::vector<Violation>* out) {
+  nvm::Options no;
+  no.size_bytes = opts.dev_bytes;
+  nvm::NvmDevice dev(no);
+  mpk::InstallDeviceHook(&dev);
+  nvm::CrashImageBuilder builder(rec.snapshot, &rec.journal);
+
+  // Items arrive in non-decreasing base_epoch order, so the model advances
+  // incrementally in lockstep with the image builder.
+  ModelState model = rec.base_model;
+  size_t applied = 0;
+  std::vector<uint8_t> scratch;
+
+  for (size_t i = 0; i < n; i++) {
+    const WorkItem& it = items[i];
+    builder.AdvanceTo(it.base_epoch);
+    const uint64_t f =
+        it.base_epoch < 0 ? rec.capture_fence : rec.journal[it.base_epoch].fence_seq;
+
+    const std::vector<uint8_t>* img = &builder.image();
+    if (it.variant >= 0) {
+      std::vector<bool> pick =
+          PickSubset(opts.seed, it.base_epoch, it.variant, builder.NextEpochLineCount());
+      if (!builder.MaterializeMidEpoch(pick, &scratch)) {
+        continue;
+      }
+      img = &scratch;
+    }
+
+    while (applied < rec.ops.size() && rec.ops[applied].end_fence <= f) {
+      if (rec.ops[applied].ok) {
+        Apply(&model, rec.ops[applied]);
+      }
+      applied++;
+    }
+    const OpRecord* infl = nullptr;
+    if (it.variant < 0) {
+      if (applied < rec.ops.size() && rec.ops[applied].begin_fence < f) {
+        infl = &rec.ops[applied];
+      }
+    } else {
+      const uint64_t f2 = rec.journal[it.base_epoch + 1].fence_seq;
+      size_t j = applied;
+      while (j < rec.ops.size() && rec.ops[j].end_fence < f2) {
+        j++;
+      }
+      if (j < rec.ops.size() && rec.ops[j].begin_fence < f2) {
+        infl = &rec.ops[j];
+      }
+    }
+
+    dev.RestoreFrom(img->data(), img->size());
+    StateCtx sc{it.state_id, it.base_epoch, f, it.variant};
+    RecoverAndCheck(&dev, model, infl, sc, out);
+  }
+  mpk::BindThreadToProcess(nullptr);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+
+const char* WorkloadName(Workload w) {
+  switch (w) {
+    case Workload::kDWOL:
+      return "DWOL";
+    case Workload::kMWCL:
+      return "MWCL";
+    case Workload::kMWUL:
+      return "MWUL";
+    case Workload::kMWRL:
+      return "MWRL";
+    case Workload::kMixed:
+      return "MIXED";
+  }
+  return "?";
+}
+
+bool ParseWorkload(const std::string& s, Workload* out) {
+  for (Workload w : kAllWorkloads) {
+    if (s == WorkloadName(w)) {
+      *out = w;
+      return true;
+    }
+  }
+  return false;
+}
+
+ExploreReport Explore(const ExploreOptions& opts) {
+  Recording rec = Record(opts);
+
+  ExploreReport rep;
+  rep.fs = "zofs";
+  rep.workload = WorkloadName(opts.workload);
+  rep.seed = opts.seed;
+  rep.ops_recorded = rec.ops.size();
+  rep.ops_failed = rec.ops_failed;
+  rep.epochs = rec.journal.size();
+
+  // Deterministic enumeration: for each baseline (the capture snapshot, then
+  // every post-fence state) the baseline itself, then its mid-epoch variants
+  // drawn from the following epoch. A cap keeps a prefix of this order.
+  std::vector<WorkItem> items;
+  const int64_t epochs = static_cast<int64_t>(rec.journal.size());
+  uint64_t id = 0;
+  for (int64_t base = -1; base < epochs; base++) {
+    items.push_back({id++, base, -1});
+    if (base + 1 < epochs) {
+      for (uint32_t k = 0; k < opts.mid_epoch_per_fence; k++) {
+        items.push_back({id++, base, static_cast<int>(k)});
+      }
+    }
+    if (opts.max_points != 0 && items.size() >= opts.max_points) {
+      items.resize(opts.max_points);
+      break;
+    }
+  }
+  rep.states_explored = items.size();
+  for (const WorkItem& it : items) {
+    if (it.variant >= 0) {
+      rep.mid_epoch_states++;
+    }
+  }
+
+  int threads = std::max(1, opts.threads);
+  threads = static_cast<int>(std::min<size_t>(threads, items.empty() ? 1 : items.size()));
+  const size_t chunk = (items.size() + threads - 1) / threads;
+  std::vector<std::vector<Violation>> per(threads);
+  std::vector<std::thread> pool;
+  for (int w = 0; w < threads; w++) {
+    const size_t lo = w * chunk;
+    const size_t hi = std::min(items.size(), lo + chunk);
+    if (lo >= hi) {
+      break;
+    }
+    pool.emplace_back(Worker, std::cref(rec), std::cref(opts), items.data() + lo, hi - lo,
+                      &per[w]);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+
+  // Chunks are contiguous in enumeration order, so concatenation restores the
+  // global deterministic order regardless of the thread count.
+  for (const std::vector<Violation>& v : per) {
+    rep.violation_count += v.size();
+    for (const Violation& x : v) {
+      if (rep.violations.size() < ExploreReport::kMaxViolationDetails) {
+        rep.violations.push_back(x);
+      }
+    }
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExploreReport::ToText() const {
+  std::ostringstream os;
+  os << "crash_explore: " << workload << " on " << fs << ", " << ops_recorded
+     << " ops recorded (" << ops_failed << " failed), " << epochs << " persistence epochs\n";
+  os << "  explored " << states_explored << " crash states (" << mid_epoch_states
+     << " mid-epoch), " << violation_count << " violation(s)\n";
+  for (const Violation& v : violations) {
+    os << "  [" << v.kind << "] state " << v.state_id << " epoch " << v.epoch << " fence "
+       << v.fence_seq;
+    if (v.mid_variant >= 0) {
+      os << " mid#" << v.mid_variant;
+    }
+    os << ": " << v.detail << "\n";
+  }
+  if (violation_count > violations.size()) {
+    os << "  ... " << (violation_count - violations.size()) << " more violation(s) elided\n";
+  }
+  return os.str();
+}
+
+std::string ExploreReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"fs\": \"" << JsonEscape(fs) << "\",\n";
+  os << "  \"workload\": \"" << JsonEscape(workload) << "\",\n";
+  os << "  \"seed\": " << seed << ",\n";
+  os << "  \"ops_recorded\": " << ops_recorded << ",\n";
+  os << "  \"ops_failed\": " << ops_failed << ",\n";
+  os << "  \"epochs\": " << epochs << ",\n";
+  os << "  \"states_explored\": " << states_explored << ",\n";
+  os << "  \"mid_epoch_states\": " << mid_epoch_states << ",\n";
+  os << "  \"violation_count\": " << violation_count << ",\n";
+  os << "  \"violations\": [";
+  for (size_t i = 0; i < violations.size(); i++) {
+    const Violation& v = violations[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"state_id\": " << v.state_id << ", \"epoch\": " << v.epoch
+       << ", \"fence_seq\": " << v.fence_seq << ", \"mid_variant\": " << v.mid_variant
+       << ", \"kind\": \"" << JsonEscape(v.kind) << "\", \"detail\": \"" << JsonEscape(v.detail)
+       << "\"}";
+  }
+  os << (violations.empty() ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace crashmon

@@ -105,7 +105,10 @@ vfs::Result<vfs::Fd> FsLib::Open(const vfs::Cred& cred, const std::string& path,
 
     const bool want_write = (flags & vfs::kWrite) != 0;
     RETURN_IF_ERROR(fs_->EnsureAccess(*node, want_write));
-    if (flags & vfs::kTrunc) {
+    // O_TRUNC without write access is undefined per POSIX; truncating on a
+    // read-only open would destroy data the caller had no right to modify,
+    // so ignore the flag unless the open requested write access.
+    if ((flags & vfs::kTrunc) && want_write) {
       RETURN_IF_ERROR(fs_->TruncateNode(*node, 0));
     }
     auto desc = std::make_shared<Description>();
@@ -129,9 +132,10 @@ vfs::Result<size_t> FsLib::Read(vfs::Fd fd, void* buf, size_t n) {
   return Guarded(__func__, [&]() -> vfs::Result<size_t> {
     ASSIGN_OR_RETURN(d, Get(fd));
     fs_->FixNode(&d->node);
+    std::lock_guard<std::mutex> lk(d->pos_mu);
     uint64_t pos = d->pos.load(std::memory_order_relaxed);
     ASSIGN_OR_RETURN(done, fs_->ReadAt(d->node, buf, n, pos));
-    d->pos.fetch_add(done, std::memory_order_relaxed);
+    d->pos.store(pos + done, std::memory_order_relaxed);
     return done;
   });
 }
@@ -143,12 +147,14 @@ vfs::Result<size_t> FsLib::Write(vfs::Fd fd, const void* buf, size_t n) {
     fs_->FixNode(&d->node);
     if (d->flags & vfs::kAppend) {
       ASSIGN_OR_RETURN(at, fs_->Append(d->node, buf, n));
+      std::lock_guard<std::mutex> lk(d->pos_mu);
       d->pos.store(at + n, std::memory_order_relaxed);
       return n;
     }
+    std::lock_guard<std::mutex> lk(d->pos_mu);
     uint64_t pos = d->pos.load(std::memory_order_relaxed);
     ASSIGN_OR_RETURN(done, fs_->WriteAt(d->node, buf, n, pos));
-    d->pos.fetch_add(done, std::memory_order_relaxed);
+    d->pos.store(pos + done, std::memory_order_relaxed);
     return done;
   });
 }
@@ -175,6 +181,7 @@ vfs::Result<uint64_t> FsLib::Lseek(vfs::Fd fd, int64_t off, int whence) {
   BindThread();
   return Guarded(__func__, [&]() -> vfs::Result<uint64_t> {
     ASSIGN_OR_RETURN(d, Get(fd));
+    std::lock_guard<std::mutex> lk(d->pos_mu);
     int64_t base = 0;
     switch (whence) {
       case 0:
@@ -201,10 +208,13 @@ vfs::Result<uint64_t> FsLib::Lseek(vfs::Fd fd, int64_t off, int whence) {
 }
 
 vfs::Status FsLib::Fsync(vfs::Fd fd) {
-  // ZoFS is synchronous: every operation persists before returning.
-  ASSIGN_OR_RETURN(d, Get(fd));
-  (void)d;
-  return OkStatus();
+  BindThread();
+  return Guarded(__func__, [&]() -> vfs::Status {
+    // ZoFS is synchronous: every operation persists before returning.
+    ASSIGN_OR_RETURN(d, Get(fd));
+    (void)d;
+    return OkStatus();
+  });
 }
 
 vfs::Result<vfs::StatBuf> FsLib::Fstat(vfs::Fd fd) {
@@ -226,11 +236,14 @@ vfs::Status FsLib::Ftruncate(vfs::Fd fd, uint64_t len) {
 }
 
 vfs::Result<vfs::Fd> FsLib::Dup(vfs::Fd fd) {
-  // dup returns the lowest available FD and shares the open file description
-  // (offset included) — the behaviour the FD mapping table exists to provide
-  // (paper §4.2).
-  ASSIGN_OR_RETURN(d, Get(fd));
-  return InstallLowestFd(d);
+  BindThread();
+  return Guarded(__func__, [&]() -> vfs::Result<vfs::Fd> {
+    // dup returns the lowest available FD and shares the open file
+    // description (offset included) — the behaviour the FD mapping table
+    // exists to provide (paper §4.2).
+    ASSIGN_OR_RETURN(d, Get(fd));
+    return InstallLowestFd(d);
+  });
 }
 
 vfs::Status FsLib::Mkdir(const vfs::Cred& cred, const std::string& path, uint16_t mode) {

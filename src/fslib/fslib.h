@@ -78,8 +78,12 @@ class FsLib final : public vfs::FileSystem {
 
  private:
   // An open file description (shared between dup'd FDs, as in POSIX).
+  // `pos_mu` serializes the read-modify-write of the shared offset across
+  // Read/Write/Lseek — two threads sharing the description via dup must each
+  // advance the offset by exactly what they transferred (POSIX shared f_pos).
   struct Description {
     ufs::NodeRef node;
+    std::mutex pos_mu;
     std::atomic<uint64_t> pos{0};
     uint32_t flags = 0;
   };

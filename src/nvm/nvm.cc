@@ -1,5 +1,6 @@
 #include "src/nvm/nvm.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 
@@ -282,6 +283,24 @@ void NvmDevice::Sfence() {
     return;
   }
   std::lock_guard<std::mutex> lk(track_mu_);
+  if (crash_capture_) {
+    CrashEpoch ep;
+    ep.fence_seq = sfence_count_.load(std::memory_order_relaxed);
+    for (const auto& [line, state] : dirty_lines_) {
+      CrashEpoch::Line l;
+      l.line = line;
+      memcpy(l.data, base_ + line * kCachelineSize, kCachelineSize);
+      (state.written_back ? ep.persisted : ep.in_flight).push_back(l);
+    }
+    auto by_line = [](const CrashEpoch::Line& a, const CrashEpoch::Line& b) {
+      return a.line < b.line;
+    };
+    std::sort(ep.persisted.begin(), ep.persisted.end(), by_line);
+    std::sort(ep.in_flight.begin(), ep.in_flight.end(), by_line);
+    if (!ep.persisted.empty() || !ep.in_flight.empty()) {
+      crash_journal_.push_back(std::move(ep));
+    }
+  }
   for (auto it = dirty_lines_.begin(); it != dirty_lines_.end();) {
     if (it->second.written_back) {
       it = dirty_lines_.erase(it);
@@ -289,6 +308,34 @@ void NvmDevice::Sfence() {
       ++it;
     }
   }
+}
+
+void NvmDevice::StartCrashCapture() {
+  assert(crash_tracking_ && "crash capture requires crash_tracking");
+  std::lock_guard<std::mutex> lk(track_mu_);
+  dirty_lines_.clear();
+  crash_journal_.clear();
+  crash_capture_ = true;
+}
+
+void NvmDevice::StopCrashCapture() {
+  std::lock_guard<std::mutex> lk(track_mu_);
+  crash_capture_ = false;
+}
+
+void NvmDevice::SnapshotTo(std::vector<uint8_t>* out) const {
+  out->resize(size_);
+  std::lock_guard<std::mutex> lk(track_mu_);
+  memcpy(out->data(), base_, size_);
+}
+
+void NvmDevice::RestoreFrom(const uint8_t* img, size_t len) {
+  assert(len == size_ && "crash image size must match the device");
+  std::lock_guard<std::mutex> lk(track_mu_);
+  memcpy(base_, img, len);
+  dirty_lines_.clear();
+  crash_journal_.clear();
+  crash_capture_ = false;
 }
 
 size_t NvmDevice::SimulateCrash() {
@@ -324,6 +371,59 @@ void NvmDevice::ResetCounters() {
   clwb_count_ = 0;
   sfence_count_ = 0;
   bytes_written_ = 0;
+}
+
+CrashImageBuilder::CrashImageBuilder(const std::vector<uint8_t>& snapshot,
+                                     const std::vector<CrashEpoch>* journal)
+    : image_(snapshot), journal_(journal) {}
+
+void CrashImageBuilder::AdvanceTo(int64_t epoch_idx) {
+  assert(epoch_idx >= epoch_idx_ && "epochs must be visited in order");
+  assert(epoch_idx < static_cast<int64_t>(journal_->size()));
+  while (epoch_idx_ < epoch_idx) {
+    epoch_idx_++;
+    for (const auto& l : (*journal_)[epoch_idx_].persisted) {
+      memcpy(image_.data() + l.line * kCachelineSize, l.data, kCachelineSize);
+    }
+  }
+}
+
+size_t CrashImageBuilder::NextEpochLineCount() const {
+  const int64_t next = epoch_idx_ + 1;
+  if (next >= static_cast<int64_t>(journal_->size())) {
+    return 0;
+  }
+  const CrashEpoch& ep = (*journal_)[next];
+  return ep.persisted.size() + ep.in_flight.size();
+}
+
+bool CrashImageBuilder::MaterializeMidEpoch(const std::vector<bool>& pick,
+                                            std::vector<uint8_t>* out) const {
+  const int64_t next = epoch_idx_ + 1;
+  if (next >= static_cast<int64_t>(journal_->size())) {
+    return false;
+  }
+  const CrashEpoch& ep = (*journal_)[next];
+  bool any = false;
+  for (size_t i = 0; i < pick.size(); i++) {
+    if (pick[i]) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) {
+    return false;
+  }
+  *out = image_;
+  const size_t np = ep.persisted.size();
+  for (size_t i = 0; i < pick.size(); i++) {
+    if (!pick[i]) {
+      continue;
+    }
+    const CrashEpoch::Line& l = i < np ? ep.persisted[i] : ep.in_flight[i - np];
+    memcpy(out->data() + l.line * kCachelineSize, l.data, kCachelineSize);
+  }
+  return true;
 }
 
 }  // namespace nvm

@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/result.h"
 
@@ -85,6 +86,22 @@ class PersistObserver {
   // Crash simulation or MarkAllPersistent: all volatile state is gone.
   virtual void OnPersistEpoch(const NvmDevice* dev) = 0;
   virtual void OnDeviceGone(const NvmDevice* dev) = 0;
+};
+
+// One journal entry per Sfence while crash capture is on (see
+// StartCrashCapture): the cachelines that became persistent at this fence and
+// the ones still volatile immediately after it. `in_flight` lines may persist
+// at any instant before the next fence (cache eviction), so a legal mid-epoch
+// crash state is the post-fence image plus any subset of the *next* epoch's
+// persisted+in_flight lines at their fence-time content.
+struct CrashEpoch {
+  struct Line {
+    uint64_t line;  // cacheline index (offset / kCachelineSize)
+    uint8_t data[kCachelineSize];
+  };
+  uint64_t fence_seq = 0;       // sfence_count() after this fence
+  std::vector<Line> persisted;  // became persistent at this fence (post-image)
+  std::vector<Line> in_flight;  // still volatile after this fence
 };
 
 // Process-wide hook run at the end of every NvmDevice constructor. The audit
@@ -161,6 +178,22 @@ class NvmDevice {
   void MarkAllPersistent();
   size_t DirtyLineCountForTest() const;
 
+  // ---- Crash capture (requires crash_tracking). Marks everything persistent
+  // and starts journaling a CrashEpoch per Sfence; the caller snapshots the
+  // base image (SnapshotTo) right after so crash states can be rebuilt as
+  // snapshot + persisted deltas. Lines within an epoch are sorted by index,
+  // so the journal is deterministic for a deterministic workload.
+  void StartCrashCapture();
+  void StopCrashCapture();
+  bool crash_capture() const { return crash_capture_; }
+  const std::vector<CrashEpoch>& crash_journal() const { return crash_journal_; }
+
+  // Full-image copy out / in. RestoreFrom bypasses the access hook and the
+  // crash tracker and leaves the device fully persistent — it loads a
+  // materialized crash image into a (recycled) device for recovery.
+  void SnapshotTo(std::vector<uint8_t>* out) const;
+  void RestoreFrom(const uint8_t* img, size_t len);
+
   // ---- MPK hook.
   void SetAccessHook(AccessHook hook, void* ctx) {
     hook_ctx_ = ctx;
@@ -212,6 +245,8 @@ class NvmDevice {
 
   mutable std::mutex track_mu_;
   std::unordered_map<uint64_t, LineState> dirty_lines_;
+  bool crash_capture_ = false;
+  std::vector<CrashEpoch> crash_journal_;
 
   std::atomic<uint64_t> clwb_count_{0};
   std::atomic<uint64_t> sfence_count_{0};
@@ -220,6 +255,41 @@ class NvmDevice {
   // Bandwidth token buckets (monotonic "next free" times, ns).
   mutable std::atomic<uint64_t> read_free_ns_{0};
   mutable std::atomic<uint64_t> write_free_ns_{0};
+};
+
+// Copy-on-write crash-image builder. Seeded with a device snapshot and its
+// crash journal, it keeps one working image and advances it by replaying each
+// epoch's persisted deltas, so enumerating every crash point of an N-epoch
+// journal costs O(total journal lines) copies instead of N full images.
+// Epochs must be visited in non-decreasing order (one builder per worker
+// owning a contiguous epoch range).
+class CrashImageBuilder {
+ public:
+  // `journal` must outlive the builder; `snapshot` is copied.
+  CrashImageBuilder(const std::vector<uint8_t>& snapshot, const std::vector<CrashEpoch>* journal);
+
+  // Advances the working image to the state persistent immediately after
+  // journal epoch `epoch_idx` (-1 = the bare snapshot). Monotonic.
+  void AdvanceTo(int64_t epoch_idx);
+  int64_t epoch_idx() const { return epoch_idx_; }
+
+  // The working image: the on-media state for a crash strictly between fence
+  // `epoch_idx` and the next fence, with no further evictions.
+  const std::vector<uint8_t>& image() const { return image_; }
+
+  // Materializes a mid-epoch state into `out`: the working image plus the
+  // subset of the next epoch's candidate lines (persisted followed by
+  // in_flight, in journal order) selected by `pick(i)` — each selected line
+  // persists with its fence-time content. Returns false (and leaves `out`
+  // untouched) when there is no next epoch or no line was selected.
+  bool MaterializeMidEpoch(const std::vector<bool>& pick, std::vector<uint8_t>* out) const;
+  // Number of candidate lines in the next epoch (size `pick` accordingly).
+  size_t NextEpochLineCount() const;
+
+ private:
+  std::vector<uint8_t> image_;
+  const std::vector<CrashEpoch>* journal_;
+  int64_t epoch_idx_ = -1;
 };
 
 }  // namespace nvm

@@ -22,6 +22,9 @@ namespace zofs {
 
 inline constexpr uint64_t kInodeMagic = 0x5a4f46535f494e4fULL;  // "ZOFS_INO"
 inline constexpr uint64_t kPoolMagic = 0x5a4f46535f504f4fULL;   // "ZOFS_POO"
+// Rename-intent slot states (see RenameIntent below).
+inline constexpr uint64_t kRenameIntentMagic = 0x5a4f46535f524e4dULL;    // "ZOFS_RNM"
+inline constexpr uint64_t kRenameIntentClaimed = 0x5a4f46535f524e43ULL;  // "ZOFS_RNC"
 
 inline constexpr uint32_t kTypeRegular = 1;
 inline constexpr uint32_t kTypeDirectory = 2;
@@ -137,13 +140,42 @@ struct LeasedFreeList {
 };
 static_assert(sizeof(LeasedFreeList) == 32);
 
-inline constexpr uint64_t kPoolLists = 120;
+// 118 (not 120) lists: the tail of the custom page holds the rename intent.
+inline constexpr uint64_t kPoolLists = 118;
 
-// The coffer custom page: the allocator pool.
+// Write-ahead intent for the two-site same-coffer rename paths (insert at
+// the destination + remove at the source cannot be one atomic store).
+// Rename claims the slot (magic: 0 -> kRenameIntentClaimed, stealable after
+// `lease_expiry_ns`), persists the description, commits it by persisting
+// magic = kRenameIntentMagic, performs the dentry updates and finally clears
+// the slot. Coffer recovery (ZoFs::RepairPendingRename) rolls a committed
+// intent forward when the destination dentry already references the child
+// and discards it otherwise, so a crash anywhere inside rename leaves the
+// namespace in exactly the pre- or post-rename state.
+struct RenameIntent {
+  uint64_t magic;            // 0 free / claimed / committed
+  uint64_t lease_expiry_ns;  // claim stealable after this deadline
+  uint64_t src_dir_ino;      // source parent directory inode offset
+  uint64_t dst_dir_ino;      // destination parent directory inode offset
+  uint64_t child_ino;        // moved node's inode offset
+  uint64_t old_dst_ino;      // overwritten destination inode (0 = none)
+  uint32_t child_coffer;     // dentry coffer_id of the moved node
+  uint32_t old_dst_coffer;   // nonzero: the destination was a coffer root
+  uint32_t child_type;       // cached dentry type of the moved node
+  uint8_t src_len;
+  uint8_t dst_len;
+  uint16_t _pad2;
+  char src_name[kMaxName + 1];
+  char dst_name[kMaxName + 1];
+};
+static_assert(sizeof(RenameIntent) == 272);
+
+// The coffer custom page: the allocator pool plus the rename intent.
 struct AllocPool {
   uint64_t magic;
   uint64_t _pad;
   LeasedFreeList lists[kPoolLists];
+  RenameIntent rename_intent;
 };
 static_assert(sizeof(AllocPool) <= nvm::kPageSize);
 

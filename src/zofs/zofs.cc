@@ -482,6 +482,24 @@ Status ZoFs::DirRemove(uint32_t cid, Inode* dir, std::string_view name) {
   return DirRemoveAt(dir, d);
 }
 
+Status ZoFs::DirReplaceTarget(Inode* dir, Dentry* d, uint32_t child_coffer, uint64_t child_inode,
+                              uint32_t child_type) {
+  AUDIT_SCOPE("ZoFs::DirReplaceTarget");
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t d_off = dev->OffsetOf(d);
+  // flags (type bits), coffer_id and inode_off all live in the first 24
+  // bytes of the 64-byte-aligned dentry: one cacheline, one atomic commit.
+  dev->Store64(d_off + offsetof(Dentry, inode_off), child_inode);
+  dev->Store32(d_off + offsetof(Dentry, coffer_id), child_coffer);
+  dev->Store16(d_off + offsetof(Dentry, flags), MakeDentryFlags(child_type));
+  dev->PersistRange(d_off, offsetof(Dentry, inode_off) + 8);
+  AUDIT_DURABILITY_POINT(dev, d_off, offsetof(Dentry, inode_off) + 8);
+  const uint64_t dir_off = dev->OffsetOf(dir);
+  dev->Store64(dir_off + offsetof(Inode, mtime_ns), common::NowNs());
+  dev->Clwb(dir_off + offsetof(Inode, mtime_ns), 8);
+  return common::OkStatus();
+}
+
 Status ZoFs::DirIterate(uint32_t cid, const Inode* dir, std::vector<vfs::DirEntry>* out) {
   if (dir->l1_dir == 0) {
     return common::OkStatus();
@@ -1611,6 +1629,97 @@ Status ZoFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
   return common::OkStatus();
 }
 
+Result<Dentry*> ZoFs::PrepareRenameDst(uint32_t dcid, Inode* ddir, std::string_view to_leaf,
+                                       uint32_t src_type, uint32_t src_coffer, uint64_t src_ino,
+                                       bool* same_file) {
+  *same_file = false;
+  ASSIGN_OR_RETURN(dd, DirFind(dcid, ddir, to_leaf));
+  if (dd->coffer_id == src_coffer && dd->inode_off == src_ino) {
+    *same_file = true;
+    return dd;
+  }
+  const uint32_t dst_type = dd->cached_type();
+  if (src_type == kTypeDirectory && dst_type != kTypeDirectory) {
+    return Err::kNotDir;
+  }
+  if (src_type != kTypeDirectory && dst_type == kTypeDirectory) {
+    return Err::kIsDir;
+  }
+  if (dst_type == kTypeDirectory) {
+    // An overwritten directory must be empty (possibly in another coffer).
+    if (dd->coffer_id == 0) {
+      if (!DirIsEmpty(Ino(dd->inode_off))) {
+        return Err::kNotEmpty;
+      }
+    } else {
+      ASSIGN_OR_RETURN(tinfo, EnsureMapped(dd->coffer_id, false));
+      if (tinfo.root_inode_off != dd->inode_off) {
+        return Err::kCorrupt;  // manipulated cross-coffer reference (G3)
+      }
+      mpk::AccessWindow tw(tinfo.key, false);
+      if (!DirIsEmpty(Ino(dd->inode_off))) {
+        return Err::kNotEmpty;
+      }
+    }
+  }
+  return dd;
+}
+
+Status ZoFs::BeginRenameIntent(const MapInfo& info, const RenameIntent& body) {
+  AUDIT_SCOPE("ZoFs::BeginRenameIntent");
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t off = info.custom_off + offsetof(AllocPool, rename_intent);
+  const uint64_t magic_off = off + offsetof(RenameIntent, magic);
+  // Claim the slot; a stale claim (holder died mid-rename without committing)
+  // is stealable after its lease expires.
+  for (;;) {
+    uint64_t m = dev->AtomicLoad64(magic_off);
+    if (m == 0) {
+      if (dev->AtomicCas64(magic_off, 0, kRenameIntentClaimed)) {
+        break;
+      }
+    } else if (dev->Load64(off + offsetof(RenameIntent, lease_expiry_ns)) < common::NowNs()) {
+      if (dev->AtomicCas64(magic_off, m, kRenameIntentClaimed)) {
+        break;
+      }
+    }
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+  RenameIntent in = body;
+  in.magic = kRenameIntentClaimed;
+  in.lease_expiry_ns = common::NowNs() + opts_.lease_ns;
+  dev->StoreBytes(off, &in, sizeof(in));
+  dev->PersistRange(off, sizeof(in));
+  // Commit: the intent becomes authoritative for recovery.
+  dev->AtomicStore64(magic_off, kRenameIntentMagic);
+  AUDIT_ORDER_AFTER(dev, magic_off, 8, off, sizeof(in));
+  dev->PersistRange(magic_off, 8);
+  return common::OkStatus();
+}
+
+void ZoFs::EndRenameIntent(const MapInfo& info) {
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t magic_off =
+      info.custom_off + offsetof(AllocPool, rename_intent) + offsetof(RenameIntent, magic);
+  dev->AtomicStore64(magic_off, 0);
+  dev->PersistRange(magic_off, 8);
+}
+
+Status ZoFs::FreeRenameVictim(uint32_t dcid, const MapInfo& dinfo, uint64_t old_dst_ino,
+                              uint32_t old_dst_coffer) {
+  if (old_dst_coffer != 0) {
+    // The overwritten destination rooted its own coffer: the kernel reclaims
+    // it whole.
+    RETURN_IF_ERROR(kfs_->CofferDelete(*proc_, old_dst_coffer));
+    ForgetMapping(old_dst_coffer);
+    return common::OkStatus();
+  }
+  CofferAllocator& alloc = AllocatorFor(dcid, dinfo);
+  return FreeNode(dcid, alloc, old_dst_ino);
+}
+
 Status ZoFs::Rename(const std::string& from, const std::string& to) {
   AUDIT_SCOPE("ZoFs::Rename");
   const std::string nfrom = vfs::NormalizePath(from);
@@ -1628,8 +1737,11 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
   if (src.leaf.empty()) {
     return Err::kBusy;  // "/"
   }
-  // Remove an existing destination first (POSIX overwrite semantics).
-  {
+  if (opts_.legacy_rename_overwrite) {
+    // Pre-fix behaviour, kept as a test hook so the crash explorer's
+    // planted-bug regression can demonstrate the detection: the destination
+    // is removed before the move is attempted, so a crash (or failure) in
+    // between loses it without completing the rename.
     auto dst_exists = Resolve(nto, false);
     if (dst_exists.ok()) {
       vfs::StatBuf st;
@@ -1683,35 +1795,126 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
   };
 
   if (scid == dcid) {
-    // Same coffer: pure user-space dentry movement.
+    // Same coffer: pure user-space dentry movement, made crash-atomic by the
+    // coffer's rename intent. The commit point is a single dentry-cacheline
+    // store (retarget for overwrite, the in-use flag for a fresh insert);
+    // recovery rolls the intent forward or back around it.
     return lock_both_and([&]() -> Status {
       mpk::AccessWindow w(dinfo.key, true);
       Inode* ddir = Ino(dstp.node.inode_off);
-      RETURN_IF_ERROR(DirInsert(dcid, ddir, to_leaf, d.coffer_id, d.inode_off, node_type));
       Inode* sdir = Ino(src.parent.inode_off);
-      RETURN_IF_ERROR(DirRemove(scid, sdir, src.leaf));
+      if (ddir->type != kTypeDirectory) {
+        return Err::kNotDir;
+      }
+      // Re-find the source under the locks (the snapshot may be stale).
+      ASSIGN_OR_RETURN(sd, DirFind(scid, sdir, src.leaf));
+      d = *sd;
+      node_type = d.cached_type();
+      bool same_file = false;
+      Dentry* dd = nullptr;
+      {
+        auto found = PrepareRenameDst(dcid, ddir, to_leaf, node_type, d.coffer_id, d.inode_off,
+                                      &same_file);
+        if (found.ok()) {
+          dd = *found;
+        } else if (found.error() != Err::kNoEnt) {
+          return found.error();
+        }
+      }
+      if (same_file) {
+        return common::OkStatus();  // POSIX: src and dst name the same node
+      }
+
+      RenameIntent in{};
+      in.src_dir_ino = src.parent.inode_off;
+      in.dst_dir_ino = dstp.node.inode_off;
+      in.child_ino = d.inode_off;
+      in.child_coffer = d.coffer_id;
+      in.child_type = node_type;
+      if (dd != nullptr) {
+        in.old_dst_ino = dd->inode_off;
+        in.old_dst_coffer = dd->coffer_id;
+      }
+      in.src_len = static_cast<uint8_t>(src.leaf.size());
+      in.dst_len = static_cast<uint8_t>(to_leaf.size());
+      memcpy(in.src_name, src.leaf.data(), src.leaf.size());
+      memcpy(in.dst_name, to_leaf.data(), to_leaf.size());
+      RETURN_IF_ERROR(BeginRenameIntent(dinfo, in));
+
+      if (dd != nullptr) {
+        // Overwrite: atomically retarget the existing destination dentry.
+        // The displaced node is freed only after this commit, so neither a
+        // failure nor a crash can lose the destination without completing
+        // the rename.
+        RETURN_IF_ERROR(DirReplaceTarget(ddir, dd, d.coffer_id, d.inode_off, node_type));
+      } else {
+        Status s = DirInsert(dcid, ddir, to_leaf, d.coffer_id, d.inode_off, node_type);
+        if (!s.ok()) {
+          EndRenameIntent(dinfo);  // nothing committed; pre-state intact
+          return s;
+        }
+      }
+      RETURN_IF_ERROR(DirRemoveAt(sdir, sd));
+      if (dd != nullptr) {
+        RETURN_IF_ERROR(FreeRenameVictim(dcid, dinfo, in.old_dst_ino, in.old_dst_coffer));
+      }
+      Status tail = common::OkStatus();
       if (d.coffer_id != 0) {
         // The moved node roots a coffer whose stored path must follow it.
-        return kfs_->CofferRename(*proc_, d.coffer_id, nto);
-      }
-      if (node_type == kTypeDirectory) {
+        tail = kfs_->CofferRename(*proc_, d.coffer_id, nto);
+      } else if (node_type == kTypeDirectory) {
         // Descendant coffers' paths embed the old prefix.
-        return kfs_->CofferFixupPaths(*proc_, nfrom, nto);
+        tail = kfs_->CofferFixupPaths(*proc_, nfrom, nto);
       }
-      return common::OkStatus();
+      EndRenameIntent(dinfo);
+      return tail;
     });
   }
 
-  // Cross-coffer rename (Table 9's expensive path).
+  // Cross-coffer rename (Table 9's expensive path). The destination is
+  // validated first and an existing one is displaced only at the commit
+  // point (retarget), so a mid-move failure cannot lose it; full cross-
+  // coffer crash atomicity (one intent spanning two coffers) is future work
+  // — the insert-before-remove order at least never loses the moved node.
   if (d.coffer_id != 0) {
     // The node is already its own coffer: move the dentry and re-path it.
     return lock_both_and([&]() -> Status {
       mpk::AccessWindow w(dinfo.key, true);
       Inode* ddir = Ino(dstp.node.inode_off);
-      RETURN_IF_ERROR(DirInsert(dcid, ddir, to_leaf, d.coffer_id, d.inode_off, node_type));
-      mpk::AccessWindow w2(sinfo.key, true);
-      Inode* sdir = Ino(src.parent.inode_off);
-      RETURN_IF_ERROR(DirRemove(scid, sdir, src.leaf));
+      if (ddir->type != kTypeDirectory) {
+        return Err::kNotDir;
+      }
+      bool same_file = false;
+      Dentry* dd = nullptr;
+      {
+        auto found = PrepareRenameDst(dcid, ddir, to_leaf, node_type, d.coffer_id, d.inode_off,
+                                      &same_file);
+        if (found.ok()) {
+          dd = *found;
+        } else if (found.error() != Err::kNoEnt) {
+          return found.error();
+        }
+      }
+      if (same_file) {
+        return common::OkStatus();
+      }
+      uint64_t old_dst_ino = 0;
+      uint32_t old_dst_coffer = 0;
+      if (dd != nullptr) {
+        old_dst_ino = dd->inode_off;
+        old_dst_coffer = dd->coffer_id;
+        RETURN_IF_ERROR(DirReplaceTarget(ddir, dd, d.coffer_id, d.inode_off, node_type));
+      } else {
+        RETURN_IF_ERROR(DirInsert(dcid, ddir, to_leaf, d.coffer_id, d.inode_off, node_type));
+      }
+      {
+        mpk::AccessWindow w2(sinfo.key, true);
+        Inode* sdir = Ino(src.parent.inode_off);
+        RETURN_IF_ERROR(DirRemove(scid, sdir, src.leaf));
+      }
+      if (dd != nullptr) {
+        RETURN_IF_ERROR(FreeRenameVictim(dcid, dinfo, old_dst_ino, old_dst_coffer));
+      }
       return kfs_->CofferRename(*proc_, d.coffer_id, nto);
     });
   }
@@ -1723,9 +1926,62 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
   }();
   const CofferRoot* droot = kfs_->RootPageOf(dcid);
 
+  // Validates the destination slot and snapshots a displaced node before any
+  // pages move, so every fallible step precedes the first destructive one.
+  struct DstPlan {
+    bool overwrite = false;
+    Dentry* dd = nullptr;
+    uint64_t old_dst_ino = 0;
+    uint32_t old_dst_coffer = 0;
+  };
+  auto plan_dst = [&]() -> Result<DstPlan> {
+    DstPlan plan;
+    mpk::AccessWindow w(dinfo.key, true);
+    Inode* ddir = Ino(dstp.node.inode_off);
+    if (ddir->type != kTypeDirectory) {
+      return Err::kNotDir;
+    }
+    bool same_file = false;
+    auto found =
+        PrepareRenameDst(dcid, ddir, to_leaf, node_type, d.coffer_id, d.inode_off, &same_file);
+    if (found.ok()) {
+      plan.overwrite = true;
+      plan.dd = *found;
+      plan.old_dst_ino = (*found)->inode_off;
+      plan.old_dst_coffer = (*found)->coffer_id;
+    } else if (found.error() != Err::kNoEnt) {
+      return found.error();
+    }
+    return plan;
+  };
+  // Commits the namespace move: retarget the displaced dentry or insert a
+  // fresh one, then drop the source name and free the displaced node.
+  auto commit_dst = [&](const DstPlan& plan, uint32_t child_coffer) -> Status {
+    {
+      mpk::AccessWindow w(dinfo.key, true);
+      Inode* ddir = Ino(dstp.node.inode_off);
+      if (plan.overwrite) {
+        RETURN_IF_ERROR(DirReplaceTarget(ddir, plan.dd, child_coffer, d.inode_off, node_type));
+      } else {
+        RETURN_IF_ERROR(DirInsert(dcid, ddir, to_leaf, child_coffer, d.inode_off, node_type));
+      }
+    }
+    {
+      mpk::AccessWindow w(sinfo.key, true);
+      Inode* sdir = Ino(src.parent.inode_off);
+      RETURN_IF_ERROR(DirRemove(scid, sdir, src.leaf));
+    }
+    if (plan.overwrite) {
+      mpk::AccessWindow w(dinfo.key, true);
+      RETURN_IF_ERROR(FreeRenameVictim(dcid, dinfo, plan.old_dst_ino, plan.old_dst_coffer));
+    }
+    return common::OkStatus();
+  };
+
   if (SameGroup(snapshot.mode, snapshot.uid, snapshot.gid, droot)) {
     // Same permission group as the destination coffer: bulk page move.
     return lock_both_and([&]() -> Status {
+      ASSIGN_OR_RETURN(plan, plan_dst());
       std::vector<PageRun> runs;
       {
         mpk::AccessWindow w(sinfo.key, true);
@@ -1734,16 +1990,7 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
       }
       RETURN_IF_ERROR(kfs_->CofferMovePages(*proc_, scid, dcid, runs));
       RecordRelocation(runs, dcid);
-      {
-        mpk::AccessWindow w(dinfo.key, true);
-        Inode* ddir = Ino(dstp.node.inode_off);
-        RETURN_IF_ERROR(DirInsert(dcid, ddir, to_leaf, 0, d.inode_off, node_type));
-      }
-      {
-        mpk::AccessWindow w(sinfo.key, true);
-        Inode* sdir = Ino(src.parent.inode_off);
-        RETURN_IF_ERROR(DirRemove(scid, sdir, src.leaf));
-      }
+      RETURN_IF_ERROR(commit_dst(plan, 0));
       if (node_type == kTypeDirectory) {
         return kfs_->CofferFixupPaths(*proc_, nfrom, nto);
       }
@@ -1753,19 +2000,11 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
 
   // Different permission group: the node becomes its own coffer at `to`.
   return lock_both_and([&]() -> Status {
+    ASSIGN_OR_RETURN(plan, plan_dst());
     ResolveResult fake = src;
     ASSIGN_OR_RETURN(new_cid,
                      SplitNodeIntoCoffer(fake, nto, snapshot.mode, snapshot.uid, snapshot.gid));
-    {
-      mpk::AccessWindow w(dinfo.key, true);
-      Inode* ddir = Ino(dstp.node.inode_off);
-      RETURN_IF_ERROR(DirInsert(dcid, ddir, to_leaf, new_cid, d.inode_off, node_type));
-    }
-    {
-      mpk::AccessWindow w(sinfo.key, true);
-      Inode* sdir = Ino(src.parent.inode_off);
-      RETURN_IF_ERROR(DirRemove(scid, sdir, src.leaf));
-    }
+    RETURN_IF_ERROR(commit_dst(plan, new_cid));
     if (node_type == kTypeDirectory) {
       return kfs_->CofferFixupPaths(*proc_, nfrom, nto);
     }

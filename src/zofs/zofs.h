@@ -20,6 +20,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/result.h"
@@ -54,6 +55,11 @@ struct Options {
   uint64_t lease_ns = 200'000'000;  // allocator/lock lease duration
   uint64_t enlarge_batch = 64;      // pages per coffer_enlarge request
   int max_symlink_depth = 8;
+
+  // Test hook (crashmon planted-bug regression): restore the pre-fix rename
+  // behaviour that removed an existing destination before attempting the
+  // move, so a crash in between loses the destination.
+  bool legacy_rename_overwrite = false;
 };
 
 // A resolved file: which coffer it lives in and its inode page.
@@ -177,6 +183,31 @@ class ZoFs final : public ufs::MicroFs {
   Status DirRemove(uint32_t cid, Inode* dir, std::string_view name);
   // Removal via an already-located dentry (avoids a second hash lookup).
   Status DirRemoveAt(Inode* dir, Dentry* d);
+  // Atomically repoints an in-use dentry at a different child. The updated
+  // fields share the dentry's first cacheline (all dentry slots are 64-byte
+  // aligned), so a crash exposes the old or the new target, never a mix —
+  // the commit point of an overwriting rename.
+  Status DirReplaceTarget(Inode* dir, Dentry* d, uint32_t child_coffer, uint64_t child_inode,
+                          uint32_t child_type);
+
+  // --- rename support ---
+  // Locates and validates an existing destination for an overwriting rename
+  // (POSIX: dir over empty dir, non-dir over non-dir). kNoEnt = free
+  // destination; `same_file` reports src and dst naming the same node.
+  Result<Dentry*> PrepareRenameDst(uint32_t dcid, Inode* ddir, std::string_view to_leaf,
+                                   uint32_t src_type, uint32_t src_coffer, uint64_t src_ino,
+                                   bool* same_file);
+  // Claims the coffer's rename-intent slot, persists `body` and commits it.
+  Status BeginRenameIntent(const kernfs::MapInfo& info, const RenameIntent& body);
+  // Clears the intent slot (the rename fully applied).
+  void EndRenameIntent(const kernfs::MapInfo& info);
+  // Frees an overwritten destination node once the rename has committed.
+  Status FreeRenameVictim(uint32_t dcid, const kernfs::MapInfo& dinfo, uint64_t old_dst_ino,
+                          uint32_t old_dst_coffer);
+  // Rolls a committed rename intent forward or back before traversal
+  // (called from RecoverOne under the coffer window).
+  Status RepairPendingRename(uint32_t cid, const kernfs::MapInfo& info,
+                             uint64_t* dentries_cleared);
   Status DirIterate(uint32_t cid, const Inode* dir, std::vector<vfs::DirEntry>* out);
   bool DirIsEmpty(const Inode* dir);
 
@@ -223,6 +254,14 @@ class ZoFs final : public ufs::MicroFs {
   std::unordered_map<uint32_t, kernfs::MapInfo> mapped_;
   std::unordered_map<uint32_t, std::unique_ptr<CofferAllocator>> allocators_;
   std::unordered_map<uint64_t, uint32_t> relocated_;  // page offset -> new coffer
+
+  // Set during RecoverAll by RepairPendingRename: an interrupted rename may
+  // have committed the dentry move before the kernel-side coffer path was
+  // rewritten, so phase 2 repairs (CofferRename) instead of clearing a
+  // cross-ref whose only defect is a stale path. `rename_repath_all_` covers
+  // descendant coffers of a renamed directory (CofferFixupPaths not reached).
+  std::unordered_set<uint32_t> rename_repath_;
+  bool rename_repath_all_ = false;
 };
 
 // Lease lock over an inode (paper §5.2): CAS-claimed owner + expiry deadline,

@@ -155,9 +155,103 @@ Result<uint64_t> ZoFs::RecoverCoffer(uint32_t cid) {
   return stats.pages_reclaimed;
 }
 
+Status ZoFs::RepairPendingRename(uint32_t cid, const kernfs::MapInfo& info,
+                                 uint64_t* dentries_cleared) {
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t off = info.custom_off + offsetof(AllocPool, rename_intent);
+  RenameIntent in;
+  dev->LoadBytes(off, &in, sizeof(in));
+  if (in.magic == 0) {
+    return common::OkStatus();
+  }
+  auto clear_slot = [&]() {
+    dev->Store64(off + offsetof(RenameIntent, magic), 0);
+    dev->PersistRange(off + offsetof(RenameIntent, magic), 8);
+  };
+  // A claimed-but-uncommitted intent (or a corrupt one) carries no
+  // obligation: the rename had not reached its commit point.
+  bool valid = in.magic == kRenameIntentMagic && in.src_len > 0 && in.src_len <= kMaxName &&
+               in.dst_len > 0 && in.dst_len <= kMaxName && PlausiblePage(dev, in.src_dir_ino) &&
+               PlausiblePage(dev, in.dst_dir_ino);
+  if (valid) {
+    valid = Ino(in.src_dir_ino)->magic == kInodeMagic && Ino(in.dst_dir_ino)->magic == kInodeMagic;
+  }
+  if (!valid) {
+    clear_slot();
+    return common::OkStatus();
+  }
+
+  const std::string_view src_name(in.src_name, in.src_len);
+  const std::string_view dst_name(in.dst_name, in.dst_len);
+  auto dd = DirFind(cid, Ino(in.dst_dir_ino), dst_name);
+  const bool committed = dd.ok() && (*dd)->coffer_id == in.child_coffer &&
+                         (*dd)->inode_off == in.child_ino;
+  if (committed) {
+    // Roll forward: the destination points at the child, so finish what the
+    // crashed rename started — drop a lingering source name and a displaced
+    // destination coffer (a displaced same-coffer node is simply no longer
+    // reachable and falls to the page sweep).
+    auto sd = DirFind(cid, Ino(in.src_dir_ino), src_name);
+    if (sd.ok() && (*sd)->coffer_id == in.child_coffer && (*sd)->inode_off == in.child_ino) {
+      RETURN_IF_ERROR(DirRemoveAt(Ino(in.src_dir_ino), *sd));
+      (*dentries_cleared)++;
+    }
+    if (in.old_dst_coffer != 0) {
+      // Ignore failure: the crashed rename may already have deleted it.
+      (void)kfs_->CofferDelete(*proc_, in.old_dst_coffer);
+      ForgetMapping(in.old_dst_coffer);
+    }
+    if (in.child_coffer != 0) {
+      // The kernel-side coffer path may not have been rewritten before the
+      // crash; let phase 2 repair a stale path instead of clearing the ref.
+      rename_repath_.insert(in.child_coffer);
+    }
+    if (in.child_type == kTypeDirectory) {
+      // Descendant coffers' stored paths may still embed the old prefix.
+      rename_repath_all_ = true;
+    }
+  }
+  // Not committed: the pre-rename namespace is intact; nothing to undo.
+  clear_slot();
+  return common::OkStatus();
+}
+
 Result<ZoFs::RecoveryStats> ZoFs::RecoverOne(uint32_t cid, std::vector<CrossRef>* cross_out) {
   RecoveryStats st;
   common::Stopwatch total;
+
+  // The kernel rediscovers coffers from alloc-table ownership alone, so a
+  // crash can leave a coffer whose root page is torn: a create interrupted
+  // before the root page fully persisted (magic or custom_off line missing),
+  // or a delete that invalidated the magic but was cut off mid page-sweep.
+  // Such a coffer has no recoverable contents — mapping it would hand the µFS
+  // a garbage custom_off / root_inode_off — so complete the deletion instead.
+  // Validate before CofferMap/CofferRecoverBegin: both read flags and
+  // permissions from the (garbage) root page.
+  nvm::NvmDevice* dev = kfs_->dev();
+  const CofferRoot* croot = kfs_->RootPageOf(cid);
+  bool intact = croot->magic == kernfs::kCofferMagic &&
+                PlausiblePage(dev, croot->root_inode_off) &&
+                PlausiblePage(dev, croot->custom_off);
+  if (intact) {
+    intact = Ino(croot->root_inode_off)->magic == kInodeMagic;
+  }
+  if (!intact) {
+    common::Stopwatch k0;
+    uint64_t owned = 0;
+    auto runs = kfs_->PagesOf(cid);
+    if (runs.ok()) {
+      for (const kernfs::PageRun& r : *runs) {
+        owned += r.len;
+      }
+    }
+    RETURN_IF_ERROR(kfs_->CofferDelete(*proc_, cid));
+    ForgetMapping(cid);
+    st.kernel_ns = k0.ElapsedNs();
+    st.pages_reclaimed = owned;
+    st.user_ns = total.ElapsedNs() - st.kernel_ns;
+    return st;
+  }
 
   // Map first (coffer_map refuses in-recovery coffers), then flag the coffer
   // in-recovery, which unmaps it from everyone else.
@@ -166,11 +260,13 @@ Result<ZoFs::RecoveryStats> ZoFs::RecoverOne(uint32_t cid, std::vector<CrossRef>
   RETURN_IF_ERROR(kfs_->CofferRecoverBegin(*proc_, cid, /*lease_ns=*/10'000'000'000ULL));
   st.kernel_ns += k1.ElapsedNs();
 
-  const CofferRoot* croot = kfs_->RootPageOf(cid);
   std::vector<uint64_t> pages;
   std::vector<CrossRef> cross;
   {
     mpk::AccessWindow w(info.key, true);
+    // An interrupted rename is rolled forward or back before traversal so
+    // the walk sees exactly the pre- or post-rename namespace.
+    RETURN_IF_ERROR(RepairPendingRename(cid, info, &st.dentries_cleared));
     Status s = CollectReachable(cid, info.root_inode_off, croot->path[1] == '\0' ? "/" : croot->path,
                                 &pages, &cross, &st.dentries_cleared);
     if (!s.ok() && s.error() != Err::kCorrupt) {
@@ -203,8 +299,19 @@ Result<ZoFs::RecoveryStats> ZoFs::RecoverOne(uint32_t cid, std::vector<CrossRef>
 Result<ZoFs::RecoveryStats> ZoFs::RecoverAll() {
   RecoveryStats total;
   std::vector<CrossRef> cross;
+  rename_repath_.clear();
+  rename_repath_all_ = false;
   for (uint32_t cid : kfs_->AllCofferIds()) {
-    ASSIGN_OR_RETURN(st, RecoverOne(cid, &cross));
+    auto st_or = RecoverOne(cid, &cross);
+    if (!st_or.ok()) {
+      if (st_or.error() == Err::kNoEnt) {
+        // Deleted while recovering an earlier coffer (rename roll-forward
+        // dropping a displaced destination, or a torn-coffer cleanup).
+        continue;
+      }
+      return st_or.error();
+    }
+    const RecoveryStats& st = *st_or;
     total.user_ns += st.user_ns;
     total.kernel_ns += st.kernel_ns;
     total.pages_in_use += st.pages_in_use;
@@ -223,8 +330,18 @@ Result<ZoFs::RecoveryStats> ZoFs::RecoverAll() {
     bool ok = live.count(ref.coffer_id) > 0;
     if (ok) {
       const CofferRoot* troot = kfs_->RootPageOf(ref.coffer_id);
-      ok = troot->magic == kernfs::kCofferMagic && troot->root_inode_off == ref.inode_off &&
-           ref.path.compare(troot->path) == 0;
+      ok = troot->magic == kernfs::kCofferMagic && troot->root_inode_off == ref.inode_off;
+      if (ok && ref.path.compare(troot->path) != 0) {
+        // A stale stored path is repairable (rather than a protection
+        // violation) only when an interrupted rename vouches for it: the
+        // crash may have hit between the dentry commit and the kernel-side
+        // CofferRename/CofferFixupPaths.
+        if (rename_repath_all_ || rename_repath_.count(ref.coffer_id) > 0) {
+          ok = kfs_->CofferRename(*proc_, ref.coffer_id, ref.path).ok();
+        } else {
+          ok = false;
+        }
+      }
     }
     if (!ok) {
       ASSIGN_OR_RETURN(info, EnsureMapped(ref.src_coffer, true));

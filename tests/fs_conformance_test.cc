@@ -71,6 +71,25 @@ TEST_P(FsConformanceTest, TruncateOnOpen) {
   EXPECT_EQ(st->size, 0u);
 }
 
+TEST_P(FsConformanceTest, TruncateRequiresWriteAccess) {
+  // POSIX leaves O_TRUNC|O_RDONLY unspecified, but a read-only open must
+  // never destroy data: every backend ignores the flag unless the open also
+  // requested write access.
+  auto fd = fs_->Open(kCred, "/t2", vfs::kCreate | vfs::kWrite, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->Write(*fd, "0123456789", 10).ok());
+  fs_->Close(*fd);
+  auto ro = fs_->Open(kCred, "/t2", vfs::kRead | vfs::kTrunc, 0);
+  ASSERT_TRUE(ro.ok()) << common::ErrName(ro.error());
+  auto st = fs_->Stat(kCred, "/t2");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, 10u);
+  char buf[16] = {};
+  auto r = fs_->Pread(*ro, buf, sizeof(buf), 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::string(buf, *r), "0123456789");
+}
+
 TEST_P(FsConformanceTest, AppendFlag) {
   auto fd = fs_->Open(kCred, "/log", vfs::kCreate | vfs::kWrite | vfs::kAppend, 0644);
   ASSERT_TRUE(fs_->Write(*fd, "aa", 2).ok());

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "src/fslib/fslib.h"
 #include "src/kernfs/kernfs.h"
@@ -140,6 +142,56 @@ TEST_F(FsLibTest, ManyFdsAndInterleavedCloses) {
     ASSERT_TRUE(fd.ok());
     EXPECT_EQ(*fd, i * 2);
   }
+}
+
+TEST_F(FsLibTest, DupSharedOffsetIsRaceFreeAcrossThreads) {
+  // POSIX: dup'd descriptors share one file offset, and each write must
+  // advance it atomically — two threads appending through the two fds may
+  // interleave chunks in any order but must never overwrite each other.
+  auto fd = fs_->Open(cred, "/shared", vfs::kCreate | vfs::kRdWr, 0644);
+  ASSERT_TRUE(fd.ok());
+  auto dup = fs_->Dup(*fd);
+  ASSERT_TRUE(dup.ok());
+
+  constexpr size_t kChunk = 64;
+  constexpr int kChunks = 256;
+  auto writer = [&](vfs::Fd f, char fill) {
+    fs_->BindThread();
+    std::vector<char> buf(kChunk, fill);
+    for (int i = 0; i < kChunks; i++) {
+      auto n = fs_->Write(f, buf.data(), buf.size());
+      if (!n.ok() || *n != kChunk) {
+        ADD_FAILURE() << "write " << i << " through fd " << f << " failed";
+        return;
+      }
+    }
+  };
+  std::thread ta(writer, *fd, 'A');
+  std::thread tb(writer, *dup, 'B');
+  ta.join();
+  tb.join();
+
+  // A racy offset read-modify-write makes chunks land on top of each other:
+  // the file comes up short and/or some byte is written twice.
+  auto st = fs_->Fstat(*fd);
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(st->size, 2ull * kChunks * kChunk);
+  std::vector<char> all(st->size);
+  auto n = fs_->Pread(*fd, all.data(), all.size(), 0);
+  ASSERT_TRUE(n.ok());
+  ASSERT_EQ(*n, all.size());
+  int a_chunks = 0;
+  for (size_t c = 0; c < all.size() / kChunk; c++) {
+    const char first = all[c * kChunk];
+    EXPECT_TRUE(first == 'A' || first == 'B') << "chunk " << c;
+    for (size_t i = 1; i < kChunk; i++) {
+      ASSERT_EQ(all[c * kChunk + i], first) << "torn chunk " << c << " at byte " << i;
+    }
+    if (first == 'A') {
+      a_chunks++;
+    }
+  }
+  EXPECT_EQ(a_chunks, kChunks);
 }
 
 TEST_F(FsLibTest, GracefulErrorLeavesFdTableUsable) {

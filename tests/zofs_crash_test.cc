@@ -275,4 +275,92 @@ TEST_F(ZofsCrashTest, TornDentryIsRepairedByFsck) {
   ASSERT_TRUE(entries.ok());
 }
 
+TEST_F(ZofsCrashTest, FailedRenameLeavesDestinationIntact) {
+  // Rename validates before touching anything: a rename that fails (here,
+  // onto a non-empty directory) must leave the existing destination — and its
+  // contents — untouched, both immediately and across a crash.
+  ASSERT_TRUE(fs_->Mkdir(cred, "/dir", 0755).ok());
+  ASSERT_TRUE(fs_->Open(cred, "/dir/child", vfs::kCreate | vfs::kWrite, 0644).ok());
+  auto fd = fs_->Open(cred, "/f", vfs::kCreate | vfs::kWrite, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->Pwrite(*fd, "keep", 4, 0).ok());
+  ASSERT_TRUE(fs_->Close(*fd).ok());
+
+  EXPECT_FALSE(fs_->Rename(cred, "/f", "/dir").ok());      // file over dir
+  EXPECT_FALSE(fs_->Rename(cred, "/dir", "/f").ok());      // dir over file
+  EXPECT_FALSE(fs_->Rename(cred, "/nosuch", "/f").ok());   // missing source
+
+  CrashAndReboot();
+
+  EXPECT_TRUE(fs_->Stat(cred, "/dir/child").ok());
+  auto fd2 = fs_->Open(cred, "/f", vfs::kRead, 0);
+  ASSERT_TRUE(fd2.ok());
+  char buf[8] = {};
+  auto r = fs_->Pread(*fd2, buf, sizeof(buf), 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::string(buf, *r), "keep");
+}
+
+TEST_F(ZofsCrashTest, RenameOverwriteIsCrashAtomicAtEveryEpoch) {
+  // Walk every persistence epoch of one rename over an existing destination
+  // (a 0600 file in its own coffer — the displaced-coffer case). At every
+  // crash point the destination must read as exactly the old or exactly the
+  // new content; if new, the source name must be gone.
+  const std::string old_data(2000, 'd');
+  const std::string new_data(3000, 's');
+  auto mk = [&](const char* path, uint16_t mode, const std::string& data) {
+    auto fd = fs_->Open(cred, path, vfs::kCreate | vfs::kWrite, mode);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(fs_->Pwrite(*fd, data.data(), data.size(), 0).ok());
+    ASSERT_TRUE(fs_->Close(*fd).ok());
+  };
+  mk("/src", 0644, new_data);
+  mk("/dst", 0600, old_data);
+
+  dev_->StartCrashCapture();
+  std::vector<uint8_t> snapshot;
+  dev_->SnapshotTo(&snapshot);
+  ASSERT_TRUE(fs_->Rename(cred, "/src", "/dst").ok());
+  std::vector<nvm::CrashEpoch> journal = dev_->crash_journal();
+  dev_->StopCrashCapture();
+  ASSERT_GT(journal.size(), 1u);
+
+  auto read_file = [&](const char* path, std::string* out) -> int {
+    auto fd = fs_->Open(cred, path, vfs::kRead, 0);
+    if (!fd.ok()) {
+      return fd.error() == Err::kNoEnt ? 0 : -1;
+    }
+    auto st = fs_->Fstat(*fd);
+    if (!st.ok()) {
+      return -1;
+    }
+    out->assign(st->size, 0);
+    auto r = fs_->Pread(*fd, out->data(), out->size(), 0);
+    return (r.ok() && *r == out->size()) ? 1 : -1;
+  };
+
+  nvm::CrashImageBuilder builder(snapshot, &journal);
+  for (int64_t e = -1; e < static_cast<int64_t>(journal.size()); e++) {
+    builder.AdvanceTo(e);
+    dev_->RestoreFrom(builder.image().data(), builder.image().size());
+    Boot(/*format=*/false);
+    auto stats = fs_->zofs().RecoverAll();
+    ASSERT_TRUE(stats.ok()) << "epoch " << e << ": " << common::ErrName(stats.error());
+    EXPECT_TRUE(kfs_->CheckAllocTableForTest().empty())
+        << "epoch " << e << ": " << kfs_->CheckAllocTableForTest();
+
+    std::string dst;
+    ASSERT_EQ(read_file("/dst", &dst), 1) << "epoch " << e << ": destination lost";
+    std::string src;
+    int src_state = read_file("/src", &src);
+    if (dst == new_data) {
+      EXPECT_EQ(src_state, 0) << "epoch " << e << ": rename committed but source remains";
+    } else {
+      ASSERT_EQ(dst, old_data) << "epoch " << e << ": destination torn";
+      ASSERT_EQ(src_state, 1) << "epoch " << e;
+      EXPECT_EQ(src, new_data) << "epoch " << e;
+    }
+  }
+}
+
 }  // namespace

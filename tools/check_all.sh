@@ -43,6 +43,17 @@ if ! diff -q "$A" "$B" >/dev/null; then
 fi
 rm -f "$A" "$B"
 
+step "crash_explore: fig8 workload (DWOL on zofs), bounded sweep + determinism check"
+A=$(mktemp) && B=$(mktemp)
+"$BUILD_DIR"/tools/crash_explore --workload=DWOL --ops=100 --max-points=200 --json > "$A" || FAIL=1
+"$BUILD_DIR"/tools/crash_explore --workload=DWOL --ops=100 --max-points=200 --json > "$B" || FAIL=1
+if ! diff -q "$A" "$B" >/dev/null; then
+  echo "crash_explore: report is not deterministic across two runs" >&2
+  diff "$A" "$B" >&2
+  FAIL=1
+fi
+rm -f "$A" "$B"
+
 if [ "$FAIL" -ne 0 ]; then
   step "FAILED"
   exit 1
