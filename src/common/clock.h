@@ -7,16 +7,47 @@
 #ifndef SRC_COMMON_CLOCK_H_
 #define SRC_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
 namespace common {
 
-inline uint64_t NowNs() {
+// The hardware clock, never overridden. Cost-model busy-waits must use this
+// so they terminate even while a test pins the logical clock.
+inline uint64_t RealNowNs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+namespace detail {
+// 0 = no override (read the hardware clock). Tests pin logical time to make
+// lease expiry — inode locks, free-list leases, rename intents — play out
+// deterministically.
+inline std::atomic<uint64_t> g_now_override_ns{0};
+}  // namespace detail
+
+// Logical monotonic time. All lease words stored on NVM are stamped and
+// compared against this clock, so a test that overrides it can express "the
+// owner died and its lease lapsed" without sleeping.
+inline uint64_t NowNs() {
+  const uint64_t o = detail::g_now_override_ns.load(std::memory_order_relaxed);
+  return o != 0 ? o : RealNowNs();
+}
+
+// Pins NowNs() to `ns` (0 restores the hardware clock).
+inline void SetNowNsForTest(uint64_t ns) {
+  detail::g_now_override_ns.store(ns, std::memory_order_relaxed);
+}
+
+// Advances a pinned clock; no-op when the hardware clock is active.
+inline void AdvanceNowNsForTest(uint64_t delta_ns) {
+  uint64_t cur = detail::g_now_override_ns.load(std::memory_order_relaxed);
+  while (cur != 0 && !detail::g_now_override_ns.compare_exchange_weak(
+                         cur, cur + delta_ns, std::memory_order_relaxed)) {
+  }
 }
 
 // Busy-wait for `ns` nanoseconds. Spinning (rather than sleeping) matches the
@@ -26,8 +57,8 @@ inline void SpinNs(uint64_t ns) {
   if (ns == 0) {
     return;
   }
-  const uint64_t start = NowNs();
-  while (NowNs() - start < ns) {
+  const uint64_t start = RealNowNs();
+  while (RealNowNs() - start < ns) {
     // Relax the pipeline; keeps the spin polite on SMT siblings.
 #if defined(__x86_64__)
     __builtin_ia32_pause();

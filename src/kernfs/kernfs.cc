@@ -8,6 +8,27 @@
 
 namespace kernfs {
 
+namespace {
+
+// A page run crossing the syscall boundary is hostile input: reject zero
+// length, wrap-around, and out-of-device ranges before they index the
+// allocation table.
+bool RunInBounds(uint64_t num_pages, const PageRun& r) {
+  return r.len != 0 && r.start_page < num_pages && r.len <= num_pages - r.start_page;
+}
+
+// Recompute a coffer's page count from the kernel's authoritative run map
+// instead of doing arithmetic on the persistent (corruptible) num_pages.
+uint64_t SumRuns(const std::map<uint64_t, uint64_t>& runs) {
+  uint64_t n = 0;
+  for (const auto& [start, len] : runs) {
+    n += len;
+  }
+  return n;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // KernelEntry
 
@@ -141,6 +162,11 @@ void KernFs::WriteEntry(uint64_t page, uint32_t owner, uint32_t run_len) {
 }
 
 Result<std::vector<PageRun>> KernFs::AllocPages(uint64_t n, uint32_t owner) {
+  // n comes from user-controlled sizes (coffer_new extra pages, enlarge
+  // batches); a wrapped or device-sized request must not reach the grant loop.
+  if (n == 0 || n > dev_->num_pages()) {
+    return Err::kInval;
+  }
   std::vector<PageRun> granted;
   uint64_t remaining = n;
   while (remaining > 0) {
@@ -248,6 +274,9 @@ Result<uint64_t> KernFs::PathMapLookup(const std::string& path) const {
     if (v == kBucketTombstone) {
       continue;
     }
+    if (v % nvm::kPageSize != 0 || !dev_->Contains(v, sizeof(CofferRoot))) {
+      continue;  // scribbled bucket; only aligned in-device offsets are roots
+    }
     const auto* root = dev_->As<CofferRoot>(v);
     if (root->magic == kCofferMagic && path.compare(root->path) == 0) {
       return v;
@@ -281,6 +310,9 @@ Status KernFs::PathMapErase(const std::string& path) {
       return Err::kNoEnt;
     }
     if (v == kBucketTombstone) {
+      continue;
+    }
+    if (v % nvm::kPageSize != 0 || !dev_->Contains(v, sizeof(CofferRoot))) {
       continue;
     }
     const auto* root = dev_->As<CofferRoot>(v);
@@ -533,7 +565,7 @@ Result<std::vector<PageRun>> KernFs::CofferEnlarge(Process& proc, uint32_t coffe
   }
   CofferRoot* root = RootOf(*c);
   uint64_t root_off = dev_->OffsetOf(root);
-  dev_->Store64(root_off + offsetof(CofferRoot, num_pages), root->num_pages + n_pages);
+  dev_->Store64(root_off + offsetof(CofferRoot, num_pages), SumRuns(c->runs));
   dev_->PersistRange(root_off + offsetof(CofferRoot, num_pages), 8);
   return runs;
 }
@@ -546,8 +578,10 @@ Status KernFs::CofferShrink(Process& proc, uint32_t coffer_id, const std::vector
     return Err::kNoEnt;
   }
   RETURN_IF_ERROR(CheckMappedWritable(proc, coffer_id));
-  uint64_t released = 0;
   for (const PageRun& r : runs) {
+    if (!RunInBounds(sb_->num_pages, r)) {
+      return Err::kInval;
+    }
     // Validate ownership of every page in the run.
     for (uint64_t p = r.start_page; p < r.start_page + r.len; p++) {
       if (ReadEntry(p).coffer_id != coffer_id || p == c->root_page) {
@@ -577,11 +611,10 @@ Status KernFs::CofferShrink(Process& proc, uint32_t coffer_id, const std::vector
       }
     }
     FreeRun(r);
-    released += r.len;
   }
   CofferRoot* root = RootOf(*c);
   uint64_t root_off = dev_->OffsetOf(root);
-  dev_->Store64(root_off + offsetof(CofferRoot, num_pages), root->num_pages - released);
+  dev_->Store64(root_off + offsetof(CofferRoot, num_pages), SumRuns(c->runs));
   dev_->PersistRange(root_off + offsetof(CofferRoot, num_pages), 8);
   return common::OkStatus();
 }
@@ -594,6 +627,9 @@ Result<MapInfo> KernFs::CofferMap(Process& proc, uint32_t coffer_id, bool writab
     return Err::kNoEnt;
   }
   CofferRoot* root = RootOf(*c);
+  if (root->magic != kCofferMagic) {
+    return Err::kCorrupt;  // root page scribbled since mount; refuse to map
+  }
   if (root->flags & kCofferInRecovery) {
     return Err::kBusy;
   }
@@ -705,6 +741,9 @@ Result<uint32_t> KernFs::CofferSplit(Process& proc, uint32_t src_id,
   // Validate that every page to move belongs to src and none is the root.
   uint64_t moved = 0;
   for (const PageRun& r : pages) {
+    if (!RunInBounds(sb_->num_pages, r)) {
+      return Err::kInval;
+    }
     for (uint64_t p = r.start_page; p < r.start_page + r.len; p++) {
       if (ReadEntry(p).coffer_id != src_id || p == src->root_page) {
         return Err::kInval;
@@ -762,7 +801,7 @@ Result<uint32_t> KernFs::CofferSplit(Process& proc, uint32_t src_id,
   // Update src bookkeeping.
   CofferRoot* sroot = RootOf(*src);
   uint64_t sroot_off = dev_->OffsetOf(sroot);
-  dev_->Store64(sroot_off + offsetof(CofferRoot, num_pages), sroot->num_pages - moved);
+  dev_->Store64(sroot_off + offsetof(CofferRoot, num_pages), SumRuns(src->runs));
   dev_->PersistRange(sroot_off + offsetof(CofferRoot, num_pages), 8);
 
   // Processes mapping src lose access to the moved pages.
@@ -788,14 +827,15 @@ Status KernFs::CofferMovePages(Process& proc, uint32_t src_id, uint32_t dst_id,
   }
   RETURN_IF_ERROR(CheckMappedWritable(proc, src_id));
   RETURN_IF_ERROR(CheckMappedWritable(proc, dst_id));
-  uint64_t moved = 0;
   for (const PageRun& r : pages) {
+    if (!RunInBounds(sb_->num_pages, r)) {
+      return Err::kInval;
+    }
     for (uint64_t p = r.start_page; p < r.start_page + r.len; p++) {
       if (ReadEntry(p).coffer_id != src_id || p == src->root_page) {
         return Err::kInval;
       }
     }
-    moved += r.len;
   }
   for (const PageRun& r : pages) {
     SetRunOwner(r, dst_id);
@@ -829,8 +869,8 @@ Status KernFs::CofferMovePages(Process& proc, uint32_t src_id, uint32_t dst_id,
   CofferRoot* droot = RootOf(*dst);
   uint64_t soff = dev_->OffsetOf(sroot);
   uint64_t doff = dev_->OffsetOf(droot);
-  dev_->Store64(soff + offsetof(CofferRoot, num_pages), sroot->num_pages - moved);
-  dev_->Store64(doff + offsetof(CofferRoot, num_pages), droot->num_pages + moved);
+  dev_->Store64(soff + offsetof(CofferRoot, num_pages), SumRuns(src->runs));
+  dev_->Store64(doff + offsetof(CofferRoot, num_pages), SumRuns(dst->runs));
   dev_->PersistRange(soff + offsetof(CofferRoot, num_pages), 8);
   dev_->PersistRange(doff + offsetof(CofferRoot, num_pages), 8);
   return common::OkStatus();
@@ -857,7 +897,6 @@ Result<uint64_t> KernFs::CofferMerge(Process& proc, uint32_t dst_id, uint32_t sr
   }
 
   uint64_t old_root_off = src->root_page * nvm::kPageSize;
-  uint64_t moved = sroot->num_pages;
   PathMapErase(sroot->path);
   // Invalidate the old root page's magic before it becomes a data page.
   dev_->Store64(old_root_off, 0);
@@ -873,7 +912,7 @@ Result<uint64_t> KernFs::CofferMerge(Process& proc, uint32_t dst_id, uint32_t sr
   }
 
   uint64_t droot_off = dev_->OffsetOf(droot);
-  dev_->Store64(droot_off + offsetof(CofferRoot, num_pages), droot->num_pages + moved);
+  dev_->Store64(droot_off + offsetof(CofferRoot, num_pages), SumRuns(dst->runs));
   dev_->PersistRange(droot_off + offsetof(CofferRoot, num_pages), 8);
 
   // Fix mappings: everyone who had src mapped loses it; everyone with dst
@@ -989,7 +1028,7 @@ Result<uint64_t> KernFs::CofferRecoverEnd(Process& proc, uint32_t coffer_id,
   c->runs = std::move(new_runs);
 
   uint64_t root_off = dev_->OffsetOf(root);
-  dev_->Store64(root_off + offsetof(CofferRoot, num_pages), root->num_pages - reclaimed);
+  dev_->Store64(root_off + offsetof(CofferRoot, num_pages), SumRuns(c->runs));
   dev_->Store16(root_off + offsetof(CofferRoot, flags),
                 static_cast<uint16_t>(root->flags & ~kCofferInRecovery));
   dev_->PersistRange(root_off, sizeof(CofferRoot));
@@ -1103,7 +1142,7 @@ Status KernFs::FileMmap(Process& proc, uint32_t coffer_id, const std::vector<uin
     return Err::kAcces;
   }
   for (uint64_t pg : pages) {
-    if (ReadEntry(pg).coffer_id != coffer_id || pg == c->root_page) {
+    if (pg >= sb_->num_pages || ReadEntry(pg).coffer_id != coffer_id || pg == c->root_page) {
       return Err::kInval;
     }
   }
@@ -1133,7 +1172,7 @@ Status KernFs::FileMunmap(Process& proc, uint32_t coffer_id,
   const uint8_t tag =
       it->second.writable ? key : static_cast<uint8_t>(key | mpk::kPageReadOnly);
   for (uint64_t pg : pages) {
-    if (ReadEntry(pg).coffer_id != coffer_id) {
+    if (pg >= sb_->num_pages || ReadEntry(pg).coffer_id != coffer_id) {
       return Err::kInval;
     }
     proc.page_keys_[pg] = tag;
@@ -1162,7 +1201,7 @@ Result<uint64_t> KernFs::FileExecve(Process& proc, uint32_t coffer_id, uint16_t 
   uint64_t digest = 0xcbf29ce484222325ULL;
   uint64_t remaining = image_size;
   for (uint64_t pg : pages) {
-    if (ReadEntry(pg).coffer_id != coffer_id) {
+    if (pg >= sb_->num_pages || ReadEntry(pg).coffer_id != coffer_id) {
       return Err::kInval;
     }
     const uint8_t* bytes = dev_->base() + pg * nvm::kPageSize;

@@ -7,9 +7,50 @@ namespace {
 struct ThreadState {
   uint32_t pkru = 0;  // all keys allowed until a process binds the thread
   const PageKeyTable* table = nullptr;
+  uint64_t violations = 0;  // simulated page faults taken on this thread
 };
 
 thread_local ThreadState g_tls;
+
+// Core permission test shared by the throwing and probing entry points.
+// Returns the faulting page offset via *fault_off / *fault_key on failure.
+bool AccessAllowed(uint64_t off, size_t len, bool is_write, uint64_t* fault_off,
+                   uint8_t* fault_key) {
+  const PageKeyTable* table = g_tls.table;
+  if (table == nullptr || len == 0) {
+    return true;  // thread not bound to a Treasury process: no MPK enforcement
+  }
+  const uint32_t pkru = g_tls.pkru;
+  uint64_t first = off / nvm::kPageSize;
+  uint64_t last = (off + len - 1) / nvm::kPageSize;
+  if (off + len < off || last >= table->size()) {
+    *fault_off = off;
+    *fault_key = 0xff;
+    return false;
+  }
+  for (uint64_t page = first; page <= last; page++) {
+    uint8_t entry = (*table)[page];
+    if (entry == kUnmapped) {
+      // Page not present in this process's address space: a plain page fault.
+      *fault_off = page * nvm::kPageSize;
+      *fault_key = entry;
+      return false;
+    }
+    if (is_write && (entry & kPageReadOnly)) {
+      // Page-table write protection (e.g. coffer root pages, read-only maps).
+      *fault_off = page * nvm::kPageSize;
+      *fault_key = entry;
+      return false;
+    }
+    uint8_t key = entry & kKeyMask;
+    if (!PkruAllows(pkru, key, is_write)) {
+      *fault_off = page * nvm::kPageSize;
+      *fault_key = key;
+      return false;
+    }
+  }
+  return true;
+}
 
 common::Err DeviceHook(void* ctx, uint64_t off, size_t len, bool is_write) {
   CheckAccess(off, len, is_write);
@@ -38,32 +79,23 @@ const PageKeyTable* CurrentTable() { return g_tls.table; }
 void InstallDeviceHook(nvm::NvmDevice* dev) { dev->SetAccessHook(&DeviceHook, nullptr); }
 
 void CheckAccess(uint64_t off, size_t len, bool is_write) {
-  const PageKeyTable* table = g_tls.table;
-  if (table == nullptr || len == 0) {
-    return;  // thread not bound to a Treasury process: no MPK enforcement
+  uint64_t fault_off = 0;
+  uint8_t fault_key = 0;
+  if (!AccessAllowed(off, len, is_write, &fault_off, &fault_key)) {
+    g_tls.violations++;
+    throw ViolationError{fault_off, fault_key, is_write};
   }
-  const uint32_t pkru = g_tls.pkru;
-  uint64_t first = off / nvm::kPageSize;
-  uint64_t last = (off + len - 1) / nvm::kPageSize;
-  if (last >= table->size()) {
-    throw ViolationError{off, 0xff, is_write};
+  if (g_tls.table != nullptr && len != 0) {
+    audit::NoteAccess(off, len, is_write);
   }
-  for (uint64_t page = first; page <= last; page++) {
-    uint8_t entry = (*table)[page];
-    if (entry == kUnmapped) {
-      // Page not present in this process's address space: a plain page fault.
-      throw ViolationError{page * nvm::kPageSize, entry, is_write};
-    }
-    if (is_write && (entry & kPageReadOnly)) {
-      // Page-table write protection (e.g. coffer root pages, read-only maps).
-      throw ViolationError{page * nvm::kPageSize, entry, is_write};
-    }
-    uint8_t key = entry & kKeyMask;
-    if (!PkruAllows(pkru, key, is_write)) {
-      throw ViolationError{page * nvm::kPageSize, key, is_write};
-    }
-  }
-  audit::NoteAccess(off, len, is_write);
 }
+
+bool ProbeAccess(uint64_t off, size_t len, bool is_write) {
+  uint64_t fault_off = 0;
+  uint8_t fault_key = 0;
+  return AccessAllowed(off, len, is_write, &fault_off, &fault_key);
+}
+
+uint64_t ThreadViolationCount() { return g_tls.violations; }
 
 }  // namespace mpk

@@ -111,6 +111,21 @@ void InstallDeviceHook(nvm::NvmDevice* dev);
 // this at access points). Throws ViolationError on a denied access.
 void CheckAccess(uint64_t off, size_t len, bool is_write);
 
+// Non-throwing variant: would CheckAccess succeed? µFS validators use this to
+// vet a pointer loaded from persistent metadata *before* dereferencing it —
+// the page-key table doubles as a hardware-backed ownership oracle (a page
+// another coffer owns carries a different key, an unowned page is unmapped),
+// so a corrupted block pointer is refused without taking the simulated fault.
+// Returns true when no table is bound (no MPK enforcement).
+bool ProbeAccess(uint64_t off, size_t len, bool is_write);
+
+// Count of ViolationErrors raised on the calling thread. A violation is the
+// simulated SIGSEGV: harnesses sample this around an operation to tell "the
+// µFS detected the corruption and returned an error" apart from "the µFS
+// dereferenced garbage and took a fault" even when both surface as an error
+// at the FSLib boundary.
+uint64_t ThreadViolationCount();
+
 // RAII access window: saves PKRU, opens exactly one key, restores on scope
 // exit. The µFS discipline from guidelines G1/G2.
 class AccessWindow {

@@ -5,10 +5,14 @@
 #include <unordered_map>
 
 #include "src/common/clock.h"
+#include "src/mpk/mpk.h"
 
 namespace zofs {
 
 namespace {
+// No live thread stamps a lease further out than this past now; a bigger
+// expiry is corrupt metadata and the list is treated as reclaimable.
+constexpr uint64_t kMaxLeaseSlackNs = 60'000'000'000ull;
 // Per-thread cache of which pool list this thread holds, keyed by the pool's
 // NVM offset (unique per coffer across all processes). The paper stores this
 // in "a normal per-thread variable" (§5.2 footnote).
@@ -24,13 +28,26 @@ uint64_t CurrentTid() {
 }
 
 CofferAllocator::CofferAllocator(kernfs::KernFs* kfs, kernfs::Process* proc, uint32_t coffer_id,
-                                 uint64_t pool_off, uint64_t lease_ns, uint64_t enlarge_batch)
+                                 uint64_t pool_off, uint64_t lease_ns, uint64_t enlarge_batch,
+                                 bool validate)
     : kfs_(kfs),
       proc_(proc),
       coffer_id_(coffer_id),
       pool_off_(pool_off),
       lease_ns_(lease_ns),
-      enlarge_batch_(enlarge_batch) {}
+      enlarge_batch_(enlarge_batch),
+      validate_(validate) {}
+
+bool CofferAllocator::ValidFreePage(uint64_t off) const {
+  if (!validate_) {
+    // Pre-hardening discipline: the raw dereference's own MPK check, which
+    // throws (the simulated SIGSEGV) instead of failing gracefully.
+    mpk::CheckAccess(off, 8, false);
+    return true;
+  }
+  return off % nvm::kPageSize == 0 && kfs_->dev()->Contains(off, nvm::kPageSize) &&
+         mpk::ProbeAccess(off, 8, false);
+}
 
 void CofferAllocator::InitPool(nvm::NvmDevice* dev, uint64_t pool_off) {
   AllocPool zero{};
@@ -44,6 +61,9 @@ AllocPool* CofferAllocator::pool() { return kfs_->dev()->As<AllocPool>(pool_off_
 Result<uint32_t> CofferAllocator::AcquireList() {
   nvm::NvmDevice* dev = kfs_->dev();
   AllocPool* p = pool();
+  if (validate_ && p->magic != kPoolMagic) {
+    return Err::kCorrupt;  // the pool page itself is damaged
+  }
   const uint64_t tid = CurrentTid();
   const uint64_t now = common::NowNs();
 
@@ -72,8 +92,9 @@ Result<uint32_t> CofferAllocator::AcquireList() {
       t_my_list[pool_off_] = i;
       return i;
     }
-    if (owner != 0 && l->lease_expiry_ns > now) {
-      continue;
+    if (owner != 0 && l->lease_expiry_ns > now &&
+        l->lease_expiry_ns <= now + kMaxLeaseSlackNs) {
+      continue;  // live lease; an implausibly-far expiry is corrupt: steal
     }
     uint64_t loff = pool_off_ + offsetof(AllocPool, lists) + i * sizeof(LeasedFreeList);
     if (dev->AtomicCas64(loff + offsetof(LeasedFreeList, owner_tid), owner, tid)) {
@@ -107,6 +128,14 @@ Result<uint64_t> CofferAllocator::AllocPage(bool zero) {
   }
 
   uint64_t page_off = l->head;
+  if (!ValidFreePage(page_off)) {
+    // Scribbled head: abandon the list's contents (fsck reclaims stranded
+    // pages from reachability) rather than link through garbage.
+    dev->Store64(loff + offsetof(LeasedFreeList, head), 0);
+    dev->Store64(loff + offsetof(LeasedFreeList, count), 0);
+    dev->Clwb(loff, sizeof(LeasedFreeList));
+    return Err::kCorrupt;
+  }
   uint64_t next = dev->Load64(page_off);
   // Free-list state is advisory: recovery rebuilds it from reachability, so
   // updates are written back without ordering fences (soft-updates spirit).

@@ -32,8 +32,13 @@ uint64_t CurrentTid();
 
 class CofferAllocator {
  public:
+  // `validate` enables validate-before-dereference on persistent free-list
+  // state (pool magic, list heads). ZoFs passes false only under its
+  // raw_deref_for_test hook, restoring the pre-hardening behaviour where a
+  // poisoned head takes the simulated page fault.
   CofferAllocator(kernfs::KernFs* kfs, kernfs::Process* proc, uint32_t coffer_id,
-                  uint64_t pool_off, uint64_t lease_ns, uint64_t enlarge_batch);
+                  uint64_t pool_off, uint64_t lease_ns, uint64_t enlarge_batch,
+                  bool validate = true);
 
   // Formats a fresh pool page (called once when a coffer is created).
   static void InitPool(nvm::NvmDevice* dev, uint64_t pool_off);
@@ -60,6 +65,9 @@ class CofferAllocator {
   // claiming or stealing one if needed.
   Result<uint32_t> AcquireList();
   void PushLocked(LeasedFreeList* l, uint64_t list_off, uint64_t page_off);
+  // Is `off` safe to dereference as a free-list link (page-aligned, inside
+  // the device, owned by this coffer per the MPK oracle)?
+  bool ValidFreePage(uint64_t off) const;
 
   kernfs::KernFs* kfs_;
   kernfs::Process* proc_;
@@ -67,6 +75,7 @@ class CofferAllocator {
   uint64_t pool_off_;
   uint64_t lease_ns_;
   uint64_t enlarge_batch_;
+  bool validate_;
 };
 
 }  // namespace zofs

@@ -57,26 +57,53 @@ vfs::FileType VfsType(uint32_t t) {
 // ---------------------------------------------------------------------------
 // InodeLock
 
+namespace {
+// No legal lease stamp exceeds now + the longest lease anyone writes
+// (recovery uses 10 s); an expiry further out than this slack is corrupt
+// metadata, not a live holder, and the lock is stolen outright.
+constexpr uint64_t kMaxLeaseSlackNs = 60'000'000'000ull;
+
+// How long lock acquisition may wait for a live holder before giving up.
+uint64_t LockWaitBoundNs(uint64_t lease_ns) {
+  return std::max<uint64_t>(4 * lease_ns, 10'000'000);
+}
+}  // namespace
+
 InodeLock::InodeLock(nvm::NvmDevice* dev, uint64_t inode_off, uint64_t lease_ns)
     : dev_(dev),
       owner_off_(inode_off + offsetof(Inode, lock_owner)),
       expiry_off_(inode_off + offsetof(Inode, lock_expiry_ns)) {
   const uint64_t tid = CurrentTid();
+  // The wait bound runs on the hardware clock so it holds even when a test
+  // pins the logical clock; lease expiry uses the logical clock so tests can
+  // lapse a dead owner's lease deterministically.
+  const uint64_t give_up = common::RealNowNs() + LockWaitBoundNs(lease_ns);
   int spins = 0;
   for (;;) {
     uint64_t owner = dev_->AtomicLoad64(owner_off_);
     if (owner == tid) {
-      break;  // already held by this thread (single-level reentry)
+      held_ = true;  // already held by this thread (single-level reentry)
+      break;
     }
     if (owner == 0) {
       if (dev_->AtomicCas64(owner_off_, 0, tid)) {
+        held_ = true;
         break;
       }
-    } else if (dev_->AtomicLoad64(expiry_off_) < common::NowNs()) {
-      // Lease expired (holder died or stalled): steal (paper §5.2).
-      if (dev_->AtomicCas64(owner_off_, owner, tid)) {
-        break;
+    } else {
+      const uint64_t expiry = dev_->AtomicLoad64(expiry_off_);
+      const uint64_t now = common::NowNs();
+      if (expiry < now || expiry > now + kMaxLeaseSlackNs) {
+        // Lease expired (holder died or stalled) or the expiry word is
+        // garbage: steal (paper §5.2); the stamp below restores sanity.
+        if (dev_->AtomicCas64(owner_off_, owner, tid)) {
+          held_ = true;
+          break;
+        }
       }
+    }
+    if (common::RealNowNs() >= give_up) {
+      return;  // live holder outlasted the bound: ok() reports the failure
     }
     if (++spins < 64) {
 #if defined(__x86_64__)
@@ -92,7 +119,11 @@ InodeLock::InodeLock(nvm::NvmDevice* dev, uint64_t inode_off, uint64_t lease_ns)
   dev_->AtomicStore64(expiry_off_, common::NowNs() + lease_ns);
 }
 
-InodeLock::~InodeLock() { dev_->AtomicStore64(owner_off_, 0); }
+InodeLock::~InodeLock() {
+  if (held_) {
+    dev_->AtomicStore64(owner_off_, 0);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Construction
@@ -110,6 +141,12 @@ ZoFs::ZoFs(kernfs::KernFs* kfs, kernfs::Process* proc, Options opts)
     bool needs_format;
     {
       mpk::AccessWindow probe(info->key, false);
+      if (!ValidMetaPage(info->root_inode_off)) {
+        // The kernel handed us a root-inode pointer outside the coffer
+        // (corrupted coffer root): quarantine instead of formatting over it.
+        Sick(kfs_->root_coffer_id());
+        return;
+      }
       needs_format = Ino(info->root_inode_off)->magic != kInodeMagic;
     }
     if (needs_format) {
@@ -135,7 +172,10 @@ ZoFs::~ZoFs() { kfs_->FsUmount(*proc_); }
 // ---------------------------------------------------------------------------
 // Mapping management
 
-Result<MapInfo> ZoFs::EnsureMapped(uint32_t cid, bool writable) {
+Result<MapInfo> ZoFs::EnsureMapped(uint32_t cid, bool writable, bool bypass_sick) {
+  if (!bypass_sick) {
+    RETURN_IF_ERROR(CheckHealthy(cid, writable));
+  }
   std::lock_guard<std::mutex> lk(mu_);
   auto it = mapped_.find(cid);
   if (it != mapped_.end() && (!writable || it->second.writable)) {
@@ -144,6 +184,20 @@ Result<MapInfo> ZoFs::EnsureMapped(uint32_t cid, bool writable) {
   for (int attempt = 0; attempt < 2; attempt++) {
     auto info = kfs_->CofferMap(*proc_, cid, writable);
     if (info.ok()) {
+      if (info->custom_off != 0 &&
+          (info->custom_off % nvm::kPageSize != 0 ||
+           !kfs_->dev()->Contains(info->custom_off, sizeof(AllocPool)))) {
+        // A scribbled coffer root can hand back a garbage pool pointer via
+        // coffer_map; quarantine before the allocator dereferences it.
+        // (Inline Sick(): mu_ is already held.)
+        SickState& s = sick_[cid];
+        if (!s.read_only) {
+          s.fails++;
+          const uint32_t shift = std::min<uint32_t>(s.fails - 1, 6);
+          s.next_probe_ns = common::NowNs() + (opts_.sick_backoff_ns << shift);
+        }
+        return Err::kCorrupt;
+      }
       mapped_[cid] = *info;
       return *info;
     }
@@ -179,13 +233,90 @@ void ZoFs::ForgetMapping(uint32_t cid) {
   allocators_.erase(cid);
 }
 
+// ---------------------------------------------------------------------------
+// Corruption containment
+
+bool ZoFs::ValidMetaRange(uint64_t off, uint64_t len, bool page_aligned) const {
+  if (opts_.raw_deref_for_test) {
+    // Pre-hardening discipline: no validation, just the MPK check the raw
+    // dereference would hit anyway. A corrupted pointer takes the simulated
+    // page fault (ViolationError) instead of failing gracefully.
+    mpk::CheckAccess(off, len, false);
+    return true;
+  }
+  if (off == 0 || off + len < off) {
+    return false;
+  }
+  if (page_aligned && off % nvm::kPageSize != 0) {
+    return false;
+  }
+  if (!kfs_->dev()->Contains(off, len)) {
+    return false;
+  }
+  // The page-key table is the ownership oracle: a page owned by another
+  // coffer carries a different key, an unowned page is unmapped. Either way
+  // the probe fails and the pointer is refused without dereferencing it.
+  return mpk::ProbeAccess(off, len, false);
+}
+
+common::Err ZoFs::Sick(uint32_t cid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  SickState& s = sick_[cid];
+  if (!s.read_only) {
+    s.fails++;
+    const uint32_t shift = std::min<uint32_t>(s.fails - 1, 6);
+    s.next_probe_ns = common::NowNs() + (opts_.sick_backoff_ns << shift);
+  }
+  return Err::kCorrupt;
+}
+
+Status ZoFs::CheckHealthy(uint32_t cid, bool writable) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sick_.find(cid);
+  if (it == sick_.end()) {
+    return common::OkStatus();
+  }
+  if (it->second.read_only) {
+    return writable ? Status(Err::kROFS) : common::OkStatus();
+  }
+  const uint64_t now = common::NowNs();
+  if (now < it->second.next_probe_ns) {
+    return Err::kIo;  // quarantined: fail fast until the backoff elapses
+  }
+  // Admit this op as the probe and re-arm the deadline so a burst of callers
+  // cannot stampede a still-corrupt coffer.
+  const uint32_t shift = std::min<uint32_t>(it->second.fails, 6);
+  it->second.next_probe_ns = now + (opts_.sick_backoff_ns << shift);
+  return common::OkStatus();
+}
+
+void ZoFs::ClearSick(uint32_t cid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sick_.erase(cid);
+}
+
+void ZoFs::QuarantineReadOnly(uint32_t cid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  sick_[cid].read_only = true;
+}
+
+CofferHealth ZoFs::Health(uint32_t cid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = sick_.find(cid);
+  if (it == sick_.end()) {
+    return CofferHealth::kHealthy;
+  }
+  return it->second.read_only ? CofferHealth::kReadOnly : CofferHealth::kSick;
+}
+
 CofferAllocator& ZoFs::AllocatorFor(uint32_t cid, const MapInfo& info) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = allocators_.find(cid);
   if (it == allocators_.end()) {
     it = allocators_
              .emplace(cid, std::make_unique<CofferAllocator>(kfs_, proc_, cid, info.custom_off,
-                                                             opts_.lease_ns, opts_.enlarge_batch))
+                                                             opts_.lease_ns, opts_.enlarge_batch,
+                                                             !opts_.raw_deref_for_test))
              .first;
   }
   return *it->second;
@@ -247,16 +378,24 @@ Result<ZoFs::ResolveResult> ZoFs::Resolve(const std::string& raw_path, bool foll
       Dentry d;
       {
         mpk::AccessWindow w(key, false);
+        if (!ValidMetaPage(r.node.inode_off)) {
+          return Sick(r.node.coffer_id);
+        }
         Inode* dir = Ino(r.node.inode_off);
         mpk::CheckAccess(r.node.inode_off, sizeof(Inode), false);
         if (dir->magic != kInodeMagic) {
-          return Err::kCorrupt;
+          return Err::kCorrupt;  // object-local damage; coffer graph still trusted
         }
         if (dir->type != kTypeDirectory) {
           return Err::kNotDir;
         }
         ASSIGN_OR_RETURN(dp, DirFind(r.node.coffer_id, dir, name));
         d = *dp;  // copy out before the window closes
+        if (d.coffer_id == 0 && !ValidMetaPage(d.inode_off)) {
+          // The dentry's child pointer leads out of this coffer: refuse it
+          // before any code dereferences the child inode.
+          return Sick(r.node.coffer_id);
+        }
       }
 
       NodeRef child;
@@ -273,8 +412,9 @@ Result<ZoFs::ResolveResult> ZoFs::Resolve(const std::string& raw_path, bool foll
           if (troot->magic != kernfs::kCofferMagic ||
               tinfo.root_inode_off != d.inode_off ||
               child_path.compare(troot->path) != 0) {
-            // Manipulated cross-coffer reference (paper §3.4.3).
-            return Err::kCorrupt;
+            // Manipulated cross-coffer reference (paper §3.4.3): blame the
+            // coffer holding the dentry.
+            return Sick(r.node.coffer_id);
           }
         }
         child = NodeRef{d.coffer_id, d.inode_off};
@@ -295,8 +435,9 @@ Result<ZoFs::ResolveResult> ZoFs::Resolve(const std::string& raw_path, bool foll
           mpk::AccessWindow w(ckey, false);
           const Inode* ci = Ino(child.inode_off);
           mpk::CheckAccess(child.inode_off, sizeof(Inode), false);
-          if (ci->magic != kInodeMagic || ci->type != kTypeSymlink) {
-            return Err::kCorrupt;
+          if (ci->magic != kInodeMagic || ci->type != kTypeSymlink ||
+              ci->symlink_len >= sizeof(ci->symlink_target)) {
+            return Err::kCorrupt;  // object-local damage; coffer graph still trusted
           }
           target.assign(ci->symlink_target, ci->symlink_len);
         }
@@ -338,11 +479,17 @@ Result<Dentry*> ZoFs::DirFind(uint32_t cid, Inode* dir, std::string_view name) {
     return Err::kNoEnt;
   }
   nvm::NvmDevice* dev = kfs_->dev();
+  if (!ValidMetaPage(dir->l1_dir)) {
+    return Sick(cid);
+  }
   const uint32_t h = common::Fnv1a32(name);
   const uint64_t* l1 = dev->As<uint64_t>(dir->l1_dir);
   uint64_t l2_off = l1[h % kL1Slots];
   if (l2_off == 0) {
     return Err::kNoEnt;
+  }
+  if (!ValidMetaPage(l2_off)) {
+    return Sick(cid);
   }
   L2Page* l2 = dev->As<L2Page>(l2_off);
   mpk::CheckAccess(l2_off, sizeof(L2Page), false);
@@ -356,7 +503,14 @@ Result<Dentry*> ZoFs::DirFind(uint32_t cid, Inode* dir, std::string_view name) {
     }
   }
   uint64_t run_off = l2->buckets[(h / kL1Slots) % kL2Buckets];
-  while (run_off != 0) {
+  // A legal chain cannot have more pages than the device: anything longer is
+  // a cycle. The bound applies even in raw_deref_for_test mode, so corrupted
+  // chains can crash the walk but never hang it.
+  const uint64_t max_steps = dev->num_pages();
+  for (uint64_t steps = 0; run_off != 0; steps++) {
+    if (steps >= max_steps || !ValidMetaPage(run_off)) {
+      return Sick(cid);
+    }
     DentryRun* run = dev->As<DentryRun>(run_off);
     mpk::CheckAccess(run_off, sizeof(DentryRun), false);
     for (Dentry& d : run->dentries) {
@@ -387,6 +541,8 @@ Status ZoFs::DirInsert(uint32_t cid, Inode* dir, std::string_view name, uint32_t
     ASSIGN_OR_RETURN(l1_page, alloc.AllocPage(/*zero=*/true));
     dev->Store64(dir_off + offsetof(Inode, l1_dir), l1_page);
     dev->PersistRange(dir_off + offsetof(Inode, l1_dir), 8);
+  } else if (!ValidMetaPage(dir->l1_dir)) {
+    return Sick(cid);
   }
   uint64_t* l1 = dev->As<uint64_t>(dir->l1_dir);
   const uint64_t slot = h % kL1Slots;
@@ -394,6 +550,8 @@ Status ZoFs::DirInsert(uint32_t cid, Inode* dir, std::string_view name, uint32_t
     ASSIGN_OR_RETURN(l2_page, alloc.AllocPage(/*zero=*/true));
     dev->Store64(dir->l1_dir + slot * 8, l2_page);
     dev->PersistRange(dir->l1_dir + slot * 8, 8);
+  } else if (!ValidMetaPage(l1[slot])) {
+    return Sick(cid);
   }
   L2Page* l2 = dev->As<L2Page>(l1[slot]);
 
@@ -414,6 +572,9 @@ Status ZoFs::DirInsert(uint32_t cid, Inode* dir, std::string_view name, uint32_t
     // pages, so a bounded scan keeps inserts O(1).
     uint64_t run_off = dev->Load64(bucket_off);
     for (int depth = 0; run_off != 0 && depth < 2; depth++) {
+      if (!ValidMetaPage(run_off)) {
+        return Sick(cid);
+      }
       DentryRun* run = dev->As<DentryRun>(run_off);
       for (Dentry& d : run->dentries) {
         if (!d.in_use()) {
@@ -505,13 +666,29 @@ Status ZoFs::DirIterate(uint32_t cid, const Inode* dir, std::vector<vfs::DirEntr
     return common::OkStatus();
   }
   nvm::NvmDevice* dev = kfs_->dev();
+  if (!ValidMetaPage(dir->l1_dir)) {
+    return Sick(cid);
+  }
   const uint64_t* l1 = dev->As<uint64_t>(dir->l1_dir);
+  // One step budget for the whole directory: no chain arrangement over a
+  // healthy device needs more pages than the device holds.
+  const uint64_t max_steps = dev->num_pages();
+  uint64_t steps = 0;
   for (uint64_t s = 0; s < kL1Slots; s++) {
     if (l1[s] == 0) {
       continue;
     }
+    if (!ValidMetaPage(l1[s])) {
+      return Sick(cid);
+    }
     const L2Page* l2 = dev->As<L2Page>(l1[s]);
+    mpk::CheckAccess(l1[s], sizeof(L2Page), false);
+    bool bad_name = false;
     auto emit = [&](const Dentry& d) {
+      if (d.name_len > kMaxName) {
+        bad_name = true;  // corrupt length would read past the dentry
+        return;
+      }
       vfs::DirEntry e;
       e.name.assign(d.name, d.name_len);
       e.ino = d.inode_off / nvm::kPageSize;
@@ -523,10 +700,14 @@ Status ZoFs::DirIterate(uint32_t cid, const Inode* dir, std::vector<vfs::DirEntr
         emit(d);
       }
     }
-    for (uint64_t b = 0; b < kL2Buckets; b++) {
+    for (uint64_t b = 0; b < kL2Buckets && !bad_name; b++) {
       uint64_t run_off = l2->buckets[b];
-      while (run_off != 0) {
+      for (; run_off != 0; steps++) {
+        if (steps >= max_steps || !ValidMetaPage(run_off)) {
+          return Sick(cid);
+        }
         const DentryRun* run = dev->As<DentryRun>(run_off);
+        mpk::CheckAccess(run_off, sizeof(DentryRun), false);
         for (const Dentry& d : run->dentries) {
           if (d.in_use()) {
             emit(d);
@@ -535,21 +716,33 @@ Status ZoFs::DirIterate(uint32_t cid, const Inode* dir, std::vector<vfs::DirEntr
         run_off = run->next;
       }
     }
+    if (bad_name) {
+      return Sick(cid);
+    }
   }
   return common::OkStatus();
 }
 
-bool ZoFs::DirIsEmpty(const Inode* dir) {
+Result<bool> ZoFs::DirIsEmpty(uint32_t cid, const Inode* dir) {
   if (dir->l1_dir == 0) {
     return true;
   }
   nvm::NvmDevice* dev = kfs_->dev();
+  if (!ValidMetaPage(dir->l1_dir)) {
+    return Sick(cid);
+  }
   const uint64_t* l1 = dev->As<uint64_t>(dir->l1_dir);
+  const uint64_t max_steps = dev->num_pages();
+  uint64_t steps = 0;
   for (uint64_t s = 0; s < kL1Slots; s++) {
     if (l1[s] == 0) {
       continue;
     }
+    if (!ValidMetaPage(l1[s])) {
+      return Sick(cid);
+    }
     const L2Page* l2 = dev->As<L2Page>(l1[s]);
+    mpk::CheckAccess(l1[s], sizeof(L2Page), false);
     for (const Dentry& d : l2->embedded) {
       if (d.in_use()) {
         return false;
@@ -557,8 +750,12 @@ bool ZoFs::DirIsEmpty(const Inode* dir) {
     }
     for (uint64_t b = 0; b < kL2Buckets; b++) {
       uint64_t run_off = l2->buckets[b];
-      while (run_off != 0) {
+      for (; run_off != 0; steps++) {
+        if (steps >= max_steps || !ValidMetaPage(run_off)) {
+          return Sick(cid);
+        }
         const DentryRun* run = dev->As<DentryRun>(run_off);
+        mpk::CheckAccess(run_off, sizeof(DentryRun), false);
         for (const Dentry& d : run->dentries) {
           if (d.in_use()) {
             return false;
@@ -574,28 +771,52 @@ bool ZoFs::DirIsEmpty(const Inode* dir) {
 // ---------------------------------------------------------------------------
 // Block map
 
-Result<uint64_t> ZoFs::GetBlock(const Inode* ino, uint64_t blk) const {
+Result<uint64_t> ZoFs::GetBlock(uint32_t cid, const Inode* ino, uint64_t blk) {
   nvm::NvmDevice* dev = kfs_->dev();
+  // Every pointer loaded from the block map — index pages and the data page
+  // itself — is validated before anything dereferences it.
+  auto vet = [&](uint64_t off) { return off == 0 || ValidMetaPage(off); };
   if (blk < kDirectBlocks) {
-    return ino->direct[blk];
+    const uint64_t v = ino->direct[blk];
+    if (!vet(v)) {
+      return Sick(cid);
+    }
+    return v;
   }
   blk -= kDirectBlocks;
   if (blk < kPtrsPerPage) {
     if (ino->indirect == 0) {
       return uint64_t{0};
     }
-    return dev->As<uint64_t>(ino->indirect)[blk];
+    if (!ValidMetaPage(ino->indirect)) {
+      return Sick(cid);
+    }
+    const uint64_t v = dev->As<uint64_t>(ino->indirect)[blk];
+    if (!vet(v)) {
+      return Sick(cid);
+    }
+    return v;
   }
   blk -= kPtrsPerPage;
   if (blk < kPtrsPerPage * kPtrsPerPage) {
     if (ino->dindirect == 0) {
       return uint64_t{0};
     }
+    if (!ValidMetaPage(ino->dindirect)) {
+      return Sick(cid);
+    }
     uint64_t l1 = dev->As<uint64_t>(ino->dindirect)[blk / kPtrsPerPage];
     if (l1 == 0) {
       return uint64_t{0};
     }
-    return dev->As<uint64_t>(l1)[blk % kPtrsPerPage];
+    if (!ValidMetaPage(l1)) {
+      return Sick(cid);
+    }
+    const uint64_t v = dev->As<uint64_t>(l1)[blk % kPtrsPerPage];
+    if (!vet(v)) {
+      return Sick(cid);
+    }
+    return v;
   }
   return Err::kOverflow;
 }
@@ -609,6 +830,9 @@ Result<uint64_t> ZoFs::GetOrAllocBlock(CofferAllocator& alloc, Inode* ino, uint6
   auto ensure_slot = [&](uint64_t slot_off) -> Result<uint64_t> {
     uint64_t v = dev->Load64(slot_off);
     if (v != 0) {
+      if (!ValidMetaPage(v)) {
+        return Sick(alloc.coffer_id());
+      }
       return v;
     }
     ASSIGN_OR_RETURN(page, alloc.AllocPage(/*zero=*/false));
@@ -619,6 +843,9 @@ Result<uint64_t> ZoFs::GetOrAllocBlock(CofferAllocator& alloc, Inode* ino, uint6
   auto ensure_index = [&](uint64_t slot_off) -> Result<uint64_t> {
     uint64_t v = dev->Load64(slot_off);
     if (v != 0) {
+      if (!ValidMetaPage(v)) {
+        return Sick(alloc.coffer_id());
+      }
       return v;
     }
     ASSIGN_OR_RETURN(page, alloc.AllocPage(/*zero=*/true));
@@ -651,17 +878,17 @@ Status ZoFs::InstallBlockPointer(Inode* ino, uint64_t blk, uint64_t page_off) {
   if (blk < kDirectBlocks) {
     slot_off = ino_off + offsetof(Inode, direct) + blk * 8;
   } else if (blk < kDirectBlocks + kPtrsPerPage) {
-    if (ino->indirect == 0) {
+    if (ino->indirect == 0 || !ValidMetaPage(ino->indirect)) {
       return Err::kCorrupt;
     }
     slot_off = ino->indirect + (blk - kDirectBlocks) * 8;
   } else {
     const uint64_t idx = blk - kDirectBlocks - kPtrsPerPage;
-    if (ino->dindirect == 0) {
+    if (ino->dindirect == 0 || !ValidMetaPage(ino->dindirect)) {
       return Err::kCorrupt;
     }
     uint64_t l1 = dev->As<uint64_t>(ino->dindirect)[idx / kPtrsPerPage];
-    if (l1 == 0) {
+    if (l1 == 0 || !ValidMetaPage(l1)) {
       return Err::kCorrupt;
     }
     slot_off = l1 + (idx % kPtrsPerPage) * 8;
@@ -678,9 +905,16 @@ Status ZoFs::FreeBlocksFrom(CofferAllocator& alloc, Inode* ino, uint64_t first_b
   // Pointer clears are written back without per-slot fences: the namespace
   // commit (dentry clear / size update) already ordered the operation, and a
   // crash that loses some clears only strands pages for fsck to reclaim.
+  // A pointer that fails validation is never freed: FreePage links through
+  // the page's first word, so freeing a corrupted pointer would write into
+  // whatever the garbage points at (a cross-coffer escape if it lands in a
+  // sibling). The slot is cleared and the page left for fsck.
   auto drop_slot = [&](uint64_t slot_off) -> Status {
     uint64_t v = dev->Load64(slot_off);
     if (v != 0) {
+      if (!ValidMetaPage(v)) {
+        return Sick(alloc.coffer_id());
+      }
       dev->Store64(slot_off, 0);
       dev->Clwb(slot_off, 8);
       RETURN_IF_ERROR(alloc.FreePage(v));
@@ -692,6 +926,9 @@ Status ZoFs::FreeBlocksFrom(CofferAllocator& alloc, Inode* ino, uint64_t first_b
     RETURN_IF_ERROR(drop_slot(ino_off + offsetof(Inode, direct) + b * 8));
   }
   if (ino->indirect != 0) {
+    if (!ValidMetaPage(ino->indirect)) {
+      return Sick(alloc.coffer_id());
+    }
     uint64_t start = first_blk > kDirectBlocks ? first_blk - kDirectBlocks : 0;
     if (start < kPtrsPerPage) {
       for (uint64_t b = start; b < kPtrsPerPage; b++) {
@@ -703,12 +940,18 @@ Status ZoFs::FreeBlocksFrom(CofferAllocator& alloc, Inode* ino, uint64_t first_b
     }
   }
   if (ino->dindirect != 0) {
+    if (!ValidMetaPage(ino->dindirect)) {
+      return Sick(alloc.coffer_id());
+    }
     const uint64_t base = kDirectBlocks + kPtrsPerPage;
     uint64_t start = first_blk > base ? first_blk - base : 0;
     for (uint64_t i = 0; i < kPtrsPerPage; i++) {
       uint64_t ind = dev->As<uint64_t>(ino->dindirect)[i];
       if (ind == 0) {
         continue;
+      }
+      if (!ValidMetaPage(ind)) {
+        return Sick(alloc.coffer_id());
       }
       uint64_t lo = i * kPtrsPerPage;
       uint64_t inner_start = start > lo ? start - lo : 0;
@@ -752,19 +995,33 @@ Result<uint64_t> ZoFs::AllocInode(CofferAllocator& alloc, uint32_t type, uint16_
 
 Status ZoFs::FreeNode(uint32_t cid, CofferAllocator& alloc, uint64_t inode_off) {
   nvm::NvmDevice* dev = kfs_->dev();
+  if (!ValidMetaPage(inode_off)) {
+    return Sick(cid);
+  }
   Inode* ino = Ino(inode_off);
   if (ino->type == kTypeRegular) {
     RETURN_IF_ERROR(FreeBlocksFrom(alloc, ino, 0));
   } else if (ino->type == kTypeDirectory && ino->l1_dir != 0) {
+    if (!ValidMetaPage(ino->l1_dir)) {
+      return Sick(cid);
+    }
     uint64_t* l1 = dev->As<uint64_t>(ino->l1_dir);
+    const uint64_t max_steps = dev->num_pages();
+    uint64_t steps = 0;
     for (uint64_t s = 0; s < kL1Slots; s++) {
       if (l1[s] == 0) {
         continue;
       }
+      if (!ValidMetaPage(l1[s])) {
+        return Sick(cid);
+      }
       L2Page* l2 = dev->As<L2Page>(l1[s]);
       for (uint64_t b = 0; b < kL2Buckets; b++) {
         uint64_t run_off = l2->buckets[b];
-        while (run_off != 0) {
+        for (; run_off != 0; steps++) {
+          if (steps >= max_steps || !ValidMetaPage(run_off)) {
+            return Sick(cid);
+          }
           uint64_t next = dev->As<DentryRun>(run_off)->next;
           RETURN_IF_ERROR(alloc.FreePage(run_off));
           run_off = next;
@@ -796,10 +1053,16 @@ Result<NodeRef> ZoFs::Create(const std::string& path, uint16_t mode) {
 
   mpk::AccessWindow w(pinfo.key, true);
   Inode* dir = Ino(pr.node.inode_off);
+  if (dir->magic != kInodeMagic) {
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
+  }
   if (dir->type != kTypeDirectory) {
     return Err::kNotDir;
   }
   InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns);
+  if (!lock.ok()) {
+    return Err::kBusy;
+  }
   if (DirFind(pcid, dir, leaf).ok()) {
     return Err::kExist;
   }
@@ -851,12 +1114,15 @@ Result<NodeRef> ZoFs::OpenOrCreate(const std::string& path, uint16_t mode, bool*
   mpk::AccessWindow w(pinfo.key, true);
   Inode* dir = Ino(pr.node.inode_off);
   if (dir->magic != kInodeMagic) {
-    return Err::kCorrupt;
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
   }
   if (dir->type != kTypeDirectory) {
     return Err::kNotDir;
   }
   InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns);
+  if (!lock.ok()) {
+    return Err::kBusy;
+  }
   auto existing = DirFind(pcid, dir, leaf);
   if (existing.ok()) {
     Dentry* d = *existing;
@@ -910,10 +1176,16 @@ Status ZoFs::Mkdir(const std::string& path, uint16_t mode) {
 
   mpk::AccessWindow w(pinfo.key, true);
   Inode* dir = Ino(pr.node.inode_off);
+  if (dir->magic != kInodeMagic) {
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
+  }
   if (dir->type != kTypeDirectory) {
     return Err::kNotDir;
   }
   InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns);
+  if (!lock.ok()) {
+    return Err::kBusy;
+  }
   if (DirFind(pcid, dir, leaf).ok()) {
     return Err::kExist;
   }
@@ -960,10 +1232,16 @@ Status ZoFs::Symlink(const std::string& target, const std::string& linkpath) {
 
   mpk::AccessWindow w(pinfo.key, true);
   Inode* dir = Ino(pr.node.inode_off);
+  if (dir->magic != kInodeMagic) {
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
+  }
   if (dir->type != kTypeDirectory) {
     return Err::kNotDir;
   }
   InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns);
+  if (!lock.ok()) {
+    return Err::kBusy;
+  }
   if (DirFind(pcid, dir, leaf).ok()) {
     return Err::kExist;
   }
@@ -990,8 +1268,8 @@ Result<std::string> ZoFs::ReadLink(const std::string& path) {
   mpk::AccessWindow w(key, false);
   const Inode* ino = Ino(r.node.inode_off);
   mpk::CheckAccess(r.node.inode_off, sizeof(Inode), false);
-  if (ino->magic != kInodeMagic) {
-    return Err::kCorrupt;
+  if (ino->magic != kInodeMagic || ino->symlink_len >= sizeof(ino->symlink_target)) {
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
   }
   if (ino->type != kTypeSymlink) {
     return Err::kInval;
@@ -1010,6 +1288,9 @@ Status ZoFs::Unlink(const std::string& path) {
   mpk::AccessWindow w(pinfo.key, true);
   Inode* dir = Ino(r.parent.inode_off);
   InodeLock lock(kfs_->dev(), r.parent.inode_off, opts_.lease_ns);
+  if (!lock.ok()) {
+    return Err::kBusy;
+  }
   ASSIGN_OR_RETURN(d, DirFind(pcid, dir, r.leaf));
   if (d->cached_type() == kTypeDirectory) {
     return Err::kIsDir;
@@ -1045,12 +1326,13 @@ Status ZoFs::Rmdir(const std::string& path) {
     const Inode* target = Ino(r.node.inode_off);
     mpk::CheckAccess(r.node.inode_off, sizeof(Inode), false);
     if (target->magic != kInodeMagic) {
-      return Err::kCorrupt;
+      return Err::kCorrupt;  // object-local damage; coffer graph still trusted
     }
     if (target->type != kTypeDirectory) {
       return Err::kNotDir;
     }
-    if (!DirIsEmpty(target)) {
+    ASSIGN_OR_RETURN(empty, DirIsEmpty(r.node.coffer_id, target));
+    if (!empty) {
       return Err::kNotEmpty;
     }
   }
@@ -1058,6 +1340,9 @@ Status ZoFs::Rmdir(const std::string& path) {
   mpk::AccessWindow w(pinfo.key, true);
   Inode* dir = Ino(r.parent.inode_off);
   InodeLock lock(kfs_->dev(), r.parent.inode_off, opts_.lease_ns);
+  if (!lock.ok()) {
+    return Err::kBusy;
+  }
   ASSIGN_OR_RETURN(d, DirFind(pcid, dir, r.leaf));
   const uint32_t child_cid = d->coffer_id;
   const uint64_t child_inode = d->inode_off;
@@ -1075,10 +1360,13 @@ Result<vfs::StatBuf> ZoFs::StatNode(NodeRef node) {
   AUDIT_SCOPE("ZoFs::StatNode");
   ASSIGN_OR_RETURN(key, KeyFor(node.coffer_id, false));
   mpk::AccessWindow w(key, false);
+  if (!ValidMetaPage(node.inode_off)) {
+    return Sick(node.coffer_id);
+  }
   const Inode* ino = Ino(node.inode_off);
   mpk::CheckAccess(node.inode_off, sizeof(Inode), false);
   if (ino->magic != kInodeMagic) {
-    return Err::kCorrupt;
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
   }
   vfs::StatBuf st;
   st.ino = node.inode_off / nvm::kPageSize;
@@ -1100,7 +1388,7 @@ Result<std::vector<vfs::DirEntry>> ZoFs::ReadDir(const std::string& path) {
   const Inode* dir = Ino(r.node.inode_off);
   mpk::CheckAccess(r.node.inode_off, sizeof(Inode), false);
   if (dir->magic != kInodeMagic) {
-    return Err::kCorrupt;
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
   }
   if (dir->type != kTypeDirectory) {
     return Err::kNotDir;
@@ -1114,8 +1402,17 @@ Result<std::vector<vfs::DirEntry>> ZoFs::ReadDir(const std::string& path) {
 // Data path
 
 Status ZoFs::EnsureAccess(NodeRef node, bool writable) {
-  ASSIGN_OR_RETURN(info, EnsureMapped(node.coffer_id, writable));
-  (void)info;
+  ASSIGN_OR_RETURN(key, KeyFor(node.coffer_id, writable));
+  // Open must not hand back a descriptor to an object every later op will
+  // reject: validate the inode here, same as the read/write paths do.
+  mpk::AccessWindow w(key, false);
+  if (!ValidMetaPage(node.inode_off)) {
+    return Sick(node.coffer_id);
+  }
+  mpk::CheckAccess(node.inode_off, sizeof(Inode), false);
+  if (Ino(node.inode_off)->magic != kInodeMagic) {
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
+  }
   return common::OkStatus();
 }
 
@@ -1123,10 +1420,13 @@ Result<size_t> ZoFs::ReadAt(NodeRef node, void* buf, size_t n, uint64_t off) {
   AUDIT_SCOPE("ZoFs::ReadAt");
   ASSIGN_OR_RETURN(key, KeyFor(node.coffer_id, false));
   mpk::AccessWindow w(key, false);
+  if (!ValidMetaPage(node.inode_off)) {
+    return Sick(node.coffer_id);
+  }
   const Inode* ino = Ino(node.inode_off);
   mpk::CheckAccess(node.inode_off, sizeof(Inode), false);
   if (ino->magic != kInodeMagic) {
-    return Err::kCorrupt;
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
   }
   if (ino->type == kTypeDirectory) {
     return Err::kIsDir;
@@ -1138,7 +1438,12 @@ Result<size_t> ZoFs::ReadAt(NodeRef node, void* buf, size_t n, uint64_t off) {
   n = std::min<uint64_t>(n, size - off);
 
   if (ino->iflags & kInodeInlineData) {
-    // Small file stored inside the inode page (§5.1 future work).
+    // Small file stored inside the inode page (§5.1 future work). A size
+    // beyond the inline area is corrupt — honouring it would read past the
+    // inode page.
+    if (size > kInlineCapacity) {
+      return Err::kCorrupt;  // object-local damage; coffer graph still trusted
+    }
     mpk::CheckAccess(node.inode_off + kInlineOff + off, n, false);
     memcpy(buf, kfs_->dev()->base() + node.inode_off + kInlineOff + off, n);
     return n;
@@ -1150,7 +1455,7 @@ Result<size_t> ZoFs::ReadAt(NodeRef node, void* buf, size_t n, uint64_t off) {
     const uint64_t blk = (off + done) / nvm::kPageSize;
     const uint64_t in_off = (off + done) % nvm::kPageSize;
     const size_t chunk = std::min<size_t>(n - done, nvm::kPageSize - in_off);
-    ASSIGN_OR_RETURN(page, GetBlock(ino, blk));
+    ASSIGN_OR_RETURN(page, GetBlock(node.coffer_id, ino, blk));
     if (page == 0) {
       memset(dst + done, 0, chunk);  // hole
     } else {
@@ -1167,17 +1472,26 @@ Result<size_t> ZoFs::WriteAt(NodeRef node, const void* buf, size_t n, uint64_t o
   if (n == 0) {
     return size_t{0};
   }
+  if (off + n < off) {
+    return Err::kOverflow;  // offset + length wraps uint64
+  }
   ASSIGN_OR_RETURN(info, EnsureMapped(node.coffer_id, true));
   mpk::AccessWindow w(info.key, true);
+  if (!ValidMetaPage(node.inode_off)) {
+    return Sick(node.coffer_id);
+  }
   Inode* ino = Ino(node.inode_off);
   mpk::CheckAccess(node.inode_off, sizeof(Inode), false);
   if (ino->magic != kInodeMagic) {
-    return Err::kCorrupt;
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
   }
   if (ino->type == kTypeDirectory) {
     return Err::kIsDir;
   }
   InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns);
+  if (!lock.ok()) {
+    return Err::kBusy;
+  }
 
   if (opts_.sysempty) {
     kfs_->Nop();  // ZoFS-sysempty: pay one crossing per write (Figure 8)
@@ -1242,7 +1556,7 @@ Result<size_t> ZoFs::WriteAt(NodeRef node, const void* buf, size_t n, uint64_t o
     const bool fresh_partial = chunk < nvm::kPageSize;
     uint64_t before = 1;  // only consulted for partial chunks / atomic mode
     if (fresh_partial || opts_.atomic_data) {
-      auto b = GetBlock(ino, blk);
+      auto b = GetBlock(node.coffer_id, ino, blk);
       before = b.ok() ? *b : 0;
     }
 
@@ -1329,11 +1643,17 @@ Result<uint64_t> ZoFs::Append(NodeRef node, const void* buf, size_t n) {
   AUDIT_SCOPE("ZoFs::Append");
   ASSIGN_OR_RETURN(info, EnsureMapped(node.coffer_id, true));
   mpk::AccessWindow w(info.key, true);
+  if (!ValidMetaPage(node.inode_off)) {
+    return Sick(node.coffer_id);
+  }
   Inode* ino = Ino(node.inode_off);
   if (ino->magic != kInodeMagic) {
-    return Err::kCorrupt;
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
   }
   InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns);
+  if (!lock.ok()) {
+    return Err::kBusy;
+  }
   const uint64_t off = ino->size;
   // WriteAt re-acquires the (reentrant for this thread) lock.
   ASSIGN_OR_RETURN(written, WriteAt(node, buf, n, off));
@@ -1345,14 +1665,20 @@ Status ZoFs::TruncateNode(NodeRef node, uint64_t len) {
   AUDIT_SCOPE("ZoFs::TruncateNode");
   ASSIGN_OR_RETURN(info, EnsureMapped(node.coffer_id, true));
   mpk::AccessWindow w(info.key, true);
+  if (!ValidMetaPage(node.inode_off)) {
+    return Sick(node.coffer_id);
+  }
   Inode* ino = Ino(node.inode_off);
   if (ino->magic != kInodeMagic) {
-    return Err::kCorrupt;
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
   }
   if (ino->type == kTypeDirectory) {
     return Err::kIsDir;
   }
   InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns);
+  if (!lock.ok()) {
+    return Err::kBusy;
+  }
   nvm::NvmDevice* dev = kfs_->dev();
   const uint64_t old_size = ino->size;
 
@@ -1380,11 +1706,14 @@ Status ZoFs::TruncateNode(NodeRef node, uint64_t len) {
 
   if (len < old_size) {
     CofferAllocator& alloc = AllocatorFor(node.coffer_id, info);
-    const uint64_t first_dead_blk = (len + nvm::kPageSize - 1) / nvm::kPageSize;
+    // Round up without the +kPageSize-1 trick, which wraps for len near
+    // UINT64_MAX and would free every block of the file.
+    const uint64_t first_dead_blk =
+        len / nvm::kPageSize + (len % nvm::kPageSize != 0 ? 1 : 0);
     RETURN_IF_ERROR(FreeBlocksFrom(alloc, ino, first_dead_blk));
     // Zero the tail of the last kept page so re-extension reads zeros.
     if (len % nvm::kPageSize != 0) {
-      auto page = GetBlock(ino, len / nvm::kPageSize);
+      auto page = GetBlock(node.coffer_id, ino, len / nvm::kPageSize);
       if (page.ok() && *page != 0) {
         static const uint8_t kZeros[nvm::kPageSize] = {};
         const uint64_t in_off = len % nvm::kPageSize;
@@ -1402,10 +1731,13 @@ Status ZoFs::TruncateNode(NodeRef node, uint64_t len) {
 Result<std::vector<uint64_t>> ZoFs::FilePages(NodeRef node, uint64_t* size_out) {
   ASSIGN_OR_RETURN(key, KeyFor(node.coffer_id, false));
   mpk::AccessWindow w(key, false);
+  if (!ValidMetaPage(node.inode_off)) {
+    return Sick(node.coffer_id);
+  }
   const Inode* ino = Ino(node.inode_off);
   mpk::CheckAccess(node.inode_off, sizeof(Inode), false);
   if (ino->magic != kInodeMagic) {
-    return Err::kCorrupt;
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
   }
   if (ino->type != kTypeRegular) {
     return Err::kInval;
@@ -1417,9 +1749,10 @@ Result<std::vector<uint64_t>> ZoFs::FilePages(NodeRef node, uint64_t* size_out) 
     *size_out = ino->size;
   }
   std::vector<uint64_t> pages;
-  const uint64_t blocks = (ino->size + nvm::kPageSize - 1) / nvm::kPageSize;
+  const uint64_t blocks =
+      ino->size / nvm::kPageSize + (ino->size % nvm::kPageSize != 0 ? 1 : 0);
   for (uint64_t b = 0; b < blocks; b++) {
-    ASSIGN_OR_RETURN(page, GetBlock(ino, b));
+    ASSIGN_OR_RETURN(page, GetBlock(node.coffer_id, ino, b));
     pages.push_back(page / nvm::kPageSize);
   }
   return pages;
@@ -1536,7 +1869,7 @@ Status ZoFs::Chmod(const std::string& path, uint16_t mode) {
     return copy;
   }();
   if (snapshot.magic != kInodeMagic) {
-    return Err::kCorrupt;
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
   }
   if (!proc_->cred().IsRoot() && proc_->cred().uid != snapshot.uid) {
     return Err::kPerm;
@@ -1568,6 +1901,9 @@ Status ZoFs::Chmod(const std::string& path, uint16_t mode) {
   mpk::AccessWindow pw(pinfo.key, true);
   Inode* pdir = Ino(r.parent.inode_off);
   InodeLock plock(dev, r.parent.inode_off, opts_.lease_ns);
+  if (!plock.ok()) {
+    return Err::kBusy;
+  }
 
   ASSIGN_OR_RETURN(new_cid, SplitNodeIntoCoffer(r, norm, mode, snapshot.uid, snapshot.gid));
   ASSIGN_OR_RETURN(d, DirFind(r.parent.coffer_id, pdir, r.leaf));
@@ -1596,7 +1932,7 @@ Status ZoFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
     return copy;
   }();
   if (snapshot.magic != kInodeMagic) {
-    return Err::kCorrupt;
+    return Err::kCorrupt;  // object-local damage; coffer graph still trusted
   }
 
   auto update_inode_owner = [&]() -> Status {
@@ -1620,6 +1956,9 @@ Status ZoFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
   mpk::AccessWindow pw(pinfo.key, true);
   Inode* pdir = Ino(r.parent.inode_off);
   InodeLock plock(dev, r.parent.inode_off, opts_.lease_ns);
+  if (!plock.ok()) {
+    return Err::kBusy;
+  }
 
   ASSIGN_OR_RETURN(new_cid, SplitNodeIntoCoffer(r, norm, snapshot.mode, uid, gid));
   ASSIGN_OR_RETURN(d, DirFind(r.parent.coffer_id, pdir, r.leaf));
@@ -1648,16 +1987,21 @@ Result<Dentry*> ZoFs::PrepareRenameDst(uint32_t dcid, Inode* ddir, std::string_v
   if (dst_type == kTypeDirectory) {
     // An overwritten directory must be empty (possibly in another coffer).
     if (dd->coffer_id == 0) {
-      if (!DirIsEmpty(Ino(dd->inode_off))) {
+      if (!ValidMetaPage(dd->inode_off)) {
+        return Sick(dcid);
+      }
+      ASSIGN_OR_RETURN(empty, DirIsEmpty(dcid, Ino(dd->inode_off)));
+      if (!empty) {
         return Err::kNotEmpty;
       }
     } else {
       ASSIGN_OR_RETURN(tinfo, EnsureMapped(dd->coffer_id, false));
       if (tinfo.root_inode_off != dd->inode_off) {
-        return Err::kCorrupt;  // manipulated cross-coffer reference (G3)
+        return Sick(dcid);  // manipulated cross-coffer reference (G3)
       }
       mpk::AccessWindow tw(tinfo.key, false);
-      if (!DirIsEmpty(Ino(dd->inode_off))) {
+      ASSIGN_OR_RETURN(empty, DirIsEmpty(dd->coffer_id, Ino(dd->inode_off)));
+      if (!empty) {
         return Err::kNotEmpty;
       }
     }
@@ -1671,17 +2015,26 @@ Status ZoFs::BeginRenameIntent(const MapInfo& info, const RenameIntent& body) {
   const uint64_t off = info.custom_off + offsetof(AllocPool, rename_intent);
   const uint64_t magic_off = off + offsetof(RenameIntent, magic);
   // Claim the slot; a stale claim (holder died mid-rename without committing)
-  // is stealable after its lease expires.
+  // is stealable after its lease expires, and a garbage expiry word (no live
+  // holder could have stamped it that far out) is stolen outright. A live
+  // holder that outlasts the wait bound surfaces as EBUSY, never a hang.
+  const uint64_t give_up = common::RealNowNs() + LockWaitBoundNs(opts_.lease_ns);
   for (;;) {
     uint64_t m = dev->AtomicLoad64(magic_off);
     if (m == 0) {
       if (dev->AtomicCas64(magic_off, 0, kRenameIntentClaimed)) {
         break;
       }
-    } else if (dev->Load64(off + offsetof(RenameIntent, lease_expiry_ns)) < common::NowNs()) {
-      if (dev->AtomicCas64(magic_off, m, kRenameIntentClaimed)) {
+    } else {
+      const uint64_t expiry = dev->Load64(off + offsetof(RenameIntent, lease_expiry_ns));
+      const uint64_t now = common::NowNs();
+      if ((expiry < now || expiry > now + kMaxLeaseSlackNs) &&
+          dev->AtomicCas64(magic_off, m, kRenameIntentClaimed)) {
         break;
       }
+    }
+    if (common::RealNowNs() >= give_up) {
+      return Err::kBusy;
     }
 #if defined(__x86_64__)
     __builtin_ia32_pause();
@@ -1780,6 +2133,9 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
     if (src.parent.inode_off == dstp.node.inode_off) {
       mpk::AccessWindow w(sinfo.key, true);
       InodeLock l(dev, src.parent.inode_off, opts_.lease_ns);
+      if (!l.ok()) {
+        return Err::kBusy;
+      }
       return body();
     }
     // Deterministic lock order avoids deadlock between concurrent renames.
@@ -1789,8 +2145,14 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
     uint8_t skey = first == src.parent.inode_off ? dinfo.key : sinfo.key;
     mpk::AccessWindow w1(fkey, true);
     InodeLock l1(dev, first, opts_.lease_ns);
+    if (!l1.ok()) {
+      return Err::kBusy;
+    }
     mpk::AccessWindow w2(skey, true);
     InodeLock l2(dev, second, opts_.lease_ns);
+    if (!l2.ok()) {
+      return Err::kBusy;
+    }
     return body();
   };
 
@@ -1920,6 +2282,12 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
   }
 
   // The node's pages live inside the source coffer and must change owner.
+  {
+    mpk::AccessWindow w(sinfo.key, false);
+    if (!ValidMetaPage(d.inode_off)) {
+      return Sick(scid);
+    }
+  }
   const Inode snapshot = [&]() {
     mpk::AccessWindow w(sinfo.key, false);
     return *Ino(d.inode_off);

@@ -60,6 +60,25 @@ struct Options {
   // behaviour that removed an existing destination before attempting the
   // move, so a crash in between loses the destination.
   bool legacy_rename_overwrite = false;
+
+  // Test hook (fault-injection planted-bug regression): bypass the
+  // validate-before-dereference checks on persistent pointer loads and fall
+  // back to the pre-hardening discipline — a bare MPK check followed by the
+  // raw dereference — so a corrupted pointer takes the simulated page fault
+  // instead of returning EUCLEAN. Never set outside tests.
+  bool raw_deref_for_test = false;
+
+  // Base quarantine backoff after corruption is detected in a coffer:
+  // subsequent operations fail fast with EIO until the deadline, then one
+  // probe is let through (doubling up to 64x base on repeated failures).
+  uint64_t sick_backoff_ns = 10'000'000;
+};
+
+// Volatile health of one coffer as seen by this ZoFs instance.
+enum class CofferHealth {
+  kHealthy,
+  kSick,      // corruption detected; ops fail fast until fsck or backoff probe
+  kReadOnly,  // fsck could not fully repair: reads allowed, writes get EROFS
 };
 
 // A resolved file: which coffer it lives in and its inode page.
@@ -142,8 +161,13 @@ class ZoFs final : public ufs::MicroFs {
 
   // Runs offline recovery on one coffer (paper §3.5 / §5.3): traverse,
   // repair what is recognisable, report in-use pages to the kernel, which
-  // reclaims the rest. Returns pages reclaimed.
+  // reclaims the rest. Returns pages reclaimed. A successful run clears the
+  // coffer's sick quarantine; a failed repair leaves it mounted read-only.
   Result<uint64_t> RecoverCoffer(uint32_t cid);
+
+  // Volatile health of `cid` in this instance (fault-injection harness and
+  // sick-coffer tests). Healthy for coffers never seen to misbehave.
+  CofferHealth Health(uint32_t cid);
 
   // Accounting for the safety/recovery experiments.
   using RecoveryStats = ufs::RecoveryStats;
@@ -167,11 +191,31 @@ class ZoFs final : public ufs::MicroFs {
   };
 
   // --- mapping / window management ---
-  Result<kernfs::MapInfo> EnsureMapped(uint32_t cid, bool writable);
+  // `bypass_sick` lets fsck map a quarantined coffer; normal operations are
+  // refused (EIO / EROFS) while the coffer is sick.
+  Result<kernfs::MapInfo> EnsureMapped(uint32_t cid, bool writable, bool bypass_sick = false);
   Result<uint8_t> KeyFor(uint32_t cid, bool writable);
   void ForgetMapping(uint32_t cid);
 
   Inode* Ino(uint64_t off) { return kfs_->dev()->As<Inode>(off); }
+
+  // --- corruption containment (fault model, DESIGN.md) ---
+  // Validate-before-dereference for a pointer loaded from persistent
+  // metadata: nonzero, (optionally) page-aligned, inside the device, and
+  // accessible under the currently open MPK window — the page-key table is
+  // the ownership oracle, so a pointer into another coffer or unowned space
+  // is refused without touching it. Under raw_deref_for_test this degrades
+  // to the legacy throwing MPK check (the simulated SIGSEGV).
+  bool ValidMetaRange(uint64_t off, uint64_t len, bool page_aligned) const;
+  bool ValidMetaPage(uint64_t off) const { return ValidMetaRange(off, nvm::kPageSize, true); }
+  // Marks `cid` quarantined and returns kCorrupt (detection sites end with
+  // `return Sick(cid);`).
+  common::Err Sick(uint32_t cid);
+  // Gate run at EnsureMapped: kIo while quarantined (one probe per backoff
+  // window), kROFS for writes to a read-only coffer.
+  Status CheckHealthy(uint32_t cid, bool writable);
+  void ClearSick(uint32_t cid);
+  void QuarantineReadOnly(uint32_t cid);
 
   // --- path walk ---
   Result<ResolveResult> Resolve(const std::string& path, bool follow_last_symlink);
@@ -209,10 +253,11 @@ class ZoFs final : public ufs::MicroFs {
   Status RepairPendingRename(uint32_t cid, const kernfs::MapInfo& info,
                              uint64_t* dentries_cleared);
   Status DirIterate(uint32_t cid, const Inode* dir, std::vector<vfs::DirEntry>* out);
-  bool DirIsEmpty(const Inode* dir);
+  // kCorrupt when the directory structure is damaged (bad pointer / cycle).
+  Result<bool> DirIsEmpty(uint32_t cid, const Inode* dir);
 
   // --- block map ---
-  Result<uint64_t> GetBlock(const Inode* ino, uint64_t blk) const;
+  Result<uint64_t> GetBlock(uint32_t cid, const Inode* ino, uint64_t blk);
   Result<uint64_t> GetOrAllocBlock(CofferAllocator& alloc, Inode* ino, uint64_t blk);
   // Atomically repoints `blk` at `page_off` (index pages must already exist).
   Status InstallBlockPointer(Inode* ino, uint64_t blk, uint64_t page_off);
@@ -255,6 +300,15 @@ class ZoFs final : public ufs::MicroFs {
   std::unordered_map<uint32_t, std::unique_ptr<CofferAllocator>> allocators_;
   std::unordered_map<uint64_t, uint32_t> relocated_;  // page offset -> new coffer
 
+  // Quarantine ledger: coffers where corruption was detected. Volatile by
+  // design — a remount starts clean and re-detects on first touch.
+  struct SickState {
+    uint32_t fails = 0;         // detections since the last successful fsck
+    uint64_t next_probe_ns = 0; // earliest NowNs() at which one op may retry
+    bool read_only = false;     // fsck gave up repairing: writes get EROFS
+  };
+  std::unordered_map<uint32_t, SickState> sick_;
+
   // Set during RecoverAll by RepairPendingRename: an interrupted rename may
   // have committed the dentry move before the kernel-side coffer path was
   // rewritten, so phase 2 repairs (CofferRename) instead of clearing a
@@ -265,7 +319,13 @@ class ZoFs final : public ufs::MicroFs {
 };
 
 // Lease lock over an inode (paper §5.2): CAS-claimed owner + expiry deadline,
-// stealable after expiry so a dead process cannot wedge the lock.
+// stealable after expiry so a dead process cannot wedge the lock. Expiry is
+// compared against the injectable common::NowNs() clock, so tests can lapse a
+// dead owner's lease deterministically. An expiry too far in the future to be
+// a legal lease stamp is treated as corrupt and stolen outright. Acquisition
+// is bounded (escalating pause/yield/sleep backoff up to a multiple of the
+// lease): when a live owner outlasts the bound, the lock is NOT taken and
+// ok() is false — callers fail with EBUSY instead of spinning forever.
 class InodeLock {
  public:
   InodeLock(nvm::NvmDevice* dev, uint64_t inode_off, uint64_t lease_ns);
@@ -273,10 +333,13 @@ class InodeLock {
   InodeLock(const InodeLock&) = delete;
   InodeLock& operator=(const InodeLock&) = delete;
 
+  bool ok() const { return held_; }
+
  private:
   nvm::NvmDevice* dev_;
   uint64_t owner_off_;
   uint64_t expiry_off_;
+  bool held_ = false;
 };
 
 }  // namespace zofs

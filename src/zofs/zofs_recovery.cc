@@ -151,8 +151,18 @@ Status ZoFs::CollectReachable(uint32_t cid, uint64_t inode_off, const std::strin
 }
 
 Result<uint64_t> ZoFs::RecoverCoffer(uint32_t cid) {
-  ASSIGN_OR_RETURN(stats, RecoverOne(cid, nullptr));
-  return stats.pages_reclaimed;
+  auto stats = RecoverOne(cid, nullptr);
+  if (!stats.ok()) {
+    if (stats.error() == Err::kNoEnt) {
+      ClearSick(cid);  // the coffer no longer exists; nothing to quarantine
+    } else {
+      // Repair failed: keep the coffer readable but refuse further writes
+      // instead of letting callers keep re-tripping on the corruption.
+      QuarantineReadOnly(cid);
+    }
+    return stats.error();
+  }
+  return stats->pages_reclaimed;
 }
 
 Status ZoFs::RepairPendingRename(uint32_t cid, const kernfs::MapInfo& info,
@@ -247,6 +257,7 @@ Result<ZoFs::RecoveryStats> ZoFs::RecoverOne(uint32_t cid, std::vector<CrossRef>
     }
     RETURN_IF_ERROR(kfs_->CofferDelete(*proc_, cid));
     ForgetMapping(cid);
+    ClearSick(cid);  // the coffer is gone; drop any quarantine with it
     st.kernel_ns = k0.ElapsedNs();
     st.pages_reclaimed = owned;
     st.user_ns = total.ElapsedNs() - st.kernel_ns;
@@ -254,8 +265,21 @@ Result<ZoFs::RecoveryStats> ZoFs::RecoverOne(uint32_t cid, std::vector<CrossRef>
   }
 
   // Map first (coffer_map refuses in-recovery coffers), then flag the coffer
-  // in-recovery, which unmaps it from everyone else.
-  ASSIGN_OR_RETURN(info, EnsureMapped(cid, true));
+  // in-recovery, which unmaps it from everyone else. Recovery bypasses the
+  // sick gate: it is the path that lifts the quarantine.
+  ASSIGN_OR_RETURN(info, EnsureMapped(cid, true, /*bypass_sick=*/true));
+  {
+    // PlausiblePage above only bounds-checks: a scribbled root page can aim
+    // custom_off at a page some *other* coffer owns, and the pool accesses
+    // below (rename-intent load, InitPool) would take its page fault. Probe
+    // ownership through the MPK oracle before recovery touches it; user
+    // space cannot repair a coffer whose root page is lying, so the caller
+    // quarantines it read-only.
+    mpk::AccessWindow w(info.key, true);
+    if (!mpk::ProbeAccess(info.custom_off, sizeof(AllocPool), true)) {
+      return Err::kCorrupt;
+    }
+  }
   common::Stopwatch k1;
   RETURN_IF_ERROR(kfs_->CofferRecoverBegin(*proc_, cid, /*lease_ns=*/10'000'000'000ULL));
   st.kernel_ns += k1.ElapsedNs();
@@ -289,6 +313,9 @@ Result<ZoFs::RecoveryStats> ZoFs::RecoverOne(uint32_t cid, std::vector<CrossRef>
   st.kernel_ns += k2.ElapsedNs();
   st.pages_reclaimed = reclaimed;
   st.user_ns = total.ElapsedNs() - st.kernel_ns;
+  // A full repair pass lifts the quarantine: the surviving structure has been
+  // re-validated end to end.
+  ClearSick(cid);
 
   if (cross_out != nullptr) {
     cross_out->insert(cross_out->end(), cross.begin(), cross.end());
@@ -344,7 +371,7 @@ Result<ZoFs::RecoveryStats> ZoFs::RecoverAll() {
       }
     }
     if (!ok) {
-      ASSIGN_OR_RETURN(info, EnsureMapped(ref.src_coffer, true));
+      ASSIGN_OR_RETURN(info, EnsureMapped(ref.src_coffer, true, /*bypass_sick=*/true));
       mpk::AccessWindow w(info.key, true);
       dev->Store16(ref.dentry_off + offsetof(Dentry, flags), 0);
       dev->PersistRange(ref.dentry_off + offsetof(Dentry, flags), 2);

@@ -5,13 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <memory>
 
+#include "src/common/clock.h"
 #include "src/common/rand.h"
 #include "src/fslib/fslib.h"
 #include "src/harness/fslab.h"
 #include "src/harness/runner.h"
 #include "src/mpk/mpk.h"
+#include "src/zofs/zofs.h"
 
 namespace {
 
@@ -289,6 +292,95 @@ TEST_P(FsConformanceTest, DeleteFreesSpaceForReuse) {
     ASSERT_TRUE(fs_->Close(*fd).ok());
     ASSERT_TRUE(fs_->Unlink(kCred, "/cycle").ok());
   }
+}
+
+TEST_P(FsConformanceTest, CorruptedFileYieldsEucleanConsistently) {
+  // Baselines keep their metadata in DRAM structures the test cannot
+  // corrupt through the device; only the ZoFS layout persists everything.
+  if (GetParam() != FsKind::kZofs && GetParam() != FsKind::kZofsOneCoffer) {
+    GTEST_SKIP() << "metadata corruption injection requires the ZoFS persistent layout";
+  }
+  auto* p = dynamic_cast<fslib::FsLib*>(fs_);
+  ASSERT_NE(p, nullptr);
+  auto fd = fs_->Open(kCred, "/victim", vfs::kCreate | vfs::kRdWr, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_->Write(*fd, "data", 4).ok());
+  ASSERT_TRUE(fs_->Open(kCred, "/bystander", vfs::kCreate | vfs::kWrite, 0644).ok());
+
+  auto node = p->zofs().Lookup("/victim", true);
+  ASSERT_TRUE(node.ok());
+  auto info = p->zofs().EnsureMappedForTest(node->coffer_id, true);
+  ASSERT_TRUE(info.ok());
+  {
+    mpk::AccessWindow w(info->key, true);
+    lab_->dev()->Store64(node->inode_off, 0);  // destroy the inode magic
+  }
+  // Object-local damage surfaces as EUCLEAN on every entry path...
+  char buf[8];
+  auto rd = fs_->Pread(*fd, buf, sizeof(buf), 0);
+  ASSERT_FALSE(rd.ok());
+  EXPECT_EQ(rd.error(), common::Err::kCorrupt);
+  auto st = fs_->Stat(kCred, "/victim");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error(), common::Err::kCorrupt);
+  auto op = fs_->Open(kCred, "/victim", vfs::kRead, 0);
+  ASSERT_FALSE(op.ok());
+  EXPECT_EQ(op.error(), common::Err::kCorrupt);
+  // ...and stays object-local: the coffer keeps serving its other files.
+  EXPECT_TRUE(fs_->Stat(kCred, "/bystander").ok());
+  EXPECT_TRUE(fs_->Open(kCred, "/fresh", vfs::kCreate | vfs::kWrite, 0644).ok());
+}
+
+TEST_P(FsConformanceTest, QuarantinedCofferFailsFastWithEio) {
+  // Structural damage (a wild block pointer) distrusts the coffer's whole
+  // pointer graph: first walk reports EUCLEAN, retries inside the backoff
+  // window fail fast with EIO, and sibling coffers stay live. Needs real
+  // coffer splitting, so only the multi-coffer ZoFS configuration runs it.
+  if (GetParam() != FsKind::kZofs) {
+    GTEST_SKIP() << "quarantine isolation requires per-file coffers";
+  }
+  auto* p = dynamic_cast<fslib::FsLib*>(fs_);
+  ASSERT_NE(p, nullptr);
+  // Pin logical time (restored on scope exit) so the quarantine backoff
+  // cannot elapse mid-test on a slow machine.
+  struct ClockPin {
+    ClockPin() { common::SetNowNsForTest(common::RealNowNs()); }
+    ~ClockPin() { common::SetNowNsForTest(0); }
+  } pin;
+
+  auto sfd = fs_->Open(kCred, "/secret", vfs::kCreate | vfs::kRdWr, 0600);
+  ASSERT_TRUE(sfd.ok());
+  std::string data(2 * nvm::kPageSize, 'q');
+  ASSERT_TRUE(fs_->Pwrite(*sfd, data.data(), data.size(), 0).ok());
+  ASSERT_TRUE(fs_->Open(kCred, "/bystander2", vfs::kCreate | vfs::kWrite, 0644).ok());
+
+  auto node = p->zofs().Lookup("/secret", true);
+  ASSERT_TRUE(node.ok());
+  ASSERT_NE(node->coffer_id, lab_->kernfs()->root_coffer_id());
+  auto info = p->zofs().EnsureMappedForTest(node->coffer_id, true);
+  ASSERT_TRUE(info.ok());
+  {
+    mpk::AccessWindow w(info->key, true);
+    lab_->dev()->Store64(node->inode_off + offsetof(zofs::Inode, direct), 0x3);
+  }
+  char buf[8];
+  auto rd = fs_->Pread(*sfd, buf, sizeof(buf), 0);
+  ASSERT_FALSE(rd.ok());
+  EXPECT_EQ(rd.error(), common::Err::kCorrupt);
+  EXPECT_EQ(p->zofs().Health(node->coffer_id), zofs::CofferHealth::kSick);
+  // Fail-fast with one consistent code across every entry path.
+  rd = fs_->Pread(*sfd, buf, sizeof(buf), 0);
+  ASSERT_FALSE(rd.ok());
+  EXPECT_EQ(rd.error(), common::Err::kIo);
+  auto st = fs_->Stat(kCred, "/secret");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error(), common::Err::kIo);
+  auto op = fs_->Open(kCred, "/secret", vfs::kRead, 0);
+  ASSERT_FALSE(op.ok());
+  EXPECT_EQ(op.error(), common::Err::kIo);
+  // Sibling coffers never notice.
+  EXPECT_TRUE(fs_->Stat(kCred, "/bystander2").ok());
+  EXPECT_TRUE(fs_->Open(kCred, "/fresh2", vfs::kCreate | vfs::kWrite, 0644).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFileSystems, FsConformanceTest,

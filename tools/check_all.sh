@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # One-stop verification gate: build + tier-1 tests, the same tests under the
 # persistence/protection auditor (ZOFS_AUDIT=1), an ASan+UBSan build of the
-# suite, clang-tidy (when installed), and a deterministic pmem_audit replay
-# of the Figure-8 workload (DWOL). Exits nonzero on any finding.
+# suite, clang-tidy (when installed), a deterministic pmem_audit replay
+# of the Figure-8 workload (DWOL), and the metadata fault-injection campaign
+# (deterministic across thread counts, plus a bounded sanitized run).
+# Exits nonzero on any finding.
 #
 #   tools/check_all.sh [build-dir]
 set -u
@@ -53,6 +55,22 @@ if ! diff -q "$A" "$B" >/dev/null; then
   FAIL=1
 fi
 rm -f "$A" "$B"
+
+step "fault_inject: bounded metadata corruption campaign, determinism check"
+A=$(mktemp) && B=$(mktemp)
+# The campaign exits 1 only on a crash/hang/escape verdict, which is exactly
+# the regression this gate exists to catch; a hardened build must be CLEAN.
+"$BUILD_DIR"/tools/fault_inject --seed=42 --threads=8 --json > "$A" || FAIL=1
+"$BUILD_DIR"/tools/fault_inject --seed=42 --threads=3 --json > "$B" || FAIL=1
+if ! diff -q "$A" "$B" >/dev/null; then
+  echo "fault_inject: report is not deterministic across thread counts" >&2
+  diff "$A" "$B" >&2
+  FAIL=1
+fi
+rm -f "$A" "$B"
+
+step "fault_inject under ASan+UBSan (bounded)"
+"$SAN_DIR"/tools/fault_inject --seed=42 --threads=4 --max-trials=24 --json >/dev/null || FAIL=1
 
 if [ "$FAIL" -ne 0 ]; then
   step "FAILED"
