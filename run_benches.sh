@@ -1,17 +1,35 @@
 #!/bin/bash
-# Full benchmark suite -> bench_output.txt
+# Full benchmark suite -> bench_output.txt, plus the machine-readable
+# scalability sweep -> BENCH_5.json.
+set -euo pipefail
+
 cd /root/repo
+
+BENCHES=(bench_table1_media bench_table2_sharing bench_table3_appperms
+         bench_table4_fslhomes bench_trace_mobigen bench_fig7_fxmark
+         bench_fig8_breakdown bench_fig9_filebench bench_fig10_filebench_custom
+         bench_table7_leveldb bench_fig11_tpcc bench_table9_worstcase
+         bench_sec65_safety_recovery bench_ablations)
+
+# Fail loudly before spending an hour on a half-built tree.
+for b in "${BENCHES[@]}"; do
+  if [ ! -x "./build/bench/$b" ]; then
+    echo "run_benches.sh: missing bench binary ./build/bench/$b (build first)" >&2
+    exit 1
+  fi
+done
+if [ ! -x ./build/tools/bench_json ]; then
+  echo "run_benches.sh: missing ./build/tools/bench_json (build first)" >&2
+  exit 1
+fi
+
 {
   echo "=== ZoFS/Treasury reproduction: full benchmark run ==="
   echo "date: $(date -u)"
   echo "host: single-core Xeon @2.1GHz VM, 16GB RAM, DRAM-backed simulated NVM"
   echo "cost model: kernel_crossing=300ns clwb=30ns/line sfence=100ns nova_index=250ns"
   echo
-  for b in bench_table1_media bench_table2_sharing bench_table3_appperms \
-           bench_table4_fslhomes bench_trace_mobigen bench_fig7_fxmark \
-           bench_fig8_breakdown bench_fig9_filebench bench_fig10_filebench_custom \
-           bench_table7_leveldb bench_fig11_tpcc bench_table9_worstcase \
-           bench_sec65_safety_recovery bench_ablations; do
+  for b in "${BENCHES[@]}"; do
     echo "=============================================================="
     echo "### $b"
     echo "=============================================================="
@@ -20,3 +38,7 @@ cd /root/repo
   done
   echo "=== benchmark run complete: $(date -u) ==="
 } > /root/repo/bench_output.txt 2>&1
+
+# Machine-readable multicore scalability sweep (sharded vs global-lock).
+./build/tools/bench_json /root/repo/BENCH_5.json > /dev/null
+echo "run_benches.sh: wrote bench_output.txt and BENCH_5.json"

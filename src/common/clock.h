@@ -42,6 +42,22 @@ inline void SetNowNsForTest(uint64_t ns) {
   detail::g_now_override_ns.store(ns, std::memory_order_relaxed);
 }
 
+// RAII pin of the logical clock: freezes NowNs() at `ns` so that every
+// time-dependent persistent word — free-list leases, inode-lock leases,
+// timestamps — plays out identically across reruns regardless of host load.
+// Restores whatever override was active before (usually none) on exit.
+class ScopedClockPin {
+ public:
+  explicit ScopedClockPin(uint64_t ns)
+      : prev_(detail::g_now_override_ns.exchange(ns, std::memory_order_relaxed)) {}
+  ~ScopedClockPin() { detail::g_now_override_ns.store(prev_, std::memory_order_relaxed); }
+  ScopedClockPin(const ScopedClockPin&) = delete;
+  ScopedClockPin& operator=(const ScopedClockPin&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
 // Advances a pinned clock; no-op when the hardware clock is active.
 inline void AdvanceNowNsForTest(uint64_t delta_ns) {
   uint64_t cur = detail::g_now_override_ns.load(std::memory_order_relaxed);

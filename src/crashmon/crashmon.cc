@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "src/common/clock.h"
 #include "src/common/rand.h"
 #include "src/fslib/fslib.h"
 #include "src/kernfs/kernfs.h"
@@ -702,6 +703,11 @@ bool ParseWorkload(const std::string& s, Workload* out) {
 }
 
 ExploreReport Explore(const ExploreOptions& opts) {
+  // Pin the logical clock for the whole record/replay/recover cycle: a
+  // free-list lease lapsing mid-recording (possible whenever the host is
+  // slow enough, e.g. under sanitizers) adds an extra persist epoch and
+  // breaks the report's run-to-run determinism contract.
+  common::ScopedClockPin pin(1'000'000'000ull + opts.seed);
   Recording rec = Record(opts);
 
   ExploreReport rep;

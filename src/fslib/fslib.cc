@@ -1,5 +1,6 @@
 #include "src/fslib/fslib.h"
 
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 
@@ -30,6 +31,25 @@ auto Guarded(const char* api, F&& body) -> decltype(body()) {
   }
 }
 
+// One-word spinlock over an FD slot. Critical sections are a shared_ptr
+// copy/move — a few instructions — so spinning beats a mutex's futex path.
+class SpinGuard {
+ public:
+  explicit SpinGuard(std::atomic<bool>& b) : b_(b) {
+    while (b_.exchange(true, std::memory_order_acquire)) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#endif
+    }
+  }
+  ~SpinGuard() { b_.store(false, std::memory_order_release); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  std::atomic<bool>& b_;
+};
+
 }  // namespace
 
 FsLib::FsLib(kernfs::KernFs* kfs, vfs::Cred cred, zofs::Options zopts) : kfs_(kfs) {
@@ -51,29 +71,67 @@ FsLib::~FsLib() {
   fs_.reset();
   kfs_->DestroyProcess(proc_);
   mpk::BindThreadToProcess(nullptr);
+  for (auto& c : fd_chunks_) {
+    delete c.load(std::memory_order_relaxed);
+  }
+}
+
+FsLib::FdChunk* FsLib::ChunkFor(uint32_t chunk, bool create) {
+  FdChunk* ch = fd_chunks_[chunk].load(std::memory_order_acquire);
+  if (ch != nullptr || !create) {
+    return ch;
+  }
+  // Creation only happens under fd_alloc_mu_, but a CAS keeps this correct
+  // even if that invariant ever changes.
+  auto fresh = std::make_unique<FdChunk>();
+  FdChunk* expected = nullptr;
+  if (fd_chunks_[chunk].compare_exchange_strong(expected, fresh.get(),
+                                                std::memory_order_acq_rel)) {
+    return fresh.release();
+  }
+  return expected;
 }
 
 vfs::Result<vfs::Fd> FsLib::InstallLowestFd(std::shared_ptr<Description> desc) {
-  std::lock_guard<std::mutex> lk(fd_mu_);
-  for (size_t i = 0; i < fds_.size(); i++) {
-    if (fds_[i] == nullptr) {
-      fds_[i] = std::move(desc);
-      return static_cast<vfs::Fd>(i);
+  std::lock_guard<std::mutex> lk(fd_alloc_mu_);
+  fd_alloc_locks_.fetch_add(1, std::memory_order_relaxed);
+  for (uint32_t w = 0; w < fd_bitmap_.size(); w++) {
+    if (fd_bitmap_[w] == ~0ull) {
+      continue;
     }
+    const uint32_t bit = static_cast<uint32_t>(std::countr_one(fd_bitmap_[w]));
+    const uint32_t fd = w * 64 + bit;
+    FdSlot& slot = ChunkFor(fd / kFdsPerChunk, /*create=*/true)->slots[fd % kFdsPerChunk];
+    {
+      SpinGuard g(slot.busy);
+      slot.desc = std::move(desc);
+    }
+    // Publish the slot before marking the FD allocated: once the bit is set
+    // a concurrent Close may legally free this FD again.
+    fd_bitmap_[w] |= (1ull << bit);
+    return static_cast<vfs::Fd>(fd);
   }
-  if (fds_.size() >= 65536) {
-    return Err::kMFile;
-  }
-  fds_.push_back(std::move(desc));
-  return static_cast<vfs::Fd>(fds_.size() - 1);
+  return Err::kMFile;
 }
 
 vfs::Result<std::shared_ptr<FsLib::Description>> FsLib::Get(vfs::Fd fd) {
-  std::lock_guard<std::mutex> lk(fd_mu_);
-  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || fds_[fd] == nullptr) {
+  if (fd < 0 || static_cast<uint32_t>(fd) >= kFdCapacity) {
     return Err::kBadF;
   }
-  return fds_[fd];
+  FdChunk* ch = ChunkFor(static_cast<uint32_t>(fd) / kFdsPerChunk, /*create=*/false);
+  if (ch == nullptr) {
+    return Err::kBadF;
+  }
+  FdSlot& slot = ch->slots[static_cast<uint32_t>(fd) % kFdsPerChunk];
+  std::shared_ptr<Description> d;
+  {
+    SpinGuard g(slot.busy);
+    d = slot.desc;
+  }
+  if (d == nullptr) {
+    return Err::kBadF;
+  }
+  return d;
 }
 
 vfs::Result<vfs::Fd> FsLib::Open(const vfs::Cred& cred, const std::string& path, uint32_t flags,
@@ -119,12 +177,30 @@ vfs::Result<vfs::Fd> FsLib::Open(const vfs::Cred& cred, const std::string& path,
 }
 
 vfs::Status FsLib::Close(vfs::Fd fd) {
-  std::lock_guard<std::mutex> lk(fd_mu_);
-  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || fds_[fd] == nullptr) {
+  if (fd < 0 || static_cast<uint32_t>(fd) >= kFdCapacity) {
     return Err::kBadF;
   }
-  fds_[fd] = nullptr;
-  return OkStatus();
+  FdChunk* ch = ChunkFor(static_cast<uint32_t>(fd) / kFdsPerChunk, /*create=*/false);
+  if (ch == nullptr) {
+    return Err::kBadF;
+  }
+  FdSlot& slot = ch->slots[static_cast<uint32_t>(fd) % kFdsPerChunk];
+  std::shared_ptr<Description> dead;
+  {
+    SpinGuard g(slot.busy);
+    if (slot.desc == nullptr) {
+      return Err::kBadF;  // double-close; the bitmap bit was already freed
+    }
+    dead = std::move(slot.desc);
+  }
+  {
+    // Clear the slot before freeing the FD number so the next open that
+    // reuses it can never observe the dead description.
+    std::lock_guard<std::mutex> lk(fd_alloc_mu_);
+    fd_alloc_locks_.fetch_add(1, std::memory_order_relaxed);
+    fd_bitmap_[static_cast<uint32_t>(fd) / 64] &= ~(1ull << (fd % 64));
+  }
+  return OkStatus();  // `dead` drops the description outside both locks
 }
 
 vfs::Result<size_t> FsLib::Read(vfs::Fd fd, void* buf, size_t n) {

@@ -12,6 +12,7 @@
 #ifndef SRC_FSLIB_FSLIB_H_
 #define SRC_FSLIB_FSLIB_H_
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -76,6 +77,13 @@ class FsLib final : public vfs::FileSystem {
                       const std::string& linkpath) override;
   vfs::Result<std::string> ReadLink(const vfs::Cred& cred, const std::string& path) override;
 
+  // How many times the FD-allocation mutex was taken. FD lookup (Get) never
+  // touches it, so steady-state read/write leaves this counter unchanged —
+  // the scalability tests assert exactly that.
+  uint64_t FdAllocLockAcquisitionsForTest() const {
+    return fd_alloc_locks_.load(std::memory_order_relaxed);
+  }
+
  private:
   // An open file description (shared between dup'd FDs, as in POSIX).
   // `pos_mu` serializes the read-modify-write of the shared offset across
@@ -88,6 +96,29 @@ class FsLib final : public vfs::FileSystem {
     uint32_t flags = 0;
   };
 
+  // ---- sharded FD table ----
+  // The old table was one vector behind one mutex: every Read/Write/Close on
+  // any FD serialized on it. It is now a fixed-capacity two-level slot array:
+  //   * chunks are installed lazily (std::atomic<FdChunk*>, 256 FDs each) and
+  //     never removed until ~FsLib, so lookup dereferences them lock-free;
+  //   * each slot carries its own one-word spinlock guarding the shared_ptr
+  //     copy (shared_ptr loads are not atomic); two threads contend only when
+  //     they touch the *same* FD;
+  //   * lowest-available-FD allocation (POSIX, dup included) runs over a
+  //     bitmap under fd_alloc_mu_ — open/close only, never lookup.
+  static constexpr uint32_t kFdCapacity = 65536;
+  static constexpr uint32_t kFdsPerChunk = 256;
+  static constexpr uint32_t kFdChunks = kFdCapacity / kFdsPerChunk;
+
+  struct FdSlot {
+    std::atomic<bool> busy{false};
+    std::shared_ptr<Description> desc;
+  };
+  struct FdChunk {
+    std::array<FdSlot, kFdsPerChunk> slots;
+  };
+
+  FdChunk* ChunkFor(uint32_t chunk, bool create);
   vfs::Result<vfs::Fd> InstallLowestFd(std::shared_ptr<Description> desc);
   vfs::Result<std::shared_ptr<Description>> Get(vfs::Fd fd);
 
@@ -96,8 +127,10 @@ class FsLib final : public vfs::FileSystem {
   std::unique_ptr<ufs::MicroFs> fs_;
   zofs::ZoFs* zofs_ = nullptr;  // set when fs_ is a ZoFs
 
-  std::mutex fd_mu_;
-  std::vector<std::shared_ptr<Description>> fds_;  // index == user-visible FD
+  std::array<std::atomic<FdChunk*>, kFdChunks> fd_chunks_{};
+  std::mutex fd_alloc_mu_;
+  std::array<uint64_t, kFdCapacity / 64> fd_bitmap_{};  // 1 = FD in use
+  std::atomic<uint64_t> fd_alloc_locks_{0};
 };
 
 }  // namespace fslib

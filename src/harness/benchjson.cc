@@ -1,0 +1,366 @@
+#include "src/harness/benchjson.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/common/stats.h"
+#include "src/fslib/fslib.h"
+#include "src/harness/fslab.h"
+#include "src/harness/fxmark.h"
+#include "src/harness/runner.h"
+
+namespace harness {
+
+namespace {
+
+constexpr size_t kBlock = 4096;
+const vfs::Cred kCred{0, 0};
+
+enum class Scope { kShared, kPrivate };
+enum class Kernel { kAppend, kCreate, kUnlink, kRename };
+
+constexpr Kernel kAllKernels[] = {Kernel::kAppend, Kernel::kCreate, Kernel::kUnlink,
+                                  Kernel::kRename};
+
+// Errors in a bench kernel invalidate every counter downstream; abort loudly
+// (assert() is compiled out of release builds).
+#define CHECK_OK(expr)                                                    \
+  do {                                                                    \
+    if (!(expr).ok()) {                                                   \
+      std::fprintf(stderr, "bench_json: %s failed at %s:%d\n", #expr,     \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+const char* KernelName(Kernel k) {
+  switch (k) {
+    case Kernel::kAppend:
+      return "dwal";
+    case Kernel::kCreate:
+      return "mwcl";
+    case Kernel::kUnlink:
+      return "mwul";
+    case Kernel::kRename:
+      return "mwrl";
+  }
+  return "?";
+}
+
+// Eight distinct effective permission groups (EffPerm = mode & 0666), none
+// equal to the root coffer's 0644: creating thread t's tree with mode
+// kPrivateModes[t] forces it into its own coffer (paper §5, Figure 1). The
+// benchmark cred is uid 0, so the restrictive bits never deny access.
+constexpr uint16_t kPrivateModes[8] = {0600, 0602, 0604, 0606, 0620, 0622, 0624, 0626};
+
+uint16_t ModeFor(Scope scope, int thread) {
+  return scope == Scope::kPrivate ? kPrivateModes[thread % 8] : 0644;
+}
+
+std::string TreeFor(Kernel k, Scope scope, int thread) {
+  return std::string("/") + KernelName(k) + (scope == Scope::kPrivate ? "p" : "s") +
+         std::to_string(thread);
+}
+
+// One sweep datapoint.
+struct Point {
+  Kernel kernel;
+  Scope scope;
+  bool sharded;
+  int threads;
+  uint64_t ops = 0;
+  double seconds = 0;
+  double ops_per_sec = 0;
+  double mean_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  // Deterministic structural counters (deltas over the measured phase).
+  uint64_t kernel_crossings = 0;
+  uint64_t clwb = 0;
+  uint64_t sfence = 0;
+  uint64_t shard_lock_acquisitions = 0;
+  uint64_t fd_alloc_lock_acquisitions = 0;
+};
+
+Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
+               const BenchJsonOptions& opts) {
+  // Without the pin, a thread descheduled past a lease window re-leases with
+  // an extra PersistRange and the clwb/sfence counters drift by ±1 between
+  // runs. Latency measurement and the cost-model busy-waits read the
+  // hardware clock (RealNowNs) and are unaffected.
+  common::ScopedClockPin pin(1'000'000'000ull + opts.seed);
+  LabOptions lopts;
+  lopts.dev_bytes = opts.dev_bytes;
+  lopts.zofs_state_shards = sharded ? 16 : 1;
+  lopts.zofs_session_cache = sharded;
+  FsLab lab(FsKind::kZofs, lopts);
+  vfs::FileSystem* fs = lab.View(0);
+  auto* fslib = static_cast<fslib::FsLib*>(fs);
+
+  // ---- setup (not measured) ----
+  for (int t = 0; t < threads; t++) {
+    const uint16_t mode = ModeFor(scope, t);
+    const std::string tree = TreeFor(kernel, scope, t);
+    if (kernel == Kernel::kAppend) {
+      auto fd = fs->Open(kCred, tree, vfs::kCreate | vfs::kWrite, mode);
+      CHECK_OK(fd);
+      fs->Close(*fd);
+    } else {
+      // Directory and files share one permission group so the whole
+      // per-thread tree lands in one coffer.
+      auto s = fs->Mkdir(kCred, tree, mode);
+      CHECK_OK(s);
+      if (kernel == Kernel::kUnlink || kernel == Kernel::kRename) {
+        for (uint64_t i = 0; i < opts.ops_per_thread; i++) {
+          auto fd = fs->Open(kCred, tree + "/f" + std::to_string(i),
+                             vfs::kCreate | vfs::kWrite, mode);
+          CHECK_OK(fd);
+          fs->Close(*fd);
+        }
+      }
+      if (kernel == Kernel::kRename) {
+        // Pre-create the rename targets so the measured rename is a pure
+        // overwrite: no dentry/page allocation in the measured region, which
+        // would otherwise make grow-crossing counts interleaving-dependent
+        // in the shared-coffer sweep.
+        for (uint64_t i = 0; i < opts.ops_per_thread; i++) {
+          auto fd = fs->Open(kCred, tree + "/g" + std::to_string(i),
+                             vfs::kCreate | vfs::kWrite, mode);
+          CHECK_OK(fd);
+          fs->Close(*fd);
+        }
+      }
+    }
+  }
+
+  const uint64_t crossings0 = kernfs::CrossingCount();
+  const uint64_t clwb0 = lab.dev()->clwb_count();
+  const uint64_t sfence0 = lab.dev()->sfence_count();
+  const uint64_t locks0 = fslib->zofs().ShardLockAcquisitionsForTest();
+  const uint64_t fdlocks0 = fslib->FdAllocLockAcquisitionsForTest();
+
+  std::vector<common::LatencyRecorder> lat(threads);
+  WorkloadResult wr = RunThreads(threads, [&](int t) -> uint64_t {
+    fslib->BindThread();
+    const uint16_t mode = ModeFor(scope, t);
+    const std::string tree = TreeFor(kernel, scope, t);
+    common::LatencyRecorder& rec = lat[t];
+    auto timed = [&rec](auto&& op) {
+      const uint64_t t0 = common::RealNowNs();
+      op();
+      rec.Record(common::RealNowNs() - t0);
+    };
+    switch (kernel) {
+      case Kernel::kAppend: {
+        auto fd = fs->Open(kCred, tree, vfs::kWrite | vfs::kAppend, mode);
+        CHECK_OK(fd);
+        std::vector<uint8_t> buf(kBlock, 0x5a);
+        uint64_t appended = 0;
+        for (uint64_t i = 0; i < opts.ops_per_thread; i++) {
+          timed([&] {
+            auto r = fs->Write(*fd, buf.data(), kBlock);
+            CHECK_OK(r);
+          });
+          if (++appended >= opts.append_cap_blocks) {
+            fs->Ftruncate(*fd, 0);  // wrap to bound NVM usage (not an op)
+            fs->Lseek(*fd, 0, 0);
+            appended = 0;
+          }
+        }
+        fs->Close(*fd);
+        break;
+      }
+      case Kernel::kCreate:
+        for (uint64_t i = 0; i < opts.ops_per_thread; i++) {
+          timed([&] {
+            auto fd = fs->Open(kCred, tree + "/f" + std::to_string(i),
+                               vfs::kCreate | vfs::kWrite, mode);
+            CHECK_OK(fd);
+            fs->Close(*fd);
+          });
+        }
+        break;
+      case Kernel::kUnlink:
+        for (uint64_t i = 0; i < opts.ops_per_thread; i++) {
+          timed([&] {
+            auto s = fs->Unlink(kCred, tree + "/f" + std::to_string(i));
+            CHECK_OK(s);
+          });
+        }
+        break;
+      case Kernel::kRename:
+        for (uint64_t i = 0; i < opts.ops_per_thread; i++) {
+          timed([&] {
+            auto s = fs->Rename(kCred, tree + "/f" + std::to_string(i),
+                                tree + "/g" + std::to_string(i));
+            CHECK_OK(s);
+          });
+        }
+        break;
+    }
+    return opts.ops_per_thread;
+  });
+
+  Point p;
+  p.kernel = kernel;
+  p.scope = scope;
+  p.sharded = sharded;
+  p.threads = threads;
+  p.ops = wr.total_ops;
+  p.seconds = wr.seconds;
+  p.ops_per_sec = wr.ops_per_sec;
+  common::LatencyRecorder all;
+  for (auto& r : lat) {
+    all.Merge(r);
+  }
+  p.mean_ns = all.MeanNs();
+  p.p50_ns = all.PercentileNs(50);
+  p.p99_ns = all.PercentileNs(99);
+  p.kernel_crossings = kernfs::CrossingCount() - crossings0;
+  p.clwb = lab.dev()->clwb_count() - clwb0;
+  p.sfence = lab.dev()->sfence_count() - sfence0;
+  p.shard_lock_acquisitions = fslib->zofs().ShardLockAcquisitionsForTest() - locks0;
+  p.fd_alloc_lock_acquisitions = fslib->FdAllocLockAcquisitionsForTest() - fdlocks0;
+  return p;
+}
+
+std::string Fmt(double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+double PerOp(uint64_t count, uint64_t ops) {
+  return ops == 0 ? 0.0 : static_cast<double>(count) / static_cast<double>(ops);
+}
+
+void EmitPoint(std::ostringstream& out, const Point& p, bool first) {
+  if (!first) {
+    out << ",\n";
+  }
+  out << "    {\"workload\": \"" << KernelName(p.kernel) << "\", "
+      << "\"coffers\": \"" << (p.scope == Scope::kPrivate ? "private" : "shared") << "\", "
+      << "\"mode\": \"" << (p.sharded ? "sharded" : "globallock") << "\", "
+      << "\"threads\": " << p.threads << ",\n"
+      << "     \"ops\": " << p.ops << ", \"seconds\": " << Fmt(p.seconds)
+      << ", \"ops_per_sec\": " << Fmt(p.ops_per_sec) << ",\n"
+      << "     \"mean_ns\": " << Fmt(p.mean_ns) << ", \"p50_ns\": " << p.p50_ns
+      << ", \"p99_ns\": " << p.p99_ns << ",\n"
+      << "     \"kernel_crossings\": " << p.kernel_crossings
+      << ", \"kernel_crossings_per_op\": " << Fmt(PerOp(p.kernel_crossings, p.ops))
+      << ",\n"
+      << "     \"clwb\": " << p.clwb << ", \"sfence\": " << p.sfence << ",\n"
+      << "     \"shard_lock_acquisitions\": " << p.shard_lock_acquisitions
+      << ", \"lock_acquisitions_per_op\": " << Fmt(PerOp(p.shard_lock_acquisitions, p.ops))
+      << ",\n"
+      << "     \"fd_alloc_lock_acquisitions\": " << p.fd_alloc_lock_acquisitions << "}";
+}
+
+}  // namespace
+
+std::string RunBenchJson(const BenchJsonOptions& opts) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"zofs-bench-scale-v1\",\n";
+  out << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"config\": {\"ops_per_thread\": " << opts.ops_per_thread
+      << ", \"seed\": " << opts.seed << ", \"dev_bytes\": " << opts.dev_bytes
+      << ", \"append_cap_blocks\": " << opts.append_cap_blocks << ", \"thread_counts\": [";
+  for (size_t i = 0; i < opts.thread_counts.size(); i++) {
+    out << (i ? ", " : "") << opts.thread_counts[i];
+  }
+  out << "]},\n";
+  {
+    LabOptions defaults;
+    out << "  \"cost_model\": {\"kernel_crossing_ns\": " << defaults.kernel_crossing_ns
+        << ", \"clwb_ns\": " << defaults.clwb_ns << ", \"sfence_ns\": " << defaults.sfence_ns
+        << "},\n";
+  }
+
+  std::vector<Point> points;
+  out << "  \"sweep\": [\n";
+  bool first = true;
+  for (Kernel kernel : kAllKernels) {
+    for (Scope scope : {Scope::kPrivate, Scope::kShared}) {
+      for (bool sharded : {true, false}) {
+        for (int threads : opts.thread_counts) {
+          Point p = RunPoint(kernel, scope, sharded, threads, opts);
+          points.push_back(p);
+          EmitPoint(out, p, first);
+          first = false;
+        }
+      }
+    }
+  }
+  out << "\n  ],\n";
+
+  // Derived scalability summary: sharded vs globallock at the highest thread
+  // count. On a single-core host the throughput ratio reflects reduced
+  // serialization, not parallelism; locks_per_op is exact on any host.
+  out << "  \"derived\": [\n";
+  const int max_threads =
+      *std::max_element(opts.thread_counts.begin(), opts.thread_counts.end());
+  bool dfirst = true;
+  for (Kernel kernel : kAllKernels) {
+    for (Scope scope : {Scope::kPrivate, Scope::kShared}) {
+      const Point* shd = nullptr;
+      const Point* gbl = nullptr;
+      for (const Point& p : points) {
+        if (p.kernel == kernel && p.scope == scope && p.threads == max_threads) {
+          (p.sharded ? shd : gbl) = &p;
+        }
+      }
+      if (shd == nullptr || gbl == nullptr) {
+        continue;
+      }
+      if (!dfirst) {
+        out << ",\n";
+      }
+      dfirst = false;
+      out << "    {\"workload\": \"" << KernelName(kernel) << "\", \"coffers\": \""
+          << (scope == Scope::kPrivate ? "private" : "shared")
+          << "\", \"threads\": " << max_threads
+          << ", \"throughput_sharded_over_globallock\": "
+          << Fmt(gbl->ops_per_sec > 0 ? shd->ops_per_sec / gbl->ops_per_sec : 0) << ",\n"
+          << "     \"locks_per_op_sharded\": "
+          << Fmt(PerOp(shd->shard_lock_acquisitions, shd->ops))
+          << ", \"locks_per_op_globallock\": "
+          << Fmt(PerOp(gbl->shard_lock_acquisitions, gbl->ops)) << "}";
+    }
+  }
+  out << "\n  ]";
+
+  if (opts.run_fig8) {
+    // Single-thread Figure-8 style breakdown under the default calibrated
+    // cost model; a hot-path regression shows up here as a throughput drop.
+    out << ",\n  \"fig8\": [\n";
+    const FsKind kinds[] = {FsKind::kZofs, FsKind::kZofsSysEmpty, FsKind::kZofsKWrite};
+    const FxWorkload works[] = {FxWorkload::kDWAL, FxWorkload::kDRBL, FxWorkload::kMWCL};
+    bool f8first = true;
+    for (FsKind kind : kinds) {
+      for (FxWorkload w : works) {
+        FsLab lab(kind, LabOptions{});
+        FxOptions fxo;
+        fxo.ops_per_thread = opts.fig8_ops;
+        fxo.seed = opts.seed;
+        WorkloadResult r = RunFxmark(lab, w, /*threads=*/1, fxo);
+        if (!f8first) {
+          out << ",\n";
+        }
+        f8first = false;
+        out << "    {\"fs\": \"" << FsKindName(kind) << "\", \"workload\": \"" << FxName(w)
+            << "\", \"ops_per_sec\": " << Fmt(r.ops_per_sec)
+            << ", \"mean_ns\": " << Fmt(r.mean_latency_ns) << "}";
+      }
+    }
+    out << "\n  ]";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace harness

@@ -1,0 +1,54 @@
+// Machine-readable multicore benchmark harness (bench_json).
+//
+// Sweeps thread counts over FxMark-style workloads (append, create, unlink,
+// rename) in two coffer placements — private (one coffer per thread, forced
+// by distinct permission groups) and shared (every thread in the root
+// coffer's group) — and in two concurrency modes:
+//
+//   sharded     the PR's design: N-way sharded volatile state + per-thread
+//               coffer session cache;
+//   globallock  the pre-PR baseline, emulated by state_shards=1 and
+//               session_cache=false (same code path, one shard == one lock).
+//
+// Each datapoint reports wall-clock throughput/latency plus five
+// *deterministic* structural counters — kernel crossings, clwb flushes,
+// sfence fences, and shard-lock / fd-lock acquisitions — which are exact
+// functions of the workload at a fixed seed and therefore stable across
+// runs and hosts. Two mechanisms make that true: the rename kernel only
+// overwrites pre-created targets (no interleaving-dependent page
+// allocation in the measured region), and each sweep point pins the
+// logical clock so no lease word can lapse mid-run.
+// On a single-core host the timing fields measure contention under
+// time-slicing, not parallel speedup; lock_acquisitions_per_op is the
+// host-independent scalability signal (the sharded mode's hot path takes
+// zero shared locks per op).
+
+#ifndef SRC_HARNESS_BENCHJSON_H_
+#define SRC_HARNESS_BENCHJSON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harness {
+
+struct BenchJsonOptions {
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  uint64_t ops_per_thread = 2000;
+  uint64_t seed = 42;
+  size_t dev_bytes = 256ull << 20;
+  uint64_t append_cap_blocks = 2048;  // DWAL wraps its file at this size
+  // Single-thread Figure-8 style breakdown (ZoFS variants under the default
+  // calibrated cost model), used to detect hot-path regressions.
+  bool run_fig8 = true;
+  uint64_t fig8_ops = 4000;
+};
+
+// Runs the sweep and returns the complete JSON document (schema
+// "zofs-bench-scale-v1", fixed key order).
+std::string RunBenchJson(const BenchJsonOptions& opts = {});
+
+}  // namespace harness
+
+#endif  // SRC_HARNESS_BENCHJSON_H_

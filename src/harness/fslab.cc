@@ -155,6 +155,8 @@ vfs::FileSystem* FsLab::View(int proc) {
         zopts.inline_data = opts_.zofs_inline_data;
         zopts.atomic_data = opts_.zofs_atomic_data;
         zopts.enlarge_batch = opts_.zofs_enlarge_batch;
+        zopts.state_shards = opts_.zofs_state_shards;
+        zopts.session_cache = opts_.zofs_session_cache;
         views_[proc] = std::make_unique<fslib::FsLib>(kernfs_.get(), opts_.cred, zopts);
         break;
       }

@@ -59,6 +59,10 @@ struct LabOptions {
   bool zofs_inline_data = false;
   bool zofs_atomic_data = false;
   uint64_t zofs_enlarge_batch = 64;
+  // Volatile-state sharding (bench_json's global-lock baseline sets shards=1
+  // and disables the per-thread session cache).
+  uint32_t zofs_state_shards = 16;
+  bool zofs_session_cache = true;
   // Skip installing the MPK device hook (measures protection overhead).
   bool disable_mpk = false;
 };

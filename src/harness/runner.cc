@@ -22,12 +22,14 @@ WorkloadResult RunThreads(int n, const std::function<uint64_t(int)>& worker) {
       counts[i] = worker(i);
     });
   }
-  const uint64_t start = common::NowNs();
+  // Hardware clock, not the logical one: callers (benchjson) may pin NowNs
+  // to make lease words deterministic, which must not zero the stopwatch.
+  const uint64_t start = common::RealNowNs();
   go.store(true, std::memory_order_release);
   for (auto& t : threads) {
     t.join();
   }
-  const uint64_t elapsed = common::NowNs() - start;
+  const uint64_t elapsed = common::RealNowNs() - start;
 
   WorkloadResult r;
   for (uint64_t c : counts) {

@@ -1,5 +1,6 @@
 #include "src/kernfs/kernfs.h"
 
+#include <atomic>
 #include <cassert>
 #include <cstring>
 
@@ -32,8 +33,15 @@ uint64_t SumRuns(const std::map<uint64_t, uint64_t>& runs) {
 // ---------------------------------------------------------------------------
 // KernelEntry
 
+namespace {
+std::atomic<uint64_t> g_crossing_count{0};
+}  // namespace
+
+uint64_t CrossingCount() { return g_crossing_count.load(std::memory_order_relaxed); }
+
 KernelEntry::KernelEntry(uint64_t crossing_ns)
     : saved_table_(mpk::CurrentTable()), saved_pkru_(mpk::RdPkru()) {
+  g_crossing_count.fetch_add(1, std::memory_order_relaxed);
   // The kernel is not subject to the user PKRU / user page-key bits.
   mpk::BindThreadToProcess(nullptr);
   common::SpinNs(crossing_ns);

@@ -269,6 +269,11 @@ class KernFs {
   std::unordered_map<uint32_t, std::unique_ptr<Process>> procs_;
 };
 
+// Process-wide count of simulated user->kernel crossings (KernelEntry
+// constructions) since program start. Global across KernFs instances;
+// benchmarks sample deltas around a measured phase to report crossings/op.
+uint64_t CrossingCount();
+
 // RAII: models entering the kernel — charges the crossing cost and suspends
 // MPK enforcement for the scope (kernel accesses are not subject to the
 // user-mode PKRU).

@@ -20,7 +20,9 @@
 #ifndef SRC_MPK_MPK_H_
 #define SRC_MPK_MPK_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/audit/audit.h"
@@ -41,8 +43,44 @@ inline constexpr uint8_t kDefaultKey = 0;
 //   0xff       page not mapped in this process (access -> page fault)
 // Updated only by KernFS while holding its lock; concurrent readers may
 // briefly observe a stale entry during map/unmap, the software analog of a
-// TLB-shootdown window.
-using PageKeyTable = std::vector<uint8_t>;
+// TLB-shootdown window. Entries are relaxed atomics so that window is a
+// defined benign race (a stale key, never a torn value) rather than UB.
+class PageKeyTable {
+ public:
+  PageKeyTable() = default;
+  PageKeyTable(size_t n, uint8_t fill) { assign(n, fill); }
+
+  void assign(size_t n, uint8_t fill) {
+    entries_ = std::make_unique<std::atomic<uint8_t>[]>(n);
+    size_ = n;
+    for (size_t i = 0; i < n; i++) {
+      entries_[i].store(fill, std::memory_order_relaxed);
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  // Assignable proxy so call sites keep the vector-style `table[p] = key`.
+  class Ref {
+   public:
+    explicit Ref(std::atomic<uint8_t>* a) : a_(a) {}
+    operator uint8_t() const { return a_->load(std::memory_order_relaxed); }
+    Ref& operator=(uint8_t v) {
+      a_->store(v, std::memory_order_relaxed);
+      return *this;
+    }
+
+   private:
+    std::atomic<uint8_t>* a_;
+  };
+
+  Ref operator[](size_t i) { return Ref(&entries_[i]); }
+  uint8_t operator[](size_t i) const { return entries_[i].load(std::memory_order_relaxed); }
+
+ private:
+  std::unique_ptr<std::atomic<uint8_t>[]> entries_;
+  size_t size_ = 0;
+};
 
 inline constexpr uint8_t kKeyMask = 0x0f;
 inline constexpr uint8_t kPageReadOnly = 0x80;

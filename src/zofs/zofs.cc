@@ -126,10 +126,94 @@ InodeLock::~InodeLock() {
 }
 
 // ---------------------------------------------------------------------------
+// Per-thread coffer session cache (paper §5.2's leased free lists, applied
+// to mappings): a small direct-mapped TLS table of {instance, cid} ->
+// {MapInfo, allocator}. Entries carry the instance epoch they were filled
+// at; any invalidation (unmap, eviction, quarantine) bumps the epoch and
+// every thread's entries go stale at once. Instances are keyed by a
+// never-reused id so a ZoFs constructed at a recycled address cannot match
+// another instance's leftovers. An entry observed valid can still be
+// invalidated before the caller finishes using it — exactly the paper's
+// stale-mapping window, which surfaces as a graceful MPK fault.
+
+namespace {
+
+struct SessionEntry {
+  uint64_t owner = 0;  // ZoFs instance id
+  uint32_t cid = 0;
+  uint64_t epoch = 0;  // ZoFs::epoch_ value at fill time
+  MapInfo info{};
+  CofferAllocator* alloc = nullptr;  // lazily filled by AllocatorFor
+};
+
+constexpr uint32_t kSessionSlots = 64;  // direct-mapped, power of two
+thread_local SessionEntry g_session[kSessionSlots];
+
+std::atomic<uint64_t> g_next_instance_id{1};
+
+SessionEntry& SessionSlot(uint64_t owner, uint32_t cid) {
+  const uint32_t h =
+      static_cast<uint32_t>((owner * 0x9E3779B97F4A7C15ull) >> 32) ^ (cid * 0x85EBCA6Bu);
+  return g_session[h & (kSessionSlots - 1)];
+}
+
+SessionEntry* SessionFind(uint64_t owner, uint32_t cid, uint64_t epoch, bool writable) {
+  SessionEntry& e = SessionSlot(owner, cid);
+  if (e.owner != owner || e.cid != cid || e.epoch != epoch) {
+    return nullptr;
+  }
+  if (writable && !e.info.writable) {
+    return nullptr;
+  }
+  return &e;
+}
+
+void SessionStore(uint64_t owner, uint32_t cid, uint64_t epoch, const MapInfo& info) {
+  SessionEntry& e = SessionSlot(owner, cid);
+  // The allocator pointer survives a same-epoch refill (e.g. a writability
+  // upgrade); across epochs it may point at a retired allocator for a
+  // deleted coffer, so it is dropped.
+  CofferAllocator* keep =
+      (e.owner == owner && e.cid == cid && e.epoch == epoch) ? e.alloc : nullptr;
+  e.owner = owner;
+  e.cid = cid;
+  e.epoch = epoch;
+  e.info = info;
+  e.alloc = keep;
+}
+
+void SessionStoreAlloc(uint64_t owner, uint32_t cid, uint64_t epoch, CofferAllocator* a) {
+  SessionEntry& e = SessionSlot(owner, cid);
+  if (e.owner == owner && e.cid == cid && e.epoch == epoch) {
+    e.alloc = a;
+  }
+}
+
+uint32_t ShardCountFor(uint32_t requested) {
+  const uint32_t n = std::clamp<uint32_t>(requested, 1, 256);
+  uint32_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // Construction
 
 ZoFs::ZoFs(kernfs::KernFs* kfs, kernfs::Process* proc, Options opts)
-    : kfs_(kfs), proc_(proc), opts_(opts) {
+    : kfs_(kfs),
+      proc_(proc),
+      opts_(opts),
+      instance_id_(g_next_instance_id.fetch_add(1, std::memory_order_relaxed)) {
+  const uint32_t nshards = ShardCountFor(opts_.state_shards);
+  shards_.reserve(nshards);
+  for (uint32_t i = 0; i < nshards; i++) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_mask_ = nshards - 1;
   proc_->BindCurrentThread();
   kfs_->FsMount(*proc_);
   // Bootstrap the root coffer's µFS content if this is a fresh file system.
@@ -173,15 +257,36 @@ ZoFs::~ZoFs() { kfs_->FsUmount(*proc_); }
 // Mapping management
 
 Result<MapInfo> ZoFs::EnsureMapped(uint32_t cid, bool writable, bool bypass_sick) {
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (opts_.session_cache && !bypass_sick) {
+    if (SessionEntry* e = SessionFind(instance_id_, cid, epoch, writable)) {
+      // Session hit: the entry was filled after a CheckHealthy pass and any
+      // later quarantine bumped the epoch, so no sick-table probe is needed.
+      return e->info;
+    }
+  }
   if (!bypass_sick) {
     RETURN_IF_ERROR(CheckHealthy(cid, writable));
   }
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = mapped_.find(cid);
-  if (it != mapped_.end() && (!writable || it->second.writable)) {
-    return it->second;
+  Shard& sh = ShardFor(cid);
+  {
+    auto lk = ReadLock(sh);
+    auto it = sh.mapped.find(cid);
+    if (it != sh.mapped.end() && (!writable || it->second.writable)) {
+      MapInfo info = it->second;
+      lk.unlock();
+      if (opts_.session_cache && !bypass_sick) {
+        SessionStore(instance_id_, cid, epoch, info);
+      }
+      return info;
+    }
   }
   for (int attempt = 0; attempt < 2; attempt++) {
+    // The kernel call runs with no shard lock held: mapping one coffer must
+    // not serialize operations on coffers that are already mapped. CofferMap
+    // is idempotent for an existing (process, cid) mapping, so two threads
+    // racing here both get the one installed key.
+    const uint64_t gen = sh.evict_gen.load(std::memory_order_acquire);
     auto info = kfs_->CofferMap(*proc_, cid, writable);
     if (info.ok()) {
       if (info->custom_off != 0 &&
@@ -189,37 +294,80 @@ Result<MapInfo> ZoFs::EnsureMapped(uint32_t cid, bool writable, bool bypass_sick
            !kfs_->dev()->Contains(info->custom_off, sizeof(AllocPool)))) {
         // A scribbled coffer root can hand back a garbage pool pointer via
         // coffer_map; quarantine before the allocator dereferences it.
-        // (Inline Sick(): mu_ is already held.)
-        SickState& s = sick_[cid];
-        if (!s.read_only) {
-          s.fails++;
-          const uint32_t shift = std::min<uint32_t>(s.fails - 1, 6);
-          s.next_probe_ns = common::NowNs() + (opts_.sick_backoff_ns << shift);
-        }
-        return Err::kCorrupt;
+        return Sick(cid);
       }
-      mapped_[cid] = *info;
+      bool cached = false;
+      {
+        auto lk = WriteLock(sh);
+        // Revalidate after reacquiring: if an eviction touched this shard
+        // while no lock was held, the key we were just handed may already be
+        // revoked. Still return it to the caller (worst case one graceful
+        // MPK fault) but keep it out of both caches.
+        if (sh.evict_gen.load(std::memory_order_relaxed) == gen) {
+          sh.mapped[cid] = *info;
+          cached = true;
+        }
+      }
+      if (cached && opts_.session_cache && !bypass_sick) {
+        SessionStore(instance_id_, cid, epoch, *info);
+      }
       return *info;
     }
     if (info.error() != Err::kNoKeys || attempt == 1) {
       return info.error();
     }
     // Out of MPK regions: unmap a victim coffer and retry (paper §3.4.2).
+    if (!EvictMappingVictim(cid)) {
+      return Err::kNoKeys;
+    }
+  }
+  return Err::kNoKeys;
+}
+
+bool ZoFs::EvictMappingVictim(uint32_t keep_cid) {
+  const uint32_t root = kfs_->root_coffer_id();
+  for (auto& shp : shards_) {
+    Shard& sh = *shp;
+    auto lk = WriteLock(sh);
     uint32_t victim = 0;
-    for (const auto& [mcid, minfo] : mapped_) {
-      if (mcid != cid && mcid != kfs_->root_coffer_id()) {
+    for (const auto& [mcid, minfo] : sh.mapped) {
+      if (mcid != keep_cid && mcid != root) {
         victim = mcid;
         break;
       }
     }
     if (victim == 0) {
-      return Err::kNoKeys;
+      continue;
     }
+    sh.mapped.erase(victim);
+    sh.evict_gen.fetch_add(1, std::memory_order_release);
+    RetireAllocatorLocked(sh, victim);
+    // Revoke the key while still holding the shard lock: a thread that
+    // misses in the (just-invalidated) caches must find the kernel state
+    // final, not a mapping about to vanish underneath its fresh CofferMap.
+    // Lock order shard -> kernel is safe; KernFS never calls back into ZoFs.
     kfs_->CofferUnmap(*proc_, victim);
-    mapped_.erase(victim);
-    allocators_.erase(victim);
+    lk.unlock();
+    BumpEpoch();
+    return true;
   }
-  return Err::kNoKeys;
+  return false;
+}
+
+void ZoFs::RetireAllocatorLocked(Shard& sh, uint32_t cid) {
+  auto it = sh.allocators.find(cid);
+  if (it == sh.allocators.end()) {
+    return;
+  }
+  std::unique_ptr<CofferAllocator> dead = std::move(it->second);
+  sh.allocators.erase(it);
+  // Allocators are retired, never destroyed, until ~ZoFs: another thread may
+  // hold a session-cached pointer past the epoch bump (the lookup-to-use
+  // window). A retired allocator is safe to call — it only touches NVM pages
+  // whose keys the kernel has since revoked, so a late use takes the same
+  // graceful MPK fault a stale mapping does.
+  std::lock_guard<std::mutex> rlk(retire_mu_);
+  retired_allocators_.push_back(std::move(dead));
 }
 
 Result<uint8_t> ZoFs::KeyFor(uint32_t cid, bool writable) {
@@ -228,9 +376,28 @@ Result<uint8_t> ZoFs::KeyFor(uint32_t cid, bool writable) {
 }
 
 void ZoFs::ForgetMapping(uint32_t cid) {
-  std::lock_guard<std::mutex> lk(mu_);
-  mapped_.erase(cid);
-  allocators_.erase(cid);
+  Shard& sh = ShardFor(cid);
+  {
+    auto lk = WriteLock(sh);
+    if (sh.mapped.erase(cid) != 0) {
+      sh.evict_gen.fetch_add(1, std::memory_order_release);
+    }
+    RetireAllocatorLocked(sh, cid);
+  }
+  // Relocation entries redirect NodeRefs *to* a coffer; with that coffer
+  // gone (deleted, or its id about to be recycled) they must not resurrect
+  // it. The counter gate keeps this free when no split ever happened.
+  if (relocated_count_.load(std::memory_order_acquire) != 0) {
+    for (auto& shp : shards_) {
+      auto lk = WriteLock(*shp);
+      const auto n = std::erase_if(shp->relocated,
+                                   [&](const auto& kv) { return kv.second == cid; });
+      if (n != 0) {
+        relocated_count_.fetch_sub(n, std::memory_order_release);
+      }
+    }
+  }
+  BumpEpoch();
 }
 
 // ---------------------------------------------------------------------------
@@ -259,21 +426,39 @@ bool ZoFs::ValidMetaRange(uint64_t off, uint64_t len, bool page_aligned) const {
   return mpk::ProbeAccess(off, len, false);
 }
 
-common::Err ZoFs::Sick(uint32_t cid) {
-  std::lock_guard<std::mutex> lk(mu_);
-  SickState& s = sick_[cid];
-  if (!s.read_only) {
-    s.fails++;
-    const uint32_t shift = std::min<uint32_t>(s.fails - 1, 6);
-    s.next_probe_ns = common::NowNs() + (opts_.sick_backoff_ns << shift);
+void ZoFs::ArmSickBackoff(SickState& s, uint64_t base_backoff_ns) {
+  if (s.read_only) {
+    return;  // read-only quarantine is permanent; no probe schedule
   }
+  s.fails++;
+  const uint32_t shift = std::min<uint32_t>(s.fails - 1, 6);
+  s.next_probe_ns = common::NowNs() + (base_backoff_ns << shift);
+}
+
+common::Err ZoFs::Sick(uint32_t cid) {
+  Shard& sh = ShardFor(cid);
+  {
+    auto lk = WriteLock(sh);
+    auto [it, inserted] = sh.sick.try_emplace(cid);
+    if (inserted) {
+      sick_count_.fetch_add(1, std::memory_order_release);
+    }
+    ArmSickBackoff(it->second, opts_.sick_backoff_ns);
+  }
+  // Session hits skip CheckHealthy; stale entries must die with the epoch so
+  // the quarantine gate cannot be bypassed.
+  BumpEpoch();
   return Err::kCorrupt;
 }
 
 Status ZoFs::CheckHealthy(uint32_t cid, bool writable) {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = sick_.find(cid);
-  if (it == sick_.end()) {
+  if (sick_count_.load(std::memory_order_acquire) == 0) {
+    return common::OkStatus();  // nothing quarantined anywhere: stay lock-free
+  }
+  Shard& sh = ShardFor(cid);
+  auto lk = WriteLock(sh);  // may re-arm the probe deadline below
+  auto it = sh.sick.find(cid);
+  if (it == sh.sick.end()) {
     return common::OkStatus();
   }
   if (it->second.read_only) {
@@ -284,57 +469,127 @@ Status ZoFs::CheckHealthy(uint32_t cid, bool writable) {
     return Err::kIo;  // quarantined: fail fast until the backoff elapses
   }
   // Admit this op as the probe and re-arm the deadline so a burst of callers
-  // cannot stampede a still-corrupt coffer.
+  // cannot stampede a still-corrupt coffer. (Deliberately *not*
+  // ArmSickBackoff: a probe admission re-arms at the current severity,
+  // fails unchanged, while a failure escalates it.)
   const uint32_t shift = std::min<uint32_t>(it->second.fails, 6);
   it->second.next_probe_ns = now + (opts_.sick_backoff_ns << shift);
   return common::OkStatus();
 }
 
 void ZoFs::ClearSick(uint32_t cid) {
-  std::lock_guard<std::mutex> lk(mu_);
-  sick_.erase(cid);
+  Shard& sh = ShardFor(cid);
+  auto lk = WriteLock(sh);
+  if (sh.sick.erase(cid) != 0) {
+    sick_count_.fetch_sub(1, std::memory_order_release);
+  }
 }
 
 void ZoFs::QuarantineReadOnly(uint32_t cid) {
-  std::lock_guard<std::mutex> lk(mu_);
-  sick_[cid].read_only = true;
+  Shard& sh = ShardFor(cid);
+  {
+    auto lk = WriteLock(sh);
+    auto [it, inserted] = sh.sick.try_emplace(cid);
+    if (inserted) {
+      sick_count_.fetch_add(1, std::memory_order_release);
+    }
+    it->second.read_only = true;
+  }
+  BumpEpoch();  // cached writable sessions must re-probe and see kROFS
 }
 
 CofferHealth ZoFs::Health(uint32_t cid) {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = sick_.find(cid);
-  if (it == sick_.end()) {
+  if (sick_count_.load(std::memory_order_acquire) == 0) {
+    return CofferHealth::kHealthy;
+  }
+  Shard& sh = ShardFor(cid);
+  auto lk = ReadLock(sh);
+  auto it = sh.sick.find(cid);
+  if (it == sh.sick.end()) {
     return CofferHealth::kHealthy;
   }
   return it->second.read_only ? CofferHealth::kReadOnly : CofferHealth::kSick;
 }
 
 CofferAllocator& ZoFs::AllocatorFor(uint32_t cid, const MapInfo& info) {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = allocators_.find(cid);
-  if (it == allocators_.end()) {
-    it = allocators_
-             .emplace(cid, std::make_unique<CofferAllocator>(kfs_, proc_, cid, info.custom_off,
-                                                             opts_.lease_ns, opts_.enlarge_batch,
-                                                             !opts_.raw_deref_for_test))
-             .first;
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (opts_.session_cache) {
+    SessionEntry* e = SessionFind(instance_id_, cid, epoch, false);
+    if (e != nullptr && e->alloc != nullptr) {
+      return *e->alloc;
+    }
   }
-  return *it->second;
+  Shard& sh = ShardFor(cid);
+  CofferAllocator* a = nullptr;
+  {
+    auto lk = ReadLock(sh);
+    auto it = sh.allocators.find(cid);
+    if (it != sh.allocators.end()) {
+      a = it->second.get();
+    }
+  }
+  if (a == nullptr) {
+    auto lk = WriteLock(sh);
+    auto it = sh.allocators.find(cid);
+    if (it == sh.allocators.end()) {
+      it = sh.allocators
+               .emplace(cid, std::make_unique<CofferAllocator>(kfs_, proc_, cid, info.custom_off,
+                                                               opts_.lease_ns, opts_.enlarge_batch,
+                                                               !opts_.raw_deref_for_test))
+               .first;
+    }
+    a = it->second.get();
+  }
+  if (opts_.session_cache) {
+    SessionStoreAlloc(instance_id_, cid, epoch, a);
+  }
+  return *a;
 }
 
 void ZoFs::FixNode(NodeRef* node) {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = relocated_.find(node->inode_off);
-  if (it != relocated_.end()) {
+  if (relocated_count_.load(std::memory_order_acquire) == 0) {
+    return;  // no coffer split ever recorded: the common case takes no lock
+  }
+  Shard& sh = ShardForPage(node->inode_off);
+  auto lk = ReadLock(sh);
+  auto it = sh.relocated.find(node->inode_off);
+  if (it != sh.relocated.end()) {
     node->coffer_id = it->second;
   }
 }
 
 void ZoFs::RecordRelocation(const std::vector<PageRun>& runs, uint32_t new_cid) {
-  std::lock_guard<std::mutex> lk(mu_);
+  // Enforce the cap *before* inserting: the batch being recorded right now
+  // must survive (open FDs from the in-progress split depend on it), so
+  // older entries are the ones dropped.
+  uint64_t batch = 0;
+  for (const PageRun& r : runs) {
+    batch += r.len;
+  }
+  if (relocated_count_.load(std::memory_order_acquire) + batch > opts_.relocated_cap) {
+    EnforceRelocatedCap();
+  }
   for (const PageRun& r : runs) {
     for (uint64_t p = r.start_page; p < r.start_page + r.len; p++) {
-      relocated_[p * nvm::kPageSize] = new_cid;
+      const uint64_t off = p * nvm::kPageSize;
+      Shard& sh = ShardForPage(off);
+      auto lk = WriteLock(sh);
+      if (sh.relocated.insert_or_assign(off, new_cid).second) {
+        relocated_count_.fetch_add(1, std::memory_order_release);
+      }
+    }
+  }
+}
+
+void ZoFs::EnforceRelocatedCap() {
+  // Coarse eviction: drop the whole ledger. A dropped redirect degrades to
+  // the paper's cross-process split semantics — the stale NodeRef takes a
+  // graceful MPK fault and the application reopens by path.
+  for (auto& shp : shards_) {
+    auto lk = WriteLock(*shp);
+    if (!shp->relocated.empty()) {
+      relocated_count_.fetch_sub(shp->relocated.size(), std::memory_order_release);
+      shp->relocated.clear();
     }
   }
 }
@@ -523,16 +778,14 @@ Result<Dentry*> ZoFs::DirFind(uint32_t cid, Inode* dir, std::string_view name) {
   return Err::kNoEnt;
 }
 
-Status ZoFs::DirInsert(uint32_t cid, Inode* dir, std::string_view name, uint32_t child_coffer,
-                       uint64_t child_inode, uint32_t child_type) {
+Status ZoFs::DirInsert(uint32_t cid, const MapInfo& info, Inode* dir, std::string_view name,
+                       uint32_t child_coffer, uint64_t child_inode, uint32_t child_type) {
   AUDIT_SCOPE("ZoFs::DirInsert");
   if (name.empty() || name.size() > kMaxName) {
     return Err::kNameTooLong;
   }
   nvm::NvmDevice* dev = kfs_->dev();
-  auto infoit = mapped_.find(cid);
-  assert(infoit != mapped_.end());
-  CofferAllocator& alloc = AllocatorFor(cid, infoit->second);
+  CofferAllocator& alloc = AllocatorFor(cid, info);
   const uint32_t h = common::Fnv1a32(name);
   const uint64_t dir_off = dev->OffsetOf(dir);
 
@@ -1071,7 +1324,7 @@ Result<NodeRef> ZoFs::Create(const std::string& path, uint16_t mode) {
   if (opts_.one_coffer || SameGroup(mode, uid, gid, croot)) {
     CofferAllocator& alloc = AllocatorFor(pcid, pinfo);
     ASSIGN_OR_RETURN(inode_off, AllocInode(alloc, kTypeRegular, mode, uid, gid));
-    RETURN_IF_ERROR(DirInsert(pcid, dir, leaf, 0, inode_off, kTypeRegular));
+    RETURN_IF_ERROR(DirInsert(pcid, pinfo, dir, leaf, 0, inode_off, kTypeRegular));
     return NodeRef{pcid, inode_off};
   }
 
@@ -1096,7 +1349,7 @@ Result<NodeRef> ZoFs::Create(const std::string& path, uint16_t mode) {
     kfs_->dev()->PersistRange(ninfo.root_inode_off, sizeof(fresh));
     CofferAllocator::InitPool(kfs_->dev(), ninfo.custom_off);
   }
-  RETURN_IF_ERROR(DirInsert(pcid, dir, leaf, new_cid, ninfo.root_inode_off, kTypeRegular));
+  RETURN_IF_ERROR(DirInsert(pcid, pinfo, dir, leaf, new_cid, ninfo.root_inode_off, kTypeRegular));
   return NodeRef{new_cid, ninfo.root_inode_off};
 }
 
@@ -1138,7 +1391,7 @@ Result<NodeRef> ZoFs::OpenOrCreate(const std::string& path, uint16_t mode, bool*
   if (opts_.one_coffer || SameGroup(mode, uid, gid, croot)) {
     CofferAllocator& alloc = AllocatorFor(pcid, pinfo);
     ASSIGN_OR_RETURN(inode_off, AllocInode(alloc, kTypeRegular, mode, uid, gid));
-    RETURN_IF_ERROR(DirInsert(pcid, dir, leaf, 0, inode_off, kTypeRegular));
+    RETURN_IF_ERROR(DirInsert(pcid, pinfo, dir, leaf, 0, inode_off, kTypeRegular));
     return NodeRef{pcid, inode_off};
   }
   std::string full = parent_path == "/" ? "/" + leaf : parent_path + "/" + leaf;
@@ -1160,7 +1413,7 @@ Result<NodeRef> ZoFs::OpenOrCreate(const std::string& path, uint16_t mode, bool*
     kfs_->dev()->PersistRange(ninfo.root_inode_off, kInodeCoreBytes);
     CofferAllocator::InitPool(kfs_->dev(), ninfo.custom_off);
   }
-  RETURN_IF_ERROR(DirInsert(pcid, dir, leaf, new_cid, ninfo.root_inode_off, kTypeRegular));
+  RETURN_IF_ERROR(DirInsert(pcid, pinfo, dir, leaf, new_cid, ninfo.root_inode_off, kTypeRegular));
   return NodeRef{new_cid, ninfo.root_inode_off};
 }
 
@@ -1194,7 +1447,7 @@ Status ZoFs::Mkdir(const std::string& path, uint16_t mode) {
   if (opts_.one_coffer || SameGroup(mode, uid, gid, croot)) {
     CofferAllocator& alloc = AllocatorFor(pcid, pinfo);
     ASSIGN_OR_RETURN(inode_off, AllocInode(alloc, kTypeDirectory, mode, uid, gid));
-    return DirInsert(pcid, dir, leaf, 0, inode_off, kTypeDirectory);
+    return DirInsert(pcid, pinfo, dir, leaf, 0, inode_off, kTypeDirectory);
   }
 
   std::string full = parent_path == "/" ? "/" + leaf : parent_path + "/" + leaf;
@@ -1216,7 +1469,7 @@ Status ZoFs::Mkdir(const std::string& path, uint16_t mode) {
     kfs_->dev()->PersistRange(ninfo.root_inode_off, sizeof(fresh));
     CofferAllocator::InitPool(kfs_->dev(), ninfo.custom_off);
   }
-  return DirInsert(pcid, dir, leaf, new_cid, ninfo.root_inode_off, kTypeDirectory);
+  return DirInsert(pcid, pinfo, dir, leaf, new_cid, ninfo.root_inode_off, kTypeDirectory);
 }
 
 Status ZoFs::Symlink(const std::string& target, const std::string& linkpath) {
@@ -1258,7 +1511,7 @@ Status ZoFs::Symlink(const std::string& target, const std::string& linkpath) {
   dev->Store64(inode_off + offsetof(Inode, size), target.size());
   dev->PersistRange(inode_off, offsetof(Inode, symlink_target) + target.size());
   AUDIT_DURABILITY_POINT(dev, inode_off, offsetof(Inode, symlink_target) + target.size());
-  return DirInsert(pcid, dir, leaf, 0, inode_off, kTypeSymlink);
+  return DirInsert(pcid, pinfo, dir, leaf, 0, inode_off, kTypeSymlink);
 }
 
 Result<std::string> ZoFs::ReadLink(const std::string& path) {
@@ -2210,7 +2463,7 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
         // the rename.
         RETURN_IF_ERROR(DirReplaceTarget(ddir, dd, d.coffer_id, d.inode_off, node_type));
       } else {
-        Status s = DirInsert(dcid, ddir, to_leaf, d.coffer_id, d.inode_off, node_type);
+        Status s = DirInsert(dcid, dinfo, ddir, to_leaf, d.coffer_id, d.inode_off, node_type);
         if (!s.ok()) {
           EndRenameIntent(dinfo);  // nothing committed; pre-state intact
           return s;
@@ -2267,7 +2520,7 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
         old_dst_coffer = dd->coffer_id;
         RETURN_IF_ERROR(DirReplaceTarget(ddir, dd, d.coffer_id, d.inode_off, node_type));
       } else {
-        RETURN_IF_ERROR(DirInsert(dcid, ddir, to_leaf, d.coffer_id, d.inode_off, node_type));
+        RETURN_IF_ERROR(DirInsert(dcid, dinfo, ddir, to_leaf, d.coffer_id, d.inode_off, node_type));
       }
       {
         mpk::AccessWindow w2(sinfo.key, true);
@@ -2331,7 +2584,7 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
       if (plan.overwrite) {
         RETURN_IF_ERROR(DirReplaceTarget(ddir, plan.dd, child_coffer, d.inode_off, node_type));
       } else {
-        RETURN_IF_ERROR(DirInsert(dcid, ddir, to_leaf, child_coffer, d.inode_off, node_type));
+        RETURN_IF_ERROR(DirInsert(dcid, dinfo, ddir, to_leaf, child_coffer, d.inode_off, node_type));
       }
     }
     {

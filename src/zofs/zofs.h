@@ -16,8 +16,10 @@
 #ifndef SRC_ZOFS_ZOFS_H_
 #define SRC_ZOFS_ZOFS_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -72,6 +74,21 @@ struct Options {
   // subsequent operations fail fast with EIO until the deadline, then one
   // probe is let through (doubling up to 64x base on repeated failures).
   uint64_t sick_backoff_ns = 10'000'000;
+
+  // Shard count for the volatile caches (coffer mappings, allocators, sick
+  // ledger, relocation ledger). Rounded up to a power of two, capped at 256.
+  // 1 restores the old behaviour of a single lock over all volatile state —
+  // the global-lock baseline bench_json measures against.
+  uint32_t state_shards = 16;
+  // Per-thread coffer session cache: steady-state operations revalidate an
+  // epoch counter instead of taking any shared lock (the user-space analogue
+  // of the paper's §5.2 leased per-thread free lists, applied to mappings).
+  bool session_cache = true;
+  // Upper bound on relocation-ledger entries kept across all shards. When a
+  // split/rename batch would push past the cap, older entries are dropped:
+  // an open FD whose redirect was dropped surfaces as an MPK fault and the
+  // application reopens — the documented cross-process split behaviour.
+  uint64_t relocated_cap = 65536;
 };
 
 // Volatile health of one coffer as seen by this ZoFs instance.
@@ -182,6 +199,21 @@ class ZoFs final : public ufs::MicroFs {
     return EnsureMapped(cid, writable);
   }
 
+  // ---- scalability introspection (tests and bench_json) ----
+  // Shard-lock acquisitions (shared or exclusive) since construction. The
+  // steady-state read/write fast path must not move this counter.
+  uint64_t ShardLockAcquisitionsForTest() const {
+    return shard_lock_acquisitions_.load(std::memory_order_relaxed);
+  }
+  // Session-invalidation epoch (bumped by unmap / quarantine / eviction).
+  uint64_t SessionEpochForTest() const { return epoch_.load(std::memory_order_relaxed); }
+  // Entries currently in the relocation ledger across all shards.
+  uint64_t RelocatedCountForTest() const {
+    return relocated_count_.load(std::memory_order_relaxed);
+  }
+  // Force a read-only quarantine (exercises session invalidation).
+  void QuarantineReadOnlyForTest(uint32_t cid) { QuarantineReadOnly(cid); }
+
  private:
   struct ResolveResult {
     NodeRef node;
@@ -222,8 +254,8 @@ class ZoFs final : public ufs::MicroFs {
 
   // --- directory internals (caller holds the coffer window + dir lock) ---
   Result<Dentry*> DirFind(uint32_t cid, Inode* dir, std::string_view name);
-  Status DirInsert(uint32_t cid, Inode* dir, std::string_view name, uint32_t child_coffer,
-                   uint64_t child_inode, uint32_t child_type);
+  Status DirInsert(uint32_t cid, const kernfs::MapInfo& info, Inode* dir, std::string_view name,
+                   uint32_t child_coffer, uint64_t child_inode, uint32_t child_type);
   Status DirRemove(uint32_t cid, Inode* dir, std::string_view name);
   // Removal via an already-located dentry (avoids a second hash lookup).
   Status DirRemoveAt(Inode* dir, Dentry* d);
@@ -295,19 +327,80 @@ class ZoFs final : public ufs::MicroFs {
 
   void RecordRelocation(const std::vector<kernfs::PageRun>& runs, uint32_t new_cid);
 
-  std::mutex mu_;  // guards the volatile caches below
-  std::unordered_map<uint32_t, kernfs::MapInfo> mapped_;
-  std::unordered_map<uint32_t, std::unique_ptr<CofferAllocator>> allocators_;
-  std::unordered_map<uint64_t, uint32_t> relocated_;  // page offset -> new coffer
-
-  // Quarantine ledger: coffers where corruption was detected. Volatile by
-  // design — a remount starts clean and re-detects on first touch.
+  // Quarantine state of one coffer. Volatile by design — a remount starts
+  // clean and re-detects on first touch.
   struct SickState {
     uint32_t fails = 0;         // detections since the last successful fsck
     uint64_t next_probe_ns = 0; // earliest NowNs() at which one op may retry
     bool read_only = false;     // fsck gave up repairing: writes get EROFS
   };
-  std::unordered_map<uint32_t, SickState> sick_;
+  // Re-arms one entry's probe deadline after a detection. Pure arithmetic on
+  // the entry (no locking, no map lookups), so every detection site —
+  // whatever lock it holds — shares the same backoff schedule.
+  static void ArmSickBackoff(SickState& s, uint64_t base_backoff_ns);
+
+  // The volatile caches, sharded so unrelated coffers never contend
+  // (coffer-keyed tables hash by coffer id, the relocation ledger by page
+  // offset). Writers are rare (map/unmap/split/quarantine); steady state
+  // bypasses the shards entirely via the per-thread session cache.
+  struct Shard {
+    std::shared_mutex mu;
+    std::unordered_map<uint32_t, kernfs::MapInfo> mapped;
+    std::unordered_map<uint32_t, std::unique_ptr<CofferAllocator>> allocators;
+    std::unordered_map<uint64_t, uint32_t> relocated;  // page offset -> new coffer
+    std::unordered_map<uint32_t, SickState> sick;
+    // Bumped (under mu, exclusive) whenever a coffer is erased from
+    // `mapped`. EnsureMapped samples it before its unlocked CofferMap call
+    // and declines to cache the result if an eviction raced the kernel call.
+    std::atomic<uint64_t> evict_gen{0};
+  };
+
+  Shard& ShardFor(uint32_t cid) { return *shards_[cid & shard_mask_]; }
+  Shard& ShardForPage(uint64_t off) {
+    return *shards_[(off / nvm::kPageSize) & shard_mask_];
+  }
+  std::shared_lock<std::shared_mutex> ReadLock(Shard& s) {
+    shard_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    return std::shared_lock<std::shared_mutex>(s.mu);
+  }
+  std::unique_lock<std::shared_mutex> WriteLock(Shard& s) {
+    shard_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+    return std::unique_lock<std::shared_mutex>(s.mu);
+  }
+
+  // Invalidates every thread's session entries for this instance.
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_release); }
+  // kNoKeys fallback: unmaps some coffer other than `keep_cid` (and the
+  // root) to free an MPK key. Returns false if no victim exists.
+  bool EvictMappingVictim(uint32_t keep_cid);
+  // Moves a coffer's allocator (if any) out of the shard map into the
+  // retirement list. Caller holds the shard's exclusive lock. Allocators are
+  // retired, never destroyed, until ~ZoFs: a racing thread that fetched the
+  // pointer through its session cache may still be inside an allocation.
+  void RetireAllocatorLocked(Shard& s, uint32_t cid);
+  // Drops relocation-ledger entries so a split burst cannot grow the ledger
+  // without bound (satellite: relocated_cap). Caller holds no shard lock.
+  void EnforceRelocatedCap();
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint32_t shard_mask_ = 0;
+
+  // Never-reused id of this instance: session-cache entries are keyed by it
+  // so a ZoFs constructed at a recycled address cannot match stale TLS.
+  const uint64_t instance_id_;
+  // Session-invalidation epoch. A session entry is valid only while its
+  // stored epoch equals this value.
+  std::atomic<uint64_t> epoch_{1};
+
+  // Lock-free fast-path gates: CheckHealthy / FixNode skip their shard
+  // lookups entirely while these are zero (the common case).
+  std::atomic<uint32_t> sick_count_{0};
+  std::atomic<uint64_t> relocated_count_{0};
+
+  std::atomic<uint64_t> shard_lock_acquisitions_{0};
+
+  std::mutex retire_mu_;
+  std::vector<std::unique_ptr<CofferAllocator>> retired_allocators_;
 
   // Set during RecoverAll by RepairPendingRename: an interrupted rename may
   // have committed the dentry move before the kernel-side coffer path was

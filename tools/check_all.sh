@@ -2,8 +2,9 @@
 # One-stop verification gate: build + tier-1 tests, the same tests under the
 # persistence/protection auditor (ZOFS_AUDIT=1), an ASan+UBSan build of the
 # suite, clang-tidy (when installed), a deterministic pmem_audit replay
-# of the Figure-8 workload (DWOL), and the metadata fault-injection campaign
-# (deterministic across thread counts, plus a bounded sanitized run).
+# of the Figure-8 workload (DWOL), the metadata fault-injection campaign
+# (deterministic across thread counts, plus a bounded sanitized run), and a
+# TSan build running the threaded scalability stress.
 # Exits nonzero on any finding.
 #
 #   tools/check_all.sh [build-dir]
@@ -12,6 +13,7 @@ set -u
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 SAN_DIR="${BUILD_DIR}-san"
+TSAN_DIR="${BUILD_DIR}-tsan"
 FAIL=0
 
 step() { printf '\n=== %s ===\n' "$*"; }
@@ -71,6 +73,15 @@ rm -f "$A" "$B"
 
 step "fault_inject under ASan+UBSan (bounded)"
 "$SAN_DIR"/tools/fault_inject --seed=42 --threads=4 --max-trials=24 --json >/dev/null || FAIL=1
+
+step "TSan build + threaded scalability stress ($TSAN_DIR)"
+# Only the ScalabilityTsan fixtures run here: they confine themselves to
+# TSan-clean shapes (private coffers, lease-locked shared appends). The
+# racy-by-design shared-directory storms stay in the regular suite.
+cmake -S . -B "$TSAN_DIR" -DZOFS_SANITIZE=thread >/dev/null || exit 1
+cmake --build "$TSAN_DIR" -j --target scalability_test || exit 1
+TSAN_OPTIONS="halt_on_error=1" "$TSAN_DIR"/tests/scalability_test \
+  --gtest_filter='ScalabilityTsan*' || FAIL=1
 
 if [ "$FAIL" -ne 0 ]; then
   step "FAILED"
