@@ -1,0 +1,25 @@
+// Negative-compilation fixture for the ZOFS_THREAD_SAFETY gate.
+//
+// This TU contains a deliberate GUARDED_BY violation: a guarded member is
+// written with no lock held. Under Clang with -Wthread-safety
+// -Werror=thread-safety it MUST fail to compile; the CMake try_compile in
+// the top-level CMakeLists asserts exactly that, proving the annotations in
+// src/common/thread_annotations.h are active rather than silently expanding
+// to nothing.
+
+#include "src/common/mutex.h"
+
+namespace {
+
+struct Counter {
+  common::Mutex mu;
+  int value GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.value = 1;  // the violation: no MutexLock in scope
+  return c.value;
+}

@@ -20,6 +20,9 @@ void AppendU32(std::string* out, uint32_t v) { out->append(reinterpret_cast<char
 
 Result<std::unique_ptr<Db>> Db::Open(vfs::FileSystem* fs, const std::string& dir, DbOptions opts) {
   auto db = std::unique_ptr<Db>(new Db(fs, dir, opts));
+  // No concurrent access exists before Open returns; the lock is taken anyway
+  // so Replay's REQUIRES(mu_) contract holds analysis-wide.
+  common::MutexLock lk(&db->mu_);
   auto st = fs->Mkdir(db->cred_, dir, 0755);
   if (!st.ok() && st.error() != Err::kExist) {
     return st.error();
@@ -114,7 +117,7 @@ Status Db::WriteWal(const std::string& key, const std::string& value, bool tombs
 }
 
 Status Db::Put(const std::string& key, const std::string& value) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   RETURN_IF_ERROR(WriteWal(key, value, /*tombstone=*/false));
   memtable_[key] = value;
   memtable_bytes_ += key.size() + value.size() + 16;
@@ -125,7 +128,7 @@ Status Db::Put(const std::string& key, const std::string& value) {
 }
 
 Status Db::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   RETURN_IF_ERROR(WriteWal(key, "", /*tombstone=*/true));
   memtable_[key] = std::nullopt;
   memtable_bytes_ += key.size() + 16;
@@ -313,7 +316,7 @@ Result<std::optional<std::optional<std::string>>> Db::SearchTable(Table& t,
 }
 
 Result<std::string> Db::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   auto it = memtable_.find(key);
   if (it != memtable_.end()) {
     if (!it->second.has_value()) {
@@ -334,7 +337,7 @@ Result<std::string> Db::Get(const std::string& key) {
 }
 
 Result<Db::Iterator> Db::NewIterator() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   std::map<std::string, std::optional<std::string>> merged;
   RecordHeader h;
   std::string key, value;

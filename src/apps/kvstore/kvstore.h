@@ -14,11 +14,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/vfs/vfs.h"
 
@@ -64,7 +64,7 @@ class Db {
   // Testing/diagnostics.
   size_t table_count() const { return tables_.size(); }
   Status FlushMemtableForTest() {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(&mu_);
     return FlushMemtable();
   }
 
@@ -83,30 +83,35 @@ class Db {
 
   Db(vfs::FileSystem* fs, std::string dir, DbOptions opts) : fs_(fs), dir_(std::move(dir)), opts_(opts) {}
 
-  Status Replay();           // rebuild the memtable from the WAL at open
-  Status WriteWal(const std::string& key, const std::string& value, bool tombstone);
-  Status FlushMemtable();    // locked
-  Status Compact();          // locked
+  Status Replay() REQUIRES(mu_);  // rebuild the memtable from the WAL at open
+  Status WriteWal(const std::string& key, const std::string& value, bool tombstone)
+      REQUIRES(mu_);
+  Status FlushMemtable() REQUIRES(mu_);
+  Status Compact() REQUIRES(mu_);
   Result<std::unique_ptr<Table>> WriteTable(
       const std::vector<std::pair<std::string, std::optional<std::string>>>& entries,
       uint64_t seq);
   Result<std::unique_ptr<Table>> LoadTable(const std::string& path, uint64_t seq);
   // Searches one table; outer optional = found, inner = tombstone or value.
   Result<std::optional<std::optional<std::string>>> SearchTable(Table& t,
-                                                                const std::string& key);
+                                                                const std::string& key)
+      REQUIRES(mu_);
 
   vfs::FileSystem* fs_;
   std::string dir_;
   DbOptions opts_;
   vfs::Cred cred_{0, 0};
 
-  std::mutex mu_;
+  common::Mutex mu_;
+  // wal_fd_ and tables_ are set up during single-threaded Open and read by
+  // the destructor and table_count() without the lock, so they stay outside
+  // the mu_ domain; the mutable memtable/WAL cursors are guarded.
   vfs::Fd wal_fd_ = -1;
-  uint64_t wal_bytes_ = 0;
-  uint64_t next_seq_ = 1;
+  uint64_t wal_bytes_ GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
   // nullopt value = tombstone.
-  std::map<std::string, std::optional<std::string>> memtable_;
-  size_t memtable_bytes_ = 0;
+  std::map<std::string, std::optional<std::string>> memtable_ GUARDED_BY(mu_);
+  size_t memtable_bytes_ GUARDED_BY(mu_) = 0;
   std::vector<std::unique_ptr<Table>> tables_;  // sorted by seq ascending
 };
 

@@ -180,7 +180,7 @@ Auditor::~Auditor() { Detach(); }
 
 void Auditor::Attach(nvm::NvmDevice* dev) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(&mu_);
     attached_.emplace_back(dev, dev->persist_observer());
   }
   dev->SetPersistObserver(this);
@@ -191,7 +191,7 @@ void Auditor::Attach(nvm::NvmDevice* dev) {
 }
 
 void Auditor::Detach() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   for (auto it = attached_.rbegin(); it != attached_.rend(); ++it) {
     it->first->SetPersistObserver(it->second);
   }
@@ -229,7 +229,7 @@ void Auditor::AddFinding(FindingKind kind, const std::string& site, const std::s
 }
 
 void Auditor::OnStore(const nvm::NvmDevice* dev, uint64_t off, size_t len, bool nontemporal) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   stores_++;
   Shadow& sh = ShadowFor(dev);
   uint64_t first = off / nvm::kCachelineSize;
@@ -255,7 +255,7 @@ void Auditor::OnStore(const nvm::NvmDevice* dev, uint64_t off, size_t len, bool 
 
 void Auditor::OnClwb(const nvm::NvmDevice* dev, uint64_t off, size_t len) {
   const SiteTag* scope = CurrentScope();
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   clwb_calls_++;
   Shadow& sh = ShadowFor(dev);
   uint64_t first = off / nvm::kCachelineSize;
@@ -320,7 +320,7 @@ void Auditor::ResolveDepsAtFence(Shadow& sh) {
 
 void Auditor::OnSfence(const nvm::NvmDevice* dev) {
   const SiteTag* scope = CurrentScope();
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   sfences_++;
   Shadow& sh = ShadowFor(dev);
   FlushSiteCounts& fc = flush_sites_[scope];
@@ -342,7 +342,7 @@ void Auditor::OnSfence(const nvm::NvmDevice* dev) {
 }
 
 void Auditor::OnPersistEpoch(const nvm::NvmDevice* dev) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   Shadow& sh = ShadowFor(dev);
   sh.lines.clear();
   sh.wb_pending = 0;
@@ -350,7 +350,7 @@ void Auditor::OnPersistEpoch(const nvm::NvmDevice* dev) {
 }
 
 void Auditor::OnDeviceGone(const nvm::NvmDevice* dev) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   shadows_.erase(dev);
   attached_.erase(std::remove_if(attached_.begin(), attached_.end(),
                                  [dev](const auto& p) { return p.first == dev; }),
@@ -362,7 +362,7 @@ void Auditor::CheckDurable(const nvm::NvmDevice* dev, uint64_t off, size_t len,
   if (len == 0) {
     return;
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   Shadow& sh = ShadowFor(dev);
   uint64_t first = off / nvm::kCachelineSize;
   uint64_t last = (off + len - 1) / nvm::kCachelineSize;
@@ -386,7 +386,7 @@ void Auditor::AddOrderDep(const nvm::NvmDevice* dev, uint64_t commit_off, size_t
   if (commit_len == 0 || payload_len == 0) {
     return;
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   Shadow& sh = ShadowFor(dev);
   OrderDep d;
   d.commit_first = commit_off / nvm::kCachelineSize;
@@ -406,7 +406,7 @@ void Auditor::RecordWindowClose(const SiteTag* scope, bool writable, uint64_t ac
   snprintf(buf, sizeof(buf),
            "writable window performed no writes (%llu checked accesses) — read-only suffices",
            static_cast<unsigned long long>(accesses));
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   AddFinding(FindingKind::kWindowOverWritable, SiteString(scope), buf);
 }
 
@@ -415,12 +415,12 @@ void Auditor::RecordWindowLeak(const char* api, int open_windows, uint32_t entry
   char buf[128];
   snprintf(buf, sizeof(buf), "returned with %d window(s) open, PKRU 0x%x at entry vs 0x%x at exit",
            open_windows, entry_pkru, exit_pkru);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   AddFinding(FindingKind::kWindowLeak, api != nullptr ? api : kUntagged, buf);
 }
 
 Report Auditor::Snapshot() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   Report r;
   r.errors = errors_;
   r.warnings = warnings_;
@@ -477,12 +477,12 @@ Report Auditor::Snapshot() const {
 }
 
 uint64_t Auditor::ErrorCount() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   return errors_;
 }
 
 void Auditor::ResetFindings() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   findings_.clear();
   flush_sites_.clear();
   stores_ = clwb_calls_ = clwb_lines_ = redundant_clwb_lines_ = 0;

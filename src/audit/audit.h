@@ -34,11 +34,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/nvm/nvm.h"
 
 namespace audit {
@@ -154,26 +154,29 @@ class Auditor final : public nvm::PersistObserver {
     uint64_t sfence_redundant = 0;
   };
 
-  Shadow& ShadowFor(const nvm::NvmDevice* dev);
+  Shadow& ShadowFor(const nvm::NvmDevice* dev) REQUIRES(mu_);
   void AddFinding(FindingKind kind, const std::string& site, const std::string& detail,
-                  uint64_t count = 1);
-  void ResolveDepsAtFence(Shadow& sh);
+                  uint64_t count = 1) REQUIRES(mu_);
+  void ResolveDepsAtFence(Shadow& sh) REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::unordered_map<const nvm::NvmDevice*, Shadow> shadows_;
-  std::map<std::pair<FindingKind, std::string>, Finding> findings_;
-  std::map<const SiteTag*, FlushSiteCounts> flush_sites_;  // nullptr = untagged
-  uint64_t stores_ = 0;
-  uint64_t clwb_calls_ = 0;
-  uint64_t clwb_lines_ = 0;
-  uint64_t redundant_clwb_lines_ = 0;
-  uint64_t sfences_ = 0;
-  uint64_t redundant_sfences_ = 0;
-  uint64_t errors_ = 0;
-  uint64_t warnings_ = 0;
-  uint64_t perf_lints_ = 0;
+  mutable common::Mutex mu_;
+  std::unordered_map<const nvm::NvmDevice*, Shadow> shadows_ GUARDED_BY(mu_);
+  std::map<std::pair<FindingKind, std::string>, Finding> findings_ GUARDED_BY(mu_);
+  // nullptr = untagged
+  std::map<const SiteTag*, FlushSiteCounts> flush_sites_ GUARDED_BY(mu_);
+  uint64_t stores_ GUARDED_BY(mu_) = 0;
+  uint64_t clwb_calls_ GUARDED_BY(mu_) = 0;
+  uint64_t clwb_lines_ GUARDED_BY(mu_) = 0;
+  uint64_t redundant_clwb_lines_ GUARDED_BY(mu_) = 0;
+  uint64_t sfences_ GUARDED_BY(mu_) = 0;
+  uint64_t redundant_sfences_ GUARDED_BY(mu_) = 0;
+  uint64_t errors_ GUARDED_BY(mu_) = 0;
+  uint64_t warnings_ GUARDED_BY(mu_) = 0;
+  uint64_t perf_lints_ GUARDED_BY(mu_) = 0;
 
-  std::vector<std::pair<nvm::NvmDevice*, nvm::PersistObserver*>> attached_;
+  std::vector<std::pair<nvm::NvmDevice*, nvm::PersistObserver*>> attached_ GUARDED_BY(mu_);
+  // Attach/Detach run on the owning thread before/after the observed phase;
+  // the current-auditor handoff is not part of the mu_ domain.
   Auditor* prev_current_ = nullptr;
   bool is_current_ = false;
 };

@@ -19,7 +19,7 @@ GlobalPageAlloc::GlobalPageAlloc(uint64_t first_page, uint64_t n_pages) {
 }
 
 Result<uint64_t> GlobalPageAlloc::Alloc() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (free_.empty()) {
     return Err::kNoSpc;
   }
@@ -29,12 +29,12 @@ Result<uint64_t> GlobalPageAlloc::Alloc() {
 }
 
 void GlobalPageAlloc::Free(uint64_t page_off) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   free_.push_back(page_off);
 }
 
 uint64_t GlobalPageAlloc::free_pages() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   return free_.size();
 }
 
@@ -60,7 +60,7 @@ PerCoreAlloc::Lane& PerCoreAlloc::MyLane() {
 Result<uint64_t> PerCoreAlloc::Alloc() {
   Lane& mine = MyLane();
   {
-    std::lock_guard<std::mutex> lk(mine.mu);
+    common::MutexLock lk(&mine.mu);
     if (!mine.free.empty()) {
       uint64_t off = mine.free.back();
       mine.free.pop_back();
@@ -69,7 +69,7 @@ Result<uint64_t> PerCoreAlloc::Alloc() {
   }
   // Fall back to stealing from other lanes when ours is exhausted.
   for (auto& lane : lanes_) {
-    std::lock_guard<std::mutex> lk(lane->mu);
+    common::MutexLock lk(&lane->mu);
     if (!lane->free.empty()) {
       uint64_t off = lane->free.back();
       lane->free.pop_back();
@@ -81,7 +81,7 @@ Result<uint64_t> PerCoreAlloc::Alloc() {
 
 void PerCoreAlloc::Free(uint64_t page_off) {
   Lane& mine = MyLane();
-  std::lock_guard<std::mutex> lk(mine.mu);
+  common::MutexLock lk(&mine.mu);
   mine.free.push_back(page_off);
 }
 
@@ -130,7 +130,7 @@ Result<BaseFs::NodePtr> BaseFs::ResolveNode(const std::string& path, bool follow
   for (size_t i = 0; i < parts.size(); i++) {
     NodePtr child;
     {
-      std::shared_lock<std::shared_mutex> lk(cur->lock);
+      common::ReaderMutexLock lk(&cur->lock);
       if (cur->type != vfs::FileType::kDirectory) {
         return Err::kNotDir;
       }
@@ -185,6 +185,7 @@ Result<size_t> BaseFs::ReadData(Node& node, void* buf, size_t n, uint64_t off) {
     if (it == node.blocks.end()) {
       memset(dst + done, 0, chunk);
     } else {
+      // zofs-lint: allow(raw-nvm-deref) — bulk copy out of an allocator-owned block offset
       memcpy(dst + done, dev_->base() + it->second + in_off, chunk);
     }
     done += chunk;
@@ -244,7 +245,7 @@ void BaseFs::FreeAllBlocks(Node& node) {
 // FD plumbing
 
 Result<vfs::Fd> BaseFs::InstallFd(std::shared_ptr<OpenFile> f) {
-  std::lock_guard<std::mutex> lk(fd_mu_);
+  common::MutexLock lk(&fd_mu_);
   for (size_t i = 0; i < fds_.size(); i++) {
     if (fds_[i] == nullptr) {
       fds_[i] = std::move(f);
@@ -256,7 +257,7 @@ Result<vfs::Fd> BaseFs::InstallFd(std::shared_ptr<OpenFile> f) {
 }
 
 Result<std::shared_ptr<BaseFs::OpenFile>> BaseFs::GetFd(vfs::Fd fd) {
-  std::lock_guard<std::mutex> lk(fd_mu_);
+  common::MutexLock lk(&fd_mu_);
   if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || fds_[fd] == nullptr) {
     return Err::kBadF;
   }
@@ -282,7 +283,7 @@ Result<vfs::Fd> BaseFs::Open(const vfs::Cred& cred, const std::string& path, uin
     }
     ASSIGN_OR_RETURN(pp, ResolveParent(path));
     auto& [parent, leaf] = pp;
-    std::unique_lock<std::shared_mutex> lk(parent->lock);
+    common::WriterMutexLock lk(&parent->lock);
     TouchLease(*parent);
     auto it = parent->children.find(leaf);
     if (it != parent->children.end()) {
@@ -313,7 +314,7 @@ Result<vfs::Fd> BaseFs::Open(const vfs::Cred& cred, const std::string& path, uin
   // O_TRUNC without write access is undefined per POSIX; ignore it rather
   // than destroy data through a read-only open (matches FsLib::Open).
   if ((flags & vfs::kTrunc) && (flags & vfs::kWrite)) {
-    std::unique_lock<std::shared_mutex> lk(node->lock);
+    common::WriterMutexLock lk(&node->lock);
     TouchLease(*node);
     FreeAllBlocks(*node);
     PersistMeta(node.get(), 64);
@@ -325,7 +326,7 @@ Result<vfs::Fd> BaseFs::Open(const vfs::Cred& cred, const std::string& path, uin
 }
 
 Status BaseFs::Close(vfs::Fd fd) {
-  std::lock_guard<std::mutex> lk(fd_mu_);
+  common::MutexLock lk(&fd_mu_);
   if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() || fds_[fd] == nullptr) {
     return Err::kBadF;
   }
@@ -336,7 +337,7 @@ Status BaseFs::Close(vfs::Fd fd) {
 Result<size_t> BaseFs::Read(vfs::Fd fd, void* buf, size_t n) {
   EnterOp();
   ASSIGN_OR_RETURN(f, GetFd(fd));
-  std::shared_lock<std::shared_mutex> lk(f->node->lock);
+  common::ReaderMutexLock lk(&f->node->lock);
   TouchLease(*f->node);
   uint64_t pos = f->pos.load(std::memory_order_relaxed);
   ASSIGN_OR_RETURN(done, ReadData(*f->node, buf, n, pos));
@@ -347,7 +348,7 @@ Result<size_t> BaseFs::Read(vfs::Fd fd, void* buf, size_t n) {
 Result<size_t> BaseFs::Write(vfs::Fd fd, const void* buf, size_t n) {
   EnterOp();
   ASSIGN_OR_RETURN(f, GetFd(fd));
-  std::unique_lock<std::shared_mutex> lk(f->node->lock);
+  common::WriterMutexLock lk(&f->node->lock);
   TouchLease(*f->node);
   uint64_t pos = (f->flags & vfs::kAppend) ? f->node->size.load(std::memory_order_relaxed)
                                            : f->pos.load(std::memory_order_relaxed);
@@ -360,7 +361,7 @@ Result<size_t> BaseFs::Write(vfs::Fd fd, const void* buf, size_t n) {
 Result<size_t> BaseFs::Pread(vfs::Fd fd, void* buf, size_t n, uint64_t off) {
   EnterOp();
   ASSIGN_OR_RETURN(f, GetFd(fd));
-  std::shared_lock<std::shared_mutex> lk(f->node->lock);
+  common::ReaderMutexLock lk(&f->node->lock);
   TouchLease(*f->node);
   return ReadData(*f->node, buf, n, off);
 }
@@ -368,7 +369,7 @@ Result<size_t> BaseFs::Pread(vfs::Fd fd, void* buf, size_t n, uint64_t off) {
 Result<size_t> BaseFs::Pwrite(vfs::Fd fd, const void* buf, size_t n, uint64_t off) {
   EnterOp();
   ASSIGN_OR_RETURN(f, GetFd(fd));
-  std::unique_lock<std::shared_mutex> lk(f->node->lock);
+  common::WriterMutexLock lk(&f->node->lock);
   TouchLease(*f->node);
   RETURN_IF_ERROR(WriteData(*f->node, buf, n, off));
   PersistInodeAttrs(*f->node);
@@ -402,7 +403,7 @@ Result<uint64_t> BaseFs::Lseek(vfs::Fd fd, int64_t off, int whence) {
 Status BaseFs::Fsync(vfs::Fd fd) {
   EnterOp();
   ASSIGN_OR_RETURN(f, GetFd(fd));
-  std::unique_lock<std::shared_mutex> lk(f->node->lock);
+  common::WriterMutexLock lk(&f->node->lock);
   return SyncFile(*f->node);
 }
 
@@ -425,7 +426,7 @@ Status BaseFs::Ftruncate(vfs::Fd fd, uint64_t len) {
   EnterOp();
   ASSIGN_OR_RETURN(f, GetFd(fd));
   Node& node = *f->node;
-  std::unique_lock<std::shared_mutex> lk(node.lock);
+  common::WriterMutexLock lk(&node.lock);
   TouchLease(node);
   const uint64_t old = node.size.load(std::memory_order_relaxed);
   if (len < old) {
@@ -449,7 +450,7 @@ Status BaseFs::Mkdir(const vfs::Cred& cred, const std::string& path, uint16_t mo
   EnterOp();
   ASSIGN_OR_RETURN(pp, ResolveParent(path));
   auto& [parent, leaf] = pp;
-  std::unique_lock<std::shared_mutex> lk(parent->lock);
+  common::WriterMutexLock lk(&parent->lock);
   TouchLease(*parent);
   if (parent->children.count(leaf)) {
     return Err::kExist;
@@ -472,7 +473,7 @@ Status BaseFs::Rmdir(const vfs::Cred& cred, const std::string& path) {
   EnterOp();
   ASSIGN_OR_RETURN(pp, ResolveParent(path));
   auto& [parent, leaf] = pp;
-  std::unique_lock<std::shared_mutex> lk(parent->lock);
+  common::WriterMutexLock lk(&parent->lock);
   TouchLease(*parent);
   auto it = parent->children.find(leaf);
   if (it == parent->children.end()) {
@@ -493,7 +494,7 @@ Status BaseFs::Unlink(const vfs::Cred& cred, const std::string& path) {
   EnterOp();
   ASSIGN_OR_RETURN(pp, ResolveParent(path));
   auto& [parent, leaf] = pp;
-  std::unique_lock<std::shared_mutex> lk(parent->lock);
+  common::WriterMutexLock lk(&parent->lock);
   TouchLease(*parent);
   auto it = parent->children.find(leaf);
   if (it == parent->children.end()) {
@@ -505,7 +506,7 @@ Status BaseFs::Unlink(const vfs::Cred& cred, const std::string& path) {
   NodePtr node = it->second;
   parent->children.erase(it);
   PersistMeta(parent.get(), 64 + leaf.size());
-  std::unique_lock<std::shared_mutex> nlk(node->lock);
+  common::WriterMutexLock nlk(&node->lock);
   FreeAllBlocks(*node);
   return common::OkStatus();
 }
@@ -531,7 +532,7 @@ Result<std::vector<vfs::DirEntry>> BaseFs::ReadDir(const vfs::Cred& cred,
   if (node->type != vfs::FileType::kDirectory) {
     return Err::kNotDir;
   }
-  std::shared_lock<std::shared_mutex> lk(node->lock);
+  common::ReaderMutexLock lk(&node->lock);
   std::vector<vfs::DirEntry> out;
   out.reserve(node->children.size());
   for (const auto& [name, child] : node->children) {
@@ -554,7 +555,7 @@ Status BaseFs::Rename(const vfs::Cred& cred, const std::string& from, const std:
 
   // Lock parents in address order.
   if (sparent == dparent) {
-    std::unique_lock<std::shared_mutex> lk(sparent->lock);
+    common::WriterMutexLock lk(&sparent->lock);
     auto it = sparent->children.find(sleaf);
     if (it == sparent->children.end()) {
       return Err::kNoEnt;
@@ -567,8 +568,8 @@ Status BaseFs::Rename(const vfs::Cred& cred, const std::string& from, const std:
   }
   Node* first = sparent.get() < dparent.get() ? sparent.get() : dparent.get();
   Node* second = sparent.get() < dparent.get() ? dparent.get() : sparent.get();
-  std::unique_lock<std::shared_mutex> lk1(first->lock);
-  std::unique_lock<std::shared_mutex> lk2(second->lock);
+  common::WriterMutexLock lk1(&first->lock);
+  common::WriterMutexLock lk2(&second->lock);
   auto it = sparent->children.find(sleaf);
   if (it == sparent->children.end()) {
     return Err::kNoEnt;
@@ -587,7 +588,7 @@ Status BaseFs::Chmod(const vfs::Cred& cred, const std::string& path, uint16_t mo
   if (!cred.IsRoot() && cred.uid != node->uid) {
     return Err::kPerm;
   }
-  std::unique_lock<std::shared_mutex> lk(node->lock);
+  common::WriterMutexLock lk(&node->lock);
   node->mode = mode;
   PersistMeta(node.get(), 64);
   return common::OkStatus();
@@ -599,7 +600,7 @@ Status BaseFs::Chown(const vfs::Cred& cred, const std::string& path, uint32_t ui
   if (!cred.IsRoot()) {
     return Err::kPerm;
   }
-  std::unique_lock<std::shared_mutex> lk(node->lock);
+  common::WriterMutexLock lk(&node->lock);
   node->uid = uid;
   node->gid = gid;
   PersistMeta(node.get(), 64);
@@ -611,7 +612,7 @@ Status BaseFs::Symlink(const vfs::Cred& cred, const std::string& target,
   EnterOp();
   ASSIGN_OR_RETURN(pp, ResolveParent(linkpath));
   auto& [parent, leaf] = pp;
-  std::unique_lock<std::shared_mutex> lk(parent->lock);
+  common::WriterMutexLock lk(&parent->lock);
   if (parent->children.count(leaf)) {
     return Err::kExist;
   }

@@ -18,12 +18,11 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/nvm/nvm.h"
 #include "src/vfs/vfs.h"
@@ -45,8 +44,8 @@ class GlobalPageAlloc {
   uint64_t free_pages() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<uint64_t> free_;  // byte offsets
+  mutable common::Mutex mu_;
+  std::vector<uint64_t> free_ GUARDED_BY(mu_);  // byte offsets
 };
 
 // Per-core (really per-thread-lane) allocator: each lane gets an equal share
@@ -59,8 +58,8 @@ class PerCoreAlloc {
 
  private:
   struct alignas(64) Lane {
-    std::mutex mu;
-    std::vector<uint64_t> free;
+    common::Mutex mu;
+    std::vector<uint64_t> free GUARDED_BY(mu);
   };
   std::vector<std::unique_ptr<Lane>> lanes_;
   Lane& MyLane();
@@ -91,8 +90,11 @@ class BaseFs : public vfs::FileSystem {
     std::string symlink_target;
 
     // Per-inode reader/writer lock ("all tested file systems use per-file
-    // locks", §6.1).
-    std::shared_mutex lock;
+    // locks", §6.1). The block map and children are the guarded state, but
+    // they are handed by reference into subclass hooks (WriteData/ReadData),
+    // so the lock protocol is documented on the hooks rather than expressed
+    // as GUARDED_BY — the analysis cannot see through the virtual dispatch.
+    common::SharedMutex lock;
 
     // blk index -> NVM page byte offset (the durable home of the data).
     std::map<uint64_t, uint64_t> blocks;
@@ -198,8 +200,8 @@ class BaseFs : public vfs::FileSystem {
   std::atomic<uint64_t> next_meta_slot_;
   uint64_t meta_region_end_ = 0;
 
-  std::mutex fd_mu_;
-  std::vector<std::shared_ptr<OpenFile>> fds_;
+  common::Mutex fd_mu_;
+  std::vector<std::shared_ptr<OpenFile>> fds_ GUARDED_BY(fd_mu_);
 };
 
 }  // namespace baselines

@@ -108,6 +108,7 @@ Status NovaFs::WriteData(Node& node, const void* buf, size_t n, uint64_t off) {
         // Partial block: COW must carry over the untouched bytes.
         uint8_t page_buf[nvm::kPageSize];
         if (old != 0) {
+          // zofs-lint: allow(raw-nvm-deref) — whole-page CoW copy of an allocator-owned page
           memcpy(page_buf, d->base() + old, nvm::kPageSize);
         } else {
           memset(page_buf, 0, nvm::kPageSize);

@@ -27,7 +27,7 @@ StrataCore::StrataCore(nvm::NvmDevice* dev, StrataConfig cfg)
 StrataCore::~StrataCore() = default;
 
 StrataCore::ProcessLog* StrataCore::RegisterProcess() {
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  common::RecursiveMutexLock lk(&mu_);
   auto log = std::make_unique<ProcessLog>();
   log->pid = next_pid_++;
   log->area_off = log_region_off_ + (log->pid - 1) * cfg_.log_bytes_per_process;
@@ -42,7 +42,7 @@ std::unique_ptr<StrataFs> StrataCore::CreateProcessView() {
 }
 
 StrataCore::Lease* StrataCore::LeaseOf(BaseFs::Node& node) {
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  common::RecursiveMutexLock lk(&mu_);
   if (node.ext == nullptr) {
     leases_.push_back(std::make_unique<Lease>());
     node.ext = leases_.back().get();
@@ -63,6 +63,7 @@ void StrataCore::Digest(ProcessLog& log) {
     if (!page.ok()) {
       continue;  // shared area exhausted; drop on the floor (bench-only path)
     }
+    // zofs-lint: allow(raw-nvm-deref) — digest copies whole pages out of the private log area
     dev_->NtStoreBytes(*page, dev_->base() + pb.log_off, nvm::kPageSize);
     it->second = *page;
   }
@@ -78,7 +79,7 @@ void StrataCore::AcquireLease(BaseFs::Node& node, uint32_t pid) {
   if (owner == pid) {
     return;
   }
-  std::lock_guard<std::recursive_mutex> lk(mu_);
+  common::RecursiveMutexLock lk(&mu_);
   owner = lease->owner.load(std::memory_order_acquire);
   if (owner == pid) {
     return;
@@ -127,7 +128,7 @@ uint64_t StrataFs::LogReserve(uint64_t n) {
 }
 
 void StrataFs::PersistMeta(Node* node, size_t bytes) {
-  std::lock_guard<std::recursive_mutex> lk(core_->mu_);
+  common::RecursiveMutexLock lk(&core_->mu_);
   // Strata writes two logs per namespace mutation to keep metadata
   // consistent (§2.2: "Strata has to write two logs for each create").
   static const uint8_t kBlank[512] = {};
@@ -139,7 +140,7 @@ void StrataFs::PersistMeta(Node* node, size_t bytes) {
 }
 
 Status StrataFs::WriteData(Node& node, const void* buf, size_t n, uint64_t off) {
-  std::lock_guard<std::recursive_mutex> lk(core_->mu_);
+  common::RecursiveMutexLock lk(&core_->mu_);
   nvm::NvmDevice* d = core_->dev();
   const auto* src = static_cast<const uint8_t*>(buf);
   size_t done = 0;
@@ -160,6 +161,7 @@ Status StrataFs::WriteData(Node& node, const void* buf, size_t n, uint64_t off) 
       uint8_t page_buf[nvm::kPageSize];
       auto it = node.blocks.find(blk);
       if (it != node.blocks.end()) {
+        // zofs-lint: allow(raw-nvm-deref) — whole-page CoW copy of an allocator-owned page
         memcpy(page_buf, d->base() + it->second, nvm::kPageSize);
       } else {
         memset(page_buf, 0, nvm::kPageSize);
@@ -187,7 +189,7 @@ Status StrataFs::WriteData(Node& node, const void* buf, size_t n, uint64_t off) 
 }
 
 Result<size_t> StrataFs::ReadData(Node& node, void* buf, size_t n, uint64_t off) {
-  std::lock_guard<std::recursive_mutex> lk(core_->mu_);
+  common::RecursiveMutexLock lk(&core_->mu_);
   return BaseFs::ReadData(node, buf, n, off);
 }
 

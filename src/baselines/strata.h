@@ -19,11 +19,11 @@
 #define SRC_BASELINES_STRATA_H_
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/baselines/basefs.h"
 #include "src/baselines/journal.h"
+#include "src/common/mutex.h"
 
 namespace baselines {
 
@@ -90,8 +90,11 @@ class StrataCore {
   uint64_t log_region_len_;
   // One lock serialises the Strata data plane (log appends, digests, lease
   // transfers). Strata's measured flat multithread scaling (§6.2) reflects
-  // exactly this kind of serialisation.
-  std::recursive_mutex mu_;
+  // exactly this kind of serialisation. Recursive because a lease handoff
+  // digests the previous owner's log from inside an already-locked append —
+  // reentrancy Clang's analysis cannot model, so the guarded members below
+  // stay unannotated and the protocol lives in these comments.
+  common::RecursiveMutex mu_;
   std::vector<std::unique_ptr<ProcessLog>> logs_;
   std::vector<std::unique_ptr<Lease>> leases_;
   std::atomic<uint64_t> digests_{0};

@@ -1,0 +1,83 @@
+// Clang thread-safety-analysis capability annotations.
+//
+// These macros expand to Clang's `-Wthread-safety` attributes when compiling
+// with a Clang that supports them and to nothing otherwise (GCC builds see
+// plain code). The analysis proves, at compile time, that every access to a
+// GUARDED_BY member happens while its capability (mutex) is held and that
+// REQUIRES/ACQUIRE/RELEASE contracts line up across call boundaries — the
+// static half of the race story, complementing the TSan gate which only
+// checks interleavings that actually execute.
+//
+// Usage is confined to the annotated wrapper types in src/common/mutex.h
+// (capabilities) plus GUARDED_BY/REQUIRES annotations at their users; the
+// zofs_lint rule `raw-mutex` keeps bare std::mutex out of the tree so no
+// lock can silently escape the analysis.
+//
+// Enable the checked build with:
+//   cmake -B build-ts -DCMAKE_CXX_COMPILER=clang++ -DZOFS_THREAD_SAFETY=ON
+// (tools/check_all.sh does this automatically when clang++ is installed).
+
+#ifndef SRC_COMMON_THREAD_ANNOTATIONS_H_
+#define SRC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ZOFS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ZOFS_THREAD_ANNOTATION
+#define ZOFS_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+// A type that is a capability (a lock). The string names the capability kind
+// in diagnostics ("mutex", "shared_mutex", "spinlock").
+#define CAPABILITY(x) ZOFS_THREAD_ANNOTATION(capability(x))
+
+// A scoped (RAII) object that acquires a capability at construction and
+// releases it at destruction.
+#define SCOPED_CAPABILITY ZOFS_THREAD_ANNOTATION(scoped_lockable)
+
+// Data member that may only be accessed while `x` is held.
+#define GUARDED_BY(x) ZOFS_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer member whose *pointee* may only be accessed while `x` is held.
+#define PT_GUARDED_BY(x) ZOFS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function contract: the caller must hold the capability (exclusively /
+// shared) on entry and it is still held on exit.
+#define REQUIRES(...) ZOFS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) ZOFS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// Function acquires / releases the capability.
+#define ACQUIRE(...) ZOFS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) ZOFS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) ZOFS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) ZOFS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) ZOFS_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+// Function tries to acquire; first argument is the success return value.
+#define TRY_ACQUIRE(...) ZOFS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) ZOFS_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+// Function may not be called while the capability is held (deadlock guard).
+#define EXCLUDES(...) ZOFS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Lock-acquisition ordering: this capability must be acquired after /
+// before the named ones.
+#define ACQUIRED_AFTER(...) ZOFS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define ACQUIRED_BEFORE(...) ZOFS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+// Runtime assertion that the calling thread holds the capability; teaches
+// the analysis that it is held from here on (used by spinlock protocols
+// whose acquisition the analysis cannot see).
+#define ASSERT_CAPABILITY(x) ZOFS_THREAD_ANNOTATION(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) ZOFS_THREAD_ANNOTATION(assert_shared_capability(x))
+
+// Function returns a reference to the capability guarding its result.
+#define RETURN_CAPABILITY(x) ZOFS_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use must carry
+// a comment explaining why the analysis cannot see the protocol.
+#define NO_THREAD_SAFETY_ANALYSIS ZOFS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // SRC_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,3 +1,6 @@
+// zofs-lint: allow(raw-nvm-deref) — the fault injector's whole purpose is
+// raw access to NVM bytes: it corrupts pages and diffs raw images.
+
 #include "src/faultinj/faultinj.h"
 
 #include <algorithm>

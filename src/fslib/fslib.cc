@@ -31,25 +31,6 @@ auto Guarded(const char* api, F&& body) -> decltype(body()) {
   }
 }
 
-// One-word spinlock over an FD slot. Critical sections are a shared_ptr
-// copy/move — a few instructions — so spinning beats a mutex's futex path.
-class SpinGuard {
- public:
-  explicit SpinGuard(std::atomic<bool>& b) : b_(b) {
-    while (b_.exchange(true, std::memory_order_acquire)) {
-#if defined(__x86_64__)
-      __builtin_ia32_pause();
-#endif
-    }
-  }
-  ~SpinGuard() { b_.store(false, std::memory_order_release); }
-  SpinGuard(const SpinGuard&) = delete;
-  SpinGuard& operator=(const SpinGuard&) = delete;
-
- private:
-  std::atomic<bool>& b_;
-};
-
 }  // namespace
 
 FsLib::FsLib(kernfs::KernFs* kfs, vfs::Cred cred, zofs::Options zopts) : kfs_(kfs) {
@@ -93,7 +74,7 @@ FsLib::FdChunk* FsLib::ChunkFor(uint32_t chunk, bool create) {
 }
 
 vfs::Result<vfs::Fd> FsLib::InstallLowestFd(std::shared_ptr<Description> desc) {
-  std::lock_guard<std::mutex> lk(fd_alloc_mu_);
+  common::MutexLock lk(&fd_alloc_mu_);
   fd_alloc_locks_.fetch_add(1, std::memory_order_relaxed);
   for (uint32_t w = 0; w < fd_bitmap_.size(); w++) {
     if (fd_bitmap_[w] == ~0ull) {
@@ -103,7 +84,7 @@ vfs::Result<vfs::Fd> FsLib::InstallLowestFd(std::shared_ptr<Description> desc) {
     const uint32_t fd = w * 64 + bit;
     FdSlot& slot = ChunkFor(fd / kFdsPerChunk, /*create=*/true)->slots[fd % kFdsPerChunk];
     {
-      SpinGuard g(slot.busy);
+      common::SpinLockGuard g(&slot.busy);
       slot.desc = std::move(desc);
     }
     // Publish the slot before marking the FD allocated: once the bit is set
@@ -125,7 +106,7 @@ vfs::Result<std::shared_ptr<FsLib::Description>> FsLib::Get(vfs::Fd fd) {
   FdSlot& slot = ch->slots[static_cast<uint32_t>(fd) % kFdsPerChunk];
   std::shared_ptr<Description> d;
   {
-    SpinGuard g(slot.busy);
+    common::SpinLockGuard g(&slot.busy);
     d = slot.desc;
   }
   if (d == nullptr) {
@@ -187,7 +168,7 @@ vfs::Status FsLib::Close(vfs::Fd fd) {
   FdSlot& slot = ch->slots[static_cast<uint32_t>(fd) % kFdsPerChunk];
   std::shared_ptr<Description> dead;
   {
-    SpinGuard g(slot.busy);
+    common::SpinLockGuard g(&slot.busy);
     if (slot.desc == nullptr) {
       return Err::kBadF;  // double-close; the bitmap bit was already freed
     }
@@ -196,7 +177,7 @@ vfs::Status FsLib::Close(vfs::Fd fd) {
   {
     // Clear the slot before freeing the FD number so the next open that
     // reuses it can never observe the dead description.
-    std::lock_guard<std::mutex> lk(fd_alloc_mu_);
+    common::MutexLock lk(&fd_alloc_mu_);
     fd_alloc_locks_.fetch_add(1, std::memory_order_relaxed);
     fd_bitmap_[static_cast<uint32_t>(fd) / 64] &= ~(1ull << (fd % 64));
   }
@@ -208,7 +189,7 @@ vfs::Result<size_t> FsLib::Read(vfs::Fd fd, void* buf, size_t n) {
   return Guarded(__func__, [&]() -> vfs::Result<size_t> {
     ASSIGN_OR_RETURN(d, Get(fd));
     fs_->FixNode(&d->node);
-    std::lock_guard<std::mutex> lk(d->pos_mu);
+    common::MutexLock lk(&d->pos_mu);
     uint64_t pos = d->pos.load(std::memory_order_relaxed);
     ASSIGN_OR_RETURN(done, fs_->ReadAt(d->node, buf, n, pos));
     d->pos.store(pos + done, std::memory_order_relaxed);
@@ -223,11 +204,11 @@ vfs::Result<size_t> FsLib::Write(vfs::Fd fd, const void* buf, size_t n) {
     fs_->FixNode(&d->node);
     if (d->flags & vfs::kAppend) {
       ASSIGN_OR_RETURN(at, fs_->Append(d->node, buf, n));
-      std::lock_guard<std::mutex> lk(d->pos_mu);
+      common::MutexLock lk(&d->pos_mu);
       d->pos.store(at + n, std::memory_order_relaxed);
       return n;
     }
-    std::lock_guard<std::mutex> lk(d->pos_mu);
+    common::MutexLock lk(&d->pos_mu);
     uint64_t pos = d->pos.load(std::memory_order_relaxed);
     ASSIGN_OR_RETURN(done, fs_->WriteAt(d->node, buf, n, pos));
     d->pos.store(pos + done, std::memory_order_relaxed);
@@ -257,7 +238,7 @@ vfs::Result<uint64_t> FsLib::Lseek(vfs::Fd fd, int64_t off, int whence) {
   BindThread();
   return Guarded(__func__, [&]() -> vfs::Result<uint64_t> {
     ASSIGN_OR_RETURN(d, Get(fd));
-    std::lock_guard<std::mutex> lk(d->pos_mu);
+    common::MutexLock lk(&d->pos_mu);
     int64_t base = 0;
     switch (whence) {
       case 0:

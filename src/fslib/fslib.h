@@ -15,10 +15,10 @@
 #include <array>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/kernfs/kernfs.h"
 #include "src/logfs/logfs.h"
 #include "src/ufs/microfs.h"
@@ -91,8 +91,10 @@ class FsLib final : public vfs::FileSystem {
   // advance the offset by exactly what they transferred (POSIX shared f_pos).
   struct Description {
     ufs::NodeRef node;
-    std::mutex pos_mu;
-    std::atomic<uint64_t> pos{0};
+    common::Mutex pos_mu;
+    // Atomic so a torn read is impossible even for diagnostics, but every
+    // read-modify-write runs under pos_mu (the POSIX shared-offset contract).
+    std::atomic<uint64_t> pos GUARDED_BY(pos_mu){0};
     uint32_t flags = 0;
   };
 
@@ -111,8 +113,8 @@ class FsLib final : public vfs::FileSystem {
   static constexpr uint32_t kFdChunks = kFdCapacity / kFdsPerChunk;
 
   struct FdSlot {
-    std::atomic<bool> busy{false};
-    std::shared_ptr<Description> desc;
+    common::SpinLock busy;
+    std::shared_ptr<Description> desc GUARDED_BY(busy);
   };
   struct FdChunk {
     std::array<FdSlot, kFdsPerChunk> slots;
@@ -128,8 +130,9 @@ class FsLib final : public vfs::FileSystem {
   zofs::ZoFs* zofs_ = nullptr;  // set when fs_ is a ZoFs
 
   std::array<std::atomic<FdChunk*>, kFdChunks> fd_chunks_{};
-  std::mutex fd_alloc_mu_;
-  std::array<uint64_t, kFdCapacity / 64> fd_bitmap_{};  // 1 = FD in use
+  common::Mutex fd_alloc_mu_;
+  // 1 = FD in use
+  std::array<uint64_t, kFdCapacity / 64> fd_bitmap_ GUARDED_BY(fd_alloc_mu_){};
   std::atomic<uint64_t> fd_alloc_locks_{0};
 };
 

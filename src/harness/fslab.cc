@@ -137,7 +137,7 @@ vfs::FileSystem* FsLab::View(int proc) {
   if (shared_fs_ != nullptr) {
     return shared_fs_.get();  // kernel FS: one instance for every process
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (static_cast<size_t>(proc) >= views_.size()) {
     views_.resize(proc + 1);
   }

@@ -10,7 +10,6 @@
 #define SRC_HARNESS_FSLAB_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +17,7 @@
 #include "src/baselines/nova.h"
 #include "src/baselines/pmfs.h"
 #include "src/baselines/strata.h"
+#include "src/common/mutex.h"
 #include "src/fslib/fslib.h"
 #include "src/kernfs/kernfs.h"
 #include "src/nvm/nvm.h"
@@ -94,8 +94,8 @@ class FsLab {
   // Kernel baselines: a single shared instance.
   std::unique_ptr<vfs::FileSystem> shared_fs_;
 
-  std::mutex mu_;
-  std::vector<std::unique_ptr<vfs::FileSystem>> views_;
+  common::Mutex mu_;
+  std::vector<std::unique_ptr<vfs::FileSystem>> views_ GUARDED_BY(mu_);
 };
 
 }  // namespace harness

@@ -49,6 +49,9 @@ KernelEntry::KernelEntry(uint64_t crossing_ns)
 
 KernelEntry::~KernelEntry() {
   mpk::BindThreadToProcess(saved_table_);
+  // KernelEntry IS the RAII window type for kernel crossings; the dtor
+  // restores the PKRU captured at entry.
+  // zofs-lint: allow(naked-wrpkru)
   mpk::WrPkru(saved_pkru_);
 }
 
@@ -388,7 +391,7 @@ uint64_t KernFs::PersistRootPath(CofferRoot* root, const std::string& path) {
 // Process management
 
 Process* KernFs::CreateProcess(vfs::Cred cred) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   uint32_t pid = next_pid_++;
   auto proc = std::unique_ptr<Process>(new Process(pid, cred, dev_->num_pages()));
   Process* raw = proc.get();
@@ -397,7 +400,7 @@ Process* KernFs::CreateProcess(vfs::Cred cred) {
 }
 
 void KernFs::DestroyProcess(Process* proc) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   std::vector<uint32_t> mapped;
   for (const auto& [id, m] : proc->mappings_) {
     mapped.push_back(id);
@@ -412,7 +415,7 @@ void KernFs::Nop() { KernelEntry enter(crossing_ns_); }
 
 Status KernFs::FsMount(Process& proc) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (proc.fslib_mounted_) {
     return Err::kBusy;
   }
@@ -422,7 +425,7 @@ Status KernFs::FsMount(Process& proc) {
 
 Status KernFs::FsUmount(Process& proc) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (!proc.fslib_mounted_) {
     return Err::kInval;
   }
@@ -447,7 +450,7 @@ Result<uint32_t> KernFs::CofferNew(Process& proc, const std::string& path, uint3
   if (path.empty() || path[0] != '/' || path.size() >= kMaxCofferPath) {
     return Err::kInval;
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (PathMapLookup(path).ok()) {
     return Err::kExist;
   }
@@ -511,7 +514,7 @@ Result<uint32_t> KernFs::CofferNew(Process& proc, const std::string& path, uint3
 
 Status KernFs::CofferDelete(Process& proc, uint32_t coffer_id) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
     return Err::kNoEnt;
@@ -549,7 +552,7 @@ Status KernFs::CofferDelete(Process& proc, uint32_t coffer_id) {
 Result<std::vector<PageRun>> KernFs::CofferEnlarge(Process& proc, uint32_t coffer_id,
                                                    uint64_t n_pages) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
     return Err::kNoEnt;
@@ -580,7 +583,7 @@ Result<std::vector<PageRun>> KernFs::CofferEnlarge(Process& proc, uint32_t coffe
 
 Status KernFs::CofferShrink(Process& proc, uint32_t coffer_id, const std::vector<PageRun>& runs) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
     return Err::kNoEnt;
@@ -629,7 +632,7 @@ Status KernFs::CofferShrink(Process& proc, uint32_t coffer_id, const std::vector
 
 Result<MapInfo> KernFs::CofferMap(Process& proc, uint32_t coffer_id, bool writable) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
     return Err::kNoEnt;
@@ -713,7 +716,7 @@ void KernFs::UnmapLocked(Process& proc, uint32_t coffer_id) {
 
 Status KernFs::CofferUnmap(Process& proc, uint32_t coffer_id) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (!proc.HasMapped(coffer_id)) {
     return Err::kInval;
   }
@@ -723,7 +726,7 @@ Status KernFs::CofferUnmap(Process& proc, uint32_t coffer_id) {
 
 Result<uint32_t> KernFs::CofferFind(const std::string& path) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   ASSIGN_OR_RETURN(root_off, PathMapLookup(path));
   return dev_->As<CofferRoot>(root_off)->coffer_id;
 }
@@ -737,7 +740,7 @@ Result<uint32_t> KernFs::CofferSplit(Process& proc, uint32_t src_id,
   if (new_path.empty() || new_path[0] != '/' || new_path.size() >= kMaxCofferPath) {
     return Err::kInval;
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* src = FindCoffer(src_id);
   if (src == nullptr) {
     return Err::kNoEnt;
@@ -827,7 +830,7 @@ Result<uint32_t> KernFs::CofferSplit(Process& proc, uint32_t src_id,
 Status KernFs::CofferMovePages(Process& proc, uint32_t src_id, uint32_t dst_id,
                                const std::vector<PageRun>& pages) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* src = FindCoffer(src_id);
   CofferInfo* dst = FindCoffer(dst_id);
   if (src == nullptr || dst == nullptr || src_id == dst_id) {
@@ -886,7 +889,7 @@ Status KernFs::CofferMovePages(Process& proc, uint32_t src_id, uint32_t dst_id,
 
 Result<uint64_t> KernFs::CofferMerge(Process& proc, uint32_t dst_id, uint32_t src_id) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* dst = FindCoffer(dst_id);
   CofferInfo* src = FindCoffer(src_id);
   if (dst == nullptr || src == nullptr || dst_id == src_id) {
@@ -953,7 +956,7 @@ Result<uint64_t> KernFs::CofferMerge(Process& proc, uint32_t dst_id, uint32_t sr
 
 Status KernFs::CofferRecoverBegin(Process& proc, uint32_t coffer_id, uint64_t lease_ns) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
     return Err::kNoEnt;
@@ -985,7 +988,7 @@ Status KernFs::CofferRecoverBegin(Process& proc, uint32_t coffer_id, uint64_t le
 Result<uint64_t> KernFs::CofferRecoverEnd(Process& proc, uint32_t coffer_id,
                                           const std::vector<uint64_t>& in_use_pages) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
     return Err::kNoEnt;
@@ -1048,7 +1051,7 @@ Status KernFs::CofferRename(Process& proc, uint32_t coffer_id, const std::string
   if (new_path.empty() || new_path[0] != '/' || new_path.size() >= kMaxCofferPath) {
     return Err::kInval;
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
     return Err::kNoEnt;
@@ -1086,7 +1089,7 @@ Status KernFs::CofferRename(Process& proc, uint32_t coffer_id, const std::string
 Status KernFs::CofferFixupPaths(Process& proc, const std::string& old_prefix,
                                 const std::string& new_prefix) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   std::string op = old_prefix.back() == '/' ? old_prefix : old_prefix + "/";
   std::string np = new_prefix.back() == '/' ? new_prefix : new_prefix + "/";
   for (auto& [id, info] : coffers_) {
@@ -1104,7 +1107,7 @@ Status KernFs::CofferFixupPaths(Process& proc, const std::string& old_prefix,
 
 Status KernFs::CofferChmod(Process& proc, uint32_t coffer_id, uint16_t mode) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
     return Err::kNoEnt;
@@ -1121,7 +1124,7 @@ Status KernFs::CofferChmod(Process& proc, uint32_t coffer_id, uint16_t mode) {
 
 Status KernFs::CofferChown(Process& proc, uint32_t coffer_id, uint32_t uid, uint32_t gid) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
     return Err::kNoEnt;
@@ -1140,7 +1143,7 @@ Status KernFs::CofferChown(Process& proc, uint32_t coffer_id, uint32_t uid, uint
 Status KernFs::FileMmap(Process& proc, uint32_t coffer_id, const std::vector<uint64_t>& pages,
                         bool writable) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
     return Err::kNoEnt;
@@ -1167,7 +1170,7 @@ Status KernFs::FileMmap(Process& proc, uint32_t coffer_id, const std::vector<uin
 Status KernFs::FileMunmap(Process& proc, uint32_t coffer_id,
                           const std::vector<uint64_t>& pages) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
     return Err::kNoEnt;
@@ -1191,7 +1194,7 @@ Status KernFs::FileMunmap(Process& proc, uint32_t coffer_id,
 Result<uint64_t> KernFs::FileExecve(Process& proc, uint32_t coffer_id, uint16_t file_mode,
                                     const std::vector<uint64_t>& pages, uint64_t image_size) {
   KernelEntry enter(crossing_ns_);
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
     return Err::kNoEnt;
@@ -1212,6 +1215,7 @@ Result<uint64_t> KernFs::FileExecve(Process& proc, uint32_t coffer_id, uint16_t 
     if (pg >= sb_->num_pages || ReadEntry(pg).coffer_id != coffer_id) {
       return Err::kInval;
     }
+    // zofs-lint: allow(raw-nvm-deref) — kernel-side execve hash over pages just ownership-checked above
     const uint8_t* bytes = dev_->base() + pg * nvm::kPageSize;
     const uint64_t n = std::min<uint64_t>(remaining, nvm::kPageSize);
     for (uint64_t i = 0; i < n; i++) {
@@ -1230,7 +1234,7 @@ const CofferRoot* KernFs::RootPageOf(uint32_t coffer_id) const {
 }
 
 Result<std::vector<PageRun>> KernFs::PagesOf(uint32_t coffer_id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
     return Err::kNoEnt;
@@ -1243,7 +1247,7 @@ Result<std::vector<PageRun>> KernFs::PagesOf(uint32_t coffer_id) {
 }
 
 uint64_t KernFs::FreePages() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   uint64_t n = 0;
   for (const auto& [start, len] : free_by_addr_) {
     n += len;
@@ -1252,7 +1256,7 @@ uint64_t KernFs::FreePages() {
 }
 
 std::vector<uint32_t> KernFs::AllCofferIds() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   std::vector<uint32_t> out;
   for (const auto& [id, info] : coffers_) {
     out.push_back(id);
@@ -1261,7 +1265,7 @@ std::vector<uint32_t> KernFs::AllCofferIds() {
 }
 
 std::string KernFs::CheckAllocTableForTest() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   const uint64_t num_pages = sb_->num_pages;
   // 1. free maps consistent with the table.
   for (const auto& [start, len] : free_by_addr_) {

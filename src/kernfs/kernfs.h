@@ -19,12 +19,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/kernfs/layout.h"
 #include "src/mpk/mpk.h"
@@ -233,25 +233,26 @@ class KernFs {
   };
 
   // --- allocation table (callers hold mu_) ---
-  AllocEntry ReadEntry(uint64_t page) const;
-  void WriteEntry(uint64_t page, uint32_t owner, uint32_t run_len);
-  Result<std::vector<PageRun>> AllocPages(uint64_t n, uint32_t owner);
-  void FreeRun(PageRun run);
-  void EraseSizeEntry(uint64_t len, uint64_t start);
-  void SetRunOwner(PageRun run, uint32_t owner);  // per-page rewrite (split/merge path)
+  AllocEntry ReadEntry(uint64_t page) const REQUIRES(mu_);
+  void WriteEntry(uint64_t page, uint32_t owner, uint32_t run_len) REQUIRES(mu_);
+  Result<std::vector<PageRun>> AllocPages(uint64_t n, uint32_t owner) REQUIRES(mu_);
+  void FreeRun(PageRun run) REQUIRES(mu_);
+  void EraseSizeEntry(uint64_t len, uint64_t start) REQUIRES(mu_);
+  // per-page rewrite (split/merge path)
+  void SetRunOwner(PageRun run, uint32_t owner) REQUIRES(mu_);
 
   // --- path map (callers hold mu_) ---
-  Result<uint64_t> PathMapLookup(const std::string& path) const;  // -> root page
-  Status PathMapInsert(const std::string& path, uint64_t root_page);
-  Status PathMapErase(const std::string& path);
+  Result<uint64_t> PathMapLookup(const std::string& path) const REQUIRES(mu_);  // -> root page
+  Status PathMapInsert(const std::string& path, uint64_t root_page) REQUIRES(mu_);
+  Status PathMapErase(const std::string& path) REQUIRES(mu_);
 
-  CofferInfo* FindCoffer(uint32_t id);
-  CofferRoot* RootOf(CofferInfo& c);
-  Status CheckMappedWritable(Process& proc, uint32_t coffer_id);
-  void TagPagesForProcess(Process& proc, const CofferInfo& c, uint8_t key);
-  void UntagPagesForProcess(Process& proc, const CofferInfo& c);
-  void UnmapLocked(Process& proc, uint32_t coffer_id);
-  uint64_t PersistRootPath(CofferRoot* root, const std::string& path);
+  CofferInfo* FindCoffer(uint32_t id) REQUIRES(mu_);
+  CofferRoot* RootOf(CofferInfo& c) REQUIRES(mu_);
+  Status CheckMappedWritable(Process& proc, uint32_t coffer_id) REQUIRES(mu_);
+  void TagPagesForProcess(Process& proc, const CofferInfo& c, uint8_t key) REQUIRES(mu_);
+  void UntagPagesForProcess(Process& proc, const CofferInfo& c) REQUIRES(mu_);
+  void UnmapLocked(Process& proc, uint32_t coffer_id) REQUIRES(mu_);
+  uint64_t PersistRootPath(CofferRoot* root, const std::string& path) REQUIRES(mu_);
 
   nvm::NvmDevice* dev_;
   Superblock* sb_;
@@ -262,11 +263,11 @@ class KernFs {
   uint32_t root_coffer_id_ = 0;
   uint32_t next_pid_ = 1;
 
-  mutable std::mutex mu_;  // the global kernel lock
-  std::map<uint64_t, uint64_t> free_by_addr_;       // start -> len
-  std::multimap<uint64_t, uint64_t> free_by_size_;  // len -> start
-  std::unordered_map<uint32_t, CofferInfo> coffers_;
-  std::unordered_map<uint32_t, std::unique_ptr<Process>> procs_;
+  mutable common::Mutex mu_;  // the global kernel lock
+  std::map<uint64_t, uint64_t> free_by_addr_ GUARDED_BY(mu_);       // start -> len
+  std::multimap<uint64_t, uint64_t> free_by_size_ GUARDED_BY(mu_);  // len -> start
+  std::unordered_map<uint32_t, CofferInfo> coffers_ GUARDED_BY(mu_);
+  std::unordered_map<uint32_t, std::unique_ptr<Process>> procs_ GUARDED_BY(mu_);
 };
 
 // Process-wide count of simulated user->kernel crossings (KernelEntry

@@ -15,6 +15,9 @@ LogFs::LogFs(kernfs::KernFs* kfs, kernfs::Process* proc, Options opts)
     : kfs_(kfs), proc_(proc), opts_(opts) {
   proc_->BindCurrentThread();
   kfs_->FsMount(*proc_);
+  // No concurrent access is possible during construction; the lock is taken
+  // anyway so MountOrFormat's REQUIRES(mu_) contract holds analysis-wide.
+  common::MutexLock lk(&mu_);
   auto st = MountOrFormat();
   (void)st;  // a failed mount leaves an empty instance; ops return errors
 }
@@ -81,6 +84,7 @@ Status LogFs::Replay() {
       }
       RETURN_IF_ERROR(ApplyRecord(
           rh->kind,
+          // zofs-lint: allow(raw-nvm-deref) — replay payload; bounds checked against `used` above
           dev->base() + page + sizeof(LogPageHeader) + pos + sizeof(RecHeader), rh->len));
       replayed_records_++;
       pos += sizeof(RecHeader) + rh->len;
@@ -297,7 +301,7 @@ Result<std::pair<LogFs::VNode*, std::string>> LogFs::ResolveParent(const std::st
 // Namespace operations
 
 Result<ufs::NodeRef> LogFs::Lookup(const std::string& path, bool follow) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   ASSIGN_OR_RETURN(n, ResolvePath(path, follow));
   return ufs::NodeRef{cid_, n->id};
 }
@@ -315,7 +319,7 @@ Result<ufs::NodeRef> LogFs::Create(const std::string& path, uint16_t mode) {
 Result<ufs::NodeRef> LogFs::OpenOrCreate(const std::string& path, uint16_t mode, bool* created) {
   AUDIT_SCOPE("LogFs::OpenOrCreate");
   *created = false;
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   ASSIGN_OR_RETURN(pp, ResolveParent(path));
   auto& [parent, leaf] = pp;
   auto it = parent->children.find(leaf);
@@ -350,7 +354,7 @@ Result<ufs::NodeRef> LogFs::OpenOrCreate(const std::string& path, uint16_t mode,
 
 Status LogFs::Mkdir(const std::string& path, uint16_t mode) {
   AUDIT_SCOPE("LogFs::Mkdir");
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   ASSIGN_OR_RETURN(pp, ResolveParent(path));
   auto& [parent, leaf] = pp;
   if (parent->children.count(leaf)) {
@@ -382,7 +386,7 @@ Status LogFs::Mkdir(const std::string& path, uint16_t mode) {
 
 Status LogFs::Symlink(const std::string& target, const std::string& linkpath) {
   AUDIT_SCOPE("LogFs::Symlink");
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   ASSIGN_OR_RETURN(pp, ResolveParent(linkpath));
   auto& [parent, leaf] = pp;
   if (parent->children.count(leaf)) {
@@ -414,7 +418,7 @@ Status LogFs::Symlink(const std::string& target, const std::string& linkpath) {
 
 Result<std::string> LogFs::ReadLink(const std::string& path) {
   AUDIT_SCOPE("LogFs::ReadLink");
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   ASSIGN_OR_RETURN(n, ResolvePath(path, false));
   if (n->type != vfs::FileType::kSymlink) {
     return Err::kInval;
@@ -424,7 +428,7 @@ Result<std::string> LogFs::ReadLink(const std::string& path) {
 
 Status LogFs::Unlink(const std::string& path) {
   AUDIT_SCOPE("LogFs::Unlink");
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   ASSIGN_OR_RETURN(pp, ResolveParent(path));
   auto& [parent, leaf] = pp;
   auto it = parent->children.find(leaf);
@@ -453,7 +457,7 @@ Status LogFs::Unlink(const std::string& path) {
 
 Status LogFs::Rmdir(const std::string& path) {
   AUDIT_SCOPE("LogFs::Rmdir");
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   ASSIGN_OR_RETURN(pp, ResolveParent(path));
   auto& [parent, leaf] = pp;
   auto it = parent->children.find(leaf);
@@ -479,7 +483,7 @@ Status LogFs::Rmdir(const std::string& path) {
 
 Result<vfs::StatBuf> LogFs::StatNode(ufs::NodeRef node) {
   AUDIT_SCOPE("LogFs::StatNode");
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   VNode* n = Get(node.inode_off);
   if (n == nullptr) {
     return Err::kNoEnt;
@@ -496,7 +500,7 @@ Result<vfs::StatBuf> LogFs::StatNode(ufs::NodeRef node) {
 }
 
 Result<std::vector<vfs::DirEntry>> LogFs::ReadDir(const std::string& path) {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   ASSIGN_OR_RETURN(dir, ResolvePath(path, true));
   if (dir->type != vfs::FileType::kDirectory) {
     return Err::kNotDir;
@@ -518,7 +522,7 @@ Status LogFs::Rename(const std::string& from, const std::string& to) {
   if (nfrom == nto) {
     return common::OkStatus();
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   ASSIGN_OR_RETURN(fp, ResolveParent(nfrom));
   ASSIGN_OR_RETURN(tp, ResolveParent(nto));
   auto& [from_parent, from_leaf] = fp;
@@ -564,7 +568,7 @@ Status LogFs::Rename(const std::string& from, const std::string& to) {
 
 Status LogFs::Chmod(const std::string& path, uint16_t mode) {
   AUDIT_SCOPE("LogFs::Chmod");
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   ASSIGN_OR_RETURN(n, ResolvePath(path, true));
   if (!proc_->cred().IsRoot() && proc_->cred().uid != n->uid) {
     return Err::kPerm;
@@ -578,7 +582,7 @@ Status LogFs::Chmod(const std::string& path, uint16_t mode) {
 
 Status LogFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
   AUDIT_SCOPE("LogFs::Chown");
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   if (!proc_->cred().IsRoot()) {
     return Err::kPerm;
   }
@@ -596,7 +600,7 @@ Status LogFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
 
 Result<size_t> LogFs::ReadAt(ufs::NodeRef node, void* buf, size_t n, uint64_t off) {
   AUDIT_SCOPE("LogFs::ReadAt");
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   VNode* v = Get(node.inode_off);
   if (v == nullptr) {
     return Err::kNoEnt;
@@ -621,6 +625,7 @@ Result<size_t> LogFs::ReadAt(ufs::NodeRef node, void* buf, size_t n, uint64_t of
       memset(dst + done, 0, chunk);
     } else {
       mpk::CheckAccess(it->second + in_off, chunk, false);
+      // zofs-lint: allow(raw-nvm-deref) — bulk copy out of a block offset gated by CheckAccess above
       memcpy(dst + done, dev->base() + it->second + in_off, chunk);
     }
     done += chunk;
@@ -633,7 +638,7 @@ Result<size_t> LogFs::WriteAt(ufs::NodeRef node, const void* buf, size_t n, uint
   if (n == 0) {
     return size_t{0};
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   VNode* v = Get(node.inode_off);
   if (v == nullptr) {
     return Err::kNoEnt;
@@ -660,10 +665,12 @@ Result<size_t> LogFs::WriteAt(ufs::NodeRef node, const void* buf, size_t n, uint
     if (chunk < nvm::kPageSize) {
       if (old != v->blocks.end()) {
         if (in_off > 0) {
+          // zofs-lint: allow(raw-nvm-deref) — CoW prefix copy from the committed old block
           dev->NtStoreBytes(fresh, dev->base() + old->second, in_off);
         }
         if (in_off + chunk < nvm::kPageSize) {
           dev->NtStoreBytes(fresh + in_off + chunk,
+                            // zofs-lint: allow(raw-nvm-deref) — CoW suffix copy from the committed old block
                             dev->base() + old->second + in_off + chunk,
                             nvm::kPageSize - in_off - chunk);
         }
@@ -695,7 +702,7 @@ Result<uint64_t> LogFs::Append(ufs::NodeRef node, const void* buf, size_t n) {
   AUDIT_SCOPE("LogFs::Append");
   uint64_t off;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    common::MutexLock lk(&mu_);
     VNode* v = Get(node.inode_off);
     if (v == nullptr) {
       return Err::kNoEnt;
@@ -709,7 +716,7 @@ Result<uint64_t> LogFs::Append(ufs::NodeRef node, const void* buf, size_t n) {
 
 Status LogFs::TruncateNode(ufs::NodeRef node, uint64_t len) {
   AUDIT_SCOPE("LogFs::TruncateNode");
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   VNode* v = Get(node.inode_off);
   if (v == nullptr) {
     return Err::kNoEnt;
@@ -772,7 +779,7 @@ Status LogFs::MaybeCompact() {
 }
 
 Result<uint64_t> LogFs::CompactForTest() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   mpk::AccessWindow w(info_.key, true);
   return Compact();
 }
@@ -851,7 +858,7 @@ Result<uint64_t> LogFs::Compact() {
 }
 
 Result<ufs::RecoveryStats> LogFs::RecoverAll() {
-  std::lock_guard<std::mutex> lk(mu_);
+  common::MutexLock lk(&mu_);
   ufs::RecoveryStats st;
   common::Stopwatch total;
 

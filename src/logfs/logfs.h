@@ -24,11 +24,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/kernfs/kernfs.h"
 #include "src/ufs/microfs.h"
 #include "src/zofs/alloc.h"  // the leased per-thread allocator is µFS-generic
@@ -170,21 +170,22 @@ class LogFs final : public ufs::MicroFs {
     uint64_t parent = 0;
   };
 
-  Status MountOrFormat();
-  Status Replay();
-  Status ApplyRecord(uint8_t kind, const uint8_t* payload, uint16_t len);
+  Status MountOrFormat() REQUIRES(mu_);
+  Status Replay() REQUIRES(mu_);
+  Status ApplyRecord(uint8_t kind, const uint8_t* payload, uint16_t len) REQUIRES(mu_);
 
   // Appends one record (header + payload pieces) to the log; persists it and
   // advances the commit point. Caller holds mu_.
-  Status AppendRecord(uint8_t kind, const void* body, size_t body_len,
-                      std::string_view extra1 = {}, std::string_view extra2 = {});
-  Status MaybeCompact();
-  Result<uint64_t> Compact();
+  Status AppendRecord(uint8_t kind, const void* body, size_t body_len, std::string_view extra1 = {},
+                      std::string_view extra2 = {}) REQUIRES(mu_);
+  Status MaybeCompact() REQUIRES(mu_);
+  Result<uint64_t> Compact() REQUIRES(mu_);
 
-  Result<VNode*> ResolvePath(const std::string& path, bool follow_last, int depth = 0);
-  Result<std::pair<VNode*, std::string>> ResolveParent(const std::string& path);
-  VNode* Get(uint64_t id);
-  uint64_t LiveDataPages() const;
+  Result<VNode*> ResolvePath(const std::string& path, bool follow_last, int depth = 0)
+      REQUIRES(mu_);
+  Result<std::pair<VNode*, std::string>> ResolveParent(const std::string& path) REQUIRES(mu_);
+  VNode* Get(uint64_t id) REQUIRES(mu_);
+  uint64_t LiveDataPages() const REQUIRES(mu_);
 
   kernfs::KernFs* kfs_;
   kernfs::Process* proc_;
@@ -193,13 +194,15 @@ class LogFs final : public ufs::MicroFs {
   kernfs::MapInfo info_{};
   std::unique_ptr<zofs::CofferAllocator> alloc_;
 
-  std::mutex mu_;  // serialises log appends and volatile-state mutations
-  std::unordered_map<uint64_t, VNode> nodes_;
-  uint64_t next_id_ = 2;  // 1 = root directory
-  uint64_t tail_page_ = 0;
+  common::Mutex mu_;  // serialises log appends and volatile-state mutations
+  std::unordered_map<uint64_t, VNode> nodes_ GUARDED_BY(mu_);
+  uint64_t next_id_ GUARDED_BY(mu_) = 2;  // 1 = root directory
+  uint64_t tail_page_ GUARDED_BY(mu_) = 0;
+  // Monotonic counters: mutated under mu_, read unlocked by the test/bench
+  // accessors above (a stale read is fine), so deliberately unguarded.
   uint64_t log_pages_ = 0;
-  uint64_t records_written_ = 0;
-  uint64_t live_records_ = 0;  // approximation driving GC
+  uint64_t records_written_ GUARDED_BY(mu_) = 0;
+  uint64_t live_records_ GUARDED_BY(mu_) = 0;  // approximation driving GC
   uint64_t replayed_records_ = 0;
 };
 

@@ -82,7 +82,7 @@ void NvmDevice::TrackStore(uint64_t off, size_t len) {
   }
   uint64_t first = off / kCachelineSize;
   uint64_t last = (off + len - 1) / kCachelineSize;
-  std::lock_guard<std::mutex> lk(track_mu_);
+  common::MutexLock lk(&track_mu_);
   for (uint64_t line = first; line <= last; line++) {
     auto [it, inserted] = dirty_lines_.try_emplace(line);
     if (inserted) {
@@ -184,7 +184,7 @@ void NvmDevice::NtStoreBytes(uint64_t off, const void* src, size_t n) {
     // written back (they become persistent at the next fence).
     uint64_t first = off / kCachelineSize;
     uint64_t last = (off + n - 1) / kCachelineSize;
-    std::lock_guard<std::mutex> lk(track_mu_);
+    common::MutexLock lk(&track_mu_);
     for (uint64_t line = first; line <= last; line++) {
       auto [it, inserted] = dirty_lines_.try_emplace(line);
       if (inserted) {
@@ -262,7 +262,7 @@ void NvmDevice::Clwb(uint64_t off, size_t len) {
   }
   uint64_t first = off / kCachelineSize;
   uint64_t last = (off + len - 1) / kCachelineSize;
-  std::lock_guard<std::mutex> lk(track_mu_);
+  common::MutexLock lk(&track_mu_);
   for (uint64_t line = first; line <= last; line++) {
     auto it = dirty_lines_.find(line);
     if (it != dirty_lines_.end()) {
@@ -282,7 +282,7 @@ void NvmDevice::Sfence() {
   if (!crash_tracking_) {
     return;
   }
-  std::lock_guard<std::mutex> lk(track_mu_);
+  common::MutexLock lk(&track_mu_);
   if (crash_capture_) {
     CrashEpoch ep;
     ep.fence_seq = sfence_count_.load(std::memory_order_relaxed);
@@ -312,26 +312,26 @@ void NvmDevice::Sfence() {
 
 void NvmDevice::StartCrashCapture() {
   assert(crash_tracking_ && "crash capture requires crash_tracking");
-  std::lock_guard<std::mutex> lk(track_mu_);
+  common::MutexLock lk(&track_mu_);
   dirty_lines_.clear();
   crash_journal_.clear();
   crash_capture_ = true;
 }
 
 void NvmDevice::StopCrashCapture() {
-  std::lock_guard<std::mutex> lk(track_mu_);
+  common::MutexLock lk(&track_mu_);
   crash_capture_ = false;
 }
 
 void NvmDevice::SnapshotTo(std::vector<uint8_t>* out) const {
   out->resize(size_);
-  std::lock_guard<std::mutex> lk(track_mu_);
+  common::MutexLock lk(&track_mu_);
   memcpy(out->data(), base_, size_);
 }
 
 void NvmDevice::RestoreFrom(const uint8_t* img, size_t len) {
   assert(len == size_ && "crash image size must match the device");
-  std::lock_guard<std::mutex> lk(track_mu_);
+  common::MutexLock lk(&track_mu_);
   memcpy(base_, img, len);
   dirty_lines_.clear();
   crash_journal_.clear();
@@ -342,7 +342,7 @@ size_t NvmDevice::SimulateCrash() {
   if (observer_ != nullptr) {
     observer_->OnPersistEpoch(this);
   }
-  std::lock_guard<std::mutex> lk(track_mu_);
+  common::MutexLock lk(&track_mu_);
   size_t rolled_back = 0;
   for (auto& [line, state] : dirty_lines_) {
     if (kStrictFenceModel || !state.written_back) {
@@ -358,12 +358,12 @@ void NvmDevice::MarkAllPersistent() {
   if (observer_ != nullptr) {
     observer_->OnPersistEpoch(this);
   }
-  std::lock_guard<std::mutex> lk(track_mu_);
+  common::MutexLock lk(&track_mu_);
   dirty_lines_.clear();
 }
 
 size_t NvmDevice::DirtyLineCountForTest() const {
-  std::lock_guard<std::mutex> lk(track_mu_);
+  common::MutexLock lk(&track_mu_);
   return dirty_lines_.size();
 }
 

@@ -22,10 +22,10 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 
 namespace nvm {
@@ -243,8 +243,12 @@ class NvmDevice {
   void* hook_ctx_ = nullptr;
   PersistObserver* observer_ = nullptr;
 
-  mutable std::mutex track_mu_;
-  std::unordered_map<uint64_t, LineState> dirty_lines_;
+  mutable common::Mutex track_mu_;
+  std::unordered_map<uint64_t, LineState> dirty_lines_ GUARDED_BY(track_mu_);
+  // `crash_capture_` / `crash_journal_` mutate under track_mu_ but are read
+  // unlocked through the const accessors once capture has stopped (the
+  // journal is consumed single-threaded by crashmon), so they carry no
+  // GUARDED_BY.
   bool crash_capture_ = false;
   std::vector<CrashEpoch> crash_journal_;
 

@@ -133,7 +133,7 @@ Result<uint64_t> CofferAllocator::AllocPage(bool zero) {
     // pages from reachability) rather than link through garbage.
     dev->Store64(loff + offsetof(LeasedFreeList, head), 0);
     dev->Store64(loff + offsetof(LeasedFreeList, count), 0);
-    dev->Clwb(loff, sizeof(LeasedFreeList));
+    dev->Clwb(loff, sizeof(LeasedFreeList));  // zofs-lint: allow(unfenced-clwb) — advisory free-list state
     return Err::kCorrupt;
   }
   uint64_t next = dev->Load64(page_off);
@@ -141,7 +141,7 @@ Result<uint64_t> CofferAllocator::AllocPage(bool zero) {
   // updates are written back without ordering fences (soft-updates spirit).
   dev->Store64(loff + offsetof(LeasedFreeList, head), next);
   dev->Store64(loff + offsetof(LeasedFreeList, count), l->count - 1);
-  dev->Clwb(loff, sizeof(LeasedFreeList));
+  dev->Clwb(loff, sizeof(LeasedFreeList));  // zofs-lint: allow(unfenced-clwb) — advisory free-list state
   if (zero) {
     // The caller's operation-final fence covers the zeroing NT stores.
     dev->NtStoreBytes(page_off, kZeroPage, nvm::kPageSize);
@@ -153,10 +153,10 @@ void CofferAllocator::PushLocked(LeasedFreeList* l, uint64_t list_off, uint64_t 
   // Advisory state (see AllocPage): written back, never fenced.
   nvm::NvmDevice* dev = kfs_->dev();
   dev->Store64(page_off, l->head);  // link through the page's first word
-  dev->Clwb(page_off, 8);
+  dev->Clwb(page_off, 8);  // zofs-lint: allow(unfenced-clwb) — advisory free-list state
   dev->Store64(list_off + offsetof(LeasedFreeList, head), page_off);
   dev->Store64(list_off + offsetof(LeasedFreeList, count), l->count + 1);
-  dev->Clwb(list_off, sizeof(LeasedFreeList));
+  dev->Clwb(list_off, sizeof(LeasedFreeList));  // zofs-lint: allow(unfenced-clwb) — advisory free-list state
 }
 
 Status CofferAllocator::FreePage(uint64_t page_off) {

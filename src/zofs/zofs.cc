@@ -270,11 +270,11 @@ Result<MapInfo> ZoFs::EnsureMapped(uint32_t cid, bool writable, bool bypass_sick
   }
   Shard& sh = ShardFor(cid);
   {
-    auto lk = ReadLock(sh);
+    ShardReadLock lk(this, sh);
     auto it = sh.mapped.find(cid);
     if (it != sh.mapped.end() && (!writable || it->second.writable)) {
       MapInfo info = it->second;
-      lk.unlock();
+      lk.Unlock();
       if (opts_.session_cache && !bypass_sick) {
         SessionStore(instance_id_, cid, epoch, info);
       }
@@ -298,7 +298,7 @@ Result<MapInfo> ZoFs::EnsureMapped(uint32_t cid, bool writable, bool bypass_sick
       }
       bool cached = false;
       {
-        auto lk = WriteLock(sh);
+        ShardWriteLock lk(this, sh);
         // Revalidate after reacquiring: if an eviction touched this shard
         // while no lock was held, the key we were just handed may already be
         // revoked. Still return it to the caller (worst case one graceful
@@ -328,7 +328,7 @@ bool ZoFs::EvictMappingVictim(uint32_t keep_cid) {
   const uint32_t root = kfs_->root_coffer_id();
   for (auto& shp : shards_) {
     Shard& sh = *shp;
-    auto lk = WriteLock(sh);
+    ShardWriteLock lk(this, sh);
     uint32_t victim = 0;
     for (const auto& [mcid, minfo] : sh.mapped) {
       if (mcid != keep_cid && mcid != root) {
@@ -346,8 +346,9 @@ bool ZoFs::EvictMappingVictim(uint32_t keep_cid) {
     // misses in the (just-invalidated) caches must find the kernel state
     // final, not a mapping about to vanish underneath its fresh CofferMap.
     // Lock order shard -> kernel is safe; KernFS never calls back into ZoFs.
+    // zofs-lint: allow(lock-order) — deliberate: see the comment above.
     kfs_->CofferUnmap(*proc_, victim);
-    lk.unlock();
+    lk.Unlock();
     BumpEpoch();
     return true;
   }
@@ -366,7 +367,7 @@ void ZoFs::RetireAllocatorLocked(Shard& sh, uint32_t cid) {
   // window). A retired allocator is safe to call — it only touches NVM pages
   // whose keys the kernel has since revoked, so a late use takes the same
   // graceful MPK fault a stale mapping does.
-  std::lock_guard<std::mutex> rlk(retire_mu_);
+  common::MutexLock rlk(&retire_mu_);
   retired_allocators_.push_back(std::move(dead));
 }
 
@@ -378,7 +379,7 @@ Result<uint8_t> ZoFs::KeyFor(uint32_t cid, bool writable) {
 void ZoFs::ForgetMapping(uint32_t cid) {
   Shard& sh = ShardFor(cid);
   {
-    auto lk = WriteLock(sh);
+    ShardWriteLock lk(this, sh);
     if (sh.mapped.erase(cid) != 0) {
       sh.evict_gen.fetch_add(1, std::memory_order_release);
     }
@@ -389,7 +390,7 @@ void ZoFs::ForgetMapping(uint32_t cid) {
   // it. The counter gate keeps this free when no split ever happened.
   if (relocated_count_.load(std::memory_order_acquire) != 0) {
     for (auto& shp : shards_) {
-      auto lk = WriteLock(*shp);
+      ShardWriteLock lk(this, *shp);
       const auto n = std::erase_if(shp->relocated,
                                    [&](const auto& kv) { return kv.second == cid; });
       if (n != 0) {
@@ -438,7 +439,7 @@ void ZoFs::ArmSickBackoff(SickState& s, uint64_t base_backoff_ns) {
 common::Err ZoFs::Sick(uint32_t cid) {
   Shard& sh = ShardFor(cid);
   {
-    auto lk = WriteLock(sh);
+    ShardWriteLock lk(this, sh);
     auto [it, inserted] = sh.sick.try_emplace(cid);
     if (inserted) {
       sick_count_.fetch_add(1, std::memory_order_release);
@@ -456,7 +457,7 @@ Status ZoFs::CheckHealthy(uint32_t cid, bool writable) {
     return common::OkStatus();  // nothing quarantined anywhere: stay lock-free
   }
   Shard& sh = ShardFor(cid);
-  auto lk = WriteLock(sh);  // may re-arm the probe deadline below
+  ShardWriteLock lk(this, sh);  // may re-arm the probe deadline below
   auto it = sh.sick.find(cid);
   if (it == sh.sick.end()) {
     return common::OkStatus();
@@ -479,7 +480,7 @@ Status ZoFs::CheckHealthy(uint32_t cid, bool writable) {
 
 void ZoFs::ClearSick(uint32_t cid) {
   Shard& sh = ShardFor(cid);
-  auto lk = WriteLock(sh);
+  ShardWriteLock lk(this, sh);
   if (sh.sick.erase(cid) != 0) {
     sick_count_.fetch_sub(1, std::memory_order_release);
   }
@@ -488,7 +489,7 @@ void ZoFs::ClearSick(uint32_t cid) {
 void ZoFs::QuarantineReadOnly(uint32_t cid) {
   Shard& sh = ShardFor(cid);
   {
-    auto lk = WriteLock(sh);
+    ShardWriteLock lk(this, sh);
     auto [it, inserted] = sh.sick.try_emplace(cid);
     if (inserted) {
       sick_count_.fetch_add(1, std::memory_order_release);
@@ -503,7 +504,7 @@ CofferHealth ZoFs::Health(uint32_t cid) {
     return CofferHealth::kHealthy;
   }
   Shard& sh = ShardFor(cid);
-  auto lk = ReadLock(sh);
+  ShardReadLock lk(this, sh);
   auto it = sh.sick.find(cid);
   if (it == sh.sick.end()) {
     return CofferHealth::kHealthy;
@@ -522,14 +523,14 @@ CofferAllocator& ZoFs::AllocatorFor(uint32_t cid, const MapInfo& info) {
   Shard& sh = ShardFor(cid);
   CofferAllocator* a = nullptr;
   {
-    auto lk = ReadLock(sh);
+    ShardReadLock lk(this, sh);
     auto it = sh.allocators.find(cid);
     if (it != sh.allocators.end()) {
       a = it->second.get();
     }
   }
   if (a == nullptr) {
-    auto lk = WriteLock(sh);
+    ShardWriteLock lk(this, sh);
     auto it = sh.allocators.find(cid);
     if (it == sh.allocators.end()) {
       it = sh.allocators
@@ -551,7 +552,7 @@ void ZoFs::FixNode(NodeRef* node) {
     return;  // no coffer split ever recorded: the common case takes no lock
   }
   Shard& sh = ShardForPage(node->inode_off);
-  auto lk = ReadLock(sh);
+  ShardReadLock lk(this, sh);
   auto it = sh.relocated.find(node->inode_off);
   if (it != sh.relocated.end()) {
     node->coffer_id = it->second;
@@ -573,7 +574,7 @@ void ZoFs::RecordRelocation(const std::vector<PageRun>& runs, uint32_t new_cid) 
     for (uint64_t p = r.start_page; p < r.start_page + r.len; p++) {
       const uint64_t off = p * nvm::kPageSize;
       Shard& sh = ShardForPage(off);
-      auto lk = WriteLock(sh);
+      ShardWriteLock lk(this, sh);
       if (sh.relocated.insert_or_assign(off, new_cid).second) {
         relocated_count_.fetch_add(1, std::memory_order_release);
       }
@@ -586,7 +587,7 @@ void ZoFs::EnforceRelocatedCap() {
   // the paper's cross-process split semantics — the stale NodeRef takes a
   // graceful MPK fault and the application reopens by path.
   for (auto& shp : shards_) {
-    auto lk = WriteLock(*shp);
+    ShardWriteLock lk(this, *shp);
     if (!shp->relocated.empty()) {
       relocated_count_.fetch_sub(shp->relocated.size(), std::memory_order_release);
       shp->relocated.clear();
@@ -873,6 +874,7 @@ Status ZoFs::DirInsert(uint32_t cid, const MapInfo& info, Inode* dir, std::strin
   // without an ordering fence.
   dev->Store64(dir_off + offsetof(Inode, size), dir->size + 1);
   dev->Store64(dir_off + offsetof(Inode, mtime_ns), common::NowNs());
+  // zofs-lint: allow(unfenced-clwb) — advisory dir counters, rebuilt by recovery
   dev->Clwb(dir_off + offsetof(Inode, size), 8);
   return common::OkStatus();
 }
@@ -887,6 +889,7 @@ Status ZoFs::DirRemoveAt(Inode* dir, Dentry* d) {
   const uint64_t dir_off = dev->OffsetOf(dir);
   dev->Store64(dir_off + offsetof(Inode, size), dir->size > 0 ? dir->size - 1 : 0);
   dev->Store64(dir_off + offsetof(Inode, mtime_ns), common::NowNs());
+  // zofs-lint: allow(unfenced-clwb) — advisory dir counters, rebuilt by recovery
   dev->Clwb(dir_off + offsetof(Inode, size), 8);
   return common::OkStatus();
 }
@@ -910,6 +913,7 @@ Status ZoFs::DirReplaceTarget(Inode* dir, Dentry* d, uint32_t child_coffer, uint
   AUDIT_DURABILITY_POINT(dev, d_off, offsetof(Dentry, inode_off) + 8);
   const uint64_t dir_off = dev->OffsetOf(dir);
   dev->Store64(dir_off + offsetof(Inode, mtime_ns), common::NowNs());
+  // zofs-lint: allow(unfenced-clwb) — advisory mtime, rebuilt by recovery
   dev->Clwb(dir_off + offsetof(Inode, mtime_ns), 8);
   return common::OkStatus();
 }
@@ -1090,6 +1094,7 @@ Result<uint64_t> ZoFs::GetOrAllocBlock(CofferAllocator& alloc, Inode* ino, uint6
     }
     ASSIGN_OR_RETURN(page, alloc.AllocPage(/*zero=*/false));
     dev->Store64(slot_off, page);
+    // zofs-lint: allow(unfenced-clwb) — block pointer: the operation-final fence orders it
     dev->Clwb(slot_off, 8);
     return page;
   };
@@ -1103,6 +1108,7 @@ Result<uint64_t> ZoFs::GetOrAllocBlock(CofferAllocator& alloc, Inode* ino, uint6
     }
     ASSIGN_OR_RETURN(page, alloc.AllocPage(/*zero=*/true));
     dev->Store64(slot_off, page);
+    // zofs-lint: allow(unfenced-clwb) — block pointer: the operation-final fence orders it
     dev->Clwb(slot_off, 8);
     return page;
   };
@@ -1147,6 +1153,7 @@ Status ZoFs::InstallBlockPointer(Inode* ino, uint64_t blk, uint64_t page_off) {
     slot_off = l1 + (idx % kPtrsPerPage) * 8;
   }
   dev->Store64(slot_off, page_off);
+  // zofs-lint: allow(unfenced-clwb) — block pointer: the operation-final fence orders it
   dev->Clwb(slot_off, 8);
   return common::OkStatus();
 }
@@ -1169,6 +1176,7 @@ Status ZoFs::FreeBlocksFrom(CofferAllocator& alloc, Inode* ino, uint64_t first_b
         return Sick(alloc.coffer_id());
       }
       dev->Store64(slot_off, 0);
+      // zofs-lint: allow(unfenced-clwb) — block pointer: the operation-final fence orders it
       dev->Clwb(slot_off, 8);
       RETURN_IF_ERROR(alloc.FreePage(v));
     }
@@ -1698,6 +1706,7 @@ Result<size_t> ZoFs::ReadAt(NodeRef node, void* buf, size_t n, uint64_t off) {
       return Err::kCorrupt;  // object-local damage; coffer graph still trusted
     }
     mpk::CheckAccess(node.inode_off + kInlineOff + off, n, false);
+    // zofs-lint: allow(raw-nvm-deref) — inline-data copy gated by CheckAccess above
     memcpy(buf, kfs_->dev()->base() + node.inode_off + kInlineOff + off, n);
     return n;
   }
@@ -1713,6 +1722,7 @@ Result<size_t> ZoFs::ReadAt(NodeRef node, void* buf, size_t n, uint64_t off) {
       memset(dst + done, 0, chunk);  // hole
     } else {
       mpk::CheckAccess(page + in_off, chunk, false);
+      // zofs-lint: allow(raw-nvm-deref) — bulk copy out of a block offset gated by CheckAccess above
       memcpy(dst + done, kfs_->dev()->base() + page + in_off, chunk);
     }
     done += chunk;
@@ -1819,9 +1829,11 @@ Result<size_t> ZoFs::WriteAt(NodeRef node, const void* buf, size_t n, uint64_t o
       ASSIGN_OR_RETURN(fresh, alloc.AllocPage(/*zero=*/false));
       if (fresh_partial) {
         if (in_off > 0) {
+          // zofs-lint: allow(raw-nvm-deref) — CoW prefix copy from the committed old block
           dev->NtStoreBytes(fresh, dev->base() + before, in_off);
         }
         if (in_off + chunk < nvm::kPageSize) {
+          // zofs-lint: allow(raw-nvm-deref) — CoW suffix copy from the committed old block
           dev->NtStoreBytes(fresh + in_off + chunk, dev->base() + before + in_off + chunk,
                             nvm::kPageSize - in_off - chunk);
         }
@@ -1875,6 +1887,7 @@ Status ZoFs::SpillInline(CofferAllocator& alloc, Inode* ino) {
   ASSIGN_OR_RETURN(blk0, alloc.AllocPage(/*zero=*/false));
   const uint64_t copy = std::min<uint64_t>(ino->size, kInlineCapacity);
   static const uint8_t kZeros[nvm::kPageSize] = {};
+  // zofs-lint: allow(raw-nvm-deref) — inline-area spill to block 0; source range validated by ValidMetaRange
   dev->NtStoreBytes(blk0, dev->base() + ino_off + kInlineOff, copy);
   if (copy < nvm::kPageSize) {
     dev->NtStoreBytes(blk0 + copy, kZeros, nvm::kPageSize - copy);

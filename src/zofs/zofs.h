@@ -18,13 +18,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/kernfs/kernfs.h"
 #include "src/ufs/microfs.h"
@@ -344,14 +343,16 @@ class ZoFs final : public ufs::MicroFs {
   // offset). Writers are rare (map/unmap/split/quarantine); steady state
   // bypasses the shards entirely via the per-thread session cache.
   struct Shard {
-    std::shared_mutex mu;
-    std::unordered_map<uint32_t, kernfs::MapInfo> mapped;
-    std::unordered_map<uint32_t, std::unique_ptr<CofferAllocator>> allocators;
-    std::unordered_map<uint64_t, uint32_t> relocated;  // page offset -> new coffer
-    std::unordered_map<uint32_t, SickState> sick;
+    common::SharedMutex mu;
+    std::unordered_map<uint32_t, kernfs::MapInfo> mapped GUARDED_BY(mu);
+    std::unordered_map<uint32_t, std::unique_ptr<CofferAllocator>> allocators GUARDED_BY(mu);
+    // page offset -> new coffer
+    std::unordered_map<uint64_t, uint32_t> relocated GUARDED_BY(mu);
+    std::unordered_map<uint32_t, SickState> sick GUARDED_BY(mu);
     // Bumped (under mu, exclusive) whenever a coffer is erased from
     // `mapped`. EnsureMapped samples it before its unlocked CofferMap call
     // and declines to cache the result if an eviction raced the kernel call.
+    // Atomic, outside the mu domain: the revalidation read is lock-free.
     std::atomic<uint64_t> evict_gen{0};
   };
 
@@ -359,14 +360,56 @@ class ZoFs final : public ufs::MicroFs {
   Shard& ShardForPage(uint64_t off) {
     return *shards_[(off / nvm::kPageSize) & shard_mask_];
   }
-  std::shared_lock<std::shared_mutex> ReadLock(Shard& s) {
-    shard_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
-    return std::shared_lock<std::shared_mutex>(s.mu);
-  }
-  std::unique_lock<std::shared_mutex> WriteLock(Shard& s) {
-    shard_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
-    return std::unique_lock<std::shared_mutex>(s.mu);
-  }
+
+  // Scoped shard locks. These replace bare std::shared_lock/std::unique_lock
+  // so (a) every acquisition bumps the contention counter the scalability
+  // bench reads, and (b) the acquisition carries ACQUIRE/ACQUIRE_SHARED
+  // attributes, letting -Wthread-safety check the GUARDED_BY contracts on
+  // the Shard tables above.
+  class SCOPED_CAPABILITY ShardReadLock {
+   public:
+    ShardReadLock(ZoFs* fs, Shard& s) ACQUIRE_SHARED(s.mu) : mu_(&s.mu) {
+      fs->shard_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+      mu_->ReaderLock();
+    }
+    ~ShardReadLock() RELEASE() {
+      if (mu_ != nullptr) {
+        mu_->ReaderUnlock();
+      }
+    }
+    // Early release for the drop-the-lock-then-call-the-kernel pattern.
+    void Unlock() RELEASE() {
+      mu_->ReaderUnlock();
+      mu_ = nullptr;
+    }
+    ShardReadLock(const ShardReadLock&) = delete;
+    ShardReadLock& operator=(const ShardReadLock&) = delete;
+
+   private:
+    common::SharedMutex* mu_;
+  };
+
+  class SCOPED_CAPABILITY ShardWriteLock {
+   public:
+    ShardWriteLock(ZoFs* fs, Shard& s) ACQUIRE(s.mu) : mu_(&s.mu) {
+      fs->shard_lock_acquisitions_.fetch_add(1, std::memory_order_relaxed);
+      mu_->Lock();
+    }
+    ~ShardWriteLock() RELEASE() {
+      if (mu_ != nullptr) {
+        mu_->Unlock();
+      }
+    }
+    void Unlock() RELEASE() {
+      mu_->Unlock();
+      mu_ = nullptr;
+    }
+    ShardWriteLock(const ShardWriteLock&) = delete;
+    ShardWriteLock& operator=(const ShardWriteLock&) = delete;
+
+   private:
+    common::SharedMutex* mu_;
+  };
 
   // Invalidates every thread's session entries for this instance.
   void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_release); }
@@ -377,7 +420,7 @@ class ZoFs final : public ufs::MicroFs {
   // retirement list. Caller holds the shard's exclusive lock. Allocators are
   // retired, never destroyed, until ~ZoFs: a racing thread that fetched the
   // pointer through its session cache may still be inside an allocation.
-  void RetireAllocatorLocked(Shard& s, uint32_t cid);
+  void RetireAllocatorLocked(Shard& s, uint32_t cid) REQUIRES(s.mu) EXCLUDES(retire_mu_);
   // Drops relocation-ledger entries so a split burst cannot grow the ledger
   // without bound (satellite: relocated_cap). Caller holds no shard lock.
   void EnforceRelocatedCap();
@@ -399,8 +442,11 @@ class ZoFs final : public ufs::MicroFs {
 
   std::atomic<uint64_t> shard_lock_acquisitions_{0};
 
-  std::mutex retire_mu_;
-  std::vector<std::unique_ptr<CofferAllocator>> retired_allocators_;
+  // Leaf lock: acquired under a shard's exclusive lock (RetireAllocatorLocked)
+  // and never the other way around — zofs_lint's lock-order rule enforces
+  // that no shard lock is taken while retire_mu_ is held.
+  common::Mutex retire_mu_;
+  std::vector<std::unique_ptr<CofferAllocator>> retired_allocators_ GUARDED_BY(retire_mu_);
 
   // Set during RecoverAll by RepairPendingRename: an interrupted rename may
   // have committed the dentry move before the kernel-side coffer path was
