@@ -1,0 +1,51 @@
+// zofs_lint — the ZoFS domain lint (see src/analysis/lint/lint.h for the
+// rule catalogue). Exit status: 0 clean, 1 diagnostics, 2 usage/IO error.
+//
+//   zofs_lint [path...]        lint files or trees (default: src)
+//   zofs_lint --list-rules     print the rule names and exit
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint/lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const std::string& r : analysis::lint::AllRules()) {
+        std::printf("%s\n", r.c_str());
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: zofs_lint [--list-rules] [path...]\n");
+      return 0;
+    }
+    roots.push_back(argv[i]);
+  }
+  if (roots.empty()) {
+    roots.push_back("src");
+  }
+
+  size_t total = 0;
+  for (const std::string& root : roots) {
+    std::string err;
+    std::vector<analysis::lint::Diagnostic> diags = analysis::lint::LintTree(root, &err);
+    if (!err.empty()) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      return 2;
+    }
+    for (const auto& d : diags) {
+      std::printf("%s\n", d.ToString().c_str());
+    }
+    total += diags.size();
+  }
+  if (total != 0) {
+    std::fprintf(stderr, "zofs_lint: %zu diagnostic(s)\n", total);
+    return 1;
+  }
+  return 0;
+}
