@@ -4,9 +4,14 @@
 #
 #   tools/run_tidy.sh [build-dir] [paths...]
 #
+# Strict: any warning is a failure. The bugprone-* and performance-* families
+# are additionally promoted to errors in .clang-tidy (WarningsAsErrors), and
+# this script exits nonzero if clang-tidy emits any warning at all, so the
+# check_all.sh gate cannot silently rot.
+#
 # Degrades gracefully: exits 0 with a notice when clang-tidy is not installed
 # (the CI container ships only gcc), so check_all.sh can always call it.
-set -u
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -29,13 +34,23 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   exit 2
 fi
 
-FILES=$(find "${PATHS[@]}" -name '*.cc' 2>/dev/null | sort)
+FILES=$(find "${PATHS[@]}" -name '*.cc' 2>/dev/null | sort || true)
 if [ -z "$FILES" ]; then
   echo "run_tidy.sh: no sources under: ${PATHS[*]}" >&2
   exit 2
 fi
 
+OUT=$(mktemp)
+trap 'rm -f "$OUT"' EXIT
+
 STATUS=0
 # shellcheck disable=SC2086
-$TIDY -p "$BUILD_DIR" --quiet $FILES || STATUS=$?
+$TIDY -p "$BUILD_DIR" --quiet $FILES 2>&1 | tee "$OUT" || STATUS=$?
+
+# clang-tidy exits 0 for plain (non-error) warnings; treat those as failures
+# too so the gate stays warning-clean.
+if [ "$STATUS" -eq 0 ] && grep -qE 'warning:|error:' "$OUT"; then
+  echo "run_tidy.sh: warnings found (treated as errors)" >&2
+  STATUS=1
+fi
 exit $STATUS
