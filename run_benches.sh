@@ -1,9 +1,23 @@
 #!/bin/bash
 # Full benchmark suite -> bench_output.txt, plus the machine-readable
-# scalability sweep -> BENCH_5.json.
+# scalability sweep -> BENCH_7.json.
 set -euo pipefail
 
 cd /root/repo
+
+if [ "$(nproc)" -eq 1 ]; then
+  cat >&2 <<'EOF'
+################################################################################
+# WARNING: this host has ONE CPU core.                                         #
+#                                                                              #
+# Multi-threaded sweep points time-slice on a single core, so the wall-clock  #
+# fields (ops_per_sec, mean_ns, p50/p99) do NOT measure parallel scaling and  #
+# must not be compared across thread counts. Trust only the deterministic     #
+# structural counters: kernel_crossings, clwb/sfence (and their _per_op       #
+# rates), staged_append_hits, and lock_acquisitions_per_op.                   #
+################################################################################
+EOF
+fi
 
 BENCHES=(bench_table1_media bench_table2_sharing bench_table3_appperms
          bench_table4_fslhomes bench_trace_mobigen bench_fig7_fxmark
@@ -40,5 +54,5 @@ fi
 } > /root/repo/bench_output.txt 2>&1
 
 # Machine-readable multicore scalability sweep (sharded vs global-lock).
-./build/tools/bench_json /root/repo/BENCH_5.json > /dev/null
-echo "run_benches.sh: wrote bench_output.txt and BENCH_5.json"
+./build/tools/bench_json /root/repo/BENCH_7.json > /dev/null
+echo "run_benches.sh: wrote bench_output.txt and BENCH_7.json"

@@ -241,6 +241,10 @@ struct FuncCtx {
   int last_clwb_tok = -1;
   int last_clwb_line = 0;
   int last_fence_tok = -1;
+  // staged-append-relink: last staging write / intent publication seen.
+  int staged_tok = -1;
+  int staged_line = 0;
+  int intent_tok = -1;
   std::vector<HeldLock> locks;
 };
 
@@ -252,7 +256,8 @@ bool PathUnder(const std::string& path, const std::string& dir) {
 
 const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> rules = {
-      kRuleRawNvmDeref, kRuleUnfencedClwb, kRuleNakedWrpkru, kRuleLockOrder, kRuleRawMutex,
+      kRuleRawNvmDeref, kRuleUnfencedClwb,       kRuleNakedWrpkru,
+      kRuleLockOrder,   kRuleRawMutex,           kRuleStagedAppendRelink,
   };
   return rules;
 }
@@ -423,6 +428,25 @@ std::vector<Diagnostic> LintSource(const std::string& path, std::string_view con
     }
     if ((t.text == "Sfence" || t.text == "PersistRange") && punct_at(i + 1, '(')) {
       f.last_fence_tok = static_cast<int>(i);
+      // staged-append-relink: a fence makes partially-installed staged state
+      // durable; the relink intent must already be published by then.
+      if (f.staged_tok >= 0 && f.intent_tok < f.staged_tok) {
+        report(kRuleStagedAppendRelink, t.line,
+               "fence after staged-append writes (AllocPageStaged at line " +
+                   std::to_string(f.staged_line) +
+                   ") with no published relink intent; call PublishStageIntent before "
+                   "fencing or annotate why this fence cannot expose staged state");
+      }
+      f.staged_tok = -1;  // one diagnostic per staging batch
+    }
+
+    // staged-append-relink bookkeeping.
+    if (t.text == "AllocPageStaged" && punct_at(i + 1, '(')) {
+      f.staged_tok = static_cast<int>(i);
+      f.staged_line = t.line;
+    }
+    if (t.text == "PublishStageIntent") {
+      f.intent_tok = static_cast<int>(i);
     }
 
     // lock-order bookkeeping.

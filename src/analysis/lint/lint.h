@@ -26,6 +26,14 @@
 //                   must not be declared or used outside src/common/mutex.h:
 //                   a raw lock opts out of both the capability analysis and
 //                   this lint.
+//   staged-append-relink
+//                   The staged-append fast path (ISSUE 7) allocates pages
+//                   with AllocPageStaged and installs block pointers with
+//                   volatile stores; a crash is only recoverable because the
+//                   relink intent (PublishStageIntent) is persisted before
+//                   any fence that could make the partial state durable. A
+//                   function that stages pages and then fences without
+//                   publishing the intent breaks the crash protocol.
 //
 // The checker is deliberately token/scope-level (no libClang in the build
 // image): it strips comments/strings, blanks preprocessor lines, tracks
@@ -52,6 +60,7 @@ inline constexpr const char* kRuleUnfencedClwb = "unfenced-clwb";
 inline constexpr const char* kRuleNakedWrpkru = "naked-wrpkru";
 inline constexpr const char* kRuleLockOrder = "lock-order";
 inline constexpr const char* kRuleRawMutex = "raw-mutex";
+inline constexpr const char* kRuleStagedAppendRelink = "staged-append-relink";
 
 // All rule names, for --list-rules and suppression validation.
 const std::vector<std::string>& AllRules();

@@ -96,6 +96,8 @@ const char* KindName(FindingKind k) {
       return "redundant_clwb";
     case FindingKind::kRedundantSfence:
       return "redundant_sfence";
+    case FindingKind::kDuplicateEpochClwb:
+      return "duplicate_epoch_clwb";
   }
   return "?";
 }
@@ -110,6 +112,7 @@ Severity KindSeverity(FindingKind k) {
       return Severity::kWarn;
     case FindingKind::kRedundantClwb:
     case FindingKind::kRedundantSfence:
+    case FindingKind::kDuplicateEpochClwb:
       return Severity::kPerf;
   }
   return Severity::kError;
@@ -134,8 +137,9 @@ std::string Report::ToText() const {
   os << "pmem audit: " << errors << " error(s), " << warnings << " warning(s), " << perf_lints
      << " perf lint(s)\n";
   os << "  traffic: " << stores << " stores, " << clwb_calls << " clwb calls (" << clwb_lines
-     << " lines, " << redundant_clwb_lines << " redundant), " << sfences << " sfences ("
-     << redundant_sfences << " redundant)\n";
+     << " lines, " << redundant_clwb_lines << " redundant, " << duplicate_epoch_clwb_lines
+     << " duplicate-in-epoch), " << sfences << " sfences (" << redundant_sfences
+     << " redundant)\n";
   for (const Finding& f : findings) {
     os << "  [" << SeverityName(f.severity()) << "] " << KindName(f.kind) << " x" << f.count
        << " at " << f.site;
@@ -159,6 +163,7 @@ std::string Report::ToJson() const {
   os << "  \"redundant_clwb_lines\": " << redundant_clwb_lines << ",\n";
   os << "  \"sfences\": " << sfences << ",\n";
   os << "  \"redundant_sfences\": " << redundant_sfences << ",\n";
+  os << "  \"duplicate_epoch_clwb_lines\": " << duplicate_epoch_clwb_lines << ",\n";
   os << "  \"findings\": [";
   for (size_t i = 0; i < findings.size(); i++) {
     const Finding& f = findings[i];
@@ -262,6 +267,7 @@ void Auditor::OnClwb(const nvm::NvmDevice* dev, uint64_t off, size_t len) {
   uint64_t last = (off + len - 1) / nvm::kCachelineSize;
   uint64_t covered = last - first + 1;
   uint64_t wrote_back = 0;
+  uint64_t duplicates = 0;
   for (uint64_t line = first; line <= last; line++) {
     auto it = sh.lines.find(line);
     if (it != sh.lines.end() && it->second == LineState::kDirty) {
@@ -269,17 +275,23 @@ void Auditor::OnClwb(const nvm::NvmDevice* dev, uint64_t off, size_t len) {
       sh.wb_pending++;
       wrote_back++;
     }
+    if (sh.epoch_clwb[line]++ > 0) {
+      duplicates++;
+    }
   }
   clwb_lines_ += covered;
   redundant_clwb_lines_ += covered - wrote_back;
+  duplicate_epoch_clwb_lines_ += duplicates;
   FlushSiteCounts& fc = flush_sites_[scope];
   fc.clwb_calls++;
   fc.clwb_redundant_lines += covered - wrote_back;
+  fc.clwb_duplicate_lines += duplicates;
   if (wrote_back == 0) {
     // Every covered line was already clean or written back: pure waste.
     fc.clwb_redundant_calls++;
     perf_lints_++;
   }
+  perf_lints_ += duplicates;
 }
 
 void Auditor::ResolveDepsAtFence(Shadow& sh) {
@@ -339,6 +351,7 @@ void Auditor::OnSfence(const nvm::NvmDevice* dev) {
     }
   }
   sh.wb_pending = 0;
+  sh.epoch_clwb.clear();  // a fence starts a fresh duplicate-flush epoch
 }
 
 void Auditor::OnPersistEpoch(const nvm::NvmDevice* dev) {
@@ -347,6 +360,7 @@ void Auditor::OnPersistEpoch(const nvm::NvmDevice* dev) {
   sh.lines.clear();
   sh.wb_pending = 0;
   sh.deps.clear();
+  sh.epoch_clwb.clear();
 }
 
 void Auditor::OnDeviceGone(const nvm::NvmDevice* dev) {
@@ -431,6 +445,7 @@ Report Auditor::Snapshot() const {
   r.redundant_clwb_lines = redundant_clwb_lines_;
   r.sfences = sfences_;
   r.redundant_sfences = redundant_sfences_;
+  r.duplicate_epoch_clwb_lines = duplicate_epoch_clwb_lines_;
   for (const auto& [key, f] : findings_) {
     r.findings.push_back(f);
   }
@@ -463,6 +478,19 @@ Report Auditor::Snapshot() const {
       f.detail = buf;
       r.findings.push_back(f);
     }
+    if (fc.clwb_duplicate_lines > 0) {
+      char buf[160];
+      snprintf(buf, sizeof(buf),
+               "%llu cacheline write-backs repeated within a single fence epoch (coalescible "
+               "via a FlushSet epoch drain)",
+               static_cast<unsigned long long>(fc.clwb_duplicate_lines));
+      Finding f;
+      f.kind = FindingKind::kDuplicateEpochClwb;
+      f.site = site_str;
+      f.count = fc.clwb_duplicate_lines;
+      f.detail = buf;
+      r.findings.push_back(f);
+    }
   }
   std::sort(r.findings.begin(), r.findings.end(), [](const Finding& a, const Finding& b) {
     if (a.severity() != b.severity()) {
@@ -486,7 +514,7 @@ void Auditor::ResetFindings() {
   findings_.clear();
   flush_sites_.clear();
   stores_ = clwb_calls_ = clwb_lines_ = redundant_clwb_lines_ = 0;
-  sfences_ = redundant_sfences_ = 0;
+  sfences_ = redundant_sfences_ = duplicate_epoch_clwb_lines_ = 0;
   errors_ = warnings_ = perf_lints_ = 0;
 }
 

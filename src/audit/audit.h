@@ -19,7 +19,11 @@
 //     least-privilege lint);
 //   * redundant flush (perf lint): Clwb covering only clean lines, or Sfence
 //     with no write-backs pending — correct but wasted persistence traffic,
-//     reported with per-call-site counts.
+//     reported with per-call-site counts;
+//   * duplicate epoch flush (perf lint): the same cacheline written back
+//     more than once within a single fence epoch — each repeat is a wasted
+//     write-back the epoch batcher's FlushSet exists to coalesce (N dirty
+//     stores to one line should cost one clwb per durability epoch).
 //
 // The auditor is opt-in and zero-cost when detached (a null observer check
 // per store). Three front doors:
@@ -53,6 +57,7 @@ enum class FindingKind {
   kWindowOverWritable,     // warn
   kRedundantClwb,          // perf
   kRedundantSfence,        // perf
+  kDuplicateEpochClwb,     // perf
 };
 const char* KindName(FindingKind k);
 Severity KindSeverity(FindingKind k);
@@ -79,6 +84,7 @@ struct Report {
   uint64_t redundant_clwb_lines = 0;
   uint64_t sfences = 0;
   uint64_t redundant_sfences = 0;
+  uint64_t duplicate_epoch_clwb_lines = 0;
 
   std::string ToText() const;
   std::string ToJson() const;  // deterministic: sorted, no timestamps
@@ -144,6 +150,8 @@ class Auditor final : public nvm::PersistObserver {
     std::unordered_map<uint64_t, LineState> lines;
     uint64_t wb_pending = 0;  // lines awaiting the next fence
     std::vector<OrderDep> deps;
+    // Lines Clwb'd since the last fence, for the duplicate-epoch-flush lint.
+    std::unordered_map<uint64_t, uint32_t> epoch_clwb;
   };
 
   struct FlushSiteCounts {
@@ -152,6 +160,7 @@ class Auditor final : public nvm::PersistObserver {
     uint64_t clwb_redundant_lines = 0;
     uint64_t sfence_calls = 0;
     uint64_t sfence_redundant = 0;
+    uint64_t clwb_duplicate_lines = 0;  // line re-flushed within one epoch
   };
 
   Shadow& ShadowFor(const nvm::NvmDevice* dev) REQUIRES(mu_);
@@ -170,6 +179,7 @@ class Auditor final : public nvm::PersistObserver {
   uint64_t redundant_clwb_lines_ GUARDED_BY(mu_) = 0;
   uint64_t sfences_ GUARDED_BY(mu_) = 0;
   uint64_t redundant_sfences_ GUARDED_BY(mu_) = 0;
+  uint64_t duplicate_epoch_clwb_lines_ GUARDED_BY(mu_) = 0;
   uint64_t errors_ GUARDED_BY(mu_) = 0;
   uint64_t warnings_ GUARDED_BY(mu_) = 0;
   uint64_t perf_lints_ GUARDED_BY(mu_) = 0;

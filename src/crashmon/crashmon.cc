@@ -27,7 +27,7 @@ const vfs::Cred kCred{0, 0};
 // Recorded operations and the in-memory model file system
 
 struct OpRecord {
-  enum class Kind { kCreate, kWrite, kUnlink, kMkdir, kRmdir, kRename };
+  enum class Kind { kCreate, kWrite, kUnlink, kMkdir, kRmdir, kRename, kAppend, kFsync };
   Kind kind;
   std::string path;
   std::string path2;  // rename destination
@@ -49,6 +49,18 @@ struct OpRecord {
 struct ModelState {
   std::map<std::string, std::string> files;  // path -> content
   std::set<std::string> dirs;
+  // Files written through the staged-append fast path get POSIX-weak
+  // durability: `synced` is the content guaranteed durable (the last
+  // completed fsync's watermark), `written` everything appended so far.
+  struct AppendState {
+    std::string synced;
+    std::string written;
+  };
+  std::map<std::string, AppendState> appends;
+  // Content after the whole recording (including never-fsynced tails): the
+  // upper bound a crash image may expose, since mid-epoch images materialize
+  // pending lines at their *next-fence* content.
+  std::map<std::string, std::string> append_final;
 };
 
 void Apply(ModelState* m, const OpRecord& op) {
@@ -78,6 +90,16 @@ void Apply(ModelState* m, const OpRecord& op) {
       if (it != m->files.end()) {
         m->files[op.path2] = it->second;
         m->files.erase(op.path);
+      }
+      break;
+    }
+    case OpRecord::Kind::kAppend:
+      m->appends[op.path].written += op.data;
+      break;
+    case OpRecord::Kind::kFsync: {
+      auto it = m->appends.find(op.path);
+      if (it != m->appends.end()) {
+        it->second.synced = it->second.written;
       }
       break;
     }
@@ -130,6 +152,14 @@ void AddSimple(std::vector<OpRecord>* v, OpRecord::Kind kind, std::string path) 
   v->push_back(std::move(op));
 }
 
+void AddAppend(std::vector<OpRecord>* v, std::string path, std::string data) {
+  OpRecord op;
+  op.kind = OpRecord::Kind::kAppend;
+  op.path = std::move(path);
+  op.data = std::move(data);
+  v->push_back(std::move(op));
+}
+
 void AddRename(std::vector<OpRecord>* v, std::string from, std::string to) {
   OpRecord op;
   op.kind = OpRecord::Kind::kRename;
@@ -150,6 +180,28 @@ Plan BuildPlan(Workload w, uint64_t ops, uint64_t seed) {
       AddWrite(&p.setup, "/f0", 0, RandData(&rng, blocks * 4096));
       for (uint64_t i = 0; i < ops; i++) {
         AddWrite(&p.run, "/f0", 4096 * rng.Below(blocks), RandData(&rng, 4096));
+      }
+      break;
+    }
+    case Workload::kDWAL: {
+      // Append workload over the staged fast path. /a0 gets a periodic fsync
+      // (the durability watermark the weak oracle anchors on); /a1 is never
+      // synced during capture, so its stage stays live across most crash
+      // points — including mid-relink images where the intent record is
+      // published but the epoch's durability fence has not landed. Sizes mix
+      // sub-page tail appends with multi-page ones, and the page budget
+      // forces periodic epoch-overflow flushes mid-run.
+      AddCreate(&p.setup, "/a0", 0644);
+      AddWrite(&p.setup, "/a0", 0, RandData(&rng, 100));
+      AddCreate(&p.setup, "/a1", 0644);
+      for (uint64_t i = 0; i < ops; i++) {
+        if (i % 16 == 15) {
+          AddSimple(&p.run, OpRecord::Kind::kFsync, "/a0");
+        } else if (i % 3 == 2) {
+          AddAppend(&p.run, "/a1", RandData(&rng, 48 + 16 * rng.Below(8)));
+        } else {
+          AddAppend(&p.run, "/a0", RandData(&rng, 256 + 512 * rng.Below(9)));
+        }
       }
       break;
     }
@@ -241,7 +293,12 @@ struct Recording {
   uint64_t ops_failed = 0;
 };
 
-void Exec(fslib::FsLib* fs, nvm::NvmDevice* dev, OpRecord* op) {
+// Open files kept across operations (appends must reuse one descriptor:
+// FsLib::Close is itself a durability point and would drain the stage the
+// workload is trying to keep open).
+using FdCache = std::map<std::string, vfs::Fd>;
+
+void Exec(fslib::FsLib* fs, nvm::NvmDevice* dev, OpRecord* op, FdCache* cache) {
   op->begin_fence = dev->sfence_count();
   switch (op->kind) {
     case OpRecord::Kind::kCreate: {
@@ -273,6 +330,24 @@ void Exec(fslib::FsLib* fs, nvm::NvmDevice* dev, OpRecord* op) {
     case OpRecord::Kind::kRename:
       op->ok = fs->Rename(kCred, op->path, op->path2).ok();
       break;
+    case OpRecord::Kind::kAppend: {
+      auto it = cache->find(op->path);
+      if (it == cache->end()) {
+        auto fd = fs->Open(kCred, op->path, vfs::kWrite | vfs::kAppend, 0);
+        if (!fd.ok()) {
+          break;
+        }
+        it = cache->emplace(op->path, *fd).first;
+      }
+      auto r = fs->Write(it->second, op->data.data(), op->data.size());
+      op->ok = r.ok() && *r == op->data.size();
+      break;
+    }
+    case OpRecord::Kind::kFsync: {
+      auto it = cache->find(op->path);
+      op->ok = it != cache->end() && fs->Fsync(it->second).ok();
+      break;
+    }
   }
   op->end_fence = dev->sfence_count();
 }
@@ -297,10 +372,29 @@ Recording Record(const ExploreOptions& opts) {
   auto fs = std::make_unique<fslib::FsLib>(kfs.get(), kCred, zo);
 
   Plan plan = BuildPlan(opts.workload, opts.ops, opts.seed);
+  FdCache cache;
   for (OpRecord& op : plan.setup) {
-    Exec(fs.get(), &dev, &op);
+    Exec(fs.get(), &dev, &op, &cache);
     if (op.ok) {
       Apply(&rec.base_model, op);
+    }
+  }
+
+  // Files the run will append to get weak-durability accounting: move their
+  // setup content from the strict map into the append model. This must
+  // happen before capture, because staged effects of *unapplied* appends
+  // (size/pointer lines at fence-time content) can leak into mid-epoch
+  // images and would trip the strict content check.
+  for (const OpRecord& op : plan.run) {
+    if (op.kind != OpRecord::Kind::kAppend) {
+      continue;
+    }
+    auto& as = rec.base_model.appends[op.path];
+    auto it = rec.base_model.files.find(op.path);
+    if (it != rec.base_model.files.end()) {
+      as.synced = it->second;
+      as.written = it->second;
+      rec.base_model.files.erase(it);
     }
   }
 
@@ -309,11 +403,31 @@ Recording Record(const ExploreOptions& opts) {
   dev.SnapshotTo(&rec.snapshot);
 
   for (OpRecord& op : plan.run) {
-    Exec(fs.get(), &dev, &op);
+    Exec(fs.get(), &dev, &op, &cache);
     if (!op.ok) {
       rec.ops_failed++;
     }
   }
+  // Closing a written descriptor is a durability point: the trailing drain's
+  // fences land in the journal, so the sweep also covers post-final-drain
+  // images.
+  for (const auto& [path, fd] : cache) {
+    fs->Close(fd);
+  }
+
+  // The upper bound any crash image may expose per append file.
+  {
+    ModelState fin = rec.base_model;
+    for (const OpRecord& op : plan.run) {
+      if (op.ok) {
+        Apply(&fin, op);
+      }
+    }
+    for (const auto& [p, as] : fin.appends) {
+      rec.base_model.append_final[p] = as.written;
+    }
+  }
+
   rec.journal = dev.crash_journal();
   rec.ops = std::move(plan.run);
 
@@ -538,8 +652,42 @@ void CheckState(vfs::FileSystem* fs, const ModelState& m, const OpRecord* infl,
     }
   }
 
+  // Staged-append files: POSIX-weak durability, the contract the epoch
+  // batcher trades per-op fences for. Content up to the last completed
+  // fsync's watermark must be intact; beyond it nothing is promised — the
+  // size may land anywhere between the watermark and the final recorded
+  // content (mid-epoch images materialize pending lines at next-fence
+  // content, which can run ahead of the crash fence), and un-synced bytes
+  // are unconstrained (a persisted size line does not imply the data or
+  // pointer lines underneath it persisted).
+  for (const auto& [p, as] : m.appends) {
+    std::string got;
+    int r = ReadAll(fs, p, &got);
+    if (r < 0) {
+      AddViolation(out, sc, "walk-failed", "read failed: " + p);
+      continue;
+    }
+    if (r == 0) {
+      AddViolation(out, sc, "durability-lost", "append file missing: " + p);
+      continue;
+    }
+    auto fit = m.append_final.find(p);
+    const size_t max_size = fit != m.append_final.end() ? fit->second.size() : as.written.size();
+    if (got.size() < as.synced.size() || got.size() > max_size) {
+      AddViolation(out, sc, "durability-lost",
+                   "append file size out of range on " + p + ": " + std::to_string(got.size()) +
+                       "B (fsync watermark " + std::to_string(as.synced.size()) + "B, max " +
+                       std::to_string(max_size) + "B)");
+      continue;
+    }
+    if (got.compare(0, as.synced.size(), as.synced) != 0) {
+      AddViolation(out, sc, "durability-lost",
+                   "fsynced prefix lost on " + p + DescribeDiff(as.synced, got));
+    }
+  }
+
   for (const std::string& p : rfiles) {
-    if (m.files.count(p) != 0 || skip.count(p) != 0) {
+    if (m.files.count(p) != 0 || m.appends.count(p) != 0 || skip.count(p) != 0) {
       continue;
     }
     if (active && infl->kind == K::kCreate && infl->path == p) {
@@ -688,6 +836,8 @@ const char* WorkloadName(Workload w) {
       return "MWRL";
     case Workload::kMixed:
       return "MIXED";
+    case Workload::kDWAL:
+      return "DWAL";
   }
   return "?";
 }

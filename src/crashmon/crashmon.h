@@ -44,11 +44,17 @@ namespace crashmon {
 // pre-sized file (Figure 8's flagship data workload), MWCL creates, MWUL
 // unlinks, MWRL renames — half of them over existing destinations, the case
 // the rename intent protects. kMixed interleaves all of the above plus
-// mkdir/rmdir and private-permission (cross-coffer) files.
-enum class Workload { kDWOL, kMWCL, kMWUL, kMWRL, kMixed };
+// mkdir/rmdir and private-permission (cross-coffer) files. kDWAL appends
+// through the staged fast path with periodic fsyncs: its durability oracle
+// is POSIX-weak (content is guaranteed only up to the last completed fsync;
+// un-synced appends may be wholly or partially absent), which is exactly the
+// contract the epoch batcher trades fences for — the crash sweep covers
+// mid-epoch and mid-relink images of the staged-append intent protocol.
+enum class Workload { kDWOL, kMWCL, kMWUL, kMWRL, kMixed, kDWAL };
 
 inline constexpr Workload kAllWorkloads[] = {
-    Workload::kDWOL, Workload::kMWCL, Workload::kMWUL, Workload::kMWRL, Workload::kMixed,
+    Workload::kDWOL, Workload::kMWCL,  Workload::kMWUL,
+    Workload::kMWRL, Workload::kMixed, Workload::kDWAL,
 };
 
 const char* WorkloadName(Workload w);

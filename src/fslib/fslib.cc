@@ -181,6 +181,17 @@ vfs::Status FsLib::Close(vfs::Fd fd) {
     fd_alloc_locks_.fetch_add(1, std::memory_order_relaxed);
     fd_bitmap_[static_cast<uint32_t>(fd) / 64] &= ~(1ull << (fd % 64));
   }
+  if (dead->flags & vfs::kWrite) {
+    // Close with possibly-dirty metadata is a durability point: drain the
+    // µFS's deferred state for this node (the ZoFS staged-append epoch) so a
+    // write-then-close without fsync still lands durably, matching the
+    // synchronous semantics this library had before the epoch batcher.
+    BindThread();
+    return Guarded(__func__, [&]() -> vfs::Status {
+      fs_->FixNode(&dead->node);
+      return fs_->SyncNode(dead->node);
+    });
+  }
   return OkStatus();  // `dead` drops the description outside both locks
 }
 
@@ -204,6 +215,9 @@ vfs::Result<size_t> FsLib::Write(vfs::Fd fd, const void* buf, size_t n) {
     fs_->FixNode(&d->node);
     if (d->flags & vfs::kAppend) {
       ASSIGN_OR_RETURN(at, fs_->Append(d->node, buf, n));
+      if (d->flags & vfs::kSync) {
+        RETURN_IF_ERROR(fs_->SyncNode(d->node));  // O_SYNC: durable on return
+      }
       common::MutexLock lk(&d->pos_mu);
       d->pos.store(at + n, std::memory_order_relaxed);
       return n;
@@ -211,6 +225,9 @@ vfs::Result<size_t> FsLib::Write(vfs::Fd fd, const void* buf, size_t n) {
     common::MutexLock lk(&d->pos_mu);
     uint64_t pos = d->pos.load(std::memory_order_relaxed);
     ASSIGN_OR_RETURN(done, fs_->WriteAt(d->node, buf, n, pos));
+    if (d->flags & vfs::kSync) {
+      RETURN_IF_ERROR(fs_->SyncNode(d->node));  // O_SYNC: durable on return
+    }
     d->pos.store(pos + done, std::memory_order_relaxed);
     return done;
   });
@@ -267,10 +284,11 @@ vfs::Result<uint64_t> FsLib::Lseek(vfs::Fd fd, int64_t off, int whence) {
 vfs::Status FsLib::Fsync(vfs::Fd fd) {
   BindThread();
   return Guarded(__func__, [&]() -> vfs::Status {
-    // ZoFS is synchronous: every operation persists before returning.
+    // Most µFS operations persist before returning; what fsync drains is the
+    // deferred state of the epoch batcher (ZoFS staged appends).
     ASSIGN_OR_RETURN(d, Get(fd));
-    (void)d;
-    return OkStatus();
+    fs_->FixNode(&d->node);
+    return fs_->SyncNode(d->node);
   });
 }
 

@@ -84,6 +84,8 @@ struct Point {
   uint64_t sfence = 0;
   uint64_t shard_lock_acquisitions = 0;
   uint64_t fd_alloc_lock_acquisitions = 0;
+  // Appends absorbed by the ZoFS staged fast path (epoch batcher).
+  uint64_t staged_append_hits = 0;
 };
 
 Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
@@ -142,6 +144,7 @@ Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
   const uint64_t sfence0 = lab.dev()->sfence_count();
   const uint64_t locks0 = fslib->zofs().ShardLockAcquisitionsForTest();
   const uint64_t fdlocks0 = fslib->FdAllocLockAcquisitionsForTest();
+  const uint64_t staged0 = fslib->zofs().StagedAppendHits();
 
   std::vector<common::LatencyRecorder> lat(threads);
   WorkloadResult wr = RunThreads(threads, [&](int t) -> uint64_t {
@@ -225,6 +228,7 @@ Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
   p.sfence = lab.dev()->sfence_count() - sfence0;
   p.shard_lock_acquisitions = fslib->zofs().ShardLockAcquisitionsForTest() - locks0;
   p.fd_alloc_lock_acquisitions = fslib->FdAllocLockAcquisitionsForTest() - fdlocks0;
+  p.staged_append_hits = fslib->zofs().StagedAppendHits() - staged0;
   return p;
 }
 
@@ -253,7 +257,10 @@ void EmitPoint(std::ostringstream& out, const Point& p, bool first) {
       << "     \"kernel_crossings\": " << p.kernel_crossings
       << ", \"kernel_crossings_per_op\": " << Fmt(PerOp(p.kernel_crossings, p.ops))
       << ",\n"
-      << "     \"clwb\": " << p.clwb << ", \"sfence\": " << p.sfence << ",\n"
+      << "     \"clwb\": " << p.clwb << ", \"clwb_per_op\": " << Fmt(PerOp(p.clwb, p.ops))
+      << ", \"sfence\": " << p.sfence
+      << ", \"sfence_per_op\": " << Fmt(PerOp(p.sfence, p.ops))
+      << ", \"staged_append_hits\": " << p.staged_append_hits << ",\n"
       << "     \"shard_lock_acquisitions\": " << p.shard_lock_acquisitions
       << ", \"lock_acquisitions_per_op\": " << Fmt(PerOp(p.shard_lock_acquisitions, p.ops))
       << ",\n"
@@ -265,7 +272,7 @@ void EmitPoint(std::ostringstream& out, const Point& p, bool first) {
 std::string RunBenchJson(const BenchJsonOptions& opts) {
   std::ostringstream out;
   out << "{\n";
-  out << "  \"schema\": \"zofs-bench-scale-v1\",\n";
+  out << "  \"schema\": \"zofs-bench-scale-v2\",\n";
   out << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
   out << "  \"config\": {\"ops_per_thread\": " << opts.ops_per_thread
       << ", \"seed\": " << opts.seed << ", \"dev_bytes\": " << opts.dev_bytes

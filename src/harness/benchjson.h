@@ -10,10 +10,12 @@
 //   globallock  the pre-PR baseline, emulated by state_shards=1 and
 //               session_cache=false (same code path, one shard == one lock).
 //
-// Each datapoint reports wall-clock throughput/latency plus five
+// Each datapoint reports wall-clock throughput/latency plus six
 // *deterministic* structural counters — kernel crossings, clwb flushes,
-// sfence fences, and shard-lock / fd-lock acquisitions — which are exact
-// functions of the workload at a fixed seed and therefore stable across
+// sfence fences, shard-lock / fd-lock acquisitions, and staged-append fast
+// path hits — plus the derived clwb_per_op / sfence_per_op rates the
+// persistence-cost budget gate (tools/check_all.sh) regresses on. All are
+// exact functions of the workload at a fixed seed and therefore stable across
 // runs and hosts. Two mechanisms make that true: the rename kernel only
 // overwrites pre-created targets (no interleaving-dependent page
 // allocation in the measured region), and each sweep point pins the
@@ -46,7 +48,7 @@ struct BenchJsonOptions {
 };
 
 // Runs the sweep and returns the complete JSON document (schema
-// "zofs-bench-scale-v1", fixed key order).
+// "zofs-bench-scale-v2", fixed key order).
 std::string RunBenchJson(const BenchJsonOptions& opts = {});
 
 }  // namespace harness

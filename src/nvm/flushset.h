@@ -1,0 +1,86 @@
+// Batched flush primitive for epoch-coalesced persistence (ROADMAP item #2).
+//
+// A FlushSet is a dirty-cacheline set: code on a deferred-durability path
+// records the metadata lines it dirtied with Note() instead of issuing an
+// immediate Clwb, and the durability point drains the set with FlushAll() +
+// one Sfence. N small stores to the same cacheline within an epoch therefore
+// cost one write-back instead of N — the mechanism behind the clwb/op drop
+// the epoch batcher targets (ISSUE 7).
+//
+// The set is line-deduplicating and order-insensitive: Clwb order within an
+// epoch does not matter, only that every noted line is written back before
+// the fence. Capacity is bounded (kFlushSetCap lines); overflow falls back to
+// flushing eagerly, which is always correct, merely unbatched. Instances are
+// single-owner (guarded by the owning structure's lock); there is no internal
+// synchronization.
+
+#ifndef SRC_NVM_FLUSHSET_H_
+#define SRC_NVM_FLUSHSET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/nvm/nvm.h"
+
+namespace nvm {
+
+// Plenty for one staged-append epoch: <= kStagedMaxPages pointer-slot lines
+// plus a handful of inode / allocator / index-page lines.
+inline constexpr size_t kFlushSetCap = 96;
+
+class FlushSet {
+ public:
+  // Records the cachelines covering [off, off+len) as needing write-back at
+  // the next FlushAll. Duplicate lines coalesce. On capacity overflow the
+  // range is written back immediately (correct, just not batched).
+  void Note(NvmDevice* dev, uint64_t off, size_t len) {
+    if (len == 0) {
+      return;
+    }
+    const uint64_t first = off / kCachelineSize;
+    const uint64_t last = (off + len - 1) / kCachelineSize;
+    for (uint64_t line = first; line <= last; line++) {
+      if (Contains(line)) {
+        continue;
+      }
+      if (n_ == kFlushSetCap) {
+        // Overflow spill: correct, just unbatched.
+        // zofs-lint: allow(unfenced-clwb) — the owning epoch's durability point fences
+        dev->Clwb(line * kCachelineSize, kCachelineSize);
+        continue;
+      }
+      lines_[n_++] = line;
+    }
+  }
+
+  // Writes back every noted line and empties the set. The caller issues the
+  // Sfence (one per epoch, not per line).
+  void FlushAll(NvmDevice* dev) {
+    for (size_t i = 0; i < n_; i++) {
+      // zofs-lint: allow(unfenced-clwb) — the durability point fences once after the drain
+      dev->Clwb(lines_[i] * kCachelineSize, kCachelineSize);
+    }
+    n_ = 0;
+  }
+
+  void Clear() { n_ = 0; }
+  size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+ private:
+  bool Contains(uint64_t line) const {
+    for (size_t i = 0; i < n_; i++) {
+      if (lines_[i] == line) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  uint64_t lines_[kFlushSetCap];
+  size_t n_ = 0;
+};
+
+}  // namespace nvm
+
+#endif  // SRC_NVM_FLUSHSET_H_

@@ -67,6 +67,11 @@ class MicroFs {
   virtual Result<uint64_t> Append(NodeRef node, const void* buf, size_t n) = 0;
   virtual Status TruncateNode(NodeRef node, uint64_t len) = 0;
   virtual Status EnsureAccess(NodeRef node, bool writable) = 0;
+  // fsync(2): make every completed write to `node` durable. µFSs that
+  // persist synchronously keep the default no-op; µFSs with deferred
+  // durability (the ZoFS epoch batcher's staged appends) drain their staged
+  // state here.
+  virtual Status SyncNode(NodeRef node) { return common::OkStatus(); }
   // Heals a NodeRef across same-process page moves (no-op where irrelevant).
   virtual void FixNode(NodeRef* node) {}
 

@@ -39,6 +39,10 @@ inline constexpr uint32_t kCreate = 1u << 2;
 inline constexpr uint32_t kTrunc = 1u << 3;
 inline constexpr uint32_t kAppend = 1u << 4;
 inline constexpr uint32_t kExcl = 1u << 5;
+// O_SYNC: every write on the descriptor is durable before it returns. File
+// systems that defer durability (the ZoFS epoch batcher) must drain their
+// staged state on each write when this flag is set.
+inline constexpr uint32_t kSync = 1u << 6;
 inline constexpr uint32_t kRdWr = kRead | kWrite;
 
 enum class FileType : uint8_t {

@@ -108,6 +108,14 @@ Result<uint32_t> CofferAllocator::AcquireList() {
 }
 
 Result<uint64_t> CofferAllocator::AllocPage(bool zero) {
+  return AllocPageImpl(zero, /*flush=*/nullptr);
+}
+
+Result<uint64_t> CofferAllocator::AllocPageStaged(nvm::FlushSet* flush) {
+  return AllocPageImpl(/*zero=*/false, flush);
+}
+
+Result<uint64_t> CofferAllocator::AllocPageImpl(bool zero, nvm::FlushSet* flush) {
   nvm::NvmDevice* dev = kfs_->dev();
   ASSIGN_OR_RETURN(idx, AcquireList());
   AllocPool* p = pool();
@@ -115,16 +123,28 @@ Result<uint64_t> CofferAllocator::AllocPage(bool zero) {
   const uint64_t loff = pool_off_ + offsetof(AllocPool, lists) + idx * sizeof(LeasedFreeList);
 
   if (l->head == 0) {
-    // Refill in batch from the kernel (coffer_enlarge, Table 5).
+    // Refill in batch from the kernel (coffer_enlarge, Table 5). Free-list
+    // state is advisory — recovery rebuilds it from reachability — so the
+    // whole batch is linked with plain stores and the list line written back
+    // once at the end, not twice per page (the dominant clwb cost of the
+    // pre-epoch-batcher append path).
     auto runs = kfs_->CofferEnlarge(*proc_, coffer_id_, enlarge_batch_);
     if (!runs.ok()) {
       return runs.error();
     }
+    uint64_t head = l->head;
+    uint64_t count = l->count;
     for (const kernfs::PageRun& r : *runs) {
       for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
-        PushLocked(l, loff, pg * nvm::kPageSize);
+        const uint64_t page_off = pg * nvm::kPageSize;
+        dev->Store64(page_off, head);  // link through the page's first word
+        head = page_off;
+        count++;
       }
     }
+    dev->Store64(loff + offsetof(LeasedFreeList, head), head);
+    dev->Store64(loff + offsetof(LeasedFreeList, count), count);
+    dev->Clwb(loff, sizeof(LeasedFreeList));  // zofs-lint: allow(unfenced-clwb) — advisory free-list state
   }
 
   uint64_t page_off = l->head;
@@ -141,7 +161,13 @@ Result<uint64_t> CofferAllocator::AllocPage(bool zero) {
   // updates are written back without ordering fences (soft-updates spirit).
   dev->Store64(loff + offsetof(LeasedFreeList, head), next);
   dev->Store64(loff + offsetof(LeasedFreeList, count), l->count - 1);
-  dev->Clwb(loff, sizeof(LeasedFreeList));  // zofs-lint: allow(unfenced-clwb) — advisory free-list state
+  if (flush != nullptr) {
+    // Staged path: defer the write-back into the epoch's flush set, where
+    // repeated allocations dedup to one line.
+    flush->Note(dev, loff, sizeof(LeasedFreeList));
+  } else {
+    dev->Clwb(loff, sizeof(LeasedFreeList));  // zofs-lint: allow(unfenced-clwb) — advisory free-list state
+  }
   if (zero) {
     // The caller's operation-final fence covers the zeroing NT stores.
     dev->NtStoreBytes(page_off, kZeroPage, nvm::kPageSize);

@@ -19,6 +19,7 @@
 
 #include "src/common/result.h"
 #include "src/kernfs/kernfs.h"
+#include "src/nvm/flushset.h"
 #include "src/zofs/layout.h"
 
 namespace zofs {
@@ -47,6 +48,13 @@ class CofferAllocator {
   // must hold an MPK window for the coffer.
   Result<uint64_t> AllocPage(bool zero);
 
+  // Epoch-batched variant for the staged-append fast path: the free-list
+  // line write-back is recorded in `flush` instead of issued eagerly, so N
+  // allocations within one epoch coalesce to a single Clwb at the epoch's
+  // durability point. The page is not zeroed (staged appends overwrite it
+  // with NT data immediately).
+  Result<uint64_t> AllocPageStaged(nvm::FlushSet* flush);
+
   // Returns a page to this thread's free list.
   Status FreePage(uint64_t page_off);
 
@@ -61,6 +69,9 @@ class CofferAllocator {
 
  private:
   AllocPool* pool();
+  // Shared body of AllocPage / AllocPageStaged; `flush == nullptr` selects
+  // the eager (immediately written back) free-list update.
+  Result<uint64_t> AllocPageImpl(bool zero, nvm::FlushSet* flush);
   // Returns the index of a leased list owned by the calling thread,
   // claiming or stealing one if needed.
   Result<uint32_t> AcquireList();

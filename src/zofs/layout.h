@@ -25,6 +25,9 @@ inline constexpr uint64_t kPoolMagic = 0x5a4f46535f504f4fULL;   // "ZOFS_POO"
 // Rename-intent slot states (see RenameIntent below).
 inline constexpr uint64_t kRenameIntentMagic = 0x5a4f46535f524e4dULL;    // "ZOFS_RNM"
 inline constexpr uint64_t kRenameIntentClaimed = 0x5a4f46535f524e43ULL;  // "ZOFS_RNC"
+// Staged-append intent slot states (see StagedAppendIntent below).
+inline constexpr uint64_t kStagedIntentMagic = 0x5a4f46535f534150ULL;    // "ZOFS_SAP"
+inline constexpr uint64_t kStagedIntentClaimed = 0x5a4f46535f534143ULL;  // "ZOFS_SAC"
 
 inline constexpr uint32_t kTypeRegular = 1;
 inline constexpr uint32_t kTypeDirectory = 2;
@@ -140,8 +143,9 @@ struct LeasedFreeList {
 };
 static_assert(sizeof(LeasedFreeList) == 32);
 
-// 118 (not 120) lists: the tail of the custom page holds the rename intent.
-inline constexpr uint64_t kPoolLists = 118;
+// 103 (not 120) lists: the tail of the custom page holds the rename intent
+// and the staged-append intent (16 + 103*32 + 272 + 512 = 4096 exactly).
+inline constexpr uint64_t kPoolLists = 103;
 
 // Write-ahead intent for the two-site same-coffer rename paths (insert at
 // the destination + remove at the source cannot be one atomic store).
@@ -170,12 +174,47 @@ struct RenameIntent {
 };
 static_assert(sizeof(RenameIntent) == 272);
 
-// The coffer custom page: the allocator pool plus the rename intent.
+// Staged-append relink intent (SplitFS-style staged write, see SplitFS
+// [Kadekodi et al., SOSP '19] and DESIGN.md §7). Small appends land in
+// freshly allocated staging pages whose block pointers / inode size are
+// published only volatilely; at a durability point the epoch's data is
+// fenced once and this intent describes the pending metadata relink:
+//   1. persist the intent body, fence;
+//   2. commit by persisting magic = kStagedIntentMagic, fence;
+//   3. persist the real metadata (block-pointer slots, inode size line,
+//      allocator list line) via the epoch's coalesced flush set, fence;
+//   4. clear the slot (persist magic = 0, fence).
+// A crash before (2) rolls back — fsync had not returned, nothing was
+// promised. A crash between (2) and (3) rolls forward in recovery
+// (RepairPendingStagedAppend re-installs pointers for blocks
+// [start_blk, start_blk+count) from pages[] and sets size = new_size).
+// After (4) the intent is inert. The clear in (4) MUST be fenced: an
+// unfenced clear could be rolled back by a later crash, resurrecting a
+// stale intent whose pages have since been freed and reused.
+// Appended blocks are consecutive, so start_blk + count + the page list
+// fully describe the relink. kStagedMaxPages bounds one epoch.
+inline constexpr uint64_t kStagedMaxPages = 56;
+
+struct StagedAppendIntent {
+  uint64_t magic;            // 0 free / claimed / committed
+  uint64_t lease_expiry_ns;  // claim stealable after this deadline
+  uint64_t inode_off;        // target file inode offset
+  uint64_t start_blk;        // first file block index being relinked
+  uint64_t count;            // number of staged pages (<= kStagedMaxPages)
+  uint64_t new_size;         // file size after the staged appends
+  uint64_t base_size;        // file size before the staged appends
+  uint64_t _pad;
+  uint64_t pages[kStagedMaxPages];  // staging page offsets, in block order
+};
+static_assert(sizeof(StagedAppendIntent) == 512);
+
+// The coffer custom page: the allocator pool plus the two intents.
 struct AllocPool {
   uint64_t magic;
   uint64_t _pad;
   LeasedFreeList lists[kPoolLists];
   RenameIntent rename_intent;
+  StagedAppendIntent staged_intent;
 };
 static_assert(sizeof(AllocPool) <= nvm::kPageSize);
 

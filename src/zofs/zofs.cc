@@ -52,6 +52,12 @@ vfs::FileType VfsType(uint32_t t) {
   }
 }
 
+// Staged pages per append epoch before the epoch overflows into a durability
+// point. Bounded by the intent record's inline page array; kept below it so
+// one multi-block append landing near the cap still fits.
+constexpr uint64_t kStagedEpochPages = 32;
+static_assert(kStagedEpochPages <= kStagedMaxPages);
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -251,7 +257,13 @@ ZoFs::ZoFs(kernfs::KernFs* kfs, kernfs::Process* proc, Options opts)
   }
 }
 
-ZoFs::~ZoFs() { kfs_->FsUmount(*proc_); }
+ZoFs::~ZoFs() {
+  // Unmount is a durability point: drain every open append epoch so data the
+  // application wrote before a clean shutdown is durable without an explicit
+  // fsync (matching kernel file systems' unmount semantics).
+  (void)FlushAllStages();
+  kfs_->FsUmount(*proc_);
+}
 
 // ---------------------------------------------------------------------------
 // Mapping management
@@ -1256,6 +1268,10 @@ Result<uint64_t> ZoFs::AllocInode(CofferAllocator& alloc, uint32_t type, uint16_
 
 Status ZoFs::FreeNode(uint32_t cid, CofferAllocator& alloc, uint64_t inode_off) {
   nvm::NvmDevice* dev = kfs_->dev();
+  // An open append epoch on a dying file is discarded, not flushed: the data
+  // was never synced and the pages are about to be freed. Flushing later
+  // would relink into a recycled inode page.
+  DropStage(inode_off);
   if (!ValidMetaPage(inode_off)) {
     return Sick(cid);
   }
@@ -1755,6 +1771,10 @@ Result<size_t> ZoFs::WriteAt(NodeRef node, const void* buf, size_t n, uint64_t o
   if (!lock.ok()) {
     return Err::kBusy;
   }
+  // A positional write is a conflicting operation for the staged-append
+  // epoch: drain it first so this write's own durability claim cannot cover
+  // staged blocks whose metadata write-backs are still deferred.
+  RETURN_IF_ERROR(FlushStageIfAny(info, node.inode_off));
 
   if (opts_.sysempty) {
     kfs_->Nop();  // ZoFS-sysempty: pay one crossing per write (Figure 8)
@@ -1921,10 +1941,356 @@ Result<uint64_t> ZoFs::Append(NodeRef node, const void* buf, size_t n) {
     return Err::kBusy;
   }
   const uint64_t off = ino->size;
+  // ---- staged fast path (epoch batcher, DESIGN.md) ----
+  // Qualifying appends defer all metadata write-backs into the epoch's flush
+  // set and return without a fence; durability arrives at the next
+  // durability point. The Figure 8 variants (sysempty/kwrite) model
+  // per-write kernel costs and the inline/atomic-data modes have their own
+  // commit protocols, so all of them keep the synchronous path.
+  if (n > 0 && ino->type == kTypeRegular && (ino->iflags & kInodeInlineData) == 0 &&
+      !opts_.inline_data && !opts_.atomic_data && !opts_.sysempty && !opts_.kwrite &&
+      n <= kStagedEpochPages * nvm::kPageSize && off + n >= off) {
+    ASSIGN_OR_RETURN(staged, StageAppendData(node.coffer_id, info, ino, buf, n));
+    if (staged) {
+      staged_append_hits_.fetch_add(1, std::memory_order_relaxed);
+      return off;
+    }
+  }
   // WriteAt re-acquires the (reentrant for this thread) lock.
   ASSIGN_OR_RETURN(written, WriteAt(node, buf, n, off));
   (void)written;
   return off;
+}
+
+// ---------------------------------------------------------------------------
+// Staged-append epoch batcher (DESIGN.md: epochs & durability points).
+//
+// An epoch's appends NT-write their data into freshly allocated pages and
+// install block pointers / size with plain volatile stores, noting every
+// dirtied metadata line in the stage's FlushSet. Nothing fences. The
+// durability point then runs the relink protocol:
+//   fence A  intent body persisted (also commits the epoch's NT data and the
+//            eagerly written-back index-page lines);
+//   fence B  intent magic committed — recovery now rolls the epoch forward;
+//   fence C  FlushSet drained + Sfence — the durability claim;
+//   fence D  intent magic cleared, fenced, so a stale intent cannot
+//            resurrect after its pages are freed and reused.
+// Four fences amortized over up to kStagedEpochPages appends, against one
+// fence per append on the synchronous path.
+
+ZoFs::StageState* ZoFs::FindStage(uint64_t inode_off) {
+  StageShard& sh = StageShardFor(inode_off);
+  common::SpinLockGuard g(&sh.mu);
+  auto it = sh.stages.find(inode_off);
+  return it == sh.stages.end() ? nullptr : it->second.get();
+}
+
+ZoFs::StageState* ZoFs::CreateStage(uint32_t cid, uint64_t inode_off, uint64_t size) {
+  auto st = std::make_unique<StageState>();
+  st->cid = cid;
+  st->inode_off = inode_off;
+  st->base_size = size;
+  st->new_size = size;
+  // First block this epoch allocates: the page after the (durable) tail.
+  st->start_blk = size / nvm::kPageSize + (size % nvm::kPageSize != 0 ? 1 : 0);
+  StageState* raw = st.get();
+  StageShard& sh = StageShardFor(inode_off);
+  {
+    common::SpinLockGuard g(&sh.mu);
+    sh.stages[inode_off] = std::move(st);
+  }
+  active_stages_.fetch_add(1);
+  return raw;
+}
+
+std::unique_ptr<ZoFs::StageState> ZoFs::TakeStage(uint64_t inode_off) {
+  StageShard& sh = StageShardFor(inode_off);
+  std::unique_ptr<StageState> st;
+  {
+    common::SpinLockGuard g(&sh.mu);
+    auto it = sh.stages.find(inode_off);
+    if (it == sh.stages.end()) {
+      return nullptr;
+    }
+    st = std::move(it->second);
+    sh.stages.erase(it);
+  }
+  active_stages_.fetch_sub(1);
+  return st;
+}
+
+void ZoFs::DropStage(uint64_t inode_off) {
+  if (active_stages_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  (void)TakeStage(inode_off);
+}
+
+Result<uint64_t> ZoFs::EnsureSlotOff(CofferAllocator& alloc, Inode* ino, uint64_t blk) {
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t ino_off = dev->OffsetOf(ino);
+  // Index pages are created eagerly (written back immediately): the intent
+  // commits only after fence A, so a committed intent implies the index
+  // structure it relies on is durable and recovery's roll-forward cannot
+  // dead-end on a missing index page.
+  auto ensure_index = [&](uint64_t slot_off) -> Result<uint64_t> {
+    uint64_t v = dev->Load64(slot_off);
+    if (v != 0) {
+      if (!ValidMetaPage(v)) {
+        return Sick(alloc.coffer_id());
+      }
+      return v;
+    }
+    ASSIGN_OR_RETURN(page, alloc.AllocPage(/*zero=*/true));
+    dev->Store64(slot_off, page);
+    // zofs-lint: allow(unfenced-clwb) — index pointer: the pre-intent fence orders it
+    dev->Clwb(slot_off, 8);
+    return page;
+  };
+  if (blk < kDirectBlocks) {
+    return ino_off + offsetof(Inode, direct) + blk * 8;
+  }
+  blk -= kDirectBlocks;
+  if (blk < kPtrsPerPage) {
+    ASSIGN_OR_RETURN(ind, ensure_index(ino_off + offsetof(Inode, indirect)));
+    return ind + blk * 8;
+  }
+  blk -= kPtrsPerPage;
+  if (blk < kPtrsPerPage * kPtrsPerPage) {
+    ASSIGN_OR_RETURN(dind, ensure_index(ino_off + offsetof(Inode, dindirect)));
+    ASSIGN_OR_RETURN(ind, ensure_index(dind + (blk / kPtrsPerPage) * 8));
+    return ind + (blk % kPtrsPerPage) * 8;
+  }
+  return Err::kOverflow;
+}
+
+Result<bool> ZoFs::StageAppendData(uint32_t cid, const MapInfo& info, Inode* ino,
+                                   const void* buf, size_t n) {
+  AUDIT_SCOPE("ZoFs::StageAppendData");
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t ino_off = dev->OffsetOf(ino);
+  const uint64_t off = ino->size;
+  const uint64_t last_blk = (off + n - 1) / nvm::kPageSize;
+  if (last_blk >= kDirectBlocks + kPtrsPerPage + kPtrsPerPage * kPtrsPerPage) {
+    return false;  // beyond the block map; let WriteAt produce the error
+  }
+
+  StageState* st = FindStage(ino_off);
+  // How many fresh pages this append needs, given what is already staged.
+  const uint64_t staged_end =
+      st != nullptr ? st->start_blk + st->pages.size() : uint64_t{0};
+  const uint64_t first_new =
+      std::max(staged_end, off / nvm::kPageSize + (off % nvm::kPageSize != 0 ? 1 : 0));
+  const uint64_t need = last_blk + 1 > first_new ? last_blk + 1 - first_new : 0;
+  if (st != nullptr && st->pages.size() + need > kStagedEpochPages) {
+    // Epoch overflow: this is a durability point for the open epoch.
+    RETURN_IF_ERROR(FlushStage(info, TakeStage(ino_off)));
+    st = nullptr;
+  }
+  if (st == nullptr && off % nvm::kPageSize != 0) {
+    // The append starts inside the durable tail block; a hole there means
+    // zero-filling, which the synchronous path handles.
+    ASSIGN_OR_RETURN(tail, GetBlock(cid, ino, off / nvm::kPageSize));
+    if (tail == 0) {
+      return false;
+    }
+  }
+  if (st == nullptr) {
+    st = CreateStage(cid, ino_off, off);
+  }
+
+  CofferAllocator& alloc = AllocatorFor(cid, info);
+  const auto* src = static_cast<const uint8_t*>(buf);
+  uint64_t pos = off;
+  size_t done = 0;
+  while (done < n) {
+    const uint64_t blk = pos / nvm::kPageSize;
+    const uint64_t in_off = pos % nvm::kPageSize;
+    const size_t chunk = std::min<size_t>(n - done, nvm::kPageSize - in_off);
+    uint64_t page;
+    if (blk >= st->start_blk && blk < st->start_blk + st->pages.size()) {
+      page = st->pages[blk - st->start_blk];
+    } else if (blk == st->start_blk + st->pages.size()) {
+      // Fresh page: allocate without zeroing (the chunk covers the page up
+      // to its end; bytes past new_size are beyond EOF) and install the
+      // pointer volatilely — the epoch's FlushSet carries the line.
+      ASSIGN_OR_RETURN(slot_off, EnsureSlotOff(alloc, ino, blk));
+      ASSIGN_OR_RETURN(fresh, alloc.AllocPageStaged(&st->flush));
+      if (in_off > 0) {
+        // First staged page entered mid-block (the durable tail block was
+        // exactly full is the usual case; this one is a re-staged epoch
+        // whose predecessor ended mid-page): zero the leading gap.
+        static const uint8_t kZeros[nvm::kPageSize] = {};
+        dev->NtStoreBytes(fresh, kZeros, in_off);
+      }
+      dev->Store64(slot_off, fresh);
+      st->flush.Note(dev, slot_off, 8);
+      st->pages.push_back(fresh);
+      page = fresh;
+    } else {
+      // Tail chunk landing in a block that was durable before the epoch
+      // opened (blk < start_blk). Pre-checked non-hole above.
+      ASSIGN_OR_RETURN(existing, GetBlock(cid, ino, blk));
+      if (existing == 0) {
+        return Err::kCorrupt;  // vanished under the inode lock: impossible
+      }
+      page = existing;
+    }
+    dev->NtStoreBytes(page + in_off, src + done, chunk);
+    pos += chunk;
+    done += chunk;
+  }
+
+  st->new_size = pos;
+  dev->Store64(ino_off + offsetof(Inode, size), pos);
+  dev->Store64(ino_off + offsetof(Inode, mtime_ns), common::NowNs());
+  st->flush.Note(dev, ino_off + offsetof(Inode, size), 24);  // size..mtime share a line
+  return true;
+}
+
+Status ZoFs::PublishStageIntent(const MapInfo& info, const StageState& st) {
+  AUDIT_SCOPE("ZoFs::PublishStageIntent");
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t off = info.custom_off + offsetof(AllocPool, staged_intent);
+  const uint64_t magic_off = off + offsetof(StagedAppendIntent, magic);
+  // Claim the slot with the same lease discipline as the rename intent: a
+  // stale claim is stealable after expiry, a garbage expiry is stolen
+  // outright, a live holder outlasting the wait bound surfaces as EBUSY.
+  const uint64_t give_up = common::RealNowNs() + LockWaitBoundNs(opts_.lease_ns);
+  for (;;) {
+    uint64_t m = dev->AtomicLoad64(magic_off);
+    if (m == 0) {
+      if (dev->AtomicCas64(magic_off, 0, kStagedIntentClaimed)) {
+        break;
+      }
+    } else {
+      const uint64_t expiry = dev->Load64(off + offsetof(StagedAppendIntent, lease_expiry_ns));
+      const uint64_t now = common::NowNs();
+      if ((expiry < now || expiry > now + kMaxLeaseSlackNs) &&
+          dev->AtomicCas64(magic_off, m, kStagedIntentClaimed)) {
+        break;
+      }
+    }
+    if (common::RealNowNs() >= give_up) {
+      return Err::kBusy;
+    }
+#if defined(__x86_64__)
+    __builtin_ia32_pause();
+#endif
+  }
+  StagedAppendIntent in{};
+  in.magic = kStagedIntentClaimed;
+  in.lease_expiry_ns = common::NowNs() + opts_.lease_ns;
+  in.inode_off = st.inode_off;
+  in.start_blk = st.start_blk;
+  in.count = st.pages.size();
+  in.new_size = st.new_size;
+  in.base_size = st.base_size;
+  for (size_t i = 0; i < st.pages.size(); i++) {
+    in.pages[i] = st.pages[i];
+  }
+  dev->StoreBytes(off, &in, sizeof(in));
+  dev->PersistRange(off, sizeof(in));  // fence A: body + the epoch's NT data
+  // Commit: the intent becomes authoritative for recovery.
+  dev->AtomicStore64(magic_off, kStagedIntentMagic);
+  AUDIT_ORDER_AFTER(dev, magic_off, 8, off, sizeof(in));
+  dev->PersistRange(magic_off, 8);  // fence B
+  return common::OkStatus();
+}
+
+Status ZoFs::FlushStage(const MapInfo& info, std::unique_ptr<StageState> st) {
+  AUDIT_SCOPE("ZoFs::FlushStage");
+  if (st == nullptr) {
+    return common::OkStatus();
+  }
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t ino_off = st->inode_off;
+  Status pub = common::OkStatus();
+  if (!st->pages.empty()) {
+    pub = PublishStageIntent(info, *st);
+    if (!pub.ok() && pub.error() != Err::kBusy) {
+      return pub;
+    }
+    // kBusy: another live process is mid-relink in this coffer. Proceed
+    // without an intent — the drain below still makes everything durable;
+    // only relink atomicity against a crash inside this drain is lost, and
+    // that window carries no durability promise yet.
+  }
+  if (!st->pages.empty()) {
+    // The size line becomes durable only after the staged data (the data
+    // went out with fence A; the size line goes out with fence C below).
+    // Every staged page is written from its first byte, so its first line is
+    // a tracked stand-in for the epoch's data.
+    AUDIT_ORDER_AFTER(dev, ino_off + offsetof(Inode, size), 24, st->pages.front(),
+                      nvm::kCachelineSize);
+  }
+  st->flush.FlushAll(dev);
+  dev->Sfence();  // fence C: the epoch's durability point
+  AUDIT_DURABILITY_POINT(dev, ino_off + offsetof(Inode, size), 24);
+  if (!st->pages.empty() && pub.ok()) {
+    const uint64_t magic_off = info.custom_off + offsetof(AllocPool, staged_intent) +
+                               offsetof(StagedAppendIntent, magic);
+    dev->AtomicStore64(magic_off, 0);
+    dev->PersistRange(magic_off, 8);  // fence D: fenced clear (see layout.h)
+  }
+  return common::OkStatus();
+}
+
+Status ZoFs::FlushStageIfAny(const MapInfo& info, uint64_t inode_off) {
+  if (active_stages_.load(std::memory_order_acquire) == 0) {
+    return common::OkStatus();
+  }
+  std::unique_ptr<StageState> st = TakeStage(inode_off);
+  if (st == nullptr) {
+    return common::OkStatus();
+  }
+  return FlushStage(info, std::move(st));
+}
+
+Status ZoFs::SyncNode(NodeRef node) {
+  AUDIT_SCOPE("ZoFs::SyncNode");
+  if (active_stages_.load(std::memory_order_acquire) == 0) {
+    return common::OkStatus();
+  }
+  if (FindStage(node.inode_off) == nullptr) {
+    return common::OkStatus();  // nothing staged: fsync is a no-op
+  }
+  ASSIGN_OR_RETURN(info, EnsureMapped(node.coffer_id, true));
+  mpk::AccessWindow w(info.key, true);
+  if (!ValidMetaPage(node.inode_off)) {
+    return Sick(node.coffer_id);
+  }
+  if (Ino(node.inode_off)->magic != kInodeMagic) {
+    return Err::kCorrupt;
+  }
+  InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns);
+  if (!lock.ok()) {
+    return Err::kBusy;
+  }
+  return FlushStageIfAny(info, node.inode_off);
+}
+
+Status ZoFs::FlushAllStages() {
+  if (active_stages_.load(std::memory_order_acquire) == 0) {
+    return common::OkStatus();
+  }
+  // Snapshot the open stages, then drain each through SyncNode, which
+  // re-checks under the inode lock (a stage may close or reopen in between).
+  std::vector<NodeRef> targets;
+  for (StageShard& sh : stage_shards_) {
+    common::SpinLockGuard g(&sh.mu);
+    for (const auto& [ino_off, st] : sh.stages) {
+      targets.push_back(NodeRef{st->cid, ino_off});
+    }
+  }
+  Status first = common::OkStatus();
+  for (const NodeRef& t : targets) {
+    Status s = SyncNode(t);
+    if (!s.ok() && first.ok()) {
+      first = s;
+    }
+  }
+  return first;
 }
 
 Status ZoFs::TruncateNode(NodeRef node, uint64_t len) {
@@ -1945,6 +2311,9 @@ Status ZoFs::TruncateNode(NodeRef node, uint64_t len) {
   if (!lock.ok()) {
     return Err::kBusy;
   }
+  // Truncation conflicts with an open append epoch (it rewrites the same
+  // size word and may free staged blocks): drain the epoch first.
+  RETURN_IF_ERROR(FlushStageIfAny(info, node.inode_off));
   nvm::NvmDevice* dev = kfs_->dev();
   const uint64_t old_size = ino->size;
 
@@ -2121,6 +2490,9 @@ Result<uint32_t> ZoFs::SplitNodeIntoCoffer(const ResolveResult& r, const std::st
 
 Status ZoFs::Chmod(const std::string& path, uint16_t mode) {
   AUDIT_SCOPE("ZoFs::Chmod");
+  // May split the node into its own coffer, relocating its pages: drain open
+  // append epochs first (stages pin volatile page addresses).
+  RETURN_IF_ERROR(FlushAllStages());
   std::string norm = vfs::NormalizePath(path);
   ASSIGN_OR_RETURN(r, Resolve(norm, true));
   nvm::NvmDevice* dev = kfs_->dev();
@@ -2181,6 +2553,8 @@ Status ZoFs::Chmod(const std::string& path, uint16_t mode) {
 
 Status ZoFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
   AUDIT_SCOPE("ZoFs::Chown");
+  // Same coffer-split hazard as Chmod: drain open append epochs first.
+  RETURN_IF_ERROR(FlushAllStages());
   std::string norm = vfs::NormalizePath(path);
   ASSIGN_OR_RETURN(r, Resolve(norm, true));
   nvm::NvmDevice* dev = kfs_->dev();
@@ -2350,6 +2724,10 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
       nto[nfrom.size()] == '/') {
     return Err::kInval;  // cannot move a directory into itself
   }
+  // Rename is a durability point (DESIGN.md): open append epochs drain
+  // before the namespace moves, so the moved file's data is durable wherever
+  // its new name lands — and cross-coffer moves never relocate staged pages.
+  RETURN_IF_ERROR(FlushAllStages());
   nvm::NvmDevice* dev = kfs_->dev();
 
   ASSIGN_OR_RETURN(src, Resolve(nfrom, false));

@@ -16,6 +16,7 @@
 #ifndef SRC_ZOFS_ZOFS_H_
 #define SRC_ZOFS_ZOFS_H_
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <string>
@@ -136,8 +137,15 @@ class ZoFs final : public ufs::MicroFs {
   Result<size_t> WriteAt(NodeRef node, const void* buf, size_t n, uint64_t off) override;
   Status TruncateNode(NodeRef node, uint64_t len) override;
   // Appends at the current size under the inode lock; returns the offset the
-  // data landed at (used for O_APPEND).
+  // data landed at (used for O_APPEND). Qualifying small appends take the
+  // staged fast path: data lands in freshly allocated pages with NT stores
+  // and volatile metadata installs, and durability is deferred to the next
+  // durability point (SyncNode, epoch overflow, a conflicting operation).
   Result<uint64_t> Append(NodeRef node, const void* buf, size_t n) override;
+
+  // fsync(2): drains `node`'s staged-append epoch (if any) through the
+  // intent-protected relink, making every completed append durable.
+  Status SyncNode(NodeRef node) override;
 
   // Ensures `node`'s coffer is mapped with the required access; exposed for
   // FSLibs open(2) permission handling.
@@ -209,6 +217,11 @@ class ZoFs final : public ufs::MicroFs {
   // Entries currently in the relocation ledger across all shards.
   uint64_t RelocatedCountForTest() const {
     return relocated_count_.load(std::memory_order_relaxed);
+  }
+  // Appends absorbed by the staged fast path since construction (surfaces as
+  // bench_json's staged_append_hits counter).
+  uint64_t StagedAppendHits() const {
+    return staged_append_hits_.load(std::memory_order_relaxed);
   }
   // Force a read-only quarantine (exercises session invalidation).
   void QuarantineReadOnlyForTest(uint32_t cid) { QuarantineReadOnly(cid); }
@@ -283,6 +296,64 @@ class ZoFs final : public ufs::MicroFs {
   // (called from RecoverOne under the coffer window).
   Status RepairPendingRename(uint32_t cid, const kernfs::MapInfo& info,
                              uint64_t* dentries_cleared);
+
+  // --- staged-append epoch batcher (DESIGN.md: epochs & durability points) --
+  // One open epoch of appends to one file. The data is already NT-written
+  // into freshly allocated pages and the block pointers / size are volatilely
+  // installed (readers need no stage awareness); what remains deferred is the
+  // metadata write-back, collected in `flush`. A StageState is mutated only
+  // under its file's InodeLock; the stage table's spinlocks guard the map
+  // structure alone, so the steady-state read/write path never touches a
+  // shard lock (the scalability invariant).
+  struct StageState {
+    uint32_t cid = 0;
+    uint64_t inode_off = 0;
+    uint64_t start_blk = 0;       // first block staged this epoch
+    uint64_t base_size = 0;       // durable size when the epoch opened
+    uint64_t new_size = 0;        // volatile size after the staged appends
+    std::vector<uint64_t> pages;  // staged data pages, block order
+    nvm::FlushSet flush;          // deferred metadata write-backs
+  };
+  struct StageShard {
+    common::SpinLock mu;
+    std::unordered_map<uint64_t, std::unique_ptr<StageState>> stages GUARDED_BY(mu);
+  };
+  static constexpr uint32_t kStageShards = 16;
+  StageShard& StageShardFor(uint64_t inode_off) {
+    return stage_shards_[(inode_off / nvm::kPageSize) & (kStageShards - 1)];
+  }
+  // Map lookups. A raw pointer stays valid while the caller holds the file's
+  // InodeLock: only InodeLock holders erase entries.
+  StageState* FindStage(uint64_t inode_off);
+  StageState* CreateStage(uint32_t cid, uint64_t inode_off, uint64_t size);
+  std::unique_ptr<StageState> TakeStage(uint64_t inode_off);
+  // Discards a stage without flushing (FreeNode: the file is going away).
+  void DropStage(uint64_t inode_off);
+  // The staged fast path body (caller holds the coffer window + InodeLock).
+  // Returns false when the append does not qualify (hole at the tail, file
+  // too large, ...) and the caller must fall back to the synchronous WriteAt.
+  Result<bool> StageAppendData(uint32_t cid, const kernfs::MapInfo& info, Inode* ino,
+                               const void* buf, size_t n);
+  // Resolves the block-pointer slot offset for `blk`, creating index pages
+  // (eagerly written back; the pre-intent fence orders them) as needed.
+  Result<uint64_t> EnsureSlotOff(CofferAllocator& alloc, Inode* ino, uint64_t blk);
+  // Claims the coffer's staged-append intent slot, persists the body and
+  // commits it (two fences; the first also commits the epoch's NT data).
+  // kBusy when another live process holds the slot past the wait bound.
+  Status PublishStageIntent(const kernfs::MapInfo& info, const StageState& st);
+  // Durability point: intent publish, FlushSet drain + one fence, fenced
+  // intent clear. On an intent-slot kBusy it degrades to an intent-less
+  // drain + fence, which is still correct (just not relink-atomic).
+  Status FlushStage(const kernfs::MapInfo& info, std::unique_ptr<StageState> st);
+  // Gate + take + flush, for conflicting operations already holding the
+  // coffer window and the file's InodeLock. No-op when no stage is open.
+  Status FlushStageIfAny(const kernfs::MapInfo& info, uint64_t inode_off);
+  // Drains every open stage (rename/chmod/chown entry, unmount). Opens its
+  // own windows; must not be called inside an AccessWindow.
+  Status FlushAllStages();
+  // Rolls a committed staged-append intent forward (or clears an uncommitted
+  // one) before recovery traversal; called from RecoverOne under the window.
+  Status RepairPendingStagedAppend(uint32_t cid, const kernfs::MapInfo& info);
   Status DirIterate(uint32_t cid, const Inode* dir, std::vector<vfs::DirEntry>* out);
   // kCorrupt when the directory structure is damaged (bad pointer / cycle).
   Result<bool> DirIsEmpty(uint32_t cid, const Inode* dir);
@@ -441,6 +512,13 @@ class ZoFs final : public ufs::MicroFs {
   std::atomic<uint64_t> relocated_count_{0};
 
   std::atomic<uint64_t> shard_lock_acquisitions_{0};
+
+  // Staged-append epoch table. `active_stages_` is the lock-free gate that
+  // lets conflicting operations (WriteAt, truncate, unlink, rename) skip the
+  // table entirely while no epoch is open — the common case.
+  std::array<StageShard, kStageShards> stage_shards_;
+  std::atomic<uint64_t> active_stages_{0};
+  std::atomic<uint64_t> staged_append_hits_{0};
 
   // Leaf lock: acquired under a shard's exclusive lock (RetireAllocatorLocked)
   // and never the other way around — zofs_lint's lock-order rule enforces

@@ -226,6 +226,56 @@ Status ZoFs::RepairPendingRename(uint32_t cid, const kernfs::MapInfo& info,
   return common::OkStatus();
 }
 
+Status ZoFs::RepairPendingStagedAppend(uint32_t cid, const kernfs::MapInfo& info) {
+  (void)cid;
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t off = info.custom_off + offsetof(AllocPool, staged_intent);
+  StagedAppendIntent in;
+  dev->LoadBytes(off, &in, sizeof(in));
+  if (in.magic == 0) {
+    return common::OkStatus();
+  }
+  auto clear_slot = [&]() {
+    dev->Store64(off + offsetof(StagedAppendIntent, magic), 0);
+    dev->PersistRange(off + offsetof(StagedAppendIntent, magic), 8);
+  };
+  // A claimed-but-uncommitted intent (or a corrupt one) carries no
+  // obligation: the epoch had not reached its durability point, so the data
+  // was never promised. Everything it staged falls to the page sweep.
+  bool valid = in.magic == kStagedIntentMagic && in.count > 0 && in.count <= kStagedMaxPages &&
+               in.base_size <= in.new_size && PlausiblePage(dev, in.inode_off);
+  if (valid) {
+    const Inode* ino = Ino(in.inode_off);
+    valid = ino->magic == kInodeMagic && ino->type == kTypeRegular;
+  }
+  for (uint64_t i = 0; valid && i < in.count; i++) {
+    valid = PlausiblePage(dev, in.pages[i]);
+  }
+  if (!valid) {
+    clear_slot();
+    return common::OkStatus();
+  }
+  // Roll forward: re-install the staged block pointers and the synced size.
+  // Idempotent — a crash between the metadata drain and the intent clear
+  // replays stores that are already in place. The index pages the installs
+  // walk were persisted before the intent committed (fence A precedes fence
+  // B), so a dead-end here means the commit never really happened; treat it
+  // like an uncommitted intent.
+  Inode* ino = Ino(in.inode_off);
+  for (uint64_t i = 0; i < in.count; i++) {
+    if (!InstallBlockPointer(ino, in.start_blk + i, in.pages[i]).ok()) {
+      clear_slot();
+      return common::OkStatus();
+    }
+  }
+  if (ino->size < in.new_size) {
+    dev->Store64(in.inode_off + offsetof(Inode, size), in.new_size);
+  }
+  dev->PersistRange(in.inode_off + offsetof(Inode, size), 8);  // fences the installs too
+  clear_slot();
+  return common::OkStatus();
+}
+
 Result<ZoFs::RecoveryStats> ZoFs::RecoverOne(uint32_t cid, std::vector<CrossRef>* cross_out) {
   RecoveryStats st;
   common::Stopwatch total;
@@ -289,8 +339,11 @@ Result<ZoFs::RecoveryStats> ZoFs::RecoverOne(uint32_t cid, std::vector<CrossRef>
   {
     mpk::AccessWindow w(info.key, true);
     // An interrupted rename is rolled forward or back before traversal so
-    // the walk sees exactly the pre- or post-rename namespace.
+    // the walk sees exactly the pre- or post-rename namespace; likewise a
+    // committed staged-append relink is rolled forward so the traversal sees
+    // the synced file (and keeps its staged pages reachable).
     RETURN_IF_ERROR(RepairPendingRename(cid, info, &st.dentries_cleared));
+    RETURN_IF_ERROR(RepairPendingStagedAppend(cid, info));
     Status s = CollectReachable(cid, info.root_inode_off, croot->path[1] == '\0' ? "/" : croot->path,
                                 &pages, &cross, &st.dentries_cleared);
     if (!s.ok() && s.error() != Err::kCorrupt) {

@@ -166,6 +166,39 @@ TEST(AuditTest, FlagsRedundantFlushesWithSiteAttribution) {
   EXPECT_EQ(r.redundant_clwb_lines, 1u);
 }
 
+// Bug class 3b: the same cacheline written back twice inside one fence epoch.
+// The second clwb is NOT redundant (the line was re-dirtied), but it is still
+// wasted traffic an epoch batcher would coalesce into a single write-back.
+TEST(AuditTest, FlagsDuplicateWritebacksWithinOneEpoch) {
+  nvm::NvmDevice dev(SmallOpts());
+  Auditor a;
+  ScopedAudit attach(&a, &dev);
+  {
+    AUDIT_SCOPE("PlantedEagerFlush");
+    dev.Store64(0, 1);
+    dev.Clwb(0, 8);
+    dev.Store64(8, 2);  // same cacheline, re-dirtied
+    dev.Clwb(8, 8);     // planted: second write-back of line 0 in this epoch
+    dev.Sfence();
+  }
+  Report r = a.Snapshot();
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.redundant_clwb_lines, 0u);  // both clwbs did real work
+  EXPECT_EQ(r.duplicate_epoch_clwb_lines, 1u);
+  const audit::Finding* dup = FindKind(r, FindingKind::kDuplicateEpochClwb);
+  ASSERT_NE(dup, nullptr);
+  EXPECT_EQ(dup->count, 1u);
+  EXPECT_NE(dup->site.find("PlantedEagerFlush"), std::string::npos);
+
+  // Once a fence closes the epoch, flushing the line again is a fresh epoch:
+  // no new duplicate.
+  a.ResetFindings();
+  dev.Store64(0, 3);
+  dev.Clwb(0, 8);
+  dev.Sfence();
+  EXPECT_EQ(a.Snapshot().duplicate_epoch_clwb_lines, 0u);
+}
+
 // Bug class 4a: an API returns with an AccessWindow still open / PKRU
 // changed across the call (guideline G1).
 TEST(AuditTest, DetectsWindowLeakAcrossApiBoundary) {

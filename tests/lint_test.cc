@@ -262,6 +262,85 @@ class U {
   EXPECT_EQ(LintSource("src/x.h", src).size(), 1u);
 }
 
+// ---- staged-append-relink -----------------------------------------------
+
+TEST(LintStagedAppendRelink, FlagsFenceWithoutIntent) {
+  const char* src = R"(
+Status ZoFs::FlushStageBroken(const MapInfo& info, StageState* st) {
+  ASSIGN_OR_RETURN(uint64_t page, alloc.AllocPageStaged(&st->flush));
+  st->flush.FlushAll(dev);
+  dev->Sfence();
+  return OkStatus();
+}
+)";
+  auto diags = LintSource("src/zofs/x.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleStagedAppendRelink);
+  EXPECT_EQ(diags[0].line, 5);
+}
+
+TEST(LintStagedAppendRelink, PersistRangeAlsoCounts) {
+  const char* src = R"(
+Status ZoFs::FlushStageBroken(const MapInfo& info, StageState* st) {
+  ASSIGN_OR_RETURN(uint64_t page, alloc.AllocPageStaged(&st->flush));
+  dev->PersistRange(page, 64);
+  return OkStatus();
+}
+)";
+  ASSERT_EQ(LintSource("src/zofs/x.cc", src).size(), 1u);
+}
+
+TEST(LintStagedAppendRelink, IntentBeforeFenceIsClean) {
+  const char* src = R"(
+Status ZoFs::FlushStageGood(const MapInfo& info, StageState* st) {
+  ASSIGN_OR_RETURN(uint64_t page, alloc.AllocPageStaged(&st->flush));
+  RETURN_IF_ERROR(PublishStageIntent(info, *st));
+  st->flush.FlushAll(dev);
+  dev->Sfence();
+  return OkStatus();
+}
+)";
+  EXPECT_TRUE(LintSource("src/zofs/x.cc", src).empty());
+}
+
+// Staging with no fence in the same function is the normal deferred shape
+// (the durability point fences later) and must not arm the rule.
+TEST(LintStagedAppendRelink, DeferredFenceIsClean) {
+  const char* src = R"(
+Result<bool> ZoFs::StageAppendData(Inode* ino, StageState* st) {
+  ASSIGN_OR_RETURN(uint64_t page, alloc.AllocPageStaged(&st->flush));
+  dev->NtStoreBytes(page, buf, n);
+  return true;
+}
+)";
+  EXPECT_TRUE(LintSource("src/zofs/x.cc", src).empty());
+}
+
+TEST(LintStagedAppendRelink, OnePerStagingBatch) {
+  const char* src = R"(
+Status ZoFs::TwoBatches(const MapInfo& info, StageState* st) {
+  ASSIGN_OR_RETURN(uint64_t a, alloc.AllocPageStaged(&st->flush));
+  dev->Sfence();
+  ASSIGN_OR_RETURN(uint64_t b, alloc.AllocPageStaged(&st->flush));
+  dev->Sfence();
+  return OkStatus();
+}
+)";
+  EXPECT_EQ(LintSource("src/zofs/x.cc", src).size(), 2u);
+}
+
+TEST(LintStagedAppendRelink, Suppressed) {
+  const char* src = R"(
+Status ZoFs::FlushStageSpecial(const MapInfo& info, StageState* st) {
+  ASSIGN_OR_RETURN(uint64_t page, alloc.AllocPageStaged(&st->flush));
+  // zofs-lint: allow(staged-append-relink) — stage discarded, nothing durable
+  dev->Sfence();
+  return OkStatus();
+}
+)";
+  EXPECT_TRUE(LintSource("src/zofs/x.cc", src).empty());
+}
+
 // ---- mechanics ----------------------------------------------------------
 
 TEST(LintMechanics, CommentsAndStringsAreIgnored) {
@@ -290,7 +369,7 @@ TEST(LintMechanics, DiagnosticFormatting) {
   EXPECT_EQ(d.ToString(), "src/a.cc:12: raw-mutex: msg");
 }
 
-TEST(LintMechanics, AllRulesListsFive) { EXPECT_EQ(AllRules().size(), 5u); }
+TEST(LintMechanics, AllRulesListsSix) { EXPECT_EQ(AllRules().size(), 6u); }
 
 // ---- the real tree ------------------------------------------------------
 

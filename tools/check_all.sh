@@ -103,6 +103,20 @@ else
   gate "clang-tidy" FAIL
 fi
 
+step "bench-budget: persistence-cost ceilings (bench/budgets.json)"
+# Deterministic clwb/sfence-per-op regression gate for the epoch batcher:
+# runs the scalability sweep (fig8 skipped for speed) and compares the dwal
+# counters against the checked-in budgets. Counters are exact functions of
+# the seed, so this is host-independent.
+cmake --build "$BUILD_DIR" -j --target bench_json
+J=$(mktmp)
+if ZR_BENCH_FIG8=0 "$BUILD_DIR"/tools/bench_json "$J" >/dev/null &&
+   python3 tools/check_bench_budget.py "$J" bench/budgets.json; then
+  gate "bench-budget" PASS
+else
+  gate "bench-budget" FAIL
+fi
+
 step "pmem_audit: fig8 workload (DWOL on zofs), determinism check"
 A=$(mktmp); B=$(mktmp)
 PMEM_OK=1
@@ -115,16 +129,18 @@ if ! diff -q "$A" "$B" >/dev/null; then
 fi
 if [ "$PMEM_OK" -eq 1 ]; then gate "pmem-audit" PASS; else gate "pmem-audit" FAIL; fi
 
-step "crash_explore: fig8 workload (DWOL on zofs), bounded sweep + determinism check"
-A=$(mktmp); B=$(mktmp)
+step "crash_explore: DWOL + staged-append DWAL on zofs, bounded sweeps + determinism check"
 CRASH_OK=1
-"$BUILD_DIR"/tools/crash_explore --workload=DWOL --ops=100 --max-points=200 --json > "$A" || CRASH_OK=0
-"$BUILD_DIR"/tools/crash_explore --workload=DWOL --ops=100 --max-points=200 --json > "$B" || CRASH_OK=0
-if ! diff -q "$A" "$B" >/dev/null; then
-  echo "crash_explore: report is not deterministic across two runs" >&2
-  diff "$A" "$B" >&2 || true
-  CRASH_OK=0
-fi
+for wl in DWOL DWAL; do
+  A=$(mktmp); B=$(mktmp)
+  "$BUILD_DIR"/tools/crash_explore --workload=$wl --ops=100 --max-points=200 --json > "$A" || CRASH_OK=0
+  "$BUILD_DIR"/tools/crash_explore --workload=$wl --ops=100 --max-points=200 --json > "$B" || CRASH_OK=0
+  if ! diff -q "$A" "$B" >/dev/null; then
+    echo "crash_explore: $wl report is not deterministic across two runs" >&2
+    diff "$A" "$B" >&2 || true
+    CRASH_OK=0
+  fi
+done
 if [ "$CRASH_OK" -eq 1 ]; then gate "crash-explore" PASS; else gate "crash-explore" FAIL; fi
 
 step "fault_inject: bounded metadata corruption campaign, determinism check"

@@ -4,12 +4,19 @@
 Each check encodes one *shape* from the paper's evaluation (an ordering or a
 ratio range, never an absolute number). Run after `./run_benches.sh`:
 
-    python3 tools/check_shapes.py [bench_output.txt]
+    python3 tools/check_shapes.py [bench_output.txt] [BENCH_7.json]
+
+Also validates the machine-readable sweep document (schema
+zofs-bench-scale-v2): the derived clwb_per_op / sfence_per_op fields must be
+present and consistent with the raw totals, and the dwal workload must show
+the staged-append fast path engaging.
 
 Exit code 0 = all shapes hold; each failure is printed with context.
 Single-core-host noise is absorbed with generous margins.
 """
 
+import json
+import os
 import re
 import sys
 
@@ -49,8 +56,41 @@ def check(name, cond, detail=""):
         FAILURES.append(name)
 
 
+def check_bench_json(path):
+    """Validates the zofs-bench-scale-v2 sweep document."""
+    if not os.path.exists(path):
+        check(f"J: {path} present", False, "run ./run_benches.sh first")
+        return
+    doc = json.load(open(path))
+    check("J: schema is zofs-bench-scale-v2",
+          doc.get("schema") == "zofs-bench-scale-v2", str(doc.get("schema")))
+    pts = doc.get("sweep", [])
+    check("J: sweep non-empty", len(pts) > 0, f"{len(pts)} points")
+    required = ("ops", "clwb", "clwb_per_op", "sfence", "sfence_per_op",
+                "staged_append_hits")
+    missing = sorted({k for p in pts for k in required if k not in p})
+    check("J: v2 per-point fields present", not missing, ", ".join(missing))
+    if missing:
+        return
+    bad = []
+    for p in pts:
+        for raw, per in (("clwb", "clwb_per_op"), ("sfence", "sfence_per_op")):
+            if p["ops"] and abs(p[per] - p[raw] / p["ops"]) > 0.01:
+                bad.append(f"{p['workload']}/{p['mode']}/{p['threads']}t {per}")
+    check("J: derived per-op rates match raw totals", not bad, "; ".join(bad[:3]))
+    dwal = [p for p in pts if p["workload"] == "dwal"]
+    check("J: dwal staged-append fast path engaged",
+          dwal and all(p["staged_append_hits"] > 0 for p in dwal),
+          f"hits={[p['staged_append_hits'] for p in dwal]}")
+    # The epoch batcher's whole point: appends no longer pay ~1 fence each.
+    check("J: dwal sfence/op well under 1 (epoch batching)",
+          dwal and all(p["sfence_per_op"] < 1.0 for p in dwal),
+          f"{[p['sfence_per_op'] for p in dwal]}")
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    json_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_7.json"
     out = Output(open(path).read())
 
     # ---- Table 1: NVM slower than DRAM; read bandwidth > write bandwidth.
@@ -197,6 +237,9 @@ def main():
     check("6.5: corruption returns a graceful error", "graceful error EUCLEAN" in sec)
     check("6.5: manipulated dentry rejected",
           re.search(r"manipulated dentry: EUCLEAN", sec))
+
+    # ---- Machine-readable sweep (zofs-bench-scale-v2).
+    check_bench_json(json_path)
 
     print()
     if FAILURES:
