@@ -1,6 +1,6 @@
 #!/bin/bash
 # Full benchmark suite -> bench_output.txt, plus the machine-readable
-# scalability sweep -> BENCH_7.json.
+# scalability sweep -> BENCH_8.json.
 set -euo pipefail
 
 cd /root/repo
@@ -54,5 +54,5 @@ fi
 } > /root/repo/bench_output.txt 2>&1
 
 # Machine-readable multicore scalability sweep (sharded vs global-lock).
-./build/tools/bench_json /root/repo/BENCH_7.json > /dev/null
-echo "run_benches.sh: wrote bench_output.txt and BENCH_7.json"
+./build/tools/bench_json /root/repo/BENCH_8.json > /dev/null
+echo "run_benches.sh: wrote bench_output.txt and BENCH_8.json"

@@ -258,6 +258,7 @@ const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> rules = {
       kRuleRawNvmDeref, kRuleUnfencedClwb,       kRuleNakedWrpkru,
       kRuleLockOrder,   kRuleRawMutex,           kRuleStagedAppendRelink,
+      kRuleDirectKernelEntry,
   };
   return rules;
 }
@@ -293,6 +294,12 @@ std::vector<Diagnostic> LintSource(const std::string& path, std::string_view con
 
   const bool nvm_exempt = PathUnder(path, "src/nvm/") || PathUnder(path, "src\\nvm\\");
   const bool mpk_exempt = PathUnder(path, "src/mpk/") || PathUnder(path, "src\\mpk\\");
+  // The only sanctioned crossing sites: the KernFS entry points themselves
+  // and the batching channel. (mpk stays exempt too — it defines the type.)
+  const bool kernel_entry_exempt =
+      PathUnder(path, "src/kernfs/kernfs.cc") || PathUnder(path, "src\\kernfs\\kernfs.cc") ||
+      PathUnder(path, "src/kernfs/channel.cc") || PathUnder(path, "src\\kernfs\\channel.cc") ||
+      mpk_exempt;
 
   std::vector<BlockKind> blocks;
   std::vector<FuncCtx> funcs;
@@ -416,6 +423,18 @@ std::vector<Diagnostic> LintSource(const std::string& path, std::string_view con
       continue;
     }
     FuncCtx& f = funcs.back();
+
+    // direct-kernel-entry: constructing the metered crossing (`KernelEntry
+    // name(...)`) anywhere but the KernFS entry points / channel batch path.
+    // Scope-gated to functions so the class declaration and member uses in
+    // headers do not fire.
+    if (!kernel_entry_exempt && t.text == "KernelEntry" && i + 1 < toks.size() &&
+        toks[i + 1].is_ident && punct_at(i + 2, '(')) {
+      report(kRuleDirectKernelEntry, t.line,
+             "KernelEntry constructed outside src/kernfs/{kernfs,channel}.cc; route the "
+             "crossing through a KernFS entry point or the thread's channel so it is "
+             "metered (and batched) exactly once");
+    }
 
     // unfenced-clwb bookkeeping.
     if (t.text == "Clwb" && punct_at(i + 1, '(')) {

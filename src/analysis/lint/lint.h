@@ -34,6 +34,15 @@
 //                   any fence that could make the partial state durable. A
 //                   function that stages pages and then fences without
 //                   publishing the intent breaks the crash protocol.
+//   direct-kernel-entry
+//                   KernelEntry is the metered user->kernel crossing. Only
+//                   the KernFS entry points (src/kernfs/kernfs.cc) and the
+//                   batching channel (src/kernfs/channel.cc) may construct
+//                   one: a KernelEntry anywhere else bypasses the crossing
+//                   accounting (foreground/background split, per-thread
+//                   counters) and the channel's batching, and nests inside
+//                   an already-open crossing — which aborts under
+//                   ZOFS_AUDIT=1.
 //
 // The checker is deliberately token/scope-level (no libClang in the build
 // image): it strips comments/strings, blanks preprocessor lines, tracks
@@ -61,6 +70,7 @@ inline constexpr const char* kRuleNakedWrpkru = "naked-wrpkru";
 inline constexpr const char* kRuleLockOrder = "lock-order";
 inline constexpr const char* kRuleRawMutex = "raw-mutex";
 inline constexpr const char* kRuleStagedAppendRelink = "staged-append-relink";
+inline constexpr const char* kRuleDirectKernelEntry = "direct-kernel-entry";
 
 // All rule names, for --list-rules and suppression validation.
 const std::vector<std::string>& AllRules();

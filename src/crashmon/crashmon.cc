@@ -112,6 +112,10 @@ void Apply(ModelState* m, const OpRecord& op) {
 struct Plan {
   std::vector<OpRecord> setup;  // executed before crash capture starts
   std::vector<OpRecord> run;    // executed under crash capture
+  // Advance Explore's pinned clock by this much between recorded ops (0 =
+  // frozen). kChurn uses it to lapse allocator leases deterministically so
+  // fast-path renewals fire — and persist — during the capture.
+  uint64_t clock_step_ns = 0;
 };
 
 std::string Nm(const char* prefix, uint64_t i) {
@@ -277,6 +281,25 @@ Plan BuildPlan(Workload w, uint64_t ops, uint64_t seed) {
       }
       break;
     }
+    case Workload::kChurn: {
+      // Open/create/delete storm (the channel benchmarks' churn kernel):
+      // creates pull allocator refills through the async submission ring, so
+      // most crash points land on a partially drained ring — queued requests
+      // the kernel never saw plus completed grants no free list linked yet.
+      // The stepped clock lapses leases past the renewal threshold, covering
+      // crashes between a persisted fast-path renewal and the next
+      // durability point.
+      AddSimple(&p.setup, OpRecord::Kind::kMkdir, "/ch");
+      for (uint64_t i = 0; i < ops; i++) {
+        AddCreate(&p.run, "/ch/" + Nm("f", i), i % 8 == 7 ? 0600 : 0644);
+        AddWrite(&p.run, "/ch/" + Nm("f", i), 0, RandData(&rng, 96 + 32 * rng.Below(4)));
+        if (i % 4 == 3) {
+          AddSimple(&p.run, OpRecord::Kind::kUnlink, "/ch/" + Nm("f", i - 3));
+        }
+      }
+      p.clock_step_ns = 150'000;  // lease_ns/2 is 1 ms: a renewal every ~7 ops
+      break;
+    }
   }
   return p;
 }
@@ -403,6 +426,9 @@ Recording Record(const ExploreOptions& opts) {
   dev.SnapshotTo(&rec.snapshot);
 
   for (OpRecord& op : plan.run) {
+    if (plan.clock_step_ns != 0) {
+      common::AdvanceNowNsForTest(plan.clock_step_ns);
+    }
     Exec(fs.get(), &dev, &op, &cache);
     if (!op.ok) {
       rec.ops_failed++;
@@ -838,6 +864,8 @@ const char* WorkloadName(Workload w) {
       return "MIXED";
     case Workload::kDWAL:
       return "DWAL";
+    case Workload::kChurn:
+      return "CHURN";
   }
   return "?";
 }

@@ -50,11 +50,17 @@ namespace crashmon {
 // un-synced appends may be wholly or partially absent), which is exactly the
 // contract the epoch batcher trades fences for — the crash sweep covers
 // mid-epoch and mid-relink images of the staged-append intent protocol.
-enum class Workload { kDWOL, kMWCL, kMWUL, kMWRL, kMixed, kDWAL };
+// kChurn is an open/create/delete storm recorded with the per-thread
+// submission channels enabled and the pinned clock stepped between ops: the
+// async refill prefetch keeps the (volatile) submission/completion rings
+// partially drained at most crash points, and the stepped clock lapses
+// allocator leases so persisted fast-path renewals land mid-run — the sweep
+// covers every image between a renewal and its next durability point.
+enum class Workload { kDWOL, kMWCL, kMWUL, kMWRL, kMixed, kDWAL, kChurn };
 
 inline constexpr Workload kAllWorkloads[] = {
-    Workload::kDWOL, Workload::kMWCL,  Workload::kMWUL,
-    Workload::kMWRL, Workload::kMixed, Workload::kDWAL,
+    Workload::kDWOL, Workload::kMWCL,  Workload::kMWUL, Workload::kMWRL,
+    Workload::kMixed, Workload::kDWAL, Workload::kChurn,
 };
 
 const char* WorkloadName(Workload w);

@@ -289,6 +289,11 @@ std::vector<Trial> BuildTrials(const SetupInfo& s, const CampaignOptions& opts) 
 
   add(FaultClass::kControl, s.root_cid, "no corruption (harness self-check)", {});
 
+  // -- Volatile fault: a queued submission-channel entry scribbled in flight.
+  // No image patch: RunTrial corrupts the live ring before the op battery.
+  add(FaultClass::kChanEntryScribble, s.root_cid, "async channel entry scribbled in flight",
+      {});
+
   // -- Random single-bit flips across whole persistent structures.
   struct FlipTarget {
     FaultClass cls;
@@ -681,6 +686,32 @@ void RunTrial(nvm::NvmDevice* dev, const SetupInfo& s, const CampaignOptions& op
     auto kfs = std::make_unique<kernfs::KernFs>(dev);
     kfs->set_kernel_crossing_ns(0);
     auto fs = std::make_unique<fslib::FsLib>(kfs.get(), kCred, zo);
+    if (t.cls == FaultClass::kChanEntryScribble) {
+      // The submission ring is volatile DRAM, so this fault cannot be planted
+      // in the image: queue an async refill, scribble it in place, and force
+      // the drain. The kernel must refuse the entry with kInval before
+      // dispatching — anything else is a protection failure.
+      kernfs::Channel* ch = fs->zofs().channels().Current();
+      if (ch == nullptr) {
+        v.Note(Outcome::kSilentData, "channel: no channel to corrupt (channels disabled)");
+      } else {
+        ch->SubmitEnlarge(kfs->root_coffer_id(), 8);
+        ch->CorruptQueuedForTest(0);
+        ch->Flush();
+        bool refused = false;
+        for (const kernfs::ChanCompletion& c : ch->Harvest()) {
+          if (!c.status.ok() && c.status.error() == Err::kInval) {
+            refused = true;
+          }
+        }
+        if (refused) {
+          v.Note(Outcome::kDetected, "channel: scribbled in-flight entry refused (kInval)");
+        } else {
+          v.Note(Outcome::kSilentData,
+                 "channel: scribbled in-flight entry dispatched undetected");
+        }
+      }
+    }
     Battery(fs.get(), s, t, &v);
     fs.reset();
     kfs.reset();
@@ -789,6 +820,8 @@ const char* FaultClassName(FaultClass c) {
       return "lease-garbage";
     case FaultClass::kDirCycle:
       return "dir-cycle";
+    case FaultClass::kChanEntryScribble:
+      return "chan-entry-scribble";
     case FaultClass::kCofferRootBogus:
       return "coffer-root-bogus";
   }

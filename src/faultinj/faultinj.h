@@ -50,6 +50,9 @@ enum class FaultClass {
   kLeaseGarbage,     // allocator lease words and inode lock words scribbled
   kDirCycle,         // directory hash-chain cycles and self-references
   kCofferRootBogus,  // coffer-root magic/custom_off/root_inode_off garbage
+  kChanEntryScribble,// a queued channel request scribbled in flight (volatile
+                     // DRAM fault, injected live rather than via the image):
+                     // the kernel must refuse it with kInval, never dispatch
 };
 
 inline constexpr FaultClass kAllFaultClasses[] = {
@@ -58,6 +61,7 @@ inline constexpr FaultClass kAllFaultClasses[] = {
     FaultClass::kBlkptrCrossCoffer, FaultClass::kAllocRunLie,
     FaultClass::kFreeListGarbage,  FaultClass::kLeaseGarbage,
     FaultClass::kDirCycle,         FaultClass::kCofferRootBogus,
+    FaultClass::kChanEntryScribble,
 };
 
 const char* FaultClassName(FaultClass c);

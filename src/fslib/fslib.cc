@@ -189,7 +189,13 @@ vfs::Status FsLib::Close(vfs::Fd fd) {
     BindThread();
     return Guarded(__func__, [&]() -> vfs::Status {
       fs_->FixNode(&dead->node);
-      return fs_->SyncNode(dead->node);
+      vfs::Status st = fs_->SyncNode(dead->node);
+      // Close is also a channel completion point: execute this thread's
+      // queued async kernel work and harvest completions off the hot path.
+      if (zofs_ != nullptr) {
+        zofs_->HarvestCompletions();
+      }
+      return st;
     });
   }
   return OkStatus();  // `dead` drops the description outside both locks
@@ -288,7 +294,12 @@ vfs::Status FsLib::Fsync(vfs::Fd fd) {
     // deferred state of the epoch batcher (ZoFS staged appends).
     ASSIGN_OR_RETURN(d, Get(fd));
     fs_->FixNode(&d->node);
-    return fs_->SyncNode(d->node);
+    vfs::Status st = fs_->SyncNode(d->node);
+    // fsync is a channel completion point (see Close).
+    if (zofs_ != nullptr) {
+      zofs_->HarvestCompletions();
+    }
+    return st;
   });
 }
 

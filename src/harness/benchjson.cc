@@ -21,10 +21,13 @@ constexpr size_t kBlock = 4096;
 const vfs::Cred kCred{0, 0};
 
 enum class Scope { kShared, kPrivate };
-enum class Kernel { kAppend, kCreate, kUnlink, kRename };
+// kChurn is the open/create/delete storm the channel work targets: every op
+// creates a file and every fourth op unlinks an older one, so the allocator
+// keeps drawing pages from the kernel while the working set stays bounded.
+enum class Kernel { kAppend, kCreate, kUnlink, kRename, kChurn };
 
 constexpr Kernel kAllKernels[] = {Kernel::kAppend, Kernel::kCreate, Kernel::kUnlink,
-                                  Kernel::kRename};
+                                  Kernel::kRename, Kernel::kChurn};
 
 // Errors in a bench kernel invalidate every counter downstream; abort loudly
 // (assert() is compiled out of release builds).
@@ -47,6 +50,8 @@ const char* KernelName(Kernel k) {
       return "mwul";
     case Kernel::kRename:
       return "mwrl";
+    case Kernel::kChurn:
+      return "churn";
   }
   return "?";
 }
@@ -79,7 +84,12 @@ struct Point {
   uint64_t p50_ns = 0;
   uint64_t p99_ns = 0;
   // Deterministic structural counters (deltas over the measured phase).
+  // Crossings are split foreground/background (the CrossingCount()
+  // mis-attribution bugfix): kernel_crossings counts only crossings a
+  // measured op synchronously waited on; async-ring drains and other
+  // BackgroundCrossingScope work land in kernel_crossings_bg.
   uint64_t kernel_crossings = 0;
+  uint64_t kernel_crossings_bg = 0;
   uint64_t clwb = 0;
   uint64_t sfence = 0;
   uint64_t shard_lock_acquisitions = 0;
@@ -99,6 +109,9 @@ Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
   lopts.dev_bytes = opts.dev_bytes;
   lopts.zofs_state_shards = sharded ? 16 : 1;
   lopts.zofs_session_cache = sharded;
+  // The globallock baseline also runs with synchronous crossings, so the
+  // sharded-vs-globallock comparison covers channels-vs-no-channels too.
+  lopts.zofs_sync_crossings = !sharded;
   FsLab lab(FsKind::kZofs, lopts);
   vfs::FileSystem* fs = lab.View(0);
   auto* fslib = static_cast<fslib::FsLib*>(fs);
@@ -139,7 +152,8 @@ Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
     }
   }
 
-  const uint64_t crossings0 = kernfs::CrossingCount();
+  const uint64_t fg0 = kernfs::ForegroundCrossingCount();
+  const uint64_t bg0 = kernfs::BackgroundCrossingCount();
   const uint64_t clwb0 = lab.dev()->clwb_count();
   const uint64_t sfence0 = lab.dev()->sfence_count();
   const uint64_t locks0 = fslib->zofs().ShardLockAcquisitionsForTest();
@@ -204,6 +218,24 @@ Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
           });
         }
         break;
+      case Kernel::kChurn:
+        // Open/create/delete storm: each op creates a fresh file; every
+        // fourth op also unlinks one created three ops earlier, so pages
+        // keep cycling through the allocator (net growth ~1 page/op keeps
+        // the kernel refill path hot) while the tree stays bounded.
+        for (uint64_t i = 0; i < opts.ops_per_thread; i++) {
+          timed([&] {
+            auto fd = fs->Open(kCred, tree + "/f" + std::to_string(i),
+                               vfs::kCreate | vfs::kWrite, mode);
+            CHECK_OK(fd);
+            fs->Close(*fd);
+            if (i % 4 == 3) {
+              auto s = fs->Unlink(kCred, tree + "/f" + std::to_string(i - 3));
+              CHECK_OK(s);
+            }
+          });
+        }
+        break;
     }
     return opts.ops_per_thread;
   });
@@ -223,7 +255,8 @@ Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
   p.mean_ns = all.MeanNs();
   p.p50_ns = all.PercentileNs(50);
   p.p99_ns = all.PercentileNs(99);
-  p.kernel_crossings = kernfs::CrossingCount() - crossings0;
+  p.kernel_crossings = kernfs::ForegroundCrossingCount() - fg0;
+  p.kernel_crossings_bg = kernfs::BackgroundCrossingCount() - bg0;
   p.clwb = lab.dev()->clwb_count() - clwb0;
   p.sfence = lab.dev()->sfence_count() - sfence0;
   p.shard_lock_acquisitions = fslib->zofs().ShardLockAcquisitionsForTest() - locks0;
@@ -256,6 +289,12 @@ void EmitPoint(std::ostringstream& out, const Point& p, bool first) {
       << ", \"p99_ns\": " << p.p99_ns << ",\n"
       << "     \"kernel_crossings\": " << p.kernel_crossings
       << ", \"kernel_crossings_per_op\": " << Fmt(PerOp(p.kernel_crossings, p.ops))
+      << ", \"kernel_crossings_bg\": " << p.kernel_crossings_bg
+      << ", \"kernel_crossings_bg_per_op\": " << Fmt(PerOp(p.kernel_crossings_bg, p.ops))
+      << ", \"crossing_ns_per_op\": "
+      << Fmt(PerOp((p.kernel_crossings + p.kernel_crossings_bg) *
+                       LabOptions{}.kernel_crossing_ns,
+                   p.ops))
       << ",\n"
       << "     \"clwb\": " << p.clwb << ", \"clwb_per_op\": " << Fmt(PerOp(p.clwb, p.ops))
       << ", \"sfence\": " << p.sfence
@@ -272,7 +311,7 @@ void EmitPoint(std::ostringstream& out, const Point& p, bool first) {
 std::string RunBenchJson(const BenchJsonOptions& opts) {
   std::ostringstream out;
   out << "{\n";
-  out << "  \"schema\": \"zofs-bench-scale-v2\",\n";
+  out << "  \"schema\": \"zofs-bench-scale-v3\",\n";
   out << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
   out << "  \"config\": {\"ops_per_thread\": " << opts.ops_per_thread
       << ", \"seed\": " << opts.seed << ", \"dev_bytes\": " << opts.dev_bytes

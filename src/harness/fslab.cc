@@ -157,6 +157,7 @@ vfs::FileSystem* FsLab::View(int proc) {
         zopts.enlarge_batch = opts_.zofs_enlarge_batch;
         zopts.state_shards = opts_.zofs_state_shards;
         zopts.session_cache = opts_.zofs_session_cache;
+        zopts.sync_crossings = opts_.zofs_sync_crossings;
         views_[proc] = std::make_unique<fslib::FsLib>(kernfs_.get(), opts_.cred, zopts);
         break;
       }

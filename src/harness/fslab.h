@@ -63,6 +63,9 @@ struct LabOptions {
   // and disables the per-thread session cache).
   uint32_t zofs_state_shards = 16;
   bool zofs_session_cache = true;
+  // Disable the per-thread kernel channels: every crossing taken
+  // synchronously (bench_json's baseline configs, differential tests).
+  bool zofs_sync_crossings = false;
   // Skip installing the MPK device hook (measures protection overhead).
   bool disable_mpk = false;
 };

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "src/common/clock.h"
@@ -35,19 +37,62 @@ uint64_t SumRuns(const std::map<uint64_t, uint64_t>& runs) {
 
 namespace {
 std::atomic<uint64_t> g_crossing_count{0};
+std::atomic<uint64_t> g_bg_crossing_count{0};
+thread_local uint64_t t_thread_crossings = 0;
+thread_local int t_bg_depth = 0;
+// Non-reentrance audit: >0 while a KernelEntry is alive on this thread.
+thread_local int t_kernel_depth = 0;
+
+// Same semantics as audit::EnvEnabled() without linking src/audit into the
+// kernel library.
+bool AuditEnvEnabled() {
+  static const bool on = [] {
+    const char* v = getenv("ZOFS_AUDIT");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+  }();
+  return on;
+}
 }  // namespace
 
 uint64_t CrossingCount() { return g_crossing_count.load(std::memory_order_relaxed); }
 
+uint64_t ForegroundCrossingCount() {
+  return g_crossing_count.load(std::memory_order_relaxed) -
+         g_bg_crossing_count.load(std::memory_order_relaxed);
+}
+
+uint64_t BackgroundCrossingCount() {
+  return g_bg_crossing_count.load(std::memory_order_relaxed);
+}
+
+uint64_t ThreadCrossingCount() { return t_thread_crossings; }
+
+BackgroundCrossingScope::BackgroundCrossingScope() { t_bg_depth++; }
+BackgroundCrossingScope::~BackgroundCrossingScope() { t_bg_depth--; }
+
 KernelEntry::KernelEntry(uint64_t crossing_ns)
     : saved_table_(mpk::CurrentTable()), saved_pkru_(mpk::RdPkru()) {
+  if (t_kernel_depth != 0 && AuditEnvEnabled()) {
+    fprintf(stderr,
+            "KernelEntry: nested kernel crossing (depth %d) — a public entry "
+            "point called another public entry point; route kernel-internal "
+            "work through the unmetered Do* helpers\n",
+            t_kernel_depth);
+    abort();
+  }
+  t_kernel_depth++;
   g_crossing_count.fetch_add(1, std::memory_order_relaxed);
+  if (t_bg_depth > 0) {
+    g_bg_crossing_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  t_thread_crossings++;
   // The kernel is not subject to the user PKRU / user page-key bits.
   mpk::BindThreadToProcess(nullptr);
   common::SpinNs(crossing_ns);
 }
 
 KernelEntry::~KernelEntry() {
+  t_kernel_depth--;
   mpk::BindThreadToProcess(saved_table_);
   // KernelEntry IS the RAII window type for kernel crossings; the dtor
   // restores the PKRU captured at entry.
@@ -108,9 +153,12 @@ KernFs::KernFs(nvm::NvmDevice* dev, const FormatOptions& opts) : dev_(dev) {
   free_by_size_.emplace(num_pages - pool_start, pool_start);
 
   // Create the root coffer ("/") with a synthetic root-credential process.
+  // Kernel-internal: format runs inside the kernel already, so this goes
+  // through the unmetered helper — the public CofferNew would charge a bogus
+  // crossing to a call that never crossed (caught by the reentrance audit).
   Process boot(0, vfs::Cred{opts.root_uid, opts.root_gid}, num_pages);
-  auto root = CofferNew(boot, "/", opts.root_type, opts.root_mode, opts.root_uid, opts.root_gid,
-                        opts.initial_coffer_pages);
+  auto root = DoCofferNew(boot, "/", opts.root_type, opts.root_mode, opts.root_uid, opts.root_gid,
+                          opts.initial_coffer_pages);
   assert(root.ok());
   root_coffer_id_ = *root;
   dev_->Store32(offsetof(Superblock, root_coffer_id), root_coffer_id_);
@@ -447,6 +495,12 @@ Result<uint32_t> KernFs::CofferNew(Process& proc, const std::string& path, uint3
                                    uint16_t mode, uint32_t uid, uint32_t gid,
                                    uint64_t extra_pages) {
   KernelEntry enter(crossing_ns_);
+  return DoCofferNew(proc, path, type, mode, uid, gid, extra_pages);
+}
+
+Result<uint32_t> KernFs::DoCofferNew(Process& proc, const std::string& path, uint32_t type,
+                                     uint16_t mode, uint32_t uid, uint32_t gid,
+                                     uint64_t extra_pages) {
   if (path.empty() || path[0] != '/' || path.size() >= kMaxCofferPath) {
     return Err::kInval;
   }
@@ -552,6 +606,11 @@ Status KernFs::CofferDelete(Process& proc, uint32_t coffer_id) {
 Result<std::vector<PageRun>> KernFs::CofferEnlarge(Process& proc, uint32_t coffer_id,
                                                    uint64_t n_pages) {
   KernelEntry enter(crossing_ns_);
+  return DoCofferEnlarge(proc, coffer_id, n_pages);
+}
+
+Result<std::vector<PageRun>> KernFs::DoCofferEnlarge(Process& proc, uint32_t coffer_id,
+                                                     uint64_t n_pages) {
   common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
@@ -583,6 +642,11 @@ Result<std::vector<PageRun>> KernFs::CofferEnlarge(Process& proc, uint32_t coffe
 
 Status KernFs::CofferShrink(Process& proc, uint32_t coffer_id, const std::vector<PageRun>& runs) {
   KernelEntry enter(crossing_ns_);
+  return DoCofferShrink(proc, coffer_id, runs);
+}
+
+Status KernFs::DoCofferShrink(Process& proc, uint32_t coffer_id,
+                              const std::vector<PageRun>& runs) {
   common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
@@ -632,6 +696,10 @@ Status KernFs::CofferShrink(Process& proc, uint32_t coffer_id, const std::vector
 
 Result<MapInfo> KernFs::CofferMap(Process& proc, uint32_t coffer_id, bool writable) {
   KernelEntry enter(crossing_ns_);
+  return DoCofferMap(proc, coffer_id, writable);
+}
+
+Result<MapInfo> KernFs::DoCofferMap(Process& proc, uint32_t coffer_id, bool writable) {
   common::MutexLock lk(&mu_);
   CofferInfo* c = FindCoffer(coffer_id);
   if (c == nullptr) {
@@ -716,12 +784,84 @@ void KernFs::UnmapLocked(Process& proc, uint32_t coffer_id) {
 
 Status KernFs::CofferUnmap(Process& proc, uint32_t coffer_id) {
   KernelEntry enter(crossing_ns_);
+  return DoCofferUnmap(proc, coffer_id);
+}
+
+Status KernFs::DoCofferUnmap(Process& proc, uint32_t coffer_id) {
   common::MutexLock lk(&mu_);
   if (!proc.HasMapped(coffer_id)) {
     return Err::kInval;
   }
   UnmapLocked(proc, coffer_id);
   return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Batched execution (the channel's drain path)
+
+void KernFs::ExecuteBatch(Process& proc, const std::vector<ChanRequest>& reqs,
+                          std::vector<ChanCompletion>* out) {
+  if (reqs.empty()) {
+    return;
+  }
+  // The crossing is background iff nothing in the batch is a foreground
+  // request: async housekeeping riding alone must not pollute the foreground
+  // counter the benchmarks gate on.
+  bool all_background = true;
+  for (const ChanRequest& r : reqs) {
+    all_background = all_background && r.background;
+  }
+  std::unique_ptr<BackgroundCrossingScope> bg;
+  if (all_background) {
+    bg = std::make_unique<BackgroundCrossingScope>();
+  }
+  KernelEntry enter(crossing_ns_);
+  for (const ChanRequest& r : reqs) {
+    ChanCompletion c;
+    c.op = r.op;
+    c.coffer_id = r.coffer_id;
+    c.seq = r.seq;
+    c.background = r.background;
+    if (r.magic != kChanReqMagic) {
+      // Scribbled in-flight entry: refuse without dispatching. The submission
+      // ring is volatile DRAM, so this is detection, not recovery.
+      c.status = Err::kInval;
+      out->push_back(std::move(c));
+      continue;
+    }
+    switch (r.op) {
+      case ChanOp::kNop:
+        break;
+      case ChanOp::kMap: {
+        auto info = DoCofferMap(proc, r.coffer_id, r.writable);
+        if (info.ok()) {
+          c.map_info = *info;
+        } else {
+          c.status = info.error();
+        }
+        break;
+      }
+      case ChanOp::kUnmap:
+        c.status = DoCofferUnmap(proc, r.coffer_id);
+        break;
+      case ChanOp::kEnlarge: {
+        auto runs = DoCofferEnlarge(proc, r.coffer_id, r.n_pages);
+        if (runs.ok()) {
+          c.runs = std::move(*runs);
+        } else {
+          c.status = runs.error();
+        }
+        break;
+      }
+      case ChanOp::kShrink:
+        c.status = DoCofferShrink(proc, r.coffer_id, r.runs);
+        break;
+      default:
+        c.status = Err::kInval;  // out-of-range op byte: corrupted entry
+        break;
+    }
+    out->push_back(std::move(c));
+  }
 }
 
 Result<uint32_t> KernFs::CofferFind(const std::string& path) {

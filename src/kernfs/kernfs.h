@@ -84,6 +84,47 @@ struct MapInfo {
   uint64_t custom_off = 0;
 };
 
+// ---- Batched submission/completion interface (ZUFS-style channels) --------
+//
+// A ChanRequest is one queued kernel operation; ExecuteBatch runs a whole
+// vector of them under ONE KernelEntry, so N queued requests pay one
+// crossing. The per-thread `Channel` (src/kernfs/channel.h) is the producer;
+// KernFs validates each entry before dispatch (a scribbled in-flight request
+// must fail that request, not the kernel).
+
+enum class ChanOp : uint8_t {
+  kNop = 0,
+  kMap,      // CofferMap(coffer_id, writable)
+  kUnmap,    // CofferUnmap(coffer_id)
+  kEnlarge,  // CofferEnlarge(coffer_id, n_pages)
+  kShrink,   // CofferShrink(coffer_id, runs) — drain-time grant return
+};
+
+// Integrity tag checked at drain: in-flight entries live in DRAM and a stray
+// write (fault-injection) must be detected, not dispatched.
+inline constexpr uint32_t kChanReqMagic = 0x43524551;  // "CREQ"
+
+struct ChanRequest {
+  ChanOp op = ChanOp::kNop;
+  uint32_t coffer_id = 0;
+  bool writable = false;
+  bool background = false;  // submitted from the async ring
+  uint64_t n_pages = 0;
+  std::vector<PageRun> runs;  // kShrink payload
+  uint64_t seq = 0;           // channel-local submission sequence
+  uint32_t magic = kChanReqMagic;
+};
+
+struct ChanCompletion {
+  ChanOp op = ChanOp::kNop;
+  uint32_t coffer_id = 0;
+  uint64_t seq = 0;
+  bool background = false;
+  Status status = common::OkStatus();
+  MapInfo map_info;           // kMap result
+  std::vector<PageRun> runs;  // kEnlarge grant
+};
+
 struct FormatOptions {
   uint64_t path_map_buckets = 1 << 14;
   uint16_t root_mode = 0755;
@@ -120,6 +161,14 @@ class KernFs {
 
   // An empty system call (used by the ZoFS-sysempty variant of Figure 8).
   void Nop();
+
+  // Executes a batch of channel requests under a single KernelEntry: the
+  // whole point of the submission ring — N queued requests, one crossing.
+  // Every request is validated (magic tag, known op) before dispatch; a
+  // corrupted entry completes with kInval without touching kernel state.
+  // The crossing is attributed background iff every request is background.
+  void ExecuteBatch(Process& proc, const std::vector<ChanRequest>& reqs,
+                    std::vector<ChanCompletion>* out);
 
   // ---- FS operations (Table 5).
   Status FsMount(Process& proc);
@@ -232,6 +281,19 @@ class KernFs {
     std::set<Process*> mapped_by;
   };
 
+  // --- unmetered implementations -------------------------------------------
+  // Each public Table-5 entry point is KernelEntry + DoX; internal callers
+  // (the format constructor, ExecuteBatch) invoke DoX directly so kernel-
+  // internal work never charges a second crossing or trips the non-reentrance
+  // audit. Each DoX takes mu_ itself.
+  Result<uint32_t> DoCofferNew(Process& proc, const std::string& path, uint32_t type,
+                               uint16_t mode, uint32_t uid, uint32_t gid, uint64_t extra_pages);
+  Result<std::vector<PageRun>> DoCofferEnlarge(Process& proc, uint32_t coffer_id,
+                                               uint64_t n_pages);
+  Status DoCofferShrink(Process& proc, uint32_t coffer_id, const std::vector<PageRun>& runs);
+  Result<MapInfo> DoCofferMap(Process& proc, uint32_t coffer_id, bool writable);
+  Status DoCofferUnmap(Process& proc, uint32_t coffer_id);
+
   // --- allocation table (callers hold mu_) ---
   AllocEntry ReadEntry(uint64_t page) const REQUIRES(mu_);
   void WriteEntry(uint64_t page, uint32_t owner, uint32_t run_len) REQUIRES(mu_);
@@ -275,9 +337,34 @@ class KernFs {
 // benchmarks sample deltas around a measured phase to report crossings/op.
 uint64_t CrossingCount();
 
+// Foreground / background split of CrossingCount(). A crossing is background
+// when it executes under a BackgroundCrossingScope — async-ring drains, lease
+// housekeeping, backoff-driven recovery. Delta-sampling ForegroundCrossingCount
+// around a measured phase no longer attributes background work to the
+// foreground ops (the CrossingCount() mis-attribution bugfix).
+// Invariant: CrossingCount() == Foreground + Background.
+uint64_t ForegroundCrossingCount();
+uint64_t BackgroundCrossingCount();
+
+// Crossings charged by the calling thread since it first crossed (a
+// per-thread counter; per-channel counts live in kernfs::Channel).
+uint64_t ThreadCrossingCount();
+
+// RAII: while alive on this thread, every KernelEntry is attributed to the
+// background counter instead of the foreground one. Nestable.
+class BackgroundCrossingScope {
+ public:
+  BackgroundCrossingScope();
+  ~BackgroundCrossingScope();
+  BackgroundCrossingScope(const BackgroundCrossingScope&) = delete;
+  BackgroundCrossingScope& operator=(const BackgroundCrossingScope&) = delete;
+};
+
 // RAII: models entering the kernel — charges the crossing cost and suspends
 // MPK enforcement for the scope (kernel accesses are not subject to the
-// user-mode PKRU).
+// user-mode PKRU). Under ZOFS_AUDIT=1 a nested construction aborts: an entry
+// point calling another public entry point would double-charge the crossing
+// (kernel-internal work must go through the unmetered Do* helpers).
 class KernelEntry {
  public:
   explicit KernelEntry(uint64_t crossing_ns);

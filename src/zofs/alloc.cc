@@ -29,14 +29,16 @@ uint64_t CurrentTid() {
 
 CofferAllocator::CofferAllocator(kernfs::KernFs* kfs, kernfs::Process* proc, uint32_t coffer_id,
                                  uint64_t pool_off, uint64_t lease_ns, uint64_t enlarge_batch,
-                                 bool validate)
+                                 bool validate, kernfs::ChannelSet* channels)
     : kfs_(kfs),
       proc_(proc),
       coffer_id_(coffer_id),
       pool_off_(pool_off),
       lease_ns_(lease_ns),
       enlarge_batch_(enlarge_batch),
-      validate_(validate) {}
+      validate_(validate),
+      channels_(channels),
+      low_water_(enlarge_batch / 8 > 0 ? enlarge_batch / 8 : 1) {}
 
 bool CofferAllocator::ValidFreePage(uint64_t off) const {
   if (!validate_) {
@@ -58,7 +60,7 @@ void CofferAllocator::InitPool(nvm::NvmDevice* dev, uint64_t pool_off) {
 
 AllocPool* CofferAllocator::pool() { return kfs_->dev()->As<AllocPool>(pool_off_); }
 
-Result<uint32_t> CofferAllocator::AcquireList() {
+Result<uint32_t> CofferAllocator::AcquireList(nvm::FlushSet* flush) {
   nvm::NvmDevice* dev = kfs_->dev();
   AllocPool* p = pool();
   if (validate_ && p->magic != kPoolMagic) {
@@ -72,9 +74,21 @@ Result<uint32_t> CofferAllocator::AcquireList() {
   if (it != t_my_list.end()) {
     LeasedFreeList* l = &p->lists[it->second];
     if (l->owner_tid == tid && l->lease_expiry_ns > now) {
-      // Renew the lease.
-      uint64_t loff = pool_off_ + offsetof(AllocPool, lists) + it->second * sizeof(LeasedFreeList);
-      dev->Store64(loff + offsetof(LeasedFreeList, lease_expiry_ns), now + lease_ns_);
+      // Renew the lease once less than half of it remains. The renewal must
+      // reach NVM (this used to be a bare Store64 — after a crash, recovery
+      // observed the stale shorter expiry while this thread believed the
+      // renewal stuck, so another process could steal a live list). The
+      // write-back coalesces into the epoch's flush set when one is open.
+      if (l->lease_expiry_ns < now + lease_ns_ / 2) {
+        uint64_t loff =
+            pool_off_ + offsetof(AllocPool, lists) + it->second * sizeof(LeasedFreeList);
+        dev->Store64(loff + offsetof(LeasedFreeList, lease_expiry_ns), now + lease_ns_);
+        if (flush != nullptr) {
+          flush->Note(dev, loff, sizeof(LeasedFreeList));
+        } else {
+          dev->PersistRange(loff, sizeof(LeasedFreeList));
+        }
+      }
       return it->second;
     }
     t_my_list.erase(it);
@@ -115,9 +129,23 @@ Result<uint64_t> CofferAllocator::AllocPageStaged(nvm::FlushSet* flush) {
   return AllocPageImpl(/*zero=*/false, flush);
 }
 
+Result<std::vector<kernfs::PageRun>> CofferAllocator::RefillRuns() {
+  kernfs::Channel* ch = channels_ != nullptr ? channels_->Current() : nullptr;
+  if (ch != nullptr) {
+    // Harvest the prefetched grant if the async ring has (or will have,
+    // after a piggybacked background drain) one for this coffer.
+    kernfs::ChanCompletion done;
+    if (ch->TakeEnlarge(coffer_id_, &done) && done.status.ok()) {
+      return std::move(done.runs);
+    }
+    return ch->Enlarge(coffer_id_, enlarge_batch_);
+  }
+  return kfs_->CofferEnlarge(*proc_, coffer_id_, enlarge_batch_);
+}
+
 Result<uint64_t> CofferAllocator::AllocPageImpl(bool zero, nvm::FlushSet* flush) {
   nvm::NvmDevice* dev = kfs_->dev();
-  ASSIGN_OR_RETURN(idx, AcquireList());
+  ASSIGN_OR_RETURN(idx, AcquireList(flush));
   AllocPool* p = pool();
   LeasedFreeList* l = &p->lists[idx];
   const uint64_t loff = pool_off_ + offsetof(AllocPool, lists) + idx * sizeof(LeasedFreeList);
@@ -128,7 +156,7 @@ Result<uint64_t> CofferAllocator::AllocPageImpl(bool zero, nvm::FlushSet* flush)
     // whole batch is linked with plain stores and the list line written back
     // once at the end, not twice per page (the dominant clwb cost of the
     // pre-epoch-batcher append path).
-    auto runs = kfs_->CofferEnlarge(*proc_, coffer_id_, enlarge_batch_);
+    auto runs = RefillRuns();
     if (!runs.ok()) {
       return runs.error();
     }
@@ -172,6 +200,14 @@ Result<uint64_t> CofferAllocator::AllocPageImpl(bool zero, nvm::FlushSet* flush)
     // The caller's operation-final fence covers the zeroing NT stores.
     dev->NtStoreBytes(page_off, kZeroPage, nvm::kPageSize);
   }
+  // Low-water prefetch: queue the next refill on the async ring now (no
+  // crossing), so by the time the list runs dry the grant is one background
+  // drain away instead of a foreground CofferEnlarge. Deduped per coffer.
+  if (channels_ != nullptr && l->count <= low_water_) {
+    if (kernfs::Channel* ch = channels_->Current()) {
+      ch->SubmitEnlarge(coffer_id_, enlarge_batch_);
+    }
+  }
   return page_off;
 }
 
@@ -186,7 +222,7 @@ void CofferAllocator::PushLocked(LeasedFreeList* l, uint64_t list_off, uint64_t 
 }
 
 Status CofferAllocator::FreePage(uint64_t page_off) {
-  ASSIGN_OR_RETURN(idx, AcquireList());
+  ASSIGN_OR_RETURN(idx, AcquireList(/*flush=*/nullptr));
   AllocPool* p = pool();
   LeasedFreeList* l = &p->lists[idx];
   const uint64_t loff = pool_off_ + offsetof(AllocPool, lists) + idx * sizeof(LeasedFreeList);
@@ -195,7 +231,7 @@ Status CofferAllocator::FreePage(uint64_t page_off) {
 }
 
 Status CofferAllocator::Donate(const std::vector<kernfs::PageRun>& runs) {
-  ASSIGN_OR_RETURN(idx, AcquireList());
+  ASSIGN_OR_RETURN(idx, AcquireList(/*flush=*/nullptr));
   AllocPool* p = pool();
   LeasedFreeList* l = &p->lists[idx];
   const uint64_t loff = pool_off_ + offsetof(AllocPool, lists) + idx * sizeof(LeasedFreeList);

@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "src/common/result.h"
+#include "src/kernfs/channel.h"
 #include "src/kernfs/kernfs.h"
 #include "src/nvm/flushset.h"
 #include "src/zofs/layout.h"
@@ -37,9 +38,15 @@ class CofferAllocator {
   // state (pool magic, list heads). ZoFs passes false only under its
   // raw_deref_for_test hook, restoring the pre-hardening behaviour where a
   // poisoned head takes the simulated page fault.
+  // `channels` (optional) routes kernel refills through the calling thread's
+  // submission channel: an async CofferEnlarge is prefetched when the free
+  // list drops to the low-water mark and harvested when the list runs dry,
+  // so steady-state churn charges no foreground crossing. nullptr (or a
+  // disabled set, Options::sync_crossings) keeps the legacy synchronous
+  // CofferEnlarge slow path.
   CofferAllocator(kernfs::KernFs* kfs, kernfs::Process* proc, uint32_t coffer_id,
                   uint64_t pool_off, uint64_t lease_ns, uint64_t enlarge_batch,
-                  bool validate = true);
+                  bool validate = true, kernfs::ChannelSet* channels = nullptr);
 
   // Formats a fresh pool page (called once when a coffer is created).
   static void InitPool(nvm::NvmDevice* dev, uint64_t pool_off);
@@ -73,8 +80,13 @@ class CofferAllocator {
   // the eager (immediately written back) free-list update.
   Result<uint64_t> AllocPageImpl(bool zero, nvm::FlushSet* flush);
   // Returns the index of a leased list owned by the calling thread,
-  // claiming or stealing one if needed.
-  Result<uint32_t> AcquireList();
+  // claiming or stealing one if needed. A lease renewal on the fast path is
+  // persisted — coalesced into `flush` when non-null, eagerly otherwise.
+  Result<uint32_t> AcquireList(nvm::FlushSet* flush);
+  // Obtains a refill batch from the kernel: harvests a prefetched async
+  // grant, else enlarges through the channel (draining anything queued in
+  // the same crossing), else falls back to the synchronous entry point.
+  Result<std::vector<kernfs::PageRun>> RefillRuns();
   void PushLocked(LeasedFreeList* l, uint64_t list_off, uint64_t page_off);
   // Is `off` safe to dereference as a free-list link (page-aligned, inside
   // the device, owned by this coffer per the MPK oracle)?
@@ -87,6 +99,9 @@ class CofferAllocator {
   uint64_t lease_ns_;
   uint64_t enlarge_batch_;
   bool validate_;
+  kernfs::ChannelSet* channels_;
+  // Free-list population at/below which an async refill is submitted.
+  uint64_t low_water_;
 };
 
 }  // namespace zofs

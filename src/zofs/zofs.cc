@@ -213,6 +213,7 @@ ZoFs::ZoFs(kernfs::KernFs* kfs, kernfs::Process* proc, Options opts)
     : kfs_(kfs),
       proc_(proc),
       opts_(opts),
+      channels_(kfs, proc, /*enabled=*/!opts.sync_crossings),
       instance_id_(g_next_instance_id.fetch_add(1, std::memory_order_relaxed)) {
   const uint32_t nshards = ShardCountFor(opts_.state_shards);
   shards_.reserve(nshards);
@@ -262,7 +263,56 @@ ZoFs::~ZoFs() {
   // application wrote before a clean shutdown is durable without an explicit
   // fsync (matching kernel file systems' unmount semantics).
   (void)FlushAllStages();
+  // Drain every thread's channel before the kernel forgets this process:
+  // deferred unmaps execute, unharvested refill grants return to the kernel
+  // (CofferShrink), queued-but-unexecuted requests are dropped.
+  channels_.DrainAll();
   kfs_->FsUmount(*proc_);
+}
+
+// ---------------------------------------------------------------------------
+// Channel crossings
+
+Result<MapInfo> ZoFs::KernelMap(uint32_t cid, bool writable) {
+  if (kernfs::Channel* ch = channels_.Current()) {
+    return ch->Map(cid, writable);
+  }
+  return kfs_->CofferMap(*proc_, cid, writable);
+}
+
+Status ZoFs::KernelUnmap(uint32_t cid) {
+  if (kernfs::Channel* ch = channels_.Current()) {
+    return ch->Unmap(cid);
+  }
+  return kfs_->CofferUnmap(*proc_, cid);
+}
+
+void ZoFs::HarvestCompletions() {
+  const bool have_recover =
+      pending_recover_count_.load(std::memory_order_acquire) != 0;
+  kernfs::Channel* ch = channels_.Current();
+  if (ch == nullptr && !have_recover) {
+    return;
+  }
+  if (ch != nullptr) {
+    ch->Flush();            // execute this thread's queued async ring
+    (void)ch->Harvest();    // consume deferred-unmap completions
+  }
+  if (have_recover) {
+    std::vector<uint32_t> todo;
+    {
+      common::SpinLockGuard lk(&recover_mu_);
+      todo.swap(pending_recover_);
+      pending_recover_count_.store(0, std::memory_order_release);
+    }
+    // Recovery crossings are charged, but as background work: the op that
+    // tripped the quarantine already returned EIO; this harvest point is
+    // paying the repair bill off the foreground path.
+    kernfs::BackgroundCrossingScope bg;
+    for (uint32_t cid : todo) {
+      (void)RecoverCoffer(cid);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -299,7 +349,7 @@ Result<MapInfo> ZoFs::EnsureMapped(uint32_t cid, bool writable, bool bypass_sick
     // is idempotent for an existing (process, cid) mapping, so two threads
     // racing here both get the one installed key.
     const uint64_t gen = sh.evict_gen.load(std::memory_order_acquire);
-    auto info = kfs_->CofferMap(*proc_, cid, writable);
+    auto info = KernelMap(cid, writable);
     if (info.ok()) {
       if (info->custom_off != 0 &&
           (info->custom_off % nvm::kPageSize != 0 ||
@@ -358,8 +408,11 @@ bool ZoFs::EvictMappingVictim(uint32_t keep_cid) {
     // misses in the (just-invalidated) caches must find the kernel state
     // final, not a mapping about to vanish underneath its fresh CofferMap.
     // Lock order shard -> kernel is safe; KernFS never calls back into ZoFs.
+    // (KernelUnmap may route via the thread's channel, which piggybacks its
+    // queued async ring on the same crossing; the channel never takes shard
+    // locks, so the ordering argument is unchanged.)
     // zofs-lint: allow(lock-order) — deliberate: see the comment above.
-    kfs_->CofferUnmap(*proc_, victim);
+    KernelUnmap(victim);
     lk.Unlock();
     BumpEpoch();
     return true;
@@ -461,6 +514,22 @@ common::Err ZoFs::Sick(uint32_t cid) {
   // Session hits skip CheckHealthy; stale entries must die with the epoch so
   // the quarantine gate cannot be bypassed.
   BumpEpoch();
+  if (opts_.async_recover) {
+    // Queue the repair for the next completion point instead of making a
+    // foreground probe pay for RecoverCoffer.
+    common::SpinLockGuard lk(&recover_mu_);
+    bool queued = false;
+    for (uint32_t c : pending_recover_) {
+      if (c == cid) {
+        queued = true;
+        break;
+      }
+    }
+    if (!queued) {
+      pending_recover_.push_back(cid);
+      pending_recover_count_.store(pending_recover_.size(), std::memory_order_release);
+    }
+  }
   return Err::kCorrupt;
 }
 
@@ -548,7 +617,7 @@ CofferAllocator& ZoFs::AllocatorFor(uint32_t cid, const MapInfo& info) {
       it = sh.allocators
                .emplace(cid, std::make_unique<CofferAllocator>(kfs_, proc_, cid, info.custom_off,
                                                                opts_.lease_ns, opts_.enlarge_batch,
-                                                               !opts_.raw_deref_for_test))
+                                                               !opts_.raw_deref_for_test, &channels_))
                .first;
     }
     a = it->second.get();
@@ -1978,34 +2047,34 @@ Result<uint64_t> ZoFs::Append(NodeRef node, const void* buf, size_t n) {
 // Four fences amortized over up to kStagedEpochPages appends, against one
 // fence per append on the synchronous path.
 
-ZoFs::StageState* ZoFs::FindStage(uint64_t inode_off) {
+std::shared_ptr<ZoFs::StageState> ZoFs::FindStage(uint64_t inode_off) {
   StageShard& sh = StageShardFor(inode_off);
   common::SpinLockGuard g(&sh.mu);
   auto it = sh.stages.find(inode_off);
-  return it == sh.stages.end() ? nullptr : it->second.get();
+  return it == sh.stages.end() ? nullptr : it->second;
 }
 
-ZoFs::StageState* ZoFs::CreateStage(uint32_t cid, uint64_t inode_off, uint64_t size) {
-  auto st = std::make_unique<StageState>();
+std::shared_ptr<ZoFs::StageState> ZoFs::CreateStage(uint32_t cid, uint64_t inode_off,
+                                                    uint64_t size) {
+  auto st = std::make_shared<StageState>();
   st->cid = cid;
   st->inode_off = inode_off;
   st->base_size = size;
   st->new_size = size;
   // First block this epoch allocates: the page after the (durable) tail.
   st->start_blk = size / nvm::kPageSize + (size % nvm::kPageSize != 0 ? 1 : 0);
-  StageState* raw = st.get();
   StageShard& sh = StageShardFor(inode_off);
   {
     common::SpinLockGuard g(&sh.mu);
-    sh.stages[inode_off] = std::move(st);
+    sh.stages[inode_off] = st;
   }
   active_stages_.fetch_add(1);
-  return raw;
+  return st;
 }
 
-std::unique_ptr<ZoFs::StageState> ZoFs::TakeStage(uint64_t inode_off) {
+std::shared_ptr<ZoFs::StageState> ZoFs::TakeStage(uint64_t inode_off) {
   StageShard& sh = StageShardFor(inode_off);
-  std::unique_ptr<StageState> st;
+  std::shared_ptr<StageState> st;
   {
     common::SpinLockGuard g(&sh.mu);
     auto it = sh.stages.find(inode_off);
@@ -2075,7 +2144,7 @@ Result<bool> ZoFs::StageAppendData(uint32_t cid, const MapInfo& info, Inode* ino
     return false;  // beyond the block map; let WriteAt produce the error
   }
 
-  StageState* st = FindStage(ino_off);
+  std::shared_ptr<StageState> st = FindStage(ino_off);
   // How many fresh pages this append needs, given what is already staged.
   const uint64_t staged_end =
       st != nullptr ? st->start_blk + st->pages.size() : uint64_t{0};
@@ -2198,7 +2267,7 @@ Status ZoFs::PublishStageIntent(const MapInfo& info, const StageState& st) {
   return common::OkStatus();
 }
 
-Status ZoFs::FlushStage(const MapInfo& info, std::unique_ptr<StageState> st) {
+Status ZoFs::FlushStage(const MapInfo& info, std::shared_ptr<StageState> st) {
   AUDIT_SCOPE("ZoFs::FlushStage");
   if (st == nullptr) {
     return common::OkStatus();
@@ -2240,7 +2309,7 @@ Status ZoFs::FlushStageIfAny(const MapInfo& info, uint64_t inode_off) {
   if (active_stages_.load(std::memory_order_acquire) == 0) {
     return common::OkStatus();
   }
-  std::unique_ptr<StageState> st = TakeStage(inode_off);
+  std::shared_ptr<StageState> st = TakeStage(inode_off);
   if (st == nullptr) {
     return common::OkStatus();
   }

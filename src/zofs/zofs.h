@@ -89,6 +89,18 @@ struct Options {
   // an open FD whose redirect was dropped surfaces as an MPK fault and the
   // application reopens — the documented cross-process split behaviour.
   uint64_t relocated_cap = 65536;
+
+  // Disable the per-thread submission/completion channels and take every
+  // kernel crossing synchronously, one entry point per KernelEntry — the
+  // differential-testing baseline the channel path is checked against (and
+  // the pre-channel behaviour bench_json's globallock configs measure).
+  bool sync_crossings = false;
+  // Defer sick-coffer RecoverCoffer to the async ring: Sick() queues the
+  // recovery and HarvestCompletions() runs it in the background instead of
+  // the next foreground probe paying for it. Off by default so the
+  // fault-injection campaign's deterministic probe/recover schedule is
+  // unchanged.
+  bool async_recover = false;
 };
 
 // Volatile health of one coffer as seen by this ZoFs instance.
@@ -226,6 +238,17 @@ class ZoFs final : public ufs::MicroFs {
   // Force a read-only quarantine (exercises session invalidation).
   void QuarantineReadOnlyForTest(uint32_t cid) { QuarantineReadOnly(cid); }
 
+  // ---- channel completion points ----
+  // Executes this thread's queued async ring (background-attributed) and
+  // harvests completions: deferred unmaps, plus queued sick-coffer
+  // recoveries when Options::async_recover is set. FSLibs calls this from
+  // its durability points (close, fsync); cheap no-op when nothing is
+  // queued.
+  void HarvestCompletions();
+  // The channel registry (tests and bench aggregation). Channels are
+  // disabled — Current() == nullptr — under Options::sync_crossings.
+  kernfs::ChannelSet& channels() { return channels_; }
+
  private:
   struct ResolveResult {
     NodeRef node;
@@ -316,17 +339,22 @@ class ZoFs final : public ufs::MicroFs {
   };
   struct StageShard {
     common::SpinLock mu;
-    std::unordered_map<uint64_t, std::unique_ptr<StageState>> stages GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::shared_ptr<StageState>> stages GUARDED_BY(mu);
   };
   static constexpr uint32_t kStageShards = 16;
   StageShard& StageShardFor(uint64_t inode_off) {
     return stage_shards_[(inode_off / nvm::kPageSize) & (kStageShards - 1)];
   }
-  // Map lookups. A raw pointer stays valid while the caller holds the file's
-  // InodeLock: only InodeLock holders erase entries.
-  StageState* FindStage(uint64_t inode_off);
-  StageState* CreateStage(uint32_t cid, uint64_t inode_off, uint64_t size);
-  std::unique_ptr<StageState> TakeStage(uint64_t inode_off);
+  // Map lookups hand out shared ownership: FreeNode (unlink/rmdir/rename
+  // overwrite) drops a dying file's stage while holding only the *parent
+  // directory's* InodeLock, so it can race an appender that holds the
+  // *file's* InodeLock and is mid-write into the stage. The shared_ptr keeps
+  // the StageState alive for that appender — its writes then land in an
+  // orphaned epoch that is simply discarded, the same benign data-loss
+  // outcome the synchronous write path has always had for unlink-vs-write.
+  std::shared_ptr<StageState> FindStage(uint64_t inode_off);
+  std::shared_ptr<StageState> CreateStage(uint32_t cid, uint64_t inode_off, uint64_t size);
+  std::shared_ptr<StageState> TakeStage(uint64_t inode_off);
   // Discards a stage without flushing (FreeNode: the file is going away).
   void DropStage(uint64_t inode_off);
   // The staged fast path body (caller holds the coffer window + InodeLock).
@@ -344,7 +372,7 @@ class ZoFs final : public ufs::MicroFs {
   // Durability point: intent publish, FlushSet drain + one fence, fenced
   // intent clear. On an intent-slot kBusy it degrades to an intent-less
   // drain + fence, which is still correct (just not relink-atomic).
-  Status FlushStage(const kernfs::MapInfo& info, std::unique_ptr<StageState> st);
+  Status FlushStage(const kernfs::MapInfo& info, std::shared_ptr<StageState> st);
   // Gate + take + flush, for conflicting operations already holding the
   // coffer window and the file's InodeLock. No-op when no stage is open.
   Status FlushStageIfAny(const kernfs::MapInfo& info, uint64_t inode_off);
@@ -394,6 +422,16 @@ class ZoFs final : public ufs::MicroFs {
   kernfs::KernFs* kfs_;
   kernfs::Process* proc_;
   Options opts_;
+  // Per-thread kernel submission/completion channels (ZUFS-style; disabled —
+  // Current() == nullptr — under Options::sync_crossings, which restores the
+  // one-KernelEntry-per-call synchronous path).
+  kernfs::ChannelSet channels_;
+
+  // Kernel crossings routed through the calling thread's channel when
+  // enabled (batching whatever is queued on its async ring into the same
+  // KernelEntry), else the legacy synchronous entry points.
+  Result<kernfs::MapInfo> KernelMap(uint32_t cid, bool writable);
+  Status KernelUnmap(uint32_t cid);
 
   void RecordRelocation(const std::vector<kernfs::PageRun>& runs, uint32_t new_cid);
 
@@ -519,6 +557,13 @@ class ZoFs final : public ufs::MicroFs {
   std::array<StageShard, kStageShards> stage_shards_;
   std::atomic<uint64_t> active_stages_{0};
   std::atomic<uint64_t> staged_append_hits_{0};
+
+  // Sick coffers awaiting a background RecoverCoffer (Options::async_recover;
+  // drained by HarvestCompletions under a BackgroundCrossingScope). The
+  // atomic count is the lock-free empty-check gate.
+  common::SpinLock recover_mu_;
+  std::vector<uint32_t> pending_recover_ GUARDED_BY(recover_mu_);
+  std::atomic<uint64_t> pending_recover_count_{0};
 
   // Leaf lock: acquired under a shard's exclusive lock (RetireAllocatorLocked)
   // and never the other way around — zofs_lint's lock-order rule enforces

@@ -5,10 +5,12 @@
 #include <set>
 #include <thread>
 
+#include "src/common/clock.h"
 #include "src/kernfs/kernfs.h"
 #include "src/mpk/mpk.h"
 #include "src/nvm/nvm.h"
 #include "src/zofs/alloc.h"
+#include "src/zofs/layout.h"
 
 namespace {
 
@@ -19,6 +21,7 @@ class AllocTest : public ::testing::Test {
   void SetUp() override {
     nvm::Options o;
     o.size_bytes = 64ull << 20;
+    o.crash_tracking = true;  // the lease-renewal test simulates a crash
     dev_ = std::make_unique<nvm::NvmDevice>(o);
     mpk::InstallDeviceHook(dev_.get());
     kernfs::FormatOptions f;
@@ -171,6 +174,40 @@ TEST_F(AllocTest, ConcurrentAllocationsDisjoint) {
     }
   }
   EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST_F(AllocTest, FastPathLeaseRenewalSurvivesCrash) {
+  // The fast-path lease renewal used to update lease_expiry_ns with a bare
+  // Store64 and no write-back: after a crash, recovery observed the stale
+  // (shorter) expiry while the owner thread believed the renewal stuck, so
+  // another process could steal a live list. The renewal must be on NVM by
+  // the time the allocation that performed it returns.
+  common::ScopedClockPin pin(1'000'000'000);
+  const uint64_t lease = 1'000'000;
+  auto alloc = NewAlloc(lease, 16);
+  mpk::AccessWindow w(info_.key, true);
+  ASSERT_TRUE(alloc->AllocPage(false).ok());  // claims a list, stamps t0+lease
+  dev_->MarkAllPersistent();
+
+  // Burn past the renewal threshold (less than lease/2 remaining), then
+  // allocate again: the fast path renews and must persist the new stamp.
+  common::AdvanceNowNsForTest(600'000);
+  ASSERT_TRUE(alloc->AllocPage(false).ok());
+  const uint64_t renewed = common::NowNs() + lease;
+
+  dev_->SimulateCrash();  // drops every store that was not written back
+
+  const uint64_t tid = zofs::CurrentTid();
+  uint64_t on_media = 0;
+  for (uint32_t i = 0; i < zofs::kPoolLists; i++) {
+    const uint64_t loff = info_.custom_off + offsetof(zofs::AllocPool, lists) +
+                          i * sizeof(zofs::LeasedFreeList);
+    if (dev_->Load64(loff + offsetof(zofs::LeasedFreeList, owner_tid)) == tid) {
+      on_media = dev_->Load64(loff + offsetof(zofs::LeasedFreeList, lease_expiry_ns));
+      break;
+    }
+  }
+  EXPECT_EQ(on_media, renewed) << "renewed lease stamp was rolled back by the crash";
 }
 
 TEST_F(AllocTest, TidsAreUniqueAndNonZero) {

@@ -50,6 +50,14 @@ TEST(CrashmonTest, MixedWorkloadSurvivesAllCrashPoints) {
   ExpectClean(crashmon::Explore(SmallOpts(crashmon::Workload::kMixed, 40)));
 }
 
+TEST(CrashmonTest, ChannelChurnWorkloadSurvivesAllCrashPoints) {
+  // CHURN steps the pinned clock between ops so fast-path lease renewals
+  // land mid-run (crash between the persisted renewal stamp and the next
+  // durability point), and its create/delete storm keeps the per-thread
+  // channel's submission ring partially drained at most crash points.
+  ExpectClean(crashmon::Explore(SmallOpts(crashmon::Workload::kChurn, 24)));
+}
+
 TEST(CrashmonTest, PlantedRenameBugIsDetected) {
   // Replay MWRL with the pre-fix rename that unlinked an existing destination
   // before moving the source: a crash in between loses the destination

@@ -341,6 +341,57 @@ Status ZoFs::FlushStageSpecial(const MapInfo& info, StageState* st) {
   EXPECT_TRUE(LintSource("src/zofs/x.cc", src).empty());
 }
 
+// ---- direct-kernel-entry ------------------------------------------------
+
+TEST(LintDirectKernelEntry, FlagsConstructionOutsideKernfs) {
+  const char* src = R"(
+Status ZoFs::SneakyCrossing() {
+  mpk::KernelEntry enter(300);
+  return OkStatus();
+}
+)";
+  auto diags = LintSource("src/zofs/x.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleDirectKernelEntry);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintDirectKernelEntry, ExemptInKernfsAndChannel) {
+  const char* src = R"(
+Status KernFs::Nop() {
+  KernelEntry enter(crossing_ns_);
+  return OkStatus();
+}
+)";
+  EXPECT_TRUE(LintSource("src/kernfs/kernfs.cc", src).empty());
+  EXPECT_TRUE(LintSource("src/kernfs/channel.cc", src).empty());
+}
+
+// The class definition and other non-construction mentions must not fire:
+// a declaration in a type block is not a crossing.
+TEST(LintDirectKernelEntry, DeclarationDoesNotFire) {
+  const char* src = R"(
+class KernelEntry {
+ public:
+  explicit KernelEntry(uint64_t ns);
+};
+void F(KernelEntry* e) { Use(e); }
+)";
+  EXPECT_TRUE(LintSource("src/mpk/mpk.h", src).empty());
+  EXPECT_TRUE(LintSource("src/zofs/x.h", src).empty());
+}
+
+TEST(LintDirectKernelEntry, Suppressed) {
+  const char* src = R"(
+Status Harness::MeasureRawCrossing() {
+  // zofs-lint: allow(direct-kernel-entry) — microbenchmark of the bare cost
+  mpk::KernelEntry enter(300);
+  return OkStatus();
+}
+)";
+  EXPECT_TRUE(LintSource("src/harness/x.cc", src).empty());
+}
+
 // ---- mechanics ----------------------------------------------------------
 
 TEST(LintMechanics, CommentsAndStringsAreIgnored) {
@@ -369,7 +420,7 @@ TEST(LintMechanics, DiagnosticFormatting) {
   EXPECT_EQ(d.ToString(), "src/a.cc:12: raw-mutex: msg");
 }
 
-TEST(LintMechanics, AllRulesListsSix) { EXPECT_EQ(AllRules().size(), 6u); }
+TEST(LintMechanics, AllRulesListsSeven) { EXPECT_EQ(AllRules().size(), 7u); }
 
 // ---- the real tree ------------------------------------------------------
 

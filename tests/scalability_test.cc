@@ -22,6 +22,7 @@
 
 #include "src/common/rand.h"
 #include "src/fslib/fslib.h"
+#include "src/kernfs/channel.h"
 #include "src/kernfs/kernfs.h"
 #include "src/mpk/mpk.h"
 #include "src/nvm/nvm.h"
@@ -181,6 +182,133 @@ TEST_F(ScalabilityTsan, SharedFileAppendAndSharedTreeReads) {
   auto st = fs_->Stat(kCred, "/applog");
   ASSERT_TRUE(st.ok());
   EXPECT_EQ(st->size, 128u * kWriters * kAppends);  // lease lock: no lost appends
+}
+
+TEST_F(ScalabilityTsan, ChannelChurnWithConcurrentDrainAll) {
+  // Create/delete churn in per-thread private coffers drives the per-thread
+  // submission channels (async enlarge prefetch at the low-water mark,
+  // harvest at Close) while the main thread repeatedly drains every channel
+  // — the unmount path — mid-flight. Drained prefetches fail soft into the
+  // synchronous refill, so every operation must still succeed.
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 80;
+  for (int t = 0; t < kThreads; t++) {
+    ASSERT_TRUE(fs_->Mkdir(kCred, "/chan" + std::to_string(t), kGroupModes[t]).ok());
+  }
+  std::atomic<int> errors{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t]() {
+      fs_->BindThread();
+      const uint16_t mode = kGroupModes[t];
+      const std::string dir = "/chan" + std::to_string(t);
+      std::vector<uint8_t> block(512, static_cast<uint8_t>(t + 1));
+      for (int i = 0; i < kRounds; i++) {
+        const std::string f = dir + "/f" + std::to_string(i);
+        auto fd = fs_->Open(kCred, f, vfs::kCreate | vfs::kWrite, mode);
+        if (!fd.ok() || !fs_->Write(*fd, block.data(), block.size()).ok() ||
+            !fs_->Close(*fd).ok()) {
+          errors++;
+          continue;
+        }
+        if (i % 4 == 3 && !fs_->Unlink(kCred, dir + "/f" + std::to_string(i - 3)).ok()) {
+          errors++;
+        }
+      }
+    });
+  }
+  std::thread drainer([&]() {
+    while (!done.load(std::memory_order_acquire)) {
+      fs_->zofs().channels().DrainAll();
+    }
+  });
+  for (auto& th : threads) {
+    th.join();
+  }
+  done.store(true, std::memory_order_release);
+  drainer.join();
+  EXPECT_EQ(errors.load(), 0);
+  fs_->BindThread();
+  for (int t = 0; t < kThreads; t++) {
+    auto entries = fs_->ReadDir(kCred, "/chan" + std::to_string(t));
+    ASSERT_TRUE(entries.ok());
+    EXPECT_EQ(entries->size(), static_cast<size_t>(kRounds - kRounds / 4));
+  }
+  fs_->zofs().channels().DrainAll();
+  EXPECT_TRUE(kfs_->CheckAllocTableForTest().empty()) << kfs_->CheckAllocTableForTest();
+}
+
+TEST(ScalabilityTsanChannel, SubmitHarvestStatsDrainAllRace) {
+  // The raw cross-thread surface of one ChannelSet: each worker hammers its
+  // own per-thread channel (submit, flush, take, shrink back) while the main
+  // thread concurrently aggregates stats and drains all channels — the two
+  // operations documented to run from another thread.
+  nvm::Options o;
+  o.size_bytes = 128ull << 20;
+  nvm::NvmDevice dev(o);
+  mpk::InstallDeviceHook(&dev);
+  kernfs::FormatOptions f;
+  f.root_mode = 0755;
+  kernfs::KernFs kfs(&dev, f);
+  kfs.set_kernel_crossing_ns(0);
+  kernfs::Process* proc = kfs.CreateProcess(kCred);
+  proc->BindCurrentThread();
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 60;
+  std::vector<uint32_t> cids;
+  for (int t = 0; t < kThreads; t++) {
+    auto id = kfs.CofferNew(*proc, "/r" + std::to_string(t), kernfs::kCofferTypeZofs, 0644,
+                            0, 0, 2);
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(kfs.CofferMap(*proc, *id, true).ok());  // enlarge needs a writable mapping
+    cids.push_back(*id);
+  }
+
+  kernfs::ChannelSet channels(&kfs, proc, /*enabled=*/true);
+  std::atomic<int> errors{0};
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t]() {
+      proc->BindCurrentThread();
+      kernfs::Channel* ch = channels.Current();
+      for (int i = 0; i < kRounds; i++) {
+        ch->SubmitEnlarge(cids[t], 2);
+        if (i % 2 == 0) {
+          ch->Flush();
+        }
+        kernfs::ChanCompletion grant;
+        if (ch->TakeEnlarge(cids[t], &grant)) {
+          // A concurrent DrainAll may have raced the take; whatever we got
+          // exclusively is ours to return.
+          if (!grant.status.ok() || !kfs.CofferShrink(*proc, cids[t], grant.runs).ok()) {
+            errors++;
+          }
+        }
+        (void)ch->Harvest();
+      }
+      mpk::BindThreadToProcess(nullptr);
+    });
+  }
+  std::thread drainer([&]() {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)channels.Aggregate();
+      channels.DrainAll();
+    }
+  });
+  for (auto& th : threads) {
+    th.join();
+  }
+  done.store(true, std::memory_order_release);
+  drainer.join();
+  EXPECT_EQ(errors.load(), 0);
+  channels.DrainAll();
+  kernfs::ChannelStats agg = channels.Aggregate();
+  EXPECT_GE(agg.crossings, 1u);
+  EXPECT_EQ(kfs.CheckAllocTableForTest(), "") << kfs.CheckAllocTableForTest();
+  mpk::BindThreadToProcess(nullptr);
 }
 
 TEST_F(ScalabilityTsan, FdTableConcurrentOpenCloseDupKeepsSlotsIsolated) {
@@ -470,6 +598,46 @@ TEST_F(Scalability, SharedDirectoryCreateStorm) {
   auto entries = fs_->ReadDir(kCred, "/storm");
   ASSERT_TRUE(entries.ok());
   EXPECT_EQ(entries->size(), static_cast<size_t>(kThreads * kFiles));
+}
+
+TEST_F(Scalability, UnlinkRacingStagedAppendDoesNotCorruptHeap) {
+  // Racy-by-design: unlink holds only the parent directory's InodeLock while
+  // FreeNode drops the file's staged-append epoch, so it can fire while an
+  // appender (holding the file's InodeLock) is mid-write into the stage.
+  // Pre-fix the StageState was uniquely owned and DropStage freed it under
+  // the appender — a heap use-after-free (caught by the filebench deleteproc
+  // mix). The appends may lose data (the file is being deleted); the process
+  // must not corrupt its heap, and the namespace must stay consistent.
+  ASSERT_TRUE(fs_->Mkdir(kCred, "/uvw", 0755).ok());
+  constexpr int kRounds = 200;
+  std::atomic<bool> done{false};
+  std::vector<uint8_t> blob(6000, 0xab);
+  std::thread appender([&]() {
+    fs_->BindThread();
+    while (!done.load(std::memory_order_relaxed)) {
+      auto fd = fs_->Open(kCred, "/uvw/f", vfs::kCreate | vfs::kWrite, 0644);
+      if (!fd.ok()) {
+        continue;
+      }
+      for (int i = 0; i < 8; i++) {
+        (void)fs_->Write(*fd, blob.data(), blob.size());
+      }
+      fs_->Close(*fd);
+    }
+  });
+  std::thread unlinker([&]() {
+    fs_->BindThread();
+    for (int i = 0; i < kRounds; i++) {
+      (void)fs_->Unlink(kCred, "/uvw/f");
+    }
+    done.store(true, std::memory_order_relaxed);
+  });
+  appender.join();
+  unlinker.join();
+  fs_->BindThread();
+  auto entries = fs_->ReadDir(kCred, "/uvw");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_LE(entries->size(), 1u);
 }
 
 }  // namespace

@@ -129,9 +129,9 @@ if ! diff -q "$A" "$B" >/dev/null; then
 fi
 if [ "$PMEM_OK" -eq 1 ]; then gate "pmem-audit" PASS; else gate "pmem-audit" FAIL; fi
 
-step "crash_explore: DWOL + staged-append DWAL on zofs, bounded sweeps + determinism check"
+step "crash_explore: DWOL + staged-append DWAL + channel CHURN on zofs, bounded sweeps + determinism check"
 CRASH_OK=1
-for wl in DWOL DWAL; do
+for wl in DWOL DWAL CHURN; do
   A=$(mktmp); B=$(mktmp)
   "$BUILD_DIR"/tools/crash_explore --workload=$wl --ops=100 --max-points=200 --json > "$A" || CRASH_OK=0
   "$BUILD_DIR"/tools/crash_explore --workload=$wl --ops=100 --max-points=200 --json > "$B" || CRASH_OK=0

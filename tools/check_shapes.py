@@ -4,12 +4,14 @@
 Each check encodes one *shape* from the paper's evaluation (an ordering or a
 ratio range, never an absolute number). Run after `./run_benches.sh`:
 
-    python3 tools/check_shapes.py [bench_output.txt] [BENCH_7.json]
+    python3 tools/check_shapes.py [bench_output.txt] [BENCH_8.json]
 
 Also validates the machine-readable sweep document (schema
-zofs-bench-scale-v2): the derived clwb_per_op / sfence_per_op fields must be
-present and consistent with the raw totals, and the dwal workload must show
-the staged-append fast path engaging.
+zofs-bench-scale-v3): the derived clwb_per_op / sfence_per_op and
+foreground/background crossing fields must be present and consistent with
+the raw totals, the dwal workload must show the staged-append fast path
+engaging, and the churn workload must show the per-thread channel absorbing
+foreground kernel crossings relative to the sync_crossings baseline.
 
 Exit code 0 = all shapes hold; each failure is printed with context.
 Single-core-host noise is absorbed with generous margins.
@@ -57,24 +59,28 @@ def check(name, cond, detail=""):
 
 
 def check_bench_json(path):
-    """Validates the zofs-bench-scale-v2 sweep document."""
+    """Validates the zofs-bench-scale-v3 sweep document."""
     if not os.path.exists(path):
         check(f"J: {path} present", False, "run ./run_benches.sh first")
         return
     doc = json.load(open(path))
-    check("J: schema is zofs-bench-scale-v2",
-          doc.get("schema") == "zofs-bench-scale-v2", str(doc.get("schema")))
+    check("J: schema is zofs-bench-scale-v3",
+          doc.get("schema") == "zofs-bench-scale-v3", str(doc.get("schema")))
     pts = doc.get("sweep", [])
     check("J: sweep non-empty", len(pts) > 0, f"{len(pts)} points")
     required = ("ops", "clwb", "clwb_per_op", "sfence", "sfence_per_op",
-                "staged_append_hits")
+                "staged_append_hits", "kernel_crossings",
+                "kernel_crossings_per_op", "kernel_crossings_bg",
+                "kernel_crossings_bg_per_op", "crossing_ns_per_op")
     missing = sorted({k for p in pts for k in required if k not in p})
-    check("J: v2 per-point fields present", not missing, ", ".join(missing))
+    check("J: v3 per-point fields present", not missing, ", ".join(missing))
     if missing:
         return
     bad = []
     for p in pts:
-        for raw, per in (("clwb", "clwb_per_op"), ("sfence", "sfence_per_op")):
+        for raw, per in (("clwb", "clwb_per_op"), ("sfence", "sfence_per_op"),
+                         ("kernel_crossings", "kernel_crossings_per_op"),
+                         ("kernel_crossings_bg", "kernel_crossings_bg_per_op")):
             if p["ops"] and abs(p[per] - p[raw] / p["ops"]) > 0.01:
                 bad.append(f"{p['workload']}/{p['mode']}/{p['threads']}t {per}")
     check("J: derived per-op rates match raw totals", not bad, "; ".join(bad[:3]))
@@ -86,11 +92,27 @@ def check_bench_json(path):
     check("J: dwal sfence/op well under 1 (epoch batching)",
           dwal and all(p["sfence_per_op"] < 1.0 for p in dwal),
           f"{[p['sfence_per_op'] for p in dwal]}")
+    # The channel's whole point: the create/delete storm stops paying a
+    # foreground crossing tax. globallock points run sync_crossings (no
+    # channels, zero background crossings); sharded points must sit clearly
+    # below them in foreground crossings per op.
+    churn_ch = [p for p in pts if p["workload"] == "churn" and p["mode"] == "sharded"]
+    churn_sync = [p for p in pts if p["workload"] == "churn" and p["mode"] == "globallock"]
+    check("J: churn sweep present in both modes", churn_ch and churn_sync,
+          f"{len(churn_ch)} sharded, {len(churn_sync)} globallock")
+    if churn_ch and churn_sync:
+        worst_ch = max(p["kernel_crossings_per_op"] for p in churn_ch)
+        best_sync = min(p["kernel_crossings_per_op"] for p in churn_sync)
+        check("J: churn foreground crossings/op: channels < half of sync baseline",
+              worst_ch < 0.5 * best_sync, f"{worst_ch} vs {best_sync}")
+        check("J: sync baseline charges no background crossings",
+              all(p["kernel_crossings_bg"] == 0 for p in churn_sync),
+              f"{[p['kernel_crossings_bg'] for p in churn_sync]}")
 
 
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
-    json_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_7.json"
+    json_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_8.json"
     out = Output(open(path).read())
 
     # ---- Table 1: NVM slower than DRAM; read bandwidth > write bandwidth.
@@ -238,7 +260,7 @@ def main():
     check("6.5: manipulated dentry rejected",
           re.search(r"manipulated dentry: EUCLEAN", sec))
 
-    # ---- Machine-readable sweep (zofs-bench-scale-v2).
+    # ---- Machine-readable sweep (zofs-bench-scale-v3).
     check_bench_json(json_path)
 
     print()
