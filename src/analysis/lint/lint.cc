@@ -246,6 +246,9 @@ struct FuncCtx {
   int staged_line = 0;
   int intent_tok = -1;
   std::vector<HeldLock> locks;
+  // unchecked-inode-lock: declared lease guards whose ok() has not been
+  // consulted yet (name, declaration line).
+  std::vector<std::pair<std::string, int>> inode_locks;
 };
 
 bool PathUnder(const std::string& path, const std::string& dir) {
@@ -258,7 +261,7 @@ const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> rules = {
       kRuleRawNvmDeref, kRuleUnfencedClwb,       kRuleNakedWrpkru,
       kRuleLockOrder,   kRuleRawMutex,           kRuleStagedAppendRelink,
-      kRuleDirectKernelEntry,
+      kRuleDirectKernelEntry, kRuleUncheckedInodeLock,
   };
   return rules;
 }
@@ -373,6 +376,12 @@ std::vector<Diagnostic> LintSource(const std::string& path, std::string_view con
                      "Clwb with no Sfence/PersistRange later in this function; annotate "
                      "deferred durability if a caller fences");
             }
+            for (const auto& [name, line] : f.inode_locks) {
+              report(kRuleUncheckedInodeLock, line,
+                     "InodeLock '" + name + "' constructed but ok() never consulted; "
+                     "acquisition is a lease that can fail against a live holder — check "
+                     "ok() before touching the protected inode");
+            }
             funcs.pop_back();
           } else if (!funcs.empty()) {
             // Locks declared in the closed block go out of scope.
@@ -434,6 +443,27 @@ std::vector<Diagnostic> LintSource(const std::string& path, std::string_view con
              "KernelEntry constructed outside src/kernfs/{kernfs,channel}.cc; route the "
              "crossing through a KernFS entry point or the thread's channel so it is "
              "metered (and batched) exactly once");
+    }
+
+    // unchecked-inode-lock bookkeeping: `InodeLock name(...)` declares a
+    // lease guard (the qualified ctor definition `InodeLock::InodeLock` and
+    // reference parameters `const InodeLock&` do not match); `name.ok()`
+    // anywhere later in the function discharges it. Like unfenced-clwb, the
+    // declaration line carries its own suppression even though the
+    // diagnostic is decided at function end.
+    if (t.text == "InodeLock" && i + 1 < toks.size() && toks[i + 1].is_ident &&
+        punct_at(i + 2, '(')) {
+      if (!suppressed(kRuleUncheckedInodeLock, t.line)) {
+        f.inode_locks.emplace_back(toks[i + 1].text, t.line);
+      }
+    }
+    if (t.text == "ok" && i >= 2 && punct_at(i - 1, '.') && toks[i - 2].is_ident &&
+        punct_at(i + 1, '(')) {
+      const std::string& checked = toks[i - 2].text;
+      auto& v = f.inode_locks;
+      v.erase(std::remove_if(v.begin(), v.end(),
+                             [&](const auto& l) { return l.first == checked; }),
+              v.end());
     }
 
     // unfenced-clwb bookkeeping.

@@ -43,6 +43,13 @@
 //                   counters) and the channel's batching, and nests inside
 //                   an already-open crossing — which aborts under
 //                   ZOFS_AUDIT=1.
+//   unchecked-inode-lock
+//                   InodeLock is a lease, not a mutex: acquisition can fail
+//                   (a live holder outlasts the wait bound) and can steal a
+//                   dead holder's lease. A function that constructs an
+//                   InodeLock and never consults ok() proceeds as if locked
+//                   when acquisition may have failed — racing the live
+//                   holder it could not wait out.
 //
 // The checker is deliberately token/scope-level (no libClang in the build
 // image): it strips comments/strings, blanks preprocessor lines, tracks
@@ -71,6 +78,7 @@ inline constexpr const char* kRuleLockOrder = "lock-order";
 inline constexpr const char* kRuleRawMutex = "raw-mutex";
 inline constexpr const char* kRuleStagedAppendRelink = "staged-append-relink";
 inline constexpr const char* kRuleDirectKernelEntry = "direct-kernel-entry";
+inline constexpr const char* kRuleUncheckedInodeLock = "unchecked-inode-lock";
 
 // All rule names, for --list-rules and suppression validation.
 const std::vector<std::string>& AllRules();

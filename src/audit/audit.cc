@@ -28,6 +28,17 @@ thread_local std::vector<const SiteTag*> t_scopes;
 thread_local std::vector<WindowInfo> t_windows;
 thread_local uint32_t t_pkru = 0;
 
+// Stable per-thread id for tagging order dependencies, so a kill harness can
+// void exactly the dying thread's annotations.
+std::atomic<uint64_t> g_next_dep_tid{1};
+thread_local uint64_t t_dep_tid = 0;
+uint64_t DepTid() {
+  if (t_dep_tid == 0) {
+    t_dep_tid = g_next_dep_tid.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_dep_tid;
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -407,8 +418,20 @@ void Auditor::AddOrderDep(const nvm::NvmDevice* dev, uint64_t commit_off, size_t
   d.commit_last = (commit_off + commit_len - 1) / nvm::kCachelineSize;
   d.payload_first = payload_off / nvm::kCachelineSize;
   d.payload_last = (payload_off + payload_len - 1) / nvm::kCachelineSize;
+  d.tid = DepTid();
   d.site = site;
   sh.deps.push_back(d);
+}
+
+void Auditor::AbandonThreadDeps() {
+  const uint64_t tid = DepTid();
+  common::MutexLock lk(&mu_);
+  for (auto& [dev, sh] : shadows_) {
+    (void)dev;
+    sh.deps.erase(std::remove_if(sh.deps.begin(), sh.deps.end(),
+                                 [&](const OrderDep& d) { return d.tid == tid; }),
+                  sh.deps.end());
+  }
 }
 
 void Auditor::RecordWindowClose(const SiteTag* scope, bool writable, uint64_t accesses,
@@ -592,6 +615,13 @@ void OrderAfter(const nvm::NvmDevice* dev, uint64_t commit_off, size_t commit_le
   Auditor* a = Current();
   if (a != nullptr) {
     a->AddOrderDep(dev, commit_off, commit_len, payload_off, payload_len, site);
+  }
+}
+
+void AbandonThreadOrderDeps() {
+  Auditor* a = Current();
+  if (a != nullptr) {
+    a->AbandonThreadDeps();
   }
 }
 

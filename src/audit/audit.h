@@ -128,6 +128,12 @@ class Auditor final : public nvm::PersistObserver {
   void CheckDurable(const nvm::NvmDevice* dev, uint64_t off, size_t len, const SiteTag* site);
   void AddOrderDep(const nvm::NvmDevice* dev, uint64_t commit_off, size_t commit_len,
                    uint64_t payload_off, size_t payload_len, const SiteTag* site);
+  // Drops every pending order dependency registered by the calling thread.
+  // For the tenant-death harness: an operation killed mid-flight never
+  // returned, so it promised no durability ordering — its abandoned
+  // annotations must not fire when a survivor later persists the shared
+  // commit lines (or a stray burst re-dirties the dead payload).
+  void AbandonThreadDeps();
 
   // ---- protection lints (fed by src/mpk and ApiGuard) ----
   void RecordWindowClose(const SiteTag* scope, bool writable, uint64_t accesses,
@@ -143,6 +149,7 @@ class Auditor final : public nvm::PersistObserver {
   struct OrderDep {
     uint64_t commit_first, commit_last;    // line numbers, inclusive
     uint64_t payload_first, payload_last;  // line numbers, inclusive
+    uint64_t tid;                          // registering thread (AbandonThreadDeps)
     const SiteTag* site;
   };
 
@@ -239,6 +246,11 @@ class ApiGuard {
 void DurabilityPoint(const nvm::NvmDevice* dev, uint64_t off, size_t len, const SiteTag* site);
 void OrderAfter(const nvm::NvmDevice* dev, uint64_t commit_off, size_t commit_len,
                 uint64_t payload_off, size_t payload_len, const SiteTag* site);
+// Voids the calling thread's pending OrderAfter annotations on the current
+// auditor (no-op when none is attached). Called by the kill harness after a
+// ProcessKilledError unwinds: the dead operation's ordering contract died
+// with it.
+void AbandonThreadOrderDeps();
 
 // ---- ZOFS_AUDIT=1 integration ------------------------------------------
 

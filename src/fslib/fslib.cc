@@ -49,12 +49,19 @@ FsLib::FsLib(kernfs::KernFs* kfs, vfs::Cred cred, zofs::Options zopts) : kfs_(kf
 }
 
 FsLib::~FsLib() {
-  fs_.reset();
-  kfs_->DestroyProcess(proc_);
+  fs_.reset();  // an abandoned µFS skips its own kernel-touching teardown
+  if (!abandoned_) {
+    kfs_->DestroyProcess(proc_);
+  }
   mpk::BindThreadToProcess(nullptr);
   for (auto& c : fd_chunks_) {
     delete c.load(std::memory_order_relaxed);
   }
+}
+
+void FsLib::Abandon() {
+  abandoned_ = true;
+  fs_->Abandon();
 }
 
 FsLib::FdChunk* FsLib::ChunkFor(uint32_t chunk, bool create) {

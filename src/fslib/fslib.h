@@ -48,6 +48,12 @@ class FsLib final : public vfs::FileSystem {
   // defensively (a cheap TLS store).
   void BindThread() { proc_->BindCurrentThread(); }
 
+  // Marks this process as killed: the destructor skips every graceful-exit
+  // step that touches the kernel or the coffers (staged-append flush,
+  // channel drain, FsUmount/DestroyProcess). Call after KernFs::KillProcess
+  // has moved the Process into the morgue — the reaper owns the cleanup.
+  void Abandon();
+
   // ---- vfs::FileSystem ----
   vfs::Result<vfs::Fd> Open(const vfs::Cred& cred, const std::string& path, uint32_t flags,
                             uint16_t mode) override;
@@ -128,6 +134,7 @@ class FsLib final : public vfs::FileSystem {
   kernfs::Process* proc_;
   std::unique_ptr<ufs::MicroFs> fs_;
   zofs::ZoFs* zofs_ = nullptr;  // set when fs_ is a ZoFs
+  bool abandoned_ = false;      // process was killed; the reaper owns cleanup
 
   std::array<std::atomic<FdChunk*>, kFdChunks> fd_chunks_{};
   common::Mutex fd_alloc_mu_;

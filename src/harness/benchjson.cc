@@ -96,6 +96,14 @@ struct Point {
   uint64_t fd_alloc_lock_acquisitions = 0;
   // Appends absorbed by the ZoFS staged fast path (epoch batcher).
   uint64_t staged_append_hits = 0;
+  // Tenant-death machinery (procmon). All five must stay 0 in a bench run —
+  // a healthy workload under a pinned clock never trips a lease steal,
+  // online repair, or the dead-process reaper; check_shapes.py asserts it.
+  uint64_t lock_steals = 0;
+  uint64_t online_repairs = 0;
+  uint64_t reaped_mappings = 0;
+  uint64_t reaped_grant_pages = 0;
+  uint64_t reaped_lists = 0;
 };
 
 Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
@@ -159,6 +167,11 @@ Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
   const uint64_t locks0 = fslib->zofs().ShardLockAcquisitionsForTest();
   const uint64_t fdlocks0 = fslib->FdAllocLockAcquisitionsForTest();
   const uint64_t staged0 = fslib->zofs().StagedAppendHits();
+  const uint64_t steals0 = zofs::LockStealCount();
+  const uint64_t repairs0 = zofs::OnlineRepairCount();
+  const uint64_t rmap0 = kernfs::ReapedMappingCount();
+  const uint64_t rgrant0 = kernfs::ReapedGrantPageCount();
+  const uint64_t rlist0 = zofs::ReapedListCount();
 
   std::vector<common::LatencyRecorder> lat(threads);
   WorkloadResult wr = RunThreads(threads, [&](int t) -> uint64_t {
@@ -262,6 +275,11 @@ Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
   p.shard_lock_acquisitions = fslib->zofs().ShardLockAcquisitionsForTest() - locks0;
   p.fd_alloc_lock_acquisitions = fslib->FdAllocLockAcquisitionsForTest() - fdlocks0;
   p.staged_append_hits = fslib->zofs().StagedAppendHits() - staged0;
+  p.lock_steals = zofs::LockStealCount() - steals0;
+  p.online_repairs = zofs::OnlineRepairCount() - repairs0;
+  p.reaped_mappings = kernfs::ReapedMappingCount() - rmap0;
+  p.reaped_grant_pages = kernfs::ReapedGrantPageCount() - rgrant0;
+  p.reaped_lists = zofs::ReapedListCount() - rlist0;
   return p;
 }
 
@@ -303,7 +321,12 @@ void EmitPoint(std::ostringstream& out, const Point& p, bool first) {
       << "     \"shard_lock_acquisitions\": " << p.shard_lock_acquisitions
       << ", \"lock_acquisitions_per_op\": " << Fmt(PerOp(p.shard_lock_acquisitions, p.ops))
       << ",\n"
-      << "     \"fd_alloc_lock_acquisitions\": " << p.fd_alloc_lock_acquisitions << "}";
+      << "     \"fd_alloc_lock_acquisitions\": " << p.fd_alloc_lock_acquisitions << ",\n"
+      << "     \"lock_steals\": " << p.lock_steals
+      << ", \"online_repairs\": " << p.online_repairs
+      << ", \"reaped_mappings\": " << p.reaped_mappings
+      << ", \"reaped_grant_pages\": " << p.reaped_grant_pages
+      << ", \"reaped_lists\": " << p.reaped_lists << "}";
 }
 
 }  // namespace
@@ -311,7 +334,7 @@ void EmitPoint(std::ostringstream& out, const Point& p, bool first) {
 std::string RunBenchJson(const BenchJsonOptions& opts) {
   std::ostringstream out;
   out << "{\n";
-  out << "  \"schema\": \"zofs-bench-scale-v3\",\n";
+  out << "  \"schema\": \"zofs-bench-scale-v4\",\n";
   out << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
   out << "  \"config\": {\"ops_per_thread\": " << opts.ops_per_thread
       << ", \"seed\": " << opts.seed << ", \"dev_bytes\": " << opts.dev_bytes

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <utility>
 
+#include "src/common/killpoint.h"
+
 namespace kernfs {
 namespace {
 
@@ -16,7 +18,11 @@ uint64_t ChanTid() {
 
 }  // namespace
 
-Channel::Channel(KernFs* kfs, Process* proc) : kfs_(kfs), proc_(proc) {}
+Channel::Channel(KernFs* kfs, Process* proc) : kfs_(kfs), proc_(proc), pid_(proc->pid()) {
+  kfs_->RegisterChannel(pid_, this);
+}
+
+Channel::~Channel() { kfs_->UnregisterChannel(pid_, this); }
 
 void Channel::RunBatch(const ChanRequest* fg, ChanCompletion* fg_done) {
   common::SpinLockGuard lk(&mu_);
@@ -27,7 +33,9 @@ void Channel::RunBatch(const ChanRequest* fg, ChanCompletion* fg_done) {
 // belongs to one thread, so contention is limited to DrainAll/stats from a
 // second thread, and holding mu_ keeps the sub_/done_/pending_enlarge_ state
 // transition atomic with respect to them. KernFs::mu_ nests inside channel
-// mu_ and KernFs never calls back into a channel, so there is no cycle.
+// mu_ and KernFs never calls into a channel while holding its own mu_
+// (KillProcess/ReapDeadProcesses/FsUmount reclaim rings via
+// Channel::ReapForKernel *before* taking KernFs::mu_), so there is no cycle.
 void Channel::RunBatchLocked(const ChanRequest* fg, ChanCompletion* fg_done) {
   std::vector<ChanRequest> batch;
   batch.swap(sub_);
@@ -36,6 +44,10 @@ void Channel::RunBatchLocked(const ChanRequest* fg, ChanCompletion* fg_done) {
     batch.back().seq = next_seq_++;
   }
   if (batch.empty()) return;
+
+  // Tenant death mid-batch: the batch vector (DRAM) evaporates with the
+  // process; nothing reached the kernel. The spinlock guard unwinds.
+  common::KillPoint(common::kKillMidChannelBatch);
 
   std::vector<ChanCompletion> comps;
   kfs_->ExecuteBatch(*proc_, batch, &comps);
@@ -218,6 +230,22 @@ void Channel::Drain() {
   done_.clear();
 }
 
+std::vector<std::pair<uint32_t, std::vector<PageRun>>> Channel::ReapForKernel() {
+  common::SpinLockGuard lk(&mu_);
+  std::vector<std::pair<uint32_t, std::vector<PageRun>>> grants;
+  // Unexecuted submissions never reached the kernel: nothing to undo, and a
+  // dead process's deferred unmaps are moot (the reaper unmaps everything).
+  sub_.clear();
+  for (ChanCompletion& c : done_) {
+    if (c.op == ChanOp::kEnlarge && c.status.ok() && !c.runs.empty()) {
+      grants.emplace_back(c.coffer_id, std::move(c.runs));
+    }
+  }
+  done_.clear();
+  pending_enlarge_.clear();
+  return grants;
+}
+
 ChannelStats Channel::stats() {
   common::SpinLockGuard lk(&mu_);
   return stats_;
@@ -250,7 +278,14 @@ ChannelSet::ChannelSet(KernFs* kfs, Process* proc, bool enabled)
         return next.fetch_add(1, std::memory_order_relaxed);
       }()) {}
 
-ChannelSet::~ChannelSet() { DrainAll(); }
+ChannelSet::~ChannelSet() {
+  if (!abandoned_) DrainAll();
+}
+
+void ChannelSet::Abandon() {
+  common::MutexLock lk(&mu_);
+  abandoned_ = true;
+}
 
 Channel* ChannelSet::Current() {
   if (!enabled_) return nullptr;

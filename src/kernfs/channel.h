@@ -35,6 +35,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/mutex.h"
@@ -57,8 +58,10 @@ struct ChannelStats {
 
 class Channel {
  public:
+  // Registers with the KernFs channel registry so the dead-process reaper can
+  // find this ring if the owning process is killed; the dtor unregisters.
   Channel(KernFs* kfs, Process* proc);
-  ~Channel() = default;  // ChannelSet::DrainAll returns unharvested grants
+  ~Channel();
 
   Channel(const Channel&) = delete;
   Channel& operator=(const Channel&) = delete;
@@ -97,6 +100,15 @@ class Channel {
   // via CofferShrink in the same batch. Called by ChannelSet::DrainAll.
   void Drain();
 
+  // Reaper-side reclamation for a DEAD owner (KernFs::ReapDeadProcesses /
+  // KillProcess / FsUmount). Unlike Drain, nothing re-enters the kernel on
+  // the corpse's behalf: unexecuted submissions are dropped (they never
+  // reached the kernel; deferred unmaps are moot — the whole process is being
+  // unmapped), and completed-unharvested enlarge grants are RETURNED to the
+  // caller as (coffer_id, runs) pairs so KernFs can shrink them back under
+  // its own lock. Rings are left empty.
+  std::vector<std::pair<uint32_t, std::vector<PageRun>>> ReapForKernel();
+
   ChannelStats stats();
   size_t QueuedForTest();
   size_t DoneForTest();
@@ -113,6 +125,9 @@ class Channel {
 
   KernFs* kfs_;
   Process* proc_;
+  // Cached so the destructor can unregister after the reaper has already
+  // freed a dead owner's Process (an abandoned FsLib outlives the corpse).
+  uint32_t pid_;
 
   common::SpinLock mu_;
   std::vector<ChanRequest> sub_ GUARDED_BY(mu_);    // submission ring (async)
@@ -146,12 +161,18 @@ class ChannelSet {
   // are dropped unexecuted.
   void DrainAll();
 
+  // Marks the owning process dead: the destructor's DrainAll becomes a no-op
+  // (a corpse must not re-enter the kernel). Channel dtors still run and
+  // unregister from the KernFs registry — that is volatile-only cleanup.
+  void Abandon();
+
   ChannelStats Aggregate();
 
  private:
   KernFs* kfs_;
   Process* proc_;
   const bool enabled_;
+  bool abandoned_ = false;
   // Never-reused id for the thread-local cache (a ChannelSet constructed at
   // a recycled address must not match stale TLS).
   const uint64_t set_id_;

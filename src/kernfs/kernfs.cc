@@ -1,5 +1,6 @@
 #include "src/kernfs/kernfs.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdio>
@@ -8,6 +9,8 @@
 
 #include "src/common/clock.h"
 #include "src/common/hash.h"
+#include "src/common/rand.h"
+#include "src/kernfs/channel.h"
 
 namespace kernfs {
 
@@ -66,6 +69,15 @@ uint64_t BackgroundCrossingCount() {
 }
 
 uint64_t ThreadCrossingCount() { return t_thread_crossings; }
+
+namespace {
+// Reaper accounting (process-wide, delta-sampled by bench_json).
+std::atomic<uint64_t> g_reaped_mappings{0};
+std::atomic<uint64_t> g_reaped_grant_pages{0};
+}  // namespace
+
+uint64_t ReapedMappingCount() { return g_reaped_mappings.load(std::memory_order_relaxed); }
+uint64_t ReapedGrantPageCount() { return g_reaped_grant_pages.load(std::memory_order_relaxed); }
 
 BackgroundCrossingScope::BackgroundCrossingScope() { t_bg_depth++; }
 BackgroundCrossingScope::~BackgroundCrossingScope() { t_bg_depth--; }
@@ -448,6 +460,10 @@ Process* KernFs::CreateProcess(vfs::Cred cred) {
 }
 
 void KernFs::DestroyProcess(Process* proc) {
+  // Drain the process's channel rings first: unharvested async enlarge
+  // grants live only in DRAM, so erasing the process without returning them
+  // would strand their pages until the next fsck (the PR-9 leak fix).
+  ReclaimProcessChannels(proc->pid());
   common::MutexLock lk(&mu_);
   std::vector<uint32_t> mapped;
   for (const auto& [id, m] : proc->mappings_) {
@@ -457,6 +473,197 @@ void KernFs::DestroyProcess(Process* proc) {
     UnmapLocked(*proc, id);
   }
   procs_.erase(proc->pid());
+}
+
+KillStats KernFs::KillProcess(Process* proc, const KillOptions& opts) {
+  KillStats st;
+  if (opts.stray_writes > 0) {
+    // The death burst runs in the victim's user context: its page-key table
+    // bound, one writable window at a time — exactly the access a scribbling
+    // dying thread has. Every store is probed through the MPK oracle first
+    // (the device hook would throw on a blocked store); blocked attempts are
+    // the containment the soak's page-diff oracle cross-checks.
+    std::vector<std::pair<uint32_t, uint8_t>> targets;
+    {
+      common::MutexLock lk(&mu_);
+      for (const auto& [cid, m] : proc->mappings_) {
+        if (!m.writable) {
+          continue;
+        }
+        if (std::find(opts.spare_coffers.begin(), opts.spare_coffers.end(), cid) !=
+            opts.spare_coffers.end()) {
+          continue;
+        }
+        targets.emplace_back(cid, m.key);
+      }
+    }
+    std::sort(targets.begin(), targets.end());  // mappings_ iteration order is not
+    // The coffer's own pages, so half the burst aims where a scribbling
+    // thread realistically scribbles: memory it legitimately has mapped.
+    // Those stores land (legal damage to the victim's own data); the other
+    // half sprays the whole device and must be blocked.
+    std::vector<std::vector<PageRun>> own_runs(targets.size());
+    for (size_t t = 0; t < targets.size(); t++) {
+      auto runs = PagesOf(targets[t].first);
+      if (runs.ok()) {
+        own_runs[t] = std::move(*runs);
+      }
+    }
+    const mpk::PageKeyTable* saved = mpk::CurrentTable();
+    proc->BindCurrentThread();
+    common::Rng rng(opts.seed);
+    for (size_t t = 0; t < targets.size(); t++) {
+      mpk::AccessWindow w(targets[t].second, /*writable=*/true);
+      for (uint64_t i = 0; i < opts.stray_writes; i++) {
+        uint64_t off;
+        if (i % 2 == 0 || own_runs[t].empty()) {
+          off = rng.Below(dev_->size() / 8) * 8;  // device-wide spray
+        } else {
+          const PageRun& r = own_runs[t][rng.Below(own_runs[t].size())];
+          const uint64_t page = r.start_page + rng.Below(r.len);
+          off = page * nvm::kPageSize + rng.Below(nvm::kPageSize / 8) * 8;
+        }
+        st.stray_attempted++;
+        if (mpk::ProbeAccess(off, 8, /*is_write=*/true)) {
+          dev_->Store64(off, rng.Next());
+          st.stray_landed++;
+        } else {
+          st.stray_blocked++;
+        }
+      }
+    }
+    mpk::BindThreadToProcess(saved);
+  }
+
+  // Death proper: the process moves to the morgue exactly as it stands — no
+  // unmap, no key release, no channel drain, no lease release. Its MPK keys
+  // and mappings stay consumed (realistic pressure) until the reaper runs.
+  KernelEntry enter(crossing_ns_);
+  common::MutexLock lk(&mu_);
+  auto it = procs_.find(proc->pid());
+  if (it != procs_.end()) {
+    DeadProc d;
+    d.proc = std::move(it->second);
+    d.next_attempt_ns = common::NowNs();
+    procs_.erase(it);
+    dead_procs_[proc->pid()] = std::move(d);
+  }
+  return st;
+}
+
+uint64_t KernFs::ReapDeadProcesses() {
+  KernelEntry enter(crossing_ns_);
+  const uint64_t now = common::NowNs();
+  std::vector<uint32_t> ready;
+  {
+    common::MutexLock lk(&mu_);
+    for (const auto& [pid, d] : dead_procs_) {
+      if (d.next_attempt_ns <= now) {
+        ready.push_back(pid);
+      }
+    }
+  }
+  std::sort(ready.begin(), ready.end());
+
+  uint64_t reaped = 0;
+  for (uint32_t pid : ready) {
+    // Channel reclamation takes each channel's own lock and then mu_ — the
+    // same order as a live thread's batch path — so it must run before we
+    // take mu_ here.
+    bool all_ok = true;
+    g_reaped_grant_pages.fetch_add(ReclaimProcessChannels(pid, &all_ok),
+                                   std::memory_order_relaxed);
+    common::MutexLock lk(&mu_);
+    auto it = dead_procs_.find(pid);
+    if (it == dead_procs_.end()) {
+      continue;
+    }
+    if (!all_ok && it->second.fails <= 6) {
+      // Partial reclaim: re-arm with the sick-coffer backoff shape (base
+      // 10 ms, doubling, shift capped at 6). Past the ladder we tear the
+      // mappings down anyway and leave stranded pages to fsck.
+      it->second.fails++;
+      it->second.next_attempt_ns =
+          now + (uint64_t{10'000'000} << std::min<uint32_t>(it->second.fails, 6));
+      continue;
+    }
+    Process* p = it->second.proc.get();
+    std::vector<uint32_t> mapped;
+    for (const auto& [cid, m] : p->mappings_) {
+      mapped.push_back(cid);
+    }
+    std::sort(mapped.begin(), mapped.end());
+    for (uint32_t cid : mapped) {
+      UnmapLocked(*p, cid);
+    }
+    g_reaped_mappings.fetch_add(mapped.size(), std::memory_order_relaxed);
+    dead_procs_.erase(it);
+    reaped++;
+  }
+  return reaped;
+}
+
+size_t KernFs::DeadProcessCountForTest() {
+  common::MutexLock lk(&mu_);
+  return dead_procs_.size();
+}
+
+void KernFs::RegisterChannel(uint32_t pid, Channel* ch) {
+  common::MutexLock lk(&chan_mu_);
+  channels_by_pid_[pid].push_back(ch);
+}
+
+void KernFs::UnregisterChannel(uint32_t pid, Channel* ch) {
+  common::MutexLock lk(&chan_mu_);
+  auto it = channels_by_pid_.find(pid);
+  if (it == channels_by_pid_.end()) {
+    return;
+  }
+  auto& v = it->second;
+  v.erase(std::remove(v.begin(), v.end(), ch), v.end());
+  if (v.empty()) {
+    channels_by_pid_.erase(it);
+  }
+}
+
+uint64_t KernFs::ReclaimProcessChannels(uint32_t pid, bool* all_ok) {
+  std::vector<Channel*> chans;
+  {
+    common::MutexLock lk(&chan_mu_);
+    auto it = channels_by_pid_.find(pid);
+    if (it != channels_by_pid_.end()) {
+      chans = it->second;
+    }
+  }
+  uint64_t pages = 0;
+  bool ok = true;
+  for (Channel* ch : chans) {
+    auto grants = ch->ReapForKernel();
+    common::MutexLock lk(&mu_);
+    for (const auto& [cid, runs] : grants) {
+      CofferInfo* c = FindCoffer(cid);
+      if (c == nullptr) {
+        ok = false;  // coffer deleted with the grant outstanding
+        continue;
+      }
+      bool changed = false;
+      for (const PageRun& r : runs) {
+        if (ShrinkRunLocked(c, r).ok()) {
+          pages += r.len;
+          changed = true;
+        } else {
+          ok = false;
+        }
+      }
+      if (changed) {
+        PersistCofferSizeLocked(c);
+      }
+    }
+  }
+  if (all_ok != nullptr) {
+    *all_ok = ok;
+  }
+  return pages;
 }
 
 void KernFs::Nop() { KernelEntry enter(crossing_ns_); }
@@ -473,6 +680,9 @@ Status KernFs::FsMount(Process& proc) {
 
 Status KernFs::FsUmount(Process& proc) {
   KernelEntry enter(crossing_ns_);
+  // Same leak fix as DestroyProcess: rings drained (and unharvested grants
+  // returned) before the mappings go away. Channel locks nest outside mu_.
+  ReclaimProcessChannels(proc.pid());
   common::MutexLock lk(&mu_);
   if (!proc.fslib_mounted_) {
     return Err::kInval;
@@ -645,6 +855,49 @@ Status KernFs::CofferShrink(Process& proc, uint32_t coffer_id, const std::vector
   return DoCofferShrink(proc, coffer_id, runs);
 }
 
+Status KernFs::ShrinkRunLocked(CofferInfo* c, const PageRun& r) {
+  if (!RunInBounds(sb_->num_pages, r)) {
+    return Err::kInval;
+  }
+  // Validate ownership of every page in the run.
+  for (uint64_t p = r.start_page; p < r.start_page + r.len; p++) {
+    if (ReadEntry(p).coffer_id != c->id || p == c->root_page) {
+      return Err::kInval;
+    }
+  }
+  // Carve the run out of the volatile owner map.
+  auto it = c->runs.upper_bound(r.start_page);
+  if (it == c->runs.begin()) {
+    return Err::kInval;
+  }
+  --it;
+  uint64_t run_start = it->first, run_len = it->second;
+  if (r.start_page < run_start || r.start_page + r.len > run_start + run_len) {
+    return Err::kInval;
+  }
+  c->runs.erase(it);
+  if (r.start_page > run_start) {
+    c->runs[run_start] = r.start_page - run_start;
+  }
+  if (r.start_page + r.len < run_start + run_len) {
+    c->runs[r.start_page + r.len] = run_start + run_len - (r.start_page + r.len);
+  }
+  for (Process* p : c->mapped_by) {
+    for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
+      p->page_keys_[pg] = mpk::kUnmapped;
+    }
+  }
+  FreeRun(r);
+  return common::OkStatus();
+}
+
+void KernFs::PersistCofferSizeLocked(CofferInfo* c) {
+  CofferRoot* root = RootOf(*c);
+  uint64_t root_off = dev_->OffsetOf(root);
+  dev_->Store64(root_off + offsetof(CofferRoot, num_pages), SumRuns(c->runs));
+  dev_->PersistRange(root_off + offsetof(CofferRoot, num_pages), 8);
+}
+
 Status KernFs::DoCofferShrink(Process& proc, uint32_t coffer_id,
                               const std::vector<PageRun>& runs) {
   common::MutexLock lk(&mu_);
@@ -654,43 +907,9 @@ Status KernFs::DoCofferShrink(Process& proc, uint32_t coffer_id,
   }
   RETURN_IF_ERROR(CheckMappedWritable(proc, coffer_id));
   for (const PageRun& r : runs) {
-    if (!RunInBounds(sb_->num_pages, r)) {
-      return Err::kInval;
-    }
-    // Validate ownership of every page in the run.
-    for (uint64_t p = r.start_page; p < r.start_page + r.len; p++) {
-      if (ReadEntry(p).coffer_id != coffer_id || p == c->root_page) {
-        return Err::kInval;
-      }
-    }
-    // Carve the run out of the volatile owner map.
-    auto it = c->runs.upper_bound(r.start_page);
-    if (it == c->runs.begin()) {
-      return Err::kInval;
-    }
-    --it;
-    uint64_t run_start = it->first, run_len = it->second;
-    if (r.start_page < run_start || r.start_page + r.len > run_start + run_len) {
-      return Err::kInval;
-    }
-    c->runs.erase(it);
-    if (r.start_page > run_start) {
-      c->runs[run_start] = r.start_page - run_start;
-    }
-    if (r.start_page + r.len < run_start + run_len) {
-      c->runs[r.start_page + r.len] = run_start + run_len - (r.start_page + r.len);
-    }
-    for (Process* p : c->mapped_by) {
-      for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
-        p->page_keys_[pg] = mpk::kUnmapped;
-      }
-    }
-    FreeRun(r);
+    RETURN_IF_ERROR(ShrinkRunLocked(c, r));
   }
-  CofferRoot* root = RootOf(*c);
-  uint64_t root_off = dev_->OffsetOf(root);
-  dev_->Store64(root_off + offsetof(CofferRoot, num_pages), SumRuns(c->runs));
-  dev_->PersistRange(root_off + offsetof(CofferRoot, num_pages), 8);
+  PersistCofferSizeLocked(c);
   return common::OkStatus();
 }
 

@@ -38,6 +38,7 @@ using common::Result;
 using common::Status;
 
 class KernFs;
+class Channel;
 
 // A simulated OS process: credentials + per-process MPK state.
 class Process {
@@ -125,6 +126,35 @@ struct ChanCompletion {
   std::vector<PageRun> runs;  // kEnlarge grant
 };
 
+// ---- process death (paper §5 availability; the procmon campaign) ----------
+//
+// KillProcess abandons a process with NO cleanup — the simulation of a
+// tenant dying mid-operation. Its mappings, MPK keys, channel rings and
+// unharvested grants stay allocated until ReapDeadProcesses reclaims them;
+// its leased locks and free lists stay claimed on NVM until survivors steal
+// the expired leases (zofs::InodeLock / CofferAllocator) or the janitor
+// sweeps them (zofs::ZoFs::ReclaimExpiredLists).
+
+struct KillOptions {
+  // Stray stores the dying process attempts per writable mapping — the MPK
+  // containment oracle: every store must land inside a coffer the victim had
+  // mapped writable, never outside (paper §3.4 Table 4).
+  uint64_t stray_writes = 0;
+  uint64_t seed = 1;
+  // Writable coffers to spare from the burst. The soak spares shared coffers
+  // whose contents the cross-tenant durability oracle checks: a victim CAN
+  // legally corrupt a shared writable coffer (the paper accepts this), so
+  // sparing it keeps that oracle sharp while the page-diff oracle still
+  // proves containment on the rest.
+  std::vector<uint32_t> spare_coffers;
+};
+
+struct KillStats {
+  uint64_t stray_attempted = 0;
+  uint64_t stray_landed = 0;   // inside a writable mapping (legal damage)
+  uint64_t stray_blocked = 0;  // refused by MPK (containment held)
+};
+
 struct FormatOptions {
   uint64_t path_map_buckets = 1 << 14;
   uint16_t root_mode = 0755;
@@ -158,6 +188,29 @@ class KernFs {
   // ---- Process management (simulation scaffolding, not a Table 5 op).
   Process* CreateProcess(vfs::Cred cred);
   void DestroyProcess(Process* proc);
+
+  // Abandons `proc` as of a sudden death: optional stray-write burst in the
+  // victim's user context (MPK enforced — the containment oracle), then the
+  // process moves to the dead-process morgue with NO unmap, NO key release,
+  // NO channel drain. Only ReapDeadProcesses reclaims it. The caller must
+  // not touch `proc` afterwards (the FsLib above it must be Abandon()ed).
+  KillStats KillProcess(Process* proc, const KillOptions& opts);
+
+  // Reaps every morgue entry whose backoff deadline has passed: drains the
+  // corpse's channel rings (returning unharvested enlarge grants to the free
+  // pool), unmaps its coffers (freeing MPK keys) and erases it. A failed
+  // reclaim re-arms with exponential backoff (the sick-coffer discipline);
+  // after the backoff ladder is exhausted the mappings are torn down anyway
+  // and any stranded pages are left to fsck. Returns processes reaped.
+  uint64_t ReapDeadProcesses();
+  size_t DeadProcessCountForTest();
+
+  // ---- channel registry (dead-process reclamation + the DestroyProcess /
+  // FsUmount leak fix). Channels self-register so the kernel can find and
+  // drain a process's rings when the owning µFS is gone or never got to run
+  // its own DrainAll.
+  void RegisterChannel(uint32_t pid, Channel* ch);
+  void UnregisterChannel(uint32_t pid, Channel* ch);
 
   // An empty system call (used by the ZoFS-sysempty variant of Figure 8).
   void Nop();
@@ -294,6 +347,20 @@ class KernFs {
   Result<MapInfo> DoCofferMap(Process& proc, uint32_t coffer_id, bool writable);
   Status DoCofferUnmap(Process& proc, uint32_t coffer_id);
 
+  // Ownership-validated run return (the body of DoCofferShrink, shared with
+  // the reaper's grant reclamation, which validates ownership the same way
+  // but skips the caller-mapped-writable check — the corpse obviously cannot
+  // hold a mapping requirement).
+  Status ShrinkRunLocked(CofferInfo* c, const PageRun& r) REQUIRES(mu_);
+  void PersistCofferSizeLocked(CofferInfo* c) REQUIRES(mu_);
+
+  // Drains every channel registered for `pid` (kernel-side): unharvested
+  // enlarge grants return to the free pool, queued-but-unexecuted requests
+  // are dropped. Takes each channel's own lock, then mu_ — never the
+  // reverse. Returns pages reclaimed from grants; `*all_ok` reports whether
+  // every grant validated (the reaper's backoff trigger).
+  uint64_t ReclaimProcessChannels(uint32_t pid, bool* all_ok = nullptr);
+
   // --- allocation table (callers hold mu_) ---
   AllocEntry ReadEntry(uint64_t page) const REQUIRES(mu_);
   void WriteEntry(uint64_t page, uint32_t owner, uint32_t run_len) REQUIRES(mu_);
@@ -330,6 +397,22 @@ class KernFs {
   std::multimap<uint64_t, uint64_t> free_by_size_ GUARDED_BY(mu_);  // len -> start
   std::unordered_map<uint32_t, CofferInfo> coffers_ GUARDED_BY(mu_);
   std::unordered_map<uint32_t, std::unique_ptr<Process>> procs_ GUARDED_BY(mu_);
+
+  // The dead-process morgue: killed processes awaiting the reaper. Backoff
+  // state mirrors the sick-coffer discipline (base 10 ms, doubling to 64x).
+  struct DeadProc {
+    std::unique_ptr<Process> proc;
+    uint32_t fails = 0;
+    uint64_t next_attempt_ns = 0;
+  };
+  std::unordered_map<uint32_t, DeadProc> dead_procs_ GUARDED_BY(mu_);
+
+  // Channel registry. Its own mutex: registration happens at channel
+  // construction (user context, no crossing) and the reaper walks it
+  // WITHOUT holding mu_ (channel locks nest outside mu_, matching the
+  // ExecuteBatch path where a channel holds its spinlock across the batch).
+  common::Mutex chan_mu_;
+  std::unordered_map<uint32_t, std::vector<Channel*>> channels_by_pid_ GUARDED_BY(chan_mu_);
 };
 
 // Process-wide count of simulated user->kernel crossings (KernelEntry
@@ -345,6 +428,12 @@ uint64_t CrossingCount();
 // Invariant: CrossingCount() == Foreground + Background.
 uint64_t ForegroundCrossingCount();
 uint64_t BackgroundCrossingCount();
+
+// Reaper accounting (process-wide, like the crossing counters): mappings
+// unmapped and grant pages reclaimed from dead processes. bench_json samples
+// deltas; the soak report totals them.
+uint64_t ReapedMappingCount();
+uint64_t ReapedGrantPageCount();
 
 // Crossings charged by the calling thread since it first crossed (a
 // per-thread counter; per-channel counts live in kernfs::Channel).

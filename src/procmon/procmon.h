@@ -1,0 +1,103 @@
+// procmon — the tenant-failure campaign (paper §5 availability).
+//
+// ZoFS's claim: a crashed process cannot wedge other processes. Coffer locks
+// are stealable leases, stray writes at death are MPK-contained, and the
+// kernel can reclaim a dead process's resources without its cooperation.
+// RunSoak drives that claim end to end, deterministically, from one OS
+// thread:
+//
+//   * several simulated tenants (distinct uids, distinct lease identities
+//     via zofs::ScopedTidOverride) churn files in their own coffers;
+//   * tenants are killed at every injectable death site (common/killpoint.h)
+//     mid-operation, with an optional stray-write burst at death;
+//   * a page-diff oracle brackets each kill: bytes may change only inside
+//     coffers the victim had write access to (MPK containment, §3.4);
+//   * a root "janitor" survivor then steals the corpse's expired InodeLock,
+//     triggering online intent repair (zofs_repair.cc), reclaims expired
+//     leased free lists, and the kernel reaper (KernFs::ReapDeadProcesses)
+//     reclaims mappings, keys, channel rings and unharvested grants;
+//   * periodically the whole machine crash-remounts — optionally after a
+//     faultinj-style byte flip in a dead tenant's coffer — and fsck plus a
+//     syscall-durability oracle must come out clean.
+//
+// The report is byte-stable for a fixed SoakOptions: check_all.sh diffs two
+// runs.
+
+#ifndef SRC_PROCMON_PROCMON_H_
+#define SRC_PROCMON_PROCMON_H_
+
+#include <cstdint>
+#include <string>
+
+namespace procmon {
+
+struct SoakOptions {
+  uint64_t seed = 42;
+  uint32_t tenants = 3;
+  uint32_t rounds = 12;
+  uint32_t ops_per_tenant_per_round = 20;
+  // Stray stores the dying process attempts (per writable mapping); applied
+  // on every other kill so half the corpses leave their own data intact for
+  // the durability oracle.
+  uint64_t stray_writes = 16;
+  // Crash + remount + fsck every N rounds (0 = never).
+  uint32_t remount_every = 4;
+  // Flip a byte in a retired dead tenant's coffer before each remount.
+  bool corrupt_in_loop = true;
+  uint64_t device_mb = 64;
+};
+
+struct SoakReport {
+  uint64_t seed = 0;
+  uint32_t rounds = 0;
+  uint64_t ops = 0;
+  uint64_t op_errors = 0;  // informational (ENOENT races etc.), not a gate
+
+  uint64_t kills = 0;
+  // Indexed like kKillPointNames: inode-lock, staged-intent, rename-intent,
+  // channel-batch, leased-list.
+  uint64_t kills_by_point[5] = {0, 0, 0, 0, 0};
+  uint64_t stray_attempted = 0;
+  uint64_t stray_landed = 0;
+  uint64_t stray_blocked = 0;
+
+  uint64_t lock_steals = 0;
+  uint64_t online_repairs = 0;
+  uint64_t reaped_processes = 0;
+  uint64_t reaped_mappings = 0;
+  uint64_t reaped_grant_pages = 0;
+  uint64_t reaped_lists = 0;
+
+  uint64_t remounts = 0;
+  uint64_t corruptions_injected = 0;
+
+  // Probes on a tainted victim (its own strays landed) that ended in a
+  // corruption-class verdict: the damage is real but contained to the
+  // victim's protection domain, which is the paper's §3 story — counted
+  // separately, not as an availability failure.
+  uint64_t contained_probes = 0;
+
+  // The four gates.
+  uint64_t mpk_escapes = 0;           // page diff outside the victim's coffers
+  uint64_t fsck_violations = 0;       // recovery failed or alloc table dirty
+  uint64_t durability_violations = 0; // completed+synced data lost or torn
+  uint64_t stuck_survivors = 0;       // survivor op still failing after steal
+
+  bool Clean() const {
+    return mpk_escapes == 0 && fsck_violations == 0 && durability_violations == 0 &&
+           stuck_survivors == 0;
+  }
+  // Fixed field order, no wall-clock content: byte-stable across runs.
+  std::string ToJson() const;
+};
+
+inline constexpr const char* kKillPointNames[5] = {
+    "holding-inode-lock", "staged-intent-published", "mid-rename-intent",
+    "mid-channel-batch",  "holding-leased-list",
+};
+
+SoakReport RunSoak(const SoakOptions& opts);
+
+}  // namespace procmon
+
+#endif  // SRC_PROCMON_PROCMON_H_

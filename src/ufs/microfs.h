@@ -77,6 +77,10 @@ class MicroFs {
 
   // ---- maintenance ----
   virtual Result<RecoveryStats> RecoverAll() = 0;
+  // Marks the process dead: the destructor must not flush staged state,
+  // drain channels, or otherwise touch the kernel — the KernFS reaper owns
+  // the corpse. Default no-op for µFSs without deferred state.
+  virtual void Abandon() {}
 };
 
 }  // namespace ufs

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "src/common/clock.h"
+#include "src/common/killpoint.h"
 #include "src/mpk/mpk.h"
 
 namespace zofs {
@@ -19,13 +20,26 @@ constexpr uint64_t kMaxLeaseSlackNs = 60'000'000'000ull;
 thread_local std::unordered_map<uint64_t, uint32_t> t_my_list;
 
 const uint8_t kZeroPage[nvm::kPageSize] = {};
+
+thread_local uint64_t t_tid_override = 0;
 }  // namespace
 
 uint64_t CurrentTid() {
+  if (t_tid_override != 0) {
+    return t_tid_override;
+  }
   static std::atomic<uint64_t> next{1};
   thread_local uint64_t tid = next.fetch_add(1);
   return tid;
 }
+
+ScopedTidOverride::ScopedTidOverride(uint64_t tid) : prev_(t_tid_override) {
+  if (tid != 0) {
+    t_tid_override = tid;
+  }
+}
+
+ScopedTidOverride::~ScopedTidOverride() { t_tid_override = prev_; }
 
 CofferAllocator::CofferAllocator(kernfs::KernFs* kfs, kernfs::Process* proc, uint32_t coffer_id,
                                  uint64_t pool_off, uint64_t lease_ns, uint64_t enlarge_batch,
@@ -115,6 +129,10 @@ Result<uint32_t> CofferAllocator::AcquireList(nvm::FlushSet* flush) {
       dev->Store64(loff + offsetof(LeasedFreeList, lease_expiry_ns), now + lease_ns_);
       dev->PersistRange(loff, sizeof(LeasedFreeList));
       t_my_list[pool_off_] = i;
+      // Tenant death right after claiming the list: the owner word stays set
+      // and the list (plus any pages parked on it) is stranded until the
+      // lease lapses — reclaimed by ReclaimExpiredLists or a later steal.
+      common::KillPoint(common::kKillHoldingLeasedList);
       return i;
     }
   }

@@ -32,6 +32,23 @@ using common::Status;
 // Process-wide unique id of the calling thread; never 0.
 uint64_t CurrentTid();
 
+// Makes CurrentTid() report `tid` on this thread while in scope (nested
+// scopes restore the previous override). The procmon soak drives several
+// simulated tenants from one OS thread; without distinct lease-owner
+// identities a survivor would *re-enter* the dead tenant's InodeLock and
+// leased lists instead of stealing them, and the steal/repair paths under
+// test would never run. Passing 0 is a no-op (the real tid stays visible).
+class ScopedTidOverride {
+ public:
+  explicit ScopedTidOverride(uint64_t tid);
+  ~ScopedTidOverride();
+  ScopedTidOverride(const ScopedTidOverride&) = delete;
+  ScopedTidOverride& operator=(const ScopedTidOverride&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
 class CofferAllocator {
  public:
   // `validate` enables validate-before-dereference on persistent free-list

@@ -10,9 +10,29 @@
 #include "src/audit/audit.h"
 #include "src/common/clock.h"
 #include "src/common/hash.h"
+#include "src/common/killpoint.h"
 #include "src/mpk/mpk.h"
 
 namespace zofs {
+
+// ---------------------------------------------------------------------------
+// Tenant-death accounting (process-wide; see zofs.h)
+
+namespace {
+std::atomic<uint64_t> g_lock_steals{0};
+std::atomic<uint64_t> g_online_repairs{0};
+std::atomic<uint64_t> g_reaped_lists{0};
+}  // namespace
+
+uint64_t LockStealCount() { return g_lock_steals.load(std::memory_order_relaxed); }
+uint64_t OnlineRepairCount() { return g_online_repairs.load(std::memory_order_relaxed); }
+uint64_t ReapedListCount() { return g_reaped_lists.load(std::memory_order_relaxed); }
+
+namespace internal {
+void NoteLockSteal() { g_lock_steals.fetch_add(1, std::memory_order_relaxed); }
+void NoteOnlineRepair() { g_online_repairs.fetch_add(1, std::memory_order_relaxed); }
+void NoteReapedLists(uint64_t n) { g_reaped_lists.fetch_add(n, std::memory_order_relaxed); }
+}  // namespace internal
 
 using kernfs::CofferRoot;
 using kernfs::MapInfo;
@@ -101,9 +121,17 @@ InodeLock::InodeLock(nvm::NvmDevice* dev, uint64_t inode_off, uint64_t lease_ns)
       const uint64_t now = common::NowNs();
       if (expiry < now || expiry > now + kMaxLeaseSlackNs) {
         // Lease expired (holder died or stalled) or the expiry word is
-        // garbage: steal (paper §5.2); the stamp below restores sanity.
-        if (dev_->AtomicCas64(owner_off_, owner, tid)) {
+        // garbage: steal (paper §5.2). Claim the lease time first — exactly
+        // one racing thief wins the expiry CAS, after which the lease reads
+        // live and no second thief enters the steal path during the owner
+        // handover below. The winner inherits whatever half-done state the
+        // dead owner left; it reports the steal so callers run
+        // MaybeOnlineRepair.
+        if (dev_->AtomicCas64(expiry_off_, expiry, now + lease_ns) &&
+            dev_->AtomicCas64(owner_off_, owner, tid)) {
           held_ = true;
+          stole_ = true;
+          internal::NoteLockSteal();
           break;
         }
       }
@@ -123,10 +151,24 @@ InodeLock::InodeLock(nvm::NvmDevice* dev, uint64_t inode_off, uint64_t lease_ns)
     }
   }
   dev_->AtomicStore64(expiry_off_, common::NowNs() + lease_ns);
+  // Tenant death while holding the lock: the throw leaves the owner word set
+  // (this ctor never completed, so ~InodeLock does not run) — exactly what a
+  // real dead process leaves behind. Survivors steal after expiry.
+  common::KillPoint(common::kKillHoldingInodeLock);
 }
 
 InodeLock::~InodeLock() {
-  if (held_) {
+  // A killed thread releases nothing: a dead process cannot store to NVM on
+  // its way out, so outer locks unwound by ProcessKilledError stay held (and
+  // expire) just like the innermost one.
+  //
+  // The owner word may also have become unwritable since acquisition: under
+  // MPK key pressure EvictMappingVictim can unmap the lock's coffer out from
+  // under a mid-flight operation (the accepted stale-mapping fault). A store
+  // here would throw inside a noexcept destructor, so probe first; a skipped
+  // release is indistinguishable from owner death and heals by lease expiry.
+  if (held_ && !common::CurrentThreadKilled() &&
+      mpk::ProbeAccess(owner_off_, 8, /*is_write=*/true)) {
     dev_->AtomicStore64(owner_off_, 0);
   }
 }
@@ -259,6 +301,10 @@ ZoFs::ZoFs(kernfs::KernFs* kfs, kernfs::Process* proc, Options opts)
 }
 
 ZoFs::~ZoFs() {
+  // An abandoned (killed) instance re-enters the kernel for nothing: its
+  // staged epochs die with it (the intent protocol makes that safe), its
+  // channel grants and mappings are the reaper's job.
+  if (abandoned_) return;
   // Unmount is a durability point: drain every open append epoch so data the
   // application wrote before a clean shutdown is durable without an explicit
   // fsync (matching kernel file systems' unmount semantics).
@@ -268,6 +314,11 @@ ZoFs::~ZoFs() {
   // (CofferShrink), queued-but-unexecuted requests are dropped.
   channels_.DrainAll();
   kfs_->FsUmount(*proc_);
+}
+
+void ZoFs::Abandon() {
+  abandoned_ = true;
+  channels_.Abandon();
 }
 
 // ---------------------------------------------------------------------------
@@ -1409,6 +1460,7 @@ Result<NodeRef> ZoFs::Create(const std::string& path, uint16_t mode) {
   if (!lock.ok()) {
     return Err::kBusy;
   }
+  MaybeOnlineRepair(pcid, pinfo, lock, pr.node.inode_off);
   if (DirFind(pcid, dir, leaf).ok()) {
     return Err::kExist;
   }
@@ -1469,6 +1521,7 @@ Result<NodeRef> ZoFs::OpenOrCreate(const std::string& path, uint16_t mode, bool*
   if (!lock.ok()) {
     return Err::kBusy;
   }
+  MaybeOnlineRepair(pcid, pinfo, lock, pr.node.inode_off);
   auto existing = DirFind(pcid, dir, leaf);
   if (existing.ok()) {
     Dentry* d = *existing;
@@ -1532,6 +1585,7 @@ Status ZoFs::Mkdir(const std::string& path, uint16_t mode) {
   if (!lock.ok()) {
     return Err::kBusy;
   }
+  MaybeOnlineRepair(pcid, pinfo, lock, pr.node.inode_off);
   if (DirFind(pcid, dir, leaf).ok()) {
     return Err::kExist;
   }
@@ -1588,6 +1642,7 @@ Status ZoFs::Symlink(const std::string& target, const std::string& linkpath) {
   if (!lock.ok()) {
     return Err::kBusy;
   }
+  MaybeOnlineRepair(pcid, pinfo, lock, pr.node.inode_off);
   if (DirFind(pcid, dir, leaf).ok()) {
     return Err::kExist;
   }
@@ -1637,6 +1692,7 @@ Status ZoFs::Unlink(const std::string& path) {
   if (!lock.ok()) {
     return Err::kBusy;
   }
+  MaybeOnlineRepair(pcid, pinfo, lock, r.parent.inode_off);
   ASSIGN_OR_RETURN(d, DirFind(pcid, dir, r.leaf));
   if (d->cached_type() == kTypeDirectory) {
     return Err::kIsDir;
@@ -1689,6 +1745,7 @@ Status ZoFs::Rmdir(const std::string& path) {
   if (!lock.ok()) {
     return Err::kBusy;
   }
+  MaybeOnlineRepair(pcid, pinfo, lock, r.parent.inode_off);
   ASSIGN_OR_RETURN(d, DirFind(pcid, dir, r.leaf));
   const uint32_t child_cid = d->coffer_id;
   const uint64_t child_inode = d->inode_off;
@@ -1840,6 +1897,7 @@ Result<size_t> ZoFs::WriteAt(NodeRef node, const void* buf, size_t n, uint64_t o
   if (!lock.ok()) {
     return Err::kBusy;
   }
+  MaybeOnlineRepair(node.coffer_id, info, lock, node.inode_off);
   // A positional write is a conflicting operation for the staged-append
   // epoch: drain it first so this write's own durability claim cannot cover
   // staged blocks whose metadata write-backs are still deferred.
@@ -2009,6 +2067,7 @@ Result<uint64_t> ZoFs::Append(NodeRef node, const void* buf, size_t n) {
   if (!lock.ok()) {
     return Err::kBusy;
   }
+  MaybeOnlineRepair(node.coffer_id, info, lock, node.inode_off);
   const uint64_t off = ino->size;
   // ---- staged fast path (epoch batcher, DESIGN.md) ----
   // Qualifying appends defer all metadata write-backs into the epoch's flush
@@ -2264,6 +2323,10 @@ Status ZoFs::PublishStageIntent(const MapInfo& info, const StageState& st) {
   dev->AtomicStore64(magic_off, kStagedIntentMagic);
   AUDIT_ORDER_AFTER(dev, magic_off, 8, off, sizeof(in));
   dev->PersistRange(magic_off, 8);  // fence B
+  // Tenant death with the intent committed but the FlushSet undrained: the
+  // survivor who steals this file's lock (or offline recovery) must roll the
+  // epoch forward from the intent record alone.
+  common::KillPoint(common::kKillStagedIntentPublished);
   return common::OkStatus();
 }
 
@@ -2336,6 +2399,7 @@ Status ZoFs::SyncNode(NodeRef node) {
   if (!lock.ok()) {
     return Err::kBusy;
   }
+  MaybeOnlineRepair(node.coffer_id, info, lock, node.inode_off);
   return FlushStageIfAny(info, node.inode_off);
 }
 
@@ -2380,6 +2444,7 @@ Status ZoFs::TruncateNode(NodeRef node, uint64_t len) {
   if (!lock.ok()) {
     return Err::kBusy;
   }
+  MaybeOnlineRepair(node.coffer_id, info, lock, node.inode_off);
   // Truncation conflicts with an open append epoch (it rewrites the same
   // size word and may free staged blocks): drain the epoch first.
   RETURN_IF_ERROR(FlushStageIfAny(info, node.inode_off));
@@ -2611,6 +2676,7 @@ Status ZoFs::Chmod(const std::string& path, uint16_t mode) {
   if (!plock.ok()) {
     return Err::kBusy;
   }
+  MaybeOnlineRepair(r.parent.coffer_id, pinfo, plock, r.parent.inode_off);
 
   ASSIGN_OR_RETURN(new_cid, SplitNodeIntoCoffer(r, norm, mode, snapshot.uid, snapshot.gid));
   ASSIGN_OR_RETURN(d, DirFind(r.parent.coffer_id, pdir, r.leaf));
@@ -2668,6 +2734,7 @@ Status ZoFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
   if (!plock.ok()) {
     return Err::kBusy;
   }
+  MaybeOnlineRepair(r.parent.coffer_id, pinfo, plock, r.parent.inode_off);
 
   ASSIGN_OR_RETURN(new_cid, SplitNodeIntoCoffer(r, norm, snapshot.mode, uid, gid));
   ASSIGN_OR_RETURN(d, DirFind(r.parent.coffer_id, pdir, r.leaf));
@@ -2849,6 +2916,7 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
       if (!l.ok()) {
         return Err::kBusy;
       }
+      MaybeOnlineRepair(scid, sinfo, l, src.parent.inode_off);
       return body();
     }
     // Deterministic lock order avoids deadlock between concurrent renames.
@@ -2861,11 +2929,15 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
     if (!l1.ok()) {
       return Err::kBusy;
     }
+    MaybeOnlineRepair(first == src.parent.inode_off ? scid : dcid,
+                      first == src.parent.inode_off ? sinfo : dinfo, l1, first);
     mpk::AccessWindow w2(skey, true);
     InodeLock l2(dev, second, opts_.lease_ns);
     if (!l2.ok()) {
       return Err::kBusy;
     }
+    MaybeOnlineRepair(second == src.parent.inode_off ? scid : dcid,
+                      second == src.parent.inode_off ? sinfo : dinfo, l2, second);
     return body();
   };
 
@@ -2929,6 +3001,10 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
           return s;
         }
       }
+      // Tenant death with the rename intent committed and the destination
+      // dentry landed, but the source dentry still in place: the survivor
+      // (or offline recovery) rolls the move forward from the intent.
+      common::KillPoint(common::kKillMidRenameIntent);
       RETURN_IF_ERROR(DirRemoveAt(sdir, sd));
       if (dd != nullptr) {
         RETURN_IF_ERROR(FreeRenameVictim(dcid, dinfo, in.old_dst_ino, in.old_dst_coffer));

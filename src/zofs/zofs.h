@@ -113,6 +113,21 @@ enum class CofferHealth {
 // A resolved file: which coffer it lives in and its inode page.
 using NodeRef = ufs::NodeRef;
 
+class InodeLock;
+
+// ---- tenant-death accounting (procmon; bench_json zofs-bench-scale-v4) ----
+// Process-wide: steals and online repairs are survivor-side events that can
+// span ZoFs instances (each tenant is its own instance).
+uint64_t LockStealCount();    // expired InodeLocks stolen from a dead owner
+uint64_t OnlineRepairCount(); // pending intents repaired in place post-steal
+uint64_t ReapedListCount();   // expired leased free lists reclaimed
+
+namespace internal {
+void NoteLockSteal();
+void NoteOnlineRepair();
+void NoteReapedLists(uint64_t n);
+}  // namespace internal
+
 class ZoFs final : public ufs::MicroFs {
  public:
   ZoFs(kernfs::KernFs* kfs, kernfs::Process* proc, Options opts = {});
@@ -122,6 +137,12 @@ class ZoFs final : public ufs::MicroFs {
   ZoFs& operator=(const ZoFs&) = delete;
 
   const char* Name() const override { return "ZoFS"; }
+
+  // Marks this instance's process dead (procmon kill path): the destructor
+  // skips every kernel re-entry on the corpse's behalf — no stage flush, no
+  // channel drain, no FsUmount. The kernel-side reaper reclaims instead.
+  void Abandon() override;
+
   kernfs::Process* proc() { return proc_; }
   kernfs::KernFs* kfs() { return kfs_; }
   const Options& options() const { return opts_; }
@@ -204,6 +225,13 @@ class ZoFs final : public ufs::MicroFs {
   // Volatile health of `cid` in this instance (fault-injection harness and
   // sick-coffer tests). Healthy for coffers never seen to misbehave.
   CofferHealth Health(uint32_t cid);
+
+  // Janitor-side sweep of `cid`'s leased allocator free lists: any list whose
+  // lease is expired (or implausibly far in the future) has its owner word
+  // CAS-cleared so survivors can re-lease it immediately instead of each
+  // paying the steal path. Counted by ReapedListCount(). Part of the
+  // dead-process reap sequence (see DESIGN.md "process-failure model").
+  Status ReclaimExpiredLists(uint32_t cid);
 
   // Accounting for the safety/recovery experiments.
   using RecoveryStats = ufs::RecoveryStats;
@@ -319,6 +347,33 @@ class ZoFs final : public ufs::MicroFs {
   // (called from RecoverOne under the coffer window).
   Status RepairPendingRename(uint32_t cid, const kernfs::MapInfo& info,
                              uint64_t* dentries_cleared);
+  // Shared roll-forward/back body (zofs_repair.cc). Offline (`online ==
+  // false`, from RecoverOne) records repath bookkeeping for RecoverAll's
+  // cross-ref phase; online (from a lease steal) must instead fix the
+  // kernel-stored coffer path immediately — there is no phase 2 to vouch for
+  // the moved dentry, and a later remount would clear it as unvouched.
+  Status RepairPendingRenameImpl(uint32_t cid, const kernfs::MapInfo& info,
+                                 uint64_t* dentries_cleared, bool online);
+
+  // --- online repair after a lease steal (zofs_repair.cc) ---
+  // Read-only BFS over `cid`'s same-coffer dentries for the directory inode
+  // at `dir_ino_off`; returns its absolute path (coffer path + interior
+  // walk). Used to rebuild the kernel-side path of a renamed child coffer
+  // during online rename roll-forward. kNoEnt when unreachable.
+  Result<std::string> FindDirPath(uint32_t cid, const kernfs::MapInfo& info,
+                                  uint64_t dir_ino_off);
+  // Survivor-side intent repair, called after InodeLock reports a steal: the
+  // dead owner may have died between intent commit and intent clear, so roll
+  // its pending staged-append / rename intents forward (or clear claimed-but-
+  // uncommitted slots) in place, without a remount. `held_inode_off` is the
+  // inode the caller's stolen lock covers — repair must NOT re-lock it
+  // (InodeLock reentry would release the caller's lock on destruction).
+  Status OnlineRepairAfterSteal(uint32_t cid, const kernfs::MapInfo& info,
+                                uint64_t held_inode_off);
+  // Steal-site hook: no-op unless `lk` actually stole. Repair failure is
+  // non-fatal (offline recovery still covers it at the next remount).
+  void MaybeOnlineRepair(uint32_t cid, const kernfs::MapInfo& info, const InodeLock& lk,
+                         uint64_t held_inode_off);
 
   // --- staged-append epoch batcher (DESIGN.md: epochs & durability points) --
   // One open epoch of appends to one file. The data is already NT-written
@@ -571,6 +626,16 @@ class ZoFs final : public ufs::MicroFs {
   common::Mutex retire_mu_;
   std::vector<std::unique_ptr<CofferAllocator>> retired_allocators_ GUARDED_BY(retire_mu_);
 
+  // Serializes OnlineRepairAfterSteal within this instance: two survivors
+  // whose steals race (different files, same coffer) must not both operate on
+  // the intent slots concurrently. Leaf lock — nothing is acquired under it
+  // except the repaired file's InodeLock (an NVM lease, not a DRAM mutex).
+  common::Mutex repair_mu_;
+
+  // Set by Abandon(): the destructor skips FlushAllStages / DrainAll /
+  // FsUmount (a corpse must not re-enter the kernel).
+  bool abandoned_ = false;
+
   // Set during RecoverAll by RepairPendingRename: an interrupted rename may
   // have committed the dentry move before the kernel-side coffer path was
   // rewritten, so phase 2 repairs (CofferRename) instead of clearing a
@@ -596,12 +661,17 @@ class InodeLock {
   InodeLock& operator=(const InodeLock&) = delete;
 
   bool ok() const { return held_; }
+  // True when acquisition went through the steal path (expired or implausible
+  // lease taken from another owner). The winner inherits whatever half-done
+  // state the dead owner left: callers route through ZoFs::MaybeOnlineRepair.
+  bool stole() const { return stole_; }
 
  private:
   nvm::NvmDevice* dev_;
   uint64_t owner_off_;
   uint64_t expiry_off_;
   bool held_ = false;
+  bool stole_ = false;
 };
 
 }  // namespace zofs

@@ -165,116 +165,9 @@ Result<uint64_t> ZoFs::RecoverCoffer(uint32_t cid) {
   return stats->pages_reclaimed;
 }
 
-Status ZoFs::RepairPendingRename(uint32_t cid, const kernfs::MapInfo& info,
-                                 uint64_t* dentries_cleared) {
-  nvm::NvmDevice* dev = kfs_->dev();
-  const uint64_t off = info.custom_off + offsetof(AllocPool, rename_intent);
-  RenameIntent in;
-  dev->LoadBytes(off, &in, sizeof(in));
-  if (in.magic == 0) {
-    return common::OkStatus();
-  }
-  auto clear_slot = [&]() {
-    dev->Store64(off + offsetof(RenameIntent, magic), 0);
-    dev->PersistRange(off + offsetof(RenameIntent, magic), 8);
-  };
-  // A claimed-but-uncommitted intent (or a corrupt one) carries no
-  // obligation: the rename had not reached its commit point.
-  bool valid = in.magic == kRenameIntentMagic && in.src_len > 0 && in.src_len <= kMaxName &&
-               in.dst_len > 0 && in.dst_len <= kMaxName && PlausiblePage(dev, in.src_dir_ino) &&
-               PlausiblePage(dev, in.dst_dir_ino);
-  if (valid) {
-    valid = Ino(in.src_dir_ino)->magic == kInodeMagic && Ino(in.dst_dir_ino)->magic == kInodeMagic;
-  }
-  if (!valid) {
-    clear_slot();
-    return common::OkStatus();
-  }
-
-  const std::string_view src_name(in.src_name, in.src_len);
-  const std::string_view dst_name(in.dst_name, in.dst_len);
-  auto dd = DirFind(cid, Ino(in.dst_dir_ino), dst_name);
-  const bool committed = dd.ok() && (*dd)->coffer_id == in.child_coffer &&
-                         (*dd)->inode_off == in.child_ino;
-  if (committed) {
-    // Roll forward: the destination points at the child, so finish what the
-    // crashed rename started — drop a lingering source name and a displaced
-    // destination coffer (a displaced same-coffer node is simply no longer
-    // reachable and falls to the page sweep).
-    auto sd = DirFind(cid, Ino(in.src_dir_ino), src_name);
-    if (sd.ok() && (*sd)->coffer_id == in.child_coffer && (*sd)->inode_off == in.child_ino) {
-      RETURN_IF_ERROR(DirRemoveAt(Ino(in.src_dir_ino), *sd));
-      (*dentries_cleared)++;
-    }
-    if (in.old_dst_coffer != 0) {
-      // Ignore failure: the crashed rename may already have deleted it.
-      (void)kfs_->CofferDelete(*proc_, in.old_dst_coffer);
-      ForgetMapping(in.old_dst_coffer);
-    }
-    if (in.child_coffer != 0) {
-      // The kernel-side coffer path may not have been rewritten before the
-      // crash; let phase 2 repair a stale path instead of clearing the ref.
-      rename_repath_.insert(in.child_coffer);
-    }
-    if (in.child_type == kTypeDirectory) {
-      // Descendant coffers' stored paths may still embed the old prefix.
-      rename_repath_all_ = true;
-    }
-  }
-  // Not committed: the pre-rename namespace is intact; nothing to undo.
-  clear_slot();
-  return common::OkStatus();
-}
-
-Status ZoFs::RepairPendingStagedAppend(uint32_t cid, const kernfs::MapInfo& info) {
-  (void)cid;
-  nvm::NvmDevice* dev = kfs_->dev();
-  const uint64_t off = info.custom_off + offsetof(AllocPool, staged_intent);
-  StagedAppendIntent in;
-  dev->LoadBytes(off, &in, sizeof(in));
-  if (in.magic == 0) {
-    return common::OkStatus();
-  }
-  auto clear_slot = [&]() {
-    dev->Store64(off + offsetof(StagedAppendIntent, magic), 0);
-    dev->PersistRange(off + offsetof(StagedAppendIntent, magic), 8);
-  };
-  // A claimed-but-uncommitted intent (or a corrupt one) carries no
-  // obligation: the epoch had not reached its durability point, so the data
-  // was never promised. Everything it staged falls to the page sweep.
-  bool valid = in.magic == kStagedIntentMagic && in.count > 0 && in.count <= kStagedMaxPages &&
-               in.base_size <= in.new_size && PlausiblePage(dev, in.inode_off);
-  if (valid) {
-    const Inode* ino = Ino(in.inode_off);
-    valid = ino->magic == kInodeMagic && ino->type == kTypeRegular;
-  }
-  for (uint64_t i = 0; valid && i < in.count; i++) {
-    valid = PlausiblePage(dev, in.pages[i]);
-  }
-  if (!valid) {
-    clear_slot();
-    return common::OkStatus();
-  }
-  // Roll forward: re-install the staged block pointers and the synced size.
-  // Idempotent — a crash between the metadata drain and the intent clear
-  // replays stores that are already in place. The index pages the installs
-  // walk were persisted before the intent committed (fence A precedes fence
-  // B), so a dead-end here means the commit never really happened; treat it
-  // like an uncommitted intent.
-  Inode* ino = Ino(in.inode_off);
-  for (uint64_t i = 0; i < in.count; i++) {
-    if (!InstallBlockPointer(ino, in.start_blk + i, in.pages[i]).ok()) {
-      clear_slot();
-      return common::OkStatus();
-    }
-  }
-  if (ino->size < in.new_size) {
-    dev->Store64(in.inode_off + offsetof(Inode, size), in.new_size);
-  }
-  dev->PersistRange(in.inode_off + offsetof(Inode, size), 8);  // fences the installs too
-  clear_slot();
-  return common::OkStatus();
-}
+// RepairPendingRename / RepairPendingStagedAppend live in zofs_repair.cc:
+// they are shared with the online lease-steal repair path and must run
+// without a remount.
 
 Result<ZoFs::RecoveryStats> ZoFs::RecoverOne(uint32_t cid, std::vector<CrossRef>* cross_out) {
   RecoveryStats st;

@@ -1,0 +1,430 @@
+// Intent repair — shared between offline recovery (fsck, zofs_recovery.cc)
+// and ONLINE lease-steal repair (paper §5, availability).
+//
+// The offline path has run since the intents were introduced: RecoverOne
+// rolls a committed rename or staged-append intent forward (or clears an
+// uncommitted claim) before traversal. What lived only there now also runs
+// online: a survivor that steals an expired InodeLock may be inheriting a
+// dead owner's half-done operation, and must repair it in place — no remount
+// — before using the structure it just locked.
+//
+// Online differs from offline in exactly two ways:
+//   * Locks. Offline runs single-instance after a remount; online runs amid
+//     live tenants, so file/directory surgery takes the affected inodes'
+//     lease locks first (skipping, never re-locking, the inode the caller's
+//     stolen lock already covers — InodeLock reentry would release the
+//     caller's lock on destruction).
+//   * Kernel paths. Offline rename roll-forward leaves the kernel-side
+//     coffer path stale and records vouching state (rename_repath_) for
+//     RecoverAll's cross-ref phase to repair. Online there IS no phase 2 —
+//     and worse, clearing the intent destroys the vouching a later remount
+//     would need, so that remount would clear the moved dentry as an
+//     unvouched path mismatch (data loss). Online roll-forward therefore
+//     rewrites the kernel-stored path immediately (CofferRename /
+//     CofferFixupPaths), and on any failure leaves the intent IN PLACE for
+//     offline recovery to finish.
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <utility>
+
+#include "src/common/clock.h"
+#include "src/mpk/mpk.h"
+#include "src/zofs/zofs.h"
+
+namespace zofs {
+
+using kernfs::CofferRoot;
+using kernfs::MapInfo;
+
+namespace {
+
+// No live process stamps a lease further out than this past now; a bigger
+// expiry is corrupt metadata, not a live holder (same constant and rationale
+// as the InodeLock steal path and the allocator's list reclaim).
+constexpr uint64_t kMaxLeaseSlackNs = 60'000'000'000ull;
+
+bool PlausiblePage(const nvm::NvmDevice* dev, uint64_t off) {
+  return off != 0 && off % nvm::kPageSize == 0 && off + nvm::kPageSize <= dev->size();
+}
+
+// A lease stamp that no live holder can currently own: expired, or too far
+// out to be legal.
+bool LeaseDead(uint64_t expiry, uint64_t now) {
+  return expiry < now || expiry > now + kMaxLeaseSlackNs;
+}
+
+std::string JoinPath(const std::string& dir, std::string_view leaf) {
+  return (dir == "/" ? "/" : dir + "/") + std::string(leaf);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Rename intent (shared body; offline wrapper below keeps the old entry
+// point and behaviour byte-identical).
+
+Status ZoFs::RepairPendingRename(uint32_t cid, const MapInfo& info,
+                                 uint64_t* dentries_cleared) {
+  return RepairPendingRenameImpl(cid, info, dentries_cleared, /*online=*/false);
+}
+
+Status ZoFs::RepairPendingRenameImpl(uint32_t cid, const MapInfo& info,
+                                     uint64_t* dentries_cleared, bool online) {
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t off = info.custom_off + offsetof(AllocPool, rename_intent);
+  RenameIntent in;
+  dev->LoadBytes(off, &in, sizeof(in));
+  if (in.magic == 0) {
+    return common::OkStatus();
+  }
+  auto clear_slot = [&]() {
+    dev->Store64(off + offsetof(RenameIntent, magic), 0);
+    dev->PersistRange(off + offsetof(RenameIntent, magic), 8);
+  };
+  // A claimed-but-uncommitted intent (or a corrupt one) carries no
+  // obligation: the rename had not reached its commit point.
+  bool valid = in.magic == kRenameIntentMagic && in.src_len > 0 && in.src_len <= kMaxName &&
+               in.dst_len > 0 && in.dst_len <= kMaxName && PlausiblePage(dev, in.src_dir_ino) &&
+               PlausiblePage(dev, in.dst_dir_ino);
+  if (valid) {
+    valid = Ino(in.src_dir_ino)->magic == kInodeMagic && Ino(in.dst_dir_ino)->magic == kInodeMagic;
+  }
+  if (!valid) {
+    clear_slot();
+    return common::OkStatus();
+  }
+
+  const std::string_view src_name(in.src_name, in.src_len);
+  const std::string_view dst_name(in.dst_name, in.dst_len);
+  auto dd = DirFind(cid, Ino(in.dst_dir_ino), dst_name);
+  const bool committed = dd.ok() && (*dd)->coffer_id == in.child_coffer &&
+                         (*dd)->inode_off == in.child_ino;
+  if (committed) {
+    // Roll forward: the destination points at the child, so finish what the
+    // crashed rename started — drop a lingering source name and a displaced
+    // destination coffer (a displaced same-coffer node is simply no longer
+    // reachable; the offline page sweep reclaims it, online it merely waits
+    // for that sweep).
+    auto sd = DirFind(cid, Ino(in.src_dir_ino), src_name);
+    if (sd.ok() && (*sd)->coffer_id == in.child_coffer && (*sd)->inode_off == in.child_ino) {
+      RETURN_IF_ERROR(DirRemoveAt(Ino(in.src_dir_ino), *sd));
+      (*dentries_cleared)++;
+    }
+    if (in.old_dst_coffer != 0) {
+      // Ignore failure: the crashed rename may already have deleted it.
+      (void)kfs_->CofferDelete(*proc_, in.old_dst_coffer);
+      ForgetMapping(in.old_dst_coffer);
+    }
+    if (online) {
+      // Rewrite the kernel-stored paths NOW (see file comment); leaving the
+      // intent in place on failure keeps the vouching a later remount needs.
+      if (in.child_coffer != 0 || in.child_type == kTypeDirectory) {
+        auto dst_dir = FindDirPath(cid, info, in.dst_dir_ino);
+        if (!dst_dir.ok()) {
+          return Err::kBusy;  // intent stays; offline recovery finishes
+        }
+        const std::string new_path = JoinPath(*dst_dir, dst_name);
+        if (in.child_coffer != 0) {
+          const CofferRoot* chroot = kfs_->RootPageOf(in.child_coffer);
+          if (new_path.compare(chroot->path) != 0 &&
+              !kfs_->CofferRename(*proc_, in.child_coffer, new_path).ok()) {
+            return Err::kBusy;
+          }
+        }
+        if (in.child_type == kTypeDirectory) {
+          auto src_dir = FindDirPath(cid, info, in.src_dir_ino);
+          if (!src_dir.ok()) {
+            return Err::kBusy;
+          }
+          const std::string old_path = JoinPath(*src_dir, src_name);
+          if (old_path != new_path &&
+              !kfs_->CofferFixupPaths(*proc_, old_path, new_path).ok()) {
+            return Err::kBusy;
+          }
+        }
+      }
+    } else {
+      if (in.child_coffer != 0) {
+        // The kernel-side coffer path may not have been rewritten before the
+        // crash; let phase 2 repair a stale path instead of clearing the ref.
+        rename_repath_.insert(in.child_coffer);
+      }
+      if (in.child_type == kTypeDirectory) {
+        // Descendant coffers' stored paths may still embed the old prefix.
+        rename_repath_all_ = true;
+      }
+    }
+  }
+  // Not committed: the pre-rename namespace is intact; nothing to undo.
+  clear_slot();
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Staged-append intent (moved verbatim from zofs_recovery.cc; already
+// lock-agnostic — the online caller takes the file's InodeLock around it).
+
+Status ZoFs::RepairPendingStagedAppend(uint32_t cid, const MapInfo& info) {
+  (void)cid;
+  nvm::NvmDevice* dev = kfs_->dev();
+  const uint64_t off = info.custom_off + offsetof(AllocPool, staged_intent);
+  StagedAppendIntent in;
+  dev->LoadBytes(off, &in, sizeof(in));
+  if (in.magic == 0) {
+    return common::OkStatus();
+  }
+  auto clear_slot = [&]() {
+    dev->Store64(off + offsetof(StagedAppendIntent, magic), 0);
+    dev->PersistRange(off + offsetof(StagedAppendIntent, magic), 8);
+  };
+  // A claimed-but-uncommitted intent (or a corrupt one) carries no
+  // obligation: the epoch had not reached its durability point, so the data
+  // was never promised. Everything it staged falls to the page sweep.
+  bool valid = in.magic == kStagedIntentMagic && in.count > 0 && in.count <= kStagedMaxPages &&
+               in.base_size <= in.new_size && PlausiblePage(dev, in.inode_off);
+  if (valid) {
+    const Inode* ino = Ino(in.inode_off);
+    valid = ino->magic == kInodeMagic && ino->type == kTypeRegular;
+  }
+  for (uint64_t i = 0; valid && i < in.count; i++) {
+    valid = PlausiblePage(dev, in.pages[i]);
+  }
+  if (!valid) {
+    clear_slot();
+    return common::OkStatus();
+  }
+  // Roll forward: re-install the staged block pointers and the synced size.
+  // Idempotent — a crash between the metadata drain and the intent clear
+  // replays stores that are already in place. The index pages the installs
+  // walk were persisted before the intent committed (fence A precedes fence
+  // B), so a dead-end here means the commit never really happened; treat it
+  // like an uncommitted intent.
+  Inode* ino = Ino(in.inode_off);
+  for (uint64_t i = 0; i < in.count; i++) {
+    if (!InstallBlockPointer(ino, in.start_blk + i, in.pages[i]).ok()) {
+      clear_slot();
+      return common::OkStatus();
+    }
+  }
+  if (ino->size < in.new_size) {
+    dev->Store64(in.inode_off + offsetof(Inode, size), in.new_size);
+  }
+  dev->PersistRange(in.inode_off + offsetof(Inode, size), 8);  // fences the installs too
+  clear_slot();
+  return common::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Online steal repair
+
+Result<std::string> ZoFs::FindDirPath(uint32_t cid, const MapInfo& info,
+                                      uint64_t dir_ino_off) {
+  nvm::NvmDevice* dev = kfs_->dev();
+  const CofferRoot* croot = kfs_->RootPageOf(cid);
+  const std::string base = croot->path[1] == '\0' ? "/" : croot->path;
+  if (dir_ino_off == info.root_inode_off) {
+    return base;
+  }
+  // Read-only BFS over same-coffer directory dentries (the CollectReachable
+  // walk, minus the mutations); a visited set bounds corrupted cycles.
+  std::deque<std::pair<uint64_t, std::string>> queue;
+  std::unordered_set<uint64_t> visited;
+  queue.emplace_back(info.root_inode_off, base);
+  visited.insert(info.root_inode_off);
+  while (!queue.empty()) {
+    auto [cur, path] = queue.front();
+    queue.pop_front();
+    if (!PlausiblePage(dev, cur)) {
+      continue;
+    }
+    const Inode* ino = Ino(cur);
+    if (ino->magic != kInodeMagic || ino->type != kTypeDirectory || ino->l1_dir == 0 ||
+        !PlausiblePage(dev, ino->l1_dir)) {
+      continue;
+    }
+    std::string found;
+    auto visit_dentry = [&](const Dentry& d) {
+      if (!found.empty() || !d.in_use() || d.coffer_id != 0 ||
+          d.cached_type() != kTypeDirectory || d.name_len == 0 || d.name_len > kMaxName) {
+        return;
+      }
+      if (!visited.insert(d.inode_off).second) {
+        return;
+      }
+      std::string child = JoinPath(path, std::string_view(d.name, d.name_len));
+      if (d.inode_off == dir_ino_off) {
+        found = std::move(child);
+        return;
+      }
+      queue.emplace_back(d.inode_off, std::move(child));
+    };
+    const uint64_t* l1 = dev->As<uint64_t>(ino->l1_dir);
+    for (uint64_t s = 0; s < kL1Slots && found.empty(); s++) {
+      if (l1[s] == 0 || !PlausiblePage(dev, l1[s])) {
+        continue;
+      }
+      const L2Page* l2 = dev->As<L2Page>(l1[s]);
+      for (const Dentry& d : l2->embedded) {
+        visit_dentry(d);
+      }
+      for (uint64_t b = 0; b < kL2Buckets && found.empty(); b++) {
+        uint64_t run_off = l2->buckets[b];
+        std::unordered_set<uint64_t> seen;  // corrupted chains may loop
+        while (run_off != 0 && PlausiblePage(dev, run_off) && seen.insert(run_off).second) {
+          const DentryRun* run = dev->As<DentryRun>(run_off);
+          for (const Dentry& d : run->dentries) {
+            visit_dentry(d);
+          }
+          run_off = run->next;
+        }
+      }
+    }
+    if (!found.empty()) {
+      return found;
+    }
+  }
+  return Err::kNoEnt;
+}
+
+void ZoFs::MaybeOnlineRepair(uint32_t cid, const MapInfo& info, const InodeLock& lk,
+                             uint64_t held_inode_off) {
+  if (!lk.stole()) {
+    return;
+  }
+  // Failure is non-fatal: the intent stays put and offline recovery at the
+  // next remount finishes the job.
+  (void)OnlineRepairAfterSteal(cid, info, held_inode_off);
+}
+
+Status ZoFs::OnlineRepairAfterSteal(uint32_t cid, const MapInfo& info,
+                                    uint64_t held_inode_off) {
+  common::MutexLock lk(&repair_mu_);
+  nvm::NvmDevice* dev = kfs_->dev();
+  // Callers arrive with varying windows open; repair needs the coffer
+  // writable regardless, so it opens its own.
+  mpk::AccessWindow w(info.key, true);
+  if (!mpk::ProbeAccess(info.custom_off, sizeof(AllocPool), true)) {
+    return Err::kCorrupt;
+  }
+  const AllocPool* pool = dev->As<AllocPool>(info.custom_off);
+  if (pool->magic != kPoolMagic) {
+    return Err::kCorrupt;
+  }
+  const uint64_t now = common::NowNs();
+  Status first = common::OkStatus();
+
+  // Staged-append intent: act only when the publisher's lease is dead — a
+  // live lease means a live process is mid-relink and will clear it itself.
+  {
+    const uint64_t off = info.custom_off + offsetof(AllocPool, staged_intent);
+    StagedAppendIntent in;
+    dev->LoadBytes(off, &in, sizeof(in));
+    if (in.magic != 0 && LeaseDead(in.lease_expiry_ns, now)) {
+      // Committed intents get file surgery, which happens under that file's
+      // lock — unless the caller's stolen lock already covers it (InodeLock
+      // reentry from this thread would release the caller's lock when the
+      // inner guard dies).
+      const bool need_lock = in.magic == kStagedIntentMagic &&
+                             PlausiblePage(dev, in.inode_off) &&
+                             in.inode_off != held_inode_off;
+      bool acted = false;
+      if (need_lock) {
+        InodeLock fl(dev, in.inode_off, opts_.lease_ns);
+        if (fl.ok()) {
+          acted = RepairPendingStagedAppend(cid, info).ok();
+        } else if (first.ok()) {
+          first = Err::kBusy;  // contended; the next steal or fsck retries
+        }
+      } else {
+        acted = RepairPendingStagedAppend(cid, info).ok();
+      }
+      if (acted) {
+        internal::NoteOnlineRepair();
+      }
+    }
+  }
+
+  // Rename intent: same lease gate; directory surgery takes both parents'
+  // locks in the same deterministic order Rename itself uses.
+  {
+    const uint64_t off = info.custom_off + offsetof(AllocPool, rename_intent);
+    RenameIntent in;
+    dev->LoadBytes(off, &in, sizeof(in));
+    if (in.magic != 0 && LeaseDead(in.lease_expiry_ns, now)) {
+      const bool dirs_plausible = in.magic == kRenameIntentMagic &&
+                                  PlausiblePage(dev, in.src_dir_ino) &&
+                                  PlausiblePage(dev, in.dst_dir_ino);
+      const uint64_t lo = std::min(in.src_dir_ino, in.dst_dir_ino);
+      const uint64_t hi = std::max(in.src_dir_ino, in.dst_dir_ino);
+      std::unique_ptr<InodeLock> l1, l2;
+      bool locks_ok = true;
+      if (dirs_plausible) {
+        if (lo != held_inode_off) {
+          l1 = std::make_unique<InodeLock>(dev, lo, opts_.lease_ns);
+          locks_ok = l1->ok();
+        }
+        if (locks_ok && hi != lo && hi != held_inode_off) {
+          l2 = std::make_unique<InodeLock>(dev, hi, opts_.lease_ns);
+          locks_ok = l2->ok();
+        }
+      }
+      if (locks_ok) {
+        uint64_t cleared = 0;
+        Status s = RepairPendingRenameImpl(cid, info, &cleared, /*online=*/true);
+        if (s.ok()) {
+          internal::NoteOnlineRepair();
+        } else if (first.ok()) {
+          first = s;
+        }
+      } else if (first.ok()) {
+        first = Err::kBusy;
+      }
+    }
+  }
+  return first;
+}
+
+// ---------------------------------------------------------------------------
+// Leased free-list reclaim (janitor side of the dead-process reaper)
+
+Status ZoFs::ReclaimExpiredLists(uint32_t cid) {
+  ASSIGN_OR_RETURN(info, EnsureMapped(cid, true, /*bypass_sick=*/true));
+  nvm::NvmDevice* dev = kfs_->dev();
+  mpk::AccessWindow w(info.key, true);
+  if (!mpk::ProbeAccess(info.custom_off, sizeof(AllocPool), true)) {
+    return Err::kCorrupt;
+  }
+  const AllocPool* pool = dev->As<AllocPool>(info.custom_off);
+  if (pool->magic != kPoolMagic) {
+    return Err::kCorrupt;
+  }
+  const uint64_t now = common::NowNs();
+  uint64_t reclaimed = 0;
+  for (uint32_t i = 0; i < kPoolLists; i++) {
+    const LeasedFreeList* l = &pool->lists[i];
+    const uint64_t owner = l->owner_tid;
+    if (owner == 0 || !LeaseDead(l->lease_expiry_ns, now)) {
+      continue;
+    }
+    // Clear only the owner word: the parked pages stay linked on the list,
+    // so the next claimant (CAS 0 -> tid) inherits them instead of each
+    // survivor paying the steal path. Racing a concurrent claim is fine —
+    // the CAS simply fails and that claimant keeps the list.
+    const uint64_t loff =
+        info.custom_off + offsetof(AllocPool, lists) + i * sizeof(LeasedFreeList);
+    if (dev->AtomicCas64(loff + offsetof(LeasedFreeList, owner_tid), owner, 0)) {
+      dev->PersistRange(loff, sizeof(LeasedFreeList));
+      reclaimed++;
+    }
+  }
+  if (reclaimed > 0) {
+    internal::NoteReapedLists(reclaimed);
+  }
+  return common::OkStatus();
+}
+
+}  // namespace zofs

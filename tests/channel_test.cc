@@ -274,6 +274,41 @@ TEST_F(ChannelTest, ChannelSetCachesPerThreadAndHonorsDisable) {
   EXPECT_TRUE(kfs_->CheckAllocTableForTest().empty()) << kfs_->CheckAllocTableForTest();
 }
 
+TEST_F(ChannelTest, DestroyProcessReclaimsUnharvestedGrants) {
+  // Regression: DestroyProcess used to erase the process without draining its
+  // registered channel rings, stranding executed-but-unharvested enlarge
+  // grants (pages owned by the coffer, linked nowhere) forever.
+  const uint64_t free0 = kfs_->FreePages();
+  const uint32_t c1 = NewCoffer("/c1");
+  const uint32_t c2 = NewCoffer("/c2");
+  const uint64_t owned1 = OwnedPages(c1);
+  const uint64_t owned2 = OwnedPages(c2);
+  {
+    kernfs::Channel ch(kfs_.get(), proc_);
+    // c1: executed, grant parked in the completion ring; c2: still queued.
+    EXPECT_NE(ch.SubmitEnlarge(c1, 4), 0u);
+    ch.Flush();
+    EXPECT_EQ(OwnedPages(c1), owned1 + 4);
+    EXPECT_NE(ch.SubmitEnlarge(c2, 4), 0u);
+    mpk::BindThreadToProcess(nullptr);  // the table dies with the process
+    kfs_->DestroyProcess(proc_);
+    proc_ = nullptr;
+  }
+  // The destroy drained the registered ring: the parked grant went back, the
+  // queued request died without touching the kernel.
+  EXPECT_EQ(OwnedPages(c1), owned1);
+  EXPECT_EQ(OwnedPages(c2), owned2);
+  // Reacquire a process to delete the coffers and prove nothing stranded.
+  proc_ = kfs_->CreateProcess(kCred);
+  proc_->BindCurrentThread();
+  ASSERT_TRUE(kfs_->CofferMap(*proc_, c1, true).ok());
+  ASSERT_TRUE(kfs_->CofferMap(*proc_, c2, true).ok());
+  EXPECT_TRUE(kfs_->CofferDelete(*proc_, c1).ok());
+  EXPECT_TRUE(kfs_->CofferDelete(*proc_, c2).ok());
+  EXPECT_EQ(kfs_->FreePages(), free0);
+  EXPECT_TRUE(kfs_->CheckAllocTableForTest().empty()) << kfs_->CheckAllocTableForTest();
+}
+
 // ---------------------------------------------------------------------------
 // Differential equivalence: the same workload through the channel path and
 // through the Options::sync_crossings fallback must produce identical trees.

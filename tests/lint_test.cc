@@ -392,6 +392,74 @@ Status Harness::MeasureRawCrossing() {
   EXPECT_TRUE(LintSource("src/harness/x.cc", src).empty());
 }
 
+// ---- unchecked-inode-lock -----------------------------------------------
+
+TEST(LintUncheckedInodeLock, FlagsLockNeverChecked) {
+  const char* src = R"(
+Status ZoFs::Touch(Inode* ino) {
+  InodeLock lk(dev_, ino->lock_off, lease_ns_);
+  ino->mtime = now;
+  return OkStatus();
+}
+)";
+  auto diags = LintSource("src/zofs/x.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleUncheckedInodeLock);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintUncheckedInodeLock, OkCheckDischarges) {
+  const char* src = R"(
+Status ZoFs::Touch(Inode* ino) {
+  InodeLock lk(dev_, ino->lock_off, lease_ns_);
+  if (!lk.ok()) return Status(Err::kBusy);
+  ino->mtime = now;
+  return OkStatus();
+}
+)";
+  EXPECT_TRUE(LintSource("src/zofs/x.cc", src).empty());
+}
+
+// Only the named lock is discharged: a second unchecked lock in the same
+// function still fires.
+TEST(LintUncheckedInodeLock, PerLockDischarge) {
+  const char* src = R"(
+Status ZoFs::Link(Inode* a, Inode* b) {
+  InodeLock la(dev_, a->lock_off, lease_ns_);
+  InodeLock lb(dev_, b->lock_off, lease_ns_);
+  if (!la.ok()) return Status(Err::kBusy);
+  return OkStatus();
+}
+)";
+  auto diags = LintSource("src/zofs/x.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleUncheckedInodeLock);
+  EXPECT_EQ(diags[0].line, 4);
+}
+
+// The constructor definition and reference parameters mention the type
+// without acquiring anything.
+TEST(LintUncheckedInodeLock, DefinitionAndParamDoNotFire) {
+  const char* src = R"(
+InodeLock::InodeLock(nvm::NvmDevice* dev, uint64_t off, uint64_t lease_ns) {
+  Acquire(dev, off, lease_ns);
+}
+void Inspect(const InodeLock& lk) { Use(lk); }
+)";
+  EXPECT_TRUE(LintSource("src/zofs/x.cc", src).empty());
+}
+
+TEST(LintUncheckedInodeLock, Suppressed) {
+  const char* src = R"(
+void ZoFs::BestEffortBump(Inode* ino) {
+  // zofs-lint: allow(unchecked-inode-lock) — advisory stat bump, stale is fine
+  InodeLock lk(dev_, ino->lock_off, lease_ns_);
+  ino->atime = now;
+}
+)";
+  EXPECT_TRUE(LintSource("src/zofs/x.cc", src).empty());
+}
+
 // ---- mechanics ----------------------------------------------------------
 
 TEST(LintMechanics, CommentsAndStringsAreIgnored) {
@@ -420,7 +488,7 @@ TEST(LintMechanics, DiagnosticFormatting) {
   EXPECT_EQ(d.ToString(), "src/a.cc:12: raw-mutex: msg");
 }
 
-TEST(LintMechanics, AllRulesListsSeven) { EXPECT_EQ(AllRules().size(), 7u); }
+TEST(LintMechanics, AllRulesListsEight) { EXPECT_EQ(AllRules().size(), 8u); }
 
 // ---- the real tree ------------------------------------------------------
 

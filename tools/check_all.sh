@@ -164,6 +164,23 @@ else
   gate "fault-inject-san" FAIL
 fi
 
+step "zofs_soak: tenant kill/churn soak, determinism check"
+# Seeded tenant-death campaign (ISSUE 9): kills at every injection point,
+# stray-write bursts, lease steals with online repair, reaping, periodic
+# crash/remount. Exits nonzero on any fsck violation, MPK escape, or stuck
+# survivor; the JSON report is a pure function of the seed, so two runs must
+# be byte-identical.
+A=$(mktmp); B=$(mktmp)
+SOAK_OK=1
+"$BUILD_DIR"/tools/zofs_soak --seed=42 --json > "$A" || SOAK_OK=0
+"$BUILD_DIR"/tools/zofs_soak --seed=42 --json > "$B" || SOAK_OK=0
+if ! diff -q "$A" "$B" >/dev/null; then
+  echo "zofs_soak: report is not deterministic across two runs" >&2
+  diff "$A" "$B" >&2 || true
+  SOAK_OK=0
+fi
+if [ "$SOAK_OK" -eq 1 ]; then gate "tenant-soak" PASS; else gate "tenant-soak" FAIL; fi
+
 step "TSan build + threaded scalability stress ($TSAN_DIR)"
 # Only the ScalabilityTsan fixtures run here: they confine themselves to
 # TSan-clean shapes (private coffers, lease-locked shared appends). The

@@ -4,7 +4,7 @@
 Usage: check_bench_budget.py BENCH.json [bench/budgets.json]
 
 Budgets (bench/budgets.json) are per-op ceilings on *deterministic* counters
-from the zofs-bench-scale-v3 sweep — clwb_per_op, sfence_per_op and
+from the zofs-bench-scale-v4 sweep — clwb_per_op, sfence_per_op and
 kernel_crossings_per_op — so the gate is stable across hosts and runs. A
 breach means the epoch batcher / staged-append fast path stopped absorbing
 flush and fence traffic, or the per-thread channel stopped absorbing kernel
@@ -28,8 +28,8 @@ def main():
     budgets = json.load(open(budgets_path))
 
     schema = bench.get("schema")
-    if schema != "zofs-bench-scale-v3":
-        print(f"[FAIL] {sys.argv[1]}: schema {schema!r}, want zofs-bench-scale-v3")
+    if schema != "zofs-bench-scale-v4":
+        print(f"[FAIL] {sys.argv[1]}: schema {schema!r}, want zofs-bench-scale-v4")
         return 1
 
     fail = 0

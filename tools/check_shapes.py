@@ -7,11 +7,14 @@ ratio range, never an absolute number). Run after `./run_benches.sh`:
     python3 tools/check_shapes.py [bench_output.txt] [BENCH_8.json]
 
 Also validates the machine-readable sweep document (schema
-zofs-bench-scale-v3): the derived clwb_per_op / sfence_per_op and
+zofs-bench-scale-v4): the derived clwb_per_op / sfence_per_op and
 foreground/background crossing fields must be present and consistent with
 the raw totals, the dwal workload must show the staged-append fast path
-engaging, and the churn workload must show the per-thread channel absorbing
-foreground kernel crossings relative to the sync_crossings baseline.
+engaging, the churn workload must show the per-thread channel absorbing
+foreground kernel crossings relative to the sync_crossings baseline, and the
+tenant-death counters (lock_steals, online_repairs, reaped_*) must be
+present and all zero — a healthy bench run never trips the failure
+machinery.
 
 Exit code 0 = all shapes hold; each failure is printed with context.
 Single-core-host noise is absorbed with generous margins.
@@ -59,23 +62,35 @@ def check(name, cond, detail=""):
 
 
 def check_bench_json(path):
-    """Validates the zofs-bench-scale-v3 sweep document."""
+    """Validates the zofs-bench-scale-v4 sweep document."""
     if not os.path.exists(path):
         check(f"J: {path} present", False, "run ./run_benches.sh first")
         return
     doc = json.load(open(path))
-    check("J: schema is zofs-bench-scale-v3",
-          doc.get("schema") == "zofs-bench-scale-v3", str(doc.get("schema")))
+    check("J: schema is zofs-bench-scale-v4",
+          doc.get("schema") == "zofs-bench-scale-v4", str(doc.get("schema")))
     pts = doc.get("sweep", [])
     check("J: sweep non-empty", len(pts) > 0, f"{len(pts)} points")
     required = ("ops", "clwb", "clwb_per_op", "sfence", "sfence_per_op",
                 "staged_append_hits", "kernel_crossings",
                 "kernel_crossings_per_op", "kernel_crossings_bg",
-                "kernel_crossings_bg_per_op", "crossing_ns_per_op")
+                "kernel_crossings_bg_per_op", "crossing_ns_per_op",
+                "lock_steals", "online_repairs", "reaped_mappings",
+                "reaped_grant_pages", "reaped_lists")
     missing = sorted({k for p in pts for k in required if k not in p})
-    check("J: v3 per-point fields present", not missing, ", ".join(missing))
+    check("J: v4 per-point fields present", not missing, ", ".join(missing))
     if missing:
         return
+    # A healthy benchmark under the pinned clock must never steal a lease,
+    # repair an intent online, or wake the dead-process reaper. Nonzero here
+    # means the workload tripped the tenant-death machinery — a regression.
+    dirty = [f"{p['workload']}/{p['mode']}/{p['threads']}t {k}={p[k]}"
+             for p in pts
+             for k in ("lock_steals", "online_repairs", "reaped_mappings",
+                       "reaped_grant_pages", "reaped_lists")
+             if p[k] != 0]
+    check("J: tenant-death counters all zero in a bench run", not dirty,
+          "; ".join(dirty[:3]))
     bad = []
     for p in pts:
         for raw, per in (("clwb", "clwb_per_op"), ("sfence", "sfence_per_op"),
@@ -260,7 +275,7 @@ def main():
     check("6.5: manipulated dentry rejected",
           re.search(r"manipulated dentry: EUCLEAN", sec))
 
-    # ---- Machine-readable sweep (zofs-bench-scale-v3).
+    # ---- Machine-readable sweep (zofs-bench-scale-v4).
     check_bench_json(json_path)
 
     print()
