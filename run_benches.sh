@@ -1,6 +1,7 @@
 #!/bin/bash
-# Full benchmark suite -> bench_output.txt, plus the machine-readable
-# scalability sweep -> BENCH_8.json.
+# Full benchmark suite -> build/bench_output.txt, plus the machine-readable
+# scalability sweep -> build/BENCH_10.json. Outputs live under build/ so a
+# bench run never dirties the source tree.
 set -euo pipefail
 
 cd /root/repo
@@ -51,8 +52,8 @@ fi
     echo
   done
   echo "=== benchmark run complete: $(date -u) ==="
-} > /root/repo/bench_output.txt 2>&1
+} > /root/repo/build/bench_output.txt 2>&1
 
 # Machine-readable multicore scalability sweep (sharded vs global-lock).
-./build/tools/bench_json /root/repo/BENCH_8.json > /dev/null
-echo "run_benches.sh: wrote bench_output.txt and BENCH_8.json"
+./build/tools/bench_json /root/repo/build/BENCH_10.json > /dev/null
+echo "run_benches.sh: wrote build/bench_output.txt and build/BENCH_10.json"

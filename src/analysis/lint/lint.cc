@@ -261,7 +261,7 @@ const std::vector<std::string>& AllRules() {
   static const std::vector<std::string> rules = {
       kRuleRawNvmDeref, kRuleUnfencedClwb,       kRuleNakedWrpkru,
       kRuleLockOrder,   kRuleRawMutex,           kRuleStagedAppendRelink,
-      kRuleDirectKernelEntry, kRuleUncheckedInodeLock,
+      kRuleDirectKernelEntry, kRuleUncheckedInodeLock, kRuleDirectKeyAssign,
   };
   return rules;
 }
@@ -443,6 +443,44 @@ std::vector<Diagnostic> LintSource(const std::string& path, std::string_view con
              "KernelEntry constructed outside src/kernfs/{kernfs,channel}.cc; route the "
              "crossing through a KernFS entry point or the thread's channel so it is "
              "metered (and batched) exactly once");
+    }
+
+    // direct-key-assign: an assignment into the physical-key bitmap
+    // (`key_used_[k] = ...`) or a process's page-tag table
+    // (`page_keys_[p] = ...`) — plain, compound, or atomic .store() — outside
+    // src/mpk. KeyClassTable is the one sanctioned writer: a direct write
+    // bypasses the class refcounts, the published class->key table and the
+    // LRU key window. The single kernel page-tag sink in kernfs.cc carries
+    // the one suppression. Scope-gated to functions so member declarations
+    // with array extents (`bool key_used_[kNumKeys] = {...}`) do not fire.
+    if (!mpk_exempt && (t.text == "key_used_" || t.text == "page_keys_") &&
+        punct_at(i + 1, '[')) {
+      size_t j = i + 1;
+      int depth = 0;
+      for (; j < toks.size(); j++) {
+        if (punct_at(j, '[')) {
+          depth++;
+        } else if (punct_at(j, ']')) {
+          if (--depth == 0) {
+            break;
+          }
+        }
+      }
+      if (j < toks.size()) {
+        const size_t a = j + 1;  // first token after the matching ']'
+        const bool assigns =
+            (punct_at(a, '=') && !punct_at(a + 1, '=')) ||
+            ((punct_at(a, '|') || punct_at(a, '&') || punct_at(a, '^') || punct_at(a, '+') ||
+              punct_at(a, '-')) &&
+             punct_at(a + 1, '=')) ||
+            (punct_at(a, '.') && ident_at(a + 1, "store"));
+        if (assigns) {
+          report(kRuleDirectKeyAssign, t.line,
+                 "direct write to " + t.text + " outside src/mpk; route key assignment "
+                 "through KeyClassTable (the one sanctioned writer) so class refcounts, "
+                 "the published class->key table and the LRU key window stay coherent");
+        }
+      }
     }
 
     // unchecked-inode-lock bookkeeping: `InodeLock name(...)` declares a

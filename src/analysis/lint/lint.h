@@ -50,6 +50,15 @@
 //                   InodeLock and never consults ok() proceeds as if locked
 //                   when acquisition may have failed — racing the live
 //                   holder it could not wait out.
+//   direct-key-assign
+//                   The MPK key-virtualization layer (src/mpk/keyclass.*) is
+//                   the ONE sanctioned writer of the physical-key bitmap
+//                   (key_used_), and KernFS's SetPageKeyLocked is the one
+//                   sanctioned page-tag sink (page_keys_). Assigning either
+//                   anywhere else bypasses the protection-class refcounts,
+//                   the published class→key table, and the LRU key window —
+//                   exactly the unaccounted key traffic that caused the
+//                   pre-virtualization eviction storms.
 //
 // The checker is deliberately token/scope-level (no libClang in the build
 // image): it strips comments/strings, blanks preprocessor lines, tracks
@@ -79,6 +88,7 @@ inline constexpr const char* kRuleRawMutex = "raw-mutex";
 inline constexpr const char* kRuleStagedAppendRelink = "staged-append-relink";
 inline constexpr const char* kRuleDirectKernelEntry = "direct-kernel-entry";
 inline constexpr const char* kRuleUncheckedInodeLock = "unchecked-inode-lock";
+inline constexpr const char* kRuleDirectKeyAssign = "direct-key-assign";
 
 // All rule names, for --list-rules and suppression validation.
 const std::vector<std::string>& AllRules();

@@ -12,6 +12,7 @@
 #include "src/harness/fslab.h"
 #include "src/harness/fxmark.h"
 #include "src/harness/runner.h"
+#include "src/mpk/keyclass.h"
 
 namespace harness {
 
@@ -24,10 +25,21 @@ enum class Scope { kShared, kPrivate };
 // kChurn is the open/create/delete storm the channel work targets: every op
 // creates a file and every fourth op unlinks an older one, so the allocator
 // keeps drawing pages from the kernel while the working set stays bounded.
-enum class Kernel { kAppend, kCreate, kUnlink, kRename, kChurn };
+// kTable3/kTable4 are the key-pressure sweeps (single-thread, 64 directory
+// coffers per process): table3 keeps every coffer in one protection class,
+// table4 cycles 24 distinct permission groups so classes outnumber the 15
+// usable MPK keys and the LRU key window must run.
+enum class Kernel { kAppend, kCreate, kUnlink, kRename, kChurn, kTable3, kTable4 };
 
 constexpr Kernel kAllKernels[] = {Kernel::kAppend, Kernel::kCreate, Kernel::kUnlink,
                                   Kernel::kRename, Kernel::kChurn};
+constexpr Kernel kTableKernels[] = {Kernel::kTable3, Kernel::kTable4};
+
+// Key-pressure sweep shape: 64 coffers, visited in runs of 16 consecutive
+// ops so the LRU window sees locality (a run faults its class in once, then
+// stays hot).
+constexpr int kTableDirs = 64;
+constexpr uint64_t kTableRunLen = 16;
 
 // Errors in a bench kernel invalidate every counter downstream; abort loudly
 // (assert() is compiled out of release builds).
@@ -52,6 +64,10 @@ const char* KernelName(Kernel k) {
       return "mwrl";
     case Kernel::kChurn:
       return "churn";
+    case Kernel::kTable3:
+      return "table3";
+    case Kernel::kTable4:
+      return "table4";
   }
   return "?";
 }
@@ -65,6 +81,22 @@ constexpr uint16_t kPrivateModes[8] = {0600, 0602, 0604, 0606, 0620, 0622, 0624,
 uint16_t ModeFor(Scope scope, int thread) {
   return scope == Scope::kPrivate ? kPrivateModes[thread % 8] : 0644;
 }
+
+// 24 distinct effective permission groups for the table4 mixed-class sweep;
+// none equal the root coffer's 0644, so with the root class the process sees
+// 25 protection classes — well past the 15 physical keys. The bench cred is
+// uid 0 (IsRoot), so owner-read-only modes never deny access.
+constexpr uint16_t kTable4Modes[24] = {
+    0600, 0602, 0604, 0606, 0620, 0622, 0624, 0626, 0640, 0642, 0646, 0660,
+    0662, 0664, 0666, 0400, 0402, 0404, 0406, 0420, 0422, 0424, 0426, 0440};
+
+// Directory d's mode in a key-pressure sweep: one class for table3, a cycle
+// of 24 for table4.
+uint16_t TableModeFor(Kernel k, int d) {
+  return k == Kernel::kTable4 ? kTable4Modes[d % 24] : 0600;
+}
+
+bool IsTableKernel(Kernel k) { return k == Kernel::kTable3 || k == Kernel::kTable4; }
 
 std::string TreeFor(Kernel k, Scope scope, int thread) {
   return std::string("/") + KernelName(k) + (scope == Scope::kPrivate ? "p" : "s") +
@@ -104,6 +136,15 @@ struct Point {
   uint64_t reaped_mappings = 0;
   uint64_t reaped_grant_pages = 0;
   uint64_t reaped_lists = 0;
+  // MPK key virtualization (schema v5). Evictions and retagged pages are
+  // deltas over the measured phase; the legacy allocator charges its
+  // whole-coffer evictions to the same key_evictions axis so the
+  // virtualized-vs-legacy comparison reads off one field. key_class_count is
+  // the live protection-class population at the end of the run (0 under the
+  // legacy allocator, which never forms classes).
+  uint64_t key_evictions = 0;
+  uint64_t key_retag_pages = 0;
+  uint64_t key_class_count = 0;
 };
 
 Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
@@ -120,12 +161,26 @@ Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
   // The globallock baseline also runs with synchronous crossings, so the
   // sharded-vs-globallock comparison covers channels-vs-no-channels too.
   lopts.zofs_sync_crossings = !sharded;
+  // Key-pressure sweeps pit the virtualized allocator (sharded points)
+  // against the legacy one-key-per-coffer path (globallock points), which
+  // thrashes through whole-coffer evictions once 64 coffers fight over 15
+  // keys. The ordinary kernels stay virtualized in both modes (≤ 9 classes,
+  // no pressure either way).
+  if (IsTableKernel(kernel)) lopts.zofs_key_virtualization = sharded;
   FsLab lab(FsKind::kZofs, lopts);
   vfs::FileSystem* fs = lab.View(0);
   auto* fslib = static_cast<fslib::FsLib*>(fs);
 
   // ---- setup (not measured) ----
-  for (int t = 0; t < threads; t++) {
+  if (IsTableKernel(kernel)) {
+    // 64 directory coffers. Under the legacy allocator this already thrashes
+    // during setup (64 coffers > 15 keys); the deltas below start after it.
+    for (int d = 0; d < kTableDirs; d++) {
+      auto s = fs->Mkdir(kCred, TreeFor(kernel, scope, d), TableModeFor(kernel, d));
+      CHECK_OK(s);
+    }
+  }
+  for (int t = 0; !IsTableKernel(kernel) && t < threads; t++) {
     const uint16_t mode = ModeFor(scope, t);
     const std::string tree = TreeFor(kernel, scope, t);
     if (kernel == Kernel::kAppend) {
@@ -172,6 +227,8 @@ Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
   const uint64_t rmap0 = kernfs::ReapedMappingCount();
   const uint64_t rgrant0 = kernfs::ReapedGrantPageCount();
   const uint64_t rlist0 = zofs::ReapedListCount();
+  const uint64_t kevict0 = mpk::KeyEvictionCount();
+  const uint64_t kretag0 = mpk::KeyRetagPageCount();
 
   std::vector<common::LatencyRecorder> lat(threads);
   WorkloadResult wr = RunThreads(threads, [&](int t) -> uint64_t {
@@ -249,6 +306,29 @@ Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
           });
         }
         break;
+      case Kernel::kTable3:
+      case Kernel::kTable4:
+        // Churn spread over the 64 directory coffers: op i targets dir
+        // (i/16) % 64, so the working class changes every 16 ops. Under the
+        // key window a class fault costs one retag crossing per run; the
+        // legacy path pays a whole-coffer unmap/remap storm instead.
+        for (uint64_t i = 0; i < opts.ops_per_thread; i++) {
+          const int d = static_cast<int>((i / kTableRunLen) %
+                                         static_cast<uint64_t>(kTableDirs));
+          const std::string dtree = TreeFor(kernel, scope, d);
+          const uint16_t dmode = TableModeFor(kernel, d);
+          timed([&] {
+            auto fd = fs->Open(kCred, dtree + "/f" + std::to_string(i),
+                               vfs::kCreate | vfs::kWrite, dmode);
+            CHECK_OK(fd);
+            fs->Close(*fd);
+            if (i % 4 == 3) {
+              auto s = fs->Unlink(kCred, dtree + "/f" + std::to_string(i - 3));
+              CHECK_OK(s);
+            }
+          });
+        }
+        break;
     }
     return opts.ops_per_thread;
   });
@@ -280,6 +360,9 @@ Point RunPoint(Kernel kernel, Scope scope, bool sharded, int threads,
   p.reaped_mappings = kernfs::ReapedMappingCount() - rmap0;
   p.reaped_grant_pages = kernfs::ReapedGrantPageCount() - rgrant0;
   p.reaped_lists = zofs::ReapedListCount() - rlist0;
+  p.key_evictions = mpk::KeyEvictionCount() - kevict0;
+  p.key_retag_pages = mpk::KeyRetagPageCount() - kretag0;
+  p.key_class_count = fslib->zofs().proc()->LiveProtClassCount();
   return p;
 }
 
@@ -326,7 +409,11 @@ void EmitPoint(std::ostringstream& out, const Point& p, bool first) {
       << ", \"online_repairs\": " << p.online_repairs
       << ", \"reaped_mappings\": " << p.reaped_mappings
       << ", \"reaped_grant_pages\": " << p.reaped_grant_pages
-      << ", \"reaped_lists\": " << p.reaped_lists << "}";
+      << ", \"reaped_lists\": " << p.reaped_lists << ",\n"
+      << "     \"key_evictions\": " << p.key_evictions
+      << ", \"key_evictions_per_op\": " << Fmt(PerOp(p.key_evictions, p.ops))
+      << ", \"key_retag_pages\": " << p.key_retag_pages
+      << ", \"key_class_count\": " << p.key_class_count << "}";
 }
 
 }  // namespace
@@ -334,7 +421,7 @@ void EmitPoint(std::ostringstream& out, const Point& p, bool first) {
 std::string RunBenchJson(const BenchJsonOptions& opts) {
   std::ostringstream out;
   out << "{\n";
-  out << "  \"schema\": \"zofs-bench-scale-v4\",\n";
+  out << "  \"schema\": \"zofs-bench-scale-v5\",\n";
   out << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
   out << "  \"config\": {\"ops_per_thread\": " << opts.ops_per_thread
       << ", \"seed\": " << opts.seed << ", \"dev_bytes\": " << opts.dev_bytes
@@ -363,6 +450,18 @@ std::string RunBenchJson(const BenchJsonOptions& opts) {
           first = false;
         }
       }
+    }
+  }
+  // Key-pressure sweeps run single-threaded only: eviction order under a
+  // concurrent LRU depends on interleaving, which would break the
+  // deterministic-counter invariant (concurrency under key pressure is
+  // covered by the scalability tests and zofs_soak --key-pressure).
+  for (Kernel kernel : kTableKernels) {
+    for (bool sharded : {true, false}) {
+      Point p = RunPoint(kernel, Scope::kPrivate, sharded, /*threads=*/1, opts);
+      points.push_back(p);
+      EmitPoint(out, p, first);
+      first = false;
     }
   }
   out << "\n  ],\n";

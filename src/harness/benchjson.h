@@ -10,11 +10,24 @@
 //   globallock  the pre-PR baseline, emulated by state_shards=1 and
 //               session_cache=false (same code path, one shard == one lock).
 //
-// Each datapoint reports wall-clock throughput/latency plus six
+// Two additional single-thread sweeps exercise MPK key pressure (schema v5):
+//
+//   table3      64 same-mode directory coffers (one protection class) — key
+//               virtualization shares one physical key, so key_evictions
+//               must be exactly 0;
+//   table4      64 directory coffers cycling 24 distinct permission groups
+//               (25 protection classes > 15 keys) — the LRU key window keeps
+//               evictions bounded and cheap (page retags, no unmap), while
+//               the globallock baseline runs the legacy one-key-per-coffer
+//               allocator and thrashes through whole-coffer evictions.
+//
+// Each datapoint reports wall-clock throughput/latency plus
 // *deterministic* structural counters — kernel crossings, clwb flushes,
-// sfence fences, shard-lock / fd-lock acquisitions, and staged-append fast
-// path hits — plus the derived clwb_per_op / sfence_per_op rates the
-// persistence-cost budget gate (tools/check_all.sh) regresses on. All are
+// sfence fences, shard-lock / fd-lock acquisitions, staged-append fast
+// path hits, and the key-pressure trio (key_evictions, key_retag_pages,
+// key_class_count) — plus the derived clwb_per_op / sfence_per_op /
+// key_evictions_per_op rates the budget gate (tools/check_all.sh)
+// regresses on. All are
 // exact functions of the workload at a fixed seed and therefore stable across
 // runs and hosts. Two mechanisms make that true: the rename kernel only
 // overwrites pre-created targets (no interleaving-dependent page
@@ -48,7 +61,7 @@ struct BenchJsonOptions {
 };
 
 // Runs the sweep and returns the complete JSON document (schema
-// "zofs-bench-scale-v2", fixed key order).
+// "zofs-bench-scale-v5", fixed key order).
 std::string RunBenchJson(const BenchJsonOptions& opts = {});
 
 }  // namespace harness

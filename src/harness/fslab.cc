@@ -92,6 +92,7 @@ FsLab::FsLab(FsKind kind, LabOptions opts) : kind_(kind), opts_(opts) {
       fopts.root_gid = opts_.cred.gid;
       kernfs_ = std::make_unique<kernfs::KernFs>(dev_.get(), fopts);
       kernfs_->set_kernel_crossing_ns(opts_.kernel_crossing_ns);
+      kernfs_->set_key_virtualization(opts_.zofs_key_virtualization);
       break;
     }
     case FsKind::kStrata: {

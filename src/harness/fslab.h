@@ -68,6 +68,10 @@ struct LabOptions {
   bool zofs_sync_crossings = false;
   // Skip installing the MPK device hook (measures protection overhead).
   bool disable_mpk = false;
+  // MPK key virtualization (protection classes + LRU key windows). Off =
+  // legacy one-key-per-coffer allocation with whole-coffer eviction, the
+  // pre-virtualization thrash baseline for bench_json's table3/table4 points.
+  bool zofs_key_virtualization = true;
 };
 
 class FsLab {

@@ -106,6 +106,16 @@ Result<std::vector<PageRun>> Channel::Enlarge(uint32_t coffer_id,
   return std::move(done.runs);
 }
 
+Result<MapInfo> Channel::Retag(uint32_t coffer_id) {
+  ChanRequest req;
+  req.op = ChanOp::kRetag;
+  req.coffer_id = coffer_id;
+  ChanCompletion done;
+  RunBatch(&req, &done);
+  if (!done.status.ok()) return done.status.error();
+  return done.map_info;
+}
+
 uint64_t Channel::SubmitEnlarge(uint32_t coffer_id, uint64_t n_pages) {
   common::SpinLockGuard lk(&mu_);
   auto it = pending_enlarge_.find(coffer_id);

@@ -70,6 +70,10 @@ class Channel {
   Result<MapInfo> Map(uint32_t coffer_id, bool writable);
   Status Unmap(uint32_t coffer_id);
   Result<std::vector<PageRun>> Enlarge(uint32_t coffer_id, uint64_t n_pages);
+  // Key-window fault-in (ChanOp::kRetag, ISSUE 10): restores a physical key
+  // to the coffer's protection class and retags its pages, batched with
+  // whatever else is queued — one crossing, no unmap.
+  Result<MapInfo> Retag(uint32_t coffer_id);
 
   // ---- async ring ---------------------------------------------------------
   // Queues a refill request; no crossing now. At most one enlarge is kept

@@ -119,7 +119,15 @@ bool Process::HasMapped(uint32_t coffer_id) const { return mappings_.count(coffe
 
 uint8_t Process::KeyFor(uint32_t coffer_id) const {
   auto it = mappings_.find(coffer_id);
-  return it == mappings_.end() ? 0xff : it->second.key;
+  if (it == mappings_.end()) {
+    return 0xff;
+  }
+  if (it->second.class_slot != mpk::KeyClassTable::kNoSlot) {
+    // Class path: the published assignment is authoritative (kUnmapped while
+    // the class is key-window evicted); the cached Mapping::key may be stale.
+    return key_classes_.PublishedKey(it->second.class_slot);
+  }
+  return it->second.key;
 }
 
 // ---------------------------------------------------------------------------
@@ -419,12 +427,20 @@ Status KernFs::CheckMappedWritable(Process& proc, uint32_t coffer_id) {
   return common::OkStatus();
 }
 
+void KernFs::SetPageKeyLocked(Process& proc, uint64_t page, uint8_t tag) {
+  // The ONE page-key store outside src/mpk (see the keyclass.h contract):
+  // every "page table" key-bit update in the kernel funnels through here so
+  // the direct-key-assign lint can flag strays.
+  // zofs-lint: allow(direct-key-assign) — the sanctioned kernel page-tag sink
+  proc.page_keys_[page] = tag;
+}
+
 void KernFs::TagPagesForProcess(Process& proc, const CofferInfo& c, uint8_t key) {
   // Coffer root pages are mapped read-only into user space.
   for (const auto& [start, len] : c.runs) {
     for (uint64_t p = start; p < start + len; p++) {
-      proc.page_keys_[p] = (p == c.root_page) ? static_cast<uint8_t>(key | mpk::kPageReadOnly)
-                                              : key;
+      SetPageKeyLocked(proc, p,
+                       (p == c.root_page) ? static_cast<uint8_t>(key | mpk::kPageReadOnly) : key);
     }
   }
 }
@@ -432,9 +448,107 @@ void KernFs::TagPagesForProcess(Process& proc, const CofferInfo& c, uint8_t key)
 void KernFs::UntagPagesForProcess(Process& proc, const CofferInfo& c) {
   for (const auto& [start, len] : c.runs) {
     for (uint64_t p = start; p < start + len; p++) {
-      proc.page_keys_[p] = mpk::kUnmapped;
+      SetPageKeyLocked(proc, p, mpk::kUnmapped);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Protection classes (ISSUE 10)
+
+mpk::ProtClass KernFs::ClassOfLocked(CofferInfo& c) {
+  CofferRoot* root = RootOf(c);
+  return mpk::ProtClass{root->uid, root->gid, root->mode};
+}
+
+void KernFs::TagCofferLocked(Process& proc, const CofferInfo& c, uint8_t key, bool writable) {
+  if (writable) {
+    TagPagesForProcess(proc, c, key);
+    return;
+  }
+  // Read-only mappings are write-protected at "page table" level as well.
+  const uint8_t tag = static_cast<uint8_t>(key | mpk::kPageReadOnly);
+  for (const auto& [start, len] : c.runs) {
+    for (uint64_t p = start; p < start + len; p++) {
+      SetPageKeyLocked(proc, p, tag);
+    }
+  }
+}
+
+uint8_t KernFs::EnsureClassKeyLocked(Process& proc, uint16_t slot) {
+  uint16_t evicted = mpk::KeyClassTable::kNoSlot;
+  bool fresh = false;
+  const uint8_t key = proc.key_classes_.EnsureKey(slot, &evicted, &fresh);
+  if (evicted != mpk::KeyClassTable::kNoSlot) {
+    // LRU key-window eviction: only the victim class's key assignment moves.
+    // Its mappings, refcounts and the µFS session caches stay intact; its
+    // pages go dark (kUnmapped) until the next access faults the class back
+    // in through CofferRetag. No unmap, no session-epoch bump.
+    uint64_t pages = 0;
+    for (uint32_t cid : proc.key_classes_.Members(evicted)) {
+      CofferInfo* vc = FindCoffer(cid);
+      if (vc == nullptr) {
+        continue;
+      }
+      UntagPagesForProcess(proc, *vc);
+      pages += SumRuns(vc->runs);
+    }
+    mpk::internal::NoteRetagPages(pages);
+  }
+  if (fresh && key != mpk::kUnmapped) {
+    // Fault-in: the class regained a key; every member coffer already mapped
+    // is retagged under it (per its own writability).
+    uint64_t pages = 0;
+    for (uint32_t cid : proc.key_classes_.Members(slot)) {
+      auto mit = proc.mappings_.find(cid);
+      CofferInfo* mc = FindCoffer(cid);
+      if (mit == proc.mappings_.end() || mc == nullptr) {
+        continue;
+      }
+      mit->second.key = key;
+      TagCofferLocked(proc, *mc, key, mit->second.writable);
+      pages += SumRuns(mc->runs);
+    }
+    mpk::internal::NoteRetagPages(pages);
+  }
+  return key;
+}
+
+void KernFs::MigrateClassLocked(Process& proc, CofferInfo& c, const mpk::ProtClass& cls) {
+  auto it = proc.mappings_.find(c.id);
+  if (it == proc.mappings_.end()) {
+    return;
+  }
+  Process::Mapping& m = it->second;
+  if (m.class_slot == mpk::KeyClassTable::kNoSlot) {
+    return;  // legacy mapping: its private key is permission-agnostic
+  }
+  const uint16_t ns = proc.key_classes_.SlotFor(cls);
+  if (ns == m.class_slot) {
+    return;
+  }
+  if (ns == mpk::KeyClassTable::kNoSlot) {
+    return;  // slot table full: conservatively keep the old class
+  }
+  proc.key_classes_.Release(m.class_slot, c.id);
+  m.class_slot = ns;
+  proc.key_classes_.Retain(ns, c.id);
+  const uint8_t key = EnsureClassKeyLocked(proc, ns);
+  m.key = key;
+  if (key != mpk::kUnmapped) {
+    TagCofferLocked(proc, c, key, m.writable);
+  } else {
+    // Every key pinned by legacy mappings: leave the class evicted; the next
+    // access faults it in via the kRetag path.
+    UntagPagesForProcess(proc, c);
+  }
+}
+
+uint8_t KernFs::EffectiveKeyLocked(const Process& proc, const Process::Mapping& m) {
+  if (m.class_slot == mpk::KeyClassTable::kNoSlot) {
+    return m.key;
+  }
+  return proc.key_classes_.PublishedKey(m.class_slot);
 }
 
 uint64_t KernFs::PersistRootPath(CofferRoot* root, const std::string& path) {
@@ -494,7 +608,11 @@ KillStats KernFs::KillProcess(Process* proc, const KillOptions& opts) {
             opts.spare_coffers.end()) {
           continue;
         }
-        targets.emplace_back(cid, m.key);
+        const uint8_t key = EffectiveKeyLocked(*proc, m);
+        if (key == mpk::kUnmapped) {
+          continue;  // class key-window evicted: no key to open a window with
+        }
+        targets.emplace_back(cid, key);
       }
     }
     std::sort(targets.begin(), targets.end());  // mappings_ iteration order is not
@@ -791,16 +909,12 @@ Status KernFs::CofferDelete(Process& proc, uint32_t coffer_id) {
       !vfs::PermitsAccess(proc.cred(), root->uid, root->gid, root->mode, false, true)) {
     return Err::kAcces;
   }
-  // Unmap from every process first.
-  for (Process* p : c->mapped_by) {
-    UntagPagesForProcess(*p, *c);
-    auto it = p->mappings_.find(coffer_id);
-    if (it != p->mappings_.end()) {
-      p->key_used_[it->second.key] = false;
-      p->mappings_.erase(it);
-    }
+  // Unmap from every process first (UnmapLocked releases the class refcount
+  // or legacy key; iterate a copy — it erases from mapped_by).
+  std::vector<Process*> mappers(c->mapped_by.begin(), c->mapped_by.end());
+  for (Process* p : mappers) {
+    UnmapLocked(*p, coffer_id);
   }
-  c->mapped_by.clear();
 
   PathMapErase(root->path);
   // Invalidate the root page magic so stale path-map probes cannot match.
@@ -837,9 +951,11 @@ Result<std::vector<PageRun>> KernFs::DoCofferEnlarge(Process& proc, uint32_t cof
       it->second += r.len;
     }
     for (Process* p : c->mapped_by) {
-      uint8_t key = p->mappings_[coffer_id].key;
+      // Effective key: kUnmapped while the mapper's class is key-window
+      // evicted — the pages stay dark and the next fault-in retags them.
+      const uint8_t key = EffectiveKeyLocked(*p, p->mappings_[coffer_id]);
       for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
-        p->page_keys_[pg] = key;
+        SetPageKeyLocked(*p, pg, key);
       }
     }
   }
@@ -884,7 +1000,7 @@ Status KernFs::ShrinkRunLocked(CofferInfo* c, const PageRun& r) {
   }
   for (Process* p : c->mapped_by) {
     for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
-      p->page_keys_[pg] = mpk::kUnmapped;
+      SetPageKeyLocked(*p, pg, mpk::kUnmapped);
     }
   }
   FreeRun(r);
@@ -945,45 +1061,56 @@ Result<MapInfo> KernFs::DoCofferMap(Process& proc, uint32_t coffer_id, bool writ
 
   auto it = proc.mappings_.find(coffer_id);
   if (it != proc.mappings_.end()) {
-    // Already mapped; upgrading read-only -> writable re-tags.
-    if (writable && !it->second.writable) {
+    Process::Mapping& m = it->second;
+    // Already mapped; upgrading read-only -> writable re-tags, and on the
+    // class path a remap doubles as the key-window fault-in.
+    if (m.class_slot != mpk::KeyClassTable::kNoSlot) {
+      const uint8_t cur = EnsureClassKeyLocked(proc, m.class_slot);
+      if (cur == mpk::kUnmapped) {
+        return Err::kNoKeys;
+      }
+      m.key = cur;
+    }
+    if (writable && !m.writable) {
       if (!vfs::PermitsAccess(proc.cred(), root->uid, root->gid, root->mode, true, true)) {
         return Err::kAcces;
       }
-      it->second.writable = true;
-      TagPagesForProcess(proc, *c, it->second.key);
+      m.writable = true;
+      TagCofferLocked(proc, *c, m.key, /*writable=*/true);
     }
-    info.key = it->second.key;
-    info.writable = it->second.writable;
+    info.key = m.key;
+    info.writable = m.writable;
+    info.class_slot = m.class_slot;
     return info;
   }
 
-  // Assign a fresh MPK key; 15 usable regions (paper §3.4.2).
+  // Key assignment; 15 usable regions (paper §3.4.2). With virtualization on,
+  // the coffer joins its protection class and shares that class's key —
+  // EnsureClassKeyLocked runs the LRU key window when all 15 are assigned.
+  uint16_t slot = mpk::KeyClassTable::kNoSlot;
   uint8_t key = 0;
-  for (uint8_t k = 1; k < mpk::kNumKeys; k++) {
-    if (!proc.key_used_[k]) {
-      key = k;
-      break;
+  if (key_virtualization_) {
+    slot = proc.key_classes_.SlotFor(ClassOfLocked(*c));
+  }
+  if (slot != mpk::KeyClassTable::kNoSlot) {
+    key = EnsureClassKeyLocked(proc, slot);
+    if (key == mpk::kUnmapped) {
+      return Err::kNoKeys;  // every key pinned by legacy per-coffer mappings
     }
-  }
-  if (key == 0) {
-    return Err::kNoKeys;
-  }
-  proc.key_used_[key] = true;
-  proc.mappings_[coffer_id] = Process::Mapping{key, writable};
-  c->mapped_by.insert(&proc);
-  uint8_t tag = writable ? key : static_cast<uint8_t>(key | mpk::kPageReadOnly);
-  // Read-only mappings are write-protected at "page table" level as well.
-  if (writable) {
-    TagPagesForProcess(proc, *c, key);
+    proc.key_classes_.Retain(slot, coffer_id);
   } else {
-    for (const auto& [start, len] : c->runs) {
-      for (uint64_t p = start; p < start + len; p++) {
-        proc.page_keys_[p] = tag;
-      }
+    // Legacy path (virtualization off, or slot-table overflow): one private
+    // key per coffer, kNoKeys on exhaustion (the µFS victim-evicts).
+    key = proc.key_classes_.AllocLegacyKey();
+    if (key == 0) {
+      return Err::kNoKeys;
     }
   }
+  proc.mappings_[coffer_id] = Process::Mapping{key, writable, slot};
+  c->mapped_by.insert(&proc);
+  TagCofferLocked(proc, *c, key, writable);
   info.key = key;
+  info.class_slot = slot;
   return info;
 }
 
@@ -997,7 +1124,13 @@ void KernFs::UnmapLocked(Process& proc, uint32_t coffer_id) {
     UntagPagesForProcess(proc, *c);
     c->mapped_by.erase(&proc);
   }
-  proc.key_used_[it->second.key] = false;
+  if (it->second.class_slot != mpk::KeyClassTable::kNoSlot) {
+    // Release is idempotent per (slot, coffer): the reaper racing a queued
+    // retag for a dead tenant drops each mapping's refcount exactly once.
+    proc.key_classes_.Release(it->second.class_slot, coffer_id);
+  } else {
+    proc.key_classes_.FreeLegacyKey(it->second.key);
+  }
   proc.mappings_.erase(it);
 }
 
@@ -1013,6 +1146,43 @@ Status KernFs::DoCofferUnmap(Process& proc, uint32_t coffer_id) {
   }
   UnmapLocked(proc, coffer_id);
   return common::OkStatus();
+}
+
+Result<MapInfo> KernFs::CofferRetag(Process& proc, uint32_t coffer_id) {
+  KernelEntry enter(crossing_ns_);
+  return DoCofferRetag(proc, coffer_id);
+}
+
+Result<MapInfo> KernFs::DoCofferRetag(Process& proc, uint32_t coffer_id) {
+  common::MutexLock lk(&mu_);
+  auto it = proc.mappings_.find(coffer_id);
+  if (it == proc.mappings_.end()) {
+    return Err::kInval;
+  }
+  CofferInfo* c = FindCoffer(coffer_id);
+  if (c == nullptr) {
+    return Err::kNoEnt;
+  }
+  CofferRoot* root = RootOf(*c);
+  MapInfo info;
+  info.writable = it->second.writable;
+  info.type = root->type;
+  info.root_page_off = c->root_page * nvm::kPageSize;
+  info.root_inode_off = root->root_inode_off;
+  info.custom_off = root->custom_off;
+  info.class_slot = it->second.class_slot;
+  if (it->second.class_slot == mpk::KeyClassTable::kNoSlot) {
+    // Legacy mapping: its key never moves, nothing to fault in.
+    info.key = it->second.key;
+    return info;
+  }
+  const uint8_t key = EnsureClassKeyLocked(proc, it->second.class_slot);
+  if (key == mpk::kUnmapped) {
+    return Err::kNoKeys;
+  }
+  it->second.key = key;
+  info.key = key;
+  return info;
 }
 
 // ---------------------------------------------------------------------------
@@ -1075,6 +1245,15 @@ void KernFs::ExecuteBatch(Process& proc, const std::vector<ChanRequest>& reqs,
       case ChanOp::kShrink:
         c.status = DoCofferShrink(proc, r.coffer_id, r.runs);
         break;
+      case ChanOp::kRetag: {
+        auto info = DoCofferRetag(proc, r.coffer_id);
+        if (info.ok()) {
+          c.map_info = *info;
+        } else {
+          c.status = info.error();
+        }
+        break;
+      }
       default:
         c.status = Err::kInval;  // out-of-range op byte: corrupted entry
         break;
@@ -1178,7 +1357,7 @@ Result<uint32_t> KernFs::CofferSplit(Process& proc, uint32_t src_id,
   for (Process* p : src->mapped_by) {
     for (const PageRun& r : pages) {
       for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
-        p->page_keys_[pg] = mpk::kUnmapped;
+        SetPageKeyLocked(*p, pg, mpk::kUnmapped);
       }
     }
   }
@@ -1223,15 +1402,15 @@ Status KernFs::CofferMovePages(Process& proc, uint32_t src_id, uint32_t dst_id,
     // Page-key updates: src mappers lose the pages, dst mappers gain them.
     for (Process* p : src->mapped_by) {
       for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
-        p->page_keys_[pg] = mpk::kUnmapped;
+        SetPageKeyLocked(*p, pg, mpk::kUnmapped);
       }
     }
     for (Process* p : dst->mapped_by) {
-      uint8_t key = p->mappings_[dst_id].key;
-      bool writable = p->mappings_[dst_id].writable;
-      uint8_t tag = writable ? key : static_cast<uint8_t>(key | mpk::kPageReadOnly);
+      const Process::Mapping& m = p->mappings_[dst_id];
+      const uint8_t key = EffectiveKeyLocked(*p, m);
+      uint8_t tag = m.writable ? key : static_cast<uint8_t>(key | mpk::kPageReadOnly);
       for (uint64_t pg = r.start_page; pg < r.start_page + r.len; pg++) {
-        p->page_keys_[pg] = tag;
+        SetPageKeyLocked(*p, pg, tag);
       }
     }
   }
@@ -1286,26 +1465,30 @@ Result<uint64_t> KernFs::CofferMerge(Process& proc, uint32_t dst_id, uint32_t sr
   dev_->PersistRange(droot_off + offsetof(CofferRoot, num_pages), 8);
 
   // Fix mappings: everyone who had src mapped loses it; everyone with dst
-  // mapped gains the transferred pages under dst's key.
+  // mapped gains the transferred pages under dst's effective key.
   for (Process* p : src->mapped_by) {
     auto it = p->mappings_.find(src_id);
     if (it != p->mappings_.end()) {
-      p->key_used_[it->second.key] = false;
+      if (it->second.class_slot != mpk::KeyClassTable::kNoSlot) {
+        p->key_classes_.Release(it->second.class_slot, src_id);
+      } else {
+        p->key_classes_.FreeLegacyKey(it->second.key);
+      }
       p->mappings_.erase(it);
     }
     for (const auto& [start, len] : src->runs) {
       for (uint64_t pg = start; pg < start + len; pg++) {
-        p->page_keys_[pg] = mpk::kUnmapped;
+        SetPageKeyLocked(*p, pg, mpk::kUnmapped);
       }
     }
   }
   for (Process* p : dst->mapped_by) {
-    uint8_t key = p->mappings_[dst_id].key;
-    bool writable = p->mappings_[dst_id].writable;
-    uint8_t tag = writable ? key : static_cast<uint8_t>(key | mpk::kPageReadOnly);
+    const Process::Mapping& m = p->mappings_[dst_id];
+    const uint8_t key = EffectiveKeyLocked(*p, m);
+    uint8_t tag = m.writable ? key : static_cast<uint8_t>(key | mpk::kPageReadOnly);
     for (const auto& [start, len] : src->runs) {
       for (uint64_t pg = start; pg < start + len; pg++) {
-        p->page_keys_[pg] = tag;
+        SetPageKeyLocked(*p, pg, tag);
       }
     }
   }
@@ -1388,7 +1571,7 @@ Result<uint64_t> KernFs::CofferRecoverEnd(Process& proc, uint32_t coffer_id,
         FreeRun(PageRun{free_start, p - free_start});
         for (Process* pr : c->mapped_by) {
           for (uint64_t pg = free_start; pg < p; pg++) {
-            pr->page_keys_[pg] = mpk::kUnmapped;
+            SetPageKeyLocked(*pr, pg, mpk::kUnmapped);
           }
         }
         reclaimed += p - free_start;
@@ -1478,6 +1661,14 @@ Status KernFs::CofferChmod(Process& proc, uint32_t coffer_id, uint16_t mode) {
   uint64_t root_off = dev_->OffsetOf(root);
   dev_->Store16(root_off + offsetof(CofferRoot, mode), mode);
   dev_->PersistRange(root_off + offsetof(CofferRoot, mode), 2);
+  // The permission triple IS the protection class: every process with the
+  // coffer mapped re-homes it into the new class.
+  if (key_virtualization_) {
+    const mpk::ProtClass cls{root->uid, root->gid, mode};
+    for (Process* p : c->mapped_by) {
+      MigrateClassLocked(*p, *c, cls);
+    }
+  }
   return common::OkStatus();
 }
 
@@ -1496,6 +1687,12 @@ Status KernFs::CofferChown(Process& proc, uint32_t coffer_id, uint32_t uid, uint
   dev_->Store32(root_off + offsetof(CofferRoot, uid), uid);
   dev_->Store32(root_off + offsetof(CofferRoot, gid), gid);
   dev_->PersistRange(root_off + offsetof(CofferRoot, uid), 8);
+  if (key_virtualization_) {
+    const mpk::ProtClass cls{uid, gid, root->mode};
+    for (Process* p : c->mapped_by) {
+      MigrateClassLocked(*p, *c, cls);
+    }
+  }
   return common::OkStatus();
 }
 
@@ -1521,7 +1718,7 @@ Status KernFs::FileMmap(Process& proc, uint32_t coffer_id, const std::vector<uin
   const uint8_t tag = writable ? mpk::kDefaultKey
                                : static_cast<uint8_t>(mpk::kDefaultKey | mpk::kPageReadOnly);
   for (uint64_t pg : pages) {
-    proc.page_keys_[pg] = tag;
+    SetPageKeyLocked(proc, pg, tag);
   }
   return common::OkStatus();
 }
@@ -1538,14 +1735,16 @@ Status KernFs::FileMunmap(Process& proc, uint32_t coffer_id,
   if (it == proc.mappings_.end()) {
     return Err::kInval;
   }
-  const uint8_t key = it->second.key;
+  // Effective key: kUnmapped while the class is evicted (the pages rejoin
+  // the coffer dark; the next fault-in walks the full run map anyway).
+  const uint8_t key = EffectiveKeyLocked(proc, it->second);
   const uint8_t tag =
       it->second.writable ? key : static_cast<uint8_t>(key | mpk::kPageReadOnly);
   for (uint64_t pg : pages) {
     if (pg >= sb_->num_pages || ReadEntry(pg).coffer_id != coffer_id) {
       return Err::kInval;
     }
-    proc.page_keys_[pg] = tag;
+    SetPageKeyLocked(proc, pg, tag);
   }
   return common::OkStatus();
 }

@@ -27,6 +27,7 @@
 #include "src/common/mutex.h"
 #include "src/common/result.h"
 #include "src/kernfs/layout.h"
+#include "src/mpk/keyclass.h"
 #include "src/mpk/mpk.h"
 #include "src/nvm/nvm.h"
 #include "src/vfs/vfs.h"
@@ -53,8 +54,24 @@ class Process {
 
   // True if the process currently has `coffer_id` mapped.
   bool HasMapped(uint32_t coffer_id) const;
-  // MPK key assigned to a mapped coffer (0xff if not mapped).
+  // MPK key assigned to a mapped coffer (0xff if not mapped, or if the
+  // coffer's protection class is currently key-window evicted).
   uint8_t KeyFor(uint32_t coffer_id) const;
+
+  // Lock-free read of the published class→key assignment (the user-visible
+  // key table; see src/mpk/keyclass.h). The µFS validates its cached
+  // MapInfo.key against this with no crossing; kUnmapped means the class is
+  // key-window evicted and must be faulted back in via CofferRetag.
+  uint8_t PublishedClassKey(uint16_t slot) const { return key_classes_.PublishedKey(slot); }
+
+  // Lock-free LRU bump for a class the µFS just revalidated: keeps an
+  // in-flight op's working-set classes off the key window's victim list
+  // (see mpk::KeyClassTable::Touch).
+  void TouchClassKey(uint16_t slot) { key_classes_.Touch(slot); }
+
+  // Distinct protection classes currently holding a mapped coffer (the v5
+  // key_class_count bench counter).
+  size_t LiveProtClassCount() const { return key_classes_.LiveClassCount(); }
 
  private:
   friend class KernFs;
@@ -62,14 +79,17 @@ class Process {
       : pid_(pid), cred_(cred), page_keys_(num_pages, 0xff) {}
 
   struct Mapping {
-    uint8_t key;
+    uint8_t key;        // class path: key at map/fault-in time (may go stale)
     bool writable;
+    uint16_t class_slot = mpk::KeyClassTable::kNoSlot;  // kNoSlot = legacy key
   };
 
   uint32_t pid_;
   vfs::Cred cred_;
-  mpk::PageKeyTable page_keys_;            // 0xff = unmapped
-  bool key_used_[mpk::kNumKeys] = {};      // keys 1..15 allocatable
+  mpk::PageKeyTable page_keys_;  // 0xff = unmapped
+  // Physical keys 1..15 and the class→key window both live here; KernFS is
+  // the only mutator (under its lock). See src/mpk/keyclass.h.
+  mpk::KeyClassTable key_classes_;
   std::unordered_map<uint32_t, Mapping> mappings_;  // coffer-id -> mapping
   bool fslib_mounted_ = false;
 };
@@ -83,6 +103,10 @@ struct MapInfo {
   uint64_t root_page_off = 0;   // CofferRoot page (read-only to the µFS)
   uint64_t root_inode_off = 0;
   uint64_t custom_off = 0;
+  // Protection-class slot of the coffer (kNoSlot on the legacy per-coffer
+  // path). The µFS revalidates `key` against PublishedClassKey(class_slot)
+  // on every cache hit: key-window eviction invalidates nothing globally.
+  uint16_t class_slot = mpk::KeyClassTable::kNoSlot;
 };
 
 // ---- Batched submission/completion interface (ZUFS-style channels) --------
@@ -99,6 +123,7 @@ enum class ChanOp : uint8_t {
   kUnmap,    // CofferUnmap(coffer_id)
   kEnlarge,  // CofferEnlarge(coffer_id, n_pages)
   kShrink,   // CofferShrink(coffer_id, runs) — drain-time grant return
+  kRetag,    // CofferRetag(coffer_id) — key-window fault-in (ISSUE 10)
 };
 
 // Integrity tag checked at drain: in-flight entries live in DRAM and a stray
@@ -185,6 +210,14 @@ class KernFs {
   void set_kernel_crossing_ns(uint64_t ns) { crossing_ns_ = ns; }
   uint64_t kernel_crossing_ns() const { return crossing_ns_; }
 
+  // MPK key virtualization (ISSUE 10): on (the default), same-(uid,gid,perm)
+  // coffers share one physical key per process and key exhaustion runs the
+  // LRU key window instead of returning kNoKeys. Off preserves the legacy
+  // one-key-per-coffer path (bench_json's pre-virtualization baseline; the
+  // µFS victim-evicts whole mappings on kNoKeys). Set before any CofferMap.
+  void set_key_virtualization(bool on) { key_virtualization_ = on; }
+  bool key_virtualization() const { return key_virtualization_; }
+
   // ---- Process management (simulation scaffolding, not a Table 5 op).
   Process* CreateProcess(vfs::Cred cred);
   void DestroyProcess(Process* proc);
@@ -247,11 +280,21 @@ class KernFs {
   // Returns free pages from the coffer to the global pool.
   Status CofferShrink(Process& proc, uint32_t coffer_id, const std::vector<PageRun>& runs);
 
-  // Permission-checks and maps a coffer into the process: assigns an MPK key
-  // (Err::kNoKeys when the 15-key budget is exhausted) and tags the coffer's
-  // pages in the process's page-key table.
+  // Permission-checks and maps a coffer into the process: assigns the MPK
+  // key of the coffer's protection class — same-(uid,gid,perm) coffers share
+  // one key, and class-count overflow runs the LRU key window — and tags the
+  // coffer's pages in the process's page-key table. Only the legacy path
+  // (key virtualization off) returns Err::kNoKeys on budget exhaustion.
   Result<MapInfo> CofferMap(Process& proc, uint32_t coffer_id, bool writable);
   Status CofferUnmap(Process& proc, uint32_t coffer_id);
+
+  // Key-window fault-in: ensures the protection class of a *mapped* coffer
+  // holds a physical key again (LRU-evicting another class if the budget is
+  // full) and retags every member coffer's pages. One crossing, no unmap, no
+  // session-epoch invalidation; usually reached batched via ChanOp::kRetag.
+  // Returns the refreshed MapInfo. No-op returning current state on the
+  // legacy path.
+  Result<MapInfo> CofferRetag(Process& proc, uint32_t coffer_id);
 
   // Path-coffer map lookup (exact coffer path).
   Result<uint32_t> CofferFind(const std::string& path);
@@ -346,6 +389,7 @@ class KernFs {
   Status DoCofferShrink(Process& proc, uint32_t coffer_id, const std::vector<PageRun>& runs);
   Result<MapInfo> DoCofferMap(Process& proc, uint32_t coffer_id, bool writable);
   Status DoCofferUnmap(Process& proc, uint32_t coffer_id);
+  Result<MapInfo> DoCofferRetag(Process& proc, uint32_t coffer_id);
 
   // Ownership-validated run return (the body of DoCofferShrink, shared with
   // the reaper's grant reclamation, which validates ownership the same way
@@ -378,9 +422,32 @@ class KernFs {
   CofferInfo* FindCoffer(uint32_t id) REQUIRES(mu_);
   CofferRoot* RootOf(CofferInfo& c) REQUIRES(mu_);
   Status CheckMappedWritable(Process& proc, uint32_t coffer_id) REQUIRES(mu_);
+  // The single sanctioned page-key store in the kernel (the direct-key-assign
+  // lint funnel; see src/mpk/keyclass.h).
+  void SetPageKeyLocked(Process& proc, uint64_t page, uint8_t tag) REQUIRES(mu_);
   void TagPagesForProcess(Process& proc, const CofferInfo& c, uint8_t key) REQUIRES(mu_);
   void UntagPagesForProcess(Process& proc, const CofferInfo& c) REQUIRES(mu_);
   void UnmapLocked(Process& proc, uint32_t coffer_id) REQUIRES(mu_);
+
+  // --- protection classes (ISSUE 10; callers hold mu_) ---
+  // The (uid, gid, perm) triple of the coffer root.
+  mpk::ProtClass ClassOfLocked(CofferInfo& c) REQUIRES(mu_);
+  // Tags every page of `c` for `proc`: writable mappings keep the root page
+  // read-only; read-only mappings carry kPageReadOnly on every page.
+  void TagCofferLocked(Process& proc, const CofferInfo& c, uint8_t key,
+                       bool writable) REQUIRES(mu_);
+  // Ensures the class behind `slot` holds a key; applies the LRU key-window
+  // eviction (retag the victim class's pages to kUnmapped) and, on a fresh
+  // assignment, retags this class's member pages. Returns kUnmapped only
+  // when every key is pinned by legacy mappings.
+  uint8_t EnsureClassKeyLocked(Process& proc, uint16_t slot) REQUIRES(mu_);
+  // Re-homes a mapped coffer whose root triple changed (chmod/chown): drops
+  // the old class membership, joins the new class and retags.
+  void MigrateClassLocked(Process& proc, CofferInfo& c,
+                          const mpk::ProtClass& cls) REQUIRES(mu_);
+  // Current effective tag base for a mapping: the class/legacy key, or
+  // kUnmapped while the class is key-window evicted.
+  uint8_t EffectiveKeyLocked(const Process& proc, const Process::Mapping& m) REQUIRES(mu_);
   uint64_t PersistRootPath(CofferRoot* root, const std::string& path) REQUIRES(mu_);
 
   nvm::NvmDevice* dev_;
@@ -391,6 +458,7 @@ class KernFs {
   uint64_t crossing_ns_ = 300;
   uint32_t root_coffer_id_ = 0;
   uint32_t next_pid_ = 1;
+  bool key_virtualization_ = true;
 
   mutable common::Mutex mu_;  // the global kernel lock
   std::map<uint64_t, uint64_t> free_by_addr_ GUARDED_BY(mu_);       // start -> len

@@ -1,0 +1,169 @@
+#include "src/mpk/keyclass.h"
+
+namespace mpk {
+
+namespace {
+std::atomic<uint64_t> g_key_evictions{0};
+std::atomic<uint64_t> g_key_retag_pages{0};
+}  // namespace
+
+uint64_t KeyEvictionCount() { return g_key_evictions.load(std::memory_order_relaxed); }
+uint64_t KeyRetagPageCount() { return g_key_retag_pages.load(std::memory_order_relaxed); }
+
+namespace internal {
+void NoteKeyEviction() { g_key_evictions.fetch_add(1, std::memory_order_relaxed); }
+void NoteRetagPages(uint64_t n) { g_key_retag_pages.fetch_add(n, std::memory_order_relaxed); }
+}  // namespace internal
+
+KeyClassTable::KeyClassTable() {
+  for (auto& p : published_) {
+    p.store(kUnmapped, std::memory_order_relaxed);
+  }
+  for (auto& t : touched_) {
+    t.store(0, std::memory_order_relaxed);
+  }
+}
+
+void KeyClassTable::Touch(uint16_t slot) {
+  if (slot >= kMaxSlots) {
+    return;
+  }
+  touched_[slot].store(touch_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
+}
+
+uint16_t KeyClassTable::SlotFor(const ProtClass& cls) {
+  auto it = slot_of_.find(cls);
+  if (it != slot_of_.end()) {
+    return it->second;
+  }
+  if (slots_.size() >= kMaxSlots) {
+    return kNoSlot;
+  }
+  const uint16_t slot = static_cast<uint16_t>(slots_.size());
+  slots_.push_back(Slot{cls, kUnmapped, {}});
+  slot_of_.emplace(cls, slot);
+  return slot;
+}
+
+uint8_t KeyClassTable::PublishedKey(uint16_t slot) const {
+  // Called lock-free from the µFS: touch ONLY the fixed atomic array, never
+  // slots_ (which the kernel grows under its lock).
+  if (slot >= kMaxSlots) {
+    return kUnmapped;
+  }
+  return published_[slot].load(std::memory_order_relaxed);
+}
+
+void KeyClassTable::Retain(uint16_t slot, uint32_t coffer_id) {
+  if (slot >= slots_.size()) {
+    return;
+  }
+  slots_[slot].members.insert(coffer_id);
+}
+
+bool KeyClassTable::Release(uint16_t slot, uint32_t coffer_id) {
+  if (slot >= slots_.size()) {
+    return false;
+  }
+  Slot& s = slots_[slot];
+  // Idempotent per (slot, coffer_id): a second Release for the same mapping
+  // (reaper racing a queued retag) is a no-op, never a double-free.
+  if (s.members.erase(coffer_id) == 0) {
+    return false;
+  }
+  if (!s.members.empty()) {
+    return false;
+  }
+  if (s.key != kUnmapped) {
+    key_used_[s.key] = false;
+    s.key = kUnmapped;
+    published_[slot].store(kUnmapped, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+uint8_t KeyClassTable::TakeFreeKey() {
+  for (uint8_t k = 1; k < kNumKeys; k++) {
+    if (!key_used_[k]) {
+      key_used_[k] = true;
+      return k;
+    }
+  }
+  return 0;
+}
+
+uint8_t KeyClassTable::EnsureKey(uint16_t slot, uint16_t* evicted, bool* fresh) {
+  *evicted = kNoSlot;
+  *fresh = false;
+  if (slot >= slots_.size()) {
+    return kUnmapped;
+  }
+  Slot& s = slots_[slot];
+  Touch(slot);
+  if (s.key != kUnmapped) {
+    return s.key;
+  }
+  uint8_t key = TakeFreeKey();
+  if (key == 0) {
+    // The LRU key window: demote the coldest *other* keyed class. Only the
+    // assignment moves — members, refcounts and µFS caches stay; the caller
+    // retags the victim's pages to kUnmapped so its next access faults in.
+    // Stamps come from touched_[], which the µFS bumps lock-free on every
+    // revalidation, so an in-flight op's working set is never the victim.
+    uint16_t victim = kNoSlot;
+    uint64_t victim_stamp = 0;
+    for (uint16_t i = 0; i < slots_.size(); i++) {
+      if (i == slot || slots_[i].key == kUnmapped) {
+        continue;
+      }
+      const uint64_t stamp = touched_[i].load(std::memory_order_relaxed);
+      if (victim == kNoSlot || stamp < victim_stamp) {
+        victim = i;
+        victim_stamp = stamp;
+      }
+    }
+    if (victim == kNoSlot) {
+      // Every key is pinned by legacy per-coffer mappings: genuine kNoKeys.
+      return kUnmapped;
+    }
+    Slot& v = slots_[victim];
+    key = v.key;
+    v.key = kUnmapped;
+    published_[victim].store(kUnmapped, std::memory_order_relaxed);
+    *evicted = victim;
+    internal::NoteKeyEviction();
+  }
+  s.key = key;
+  published_[slot].store(key, std::memory_order_relaxed);
+  *fresh = true;
+  return key;
+}
+
+const std::set<uint32_t>& KeyClassTable::Members(uint16_t slot) const {
+  static const std::set<uint32_t> kEmpty;
+  if (slot >= slots_.size()) {
+    return kEmpty;
+  }
+  return slots_[slot].members;
+}
+
+size_t KeyClassTable::LiveClassCount() const {
+  size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (!s.members.empty()) {
+      n++;
+    }
+  }
+  return n;
+}
+
+uint8_t KeyClassTable::AllocLegacyKey() { return TakeFreeKey(); }
+
+void KeyClassTable::FreeLegacyKey(uint8_t key) {
+  if (key >= 1 && key < kNumKeys) {
+    key_used_[key] = false;
+  }
+}
+
+}  // namespace mpk

@@ -16,6 +16,7 @@
 #include "src/common/rand.h"
 #include "src/fslib/fslib.h"
 #include "src/kernfs/kernfs.h"
+#include "src/mpk/keyclass.h"
 #include "src/mpk/mpk.h"
 #include "src/nvm/nvm.h"
 #include "src/zofs/alloc.h"
@@ -40,6 +41,16 @@ bool KillHandler(void* ctx, const char* point) {
   return false;
 }
 
+// Key-pressure mode: 18 pairwise-distinct permission sets, each spawning its
+// own coffer (and so its own protection class) under the tenant dir. With
+// the tenant's base coffers on top every process exceeds the 15 usable MPK
+// keys, forcing the LRU key window to evict/retag continuously. All modes
+// keep owner rwx so the tenant itself is never locked out.
+constexpr uint16_t kKeyPressureModes[18] = {0700, 0702, 0704, 0706, 0720, 0722,
+                                            0724, 0726, 0740, 0742, 0744, 0746,
+                                            0750, 0752, 0754, 0756, 0760, 0762};
+constexpr uint32_t kKeyPressureDirs = 18;
+
 // A simulated tenant: its own uid (so its files split into coffers other
 // tenants cannot even map), its own lease identity, and a shadow model of
 // every byte it has made durable (written + fsync'd + op returned).
@@ -59,6 +70,8 @@ struct Tenant {
   // Stray writes landed in this tenant's coffers: its data is legally
   // damaged, so the durability oracle stands down for it.
   bool tainted = false;
+  // Round-robin cursor over the key-pressure dirs (key_pressure mode only).
+  uint32_t key_cursor = 0;
 };
 
 class Soak {
@@ -70,7 +83,9 @@ class Soak {
         base_repairs_(zofs::OnlineRepairCount()),
         base_lists_(zofs::ReapedListCount()),
         base_mappings_(kernfs::ReapedMappingCount()),
-        base_grants_(kernfs::ReapedGrantPageCount()) {
+        base_grants_(kernfs::ReapedGrantPageCount()),
+        base_kevict_(mpk::KeyEvictionCount()),
+        base_kretag_(mpk::KeyRetagPageCount()) {
     rep_.seed = opts.seed;
   }
 
@@ -99,6 +114,7 @@ class Soak {
   common::Rng rng_;
   KillArm arm_;
   const uint64_t base_steals_, base_repairs_, base_lists_, base_mappings_, base_grants_;
+  const uint64_t base_kevict_, base_kretag_;
 
   std::unique_ptr<nvm::NvmDevice> dev_;
   std::unique_ptr<kernfs::KernFs> kfs_;
@@ -138,6 +154,16 @@ void Soak::MakeTenant(Tenant* t, uint32_t id) {
   t->fs->BindThread();
   if (!t->fs->Mkdir(t->cred, t->dir, 0700).ok()) {
     rep_.op_errors++;
+  }
+  if (opts_.key_pressure) {
+    // Every mode is its own coffer, so its own protection class: together
+    // with the tenant's base coffers this process now needs more keys than
+    // the hardware has, and lives on the LRU key window.
+    for (uint32_t d = 0; d < kKeyPressureDirs; d++) {
+      if (!t->fs->Mkdir(t->cred, t->dir + "/m" + std::to_string(d), kKeyPressureModes[d]).ok()) {
+        rep_.op_errors++;
+      }
+    }
   }
   ReopenFds(t);
 }
@@ -246,6 +272,24 @@ void Soak::TenantOps(Tenant* t) {
       rng_.Fill(junk.data(), junk.size());
       if (t->scratch_fd < 0 ||
           !t->fs->Pwrite(t->scratch_fd, junk.data(), junk.size(), rng_.Below(16) * 4096).ok()) {
+        rep_.op_errors++;
+      }
+    }
+    if (opts_.key_pressure) {
+      // Rider traffic: touch the next cold class every op. The file takes
+      // the dir's mode so it lands in the dir's coffer (same class) instead
+      // of minting yet another one. Untracked by the durability oracle —
+      // its job is key-window churn, not data.
+      const uint32_t d = t->key_cursor++ % kKeyPressureDirs;
+      const std::string name = t->dir + "/m" + std::to_string(d) + "/kp";
+      auto fd = t->fs->Open(t->cred, name, vfs::kCreate | vfs::kWrite, kKeyPressureModes[d]);
+      if (fd.ok()) {
+        char b = static_cast<char>('a' + d);
+        if (!t->fs->Pwrite(*fd, &b, 1, 0).ok()) {
+          rep_.op_errors++;
+        }
+        t->fs->Close(*fd);
+      } else {
         rep_.op_errors++;
       }
     }
@@ -614,6 +658,8 @@ SoakReport Soak::Run() {
   rep_.reaped_lists = zofs::ReapedListCount() - base_lists_;
   rep_.reaped_mappings = kernfs::ReapedMappingCount() - base_mappings_;
   rep_.reaped_grant_pages = kernfs::ReapedGrantPageCount() - base_grants_;
+  rep_.key_evictions = mpk::KeyEvictionCount() - base_kevict_;
+  rep_.key_retag_pages = mpk::KeyRetagPageCount() - base_kretag_;
   return rep_;
 }
 
@@ -632,7 +678,7 @@ std::string SoakReport::ToJson() const {
       s += ",";
     }
   };
-  s += "\"schema\":\"zofs-soak-v1\",";
+  s += "\"schema\":\"zofs-soak-v2\",";
   num("seed", seed);
   num("rounds", rounds);
   num("ops", ops);
@@ -657,6 +703,8 @@ std::string SoakReport::ToJson() const {
   num("reaped_lists", reaped_lists);
   num("remounts", remounts);
   num("corruptions_injected", corruptions_injected);
+  num("key_evictions", key_evictions);
+  num("key_retag_pages", key_retag_pages);
   num("contained_probes", contained_probes);
   num("mpk_escapes", mpk_escapes);
   num("fsck_violations", fsck_violations);

@@ -45,6 +45,13 @@ struct SoakOptions {
   // Flip a byte in a retired dead tenant's coffer before each remount.
   bool corrupt_in_loop = true;
   uint64_t device_mb = 64;
+  // ISSUE 10: each tenant additionally churns a tree of 18 subdirectories
+  // with pairwise-distinct permission bits. Together with the tenant's base
+  // coffers that pushes every process past the 15 physical MPK keys, so the
+  // whole campaign (kills, stray bursts, reaping, lease steals, remounts)
+  // runs on top of the LRU key window instead of a comfortable static
+  // assignment. The report gains the key_evictions / key_retag_pages deltas.
+  bool key_pressure = false;
 };
 
 struct SoakReport {
@@ -70,6 +77,14 @@ struct SoakReport {
 
   uint64_t remounts = 0;
   uint64_t corruptions_injected = 0;
+
+  // Key-virtualization traffic over the whole campaign (deltas of the
+  // src/mpk counters). Heavy only under SoakOptions::key_pressure, where
+  // every tenant holds more protection classes than physical keys — though
+  // even the default campaign can show a stray eviction: the root janitor
+  // accumulates one class per distinct victim uid it probes.
+  uint64_t key_evictions = 0;
+  uint64_t key_retag_pages = 0;
 
   // Probes on a tainted victim (its own strays landed) that ended in a
   // corruption-class verdict: the damage is real but contained to the

@@ -93,12 +93,26 @@ constexpr uint64_t kMaxLeaseSlackNs = 60'000'000'000ull;
 uint64_t LockWaitBoundNs(uint64_t lease_ns) {
   return std::max<uint64_t>(4 * lease_ns, 10'000'000);
 }
+
+// Live-lock registry: how many InodeLocks are currently held per coffer
+// (hashed — a collision over-counts, which only makes the eviction check
+// conservative, never unsound). DRAM-only; a killed thread's dtor still
+// decrements, so corpses never wedge the count.
+constexpr uint32_t kLiveLockBuckets = 256;
+std::atomic<uint32_t> g_live_inode_locks[kLiveLockBuckets];
 }  // namespace
 
-InodeLock::InodeLock(nvm::NvmDevice* dev, uint64_t inode_off, uint64_t lease_ns)
+uint32_t LiveInodeLockCount(uint32_t coffer_id) {
+  return g_live_inode_locks[coffer_id & (kLiveLockBuckets - 1)].load(
+      std::memory_order_relaxed);
+}
+
+InodeLock::InodeLock(nvm::NvmDevice* dev, uint64_t inode_off, uint64_t lease_ns,
+                     uint32_t coffer_id)
     : dev_(dev),
       owner_off_(inode_off + offsetof(Inode, lock_owner)),
-      expiry_off_(inode_off + offsetof(Inode, lock_expiry_ns)) {
+      expiry_off_(inode_off + offsetof(Inode, lock_expiry_ns)),
+      coffer_id_(coffer_id) {
   const uint64_t tid = CurrentTid();
   // The wait bound runs on the hardware clock so it holds even when a test
   // pins the logical clock; lease expiry uses the logical clock so tests can
@@ -155,18 +169,30 @@ InodeLock::InodeLock(nvm::NvmDevice* dev, uint64_t inode_off, uint64_t lease_ns)
   // (this ctor never completed, so ~InodeLock does not run) — exactly what a
   // real dead process leaves behind. Survivors steal after expiry.
   common::KillPoint(common::kKillHoldingInodeLock);
+  // Register only after the kill point: a ctor that threw never joined, so a
+  // corpse cannot leave a phantom live-lock count pinning its coffer.
+  g_live_inode_locks[coffer_id_ & (kLiveLockBuckets - 1)].fetch_add(
+      1, std::memory_order_relaxed);
+  registered_ = true;
 }
 
 InodeLock::~InodeLock() {
+  // DRAM bookkeeping runs unconditionally (even for a killed thread — the
+  // registry models this address space, not NVM state).
+  if (registered_) {
+    g_live_inode_locks[coffer_id_ & (kLiveLockBuckets - 1)].fetch_sub(
+        1, std::memory_order_relaxed);
+  }
   // A killed thread releases nothing: a dead process cannot store to NVM on
   // its way out, so outer locks unwound by ProcessKilledError stay held (and
   // expire) just like the innermost one.
   //
-  // The owner word may also have become unwritable since acquisition: under
-  // MPK key pressure EvictMappingVictim can unmap the lock's coffer out from
-  // under a mid-flight operation (the accepted stale-mapping fault). A store
-  // here would throw inside a noexcept destructor, so probe first; a skipped
-  // release is indistinguishable from owner death and heals by lease expiry.
+  // The owner word should always be writable here: EvictMappingVictim asserts
+  // it never unmaps a coffer backing a live InodeLock (the ISSUE-10 root fix
+  // for the PR-9 hazard), and key-window eviction retags without unmapping.
+  // The probe stays as defense-in-depth — a store through a revoked key would
+  // throw inside a noexcept destructor; a skipped release is
+  // indistinguishable from owner death and heals by lease expiry.
   if (held_ && !common::CurrentThreadKilled() &&
       mpk::ProbeAccess(owner_off_, 8, /*is_write=*/true)) {
     dev_->AtomicStore64(owner_off_, 0);
@@ -338,6 +364,42 @@ Status ZoFs::KernelUnmap(uint32_t cid) {
   return kfs_->CofferUnmap(*proc_, cid);
 }
 
+Result<MapInfo> ZoFs::KernelRetag(uint32_t cid) {
+  if (kernfs::Channel* ch = channels_.Current()) {
+    return ch->Retag(cid);
+  }
+  return kfs_->CofferRetag(*proc_, cid);
+}
+
+bool ZoFs::RevalidateKey(uint32_t cid, MapInfo* info) {
+  if (info->class_slot == mpk::KeyClassTable::kNoSlot) {
+    return true;  // legacy per-coffer key: it never moves
+  }
+  // Stamp the class as in-use BEFORE deciding anything: the op that follows
+  // this revalidation will dereference the coffer's pages, and the stamp is
+  // what keeps EnsureKey's victim scan away from the working set.
+  proc_->TouchClassKey(info->class_slot);
+  const uint8_t cur = proc_->PublishedClassKey(info->class_slot);
+  if (cur == info->key) {
+    return true;  // steady state: two loads, no crossing
+  }
+  if (cur != mpk::kUnmapped) {
+    // Another thread already faulted the class back in (possibly under a
+    // different physical key): adopt it locally, still no crossing.
+    info->key = cur;
+    return true;
+  }
+  // The class is key-window evicted: fault it in. One batched crossing; the
+  // kernel retags every member coffer, so session caches stay valid and no
+  // epoch bump is needed.
+  auto fresh = KernelRetag(cid);
+  if (!fresh.ok()) {
+    return false;
+  }
+  info->key = fresh->key;
+  return true;
+}
+
 void ZoFs::HarvestCompletions() {
   const bool have_recover =
       pending_recover_count_.load(std::memory_order_acquire) != 0;
@@ -375,7 +437,15 @@ Result<MapInfo> ZoFs::EnsureMapped(uint32_t cid, bool writable, bool bypass_sick
     if (SessionEntry* e = SessionFind(instance_id_, cid, epoch, writable)) {
       // Session hit: the entry was filled after a CheckHealthy pass and any
       // later quarantine bumped the epoch, so no sick-table probe is needed.
-      return e->info;
+      // Key-window eviction does NOT bump the epoch: the cached key is
+      // revalidated against the published class table instead, and a fault-in
+      // refreshes the entry in place.
+      MapInfo info = e->info;
+      if (RevalidateKey(cid, &info)) {
+        e->info.key = info.key;
+        return info;
+      }
+      // Fault-in failed (all keys pinned): fall through to the full path.
     }
   }
   if (!bypass_sick) {
@@ -388,10 +458,13 @@ Result<MapInfo> ZoFs::EnsureMapped(uint32_t cid, bool writable, bool bypass_sick
     if (it != sh.mapped.end() && (!writable || it->second.writable)) {
       MapInfo info = it->second;
       lk.Unlock();
-      if (opts_.session_cache && !bypass_sick) {
-        SessionStore(instance_id_, cid, epoch, info);
+      if (RevalidateKey(cid, &info)) {
+        if (opts_.session_cache && !bypass_sick) {
+          SessionStore(instance_id_, cid, epoch, info);
+        }
+        return info;
       }
-      return info;
+      // Shard entry's class is evicted and un-fault-in-able; remap below.
     }
   }
   for (int attempt = 0; attempt < 2; attempt++) {
@@ -438,13 +511,19 @@ Result<MapInfo> ZoFs::EnsureMapped(uint32_t cid, bool writable, bool bypass_sick
 }
 
 bool ZoFs::EvictMappingVictim(uint32_t keep_cid) {
+  // Legacy path only (key virtualization off): with the class table on, key
+  // exhaustion runs the kernel's LRU key window instead of ever unmapping.
   const uint32_t root = kfs_->root_coffer_id();
   for (auto& shp : shards_) {
     Shard& sh = *shp;
     ShardWriteLock lk(this, sh);
     uint32_t victim = 0;
     for (const auto& [mcid, minfo] : sh.mapped) {
-      if (mcid != keep_cid && mcid != root) {
+      // Never unmap a coffer backing a live InodeLock: ~InodeLock must be
+      // able to release the owner word (the PR-9 hazard, fixed at the root).
+      // The hashed count can over-report (collision), which only skips a
+      // legal victim — conservative, never unsound.
+      if (mcid != keep_cid && mcid != root && LiveInodeLockCount(mcid) == 0) {
         victim = mcid;
         break;
       }
@@ -452,6 +531,8 @@ bool ZoFs::EvictMappingVictim(uint32_t keep_cid) {
     if (victim == 0) {
       continue;
     }
+    assert(LiveInodeLockCount(victim) == 0 &&
+           "unmapping a coffer that backs a live InodeLock");
     sh.mapped.erase(victim);
     sh.evict_gen.fetch_add(1, std::memory_order_release);
     RetireAllocatorLocked(sh, victim);
@@ -466,6 +547,9 @@ bool ZoFs::EvictMappingVictim(uint32_t keep_cid) {
     KernelUnmap(victim);
     lk.Unlock();
     BumpEpoch();
+    // Count on the same axis as the key window so BENCH v5 compares the
+    // legacy thrash against virtualized runs directly.
+    mpk::internal::NoteKeyEviction();
     return true;
   }
   return false;
@@ -1456,7 +1540,7 @@ Result<NodeRef> ZoFs::Create(const std::string& path, uint16_t mode) {
   if (dir->type != kTypeDirectory) {
     return Err::kNotDir;
   }
-  InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns);
+  InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns, pr.node.coffer_id);
   if (!lock.ok()) {
     return Err::kBusy;
   }
@@ -1517,7 +1601,7 @@ Result<NodeRef> ZoFs::OpenOrCreate(const std::string& path, uint16_t mode, bool*
   if (dir->type != kTypeDirectory) {
     return Err::kNotDir;
   }
-  InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns);
+  InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns, pr.node.coffer_id);
   if (!lock.ok()) {
     return Err::kBusy;
   }
@@ -1581,7 +1665,7 @@ Status ZoFs::Mkdir(const std::string& path, uint16_t mode) {
   if (dir->type != kTypeDirectory) {
     return Err::kNotDir;
   }
-  InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns);
+  InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns, pr.node.coffer_id);
   if (!lock.ok()) {
     return Err::kBusy;
   }
@@ -1638,7 +1722,7 @@ Status ZoFs::Symlink(const std::string& target, const std::string& linkpath) {
   if (dir->type != kTypeDirectory) {
     return Err::kNotDir;
   }
-  InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns);
+  InodeLock lock(kfs_->dev(), pr.node.inode_off, opts_.lease_ns, pr.node.coffer_id);
   if (!lock.ok()) {
     return Err::kBusy;
   }
@@ -1688,7 +1772,7 @@ Status ZoFs::Unlink(const std::string& path) {
   ASSIGN_OR_RETURN(pinfo, EnsureMapped(pcid, true));
   mpk::AccessWindow w(pinfo.key, true);
   Inode* dir = Ino(r.parent.inode_off);
-  InodeLock lock(kfs_->dev(), r.parent.inode_off, opts_.lease_ns);
+  InodeLock lock(kfs_->dev(), r.parent.inode_off, opts_.lease_ns, r.parent.coffer_id);
   if (!lock.ok()) {
     return Err::kBusy;
   }
@@ -1741,7 +1825,7 @@ Status ZoFs::Rmdir(const std::string& path) {
 
   mpk::AccessWindow w(pinfo.key, true);
   Inode* dir = Ino(r.parent.inode_off);
-  InodeLock lock(kfs_->dev(), r.parent.inode_off, opts_.lease_ns);
+  InodeLock lock(kfs_->dev(), r.parent.inode_off, opts_.lease_ns, r.parent.coffer_id);
   if (!lock.ok()) {
     return Err::kBusy;
   }
@@ -1893,7 +1977,7 @@ Result<size_t> ZoFs::WriteAt(NodeRef node, const void* buf, size_t n, uint64_t o
   if (ino->type == kTypeDirectory) {
     return Err::kIsDir;
   }
-  InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns);
+  InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns, node.coffer_id);
   if (!lock.ok()) {
     return Err::kBusy;
   }
@@ -2063,7 +2147,7 @@ Result<uint64_t> ZoFs::Append(NodeRef node, const void* buf, size_t n) {
   if (ino->magic != kInodeMagic) {
     return Err::kCorrupt;  // object-local damage; coffer graph still trusted
   }
-  InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns);
+  InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns, node.coffer_id);
   if (!lock.ok()) {
     return Err::kBusy;
   }
@@ -2395,7 +2479,7 @@ Status ZoFs::SyncNode(NodeRef node) {
   if (Ino(node.inode_off)->magic != kInodeMagic) {
     return Err::kCorrupt;
   }
-  InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns);
+  InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns, node.coffer_id);
   if (!lock.ok()) {
     return Err::kBusy;
   }
@@ -2440,7 +2524,7 @@ Status ZoFs::TruncateNode(NodeRef node, uint64_t len) {
   if (ino->type == kTypeDirectory) {
     return Err::kIsDir;
   }
-  InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns);
+  InodeLock lock(kfs_->dev(), node.inode_off, opts_.lease_ns, node.coffer_id);
   if (!lock.ok()) {
     return Err::kBusy;
   }
@@ -2672,7 +2756,7 @@ Status ZoFs::Chmod(const std::string& path, uint16_t mode) {
   ASSIGN_OR_RETURN(pinfo, EnsureMapped(r.parent.coffer_id, true));
   mpk::AccessWindow pw(pinfo.key, true);
   Inode* pdir = Ino(r.parent.inode_off);
-  InodeLock plock(dev, r.parent.inode_off, opts_.lease_ns);
+  InodeLock plock(dev, r.parent.inode_off, opts_.lease_ns, r.parent.coffer_id);
   if (!plock.ok()) {
     return Err::kBusy;
   }
@@ -2730,7 +2814,7 @@ Status ZoFs::Chown(const std::string& path, uint32_t uid, uint32_t gid) {
   ASSIGN_OR_RETURN(pinfo, EnsureMapped(r.parent.coffer_id, true));
   mpk::AccessWindow pw(pinfo.key, true);
   Inode* pdir = Ino(r.parent.inode_off);
-  InodeLock plock(dev, r.parent.inode_off, opts_.lease_ns);
+  InodeLock plock(dev, r.parent.inode_off, opts_.lease_ns, r.parent.coffer_id);
   if (!plock.ok()) {
     return Err::kBusy;
   }
@@ -2912,7 +2996,7 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
   auto lock_both_and = [&](auto&& body) -> Status {
     if (src.parent.inode_off == dstp.node.inode_off) {
       mpk::AccessWindow w(sinfo.key, true);
-      InodeLock l(dev, src.parent.inode_off, opts_.lease_ns);
+      InodeLock l(dev, src.parent.inode_off, opts_.lease_ns, scid);
       if (!l.ok()) {
         return Err::kBusy;
       }
@@ -2925,14 +3009,14 @@ Status ZoFs::Rename(const std::string& from, const std::string& to) {
     uint8_t fkey = first == src.parent.inode_off ? sinfo.key : dinfo.key;
     uint8_t skey = first == src.parent.inode_off ? dinfo.key : sinfo.key;
     mpk::AccessWindow w1(fkey, true);
-    InodeLock l1(dev, first, opts_.lease_ns);
+    InodeLock l1(dev, first, opts_.lease_ns, first == src.parent.inode_off ? scid : dcid);
     if (!l1.ok()) {
       return Err::kBusy;
     }
     MaybeOnlineRepair(first == src.parent.inode_off ? scid : dcid,
                       first == src.parent.inode_off ? sinfo : dinfo, l1, first);
     mpk::AccessWindow w2(skey, true);
-    InodeLock l2(dev, second, opts_.lease_ns);
+    InodeLock l2(dev, second, opts_.lease_ns, second == src.parent.inode_off ? scid : dcid);
     if (!l2.ok()) {
       return Err::kBusy;
     }

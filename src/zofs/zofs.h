@@ -115,7 +115,7 @@ using NodeRef = ufs::NodeRef;
 
 class InodeLock;
 
-// ---- tenant-death accounting (procmon; bench_json zofs-bench-scale-v4) ----
+// ---- tenant-death accounting (procmon; bench_json zofs-bench-scale-v5) ----
 // Process-wide: steals and online repairs are survivor-side events that can
 // span ZoFs instances (each tenant is its own instance).
 uint64_t LockStealCount();    // expired InodeLocks stolen from a dead owner
@@ -487,6 +487,16 @@ class ZoFs final : public ufs::MicroFs {
   // KernelEntry), else the legacy synchronous entry points.
   Result<kernfs::MapInfo> KernelMap(uint32_t cid, bool writable);
   Status KernelUnmap(uint32_t cid);
+  // Key-window fault-in (ChanOp::kRetag): restores the physical key of a
+  // mapped coffer's protection class and retags its pages. One batched
+  // crossing; no unmap, no session-epoch bump.
+  Result<kernfs::MapInfo> KernelRetag(uint32_t cid);
+  // Revalidates a cached class-path MapInfo against the process's published
+  // class→key table (two relaxed loads, no crossing). Adopts a key another
+  // thread faulted in; issues KernelRetag when the class is evicted. Returns
+  // false only when that fault-in crossing failed — the caller falls back to
+  // a full remap.
+  bool RevalidateKey(uint32_t cid, kernfs::MapInfo* info);
 
   void RecordRelocation(const std::vector<kernfs::PageRun>& runs, uint32_t new_cid);
 
@@ -655,7 +665,12 @@ class ZoFs final : public ufs::MicroFs {
 // ok() is false — callers fail with EBUSY instead of spinning forever.
 class InodeLock {
  public:
-  InodeLock(nvm::NvmDevice* dev, uint64_t inode_off, uint64_t lease_ns);
+  // `coffer_id` registers the lock in the per-coffer live-lock registry while
+  // held (DRAM bookkeeping): a mapped coffer backing a live InodeLock must
+  // never be unmapped (the ISSUE-10 invariant asserted by
+  // ZoFs::EvictMappingVictim — key-window eviction retags instead).
+  InodeLock(nvm::NvmDevice* dev, uint64_t inode_off, uint64_t lease_ns,
+            uint32_t coffer_id);
   ~InodeLock();
   InodeLock(const InodeLock&) = delete;
   InodeLock& operator=(const InodeLock&) = delete;
@@ -670,9 +685,15 @@ class InodeLock {
   nvm::NvmDevice* dev_;
   uint64_t owner_off_;
   uint64_t expiry_off_;
+  uint32_t coffer_id_;
   bool held_ = false;
   bool stole_ = false;
+  bool registered_ = false;  // joined the live-lock registry (ctor completed)
 };
+
+// Live InodeLocks per coffer (hashed; DRAM-only). Used by EvictMappingVictim
+// to honor the never-unmap-under-a-live-lock invariant.
+uint32_t LiveInodeLockCount(uint32_t coffer_id);
 
 }  // namespace zofs
 

@@ -3,9 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "src/kernfs/kernfs.h"
+#include "src/mpk/keyclass.h"
 #include "src/mpk/mpk.h"
 #include "src/nvm/nvm.h"
 
@@ -135,6 +139,10 @@ TEST_F(KernFsTest, MapChecksPermissions) {
 }
 
 TEST_F(KernFsTest, KeyBudgetExhaustsAt15) {
+  // Legacy one-key-per-coffer assignment: with key virtualization all 16
+  // same-(uid,gid,perm) coffers share a single protection-class key and the
+  // budget never exhausts (KeyClassSharing below proves that).
+  kfs_->set_key_virtualization(false);
   std::vector<uint32_t> ids;
   for (int i = 0; i < 15; i++) {
     ids.push_back(MakeCoffer("/c" + std::to_string(i)));
@@ -147,6 +155,50 @@ TEST_F(KernFsTest, KeyBudgetExhaustsAt15) {
   // Unmapping one frees a key.
   ASSERT_TRUE(kfs_->CofferUnmap(*proc_, ids[0]).ok());
   EXPECT_TRUE(kfs_->CofferMap(*proc_, *extra, true).ok());
+}
+
+TEST_F(KernFsTest, KeyClassSharing64CoffersUnderBudget) {
+  // ISSUE 10: 64 coffers with identical (uid, gid, perm) form ONE protection
+  // class and share one physical key — mapped concurrently from 8 threads
+  // they must neither exhaust the 15-key budget nor trigger a single key
+  // eviction (the pre-virtualization path burned a key per coffer and
+  // thrashed from coffer 16 on).
+  constexpr int kCoffers = 64;
+  constexpr int kThreads = 8;
+  std::vector<uint32_t> ids;
+  for (int i = 0; i < kCoffers; i++) {
+    auto id = kfs_->CofferNew(*proc_, "/kc" + std::to_string(i), kernfs::kCofferTypeZofs, 0644,
+                              100, 100, 2);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  const uint64_t ev0 = mpk::KeyEvictionCount();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t]() {
+      proc_->BindCurrentThread();
+      for (int i = t; i < kCoffers; i += kThreads) {
+        if (!kfs_->CofferMap(*proc_, ids[i], true).ok()) {
+          failures++;
+        }
+      }
+      mpk::BindThreadToProcess(nullptr);
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);  // zero kNoKeys
+  EXPECT_EQ(mpk::KeyEvictionCount() - ev0, 0u);
+  // All 64 coffers share the one 0644/100/100 class.
+  EXPECT_LE(proc_->LiveProtClassCount(), 2u);
+  // Every mapping resolved to the same physical key.
+  const uint8_t key = proc_->KeyFor(ids[0]);
+  ASSERT_NE(key, mpk::kUnmapped);
+  for (int i = 1; i < kCoffers; i++) {
+    EXPECT_EQ(proc_->KeyFor(ids[i]), key);
+  }
 }
 
 TEST_F(KernFsTest, DeleteReclaimsEverything) {

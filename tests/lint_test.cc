@@ -460,6 +460,67 @@ void ZoFs::BestEffortBump(Inode* ino) {
   EXPECT_TRUE(LintSource("src/zofs/x.cc", src).empty());
 }
 
+// ---- direct-key-assign --------------------------------------------------
+
+TEST(LintDirectKeyAssign, FlagsWriteOutsideMpk) {
+  const char* src = R"(
+void ZoFs::Hack(Process* proc) {
+  proc->page_keys_[7] = 3;
+}
+)";
+  auto diags = LintSource("src/zofs/x.cc", src);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, kRuleDirectKeyAssign);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(LintDirectKeyAssign, FlagsCompoundAndStore) {
+  const char* src = R"(
+void F(Process& p, KeyClassTable& t) {
+  p.page_keys_[idx(a)] |= 0x80;
+  t.key_used_[k].store(true);
+}
+)";
+  auto diags = LintSource("src/kernfs/x.cc", src);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].rule, kRuleDirectKeyAssign);
+  EXPECT_EQ(diags[1].rule, kRuleDirectKeyAssign);
+}
+
+// Reads (comparisons, indexing into an rvalue) and member declarations with
+// array extents are not writes.
+TEST(LintDirectKeyAssign, ReadsAndDeclarationsDoNotFire) {
+  const char* src = R"(
+struct T {
+  bool key_used_[kNumKeys] = {false};
+};
+bool F(const Process& p) {
+  if (p.page_keys_[3] == 0xff) return true;
+  return key_used_[k];
+}
+)";
+  EXPECT_TRUE(LintSource("src/kernfs/x.cc", src).empty());
+}
+
+TEST(LintDirectKeyAssign, ExemptInMpk) {
+  const char* src = R"(
+void KeyClassTable::Free(uint8_t k) {
+  key_used_[k] = false;
+}
+)";
+  EXPECT_TRUE(LintSource("src/mpk/keyclass.cc", src).empty());
+}
+
+TEST(LintDirectKeyAssign, Suppressed) {
+  const char* src = R"(
+void KernFs::SetPageKeyLocked(Process& proc, uint64_t page, uint8_t tag) {
+  // zofs-lint: allow(direct-key-assign) — the sanctioned kernel page-tag sink
+  proc.page_keys_[page] = tag;
+}
+)";
+  EXPECT_TRUE(LintSource("src/kernfs/x.cc", src).empty());
+}
+
 // ---- mechanics ----------------------------------------------------------
 
 TEST(LintMechanics, CommentsAndStringsAreIgnored) {
@@ -488,7 +549,7 @@ TEST(LintMechanics, DiagnosticFormatting) {
   EXPECT_EQ(d.ToString(), "src/a.cc:12: raw-mutex: msg");
 }
 
-TEST(LintMechanics, AllRulesListsEight) { EXPECT_EQ(AllRules().size(), 8u); }
+TEST(LintMechanics, AllRulesListsNine) { EXPECT_EQ(AllRules().size(), 9u); }
 
 // ---- the real tree ------------------------------------------------------
 

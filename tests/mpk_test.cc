@@ -5,6 +5,7 @@
 
 #include <thread>
 
+#include "src/mpk/keyclass.h"
 #include "src/mpk/mpk.h"
 #include "src/nvm/nvm.h"
 
@@ -143,6 +144,39 @@ TEST_F(MpkTest, ViolationCarriesDetails) {
 TEST_F(MpkTest, OutOfRangeTableFaults) {
   Bind();
   EXPECT_THROW(mpk::CheckAccess(dev_->size() + nvm::kPageSize, 8, false), mpk::ViolationError);
+}
+
+TEST(KeyClassTableTest, ReleaseExactlyOnceUnderReaperRace) {
+  // ISSUE 10: the dead-process reaper can race a queued retag for the same
+  // mapping — both sides call Release(slot, coffer). The second call must be
+  // a no-op per (slot, coffer_id), or the key would be double-freed and
+  // handed to two classes at once.
+  mpk::KeyClassTable t;
+  uint16_t slots[15];
+  uint16_t evicted = 0;
+  bool fresh = false;
+  // Fill the 15-key budget with 15 live single-member classes.
+  for (int i = 0; i < 15; i++) {
+    slots[i] = t.SlotFor(mpk::ProtClass{100, 100, static_cast<uint16_t>(0600 + i)});
+    ASSERT_NE(slots[i], mpk::KeyClassTable::kNoSlot);
+    t.Retain(slots[i], 100 + i);
+    ASSERT_NE(t.EnsureKey(slots[i], &evicted, &fresh), mpk::kUnmapped);
+    ASSERT_EQ(evicted, mpk::KeyClassTable::kNoSlot);
+  }
+  EXPECT_TRUE(t.Release(slots[0], 100));   // last member: the key is freed
+  EXPECT_FALSE(t.Release(slots[0], 100));  // replayed release: no-op
+  EXPECT_EQ(t.PublishedKey(slots[0]), mpk::kUnmapped);
+  // Exactly one key came back: a 16th class keys up without evicting...
+  uint16_t s16 = t.SlotFor(mpk::ProtClass{100, 100, 0777});
+  t.Retain(s16, 200);
+  ASSERT_NE(t.EnsureKey(s16, &evicted, &fresh), mpk::kUnmapped);
+  EXPECT_EQ(evicted, mpk::KeyClassTable::kNoSlot);
+  // ...and a 17th must run the LRU window (a double-free would have left a
+  // phantom free key shared with a live class).
+  uint16_t s17 = t.SlotFor(mpk::ProtClass{100, 100, 0755});
+  t.Retain(s17, 201);
+  ASSERT_NE(t.EnsureKey(s17, &evicted, &fresh), mpk::kUnmapped);
+  EXPECT_NE(evicted, mpk::KeyClassTable::kNoSlot);
 }
 
 }  // namespace

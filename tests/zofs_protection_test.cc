@@ -8,6 +8,7 @@
 #include "src/common/rand.h"
 #include "src/fslib/fslib.h"
 #include "src/kernfs/kernfs.h"
+#include "src/mpk/keyclass.h"
 #include "src/mpk/mpk.h"
 #include "src/nvm/nvm.h"
 
@@ -173,6 +174,44 @@ TEST_F(ProtectionTest, MpkBudgetEvictionKeepsWorking) {
     auto st = p.Stat(c, "/g" + std::to_string(i));
     ASSERT_TRUE(st.ok()) << i << ": " << common::ErrName(st.error());
     EXPECT_EQ(st->size, 1u);
+  }
+}
+
+TEST_F(ProtectionTest, KeyWindowEvictAndFaultBackRoundTrip) {
+  // ISSUE 10: with more protection classes than physical keys the LRU key
+  // window demotes cold classes (retag to 0xff, no unmap — mappings and
+  // session caches survive) and faults them back in on next access. The
+  // round trip must be invisible to the data path: every file reads back
+  // byte-exact after its class was evicted and re-keyed.
+  fslib::FsLib p(kfs_.get(), vfs::Cred{1000, 1000});
+  vfs::Cred c{1000, 1000};
+  const uint64_t ev0 = mpk::KeyEvictionCount();
+  const uint64_t rt0 = mpk::KeyRetagPageCount();
+  constexpr int kGroups = 20;  // 20 classes > 15 keys
+  for (int i = 0; i < kGroups; i++) {
+    p.proc()->SetCred(vfs::Cred{1000, 4000u + i});
+    auto fd = p.Open(c, "/w" + std::to_string(i), vfs::kCreate | vfs::kWrite, 0660);
+    ASSERT_TRUE(fd.ok()) << i << ": " << common::ErrName(fd.error());
+    std::string tag(64, static_cast<char>('A' + i));
+    ASSERT_TRUE(p.Write(*fd, tag.data(), tag.size()).ok());
+    ASSERT_TRUE(p.Close(*fd).ok());
+  }
+  EXPECT_GT(p.proc()->LiveProtClassCount(), 15u);
+  // Creating class 16..20 must have run the window, and eviction moves only
+  // the key assignment — pages get retagged, nothing is unmapped.
+  EXPECT_GT(mpk::KeyEvictionCount(), ev0);
+  EXPECT_GT(mpk::KeyRetagPageCount(), rt0);
+  // Fault the earliest (long-evicted) classes back in: byte-exact reads.
+  for (int i = 0; i < kGroups; i++) {
+    p.proc()->SetCred(vfs::Cred{1000, 4000u + i});
+    auto fd = p.Open(c, "/w" + std::to_string(i), vfs::kRead, 0);
+    ASSERT_TRUE(fd.ok()) << i << ": " << common::ErrName(fd.error());
+    char buf[64] = {};
+    auto r = p.Read(*fd, buf, sizeof(buf));
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(*r, sizeof(buf));
+    EXPECT_EQ(std::string(buf, sizeof(buf)), std::string(64, static_cast<char>('A' + i)));
+    p.Close(*fd);
   }
 }
 

@@ -181,6 +181,28 @@ if ! diff -q "$A" "$B" >/dev/null; then
 fi
 if [ "$SOAK_OK" -eq 1 ]; then gate "tenant-soak" PASS; else gate "tenant-soak" FAIL; fi
 
+step "zofs_soak --key-pressure: kill/churn under MPK key overcommit"
+# ISSUE 10: same campaign, but every tenant churns 18 distinct-permission
+# coffers so each process holds more protection classes than the 15 physical
+# keys and the whole soak (kills, stray bursts, reaping, steals, remounts)
+# rides the LRU key window. All four oracles must stay clean, the report
+# must actually show window traffic (key_evictions > 0), and it must remain
+# a pure function of the seed.
+A=$(mktmp); B=$(mktmp)
+KP_OK=1
+"$BUILD_DIR"/tools/zofs_soak --key-pressure --seed=42 --json > "$A" || KP_OK=0
+"$BUILD_DIR"/tools/zofs_soak --key-pressure --seed=42 --json > "$B" || KP_OK=0
+if ! diff -q "$A" "$B" >/dev/null; then
+  echo "zofs_soak --key-pressure: report is not deterministic across two runs" >&2
+  diff "$A" "$B" >&2 || true
+  KP_OK=0
+fi
+if ! grep -q '"key_evictions":0,' "$A"; then :; else
+  echo "zofs_soak --key-pressure: no key evictions — the overcommit did not bite" >&2
+  KP_OK=0
+fi
+if [ "$KP_OK" -eq 1 ]; then gate "key-pressure-soak" PASS; else gate "key-pressure-soak" FAIL; fi
+
 step "TSan build + threaded scalability stress ($TSAN_DIR)"
 # Only the ScalabilityTsan fixtures run here: they confine themselves to
 # TSan-clean shapes (private coffers, lease-locked shared appends). The

@@ -4,12 +4,13 @@
 Usage: check_bench_budget.py BENCH.json [bench/budgets.json]
 
 Budgets (bench/budgets.json) are per-op ceilings on *deterministic* counters
-from the zofs-bench-scale-v4 sweep — clwb_per_op, sfence_per_op and
-kernel_crossings_per_op — so the gate is stable across hosts and runs. A
-breach means the epoch batcher / staged-append fast path stopped absorbing
-flush and fence traffic, or the per-thread channel stopped absorbing kernel
-crossings; that is the regression this gate exists to catch, never
-wall-clock noise. A budget entry may carry a "mode" (sharded / globallock)
+from the zofs-bench-scale-v5 sweep — clwb_per_op, sfence_per_op,
+kernel_crossings_per_op and key_evictions_per_op — so the gate is stable
+across hosts and runs. A breach means the epoch batcher / staged-append fast
+path stopped absorbing flush and fence traffic, the per-thread channel
+stopped absorbing kernel crossings, or the MPK key-virtualization layer
+stopped sharing keys / windowing evictions; that is the regression this gate
+exists to catch, never wall-clock noise. A budget entry may carry a "mode" (sharded / globallock)
 restricting which sweep points it applies to — the crossing ceiling targets
 the channel-enabled sharded configuration, while globallock doubles as the
 sync_crossings baseline and is expected to sit far above it.
@@ -28,8 +29,8 @@ def main():
     budgets = json.load(open(budgets_path))
 
     schema = bench.get("schema")
-    if schema != "zofs-bench-scale-v4":
-        print(f"[FAIL] {sys.argv[1]}: schema {schema!r}, want zofs-bench-scale-v4")
+    if schema != "zofs-bench-scale-v5":
+        print(f"[FAIL] {sys.argv[1]}: schema {schema!r}, want zofs-bench-scale-v5")
         return 1
 
     fail = 0

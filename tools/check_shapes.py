@@ -4,17 +4,20 @@
 Each check encodes one *shape* from the paper's evaluation (an ordering or a
 ratio range, never an absolute number). Run after `./run_benches.sh`:
 
-    python3 tools/check_shapes.py [bench_output.txt] [BENCH_8.json]
+    python3 tools/check_shapes.py [build/bench_output.txt] [build/BENCH_10.json]
 
 Also validates the machine-readable sweep document (schema
-zofs-bench-scale-v4): the derived clwb_per_op / sfence_per_op and
+zofs-bench-scale-v5): the derived clwb_per_op / sfence_per_op and
 foreground/background crossing fields must be present and consistent with
 the raw totals, the dwal workload must show the staged-append fast path
 engaging, the churn workload must show the per-thread channel absorbing
-foreground kernel crossings relative to the sync_crossings baseline, and the
+foreground kernel crossings relative to the sync_crossings baseline, the
 tenant-death counters (lock_steals, online_repairs, reaped_*) must be
 present and all zero — a healthy bench run never trips the failure
-machinery.
+machinery — and the key-pressure sweeps must show MPK key virtualization
+working: table3 (64 same-class coffers) evicts zero keys, table4 (25
+classes > 15 keys) keeps evictions bounded under the LRU key window while
+the legacy globallock baseline thrashes.
 
 Exit code 0 = all shapes hold; each failure is printed with context.
 Single-core-host noise is absorbed with generous margins.
@@ -62,13 +65,13 @@ def check(name, cond, detail=""):
 
 
 def check_bench_json(path):
-    """Validates the zofs-bench-scale-v4 sweep document."""
+    """Validates the zofs-bench-scale-v5 sweep document."""
     if not os.path.exists(path):
         check(f"J: {path} present", False, "run ./run_benches.sh first")
         return
     doc = json.load(open(path))
-    check("J: schema is zofs-bench-scale-v4",
-          doc.get("schema") == "zofs-bench-scale-v4", str(doc.get("schema")))
+    check("J: schema is zofs-bench-scale-v5",
+          doc.get("schema") == "zofs-bench-scale-v5", str(doc.get("schema")))
     pts = doc.get("sweep", [])
     check("J: sweep non-empty", len(pts) > 0, f"{len(pts)} points")
     required = ("ops", "clwb", "clwb_per_op", "sfence", "sfence_per_op",
@@ -76,9 +79,11 @@ def check_bench_json(path):
                 "kernel_crossings_per_op", "kernel_crossings_bg",
                 "kernel_crossings_bg_per_op", "crossing_ns_per_op",
                 "lock_steals", "online_repairs", "reaped_mappings",
-                "reaped_grant_pages", "reaped_lists")
+                "reaped_grant_pages", "reaped_lists",
+                "key_evictions", "key_evictions_per_op", "key_retag_pages",
+                "key_class_count")
     missing = sorted({k for p in pts for k in required if k not in p})
-    check("J: v4 per-point fields present", not missing, ", ".join(missing))
+    check("J: v5 per-point fields present", not missing, ", ".join(missing))
     if missing:
         return
     # A healthy benchmark under the pinned clock must never steal a lease,
@@ -124,10 +129,64 @@ def check_bench_json(path):
               all(p["kernel_crossings_bg"] == 0 for p in churn_sync),
               f"{[p['kernel_crossings_bg'] for p in churn_sync]}")
 
+    # ---- MPK key virtualization (schema v5 key-pressure sweeps).
+    # The ordinary kernels never exceed 9 protection classes, so the key
+    # allocator must never evict under them.
+    plain = [p for p in pts if p["workload"] not in ("table3", "table4")]
+    dirty = [f"{p['workload']}/{p['mode']}/{p['threads']}t ev={p['key_evictions']}"
+             for p in plain if p["key_evictions"] != 0]
+    check("J: no key evictions outside the key-pressure sweeps", not dirty,
+          "; ".join(dirty[:3]))
+
+    def one(workload, mode):
+        sel = [p for p in pts if p["workload"] == workload and p["mode"] == mode]
+        return sel[0] if len(sel) == 1 else None
+
+    t3v, t3l = one("table3", "sharded"), one("table3", "globallock")
+    t4v, t4l = one("table4", "sharded"), one("table4", "globallock")
+    check("J: key-pressure sweeps present (table3/table4 x virt/legacy)",
+          all(p is not None for p in (t3v, t3l, t4v, t4l)))
+    if all(p is not None for p in (t3v, t3l, t4v, t4l)):
+        # table3: 64 same-mode coffers collapse into one class (plus the root
+        # coffer's); a shared key means key pressure simply cannot arise.
+        check("J: table3 virtualized forms ~2 classes",
+              2 <= t3v["key_class_count"] <= 4, str(t3v["key_class_count"]))
+        check("J: table3 virtualized evicts zero keys",
+              t3v["key_evictions"] == 0, str(t3v["key_evictions"]))
+        # The legacy allocator burns one key per coffer and must thrash over
+        # 64 coffers (whole-coffer evictions charge the same counter).
+        check("J: table3 legacy baseline thrashes (key evictions)",
+              t3l["key_evictions"] > 10 * max(t3v["key_evictions"], 1),
+              f"legacy {t3l['key_evictions']} vs virt {t3v['key_evictions']}")
+        check("J: legacy allocator forms no classes",
+              t3l["key_class_count"] == 0 and t4l["key_class_count"] == 0,
+              f"{t3l['key_class_count']}, {t4l['key_class_count']}")
+        # table4: 25 classes > 15 keys — the LRU key window must run, but a
+        # class fault costs one retag batch, not an unmap storm. The workload
+        # switches its working class every 16 ops; the window must never need
+        # more than one eviction per switch (the win over legacy is each
+        # eviction's cost — one batched retag crossing, no unmap/remap pair,
+        # no session-epoch invalidation — which the crossings check below and
+        # the budget gate enforce).
+        check("J: table4 virtualized sees >15 classes",
+              t4v["key_class_count"] > 15, str(t4v["key_class_count"]))
+        check("J: table4 key window evicts at most once per class switch",
+              0 < t4v["key_evictions"] <= t4v["ops"] / 16,
+              f"{t4v['key_evictions']} evictions over {t4v['ops']} ops")
+        check("J: table4 key window retags pages instead of remapping",
+              t4v["key_retag_pages"] > 0, str(t4v["key_retag_pages"]))
+        # The point of the PR: churn over 64+ coffers stops paying remap
+        # crossings. The virtualized path must sit clearly below the legacy
+        # map/unmap storm in foreground crossings per op.
+        for name, virt, legacy in (("table3", t3v, t3l), ("table4", t4v, t4l)):
+            check(f"J: {name} crossings/op: key window well under legacy remap storm",
+                  virt["kernel_crossings_per_op"] < 0.5 * legacy["kernel_crossings_per_op"],
+                  f"{virt['kernel_crossings_per_op']} vs {legacy['kernel_crossings_per_op']}")
+
 
 def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
-    json_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_8.json"
+    path = sys.argv[1] if len(sys.argv) > 1 else "build/bench_output.txt"
+    json_path = sys.argv[2] if len(sys.argv) > 2 else "build/BENCH_10.json"
     out = Output(open(path).read())
 
     # ---- Table 1: NVM slower than DRAM; read bandwidth > write bandwidth.
@@ -275,7 +334,7 @@ def main():
     check("6.5: manipulated dentry rejected",
           re.search(r"manipulated dentry: EUCLEAN", sec))
 
-    # ---- Machine-readable sweep (zofs-bench-scale-v4).
+    # ---- Machine-readable sweep (zofs-bench-scale-v5).
     check_bench_json(json_path)
 
     print()

@@ -2,14 +2,17 @@
 //
 //   zofs_soak [--seed=N] [--tenants=N] [--rounds=N] [--ops=N]
 //             [--stray-writes=N] [--remount-every=N] [--dev-mb=N]
-//             [--no-corrupt] [--json]
+//             [--no-corrupt] [--key-pressure] [--json]
 //
 // Drives several simulated tenants through file churn while killing them at
 // every injectable death site (mid-InodeLock, published staged intent,
 // mid-rename-intent, mid-channel-batch, freshly-claimed leased list), with
 // stray-write bursts at death, survivor-side lease steal + online intent
 // repair, kernel dead-process reaping, in-loop corruption and periodic
-// crash/remount + fsck. Exits nonzero unless every oracle came out clean:
+// crash/remount + fsck. With --key-pressure every tenant also churns 18
+// distinct-permission coffers so each process holds more protection classes
+// than physical MPK keys and the whole campaign rides the LRU key window
+// (ISSUE 10). Exits nonzero unless every oracle came out clean:
 // zero MPK escapes, zero fsck violations, zero durability violations, zero
 // stuck survivors. Output is byte-stable for a fixed configuration, so
 // check_all.sh diffs two runs.
@@ -26,7 +29,7 @@ void Usage(const char* argv0) {
   fprintf(stderr,
           "usage: %s [--seed=<n>] [--tenants=<n>] [--rounds=<n>] [--ops=<n>]\n"
           "          [--stray-writes=<n>] [--remount-every=<n>] [--dev-mb=<n>]\n"
-          "          [--no-corrupt] [--json]\n"
+          "          [--no-corrupt] [--key-pressure] [--json]\n"
           "  --seed=<n>          soak seed (default: 42)\n"
           "  --tenants=<n>       concurrent simulated tenants (default: 3)\n"
           "  --rounds=<n>        churn rounds; one kill attempt per round (default: 12)\n"
@@ -36,6 +39,9 @@ void Usage(const char* argv0) {
           "  --remount-every=<n> crash+remount+fsck every n rounds, 0=never (default: 4)\n"
           "  --dev-mb=<n>        simulated device size in MB (default: 64)\n"
           "  --no-corrupt        skip the in-loop byte-flip corruption\n"
+          "  --key-pressure      every tenant churns 18 distinct-permission coffers,\n"
+          "                      overcommitting the 15 MPK keys per process so the\n"
+          "                      campaign exercises the LRU key window\n"
           "  --json              emit the report as JSON (always byte-stable)\n",
           argv0);
 }
@@ -72,6 +78,8 @@ int main(int argc, char** argv) {
       opts.device_mb = strtoull(v.c_str(), nullptr, 10);
     } else if (strcmp(argv[i], "--no-corrupt") == 0) {
       opts.corrupt_in_loop = false;
+    } else if (strcmp(argv[i], "--key-pressure") == 0) {
+      opts.key_pressure = true;
     } else if (strcmp(argv[i], "--json") == 0) {
       json = true;
     } else {
